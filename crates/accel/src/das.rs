@@ -1,0 +1,342 @@
+//! The Differentiable Accelerator Search (DAS) engine — Eq. 9 of the
+//! paper: hard Gumbel-Softmax sampling per accelerator knob `φ^m`, with the
+//! overall hardware cost back-propagated to every sampled knob through the
+//! softmax relaxation.
+
+use crate::predictor::{CostWeights, PerfModel, PerfReport};
+use crate::space::SearchSpace;
+use crate::template::AcceleratorConfig;
+use crate::zc706::FpgaTarget;
+use a3cs_nn::LayerDesc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DAS hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DasConfig {
+    /// The knob space.
+    pub space: SearchSpace,
+    /// Number of pipeline chunks to instantiate.
+    pub num_chunks: usize,
+    /// Maximum network depth the assignment knobs cover (longer φ simply
+    /// ignores the tail when the current network is shallower).
+    pub max_layers: usize,
+    /// Initial Gumbel-Softmax temperature for `φ` sampling (annealed
+    /// multiplicatively each step down to `min_temperature`).
+    pub temperature: f64,
+    /// Temperature floor.
+    pub min_temperature: f64,
+    /// Multiplicative temperature decay per step.
+    pub temperature_decay: f64,
+    /// Learning rate on the `φ` logits.
+    pub lr: f64,
+    /// Cost weights fed to the predictor.
+    pub cost: CostWeights,
+}
+
+impl Default for DasConfig {
+    fn default() -> Self {
+        DasConfig {
+            space: SearchSpace::default(),
+            num_chunks: 4,
+            max_layers: 48,
+            temperature: 2.0,
+            min_temperature: 0.5,
+            temperature_decay: 0.995,
+            lr: 0.5,
+            cost: CostWeights::default(),
+        }
+    }
+}
+
+/// The searchable accelerator distribution: one logit vector per knob.
+///
+/// Each [`DasEngine::step`] hard-samples every knob, evaluates the decoded
+/// accelerator with the analytical predictor, and updates the logits with
+/// the straight-through Gumbel-Softmax gradient of
+/// `Σ_m GS_hard(φ^m) · L̂` (Eq. 9), using a moving-average cost baseline
+/// for variance reduction (an implementation detail the paper's
+/// formulation absorbs into the relaxation).
+pub struct DasEngine {
+    config: DasConfig,
+    logits: Vec<Vec<f64>>,
+    rng: StdRng,
+    baseline: Option<f64>,
+    temperature: f64,
+}
+
+impl DasEngine {
+    /// Create an engine with uniform knob distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chunks` or `max_layers` is zero.
+    #[must_use]
+    pub fn new(config: DasConfig, seed: u64) -> Self {
+        assert!(config.num_chunks > 0, "need at least one chunk");
+        assert!(config.max_layers > 0, "need at least one layer slot");
+        let sizes = config.space.knob_sizes(config.num_chunks, config.max_layers);
+        let logits = sizes.iter().map(|&s| vec![0.0f64; s]).collect();
+        let temperature = config.temperature;
+        DasEngine {
+            config,
+            logits,
+            rng: StdRng::seed_from_u64(seed),
+            baseline: None,
+            temperature,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DasConfig {
+        &self.config
+    }
+
+    fn knob_count_for(&self, num_layers: usize) -> usize {
+        self.config
+            .space
+            .chunk_knob_sizes()
+            .len()
+            * self.config.num_chunks
+            + num_layers
+    }
+
+    /// Hard-sample every knob (Gumbel-max) at the current temperature.
+    fn sample(&mut self, num_layers: usize) -> (Vec<usize>, Vec<Vec<f64>>) {
+        let n = self.knob_count_for(num_layers);
+        let tau = self.temperature;
+        let mut choices = Vec::with_capacity(n);
+        let mut softs = Vec::with_capacity(n);
+        for logit in self.logits.iter().take(n) {
+            let z: Vec<f64> = logit
+                .iter()
+                .map(|&l| {
+                    let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    let g = -(-u.ln()).ln(); // standard Gumbel noise
+                    (l + g) / tau
+                })
+                .collect();
+            let soft = softmax64(&z);
+            let mut best = 0;
+            for (i, &v) in z.iter().enumerate() {
+                if v > z[best] {
+                    best = i;
+                }
+            }
+            choices.push(best);
+            softs.push(soft);
+        }
+        (choices, softs)
+    }
+
+    /// Decode a knob-choice vector for a `num_layers`-deep network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers` exceeds `max_layers`.
+    #[must_use]
+    pub fn decode(&self, choices: &[usize], num_layers: usize) -> AcceleratorConfig {
+        assert!(
+            num_layers <= self.config.max_layers,
+            "network deeper ({num_layers}) than max_layers ({})",
+            self.config.max_layers
+        );
+        self.config
+            .space
+            .decode(self.config.num_chunks, num_layers, choices)
+    }
+
+    /// One DAS iteration on `layers`: sample, evaluate, update `φ`.
+    /// Returns the sampled accelerator's report and scalar cost.
+    pub fn step(&mut self, layers: &[LayerDesc], target: &FpgaTarget) -> (PerfReport, f64) {
+        let num_layers = layers.len();
+        let (choices, softs) = self.sample(num_layers);
+        let accel = self.decode(&choices, num_layers);
+        let report = PerfModel::evaluate(&accel, layers, target);
+        let cost = PerfModel::cost(&report, target, &self.config.cost);
+
+        // Variance-reduced scalar signal, normalised by the baseline scale.
+        let baseline = *self.baseline.get_or_insert(cost);
+        let scale = baseline.abs().max(1e-9);
+        let advantage = (cost - baseline) / scale;
+        self.baseline = Some(0.9 * baseline + 0.1 * cost);
+
+        // Straight-through gradient of y_sel wrt φ_j: y_sel (δ_{j,sel} - y_j)/τ.
+        let tau = self.temperature;
+        self.temperature =
+            (self.temperature * self.config.temperature_decay).max(self.config.min_temperature);
+        let n = self.knob_count_for(num_layers);
+        for ((logit, soft), &sel) in self
+            .logits
+            .iter_mut()
+            .take(n)
+            .zip(softs.iter())
+            .zip(choices.iter())
+        {
+            let y_sel = soft[sel];
+            for (j, l) in logit.iter_mut().enumerate() {
+                let indicator = f64::from(j == sel);
+                let grad = advantage * y_sel * (indicator - soft[j]) / tau;
+                *l -= self.config.lr * grad;
+            }
+        }
+        (report, cost)
+    }
+
+    /// Run `iters` DAS steps and return the final most-likely accelerator.
+    pub fn run(
+        &mut self,
+        layers: &[LayerDesc],
+        target: &FpgaTarget,
+        iters: usize,
+    ) -> AcceleratorConfig {
+        for _ in 0..iters {
+            let _ = self.step(layers, target);
+        }
+        self.best(layers.len())
+    }
+
+    /// The argmax-`φ` accelerator for a `num_layers`-deep network.
+    #[must_use]
+    pub fn best(&self, num_layers: usize) -> AcceleratorConfig {
+        let n = self.knob_count_for(num_layers);
+        let choices: Vec<usize> = self.logits[..n]
+            .iter()
+            .map(|l| {
+                let mut best = 0;
+                for (i, &v) in l.iter().enumerate() {
+                    if v > l[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect();
+        self.decode(&choices, num_layers)
+    }
+
+    /// Mean entropy (nats) of the knob distributions — decreases as the
+    /// search commits.
+    #[must_use]
+    pub fn mean_entropy(&self) -> f64 {
+        let total: f64 = self
+            .logits
+            .iter()
+            .map(|l| {
+                let p = softmax64(l);
+                -p.iter()
+                    .map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 })
+                    .sum::<f64>()
+            })
+            .sum();
+        total / self.logits.len() as f64
+    }
+}
+
+fn softmax64(z: &[f64]) -> Vec<f64> {
+    let mx = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - mx).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_nn::{resnet, vanilla};
+
+    #[test]
+    fn das_improves_over_its_first_samples() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut das = DasEngine::new(DasConfig::default(), 3);
+        let early: f64 = (0..10)
+            .map(|_| das.step(&layers, &target).1)
+            .sum::<f64>()
+            / 10.0;
+        for _ in 0..300 {
+            let _ = das.step(&layers, &target);
+        }
+        let best = das.best(layers.len());
+        let final_cost = PerfModel::cost(
+            &PerfModel::evaluate(&best, &layers, &target),
+            &target,
+            &CostWeights::default(),
+        );
+        assert!(
+            final_cost < early,
+            "DAS should beat its early average: {final_cost} vs {early}"
+        );
+    }
+
+    #[test]
+    fn das_entropy_decreases() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut das = DasEngine::new(DasConfig::default(), 5);
+        let h0 = das.mean_entropy();
+        for _ in 0..200 {
+            let _ = das.step(&layers, &target);
+        }
+        assert!(das.mean_entropy() < h0);
+    }
+
+    #[test]
+    fn das_final_design_respects_dsp_budget() {
+        let net = resnet(14, 4, 12, 12, 8, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut das = DasEngine::new(DasConfig::default(), 7);
+        let best = das.run(&layers, &target, 400);
+        let report = PerfModel::evaluate(&best, &layers, &target);
+        assert!(
+            report.feasible,
+            "resource penalty should drive the search feasible: {report:?}"
+        );
+    }
+
+    #[test]
+    fn deeper_network_reuses_prefix_of_phi() {
+        let target = FpgaTarget::zc706();
+        let shallow = vanilla(4, 12, 12, 32, 0).layer_descs();
+        let deep = resnet(14, 4, 12, 12, 8, 32, 0).layer_descs();
+        let mut das = DasEngine::new(DasConfig::default(), 9);
+        let _ = das.step(&shallow, &target);
+        let _ = das.step(&deep, &target);
+        let a = das.best(shallow.len());
+        let b = das.best(deep.len());
+        assert_eq!(a.chunks, b.chunks, "chunk knobs are shared");
+        assert_eq!(a.assignment.len(), shallow.len());
+        assert_eq!(b.assignment.len(), deep.len());
+    }
+
+    #[test]
+    fn das_is_deterministic_given_seed() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let run = |seed| {
+            let mut das = DasEngine::new(DasConfig::default(), seed);
+            das.run(&layers, &target, 100)
+        };
+        assert_eq!(run(11), run(11));
+        // Different seeds explore differently (overwhelmingly likely).
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper")]
+    fn exceeding_max_layers_panics() {
+        let das = DasEngine::new(
+            DasConfig {
+                max_layers: 2,
+                ..DasConfig::default()
+            },
+            0,
+        );
+        let _ = das.decode(&[], 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! The DNNBuilder-style baseline accelerator generator (Zhang et al.,
+//! ICCAD'18) used as the SOTA comparison point of Fig. 3.
+//!
+//! DNNBuilder builds a fine-grained per-layer pipeline: every layer gets
+//! its own stage, with channel-parallelism factors allocated proportionally
+//! to each layer's compute share under the DSP budget, and a line-buffer
+//! (weight-stationary-like) dataflow. This module reconstructs that design
+//! rule and emits an [`AcceleratorConfig`] evaluated by the *same*
+//! predictor as DAS designs, keeping the Fig. 3 comparison apples to
+//! apples.
+
+use crate::template::{
+    AcceleratorConfig, BufferAlloc, ChunkConfig, Dataflow, NocTopology, PeArray, Tiling,
+};
+use crate::zc706::FpgaTarget;
+use a3cs_nn::LayerDesc;
+
+/// The DNNBuilder baseline generator.
+pub struct DnnBuilderModel;
+
+impl DnnBuilderModel {
+    /// Generate the per-layer pipelined accelerator for `layers` under
+    /// `target`'s DSP budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn design(layers: &[LayerDesc], target: &FpgaTarget) -> AcceleratorConfig {
+        assert!(!layers.is_empty(), "cannot design for an empty network");
+        let total_macs: f64 = layers.iter().map(|l| l.macs() as f64).sum();
+        // Reserve a small margin like DNNBuilder's resource allocator.
+        let budget = (target.dsp_limit as f64 * 0.95).floor();
+
+        let chunks: Vec<ChunkConfig> = layers
+            .iter()
+            .map(|layer| {
+                let share = layer.macs() as f64 / total_macs;
+                let pes = (budget * share).floor().max(1.0) as usize;
+                let (rows, cols) = nearest_rect(pes);
+                ChunkConfig {
+                    pe: PeArray { rows, cols },
+                    // Line-buffer based design: broadcast-style operand bus,
+                    // weights pinned on chip per stage.
+                    noc: NocTopology::Multicast,
+                    dataflow: Dataflow::WeightStationary,
+                    buffers: BufferAlloc {
+                        input_kb: 16,
+                        weight_kb: 32,
+                        output_kb: 16,
+                    },
+                    tiling: Tiling {
+                        tm: rows.max(2),
+                        tn: 4,
+                        tr: 4,
+                        tc: 4,
+                    },
+                }
+            })
+            .collect();
+        let assignment = (0..layers.len()).collect();
+        AcceleratorConfig { chunks, assignment }
+    }
+}
+
+/// Factor `n` into the most square `rows × cols ≤ n` rectangle.
+fn nearest_rect(n: usize) -> (usize, usize) {
+    let mut best = (1, n.max(1));
+    let mut best_gap = usize::MAX;
+    let mut r = 1;
+    while r * r <= n {
+        let c = n / r;
+        let gap = c - r;
+        if gap < best_gap {
+            best_gap = gap;
+            best = (r, c);
+        }
+        r += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PerfModel;
+    use a3cs_nn::{resnet, vanilla};
+
+    #[test]
+    fn design_covers_every_layer_with_its_own_stage() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let accel = DnnBuilderModel::design(&layers, &FpgaTarget::zc706());
+        assert_eq!(accel.chunks.len(), layers.len());
+        assert_eq!(accel.assignment, (0..layers.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn design_respects_dsp_budget() {
+        for depth in [14, 20] {
+            let net = resnet(depth, 4, 12, 12, 8, 32, 0);
+            let layers = net.layer_descs();
+            let target = FpgaTarget::zc706();
+            let accel = DnnBuilderModel::design(&layers, &target);
+            assert!(
+                accel.total_pes() <= target.dsp_limit,
+                "depth {depth}: {} DSPs",
+                accel.total_pes()
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_layers_get_more_pes() {
+        let net = resnet(14, 4, 12, 12, 8, 32, 0);
+        let layers = net.layer_descs();
+        let accel = DnnBuilderModel::design(&layers, &FpgaTarget::zc706());
+        let (hi, _) = layers
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, l)| l.macs())
+            .expect("non-empty");
+        let (lo, _) = layers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.macs())
+            .expect("non-empty");
+        assert!(accel.chunks[hi].pe.count() >= accel.chunks[lo].pe.count());
+    }
+
+    #[test]
+    fn design_is_evaluable() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let accel = DnnBuilderModel::design(&layers, &target);
+        let report = PerfModel::evaluate(&accel, &layers, &target);
+        assert!(report.fps.is_finite() && report.fps > 0.0);
+        assert!(report.feasible);
+    }
+
+    #[test]
+    fn nearest_rect_is_roughly_square() {
+        assert_eq!(nearest_rect(16), (4, 4));
+        assert_eq!(nearest_rect(12), (3, 4));
+        let (r, c) = nearest_rect(97);
+        assert!(r * c <= 97 && r * c >= 80);
+    }
+}

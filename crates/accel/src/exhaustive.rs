@@ -1,0 +1,176 @@
+//! Exhaustive enumeration of (small) accelerator spaces — ground truth
+//! for validating the DAS and random-search engines.
+
+use crate::predictor::{CostWeights, PerfModel};
+use crate::space::SearchSpace;
+use crate::template::AcceleratorConfig;
+use crate::zc706::FpgaTarget;
+use a3cs_nn::LayerDesc;
+
+/// Exhaustive search over every configuration of a [`SearchSpace`].
+///
+/// Only feasible for deliberately small spaces (tests and calibration);
+/// [`ExhaustiveSearch::run`] refuses spaces above a configurable size.
+pub struct ExhaustiveSearch {
+    space: SearchSpace,
+    num_chunks: usize,
+    cost: CostWeights,
+    max_evaluations: u64,
+}
+
+impl ExhaustiveSearch {
+    /// Create an exhaustive search capped at `max_evaluations` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chunks` is zero.
+    #[must_use]
+    pub fn new(
+        space: SearchSpace,
+        num_chunks: usize,
+        cost: CostWeights,
+        max_evaluations: u64,
+    ) -> Self {
+        assert!(num_chunks > 0, "need at least one chunk");
+        ExhaustiveSearch {
+            space,
+            num_chunks,
+            cost,
+            max_evaluations,
+        }
+    }
+
+    /// Enumerate every configuration, returning the optimum
+    /// `(config, cost)` and the number of points visited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space exceeds the evaluation cap (use DAS or random
+    /// search instead), or if `layers` is empty.
+    #[must_use]
+    pub fn run(
+        &self,
+        layers: &[LayerDesc],
+        target: &FpgaTarget,
+    ) -> (AcceleratorConfig, f64, u64) {
+        assert!(!layers.is_empty(), "cannot search for an empty network");
+        let sizes = self.space.knob_sizes(self.num_chunks, layers.len());
+        let total: f64 = sizes.iter().map(|&s| s as f64).product();
+        assert!(
+            total <= self.max_evaluations as f64,
+            "space has {total} points, above the cap of {}",
+            self.max_evaluations
+        );
+
+        let mut choices = vec![0usize; sizes.len()];
+        let mut best: Option<(AcceleratorConfig, f64)> = None;
+        let mut visited = 0u64;
+        loop {
+            let accel = self.space.decode(self.num_chunks, layers.len(), &choices);
+            let report = PerfModel::evaluate(&accel, layers, target);
+            let cost = PerfModel::cost(&report, target, &self.cost);
+            visited += 1;
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((accel, cost));
+            }
+            // Odometer increment.
+            let mut k = 0;
+            loop {
+                if k == sizes.len() {
+                    let (config, cost) = best.expect("at least one point visited");
+                    return (config, cost, visited);
+                }
+                choices[k] += 1;
+                if choices[k] < sizes[k] {
+                    break;
+                }
+                choices[k] = 0;
+                k += 1;
+            }
+        }
+    }
+}
+
+/// A deliberately tiny space for exhaustive validation.
+#[must_use]
+pub fn tiny_space() -> SearchSpace {
+    SearchSpace {
+        pe_rows: vec![4, 16],
+        pe_cols: vec![4, 8],
+        nocs: vec![crate::template::NocTopology::Systolic],
+        dataflows: vec![
+            crate::template::Dataflow::OutputStationary,
+            crate::template::Dataflow::WeightStationary,
+        ],
+        buffer_totals_kb: vec![64],
+        tm: vec![8, 16],
+        tn: vec![8],
+        tr: vec![4],
+        tc: vec![4],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::das::{DasConfig, DasEngine};
+    use crate::random_search::RandomSearch;
+    use a3cs_nn::vanilla;
+
+    fn layers() -> Vec<LayerDesc> {
+        vanilla(4, 12, 12, 32, 0).layer_descs()
+    }
+
+    #[test]
+    fn exhaustive_visits_whole_space() {
+        let space = tiny_space();
+        let layers = layers();
+        let sizes = space.knob_sizes(1, layers.len());
+        let expect: u64 = sizes.iter().map(|&s| s as u64).product();
+        let search = ExhaustiveSearch::new(space, 1, CostWeights::default(), 100_000);
+        let (_, _, visited) = search.run(&layers, &FpgaTarget::zc706());
+        assert_eq!(visited, expect);
+    }
+
+    #[test]
+    fn nothing_beats_the_exhaustive_optimum() {
+        let space = tiny_space();
+        let layers = layers();
+        let target = FpgaTarget::zc706();
+        let search = ExhaustiveSearch::new(space.clone(), 1, CostWeights::default(), 100_000);
+        let (_, optimum, _) = search.run(&layers, &target);
+
+        let mut random = RandomSearch::new(space.clone(), 1, CostWeights::default(), 1);
+        let (_, rand_cost) = random.run(&layers, &target, 500);
+        assert!(rand_cost >= optimum - 1e-6);
+
+        let mut das = DasEngine::new(
+            DasConfig {
+                space,
+                num_chunks: 1,
+                ..DasConfig::default()
+            },
+            2,
+        );
+        let best = das.run(&layers, &target, 600);
+        let das_cost = PerfModel::cost(
+            &PerfModel::evaluate(&best, &layers, &target),
+            &target,
+            &CostWeights::default(),
+        );
+        assert!(das_cost >= optimum - 1e-6);
+        // DAS should land within 2x of the global optimum on this toy space.
+        assert!(
+            das_cost <= optimum * 2.0,
+            "DAS cost {das_cost} too far from optimum {optimum}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "above the cap")]
+    fn oversized_space_is_refused() {
+        let search =
+            ExhaustiveSearch::new(SearchSpace::default(), 4, CostWeights::default(), 1_000);
+        let _ = search.run(&layers(), &FpgaTarget::zc706());
+    }
+}

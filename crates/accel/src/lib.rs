@@ -1,0 +1,63 @@
+//! Accelerator template, analytical performance predictor and the
+//! Differentiable Accelerator Search (DAS) engine — the hardware half of
+//! A3C-S (paper Section IV-A).
+//!
+//! The paper's accelerator is a chunk-based pipelined micro-architecture
+//! (after Shen et al., ISCA'17): several sub-accelerators ("chunks"), each
+//! with its own PE array, network-on-chip, buffer hierarchy and dataflow,
+//! executing an assigned subset of layers; chunks form a pipeline so
+//! throughput is set by the slowest chunk. During search, performance is
+//! estimated with an analytical predictor in the style of DNN-Chip
+//! Predictor / AutoDNNchip — which is also this reproduction's stand-in
+//! for the Vivado HLS + ZC706 measurement flow (see `DESIGN.md`).
+//!
+//! Provided here:
+//!
+//! - [`AcceleratorConfig`] / [`ChunkConfig`]: the parameterised template
+//!   (PE array, NoC, buffer allocation, loop tiling, dataflow, layer
+//!   assignment);
+//! - [`SearchSpace`]: the discrete knob space (> 10²⁷ joint choices at
+//!   paper scale — see [`SearchSpace::cardinality`]);
+//! - [`PerfModel`]: cycle/resource/energy estimation against an FPGA
+//!   target ([`FpgaTarget::zc706`], 900 DSPs);
+//! - [`DasEngine`]: Gumbel-Softmax search over the knobs (Eq. 9);
+//! - [`DnnBuilderModel`]: the DNNBuilder-style baseline accelerator
+//!   generator used in Fig. 3;
+//! - [`RandomSearch`]: a uniform-sampling baseline for ablations.
+//!
+//! # Example
+//!
+//! ```
+//! use a3cs_accel::{DasEngine, DasConfig, FpgaTarget, PerfModel};
+//! use a3cs_nn::{resnet};
+//!
+//! let net = resnet(14, 4, 12, 12, 8, 64, 0);
+//! let layers = net.layer_descs();
+//! let target = FpgaTarget::zc706();
+//! let mut das = DasEngine::new(DasConfig::default(), 7);
+//! let best = das.run(&layers, &target, 60);
+//! let report = PerfModel::evaluate(&best, &layers, &target);
+//! assert!(report.fps > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod das;
+mod dnnbuilder;
+mod exhaustive;
+mod predictor;
+mod random_search;
+mod space;
+mod template;
+mod zc706;
+
+pub use das::{DasConfig, DasEngine};
+pub use dnnbuilder::DnnBuilderModel;
+pub use exhaustive::{tiny_space, ExhaustiveSearch};
+pub use predictor::{CostWeights, LayerDims, PerfModel, PerfReport};
+pub use random_search::RandomSearch;
+pub use space::SearchSpace;
+pub use template::{
+    AcceleratorConfig, BufferAlloc, ChunkConfig, Dataflow, NocTopology, PeArray, Tiling,
+};
+pub use zc706::FpgaTarget;

@@ -1,0 +1,116 @@
+//! Uniform random search over the accelerator space — the ablation
+//! baseline for DAS.
+
+use crate::predictor::{CostWeights, PerfModel};
+use crate::space::SearchSpace;
+use crate::template::AcceleratorConfig;
+use crate::zc706::FpgaTarget;
+use a3cs_nn::LayerDesc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random accelerator search: samples uniform configurations and keeps the
+/// cheapest one.
+pub struct RandomSearch {
+    space: SearchSpace,
+    num_chunks: usize,
+    cost: CostWeights,
+    rng: StdRng,
+    best: Option<(AcceleratorConfig, f64)>,
+}
+
+impl RandomSearch {
+    /// Create a random search over `space` with `num_chunks` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chunks` is zero.
+    #[must_use]
+    pub fn new(space: SearchSpace, num_chunks: usize, cost: CostWeights, seed: u64) -> Self {
+        assert!(num_chunks > 0, "need at least one chunk");
+        RandomSearch {
+            space,
+            num_chunks,
+            cost,
+            rng: StdRng::seed_from_u64(seed),
+            best: None,
+        }
+    }
+
+    /// Sample one configuration, evaluate it, and track the best. Returns
+    /// the sampled cost.
+    pub fn step(&mut self, layers: &[LayerDesc], target: &FpgaTarget) -> f64 {
+        let sizes = self.space.knob_sizes(self.num_chunks, layers.len());
+        let choices: Vec<usize> = sizes.iter().map(|&s| self.rng.gen_range(0..s)).collect();
+        let accel = self.space.decode(self.num_chunks, layers.len(), &choices);
+        let report = PerfModel::evaluate(&accel, layers, target);
+        let cost = PerfModel::cost(&report, target, &self.cost);
+        if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            self.best = Some((accel, cost));
+        }
+        cost
+    }
+
+    /// Run `iters` samples and return the best configuration found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` is zero.
+    pub fn run(
+        &mut self,
+        layers: &[LayerDesc],
+        target: &FpgaTarget,
+        iters: usize,
+    ) -> (AcceleratorConfig, f64) {
+        assert!(iters > 0, "need at least one sample");
+        for _ in 0..iters {
+            let _ = self.step(layers, target);
+        }
+        self.best.clone().expect("at least one sample was taken")
+    }
+
+    /// Best `(config, cost)` found so far, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&(AcceleratorConfig, f64)> {
+        self.best.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_nn::vanilla;
+
+    #[test]
+    fn best_cost_is_monotone_in_iterations() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut rs = RandomSearch::new(
+            SearchSpace::default(),
+            2,
+            CostWeights::default(),
+            1,
+        );
+        let (_, after_10) = rs.run(&layers, &target, 10);
+        let (_, after_more) = rs.run(&layers, &target, 90);
+        assert!(after_more <= after_10);
+    }
+
+    #[test]
+    fn sampled_configs_are_valid() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut rs = RandomSearch::new(
+            SearchSpace::default(),
+            3,
+            CostWeights::default(),
+            2,
+        );
+        let (best, cost) = rs.run(&layers, &target, 20);
+        assert!(best.assignment_valid());
+        assert_eq!(best.assignment.len(), layers.len());
+        assert!(cost.is_finite());
+    }
+}

@@ -1,0 +1,310 @@
+//! The discrete accelerator search space and its knob enumeration.
+
+use crate::template::{
+    AcceleratorConfig, BufferAlloc, ChunkConfig, Dataflow, NocTopology, PeArray, Tiling,
+};
+use serde::{Deserialize, Serialize};
+
+/// Buffer split options as `(input, weight, output)` fractions of a
+/// chunk's buffer budget.
+const BUFFER_SPLITS: [(f64, f64, f64); 6] = [
+    (0.25, 0.50, 0.25),
+    (0.50, 0.25, 0.25),
+    (0.25, 0.25, 0.50),
+    (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0),
+    (0.40, 0.40, 0.20),
+    (0.20, 0.40, 0.40),
+];
+
+/// Discrete choices for every accelerator knob. The joint space (all knobs
+/// of all chunks plus the per-layer assignment) matches the paper's
+/// "over 10²⁷ searchable choices" at paper scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// PE-array row options.
+    pub pe_rows: Vec<usize>,
+    /// PE-array column options.
+    pub pe_cols: Vec<usize>,
+    /// NoC options.
+    pub nocs: Vec<NocTopology>,
+    /// Dataflow options.
+    pub dataflows: Vec<Dataflow>,
+    /// Per-chunk buffer budget options (KiB).
+    pub buffer_totals_kb: Vec<usize>,
+    /// `Tm` options.
+    pub tm: Vec<usize>,
+    /// `Tn` options.
+    pub tn: Vec<usize>,
+    /// `Tr` options.
+    pub tr: Vec<usize>,
+    /// `Tc` options.
+    pub tc: Vec<usize>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            pe_rows: vec![2, 4, 8, 12, 16, 24],
+            pe_cols: vec![2, 4, 8, 16],
+            nocs: vec![
+                NocTopology::Broadcast,
+                NocTopology::Systolic,
+                NocTopology::Multicast,
+            ],
+            dataflows: vec![
+                Dataflow::OutputStationary,
+                Dataflow::WeightStationary,
+                Dataflow::RowStationary,
+            ],
+            buffer_totals_kb: vec![32, 64, 128, 256],
+            tm: vec![2, 4, 8, 16, 32],
+            tn: vec![2, 4, 8, 16],
+            tr: vec![2, 4, 8],
+            tc: vec![2, 4, 8],
+        }
+    }
+}
+
+/// Number of buffer-split options.
+#[must_use]
+pub(crate) fn buffer_split_count() -> usize {
+    BUFFER_SPLITS.len()
+}
+
+impl SearchSpace {
+    /// A monolithic-template preset: one large compute engine executing
+    /// layers back-to-back (pair with `num_chunks = 1`). Demonstrates the
+    /// paper's claim that the search "can be applied on top of different
+    /// accelerator templates" — the knobs are the same, the template
+    /// degenerates to a single-stage design with bigger PE arrays and
+    /// buffers.
+    #[must_use]
+    pub fn monolithic() -> Self {
+        SearchSpace {
+            pe_rows: vec![8, 16, 24, 30],
+            pe_cols: vec![8, 16, 24, 30],
+            buffer_totals_kb: vec![256, 512, 1024],
+            ..SearchSpace::default()
+        }
+    }
+
+    /// An Eyeriss-like preset: row-stationary dataflow only, modest PE
+    /// arrays, register-file-heavy buffer splits.
+    #[must_use]
+    pub fn eyeriss_like() -> Self {
+        SearchSpace {
+            pe_rows: vec![12, 14, 16],
+            pe_cols: vec![12, 14, 16],
+            dataflows: vec![Dataflow::RowStationary],
+            nocs: vec![NocTopology::Multicast],
+            ..SearchSpace::default()
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Choice counts of one chunk's knobs, in decode order:
+    /// `[pe_rows, pe_cols, noc, dataflow, buffer_total, buffer_split,
+    /// tm, tn, tr, tc]`.
+    #[must_use]
+    pub fn chunk_knob_sizes(&self) -> Vec<usize> {
+        vec![
+            self.pe_rows.len(),
+            self.pe_cols.len(),
+            self.nocs.len(),
+            self.dataflows.len(),
+            self.buffer_totals_kb.len(),
+            buffer_split_count(),
+            self.tm.len(),
+            self.tn.len(),
+            self.tr.len(),
+            self.tc.len(),
+        ]
+    }
+
+    /// Decode one chunk's knob choices into a [`ChunkConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` has the wrong arity or any index is out of
+    /// range.
+    #[must_use]
+    pub fn decode_chunk(&self, choices: &[usize]) -> ChunkConfig {
+        let sizes = self.chunk_knob_sizes();
+        assert_eq!(choices.len(), sizes.len(), "chunk knob arity mismatch");
+        for (c, s) in choices.iter().zip(sizes.iter()) {
+            assert!(c < s, "knob choice {c} out of range {s}");
+        }
+        let total = self.buffer_totals_kb[choices[4]] as f64;
+        let (fi, fw, fo) = BUFFER_SPLITS[choices[5]];
+        ChunkConfig {
+            pe: PeArray {
+                rows: self.pe_rows[choices[0]],
+                cols: self.pe_cols[choices[1]],
+            },
+            noc: self.nocs[choices[2]],
+            dataflow: self.dataflows[choices[3]],
+            buffers: BufferAlloc {
+                input_kb: (total * fi).round().max(1.0) as usize,
+                weight_kb: (total * fw).round().max(1.0) as usize,
+                output_kb: (total * fo).round().max(1.0) as usize,
+            },
+            tiling: Tiling {
+                tm: self.tm[choices[6]],
+                tn: self.tn[choices[7]],
+                tr: self.tr[choices[8]],
+                tc: self.tc[choices[9]],
+            },
+        }
+    }
+
+    /// Decode a full accelerator: `num_chunks` consecutive chunk-knob
+    /// groups followed by one assignment knob (with `num_chunks` choices)
+    /// per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn decode(
+        &self,
+        num_chunks: usize,
+        num_layers: usize,
+        choices: &[usize],
+    ) -> AcceleratorConfig {
+        let per_chunk = self.chunk_knob_sizes().len();
+        assert_eq!(
+            choices.len(),
+            num_chunks * per_chunk + num_layers,
+            "accelerator knob arity mismatch"
+        );
+        let chunks = (0..num_chunks)
+            .map(|c| self.decode_chunk(&choices[c * per_chunk..(c + 1) * per_chunk]))
+            .collect();
+        let assignment = choices[num_chunks * per_chunk..]
+            .iter()
+            .map(|&a| {
+                assert!(a < num_chunks, "assignment {a} out of range");
+                a
+            })
+            .collect();
+        AcceleratorConfig { chunks, assignment }
+    }
+
+    /// Knob sizes for the whole accelerator, in the same order
+    /// [`SearchSpace::decode`] expects.
+    #[must_use]
+    pub fn knob_sizes(&self, num_chunks: usize, num_layers: usize) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        for _ in 0..num_chunks {
+            sizes.extend(self.chunk_knob_sizes());
+        }
+        sizes.extend(std::iter::repeat(num_chunks).take(num_layers));
+        sizes
+    }
+
+    /// Cardinality of the joint space as `log10`.
+    #[must_use]
+    pub fn log10_cardinality(&self, num_chunks: usize, num_layers: usize) -> f64 {
+        self.knob_sizes(num_chunks, num_layers)
+            .iter()
+            .map(|&s| (s as f64).log10())
+            .sum()
+    }
+
+    /// Cardinality of the joint space (may be `inf` for huge spaces; use
+    /// [`SearchSpace::log10_cardinality`] for reporting).
+    #[must_use]
+    pub fn cardinality(&self, num_chunks: usize, num_layers: usize) -> f64 {
+        10f64.powf(self.log10_cardinality(num_chunks, num_layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_space_exceeds_1e27() {
+        // Paper scale: 4 pipeline chunks and a ResNet-scale layer count.
+        let space = SearchSpace::default();
+        let log10 = space.log10_cardinality(4, 20);
+        assert!(log10 > 27.0, "log10 cardinality {log10} must exceed 27");
+    }
+
+    #[test]
+    fn decode_round_trips_all_zero_choices() {
+        let space = SearchSpace::default();
+        let n_knobs = space.knob_sizes(2, 3).len();
+        let cfg = space.decode(2, 3, &vec![0; n_knobs]);
+        assert_eq!(cfg.chunks.len(), 2);
+        assert_eq!(cfg.assignment, vec![0, 0, 0]);
+        assert_eq!(cfg.chunks[0].pe.rows, 2);
+        assert!(cfg.assignment_valid());
+    }
+
+    #[test]
+    fn decode_chunk_buffer_split_sums_to_total() {
+        let space = SearchSpace::default();
+        for split in 0..buffer_split_count() {
+            let chunk = space.decode_chunk(&[0, 0, 0, 0, 2, split, 0, 0, 0, 0]);
+            let total = chunk.buffers.total_kb() as i64;
+            assert!((total - 128).abs() <= 2, "split {split}: total {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let space = SearchSpace::default();
+        let _ = space.decode(1, 1, &[0, 0]);
+    }
+
+    #[test]
+    fn alternative_templates_decode_and_search() {
+        use crate::das::{DasConfig, DasEngine};
+        use crate::predictor::PerfModel;
+        use crate::zc706::FpgaTarget;
+        use a3cs_nn::{vanilla, LayerDesc};
+
+        let layers: Vec<LayerDesc> = vanilla(4, 12, 12, 32, 0).layer_descs();
+        let target = FpgaTarget::zc706();
+        for (space, chunks) in [
+            (SearchSpace::monolithic(), 1usize),
+            (SearchSpace::eyeriss_like(), 3),
+        ] {
+            let mut das = DasEngine::new(
+                DasConfig {
+                    space,
+                    num_chunks: chunks,
+                    ..DasConfig::default()
+                },
+                5,
+            );
+            let best = das.run(&layers, &target, 150);
+            let report = PerfModel::evaluate(&best, &layers, &target);
+            assert!(report.fps > 0.0 && report.fps.is_finite());
+            assert_eq!(best.chunks.len(), chunks);
+        }
+    }
+
+    #[test]
+    fn eyeriss_preset_is_row_stationary_only() {
+        let space = SearchSpace::eyeriss_like();
+        assert_eq!(space.dataflows, vec![Dataflow::RowStationary]);
+        let n = space.knob_sizes(1, 1).len();
+        let cfg = space.decode(1, 1, &vec![0; n]);
+        assert_eq!(cfg.chunks[0].dataflow, Dataflow::RowStationary);
+    }
+
+    #[test]
+    fn knob_sizes_align_with_decode() {
+        let space = SearchSpace::default();
+        let sizes = space.knob_sizes(3, 5);
+        // Max-choice vector must decode without panic.
+        let choices: Vec<usize> = sizes.iter().map(|&s| s - 1).collect();
+        let cfg = space.decode(3, 5, &choices);
+        assert!(cfg.assignment_valid());
+        assert_eq!(cfg.assignment, vec![2; 5]);
+    }
+}

@@ -1,0 +1,207 @@
+//! The parameterised chunk-based accelerator template.
+
+use serde::{Deserialize, Serialize};
+
+/// PE-to-PE interconnect topology of one chunk. Affects sustained MAC
+/// efficiency (pipeline fill, operand delivery) and on-chip energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NocTopology {
+    /// Single broadcast bus: cheap, but operand delivery stalls.
+    Broadcast,
+    /// 2-D systolic mesh: high efficiency after pipeline fill.
+    Systolic,
+    /// Multicast tree: between the two.
+    Multicast,
+}
+
+impl NocTopology {
+    /// Sustained fraction of peak MACs the topology achieves.
+    #[must_use]
+    pub fn efficiency(self) -> f64 {
+        match self {
+            NocTopology::Broadcast => 0.80,
+            NocTopology::Systolic => 0.95,
+            NocTopology::Multicast => 0.90,
+        }
+    }
+
+    /// Relative on-chip interconnect energy per MAC operand (pJ-scale).
+    #[must_use]
+    pub fn energy_per_hop(self) -> f64 {
+        match self {
+            NocTopology::Broadcast => 0.20,
+            NocTopology::Systolic => 0.08,
+            NocTopology::Multicast => 0.12,
+        }
+    }
+}
+
+/// MAC scheduling dataflow (which operand stays stationary), determining
+/// off-chip traffic multipliers in the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Partial sums held locally until complete (no psum traffic).
+    OutputStationary,
+    /// Weights loaded once per layer.
+    WeightStationary,
+    /// Row-stationary compromise (Eyeriss-style).
+    RowStationary,
+}
+
+/// Rectangular processing-element array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeArray {
+    /// Rows (mapped to output channels).
+    pub rows: usize,
+    /// Columns (mapped to output pixels).
+    pub cols: usize,
+}
+
+impl PeArray {
+    /// Total PE (≈ DSP) count.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Division of a chunk's on-chip buffer among operand types (KiB each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferAlloc {
+    /// Input-activation buffer, KiB.
+    pub input_kb: usize,
+    /// Weight buffer, KiB.
+    pub weight_kb: usize,
+    /// Output/psum buffer, KiB.
+    pub output_kb: usize,
+}
+
+impl BufferAlloc {
+    /// Total KiB.
+    #[must_use]
+    pub fn total_kb(&self) -> usize {
+        self.input_kb + self.weight_kb + self.output_kb
+    }
+}
+
+/// Loop-tiling factors (output channels, input channels, output rows and
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tiling {
+    /// Output-channel tile `Tm`.
+    pub tm: usize,
+    /// Input-channel tile `Tn`.
+    pub tn: usize,
+    /// Output-row tile `Tr`.
+    pub tr: usize,
+    /// Output-column tile `Tc`.
+    pub tc: usize,
+}
+
+/// One pipeline stage (sub-accelerator) of the template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkConfig {
+    /// PE array geometry.
+    pub pe: PeArray,
+    /// PE interconnect.
+    pub noc: NocTopology,
+    /// MAC scheduling dataflow.
+    pub dataflow: Dataflow,
+    /// Buffer allocation.
+    pub buffers: BufferAlloc,
+    /// Loop tiling.
+    pub tiling: Tiling,
+}
+
+/// A complete accelerator instance: the chunk pipeline plus the
+/// layer-to-chunk assignment (layer `i` of the target network runs on
+/// `chunks[assignment[i]]`; layers in one chunk execute sequentially).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// The pipeline stages.
+    pub chunks: Vec<ChunkConfig>,
+    /// Layer → chunk index map (length = number of network layers).
+    pub assignment: Vec<usize>,
+}
+
+impl AcceleratorConfig {
+    /// Total PE (DSP) count across all instantiated chunks.
+    #[must_use]
+    pub fn total_pes(&self) -> usize {
+        self.chunks.iter().map(|c| c.pe.count()).sum()
+    }
+
+    /// Total on-chip buffer KiB across chunks.
+    #[must_use]
+    pub fn total_buffer_kb(&self) -> usize {
+        self.chunks.iter().map(|c| c.buffers.total_kb()).sum()
+    }
+
+    /// Validate that every assignment entry indexes an existing chunk.
+    #[must_use]
+    pub fn assignment_valid(&self) -> bool {
+        self.assignment.iter().all(|&c| c < self.chunks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> ChunkConfig {
+        ChunkConfig {
+            pe: PeArray { rows: 8, cols: 8 },
+            noc: NocTopology::Systolic,
+            dataflow: Dataflow::OutputStationary,
+            buffers: BufferAlloc {
+                input_kb: 32,
+                weight_kb: 32,
+                output_kb: 16,
+            },
+            tiling: Tiling {
+                tm: 8,
+                tn: 8,
+                tr: 4,
+                tc: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_chunks() {
+        let cfg = AcceleratorConfig {
+            chunks: vec![chunk(), chunk(), chunk()],
+            assignment: vec![0, 1, 2, 1],
+        };
+        assert_eq!(cfg.total_pes(), 3 * 64);
+        assert_eq!(cfg.total_buffer_kb(), 3 * 80);
+        assert!(cfg.assignment_valid());
+    }
+
+    #[test]
+    fn invalid_assignment_detected() {
+        let cfg = AcceleratorConfig {
+            chunks: vec![chunk()],
+            assignment: vec![0, 1],
+        };
+        assert!(!cfg.assignment_valid());
+    }
+
+    #[test]
+    fn noc_efficiencies_are_ordered() {
+        assert!(NocTopology::Systolic.efficiency() > NocTopology::Multicast.efficiency());
+        assert!(NocTopology::Multicast.efficiency() > NocTopology::Broadcast.efficiency());
+        assert!(NocTopology::Systolic.energy_per_hop() < NocTopology::Broadcast.energy_per_hop());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = AcceleratorConfig {
+            chunks: vec![chunk()],
+            assignment: vec![0, 0],
+        };
+        let json = serde_json::to_string(&cfg).expect("serialise");
+        let back: AcceleratorConfig = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! FPGA resource/clock targets; the paper's board is the Xilinx ZC706.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource and performance envelope of the target FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaTarget {
+    /// DSP slice budget (the binding constraint in the paper: 900 on
+    /// ZC706).
+    pub dsp_limit: usize,
+    /// On-chip BRAM budget in KiB (ZC706: 19.1 Mb ≈ 2385 KiB).
+    pub bram_kb_limit: usize,
+    /// Achievable clock in MHz.
+    pub clock_mhz: f64,
+    /// Off-chip DRAM bandwidth in GiB/s, shared by all chunks.
+    pub dram_gbps: f64,
+}
+
+impl FpgaTarget {
+    /// The Xilinx ZC706 evaluation board used throughout the paper's
+    /// Section V (900 DSPs — "the largest resource in our ZC706").
+    #[must_use]
+    pub fn zc706() -> Self {
+        FpgaTarget {
+            dsp_limit: 900,
+            bram_kb_limit: 2385,
+            clock_mhz: 200.0,
+            dram_gbps: 12.8,
+        }
+    }
+
+    /// Clock cycles per second.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_mhz * 1e6
+    }
+
+    /// DRAM bytes deliverable per clock cycle.
+    #[must_use]
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_gbps * 1024.0 * 1024.0 * 1024.0 / self.clock_hz()
+    }
+}
+
+impl Default for FpgaTarget {
+    fn default() -> Self {
+        Self::zc706()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zc706_matches_paper_constants() {
+        let t = FpgaTarget::zc706();
+        assert_eq!(t.dsp_limit, 900);
+        assert!(t.clock_hz() > 1e8);
+    }
+
+    #[test]
+    fn bandwidth_per_cycle_is_sane() {
+        let t = FpgaTarget::zc706();
+        // 12.8 GiB/s at 200 MHz ≈ 68.7 bytes per cycle.
+        let bpc = t.dram_bytes_per_cycle();
+        assert!((60.0..80.0).contains(&bpc), "{bpc}");
+    }
+}

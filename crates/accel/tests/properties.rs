@@ -1,0 +1,127 @@
+//! Property tests for the accelerator model: decode totality, predictor
+//! monotonicity and cost sanity over random configurations.
+
+use a3cs_accel::{CostWeights, FpgaTarget, PerfModel, SearchSpace};
+use a3cs_nn::{ConvDims, LayerDesc, LayerOp};
+use proptest::prelude::*;
+
+fn random_layers() -> impl Strategy<Value = Vec<LayerDesc>> {
+    prop::collection::vec(
+        (1usize..16, 1usize..32, prop::sample::select(vec![1usize, 3, 5]), 1usize..3, 6usize..16)
+            .prop_map(|(in_ch, out_ch, kernel, stride, hw)| LayerDesc {
+                name: "l".into(),
+                op: LayerOp::Conv(ConvDims {
+                    in_ch,
+                    out_ch,
+                    kernel,
+                    stride,
+                    padding: kernel / 2,
+                    in_h: hw,
+                    in_w: hw,
+                }),
+            }),
+        1..6,
+    )
+}
+
+fn random_choices(space: &SearchSpace, chunks: usize, layers: usize, seed: u64) -> Vec<usize> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    space
+        .knob_sizes(chunks, layers)
+        .iter()
+        .map(|&s| rng.gen_range(0..s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_choice_vector_decodes_to_valid_config(
+        chunks in 1usize..5,
+        layers in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::default();
+        let choices = random_choices(&space, chunks, layers, seed);
+        let cfg = space.decode(chunks, layers, &choices);
+        prop_assert_eq!(cfg.chunks.len(), chunks);
+        prop_assert_eq!(cfg.assignment.len(), layers);
+        prop_assert!(cfg.assignment_valid());
+        prop_assert!(cfg.total_pes() > 0);
+    }
+
+    #[test]
+    fn predictor_outputs_are_finite_and_positive(
+        layers in random_layers(),
+        chunks in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::default();
+        let choices = random_choices(&space, chunks, layers.len(), seed);
+        let cfg = space.decode(chunks, layers.len(), &choices);
+        let target = FpgaTarget::zc706();
+        let report = PerfModel::evaluate(&cfg, &layers, &target);
+        prop_assert!(report.fps.is_finite() && report.fps > 0.0);
+        prop_assert!(report.bottleneck_cycles > 0.0);
+        prop_assert!(report.total_latency_cycles >= report.bottleneck_cycles - 1e-6);
+        prop_assert!(report.energy > 0.0);
+        let cost = PerfModel::cost(&report, &target, &CostWeights::default());
+        prop_assert!(cost.is_finite() && cost > 0.0);
+        // Infeasible designs always cost at least their latency.
+        prop_assert!(cost >= report.bottleneck_cycles - 1e-6);
+    }
+
+    #[test]
+    fn adding_a_layer_never_reduces_total_latency(
+        layers in random_layers(),
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::default();
+        let choices_short = random_choices(&space, 1, layers.len(), seed);
+        let cfg_short = space.decode(1, layers.len(), &choices_short);
+        let target = FpgaTarget::zc706();
+        let base = PerfModel::evaluate(&cfg_short, &layers, &target);
+
+        let mut longer = layers.clone();
+        longer.push(layers[0].clone());
+        let mut choices_long = choices_short;
+        choices_long.push(0); // assign the extra layer to chunk 0
+        let cfg_long = space.decode(1, longer.len(), &choices_long);
+        let more = PerfModel::evaluate(&cfg_long, &longer, &target);
+        prop_assert!(more.total_latency_cycles >= base.total_latency_cycles);
+    }
+
+    #[test]
+    fn fps_equals_clock_over_bottleneck(
+        layers in random_layers(),
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::default();
+        let choices = random_choices(&space, 2, layers.len(), seed);
+        let cfg = space.decode(2, layers.len(), &choices);
+        let target = FpgaTarget::zc706();
+        let report = PerfModel::evaluate(&cfg, &layers, &target);
+        let expect = target.clock_hz() / report.bottleneck_cycles;
+        prop_assert!((report.fps - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn resource_usage_is_sum_of_chunks(
+        chunks in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::default();
+        let layers = vec![LayerDesc {
+            name: "l".into(),
+            op: LayerOp::Fc { in_features: 64, out_features: 32 },
+        }];
+        let choices = random_choices(&space, chunks, 1, seed);
+        let cfg = space.decode(chunks, 1, &choices);
+        let report = PerfModel::evaluate(&cfg, &layers, &FpgaTarget::zc706());
+        prop_assert_eq!(report.dsp_used, cfg.total_pes());
+        prop_assert_eq!(report.bram_kb_used, cfg.total_buffer_kb());
+    }
+}

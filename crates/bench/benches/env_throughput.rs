@@ -1,0 +1,44 @@
+//! Environment stepping throughput across the simulated game suite —
+//! verifies the substrate is not the training bottleneck.
+
+use a3cs_envs::{game_names, make_env};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_env_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_step");
+    for name in game_names() {
+        group.bench_function(name, |bench| {
+            let mut env = make_env(name, 1).expect("known game");
+            let actions = env.action_count();
+            let _ = env.reset();
+            let mut i = 0usize;
+            bench.iter(|| {
+                let out = env.step(i % actions);
+                i += 1;
+                if out.done {
+                    let _ = env.reset();
+                }
+                black_box(out.reward);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reset(c: &mut Criterion) {
+    c.bench_function("env_reset_breakout", |bench| {
+        let mut env = make_env("Breakout", 2).expect("known game");
+        bench.iter(|| black_box(env.reset().len()));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_env_steps, bench_reset
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Accelerator-side benches: the analytical predictor, one DAS step, the
+//! DNNBuilder generator, and a DAS-vs-random search-quality ablation.
+
+use a3cs_accel::{
+    CostWeights, DasConfig, DasEngine, DnnBuilderModel, FpgaTarget, PerfModel, RandomSearch,
+    SearchSpace,
+};
+use a3cs_nn::resnet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_predictor(c: &mut Criterion) {
+    let net = resnet(20, 4, 12, 12, 8, 32, 0);
+    let layers = net.layer_descs();
+    let target = FpgaTarget::zc706();
+    let accel = DnnBuilderModel::design(&layers, &target);
+    c.bench_function("perf_model_evaluate_resnet20", |bench| {
+        bench.iter(|| black_box(PerfModel::evaluate(&accel, &layers, &target)));
+    });
+}
+
+fn bench_das_step(c: &mut Criterion) {
+    let net = resnet(14, 4, 12, 12, 8, 32, 0);
+    let layers = net.layer_descs();
+    let target = FpgaTarget::zc706();
+    let mut das = DasEngine::new(DasConfig::default(), 1);
+    c.bench_function("das_step_resnet14", |bench| {
+        bench.iter(|| black_box(das.step(&layers, &target).1));
+    });
+}
+
+fn bench_dnnbuilder_design(c: &mut Criterion) {
+    let net = resnet(38, 4, 12, 12, 8, 32, 0);
+    let layers = net.layer_descs();
+    let target = FpgaTarget::zc706();
+    c.bench_function("dnnbuilder_design_resnet38", |bench| {
+        bench.iter(|| black_box(DnnBuilderModel::design(&layers, &target)));
+    });
+}
+
+/// Ablation: cost of the best design after a fixed evaluation budget, DAS
+/// vs uniform random search (lower is better; printed as a side effect).
+fn das_vs_random_quality(c: &mut Criterion) {
+    let net = resnet(14, 4, 12, 12, 8, 32, 0);
+    let layers = net.layer_descs();
+    let target = FpgaTarget::zc706();
+    let budget = 400;
+
+    let mut das = DasEngine::new(DasConfig::default(), 5);
+    let das_best = das.run(&layers, &target, budget);
+    let das_cost = PerfModel::cost(
+        &PerfModel::evaluate(&das_best, &layers, &target),
+        &target,
+        &CostWeights::default(),
+    );
+    let mut rand = RandomSearch::new(SearchSpace::default(), 4, CostWeights::default(), 5);
+    let (_, rand_cost) = rand.run(&layers, &target, budget);
+    println!("[ablation] best cost after {budget} evals: DAS={das_cost:.0} random={rand_cost:.0}");
+
+    c.bench_function("das_400_iters_resnet14", |bench| {
+        bench.iter(|| {
+            let mut das = DasEngine::new(DasConfig::default(), 7);
+            black_box(das.run(&layers, &target, 50));
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_predictor, bench_das_step, bench_dnnbuilder_design, das_vs_random_quality
+}
+criterion_main!(benches);

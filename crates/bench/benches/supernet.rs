@@ -1,0 +1,69 @@
+//! Supernet benches: the single-path-forward / top-K-backward design
+//! choice (paper Eq. 6–7). Comparing K = 1 / 2 / 9 quantifies the
+//! compute cost the paper's "multi-path backward" trades for gradient
+//! stability, and K = 9 approximates an all-paths (DARTS-style) supernet.
+
+use a3cs_nas::{SuperNet, SupernetConfig};
+use a3cs_nn::Module;
+use a3cs_tensor::{Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn supernet_with_k(k: usize) -> SuperNet {
+    let mut cfg = SupernetConfig::tiny(4, 12, 12);
+    cfg.top_k = k;
+    SuperNet::new(cfg, 1)
+}
+
+fn bench_forward_backward_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supernet_fwd_bwd");
+    let x_t = Tensor::randn(&[4, 4, 12, 12], 0.3, 2);
+    for k in [1usize, 2, 9] {
+        let sn = supernet_with_k(k);
+        group.bench_function(format!("top_k_{k}"), |bench| {
+            bench.iter_batched(
+                Tape::new,
+                |tape| {
+                    let x = tape.leaf(x_t.clone());
+                    let y = sn.forward(&tape, &x, true);
+                    y.square().sum().backward();
+                    black_box(());
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_forward(c: &mut Criterion) {
+    let sn = supernet_with_k(2);
+    let x_t = Tensor::randn(&[1, 4, 12, 12], 0.3, 3);
+    c.bench_function("supernet_eval_forward", |bench| {
+        bench.iter_batched(
+            Tape::new,
+            |tape| {
+                let x = tape.leaf(x_t.clone());
+                black_box(sn.forward(&tape, &x, false).value());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_derive_descs(c: &mut Criterion) {
+    let sn = supernet_with_k(2);
+    c.bench_function("supernet_candidate_layer_descs", |bench| {
+        bench.iter(|| black_box(sn.candidate_layer_descs().len()));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_forward_backward_by_k, bench_eval_forward, bench_derive_descs
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the tensor/autograd substrate: GEMM, convolution
+//! forward+backward and batch normalisation.
+
+use a3cs_tensor::{matmul, Conv2dGeometry, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], 1.0, 1);
+        let b = Tensor::randn(&[n, n], 1.0, 2);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| black_box(matmul(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let geom = Conv2dGeometry {
+        in_channels: 16,
+        out_channels: 32,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        in_h: 12,
+        in_w: 12,
+    };
+    let x_t = Tensor::randn(&[4, 16, 12, 12], 0.5, 3);
+    let w_t = Tensor::randn(&[32, 16, 3, 3], 0.5, 4);
+
+    c.bench_function("conv2d_forward", |bench| {
+        bench.iter_batched(
+            Tape::new,
+            |tape| {
+                let x = tape.leaf(x_t.clone());
+                let w = tape.leaf(w_t.clone());
+                black_box(x.conv2d(&w, geom).value());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("conv2d_forward_backward", |bench| {
+        bench.iter_batched(
+            Tape::new,
+            |tape| {
+                let x = tape.leaf(x_t.clone());
+                let w = tape.leaf(w_t.clone());
+                let y = x.conv2d(&w, geom).square().sum();
+                y.backward();
+                black_box(w.grad());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_batch_norm(c: &mut Criterion) {
+    let x_t = Tensor::randn(&[8, 32, 6, 6], 0.5, 5);
+    c.bench_function("batch_norm2d_train", |bench| {
+        bench.iter_batched(
+            Tape::new,
+            |tape| {
+                let x = tape.leaf(x_t.clone());
+                let gamma = tape.leaf(Tensor::ones(&[32]));
+                let beta = tape.leaf(Tensor::zeros(&[32]));
+                black_box(x.batch_norm2d(&gamma, &beta, 1e-5).value());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_matmul, bench_conv_forward_backward, bench_batch_norm
+}
+criterion_main!(benches);

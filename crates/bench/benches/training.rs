@@ -1,0 +1,96 @@
+//! End-to-end training-step benches: one A2C update (rollout + loss +
+//! optimiser) for the backbone families, and the overhead of the
+//! AC-distillation terms (a design-choice ablation: the stability gain of
+//! Eq. 10–11 costs one extra teacher forward per update).
+
+use a3cs_drl::{
+    a2c_losses, A2cConfig, ActorCritic, DistillConfig, Optimizer, RmsProp, RolloutRunner,
+};
+use a3cs_envs::{Breakout, Environment};
+use a3cs_nn::{resnet, vanilla};
+use a3cs_tensor::Tape;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn agent(kind: &str, seed: u64) -> ActorCritic {
+    let backbone: Box<dyn a3cs_nn::Module> = match kind {
+        "vanilla" => Box::new(vanilla(3, 12, 12, 32, seed)),
+        "resnet14" => Box::new(resnet(14, 3, 12, 12, 8, 32, seed)),
+        other => panic!("unknown backbone {other}"),
+    };
+    ActorCritic::new(backbone, 32, (3, 12, 12), 3, seed)
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2c_update");
+    for kind in ["vanilla", "resnet14"] {
+        let a = agent(kind, 1);
+        let mut runner = RolloutRunner::new(&factory, 4, 2);
+        let params = a.params();
+        let mut opt = RmsProp::new(1e-3);
+        group.bench_function(kind, |bench| {
+            bench.iter(|| {
+                let rollout = runner.collect(&a, 5);
+                let tape = Tape::new();
+                a.zero_grad();
+                let (loss, _) = a2c_losses(
+                    &tape,
+                    &a,
+                    &rollout,
+                    &A2cConfig::default(),
+                    &DistillConfig::default(),
+                    None,
+                );
+                loss.backward();
+                opt.step(&params);
+                black_box(());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distillation_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distillation_overhead");
+    let student = agent("vanilla", 3);
+    let teacher = agent("resnet14", 4);
+    let mut runner = RolloutRunner::new(&factory, 4, 5);
+    for (name, cfg, use_teacher) in [
+        ("none", DistillConfig::default(), false),
+        ("policy_only", DistillConfig::policy_only(), true),
+        ("ac", DistillConfig::ac_distillation(), true),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let rollout = runner.collect(&student, 5);
+                let tape = Tape::new();
+                student.zero_grad();
+                let (loss, _) = a2c_losses(
+                    &tape,
+                    &student,
+                    &rollout,
+                    &A2cConfig::default(),
+                    &cfg,
+                    use_teacher.then_some(&teacher),
+                );
+                loss.backward();
+                black_box(());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_update, bench_distillation_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablation: the hardware-cost weight `λ` of Eq. 4. Sweeping λ trades the
+//! derived agent's test score against the matched accelerator's FPS —
+//! the design knob behind the paper's "maximize both test scores and
+//! hardware efficiency" framing.
+//!
+//! ```sh
+//! A3CS_SCALE=short cargo run --release -p a3cs-bench --bin ablation_lambda [game]
+//! ```
+
+use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::scale::Scale;
+use a3cs_bench::setup::{
+    agent_with, cosearch_config, factory_for, game_info, train_teacher, trainer_config,
+};
+use a3cs_core::CoSearch;
+use a3cs_drl::{DistillConfig, Trainer};
+use a3cs_nas::{derive_backbone, OpChoice};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    lambda: f32,
+    score: f32,
+    fps: f64,
+    dsp: usize,
+    macs: u64,
+    skips: usize,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let game: &'static str = match std::env::args().nth(1).as_deref() {
+        Some("Pong") | None => "Pong",
+        Some("Breakout") => "Breakout",
+        Some("SpaceInvaders") => "SpaceInvaders",
+        Some(other) => panic!("unsupported game {other}; use Pong|Breakout|SpaceInvaders"),
+    };
+    let lambdas = [0.0f32, 0.05, 0.2, 1.0, 5.0];
+    println!(
+        "λ ablation on {game}: cost weight vs (score, FPS, model size) (scale: {})\n",
+        scale.name
+    );
+
+    let info = game_info(game);
+    let factory = factory_for(game);
+    let teacher = train_teacher(game, &scale, 8100);
+    let ac = DistillConfig::ac_distillation();
+
+    let mut rows = Vec::new();
+    let mut dumps = Vec::new();
+    for lambda in lambdas {
+        let mut cfg = cosearch_config(game, &scale);
+        cfg.lambda = lambda;
+        let mut search = CoSearch::new(cfg, 81);
+        let result = search.run(&factory, Some(&teacher));
+        let derived = derive_backbone(search.supernet().config(), &result.arch, 82);
+        let macs = derived.total_macs();
+        let agent = agent_with(derived, &info, 83);
+        let curve = Trainer::new(trainer_config(&scale, scale.train_steps), 84).train(
+            &agent,
+            &factory,
+            Some((&ac, &teacher)),
+        );
+        let skips = result
+            .arch
+            .iter()
+            .filter(|&&op| op == OpChoice::Skip)
+            .count();
+        println!(
+            "λ={lambda:<5} score={:<8.1} fps={:<10.1} macs={macs} skips={skips}/{}",
+            curve.best_score(),
+            result.report.fps,
+            result.arch.len()
+        );
+        rows.push(vec![
+            format!("{lambda}"),
+            fmt(f64::from(curve.best_score())),
+            fmt(result.report.fps),
+            result.report.dsp_used.to_string(),
+            macs.to_string(),
+            format!("{skips}/{}", result.arch.len()),
+        ]);
+        dumps.push(Row {
+            lambda,
+            score: curve.best_score(),
+            fps: result.report.fps,
+            dsp: result.report.dsp_used,
+            macs,
+            skips,
+        });
+    }
+
+    println!("\nsummary:\n");
+    print_table(&["lambda", "score", "FPS", "DSPs", "MACs", "skip ops"], &rows);
+    println!("\nexpected shape: FPS and skip-op share rise with λ; score holds then sags.");
+    save_json("ablation_lambda", &dumps);
+}

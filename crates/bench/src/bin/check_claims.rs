@@ -1,0 +1,228 @@
+//! Grade the reproduction against the paper's shape claims using the
+//! JSON rows the experiment binaries dumped into `results/`.
+//!
+//! Run after (some of) the experiment binaries:
+//!
+//! ```sh
+//! cargo run --release -p a3cs-bench --bin check_claims
+//! ```
+//!
+//! Prints one PASS / PARTIAL / FAIL / MISSING verdict per claim; the same
+//! assessments appear narratively in `EXPERIMENTS.md`.
+
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+struct Verdict {
+    claim: &'static str,
+    status: String,
+    detail: String,
+}
+
+fn load(name: &str) -> Option<Value> {
+    let path = Path::new("results").join(format!("{name}.json"));
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn f(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(f64::NAN)
+}
+
+fn status(pass: usize, total: usize) -> String {
+    if total == 0 {
+        "MISSING".into()
+    } else if pass == total {
+        format!("PASS ({pass}/{total})")
+    } else if pass * 2 >= total {
+        format!("PARTIAL ({pass}/{total})")
+    } else {
+        format!("FAIL ({pass}/{total})")
+    }
+}
+
+/// Fig. 3: per game, A3C-S+DAS has the best FPS and a score no worse than
+/// ResNet-14's (small tolerance for evaluation noise).
+fn check_fig3() -> Verdict {
+    let Some(rows) = load("fig3_fps_tradeoff") else {
+        return Verdict {
+            claim: "Fig3: A3C-S+DAS best FPS at comparable score; DAS > DNNBuilder",
+            status: "MISSING".into(),
+            detail: "run fig3_fps_tradeoff first".into(),
+        };
+    };
+    let rows = rows.as_array().cloned().unwrap_or_default();
+    let mut games: Vec<String> = rows
+        .iter()
+        .filter_map(|r| r["game"].as_str().map(ToOwned::to_owned))
+        .collect();
+    games.sort();
+    games.dedup();
+    let (mut pass, mut total) = (0, 0);
+    for game in &games {
+        let get = |design: &str, field: &str| {
+            rows.iter()
+                .find(|r| r["game"] == game.as_str() && r["design"] == design)
+                .map(|r| f(&r[field]))
+        };
+        let (Some(das_fps), Some(dnnb_fps), Some(res_fps)) = (
+            get("A3C-S + DAS", "fps"),
+            get("A3C-S + DNNBuilder", "fps"),
+            get("ResNet-14 + DAS", "fps"),
+        ) else {
+            continue;
+        };
+        let das_score = get("A3C-S + DAS", "score").unwrap_or(f64::NAN);
+        let res_score = get("ResNet-14 + DAS", "score").unwrap_or(f64::NAN);
+        total += 2;
+        if das_fps > dnnb_fps {
+            pass += 1;
+        }
+        if das_fps > res_fps && das_score >= res_score - res_score.abs() * 0.2 - 1.0 {
+            pass += 1;
+        }
+    }
+    Verdict {
+        claim: "Fig3: A3C-S+DAS best FPS at comparable score; DAS > DNNBuilder",
+        status: status(pass, total),
+        detail: format!("{} games checked", games.len()),
+    }
+}
+
+/// Table III: A3C-S FPS exceeds FA3C's 260 on every game.
+fn check_table3() -> Verdict {
+    let Some(rows) = load("table3_vs_fa3c") else {
+        return Verdict {
+            claim: "Tab3: FPS speedup over FA3C on every game",
+            status: "MISSING".into(),
+            detail: "run table3_vs_fa3c first".into(),
+        };
+    };
+    let rows = rows.as_array().cloned().unwrap_or_default();
+    let total = rows.len();
+    let pass = rows.iter().filter(|r| f(&r["fps_speedup"]) > 1.0).count();
+    Verdict {
+        claim: "Tab3: FPS speedup over FA3C on every game",
+        status: status(pass, total),
+        detail: format!(
+            "speedups: {}",
+            rows.iter()
+                .map(|r| format!("{:.0}x", f(&r["fps_speedup"])))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+    }
+}
+
+/// Table I: (i) some ResNet beats Vanilla; (ii) ResNet-74 is not the best.
+fn check_table1() -> Verdict {
+    let Some(rows) = load("table1_model_sizes") else {
+        return Verdict {
+            claim: "Tab1: deeper beats Vanilla; biggest net is not optimal",
+            status: "MISSING".into(),
+            detail: "run table1_model_sizes first".into(),
+        };
+    };
+    let rows = rows.as_array().cloned().unwrap_or_default();
+    let (mut deeper_wins, mut not74, mut total) = (0, 0, 0);
+    for r in &rows {
+        let s = &r["scores"];
+        let vanilla = f(&s["Vanilla"]);
+        let resnets = ["ResNet-14", "ResNet-20", "ResNet-38", "ResNet-74"];
+        let best_resnet = resnets.iter().map(|k| f(&s[*k])).fold(f64::MIN, f64::max);
+        let best_overall = best_resnet.max(vanilla);
+        total += 1;
+        if best_resnet >= vanilla {
+            deeper_wins += 1;
+        }
+        if f(&s["ResNet-74"]) < best_overall {
+            not74 += 1;
+        }
+    }
+    Verdict {
+        claim: "Tab1: deeper beats Vanilla; biggest net is not optimal",
+        status: status(deeper_wins + not74, total * 2),
+        detail: format!("deeper-wins {deeper_wins}/{total}, resnet74-not-best {not74}/{total}"),
+    }
+}
+
+/// Table II: AC-distillation is at least as good as no distillation.
+fn check_table2() -> Verdict {
+    let Some(rows) = load("table2_distillation") else {
+        return Verdict {
+            claim: "Tab2: AC-distillation >= no distillation per row",
+            status: "MISSING".into(),
+            detail: "run table2_distillation first".into(),
+        };
+    };
+    let rows = rows.as_array().cloned().unwrap_or_default();
+    let total = rows.len();
+    let pass = rows
+        .iter()
+        .filter(|r| f(&r["ac"]) >= f(&r["none"]) * 0.95 - 0.5)
+        .count();
+    Verdict {
+        claim: "Tab2: AC-distillation >= no distillation per row",
+        status: status(pass, total),
+        detail: format!("{total} (game, student) rows"),
+    }
+}
+
+/// Fig. 2: one-level final score >= bi-level final score per game.
+fn check_fig2() -> Verdict {
+    let Some(rows) = load("fig2_search_schemes") else {
+        return Verdict {
+            claim: "Fig2: one-level >= bi-level at end of search",
+            status: "MISSING".into(),
+            detail: "run fig2_search_schemes first".into(),
+        };
+    };
+    let rows = rows.as_array().cloned().unwrap_or_default();
+    let final_of = |game: &str, scheme: &str| {
+        rows.iter()
+            .find(|r| r["game"] == game && r["scheme"] == scheme)
+            .and_then(|r| r["points"].as_array())
+            .and_then(|p| p.last())
+            .and_then(|p| p.get(1))
+            .map(f)
+    };
+    let mut games: Vec<String> = rows
+        .iter()
+        .filter_map(|r| r["game"].as_str().map(ToOwned::to_owned))
+        .collect();
+    games.sort();
+    games.dedup();
+    let (mut pass, mut total) = (0, 0);
+    for game in &games {
+        if let (Some(one), Some(bi)) = (
+            final_of(game, "A3C-S:One-level"),
+            final_of(game, "A3C-S:Bi-level"),
+        ) {
+            total += 1;
+            if one >= bi {
+                pass += 1;
+            }
+        }
+    }
+    Verdict {
+        claim: "Fig2: one-level >= bi-level at end of search",
+        status: status(pass, total),
+        detail: format!("{} games checked", games.len()),
+    }
+}
+
+fn main() {
+    println!("A3C-S reproduction claim check (reads results/*.json)\n");
+    let verdicts = [
+        check_table1(),
+        check_table2(),
+        check_fig2(),
+        check_fig3(),
+        check_table3(),
+    ];
+    let width = verdicts.iter().map(|v| v.claim.len()).max().unwrap_or(0);
+    for v in &verdicts {
+        println!("{:<width$}  {:<14}  {}", v.claim, v.status, v.detail);
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 1 reproduction: test-score evolution during training for the five
+//! hand-designed backbones (Vanilla, ResNet-14/20/38/74) on four games.
+//!
+//! Paper claim to reproduce (Section V-B): larger networks generally reach
+//! higher scores within the same budget, but each task has an optimal
+//! size — the largest network (ResNet-74) trains poorly within the budget.
+//!
+//! ```sh
+//! A3CS_SCALE=short cargo run --release -p a3cs-bench --bin fig1_training_curves
+//! ```
+
+use a3cs_bench::paper_data::CURVE_GAMES;
+use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::scale::Scale;
+use a3cs_bench::setup::{train_backbone, BACKBONES};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CurveDump {
+    game: &'static str,
+    backbone: String,
+    points: Vec<(u64, f32)>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Fig. 1: training curves of {} backbones on {:?} (scale: {})\n",
+        BACKBONES.len(),
+        CURVE_GAMES,
+        scale.name
+    );
+
+    let mut dumps = Vec::new();
+    let mut rows = Vec::new();
+    for &game in CURVE_GAMES {
+        for kind in BACKBONES {
+            let (_, curve) = train_backbone(game, kind, &scale, None, 1234);
+            println!(
+                "{game:<14} {kind:<10} curve: {}",
+                curve
+                    .points
+                    .iter()
+                    .map(|(s, v)| format!("{s}:{v:.0}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            rows.push(vec![
+                game.to_owned(),
+                kind.to_owned(),
+                fmt(f64::from(curve.best_score())),
+                fmt(f64::from(curve.final_score())),
+            ]);
+            dumps.push(CurveDump {
+                game,
+                backbone: kind.to_owned(),
+                points: curve.points,
+            });
+        }
+        println!();
+    }
+
+    println!("summary (best / final evaluation scores):\n");
+    print_table(&["game", "backbone", "best", "final"], &rows);
+    save_json("fig1_training_curves", &dumps);
+}

@@ -1,0 +1,105 @@
+//! Fig. 2 reproduction: test-score evolution *during the search* for
+//! three schemes — Direct-NAS (no distillation), A3C-S with bi-level
+//! optimisation, and A3C-S with one-level optimisation (all with the
+//! hardware-cost penalty active).
+//!
+//! Paper claims to reproduce (Section V-D): bi-level search stays low
+//! (the supernet is a poor proxy under biased one-step gradients);
+//! one-level search with AC-distillation improves consistently.
+//!
+//! ```sh
+//! A3CS_SCALE=short cargo run --release -p a3cs-bench --bin fig2_search_schemes
+//! ```
+//!
+//! Ablation flag: `--top-k <n>` overrides the number of backward paths
+//! (Eq. 7's K; default 2), e.g. `--top-k 1` for pure single-path
+//! gradients. `--steps <n>` overrides the search budget, and positional
+//! game names restrict the sweep (e.g. `fig2_search_schemes Atlantis
+//! --steps 16000`).
+
+use a3cs_bench::cli::{filter_games, parse_flag, positional};
+use a3cs_bench::paper_data::CURVE_GAMES;
+use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::scale::Scale;
+use a3cs_bench::setup::{cosearch_config, train_teacher};
+use a3cs_core::{CoSearch, SearchScheme};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CurveDump {
+    game: &'static str,
+    scheme: String,
+    points: Vec<(u64, f32)>,
+    alpha_entropy: Vec<(u64, f32)>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let top_k: Option<usize> = parse_flag(&args, "--top-k");
+    let steps: Option<u64> = parse_flag(&args, "--steps");
+    let games = filter_games(CURVE_GAMES, &positional(&args));
+    let schemes = [
+        ("Direct-NAS", SearchScheme::DirectNas),
+        ("A3C-S:Bi-level", SearchScheme::BiLevel),
+        ("A3C-S:One-level", SearchScheme::OneLevel),
+    ];
+    println!(
+        "Fig. 2: search-score evolution, {:?} on {:?} (scale: {}, top-K: {})\n",
+        schemes.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        games,
+        scale.name,
+        top_k.unwrap_or(2)
+    );
+
+    let mut rows = Vec::new();
+    let mut dumps = Vec::new();
+    for &game in &games {
+        // Teacher shared by the two distilled schemes.
+        let teacher = train_teacher(game, &scale, 4000);
+        for (name, scheme) in schemes {
+            let mut cfg = cosearch_config(game, &scale);
+            cfg.scheme = scheme;
+            if let Some(k) = top_k {
+                cfg.supernet.top_k = k;
+            }
+            if let Some(n) = steps {
+                cfg.total_steps = n;
+                cfg.eval_every = scale.eval_every(n);
+            }
+            let mut search = CoSearch::new(cfg, 31);
+            let teacher_opt = match scheme {
+                SearchScheme::DirectNas => None,
+                _ => Some(&teacher),
+            };
+            let factory = a3cs_bench::setup::factory_for(game);
+            let result = search.run(&factory, teacher_opt);
+            println!(
+                "{game:<14} {name:<16} curve: {}",
+                result
+                    .score_curve
+                    .iter()
+                    .map(|(s, v)| format!("{s}:{v:.0}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            rows.push(vec![
+                game.to_owned(),
+                name.to_owned(),
+                fmt(f64::from(result.best_score())),
+                fmt(f64::from(result.final_score())),
+            ]);
+            dumps.push(CurveDump {
+                game,
+                scheme: name.to_owned(),
+                points: result.score_curve,
+                alpha_entropy: result.alpha_entropy_curve,
+            });
+        }
+        println!();
+    }
+
+    println!("summary (best / final search-time scores):\n");
+    print_table(&["game", "scheme", "best", "final"], &rows);
+    save_json("fig2_search_schemes", &dumps);
+}

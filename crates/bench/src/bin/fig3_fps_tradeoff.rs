@@ -1,0 +1,124 @@
+//! Fig. 3 reproduction: test-score vs FPS trade-off of
+//! (1) ResNet-14 on a DAS-searched accelerator,
+//! (2) the A3C-S searched agent on its DAS-searched accelerator, and
+//! (3) the same A3C-S agent on the DNNBuilder baseline accelerator,
+//! all under the ZC706's 900-DSP budget.
+//!
+//! Paper claims to reproduce (Section V-E): the co-searched agent attains
+//! higher FPS than ResNet-14 at a comparable-or-better score, and DAS
+//! accelerators beat DNNBuilder's on the same agent at equal DSPs.
+//!
+//! ```sh
+//! A3CS_SCALE=short cargo run --release -p a3cs-bench --bin fig3_fps_tradeoff
+//! ```
+
+use a3cs_bench::paper_data::FIG3_GAMES;
+use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::scale::Scale;
+use a3cs_bench::setup::{
+    agent_with, cosearch_config, factory_for, game_info, train_backbone, train_teacher,
+};
+use a3cs_accel::{DasConfig, DasEngine, DnnBuilderModel, FpgaTarget, PerfModel};
+use a3cs_core::CoSearch;
+use a3cs_drl::{DistillConfig, Trainer};
+use a3cs_nas::derive_backbone;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    game: &'static str,
+    design: String,
+    score: f32,
+    fps: f64,
+    dsp: usize,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let target = FpgaTarget::zc706();
+    println!(
+        "Fig. 3: score/FPS trade-off on {FIG3_GAMES:?} under {} DSPs (scale: {})\n",
+        target.dsp_limit, scale.name
+    );
+
+    let ac = DistillConfig::ac_distillation();
+    let mut rows = Vec::new();
+    let mut dumps = Vec::new();
+    for &game in FIG3_GAMES {
+        let info = game_info(game);
+        let factory = factory_for(game);
+        let teacher = train_teacher(game, &scale, 6000);
+
+        // (1) ResNet-14 + DAS accelerator (both halves searched/trained
+        // with the same machinery for a fair comparison, per the paper).
+        let (resnet_agent, resnet_curve) =
+            train_backbone(game, "ResNet-14", &scale, Some((&ac, &teacher)), 60);
+        let _ = resnet_agent;
+        let resnet_layers =
+            a3cs_bench::setup::build_backbone("ResNet-14", &info, 60).layer_descs();
+        let mut das = DasEngine::new(DasConfig::default(), 61);
+        let resnet_accel = das.run(&resnet_layers, &target, scale.das_iters);
+        let resnet_report = PerfModel::evaluate(&resnet_accel, &resnet_layers, &target);
+
+        // (2) A3C-S agent + DAS accelerator.
+        let mut cfg = cosearch_config(game, &scale);
+        cfg.das_final_iters = scale.das_iters;
+        let mut search = CoSearch::new(cfg, 62);
+        let result = search.run(&factory, Some(&teacher));
+        let derived = derive_backbone(search.supernet().config(), &result.arch, 63);
+        let derived_layers = derived.layer_descs();
+        let derived_agent = agent_with(derived, &info, 64);
+        let retrain_cfg = a3cs_bench::setup::trainer_config(&scale, scale.train_steps);
+        let curve = Trainer::new(retrain_cfg, 65).train(
+            &derived_agent,
+            &factory,
+            Some((&ac, &teacher)),
+        );
+
+        // (3) same agent on the DNNBuilder baseline accelerator.
+        let dnnb_accel = DnnBuilderModel::design(&derived_layers, &target);
+        let dnnb_report = PerfModel::evaluate(&dnnb_accel, &derived_layers, &target);
+
+        for (design, score, fps, dsp) in [
+            (
+                "ResNet-14 + DAS",
+                resnet_curve.best_score(),
+                resnet_report.fps,
+                resnet_report.dsp_used,
+            ),
+            (
+                "A3C-S + DAS",
+                curve.best_score(),
+                result.report.fps,
+                result.report.dsp_used,
+            ),
+            (
+                "A3C-S + DNNBuilder",
+                curve.best_score(),
+                dnnb_report.fps,
+                dnnb_report.dsp_used,
+            ),
+        ] {
+            println!("{game:<14} {design:<20} score={score:<10.1} fps={fps:.1}");
+            rows.push(vec![
+                game.to_owned(),
+                design.to_owned(),
+                fmt(f64::from(score)),
+                fmt(fps),
+                dsp.to_string(),
+            ]);
+            dumps.push(Point {
+                game,
+                design: design.to_owned(),
+                score,
+                fps,
+                dsp,
+            });
+        }
+        println!();
+    }
+
+    println!("summary:\n");
+    print_table(&["game", "design", "score", "FPS", "DSPs"], &rows);
+    save_json("fig3_fps_tradeoff", &dumps);
+}

@@ -1,0 +1,80 @@
+//! Table I reproduction: highest test scores of the five hand-designed
+//! backbones across the simulated game suite.
+//!
+//! Paper claims to reproduce (Section V-B): (1) bigger networks help on
+//! hard games; (2) a task-specific optimum exists and the largest model
+//! (ResNet-74) is often inferior within the training budget.
+//!
+//! ```sh
+//! A3CS_SCALE=short cargo run --release -p a3cs-bench --bin table1_model_sizes
+//! ```
+
+use a3cs_bench::cli::positional;
+use a3cs_bench::paper_data::TABLE1;
+use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::scale::Scale;
+use a3cs_bench::setup::{train_backbone, BACKBONES};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Row {
+    game: String,
+    scores: BTreeMap<String, f32>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Defaults to the paper's 16-game Table I roster; pass game names to
+    // filter (e.g. `table1_model_sizes Breakout Pong`).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = positional(&args);
+    let games: Vec<&'static str> = TABLE1
+        .iter()
+        .map(|(g, _)| *g)
+        .filter(|g| filter.is_empty() || filter.iter().any(|f| f == g))
+        .collect();
+    println!(
+        "Table I: best scores of {:?} on {} games (scale: {})\n",
+        BACKBONES,
+        games.len(),
+        scale.name
+    );
+
+    let mut rows = Vec::new();
+    let mut dumps = Vec::new();
+    for game in games {
+        let mut cells = vec![game.to_owned()];
+        let mut scores = BTreeMap::new();
+        for kind in BACKBONES {
+            let (_, curve) = train_backbone(game, kind, &scale, None, 777);
+            let best = curve.best_score();
+            cells.push(fmt(f64::from(best)));
+            scores.insert(kind.to_owned(), best);
+        }
+        println!("{game} done");
+        rows.push(cells);
+        dumps.push(Row {
+            game: game.to_owned(),
+            scores,
+        });
+    }
+
+    println!("\nmeasured (best evaluation score):\n");
+    let mut headers = vec!["game"];
+    headers.extend(BACKBONES);
+    print_table(&headers, &rows);
+
+    println!("\npaper reference (ALE, 3e7 steps) for the shared games:\n");
+    let paper_rows: Vec<Vec<String>> = TABLE1
+        .iter()
+        .map(|(g, vals)| {
+            let mut r = vec![(*g).to_owned()];
+            r.extend(vals.iter().map(|v| fmt(*v)));
+            r
+        })
+        .collect();
+    print_table(&headers, &paper_rows);
+
+    save_json("table1_model_sizes", &dumps);
+}

@@ -1,0 +1,125 @@
+//! Table II reproduction: the AC-distillation ablation. For each game,
+//! train the Vanilla and ResNet-14 students under (1) no distillation,
+//! (2) policy-only distillation and (3) AC-distillation, from a ResNet-20
+//! teacher (the paper's setup, Section V-C).
+//!
+//! Paper claims to reproduce: distillation helps; AC-distillation is the
+//! best of the three on most tasks.
+//!
+//! ```sh
+//! A3CS_SCALE=short cargo run --release -p a3cs-bench --bin table2_distillation
+//! ```
+//!
+//! Ablation flags: pass `--beta2-only` or `--beta3-only` to zero the other
+//! distillation coefficient inside the AC column (design-choice ablation).
+
+use a3cs_bench::cli::{has_switch, positional};
+use a3cs_bench::paper_data::TABLE2;
+use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::scale::Scale;
+use a3cs_bench::setup::{train_backbone, train_teacher};
+use a3cs_drl::{DistillConfig, DistillMode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    game: String,
+    student: String,
+    none: f32,
+    policy_only: f32,
+    ac: f32,
+}
+
+fn ac_config(args: &[String]) -> DistillConfig {
+    let mut cfg = DistillConfig::ac_distillation();
+    if has_switch(args, "--beta2-only") {
+        cfg.beta3 = 0.0;
+    }
+    if has_switch(args, "--beta3-only") {
+        cfg.beta2 = 0.0;
+        cfg.mode = DistillMode::ActorCritic;
+    }
+    cfg
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let games: Vec<&'static str> = TABLE2
+        .iter()
+        .map(|(g, _, _)| *g)
+        .filter(|g| {
+            let wanted = positional(&args);
+            wanted.is_empty() || wanted.iter().any(|f| f == g)
+        })
+        .collect();
+    let ac = ac_config(&args);
+    println!(
+        "Table II: distillation ablation on {games:?} (scale: {}, β2={}, β3={})\n",
+        scale.name, ac.beta2, ac.beta3
+    );
+
+    let mut rows = Vec::new();
+    let mut dumps = Vec::new();
+    for game in games {
+        let teacher = train_teacher(game, &scale, 9000);
+        for student in ["Vanilla", "ResNet-14"] {
+            let (_, none) = train_backbone(game, student, &scale, None, 50);
+            let policy = DistillConfig::policy_only();
+            let (_, pol) =
+                train_backbone(game, student, &scale, Some((&policy, &teacher)), 50);
+            let (_, acd) = train_backbone(game, student, &scale, Some((&ac, &teacher)), 50);
+            println!(
+                "{game:<14} {student:<10} none={:.1} policy={:.1} ac={:.1}",
+                none.best_score(),
+                pol.best_score(),
+                acd.best_score()
+            );
+            rows.push(vec![
+                game.to_owned(),
+                student.to_owned(),
+                fmt(f64::from(none.best_score())),
+                fmt(f64::from(pol.best_score())),
+                fmt(f64::from(acd.best_score())),
+            ]);
+            dumps.push(Row {
+                game: game.to_owned(),
+                student: student.to_owned(),
+                none: none.best_score(),
+                policy_only: pol.best_score(),
+                ac: acd.best_score(),
+            });
+        }
+    }
+
+    println!("\nmeasured (best evaluation score):\n");
+    print_table(
+        &["game", "student", "no distill", "policy only", "AC-distill"],
+        &rows,
+    );
+
+    println!("\npaper reference (ALE):\n");
+    let mut paper_rows = Vec::new();
+    for (g, v, r) in TABLE2 {
+        paper_rows.push(vec![
+            (*g).to_owned(),
+            "Vanilla".to_owned(),
+            fmt(v[0]),
+            fmt(v[1]),
+            fmt(v[2]),
+        ]);
+        paper_rows.push(vec![
+            (*g).to_owned(),
+            "ResNet-14".to_owned(),
+            fmt(r[0]),
+            fmt(r[1]),
+            fmt(r[2]),
+        ]);
+    }
+    print_table(
+        &["game", "student", "no distill", "policy only", "AC-distill"],
+        &paper_rows,
+    );
+
+    save_json("table2_distillation", &dumps);
+}

@@ -1,0 +1,97 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! The harnesses use positional game names as filters and a handful of
+//! `--flag value` options; anything heavier than this hand-rolled parser
+//! would be an unjustified dependency.
+
+/// Parse `--flag <value>` from an argument list.
+#[must_use]
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// `true` if the bare switch `--flag` is present.
+#[must_use]
+pub fn has_switch(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Positional arguments (everything that is not a `--flag` or its value).
+///
+/// Note: treats every `--flag` as value-taking; bare switches consume the
+/// following positional, so put switches last or use [`has_switch`]-only
+/// binaries.
+#[must_use]
+pub fn positional(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+/// Filter a static roster by positional argument names; an empty filter
+/// selects everything.
+#[must_use]
+pub fn filter_games(roster: &[&'static str], filter: &[String]) -> Vec<&'static str> {
+    roster
+        .iter()
+        .copied()
+        .filter(|g| filter.is_empty() || filter.iter().any(|f| f == g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_flag_extracts_typed_values() {
+        let a = args(&["Breakout", "--steps", "12000", "--top-k", "3"]);
+        assert_eq!(parse_flag::<u64>(&a, "--steps"), Some(12000));
+        assert_eq!(parse_flag::<usize>(&a, "--top-k"), Some(3));
+        assert_eq!(parse_flag::<u64>(&a, "--missing"), None);
+    }
+
+    #[test]
+    fn parse_flag_rejects_unparseable() {
+        let a = args(&["--steps", "many"]);
+        assert_eq!(parse_flag::<u64>(&a, "--steps"), None);
+    }
+
+    #[test]
+    fn positional_skips_flag_values() {
+        let a = args(&["Pong", "--steps", "100", "Breakout"]);
+        assert_eq!(positional(&a), vec!["Pong", "Breakout"]);
+    }
+
+    #[test]
+    fn has_switch_detects_bare_flags() {
+        let a = args(&["--beta2-only"]);
+        assert!(has_switch(&a, "--beta2-only"));
+        assert!(!has_switch(&a, "--beta3-only"));
+    }
+
+    #[test]
+    fn filter_games_empty_selects_all() {
+        let roster = ["A", "B", "C"];
+        assert_eq!(filter_games(&roster, &[]), vec!["A", "B", "C"]);
+        assert_eq!(filter_games(&roster, &args(&["B", "Z"])), vec!["B"]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared harness for the A3C-S experiment binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it on the simulated substrate:
+//!
+//! | paper artefact | binary |
+//! |---|---|
+//! | Fig. 1 (training curves, 5 backbones) | `fig1_training_curves` |
+//! | Table I (best scores, 5 backbones) | `table1_model_sizes` |
+//! | Table II (distillation ablation) | `table2_distillation` |
+//! | Fig. 2 (search schemes) | `fig2_search_schemes` |
+//! | Fig. 3 (score/FPS trade-off) | `fig3_fps_tradeoff` |
+//! | Table III (vs FA3C) | `table3_vs_fa3c` |
+//!
+//! Binaries honour the `A3CS_SCALE` environment variable
+//! (`smoke`/`short`/`full`, default `short`) so the same code runs in
+//! seconds for CI smoke checks or minutes for report-quality numbers.
+//! Results are printed as aligned tables and dumped as JSON under
+//! `results/`.
+
+#![deny(missing_docs)]
+
+pub mod cli;
+pub mod paper_data;
+pub mod report;
+pub mod scale;
+pub mod setup;

@@ -1,0 +1,101 @@
+//! Table printing and JSON result persistence.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print an aligned text table.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (cell, w) in cells.iter().zip(widths.iter()) {
+            out.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| (*s).to_owned()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Directory where experiment JSON dumps are written: `results/` under
+/// the current working directory (the workspace root when invoked via
+/// `cargo run`), created on demand.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Serialise `value` as pretty JSON into `results/<name>.json`.
+///
+/// Failures are reported on stderr but do not abort the experiment (the
+/// printed table is the primary artefact).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+/// Format a float compactly for table cells.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 10_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_scales_precision() {
+        assert_eq!(fmt(123_456.7), "123457");
+        assert_eq!(fmt(123.456), "123.5");
+        assert_eq!(fmt(1.2345), "1.23");
+    }
+
+    #[test]
+    fn print_table_accepts_matching_rows() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn print_table_rejects_ragged_rows() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

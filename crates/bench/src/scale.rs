@@ -1,0 +1,99 @@
+//! Experiment scale profiles, selected via the `A3CS_SCALE` env var.
+
+/// Step/episode budgets for one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Human name of the profile.
+    pub name: &'static str,
+    /// Environment steps for training an agent.
+    pub train_steps: u64,
+    /// Environment steps for a co-search.
+    pub search_steps: u64,
+    /// Environment steps for training a teacher.
+    pub teacher_steps: u64,
+    /// Evaluation points along a training curve.
+    pub curve_points: u64,
+    /// Episodes per evaluation (paper: 30).
+    pub eval_episodes: usize,
+    /// Step cap per evaluation episode.
+    pub eval_max_steps: usize,
+    /// DAS iterations for the final accelerator refinement.
+    pub das_iters: usize,
+}
+
+/// CI-speed profile: everything tiny, only exercises the machinery.
+pub const SMOKE: Scale = Scale {
+    name: "smoke",
+    train_steps: 400,
+    search_steps: 400,
+    teacher_steps: 400,
+    curve_points: 2,
+    eval_episodes: 2,
+    eval_max_steps: 60,
+    das_iters: 120,
+};
+
+/// Default profile: minutes per experiment, trends visible.
+pub const SHORT: Scale = Scale {
+    name: "short",
+    train_steps: 4_000,
+    search_steps: 4_000,
+    teacher_steps: 12_000,
+    curve_points: 6,
+    eval_episodes: 8,
+    eval_max_steps: 150,
+    das_iters: 500,
+};
+
+/// Report-quality profile (tens of minutes for the big tables).
+pub const FULL: Scale = Scale {
+    name: "full",
+    train_steps: 30_000,
+    search_steps: 20_000,
+    teacher_steps: 60_000,
+    curve_points: 12,
+    eval_episodes: 30,
+    eval_max_steps: 400,
+    das_iters: 2_000,
+};
+
+impl Scale {
+    /// Resolve the profile from `A3CS_SCALE` (default: `short`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown profile name so typos fail loudly.
+    #[must_use]
+    pub fn from_env() -> Scale {
+        match std::env::var("A3CS_SCALE").as_deref() {
+            Ok("smoke") => SMOKE,
+            Ok("full") => FULL,
+            Ok("short") | Err(_) => SHORT,
+            Ok(other) => panic!("unknown A3CS_SCALE {other:?}; use smoke|short|full"),
+        }
+    }
+
+    /// Evaluation cadence producing `curve_points` points over
+    /// `total_steps`.
+    #[must_use]
+    pub fn eval_every(&self, total_steps: u64) -> u64 {
+        (total_steps / self.curve_points.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered() {
+        assert!(SMOKE.train_steps < SHORT.train_steps);
+        assert!(SHORT.train_steps < FULL.train_steps);
+    }
+
+    #[test]
+    fn eval_every_divides_curve() {
+        assert_eq!(SHORT.eval_every(6_000), 1_000);
+        assert!(SMOKE.eval_every(1) >= 1);
+    }
+}

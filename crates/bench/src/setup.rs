@@ -1,0 +1,213 @@
+//! Shared experiment plumbing: game metadata, backbone construction,
+//! teacher training and configured trainers.
+
+use crate::scale::Scale;
+use a3cs_core::CoSearchConfig;
+use a3cs_drl::{ActorCritic, DistillConfig, Trainer, TrainerConfig, TrainingCurve};
+use a3cs_envs::{make_env, Environment};
+use a3cs_nn::{resnet, vanilla, Backbone};
+
+/// Static metadata of one game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GameInfo {
+    /// Game name (registry key).
+    pub name: &'static str,
+    /// Observation planes.
+    pub planes: usize,
+    /// Observation height.
+    pub height: usize,
+    /// Observation width.
+    pub width: usize,
+    /// Action count.
+    pub actions: usize,
+}
+
+/// Look up a game's observation/action signature by constructing it once.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn game_info(name: &'static str) -> GameInfo {
+    let env = make_env(name, 0).expect("known game");
+    let (planes, height, width) = env.observation_shape();
+    GameInfo {
+        name,
+        planes,
+        height,
+        width,
+        actions: env.action_count(),
+    }
+}
+
+/// An environment factory for `name`, suitable for trainers/evaluators.
+#[must_use]
+pub fn factory_for(name: &'static str) -> impl Fn(u64) -> Box<dyn Environment> {
+    move |seed| make_env(name, seed).expect("known game")
+}
+
+/// The paper's five hand-designed backbones (Section V-A), in size order.
+pub const BACKBONES: [&str; 5] = ["Vanilla", "ResNet-14", "ResNet-20", "ResNet-38", "ResNet-74"];
+
+/// Feature dimensionality used across the reproduction (the paper uses
+/// 256 at ALE scale).
+pub const FEAT_DIM: usize = 32;
+
+/// Width of the first ResNet group at reproduction scale.
+pub const BASE_WIDTH: usize = 8;
+
+/// Build one of the five named backbones for a game's observation shape.
+///
+/// # Panics
+///
+/// Panics on an unknown backbone name.
+#[must_use]
+pub fn build_backbone(kind: &str, info: &GameInfo, seed: u64) -> Backbone {
+    match kind {
+        "Vanilla" => vanilla(info.planes, info.height, info.width, FEAT_DIM, seed),
+        "ResNet-14" => resnet(14, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
+        "ResNet-20" => resnet(20, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
+        "ResNet-38" => resnet(38, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
+        "ResNet-74" => resnet(74, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
+        other => panic!("unknown backbone {other:?}; one of {BACKBONES:?}"),
+    }
+}
+
+/// Wrap a backbone into an agent for `info`'s action space.
+#[must_use]
+pub fn agent_with(backbone: Backbone, info: &GameInfo, seed: u64) -> ActorCritic {
+    ActorCritic::new(
+        Box::new(backbone),
+        FEAT_DIM,
+        (info.planes, info.height, info.width),
+        info.actions,
+        seed,
+    )
+}
+
+/// A trainer configuration following the paper's settings at `scale`.
+#[must_use]
+pub fn trainer_config(scale: &Scale, total_steps: u64) -> TrainerConfig {
+    TrainerConfig {
+        total_steps,
+        eval_every: scale.eval_every(total_steps),
+        eval_episodes: scale.eval_episodes,
+        eval_max_steps: scale.eval_max_steps,
+        episode_cap: scale.eval_max_steps,
+        ..TrainerConfig::default()
+    }
+}
+
+/// Train `kind` on `game` and return the agent plus its score curve.
+/// `distill` optionally supplies `(mode, teacher)`.
+pub fn train_backbone(
+    game: &'static str,
+    kind: &str,
+    scale: &Scale,
+    distill: Option<(&DistillConfig, &ActorCritic)>,
+    seed: u64,
+) -> (ActorCritic, TrainingCurve) {
+    let info = game_info(game);
+    let backbone = build_backbone(kind, &info, seed);
+    let agent = agent_with(backbone, &info, seed.wrapping_add(1));
+    let cfg = trainer_config(scale, scale.train_steps);
+    let factory = factory_for(game);
+    let curve = Trainer::new(cfg, seed.wrapping_add(2)).train(&agent, &factory, distill);
+    (agent, curve)
+}
+
+/// Train the paper's ResNet-20 teacher for `game`, caching the trained
+/// weights under `results/teachers/` so the six experiment binaries share
+/// one teacher per game and scale profile.
+pub fn train_teacher(game: &'static str, scale: &Scale, seed: u64) -> ActorCritic {
+    let info = game_info(game);
+    let backbone = build_backbone("ResNet-20", &info, seed);
+    let agent = agent_with(backbone, &info, seed.wrapping_add(1));
+
+    let cache_dir = std::path::Path::new("results").join("teachers");
+    let cache = cache_dir.join(format!(
+        "{game}_{}_{}_{}.json",
+        scale.name, scale.teacher_steps, seed
+    ));
+    if let Ok(checkpoint) = a3cs_drl::Checkpoint::load(&cache) {
+        if checkpoint.apply(&agent).is_ok() {
+            return agent;
+        }
+    }
+
+    let cfg = trainer_config(scale, scale.teacher_steps);
+    let factory = factory_for(game);
+    let _ = Trainer::new(cfg, seed.wrapping_add(2)).train(&agent, &factory, None);
+    if std::fs::create_dir_all(&cache_dir).is_ok() {
+        if let Err(e) = a3cs_drl::Checkpoint::capture(&agent).save(&cache) {
+            eprintln!("warning: cannot cache teacher to {}: {e}", cache.display());
+        }
+    }
+    agent
+}
+
+/// A co-search configuration for `game` at `scale`.
+#[must_use]
+pub fn cosearch_config(game: &'static str, scale: &Scale) -> CoSearchConfig {
+    let info = game_info(game);
+    let mut cfg = CoSearchConfig::paper(info.planes, info.height, info.width, info.actions);
+    cfg.supernet.feat_dim = FEAT_DIM;
+    cfg.supernet.base_width = BASE_WIDTH;
+    cfg.total_steps = scale.search_steps;
+    cfg.eval_every = scale.eval_every(scale.search_steps);
+    cfg.eval_episodes = scale.eval_episodes.min(10);
+    cfg.eval_max_steps = scale.eval_max_steps;
+    cfg.das_final_iters = scale.das_iters;
+    // Anneal the Gumbel temperature over the scaled budget.
+    cfg.supernet.temperature.every = (scale.search_steps / 80).max(1);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::SMOKE;
+
+    #[test]
+    fn game_info_matches_env() {
+        let info = game_info("Pong");
+        assert_eq!(info.actions, 3);
+        assert_eq!(info.planes, 3);
+    }
+
+    #[test]
+    fn all_backbones_build_for_all_games() {
+        for game in ["Breakout", "Seaquest"] {
+            let info = game_info(game);
+            for kind in BACKBONES {
+                let bb = build_backbone(kind, &info, 1);
+                assert_eq!(bb.feat_dim(), FEAT_DIM, "{game}/{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn backbone_sizes_are_ordered() {
+        let info = game_info("Breakout");
+        let macs: Vec<u64> = BACKBONES
+            .iter()
+            .map(|k| build_backbone(k, &info, 1).total_macs())
+            .collect();
+        for pair in macs.windows(2) {
+            assert!(pair[0] < pair[1], "MACs must grow with depth: {macs:?}");
+        }
+    }
+
+    #[test]
+    fn smoke_training_runs() {
+        let (_, curve) = train_backbone("Breakout", "Vanilla", &SMOKE, None, 5);
+        assert!(!curve.points.is_empty());
+    }
+
+    #[test]
+    fn cosearch_config_scales_with_profile() {
+        let cfg = cosearch_config("Pong", &SMOKE);
+        assert_eq!(cfg.total_steps, SMOKE.search_steps);
+        assert_eq!(cfg.n_actions, 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Co-search configuration.
+
+use a3cs_accel::{DasConfig, FpgaTarget};
+use a3cs_drl::{A2cConfig, DistillConfig};
+use a3cs_nas::SupernetConfig;
+
+/// Which search scheme drives the architecture parameters — the three
+/// curves of the paper's Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchScheme {
+    /// A3C-S proper: one-level optimisation of `(θ, α)` with
+    /// AC-distillation (the scheme the paper adopts).
+    #[default]
+    OneLevel,
+    /// Bi-level (DARTS-style) ablation: `α` is updated on held-out
+    /// rollouts with the one-step weight approximation, which the paper
+    /// shows fails under DRL's gradient variance.
+    BiLevel,
+    /// Direct NAS without distillation (vanilla DNAS on DRL).
+    DirectNas,
+}
+
+/// Full configuration of a co-search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSearchConfig {
+    /// Supernet structure (cells, widths, Gumbel schedule).
+    pub supernet: SupernetConfig,
+    /// Accelerator search engine settings.
+    pub das: DasConfig,
+    /// FPGA resource/clock target.
+    pub target: FpgaTarget,
+    /// Search scheme (Fig. 2 ablation axis).
+    pub scheme: SearchScheme,
+    /// Distillation settings (ignored for [`SearchScheme::DirectNas`]).
+    pub distill: DistillConfig,
+    /// A2C objective settings.
+    pub a2c: A2cConfig,
+    /// Number of actions of the target game.
+    pub n_actions: usize,
+    /// Parallel environments.
+    pub n_envs: usize,
+    /// Rollout length `L` (paper: 5).
+    pub rollout_len: usize,
+    /// Total environment steps of search.
+    pub total_steps: u64,
+    /// Learning rate for the supernet weights `θ` (RMSProp).
+    pub weight_lr: f32,
+    /// Learning rate for the architecture parameters `α` (Adam; paper:
+    /// 1e-3).
+    pub alpha_lr: f32,
+    /// Hardware-cost weight `λ` of Eq. 4.
+    pub lambda: f32,
+    /// DAS iterations per co-search iteration (the inner `φ` update of
+    /// Alg. 1).
+    pub das_steps_per_iter: usize,
+    /// Final DAS iterations when deriving the matched accelerator.
+    pub das_final_iters: usize,
+    /// Global gradient-norm clip for `θ`.
+    pub max_grad_norm: f32,
+    /// Cap on training-episode length.
+    pub episode_cap: usize,
+    /// Evaluate the argmax network every this many steps (Fig. 2 curve).
+    pub eval_every: u64,
+    /// Episodes per evaluation.
+    pub eval_episodes: usize,
+    /// Step cap per evaluation episode.
+    pub eval_max_steps: usize,
+}
+
+impl CoSearchConfig {
+    /// Paper-scale (12-cell) configuration for a game with the given
+    /// observation shape and action count.
+    #[must_use]
+    pub fn paper(planes: usize, height: usize, width: usize, n_actions: usize) -> Self {
+        CoSearchConfig {
+            supernet: SupernetConfig::paper(planes, height, width),
+            das: DasConfig::default(),
+            target: FpgaTarget::zc706(),
+            scheme: SearchScheme::OneLevel,
+            distill: DistillConfig::ac_distillation(),
+            a2c: A2cConfig::default(),
+            n_actions,
+            n_envs: 4,
+            rollout_len: 5,
+            total_steps: 20_000,
+            weight_lr: 1e-3,
+            alpha_lr: 1e-3,
+            lambda: 0.1,
+            das_steps_per_iter: 1,
+            das_final_iters: 400,
+            max_grad_norm: 1.0,
+            episode_cap: 400,
+            eval_every: 2_000,
+            eval_episodes: 10,
+            eval_max_steps: 300,
+        }
+    }
+
+    /// Miniature configuration (6 cells, 2 chunks) for tests and demos.
+    #[must_use]
+    pub fn tiny(planes: usize, height: usize, width: usize, n_actions: usize) -> Self {
+        let mut cfg = Self::paper(planes, height, width, n_actions);
+        cfg.supernet = SupernetConfig::tiny(planes, height, width);
+        cfg.das.num_chunks = 2;
+        cfg.total_steps = 1_000;
+        cfg.eval_every = 500;
+        cfg.eval_episodes = 3;
+        cfg.eval_max_steps = 80;
+        cfg.das_final_iters = 100;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_uses_paper_constants() {
+        let cfg = CoSearchConfig::paper(4, 12, 12, 6);
+        assert_eq!(cfg.supernet.num_cells, 12);
+        assert_eq!(cfg.rollout_len, 5);
+        assert_eq!(cfg.a2c.gamma, 0.99);
+        assert_eq!(cfg.alpha_lr, 1e-3);
+        assert_eq!(cfg.target.dsp_limit, 900);
+        assert_eq!(cfg.scheme, SearchScheme::OneLevel);
+    }
+
+    #[test]
+    fn tiny_config_is_smaller() {
+        let cfg = CoSearchConfig::tiny(4, 12, 12, 6);
+        assert_eq!(cfg.supernet.num_cells, 6);
+        assert!(cfg.total_steps < CoSearchConfig::paper(4, 12, 12, 6).total_steps);
+    }
+}

@@ -1,0 +1,390 @@
+//! The A3C-S co-search loop (paper Alg. 1).
+
+use crate::config::{CoSearchConfig, SearchScheme};
+use crate::result::CoSearchResult;
+use a3cs_accel::{DasEngine, PerfModel};
+use a3cs_drl::{
+    a2c_losses, clip_grad_norm, evaluate, ActorCritic, Adam, DistillConfig, DistillMode,
+    EnvFactory, EvalProtocol, LrSchedule, Optimizer, RmsProp, RolloutRunner,
+};
+use a3cs_envs::wrappers::{ClipReward, EpisodeLimit};
+use a3cs_envs::Environment;
+use a3cs_nas::SuperNet;
+use a3cs_nn::Param;
+use a3cs_tensor::{Tape, Tensor};
+use std::rc::Rc;
+
+/// Accumulate `grad` into a parameter's gradient storage (the same
+/// injection path [`a3cs_drl::clip_grad_norm`] uses internally).
+fn add_grad(param: &Param, grad: Tensor) {
+    let tape = Tape::new();
+    param.bind(&tape).backward_with(grad);
+}
+
+/// Layer-wise hardware cost of every candidate operator of every supernet
+/// cell on `accel` (Eq. 8's `L_cost^{α_i^l}`): the cycle count of the
+/// operator's compute layers on the cheapest chunk. Skip operators with
+/// no compute layers cost zero.
+#[must_use]
+pub fn per_op_costs(
+    supernet: &SuperNet,
+    accel: &a3cs_accel::AcceleratorConfig,
+    target: &a3cs_accel::FpgaTarget,
+) -> Vec<Vec<f64>> {
+    let bw_share = target.dram_bytes_per_cycle() / accel.chunks.len().max(1) as f64;
+    supernet
+        .candidate_layer_descs()
+        .iter()
+        .map(|per_op| {
+            per_op
+                .iter()
+                .map(|descs| {
+                    if descs.is_empty() {
+                        return 0.0;
+                    }
+                    accel
+                        .chunks
+                        .iter()
+                        .map(|chunk| {
+                            descs
+                                .iter()
+                                .map(|d| {
+                                    let dims = a3cs_accel::LayerDims::from_desc(d);
+                                    PerfModel::layer_cycles(chunk, &dims, bw_share).0
+                                })
+                                .sum::<f64>()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The co-search driver: owns the supernet agent, the DAS engine and the
+/// two optimisers (RMSProp for `θ`, Adam for `α` — paper Section V-A).
+pub struct CoSearch {
+    config: CoSearchConfig,
+    seed: u64,
+    supernet: Rc<SuperNet>,
+    agent: ActorCritic,
+    das: DasEngine,
+}
+
+impl CoSearch {
+    /// Construct a fresh co-search with its own supernet and `φ`
+    /// distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supernet configuration is structurally invalid.
+    #[must_use]
+    pub fn new(config: CoSearchConfig, seed: u64) -> Self {
+        let supernet = Rc::new(SuperNet::new(config.supernet, seed));
+        let (p, h, w) = (
+            config.supernet.in_planes,
+            config.supernet.height,
+            config.supernet.width,
+        );
+        let agent = ActorCritic::new(
+            Box::new(Rc::clone(&supernet)),
+            config.supernet.feat_dim,
+            (p, h, w),
+            config.n_actions,
+            seed.wrapping_add(1),
+        );
+        let das = DasEngine::new(config.das.clone(), seed.wrapping_add(2));
+        CoSearch {
+            config,
+            seed,
+            supernet,
+            agent,
+            das,
+        }
+    }
+
+    /// The supernet under search.
+    #[must_use]
+    pub fn supernet(&self) -> &SuperNet {
+        &self.supernet
+    }
+
+    /// The supernet-backed agent.
+    #[must_use]
+    pub fn agent(&self) -> &ActorCritic {
+        &self.agent
+    }
+
+    /// The accelerator search engine (φ distribution).
+    #[must_use]
+    pub fn das(&self) -> &DasEngine {
+        &self.das
+    }
+
+    /// Apply Eq. 8: add `λ ·` (normalised layer-wise hardware cost of the
+    /// activated operator on the current accelerator `φ*`) to that
+    /// operator's `α` gradient, for every cell.
+    fn apply_cost_gradient(&self, sampled: &[usize]) {
+        let accel = self.das.best(self.supernet.most_likely_layer_descs().len());
+        let costs = per_op_costs(&self.supernet, &accel, &self.config.target);
+        for (cell_idx, cell_costs) in costs.iter().enumerate() {
+            let max_cost = cell_costs.iter().copied().fold(0.0, f64::max).max(1e-9);
+            let activated = sampled[cell_idx];
+            let rel = (cell_costs[activated] / max_cost) as f32;
+            let num_ops = cell_costs.len();
+            let mut grad = Tensor::zeros(&[num_ops]);
+            grad.data_mut()[activated] = self.config.lambda * rel;
+            add_grad(self.supernet.arch().cell(cell_idx), grad);
+        }
+    }
+
+    /// Run the full co-search (Alg. 1) against environments from
+    /// `factory`, optionally distilling from `teacher`.
+    pub fn run(
+        &mut self,
+        factory: &EnvFactory<'_>,
+        teacher: Option<&ActorCritic>,
+    ) -> CoSearchResult {
+        let cfg = self.config.clone();
+        let distill = match cfg.scheme {
+            SearchScheme::DirectNas => DistillConfig {
+                mode: DistillMode::None,
+                ..cfg.distill
+            },
+            _ => cfg.distill,
+        };
+        let teacher = match distill.mode {
+            DistillMode::None => None,
+            _ => teacher,
+        };
+
+        let cap = cfg.episode_cap;
+        let train_factory = move |seed: u64| -> Box<dyn Environment> {
+            Box::new(EpisodeLimit::new(ClipReward::new(factory(seed)), cap))
+        };
+        let mut train_runner = RolloutRunner::new(&train_factory, cfg.n_envs, self.seed);
+        // Bi-level mode draws its α updates from held-out rollouts.
+        let mut val_runner = match cfg.scheme {
+            SearchScheme::BiLevel => Some(RolloutRunner::new(
+                &train_factory,
+                cfg.n_envs,
+                self.seed ^ 0x55aa_55aa,
+            )),
+            _ => None,
+        };
+
+        let weight_params = self.agent.params();
+        let alpha_params = self.supernet.arch().params();
+        let mut weight_opt = RmsProp::new(cfg.weight_lr);
+        let mut alpha_opt = Adam::new(cfg.alpha_lr);
+        let schedule = LrSchedule {
+            initial_lr: cfg.weight_lr,
+            final_lr: cfg.weight_lr * 0.1,
+            constant_steps: cfg.total_steps / 3,
+            total_steps: cfg.total_steps,
+        };
+
+        let mut steps: u64 = 0;
+        let mut next_eval = cfg.eval_every.min(cfg.total_steps);
+        let mut score_curve = Vec::new();
+        let mut alpha_entropy_curve = Vec::new();
+        let mut iteration: u64 = 0;
+
+        // Rollouts sample operator paths per Eq. 6 (Alg. 1); evaluations
+        // below temporarily switch back to the argmax network.
+        self.supernet.set_eval_sampling(true);
+        while steps < cfg.total_steps {
+            self.supernet.set_step(steps);
+
+            // --- φ update (Eq. 5/9) on the current most-likely network.
+            let proxy_layers = self.supernet.most_likely_layer_descs();
+            for _ in 0..cfg.das_steps_per_iter {
+                let _ = self.das.step(&proxy_layers, &cfg.target);
+            }
+
+            // --- rollout + L_task.
+            let (runner, update_weights, update_alpha) = match cfg.scheme {
+                SearchScheme::BiLevel => {
+                    if iteration % 2 == 0 {
+                        (&mut train_runner, true, false)
+                    } else {
+                        (val_runner.as_mut().expect("bilevel has val runner"), false, true)
+                    }
+                }
+                _ => (&mut train_runner, true, true),
+            };
+            let rollout = runner.collect(&self.agent, cfg.rollout_len);
+            steps += rollout.transitions() as u64;
+
+            let tape = Tape::new();
+            self.agent.zero_grad();
+            self.supernet.arch().zero_grad();
+            let (loss, _stats) =
+                a2c_losses(&tape, &self.agent, &rollout, &cfg.a2c, &distill, teacher);
+            loss.backward();
+
+            if update_alpha {
+                // --- λ·L_cost gradient on the activated ops (Eq. 8).
+                let sampled = self.supernet.last_sampled_indices();
+                self.apply_cost_gradient(&sampled);
+                alpha_opt.step(&alpha_params);
+            }
+            if update_weights {
+                let _ = clip_grad_norm(&weight_params, cfg.max_grad_norm);
+                weight_opt.set_lr(schedule.at(steps));
+                weight_opt.step(&weight_params);
+            }
+            iteration += 1;
+
+            // --- periodic evaluation of the argmax network (Fig. 2 data).
+            if steps >= next_eval {
+                let protocol = EvalProtocol {
+                    episodes: cfg.eval_episodes,
+                    noop_max: 8,
+                    max_steps: cfg.eval_max_steps,
+                    seed: self.seed ^ steps,
+                    greedy: false,
+                };
+                self.supernet.set_eval_sampling(false);
+                let score = evaluate(&self.agent, factory, &protocol);
+                self.supernet.set_eval_sampling(true);
+                score_curve.push((steps, score));
+                alpha_entropy_curve.push((steps, self.supernet.arch().mean_entropy()));
+                next_eval += cfg.eval_every;
+            }
+        }
+
+        // --- derive the final pair: argmax α network + refined DAS φ.
+        self.supernet.set_eval_sampling(false);
+        let arch = self.supernet.most_likely_arch();
+        let final_layers = self.supernet.most_likely_layer_descs();
+        let accelerator = self
+            .das
+            .run(&final_layers, &cfg.target, cfg.das_final_iters);
+        let report = PerfModel::evaluate(&accelerator, &final_layers, &cfg.target);
+
+        CoSearchResult {
+            arch,
+            accelerator,
+            report,
+            score_curve,
+            alpha_entropy_curve,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoSearchConfig;
+    use a3cs_envs::Breakout;
+
+    fn factory(seed: u64) -> Box<dyn Environment> {
+        Box::new(Breakout::new(seed))
+    }
+
+    fn tiny_config(total_steps: u64) -> CoSearchConfig {
+        let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
+        cfg.total_steps = total_steps;
+        cfg.eval_every = total_steps;
+        cfg.eval_episodes = 2;
+        cfg.eval_max_steps = 40;
+        cfg.das_final_iters = 50;
+        cfg
+    }
+
+    #[test]
+    fn cosearch_produces_consistent_result() {
+        let mut search = CoSearch::new(tiny_config(300), 1);
+        let result = search.run(&factory, None);
+        assert_eq!(result.arch.len(), 6);
+        assert!(result.report.fps > 0.0);
+        assert_eq!(
+            result.accelerator.assignment.len(),
+            search.supernet().most_likely_layer_descs().len()
+        );
+        assert!(!result.score_curve.is_empty());
+        assert!(result.steps >= 300);
+    }
+
+    #[test]
+    fn cost_pressure_moves_alpha_away_from_uniform() {
+        let mut cfg = tiny_config(600);
+        cfg.lambda = 2.0; // strong cost pressure
+        let mut search = CoSearch::new(cfg, 2);
+        let h0 = search.supernet().arch().mean_entropy();
+        let _ = search.run(&factory, None);
+        let h1 = search.supernet().arch().mean_entropy();
+        assert!(h1 < h0, "α should sharpen under cost pressure: {h0} -> {h1}");
+    }
+
+    #[test]
+    fn bilevel_mode_runs() {
+        let mut cfg = tiny_config(300);
+        cfg.scheme = SearchScheme::BiLevel;
+        let result = CoSearch::new(cfg, 3).run(&factory, None);
+        assert_eq!(result.arch.len(), 6);
+    }
+
+    #[test]
+    fn direct_nas_ignores_teacher() {
+        let mut cfg = tiny_config(200);
+        cfg.scheme = SearchScheme::DirectNas;
+        // Teacher has incompatible shape on purpose: it must never be used.
+        let mut search = CoSearch::new(cfg, 4);
+        let result = search.run(&factory, None);
+        assert_eq!(result.arch.len(), 6);
+    }
+
+    #[test]
+    fn cosearch_sharpens_the_phi_distribution() {
+        let mut cfg = tiny_config(500);
+        cfg.das_steps_per_iter = 3;
+        let mut search = CoSearch::new(cfg, 13);
+        let h0 = search.das().mean_entropy();
+        let _ = search.run(&factory, None);
+        assert!(
+            search.das().mean_entropy() < h0,
+            "φ entropy should fall as DAS commits"
+        );
+    }
+
+    #[test]
+    fn per_op_costs_rank_operators_sensibly() {
+        use a3cs_accel::{DasConfig, DasEngine, FpgaTarget};
+        use a3cs_nas::{SuperNet, SupernetConfig, ALL_OPS};
+
+        let sn = SuperNet::new(SupernetConfig::tiny(3, 12, 12), 9);
+        let das = DasEngine::new(DasConfig::default(), 9);
+        let accel = das.best(sn.most_likely_layer_descs().len());
+        let costs = per_op_costs(&sn, &accel, &FpgaTarget::zc706());
+        assert_eq!(costs.len(), sn.num_cells());
+        let skip_idx = ALL_OPS.len() - 1;
+        for cell in &costs {
+            assert_eq!(cell.len(), ALL_OPS.len());
+            // Every op costs something except possibly identity skips.
+            assert!(cell.iter().all(|&c| c >= 0.0 && c.is_finite()));
+            // conv5x5 (idx 1) is never cheaper than conv3x3 (idx 0).
+            assert!(cell[1] >= cell[0]);
+            // ir_k3_e5 (idx 4) is never cheaper than ir_k3_e1 (idx 2).
+            assert!(cell[4] >= cell[2]);
+            // skip is the cheapest option in the cell.
+            let min = cell.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(cell[skip_idx], min);
+        }
+        // Identity skips (stride-1, equal channels) are exactly free.
+        assert_eq!(costs[1][skip_idx], 0.0);
+    }
+
+    #[test]
+    fn derived_accelerator_is_dsp_feasible() {
+        let mut search = CoSearch::new(tiny_config(300), 5);
+        let result = search.run(&factory, None);
+        assert!(
+            result.report.dsp_used <= 900 * 2,
+            "resource penalty should keep DSPs near budget: {}",
+            result.report.dsp_used
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Co-search outputs.
+
+use a3cs_accel::{AcceleratorConfig, PerfReport};
+use a3cs_nas::OpChoice;
+
+/// Everything a finished co-search produces: the matched agent/accelerator
+/// pair plus the search-time diagnostics the paper's figures report.
+#[derive(Debug, Clone)]
+pub struct CoSearchResult {
+    /// Derived architecture: one operator per cell (argmax `α`).
+    pub arch: Vec<OpChoice>,
+    /// Matched accelerator (argmax `φ` after the final DAS refinement).
+    pub accelerator: AcceleratorConfig,
+    /// Predicted hardware performance of the pair.
+    pub report: PerfReport,
+    /// `(env steps, eval score)` of the argmax network during search —
+    /// the Fig. 2 series.
+    pub score_curve: Vec<(u64, f32)>,
+    /// `(env steps, mean α entropy)` — convergence diagnostic.
+    pub alpha_entropy_curve: Vec<(u64, f32)>,
+    /// Total environment steps consumed.
+    pub steps: u64,
+}
+
+impl CoSearchResult {
+    /// Best evaluation score observed during search.
+    #[must_use]
+    pub fn best_score(&self) -> f32 {
+        self.score_curve
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Final evaluation score.
+    #[must_use]
+    pub fn final_score(&self) -> f32 {
+        self.score_curve
+            .last()
+            .map_or(f32::NEG_INFINITY, |&(_, s)| s)
+    }
+
+    /// A one-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let ops: Vec<String> = self.arch.iter().map(ToString::to_string).collect();
+        format!(
+            "arch=[{}] fps={:.1} dsp={} score={:.1}",
+            ops.join(","),
+            self.report.fps,
+            self.report.dsp_used,
+            self.final_score()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_accel::{BufferAlloc, ChunkConfig, Dataflow, NocTopology, PeArray, PerfReport, Tiling};
+
+    fn dummy() -> CoSearchResult {
+        CoSearchResult {
+            arch: vec![OpChoice::Skip, OpChoice::Conv { kernel: 3 }],
+            accelerator: AcceleratorConfig {
+                chunks: vec![ChunkConfig {
+                    pe: PeArray { rows: 4, cols: 4 },
+                    noc: NocTopology::Systolic,
+                    dataflow: Dataflow::OutputStationary,
+                    buffers: BufferAlloc {
+                        input_kb: 8,
+                        weight_kb: 8,
+                        output_kb: 8,
+                    },
+                    tiling: Tiling {
+                        tm: 4,
+                        tn: 4,
+                        tr: 4,
+                        tc: 4,
+                    },
+                }],
+                assignment: vec![0],
+            },
+            report: PerfReport {
+                fps: 100.0,
+                bottleneck_cycles: 2e6,
+                total_latency_cycles: 2e6,
+                chunk_cycles: vec![2e6],
+                dsp_used: 16,
+                bram_kb_used: 24,
+                energy: 1.0,
+                feasible: true,
+                thrashing_layers: 0,
+            },
+            score_curve: vec![(100, 1.0), (200, 5.0), (300, 3.0)],
+            alpha_entropy_curve: vec![(100, 2.0)],
+            steps: 300,
+        }
+    }
+
+    #[test]
+    fn best_and_final_scores() {
+        let r = dummy();
+        assert_eq!(r.best_score(), 5.0);
+        assert_eq!(r.final_score(), 3.0);
+    }
+
+    #[test]
+    fn summary_mentions_ops_and_fps() {
+        let s = dummy().summary();
+        assert!(s.contains("skip") && s.contains("conv3x3") && s.contains("fps=100.0"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Parameter checkpointing: persist and restore agent weights as JSON.
+//!
+//! The harnesses use this to train a teacher once and reuse it across
+//! experiments, mirroring how the paper pretrains one ResNet-20 teacher
+//! per task.
+
+use crate::agent::ActorCritic;
+use a3cs_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A serialisable snapshot of one agent's parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    entries: Vec<ParamEntry>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// Error loading or applying a checkpoint.
+#[derive(Debug)]
+pub enum LoadCheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint.
+    Parse(serde_json::Error),
+    /// The checkpoint does not match the agent's parameter list.
+    Mismatch(String),
+}
+
+impl fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadCheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            LoadCheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            LoadCheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl Error for LoadCheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadCheckpointError::Io(e) => Some(e),
+            LoadCheckpointError::Parse(e) => Some(e),
+            LoadCheckpointError::Mismatch(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadCheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        LoadCheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LoadCheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadCheckpointError::Parse(e)
+    }
+}
+
+impl Checkpoint {
+    /// Capture the current parameter values of `agent`.
+    #[must_use]
+    pub fn capture(agent: &ActorCritic) -> Self {
+        let entries = agent
+            .params()
+            .iter()
+            .map(|p| {
+                let value = p.value();
+                ParamEntry {
+                    name: p.name().to_owned(),
+                    shape: value.shape().to_vec(),
+                    data: value.data().to_vec(),
+                }
+            })
+            .collect();
+        Checkpoint { entries }
+    }
+
+    /// Number of parameter tensors stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the checkpoint stores no parameters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Write the checkpoint as pretty JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error encountered.
+    pub fn save(&self, path: &Path) -> Result<(), std::io::Error> {
+        let json = serde_json::to_string(self).expect("checkpoint serialises");
+        fs::write(path, json)
+    }
+
+    /// Read a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadCheckpointError`] on IO or parse failure.
+    pub fn load(path: &Path) -> Result<Self, LoadCheckpointError> {
+        let json = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+
+    /// Apply the stored values to `agent` (parameter lists must match in
+    /// order, name and shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadCheckpointError::Mismatch`] when the agent's
+    /// architecture differs from the checkpointed one.
+    pub fn apply(&self, agent: &ActorCritic) -> Result<(), LoadCheckpointError> {
+        let params = agent.params();
+        if params.len() != self.entries.len() {
+            return Err(LoadCheckpointError::Mismatch(format!(
+                "agent has {} parameters, checkpoint has {}",
+                params.len(),
+                self.entries.len()
+            )));
+        }
+        for (p, e) in params.iter().zip(self.entries.iter()) {
+            if p.name() != e.name {
+                return Err(LoadCheckpointError::Mismatch(format!(
+                    "parameter {} vs checkpoint entry {}",
+                    p.name(),
+                    e.name
+                )));
+            }
+            let tensor = Tensor::from_vec(e.data.clone(), &e.shape).map_err(|err| {
+                LoadCheckpointError::Mismatch(format!("entry {}: {err}", e.name))
+            })?;
+            if tensor.shape() != p.value().shape() {
+                return Err(LoadCheckpointError::Mismatch(format!(
+                    "parameter {} shape {:?} vs checkpoint {:?}",
+                    p.name(),
+                    p.value().shape(),
+                    tensor.shape()
+                )));
+            }
+            p.set_value(tensor);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_nn::vanilla;
+
+    fn agent(seed: u64) -> ActorCritic {
+        let backbone = vanilla(3, 12, 12, 16, seed);
+        ActorCritic::new(Box::new(backbone), 16, (3, 12, 12), 3, seed)
+    }
+
+    #[test]
+    fn capture_apply_round_trip() {
+        let a = agent(1);
+        let b = agent(2);
+        let obs = vec![0.4; 3 * 12 * 12];
+        assert_ne!(a.policy_probs(&obs, 1), b.policy_probs(&obs, 1));
+        Checkpoint::capture(&a).apply(&b).expect("compatible agents");
+        assert_eq!(a.policy_probs(&obs, 1), b.policy_probs(&obs, 1));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let a = agent(3);
+        let dir = std::env::temp_dir().join("a3cs_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("agent.json");
+        let ck = Checkpoint::capture(&a);
+        ck.save(&path).expect("save");
+        let loaded = Checkpoint::load(&path).expect("load");
+        assert_eq!(ck, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let a = agent(4);
+        let bigger = {
+            let backbone = vanilla(3, 12, 12, 32, 5);
+            ActorCritic::new(Box::new(backbone), 32, (3, 12, 12), 3, 5)
+        };
+        let err = Checkpoint::capture(&a).apply(&bigger).unwrap_err();
+        assert!(matches!(err, LoadCheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/a3cs.json")).unwrap_err();
+        assert!(matches!(err, LoadCheckpointError::Io(_)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Distillation configuration: none, policy-only (Rusu et al.), or the
+//! paper's AC-distillation (policy + value, Eq. 10–11).
+
+/// Which distillation terms are active during training/search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistillMode {
+    /// No teacher terms (the "No distillation" baseline of Table II).
+    #[default]
+    None,
+    /// KL distillation of the actor only ("Policy distillation only").
+    PolicyOnly,
+    /// The paper's AC-distillation: actor KL plus critic MSE (Eq. 10–11).
+    ActorCritic,
+}
+
+/// Distillation hyper-parameters (paper Section V-A: `β2 = 1e-1`,
+/// `β3 = 1e-3`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistillConfig {
+    /// Which terms are active.
+    pub mode: DistillMode,
+    /// Weight of the actor KL term (`β2`).
+    pub beta2: f32,
+    /// Weight of the critic MSE term (`β3`).
+    pub beta3: f32,
+}
+
+impl DistillConfig {
+    /// The paper's AC-distillation settings.
+    #[must_use]
+    pub fn ac_distillation() -> Self {
+        DistillConfig {
+            mode: DistillMode::ActorCritic,
+            beta2: 1e-1,
+            beta3: 1e-3,
+        }
+    }
+
+    /// Policy-only distillation with the same actor weight.
+    #[must_use]
+    pub fn policy_only() -> Self {
+        DistillConfig {
+            mode: DistillMode::PolicyOnly,
+            beta2: 1e-1,
+            beta3: 0.0,
+        }
+    }
+
+    /// Effective actor-KL weight (zero when disabled).
+    #[must_use]
+    pub fn actor_weight(&self) -> f32 {
+        match self.mode {
+            DistillMode::None => 0.0,
+            DistillMode::PolicyOnly | DistillMode::ActorCritic => self.beta2,
+        }
+    }
+
+    /// Effective critic-MSE weight (zero unless AC-distillation).
+    #[must_use]
+    pub fn critic_weight(&self) -> f32 {
+        match self.mode {
+            DistillMode::ActorCritic => self.beta3,
+            _ => 0.0,
+        }
+    }
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            mode: DistillMode::None,
+            beta2: 1e-1,
+            beta3: 1e-3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_follow_mode() {
+        let none = DistillConfig::default();
+        assert_eq!(none.actor_weight(), 0.0);
+        assert_eq!(none.critic_weight(), 0.0);
+
+        let policy = DistillConfig::policy_only();
+        assert!(policy.actor_weight() > 0.0);
+        assert_eq!(policy.critic_weight(), 0.0);
+
+        let ac = DistillConfig::ac_distillation();
+        assert!(ac.actor_weight() > 0.0);
+        assert!(ac.critic_weight() > 0.0);
+    }
+
+    #[test]
+    fn paper_betas() {
+        let ac = DistillConfig::ac_distillation();
+        assert_eq!(ac.beta2, 1e-1);
+        assert_eq!(ac.beta3, 1e-3);
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's evaluation protocol: average score over 30 episodes with
+//! null-op starts (Section V-A).
+
+use crate::agent::ActorCritic;
+use crate::rollout::EnvFactory;
+use a3cs_envs::wrappers::{EpisodeLimit, NoopStart};
+use a3cs_envs::Environment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of an evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalProtocol {
+    /// Number of episodes to average (paper: 30).
+    pub episodes: usize,
+    /// Maximum random no-ops applied at episode start (null-op starts).
+    pub noop_max: usize,
+    /// Hard episode step cap (keeps unbounded games finite).
+    pub max_steps: usize,
+    /// Base RNG seed (episode `i` uses `seed + i`).
+    pub seed: u64,
+    /// Greedy (argmax) instead of stochastic action selection.
+    pub greedy: bool,
+}
+
+impl Default for EvalProtocol {
+    fn default() -> Self {
+        EvalProtocol {
+            episodes: 30,
+            noop_max: 8,
+            max_steps: 400,
+            seed: 10_000,
+            greedy: false,
+        }
+    }
+}
+
+/// Average unclipped episode score of `agent` under `protocol`.
+///
+/// Each episode runs in a fresh environment from `factory` (seeded
+/// per-episode), wrapped with null-op starts and a step cap; rewards are
+/// *not* clipped, matching how the paper reports test scores.
+#[must_use]
+pub fn evaluate(agent: &ActorCritic, factory: &EnvFactory<'_>, protocol: &EvalProtocol) -> f32 {
+    let mut total = 0.0f64;
+    let mut rng = StdRng::seed_from_u64(protocol.seed ^ 0x5bd1_e995);
+    for ep in 0..protocol.episodes {
+        let seed = protocol.seed.wrapping_add(ep as u64);
+        let env = factory(seed);
+        let mut env = EpisodeLimit::new(
+            NoopStart::new(env, protocol.noop_max, seed ^ 0xabcd),
+            protocol.max_steps,
+        );
+        let mut obs = env.reset();
+        let mut episode = 0.0f64;
+        loop {
+            let action = if protocol.greedy {
+                agent.act_greedy(&obs, 1)[0]
+            } else {
+                agent.act(&obs, 1, &mut rng)[0]
+            };
+            let out = env.step(action);
+            episode += f64::from(out.reward);
+            if out.done {
+                break;
+            }
+            obs = out.observation;
+        }
+        total += episode;
+    }
+    (total / protocol.episodes as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_envs::{Atlantis, Breakout};
+    use a3cs_nn::vanilla;
+
+    fn agent(planes: usize, actions: usize, seed: u64) -> ActorCritic {
+        let backbone = vanilla(planes, 12, 12, 16, seed);
+        ActorCritic::new(Box::new(backbone), 16, (planes, 12, 12), actions, seed)
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_given_protocol() {
+        let a = agent(3, 3, 1);
+        let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
+        let protocol = EvalProtocol {
+            episodes: 3,
+            max_steps: 60,
+            ..EvalProtocol::default()
+        };
+        let s1 = evaluate(&a, &factory, &protocol);
+        let s2 = evaluate(&a, &factory, &protocol);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_seeds_change_episodes() {
+        let a = agent(3, 4, 2);
+        let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Atlantis::new(seed)) };
+        let p1 = EvalProtocol {
+            episodes: 3,
+            max_steps: 80,
+            seed: 1,
+            ..EvalProtocol::default()
+        };
+        let p2 = EvalProtocol { seed: 2, ..p1 };
+        // Not a hard guarantee, but overwhelmingly likely on a stochastic game.
+        assert_ne!(evaluate(&a, &factory, &p1), evaluate(&a, &factory, &p2));
+    }
+
+    #[test]
+    fn greedy_mode_runs() {
+        let a = agent(3, 3, 3);
+        let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
+        let protocol = EvalProtocol {
+            episodes: 2,
+            max_steps: 50,
+            greedy: true,
+            ..EvalProtocol::default()
+        };
+        let score = evaluate(&a, &factory, &protocol);
+        assert!(score.is_finite());
+    }
+}

@@ -1,0 +1,206 @@
+//! Rollout collection: step `n` environments for `L` steps under the
+//! current policy (the inner loop of Alg. 1).
+
+use crate::agent::ActorCritic;
+use a3cs_envs::Environment;
+use a3cs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Factory producing fresh seeded environments (training uses one per
+/// parallel lane, evaluation creates independent copies).
+pub type EnvFactory<'f> = dyn Fn(u64) -> Box<dyn Environment> + 'f;
+
+/// One collected rollout of `len` steps across `n_envs` environments.
+///
+/// Layouts are time-major: step `t`, environment `e` lives at index
+/// `t * n_envs + e`.
+#[derive(Debug, Clone)]
+pub struct Rollout {
+    /// Number of parallel environments.
+    pub n_envs: usize,
+    /// Steps per environment.
+    pub len: usize,
+    /// Observations at decision time, `[(len+1) * n_envs, obs_len]`
+    /// flattened; the final `n_envs` rows are the bootstrap observations.
+    pub observations: Vec<f32>,
+    /// Observation length per environment.
+    pub obs_len: usize,
+    /// Action taken at each `(t, e)`.
+    pub actions: Vec<usize>,
+    /// Reward received at each `(t, e)`.
+    pub rewards: Vec<f32>,
+    /// Episode-termination flag at each `(t, e)`.
+    pub dones: Vec<bool>,
+}
+
+impl Rollout {
+    /// Total number of transitions (`len * n_envs`).
+    #[must_use]
+    pub fn transitions(&self) -> usize {
+        self.len * self.n_envs
+    }
+
+    /// Sum of rewards in the rollout (diagnostic).
+    #[must_use]
+    pub fn total_reward(&self) -> f32 {
+        self.rewards.iter().sum()
+    }
+}
+
+/// Convert a flat observation batch into a `[n, planes, h, w]` tensor.
+///
+/// # Panics
+///
+/// Panics if the data length does not match.
+#[must_use]
+pub fn batch_to_tensor(data: &[f32], n: usize, shape: (usize, usize, usize)) -> Tensor {
+    let (p, h, w) = shape;
+    Tensor::from_vec(data.to_vec(), &[n, p, h, w]).expect("batch length mismatch")
+}
+
+/// Persistent rollout state: keeps environments (and their mid-episode
+/// state) alive across successive [`collect_rollout`] calls.
+pub struct RolloutRunner {
+    envs: Vec<Box<dyn Environment>>,
+    current_obs: Vec<Vec<f32>>,
+    rng: StdRng,
+}
+
+impl RolloutRunner {
+    /// Create `n_envs` environments from `factory` with distinct seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_envs == 0`.
+    #[must_use]
+    pub fn new(factory: &EnvFactory<'_>, n_envs: usize, seed: u64) -> Self {
+        assert!(n_envs > 0, "need at least one environment");
+        let mut envs: Vec<Box<dyn Environment>> = (0..n_envs)
+            .map(|i| factory(seed.wrapping_add(i as u64)))
+            .collect();
+        let current_obs = envs.iter_mut().map(|e| e.reset()).collect();
+        RolloutRunner {
+            envs,
+            current_obs,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Number of parallel environments.
+    #[must_use]
+    pub fn n_envs(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Observation length of the wrapped environments.
+    #[must_use]
+    pub fn obs_len(&self) -> usize {
+        self.envs[0].observation_len()
+    }
+
+    /// Collect an `len`-step rollout under `agent`'s stochastic policy.
+    pub fn collect(&mut self, agent: &ActorCritic, len: usize) -> Rollout {
+        let n = self.envs.len();
+        let obs_len = self.obs_len();
+        let mut observations = Vec::with_capacity((len + 1) * n * obs_len);
+        let mut actions = Vec::with_capacity(len * n);
+        let mut rewards = Vec::with_capacity(len * n);
+        let mut dones = Vec::with_capacity(len * n);
+
+        for _ in 0..len {
+            let mut step_obs = Vec::with_capacity(n * obs_len);
+            for o in &self.current_obs {
+                step_obs.extend_from_slice(o);
+            }
+            let acts = agent.act(&step_obs, n, &mut self.rng);
+            observations.extend_from_slice(&step_obs);
+            for (e, (&a, env)) in acts.iter().zip(self.envs.iter_mut()).enumerate() {
+                let out = env.step(a);
+                actions.push(a);
+                rewards.push(out.reward);
+                dones.push(out.done);
+                self.current_obs[e] = if out.done { env.reset() } else { out.observation };
+            }
+        }
+        // Bootstrap observations (post-rollout states).
+        for o in &self.current_obs {
+            observations.extend_from_slice(o);
+        }
+
+        Rollout {
+            n_envs: n,
+            len,
+            observations,
+            obs_len,
+            actions,
+            rewards,
+            dones,
+        }
+    }
+}
+
+/// One-shot convenience: build a runner and collect a single rollout.
+#[must_use]
+pub fn collect_rollout(
+    agent: &ActorCritic,
+    factory: &EnvFactory<'_>,
+    n_envs: usize,
+    len: usize,
+    seed: u64,
+) -> Rollout {
+    RolloutRunner::new(factory, n_envs, seed).collect(agent, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_envs::Breakout;
+    use a3cs_nn::vanilla;
+
+    fn agent() -> ActorCritic {
+        let backbone = vanilla(3, 12, 12, 16, 0);
+        ActorCritic::new(Box::new(backbone), 16, (3, 12, 12), 3, 1)
+    }
+
+    fn factory(seed: u64) -> Box<dyn Environment> {
+        Box::new(Breakout::new(seed))
+    }
+
+    #[test]
+    fn rollout_dimensions() {
+        let a = agent();
+        let r = collect_rollout(&a, &factory, 3, 5, 7);
+        assert_eq!(r.transitions(), 15);
+        assert_eq!(r.actions.len(), 15);
+        assert_eq!(r.rewards.len(), 15);
+        assert_eq!(r.dones.len(), 15);
+        assert_eq!(r.observations.len(), (5 + 1) * 3 * r.obs_len);
+    }
+
+    #[test]
+    fn runner_persists_episode_state() {
+        let a = agent();
+        let mut runner = RolloutRunner::new(&factory, 2, 3);
+        let r1 = runner.collect(&a, 4);
+        let r2 = runner.collect(&a, 4);
+        // Unless an episode ended exactly at the boundary, the second
+        // rollout starts where the first stopped.
+        let last_of_r1 = &r1.observations[(4 + 1) * 2 * r1.obs_len - 2 * r1.obs_len..];
+        let first_of_r2 = &r2.observations[..2 * r2.obs_len];
+        assert_eq!(last_of_r1, first_of_r2);
+    }
+
+    #[test]
+    fn actions_are_legal() {
+        let a = agent();
+        let r = collect_rollout(&a, &factory, 2, 10, 11);
+        assert!(r.actions.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn batch_to_tensor_shapes() {
+        let t = batch_to_tensor(&vec![0.0; 2 * 3 * 4 * 4], 2, (3, 4, 4));
+        assert_eq!(t.shape(), &[2, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The end-to-end A2C training loop with the paper's hyper-parameters.
+
+use crate::a2c::{a2c_losses, A2cConfig, LossStats};
+use crate::agent::ActorCritic;
+use crate::distill::DistillConfig;
+use crate::eval::{evaluate, EvalProtocol};
+use crate::optim::{clip_grad_norm, LrSchedule, Optimizer, RmsProp};
+use crate::rollout::{EnvFactory, RolloutRunner};
+use a3cs_envs::wrappers::{ClipReward, EpisodeLimit};
+use a3cs_envs::Environment;
+use a3cs_tensor::Tape;
+
+/// Training-loop configuration. Defaults follow the paper's settings
+/// (RMSProp at `1e-3` decaying linearly to `1e-4`, `γ = 0.99`, rollout
+/// length 5, sign-clipped training rewards, 30-episode evaluations),
+/// scaled to the reproduction's step budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Parallel environments (synchronous A2C lanes).
+    pub n_envs: usize,
+    /// Rollout length `L` (paper: 5).
+    pub rollout_len: usize,
+    /// Total environment steps of training.
+    pub total_steps: u64,
+    /// Initial learning rate (paper: 1e-3).
+    pub initial_lr: f32,
+    /// Final learning rate after linear decay (paper: 1e-4).
+    pub final_lr: f32,
+    /// Fraction of training at constant LR before decay (paper: 1/3).
+    pub constant_lr_fraction: f32,
+    /// A2C objective settings (γ, value/entropy weights).
+    pub a2c: A2cConfig,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+    /// Sign-clip rewards during training (standard Atari practice).
+    pub clip_rewards: bool,
+    /// Cap on training-episode length.
+    pub episode_cap: usize,
+    /// Evaluate every this many environment steps.
+    pub eval_every: u64,
+    /// Episodes per evaluation (paper: 30).
+    pub eval_episodes: usize,
+    /// Null-op start maximum for evaluations.
+    pub eval_noop_max: usize,
+    /// Step cap per evaluation episode.
+    pub eval_max_steps: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            n_envs: 4,
+            rollout_len: 5,
+            total_steps: 20_000,
+            initial_lr: 1e-3,
+            final_lr: 1e-4,
+            constant_lr_fraction: 1.0 / 3.0,
+            a2c: A2cConfig::default(),
+            max_grad_norm: 1.0,
+            clip_rewards: true,
+            episode_cap: 400,
+            eval_every: 2_000,
+            eval_episodes: 30,
+            eval_noop_max: 8,
+            eval_max_steps: 400,
+        }
+    }
+}
+
+/// Score trajectory of one training run: `(env_steps, mean_score)` points
+/// plus summary statistics. This is the raw material of the paper's
+/// Fig. 1 / Fig. 2 curves and Table I/II cells.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainingCurve {
+    /// `(environment steps, evaluation score)` samples in step order.
+    pub points: Vec<(u64, f32)>,
+    /// Mean training loss diagnostics over the run.
+    pub final_stats: LossStats,
+}
+
+impl TrainingCurve {
+    /// Highest evaluation score seen (the paper's Table I metric).
+    #[must_use]
+    pub fn best_score(&self) -> f32 {
+        self.points
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Final evaluation score.
+    #[must_use]
+    pub fn final_score(&self) -> f32 {
+        self.points.last().map_or(f32::NEG_INFINITY, |&(_, s)| s)
+    }
+}
+
+/// Drives A2C training of an [`ActorCritic`] on one game.
+pub struct Trainer {
+    config: TrainerConfig,
+    seed: u64,
+}
+
+impl Trainer {
+    /// Create a trainer.
+    #[must_use]
+    pub fn new(config: TrainerConfig, seed: u64) -> Self {
+        Trainer { config, seed }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Train `agent` on environments from `factory`. When
+    /// `distillation = Some((config, teacher))`, the corresponding
+    /// distillation terms are added to the objective (Eq. 12).
+    ///
+    /// Returns the evaluation-score curve.
+    pub fn train(
+        &mut self,
+        agent: &ActorCritic,
+        factory: &EnvFactory<'_>,
+        distillation: Option<(&DistillConfig, &ActorCritic)>,
+    ) -> TrainingCurve {
+        let cfg = self.config;
+        let schedule = LrSchedule {
+            initial_lr: cfg.initial_lr,
+            final_lr: cfg.final_lr,
+            constant_steps: (cfg.total_steps as f32 * cfg.constant_lr_fraction) as u64,
+            total_steps: cfg.total_steps,
+        };
+        let mut optimizer = RmsProp::new(cfg.initial_lr);
+        let params = agent.params();
+
+        // Training environments: clipped rewards, capped episodes.
+        let clip = cfg.clip_rewards;
+        let cap = cfg.episode_cap;
+        let train_factory = move |seed: u64| -> Box<dyn Environment> {
+            let env = factory(seed);
+            if clip {
+                Box::new(EpisodeLimit::new(ClipReward::new(env), cap))
+            } else {
+                Box::new(EpisodeLimit::new(env, cap))
+            }
+        };
+        let mut runner = RolloutRunner::new(&train_factory, cfg.n_envs, self.seed);
+
+        let (distill_cfg, teacher) = match distillation {
+            Some((d, t)) => (*d, Some(t)),
+            None => (DistillConfig::default(), None),
+        };
+
+        let mut curve = TrainingCurve::default();
+        let mut steps: u64 = 0;
+        let mut next_eval = cfg.eval_every.min(cfg.total_steps);
+        let mut last_stats = LossStats::default();
+
+        while steps < cfg.total_steps {
+            let rollout = runner.collect(agent, cfg.rollout_len);
+            steps += rollout.transitions() as u64;
+
+            let tape = Tape::new();
+            agent.zero_grad();
+            let (loss, stats) =
+                a2c_losses(&tape, agent, &rollout, &cfg.a2c, &distill_cfg, teacher);
+            loss.backward();
+            let _ = clip_grad_norm(&params, cfg.max_grad_norm);
+            optimizer.set_lr(schedule.at(steps));
+            optimizer.step(&params);
+            last_stats = stats;
+
+            if steps >= next_eval {
+                let protocol = EvalProtocol {
+                    episodes: cfg.eval_episodes,
+                    noop_max: cfg.eval_noop_max,
+                    max_steps: cfg.eval_max_steps,
+                    seed: self.seed ^ steps,
+                    greedy: false,
+                };
+                let score = evaluate(agent, factory, &protocol);
+                curve.points.push((steps, score));
+                next_eval += cfg.eval_every;
+            }
+        }
+        if curve.points.is_empty() {
+            let protocol = EvalProtocol {
+                episodes: cfg.eval_episodes,
+                noop_max: cfg.eval_noop_max,
+                max_steps: cfg.eval_max_steps,
+                seed: self.seed,
+                greedy: false,
+            };
+            curve.points.push((steps, evaluate(agent, factory, &protocol)));
+        }
+        curve.final_stats = last_stats;
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_envs::{Atlantis, Environment};
+    use a3cs_nn::vanilla;
+
+    fn agent(planes: usize, actions: usize, seed: u64) -> ActorCritic {
+        let backbone = vanilla(planes, 12, 12, 16, seed);
+        ActorCritic::new(Box::new(backbone), 16, (planes, 12, 12), actions, seed)
+    }
+
+    fn atlantis(seed: u64) -> Box<dyn Environment> {
+        Box::new(Atlantis::new(seed))
+    }
+
+    #[test]
+    fn short_training_run_completes() {
+        let a = agent(3, 4, 1);
+        let cfg = TrainerConfig {
+            total_steps: 400,
+            eval_every: 200,
+            eval_episodes: 2,
+            eval_max_steps: 60,
+            ..TrainerConfig::default()
+        };
+        let curve = Trainer::new(cfg, 3).train(&a, &atlantis, None);
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.best_score() >= curve.points[0].1.min(curve.points[1].1));
+        assert!(curve.final_stats.total.is_finite());
+    }
+
+    #[test]
+    fn training_improves_on_easy_game() {
+        // Atlantis is deliberately easy; a few thousand steps should beat
+        // the untrained policy's score.
+        let a = agent(3, 4, 7);
+        let protocol = EvalProtocol {
+            episodes: 6,
+            max_steps: 150,
+            ..EvalProtocol::default()
+        };
+        let before = evaluate(&a, &atlantis, &protocol);
+        let cfg = TrainerConfig {
+            total_steps: 6_000,
+            eval_every: 6_000,
+            eval_episodes: 6,
+            eval_max_steps: 150,
+            ..TrainerConfig::default()
+        };
+        let _ = Trainer::new(cfg, 11).train(&a, &atlantis, None);
+        let after = evaluate(&a, &atlantis, &protocol);
+        assert!(
+            after > before,
+            "training should improve Atlantis score ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn distilled_training_runs() {
+        let teacher = agent(3, 4, 21);
+        let student = agent(3, 4, 22);
+        let cfg = TrainerConfig {
+            total_steps: 300,
+            eval_every: 300,
+            eval_episodes: 2,
+            eval_max_steps: 50,
+            ..TrainerConfig::default()
+        };
+        let curve = Trainer::new(cfg, 5).train(
+            &student,
+            &atlantis,
+            Some((&DistillConfig::ac_distillation(), &teacher)),
+        );
+        assert!(curve.final_stats.actor_distill >= 0.0);
+    }
+}

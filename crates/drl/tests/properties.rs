@@ -1,0 +1,127 @@
+//! Property tests for the DRL stack: loss finiteness across random games
+//! and rollouts, optimiser convergence, schedule monotonicity.
+
+use a3cs_drl::{
+    a2c_losses, A2cConfig, ActorCritic, Adam, DistillConfig, LrSchedule, Optimizer, RmsProp,
+    RolloutRunner,
+};
+use a3cs_envs::{game_names, make_env, Environment};
+use a3cs_nn::{vanilla, Param};
+use a3cs_tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+fn agent_for(game: &str, seed: u64) -> (ActorCritic, (usize, usize, usize)) {
+    let env = make_env(game, 0).expect("known game");
+    let (p, h, w) = env.observation_shape();
+    let backbone = vanilla(p, h, w, 16, seed);
+    (
+        ActorCritic::new(Box::new(backbone), 16, (p, h, w), env.action_count(), seed),
+        (p, h, w),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn a2c_losses_finite_on_any_game(
+        game in prop::sample::select(game_names()),
+        seed in 0u64..500,
+        rollout_len in 2usize..8,
+        gamma in 0.5f32..0.999,
+    ) {
+        let (agent, _) = agent_for(game, seed);
+        let factory = move |s: u64| make_env(game, s).expect("known game");
+        let mut runner = RolloutRunner::new(&factory, 2, seed);
+        let rollout = runner.collect(&agent, rollout_len);
+        let tape = Tape::new();
+        let config = A2cConfig { gamma, ..A2cConfig::default() };
+        let (loss, stats) = a2c_losses(
+            &tape, &agent, &rollout, &config, &DistillConfig::default(), None,
+        );
+        prop_assert!(loss.value().item().is_finite(), "{game}: {stats:?}");
+        prop_assert!(stats.value >= 0.0);
+        prop_assert!(stats.entropy <= 1e-4, "entropy loss must be <= 0");
+    }
+
+    #[test]
+    fn distillation_losses_are_nonnegative(
+        game in prop::sample::select(game_names()),
+        seed in 0u64..200,
+    ) {
+        let (student, _) = agent_for(game, seed);
+        let (teacher, _) = agent_for(game, seed + 999);
+        let factory = move |s: u64| make_env(game, s).expect("known game");
+        let mut runner = RolloutRunner::new(&factory, 2, seed);
+        let rollout = runner.collect(&student, 5);
+        let tape = Tape::new();
+        let (_, stats) = a2c_losses(
+            &tape, &student, &rollout, &A2cConfig::default(),
+            &DistillConfig::ac_distillation(), Some(&teacher),
+        );
+        prop_assert!(stats.actor_distill >= -1e-4, "KL must be >= 0: {stats:?}");
+        prop_assert!(stats.critic_distill >= 0.0);
+    }
+
+    #[test]
+    fn optimisers_descend_a_random_quadratic(
+        target in -4.0f32..4.0,
+        start in -4.0f32..4.0,
+        use_adam in any::<bool>(),
+    ) {
+        let p = Param::new("p", Tensor::scalar(start));
+        let mut opt: Box<dyn Optimizer> = if use_adam {
+            Box::new(Adam::new(0.15))
+        } else {
+            Box::new(RmsProp::new(0.08))
+        };
+        let loss_at = |v: f32| (v - target) * (v - target);
+        let initial = loss_at(p.value().item());
+        for _ in 0..250 {
+            let tape = Tape::new();
+            let v = p.bind(&tape);
+            v.add_scalar(-target).square().sum().backward();
+            opt.step(std::slice::from_ref(&p));
+        }
+        let final_loss = loss_at(p.value().item());
+        prop_assert!(final_loss <= initial.max(0.05), "{start}->{target}: {final_loss}");
+    }
+
+    #[test]
+    fn lr_schedule_is_monotone_nonincreasing(
+        initial in 1e-4f32..1e-2,
+        frac in 0.05f32..0.9,
+        total in 100u64..100_000,
+    ) {
+        let sched = LrSchedule {
+            initial_lr: initial,
+            final_lr: initial * 0.1,
+            constant_steps: (total as f32 * frac) as u64,
+            total_steps: total,
+        };
+        let mut prev = sched.at(0);
+        for i in 0..20 {
+            let step = total * i / 19;
+            let lr = sched.at(step);
+            prop_assert!(lr <= prev + 1e-9);
+            prop_assert!(lr >= sched.final_lr - 1e-9);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn rollouts_have_consistent_layout(
+        game in prop::sample::select(game_names()),
+        n_envs in 1usize..4,
+        len in 1usize..8,
+        seed in 0u64..300,
+    ) {
+        let (agent, (p, h, w)) = agent_for(game, seed);
+        let factory = move |s: u64| make_env(game, s).expect("known game");
+        let mut runner = RolloutRunner::new(&factory, n_envs, seed);
+        let r = runner.collect(&agent, len);
+        prop_assert_eq!(r.transitions(), n_envs * len);
+        prop_assert_eq!(r.observations.len(), (len + 1) * n_envs * p * h * w);
+        prop_assert!(r.actions.iter().all(|&a| a < agent.n_actions()));
+    }
+}

@@ -1,0 +1,211 @@
+//! Boxing: land punches on a scripted opponent within a time limit.
+
+use crate::env::{Canvas, Environment, StepOutcome};
+use crate::games::clamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRID: usize = 12;
+const ROUND_STEPS: u32 = 240;
+
+/// Boxing stand-in: a fixed-length round in a ring. Landing a punch on the
+/// adjacent opponent pays `+1` and knocks them back; the scripted opponent
+/// approaches and counter-punches (`-1`). The episode always lasts
+/// a fixed 240 steps, so the score is the hit differential — bounded
+/// like Atari Boxing's 100-point knockout scale.
+///
+/// Actions: `0` no-op, `1` up, `2` down, `3` left, `4` right, `5` punch.
+#[derive(Debug, Clone)]
+pub struct Boxing {
+    rng: StdRng,
+    player: (isize, isize),
+    opponent: (isize, isize),
+    clock: u32,
+    done: bool,
+}
+
+fn adjacent(a: (isize, isize), b: (isize, isize)) -> bool {
+    (a.0 - b.0).abs() <= 1 && (a.1 - b.1).abs() <= 1 && a != b
+}
+
+impl Boxing {
+    /// Create a seeded Boxing game.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Boxing {
+            rng: StdRng::seed_from_u64(seed),
+            player: (GRID as isize / 2, 2),
+            opponent: (GRID as isize / 2, GRID as isize - 3),
+            clock: 0,
+            done: true,
+        }
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        let mut canvas = Canvas::new(3, GRID, GRID);
+        canvas.paint(0, self.player.0, self.player.1, 1.0);
+        canvas.paint(1, self.opponent.0, self.opponent.1, 1.0);
+        // Round-time bar on plane 2.
+        let bar = ((ROUND_STEPS - self.clock) as usize * GRID) / ROUND_STEPS as usize;
+        for c in 0..bar {
+            canvas.paint(2, 0, c as isize, 1.0);
+        }
+        canvas.into_observation()
+    }
+
+    fn knock_back(from: (isize, isize), target: (isize, isize)) -> (isize, isize) {
+        let dr = (target.0 - from.0).signum();
+        let dc = (target.1 - from.1).signum();
+        (
+            clamp(target.0 + dr * 2, 0, GRID as isize - 1),
+            clamp(target.1 + dc * 2, 0, GRID as isize - 1),
+        )
+    }
+}
+
+impl Environment for Boxing {
+    fn name(&self) -> &str {
+        "Boxing"
+    }
+
+    fn observation_shape(&self) -> (usize, usize, usize) {
+        (3, GRID, GRID)
+    }
+
+    fn action_count(&self) -> usize {
+        6
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.player = (GRID as isize / 2, 2);
+        self.opponent = (GRID as isize / 2, GRID as isize - 3);
+        self.clock = 0;
+        self.done = false;
+        self.observe()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        assert!(!self.done, "episode is over; call reset()");
+        assert!(action < self.action_count(), "invalid action {action}");
+        self.clock += 1;
+        let mut reward = 0.0f32;
+
+        let (dr, dc) = match action {
+            1 => (-1, 0),
+            2 => (1, 0),
+            3 => (0, -1),
+            4 => (0, 1),
+            _ => (0, 0),
+        };
+        let next = (
+            clamp(self.player.0 + dr, 0, GRID as isize - 1),
+            clamp(self.player.1 + dc, 0, GRID as isize - 1),
+        );
+        if next != self.opponent {
+            self.player = next;
+        }
+
+        if action == 5 && adjacent(self.player, self.opponent) {
+            reward += 1.0;
+            self.opponent = Self::knock_back(self.player, self.opponent);
+        }
+
+        // Opponent: approach, punch when adjacent (with some hesitation).
+        if adjacent(self.opponent, self.player) {
+            if self.rng.gen_bool(0.4) {
+                reward -= 1.0;
+                self.player = Self::knock_back(self.opponent, self.player);
+            }
+        } else if self.rng.gen_bool(0.75) {
+            let dr = (self.player.0 - self.opponent.0).signum();
+            let dc = (self.player.1 - self.opponent.1).signum();
+            let next = (
+                clamp(self.opponent.0 + dr, 0, GRID as isize - 1),
+                clamp(self.opponent.1 + dc, 0, GRID as isize - 1),
+            );
+            if next != self.player {
+                self.opponent = next;
+            }
+        }
+
+        if self.clock >= ROUND_STEPS {
+            self.done = true;
+        }
+
+        StepOutcome {
+            observation: self.observe(),
+            reward,
+            done: self.done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::testkit::{assert_deterministic, random_rollout};
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_deterministic(Boxing::new(61), Boxing::new(61), 500);
+    }
+
+    #[test]
+    fn round_has_fixed_length() {
+        let mut env = Boxing::new(1);
+        let _ = env.reset();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if env.step(0).done {
+                break;
+            }
+        }
+        assert_eq!(steps, ROUND_STEPS);
+    }
+
+    #[test]
+    fn smoke_random_rollout() {
+        let mut env = Boxing::new(2);
+        let _ = random_rollout(&mut env, 800, 10);
+    }
+
+    #[test]
+    fn punching_adjacent_opponent_scores() {
+        let mut env = Boxing::new(3);
+        let _ = env.reset();
+        // Walk toward the opponent, then punch when adjacent.
+        let mut landed = false;
+        for _ in 0..60 {
+            let action = if adjacent(env.player, env.opponent) {
+                5
+            } else if env.opponent.1 > env.player.1 {
+                4
+            } else {
+                3
+            };
+            let out = env.step(action);
+            if out.reward > 0.0 {
+                landed = true;
+                break;
+            }
+            if out.done {
+                break;
+            }
+        }
+        assert!(landed, "aggressive policy should land a punch");
+    }
+
+    #[test]
+    fn fighters_never_overlap() {
+        let mut env = Boxing::new(4);
+        let _ = env.reset();
+        for i in 0..400 {
+            let out = env.step(i % 6);
+            assert_ne!(env.player, env.opponent);
+            if out.done {
+                let _ = env.reset();
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The game roster: twenty-one grid-world MDPs named after the Atari titles
+//! they stand in for.
+
+mod alien;
+mod assault;
+mod asteroids;
+mod asterix;
+mod atlantis;
+mod battle_zone;
+mod beam_rider;
+mod bowling;
+mod boxing;
+mod breakout;
+mod centipede;
+mod chopper_command;
+mod crazy_climber;
+mod demon_attack;
+mod pong;
+mod qbert;
+mod seaquest;
+mod tennis;
+mod time_pilot;
+mod space_invaders;
+mod wizard_of_wor;
+
+pub use alien::Alien;
+pub use assault::Assault;
+pub use asteroids::Asteroids;
+pub use asterix::Asterix;
+pub use atlantis::Atlantis;
+pub use battle_zone::BattleZone;
+pub use beam_rider::BeamRider;
+pub use bowling::Bowling;
+pub use boxing::Boxing;
+pub use breakout::Breakout;
+pub use centipede::Centipede;
+pub use chopper_command::ChopperCommand;
+pub use crazy_climber::CrazyClimber;
+pub use demon_attack::DemonAttack;
+pub use pong::Pong;
+pub use qbert::Qbert;
+pub use seaquest::Seaquest;
+pub use tennis::Tennis;
+pub use time_pilot::TimePilot;
+pub use space_invaders::SpaceInvaders;
+pub use wizard_of_wor::WizardOfWor;
+
+pub(crate) fn clamp(v: isize, lo: isize, hi: isize) -> isize {
+    v.max(lo).min(hi)
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! Shared smoke-test helpers for game implementations.
+
+    use crate::env::Environment;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Run `steps` random actions, asserting observation invariants hold
+    /// throughout. Returns total accumulated reward.
+    pub fn random_rollout(env: &mut dyn Environment, steps: usize, seed: u64) -> f32 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut obs = env.reset();
+        let mut total = 0.0;
+        for _ in 0..steps {
+            assert_eq!(obs.len(), env.observation_len(), "obs length mismatch");
+            assert!(
+                obs.iter().all(|v| (0.0..=1.0).contains(v)),
+                "observation values must lie in [0, 1]"
+            );
+            let action = rng.gen_range(0..env.action_count());
+            let out = env.step(action);
+            assert!(out.reward.is_finite());
+            total += out.reward;
+            obs = if out.done { env.reset() } else { out.observation };
+        }
+        total
+    }
+
+    /// Two environments with the same seed must produce identical
+    /// trajectories under the same action sequence.
+    pub fn assert_deterministic<E: Environment>(mut a: E, mut b: E, steps: usize) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let (mut oa, mut ob) = (a.reset(), b.reset());
+        assert_eq!(oa, ob, "initial observations differ");
+        for _ in 0..steps {
+            let action = rng.gen_range(0..a.action_count());
+            let sa = a.step(action);
+            let sb = b.step(action);
+            assert_eq!(sa, sb, "trajectories diverged");
+            if sa.done {
+                oa = a.reset();
+                ob = b.reset();
+                assert_eq!(oa, ob);
+            } else {
+                oa = sa.observation;
+                ob = sb.observation;
+            }
+            let _ = (&oa, &ob);
+        }
+    }
+}

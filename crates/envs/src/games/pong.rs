@@ -1,0 +1,220 @@
+//! Pong: two paddles and a bouncing ball.
+
+use crate::env::{Canvas, Environment, StepOutcome};
+use crate::games::clamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRID: usize = 12;
+const PADDLE_HALF: isize = 1;
+const PLAYER_COL: isize = GRID as isize - 1;
+const OPP_COL: isize = 0;
+const WIN_SCORE: i32 = 5;
+
+/// Pong stand-in: the agent controls the right paddle against a scripted
+/// opponent that tracks the ball imperfectly. `+1` when the opponent
+/// misses, `-1` when the agent misses; first to five points ends the
+/// episode, so returns lie in `[-5, 5]`.
+///
+/// Actions: `0` no-op, `1` up, `2` down.
+#[derive(Debug, Clone)]
+pub struct Pong {
+    rng: StdRng,
+    player: isize,
+    opponent: isize,
+    ball_r: isize,
+    ball_c: isize,
+    vel_r: isize,
+    vel_c: isize,
+    player_score: i32,
+    opponent_score: i32,
+    done: bool,
+}
+
+impl Pong {
+    /// Create a seeded Pong game.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Pong {
+            rng: StdRng::seed_from_u64(seed),
+            player: GRID as isize / 2,
+            opponent: GRID as isize / 2,
+            ball_r: 0,
+            ball_c: 0,
+            vel_r: 1,
+            vel_c: 1,
+            player_score: 0,
+            opponent_score: 0,
+            done: true,
+        }
+    }
+
+    fn serve(&mut self, toward_player: bool) {
+        self.ball_r = self.rng.gen_range(3..GRID as isize - 3);
+        self.ball_c = GRID as isize / 2;
+        self.vel_r = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+        self.vel_c = if toward_player { 1 } else { -1 };
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        let mut canvas = Canvas::new(3, GRID, GRID);
+        for d in -PADDLE_HALF..=PADDLE_HALF {
+            canvas.paint(0, self.player + d, PLAYER_COL, 1.0);
+            canvas.paint(1, self.opponent + d, OPP_COL, 1.0);
+        }
+        canvas.paint(2, self.ball_r, self.ball_c, 1.0);
+        canvas.into_observation()
+    }
+}
+
+impl Environment for Pong {
+    fn name(&self) -> &str {
+        "Pong"
+    }
+
+    fn observation_shape(&self) -> (usize, usize, usize) {
+        (3, GRID, GRID)
+    }
+
+    fn action_count(&self) -> usize {
+        3
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.player = GRID as isize / 2;
+        self.opponent = GRID as isize / 2;
+        self.player_score = 0;
+        self.opponent_score = 0;
+        self.done = false;
+        let toward_player = self.rng.gen_bool(0.5);
+        self.serve(toward_player);
+        self.observe()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        assert!(!self.done, "episode is over; call reset()");
+        assert!(action < self.action_count(), "invalid action {action}");
+        let lim = (PADDLE_HALF, GRID as isize - 1 - PADDLE_HALF);
+        match action {
+            1 => self.player = clamp(self.player - 1, lim.0, lim.1),
+            2 => self.player = clamp(self.player + 1, lim.0, lim.1),
+            _ => {}
+        }
+
+        // Scripted opponent: track the ball with 80% reliability.
+        if self.rng.gen_bool(0.8) {
+            let delta = (self.ball_r - self.opponent).signum();
+            self.opponent = clamp(self.opponent + delta, lim.0, lim.1);
+        }
+
+        // Ball motion with top/bottom bounces.
+        let mut nr = self.ball_r + self.vel_r;
+        let nc = self.ball_c + self.vel_c;
+        if nr < 0 || nr >= GRID as isize {
+            self.vel_r = -self.vel_r;
+            nr = self.ball_r + self.vel_r;
+        }
+
+        let mut reward = 0.0f32;
+        if nc >= PLAYER_COL {
+            if (nr - self.player).abs() <= PADDLE_HALF {
+                self.vel_c = -1;
+                self.ball_r = nr;
+                self.ball_c = PLAYER_COL - 1;
+            } else {
+                reward -= 1.0;
+                self.opponent_score += 1;
+                self.serve(false);
+            }
+        } else if nc <= OPP_COL {
+            if (nr - self.opponent).abs() <= PADDLE_HALF {
+                self.vel_c = 1;
+                self.ball_r = nr;
+                self.ball_c = OPP_COL + 1;
+            } else {
+                reward += 1.0;
+                self.player_score += 1;
+                self.serve(true);
+            }
+        } else {
+            self.ball_r = nr;
+            self.ball_c = nc;
+        }
+
+        if self.player_score >= WIN_SCORE || self.opponent_score >= WIN_SCORE {
+            self.done = true;
+        }
+
+        StepOutcome {
+            observation: self.observe(),
+            reward,
+            done: self.done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::testkit::{assert_deterministic, random_rollout};
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_deterministic(Pong::new(11), Pong::new(11), 400);
+    }
+
+    #[test]
+    fn random_play_is_bounded_per_episode() {
+        let mut env = Pong::new(1);
+        let _ = env.reset();
+        let mut episode_total = 0.0f32;
+        loop {
+            let out = env.step(0);
+            episode_total += out.reward;
+            if out.done {
+                break;
+            }
+        }
+        assert!((-(WIN_SCORE as f32)..=WIN_SCORE as f32).contains(&episode_total));
+    }
+
+    #[test]
+    fn tracking_policy_beats_idle_policy() {
+        let score = |track: bool, seed: u64| {
+            let mut env = Pong::new(seed);
+            let mut obs = env.reset();
+            let mut total = 0.0;
+            for _ in 0..600 {
+                let action = if track {
+                    let ball_r = obs[2 * GRID * GRID..]
+                        .iter()
+                        .position(|&v| v > 0.0)
+                        .map_or(GRID / 2, |i| i / GRID);
+                    match (ball_r as isize).cmp(&env.player) {
+                        std::cmp::Ordering::Less => 1,
+                        std::cmp::Ordering::Greater => 2,
+                        std::cmp::Ordering::Equal => 0,
+                    }
+                } else {
+                    0
+                };
+                let out = env.step(action);
+                total += out.reward;
+                obs = if out.done { env.reset() } else { out.observation };
+            }
+            total
+        };
+        let tracked: f32 = (0..3).map(|s| score(true, s)).sum();
+        let idle: f32 = (0..3).map(|s| score(false, s)).sum();
+        assert!(
+            tracked > idle,
+            "tracking ({tracked}) should beat idling ({idle})"
+        );
+    }
+
+    #[test]
+    fn smoke_random_rollout() {
+        let mut env = Pong::new(9);
+        let _ = random_rollout(&mut env, 800, 3);
+    }
+}

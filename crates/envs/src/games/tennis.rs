@@ -1,0 +1,204 @@
+//! Tennis: a vertical rally against a scripted opponent.
+
+use crate::env::{Canvas, Environment, StepOutcome};
+use crate::games::clamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRID: usize = 12;
+const POINTS_PER_MATCH: i32 = 24;
+
+/// Tennis stand-in: the agent plays the near (bottom) court against a
+/// scripted opponent on the far side; the ball travels diagonally and
+/// must be met with the racket (within one column). `+1`/`-1` per point,
+/// fixed-length match of 24 points, so the match score lies in
+/// `[-24, 24]` like Atari Tennis.
+///
+/// Actions: `0` no-op, `1` left, `2` right.
+#[derive(Debug, Clone)]
+pub struct Tennis {
+    rng: StdRng,
+    player: isize,
+    opponent: isize,
+    ball: (isize, isize),
+    vel: (isize, isize),
+    points_played: i32,
+    done: bool,
+}
+
+impl Tennis {
+    /// Create a seeded Tennis game.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Tennis {
+            rng: StdRng::seed_from_u64(seed),
+            player: GRID as isize / 2,
+            opponent: GRID as isize / 2,
+            ball: (0, 0),
+            vel: (1, 1),
+            points_played: 0,
+            done: true,
+        }
+    }
+
+    fn serve(&mut self, toward_player: bool) {
+        self.ball = (GRID as isize / 2, self.rng.gen_range(2..GRID as isize - 2));
+        self.vel = (
+            if toward_player { 1 } else { -1 },
+            if self.rng.gen_bool(0.5) { 1 } else { -1 },
+        );
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        let mut canvas = Canvas::new(3, GRID, GRID);
+        for d in -1..=1 {
+            canvas.paint(0, GRID as isize - 1, self.player + d, 1.0);
+            canvas.paint(1, 0, self.opponent + d, 1.0);
+        }
+        canvas.paint(2, self.ball.0, self.ball.1, 1.0);
+        canvas.into_observation()
+    }
+}
+
+impl Environment for Tennis {
+    fn name(&self) -> &str {
+        "Tennis"
+    }
+
+    fn observation_shape(&self) -> (usize, usize, usize) {
+        (3, GRID, GRID)
+    }
+
+    fn action_count(&self) -> usize {
+        3
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.player = GRID as isize / 2;
+        self.opponent = GRID as isize / 2;
+        self.points_played = 0;
+        self.done = false;
+        let toward = self.rng.gen_bool(0.5);
+        self.serve(toward);
+        self.observe()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        assert!(!self.done, "episode is over; call reset()");
+        assert!(action < self.action_count(), "invalid action {action}");
+        let lim = (1, GRID as isize - 2);
+        match action {
+            1 => self.player = clamp(self.player - 1, lim.0, lim.1),
+            2 => self.player = clamp(self.player + 1, lim.0, lim.1),
+            _ => {}
+        }
+        // Opponent tracks with 75% reliability.
+        if self.rng.gen_bool(0.75) {
+            let delta = (self.ball.1 - self.opponent).signum();
+            self.opponent = clamp(self.opponent + delta, lim.0, lim.1);
+        }
+
+        // Ball motion with side-wall bounces.
+        let mut nc = self.ball.1 + self.vel.1;
+        if !(0..GRID as isize).contains(&nc) {
+            self.vel.1 = -self.vel.1;
+            nc = self.ball.1 + self.vel.1;
+        }
+        let nr = self.ball.0 + self.vel.0;
+
+        let mut reward = 0.0f32;
+        if nr >= GRID as isize - 1 {
+            // Ball at the near baseline: return or lose the point.
+            if (nc - self.player).abs() <= 1 {
+                self.vel.0 = -1;
+                self.ball = (GRID as isize - 2, nc);
+            } else {
+                reward -= 1.0;
+                self.points_played += 1;
+                self.serve(false);
+            }
+        } else if nr <= 0 {
+            if (nc - self.opponent).abs() <= 1 {
+                self.vel.0 = 1;
+                self.ball = (1, nc);
+            } else {
+                reward += 1.0;
+                self.points_played += 1;
+                self.serve(true);
+            }
+        } else {
+            self.ball = (nr, nc);
+        }
+
+        if self.points_played >= POINTS_PER_MATCH {
+            self.done = true;
+        }
+
+        StepOutcome {
+            observation: self.observe(),
+            reward,
+            done: self.done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::testkit::{assert_deterministic, random_rollout};
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_deterministic(Tennis::new(161), Tennis::new(161), 400);
+    }
+
+    #[test]
+    fn match_score_is_bounded() {
+        let mut env = Tennis::new(1);
+        let _ = env.reset();
+        let mut total = 0.0f32;
+        loop {
+            let out = env.step(0);
+            total += out.reward;
+            if out.done {
+                break;
+            }
+        }
+        assert!((-(POINTS_PER_MATCH as f32)..=POINTS_PER_MATCH as f32).contains(&total));
+    }
+
+    #[test]
+    fn smoke_random_rollout() {
+        let mut env = Tennis::new(2);
+        let _ = random_rollout(&mut env, 1000, 20);
+    }
+
+    #[test]
+    fn tracking_beats_idling() {
+        let score = |track: bool| {
+            let mut total = 0.0;
+            for seed in 0..3 {
+                let mut env = Tennis::new(seed);
+                let _ = env.reset();
+                for _ in 0..500 {
+                    let a = if track {
+                        match env.ball.1.cmp(&env.player) {
+                            std::cmp::Ordering::Less => 1,
+                            std::cmp::Ordering::Greater => 2,
+                            std::cmp::Ordering::Equal => 0,
+                        }
+                    } else {
+                        0
+                    };
+                    let out = env.step(a);
+                    total += out.reward;
+                    if out.done {
+                        let _ = env.reset();
+                    }
+                }
+            }
+            total
+        };
+        assert!(score(true) > score(false));
+    }
+}

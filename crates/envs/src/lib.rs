@@ -1,0 +1,46 @@
+//! Simulated Atari-style environments: the reproduction's substitute for
+//! the Arcade Learning Environment (ALE).
+//!
+//! The A3C-S paper evaluates DRL agents on Atari 2600 games through ALE,
+//! which needs proprietary ROMs and a hardware-scale training budget.
+//! This crate provides from-scratch grid-world MDPs named after their
+//! Atari counterparts. Each game:
+//!
+//! - is a genuine sequential decision problem (not a bandit) with
+//!   deterministic dynamics driven by a seeded RNG for stochastic events;
+//! - renders multi-plane "pixel" observations (`[planes, H, W]`, values in
+//!   `[0, 1]`), so convolutional backbones see spatially structured input;
+//! - has episode semantics (termination, score accumulation) and supports
+//!   the paper's evaluation protocol (null-op starts, 30-episode averages)
+//!   via [`wrappers`].
+//!
+//! # Example
+//!
+//! ```
+//! use a3cs_envs::{make_env, Environment};
+//!
+//! let mut env = make_env("Breakout", 7)?;
+//! let obs = env.reset();
+//! assert_eq!(obs.len(), {
+//!     let (p, h, w) = env.observation_shape();
+//!     p * h * w
+//! });
+//! let outcome = env.step(0);
+//! assert!(outcome.reward.is_finite());
+//! # Ok::<(), a3cs_envs::UnknownGameError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod env;
+mod games;
+mod registry;
+pub mod wrappers;
+
+pub use env::{Environment, StepOutcome};
+pub use games::{
+    Alien, Assault, Asterix, Asteroids, Atlantis, BattleZone, BeamRider, Bowling, Boxing,
+    Breakout, Centipede, ChopperCommand, CrazyClimber, DemonAttack, Pong, Qbert, Seaquest,
+    SpaceInvaders, Tennis, TimePilot, WizardOfWor,
+};
+pub use registry::{game_names, make_env, UnknownGameError};

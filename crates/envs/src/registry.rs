@@ -1,0 +1,141 @@
+//! Name-based environment construction.
+
+use crate::env::Environment;
+use crate::games::{
+    Alien, Assault, Asterix, Asteroids, Atlantis, BattleZone, BeamRider, Bowling, Boxing,
+    Breakout, Centipede, ChopperCommand, CrazyClimber, DemonAttack, Pong, Qbert, Seaquest,
+    SpaceInvaders, Tennis, TimePilot, WizardOfWor,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`make_env`] for an unrecognised game name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownGameError {
+    name: String,
+}
+
+impl fmt::Display for UnknownGameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown game {:?}; known games: {}",
+            self.name,
+            game_names().join(", ")
+        )
+    }
+}
+
+impl Error for UnknownGameError {}
+
+/// Names of all available games, in a stable order.
+#[must_use]
+pub fn game_names() -> Vec<&'static str> {
+    vec![
+        "Alien",
+        "Assault",
+        "Asterix",
+        "Asteroids",
+        "Atlantis",
+        "BattleZone",
+        "BeamRider",
+        "Bowling",
+        "Boxing",
+        "Breakout",
+        "Centipede",
+        "ChopperCommand",
+        "CrazyClimber",
+        "DemonAttack",
+        "Pong",
+        "Qbert",
+        "Seaquest",
+        "SpaceInvaders",
+        "Tennis",
+        "TimePilot",
+        "WizardOfWor",
+    ]
+}
+
+/// Construct a seeded game by name.
+///
+/// # Errors
+///
+/// Returns [`UnknownGameError`] if `name` is not one of [`game_names`].
+///
+/// # Example
+///
+/// ```
+/// let env = a3cs_envs::make_env("Pong", 1)?;
+/// assert_eq!(a3cs_envs::Environment::action_count(&env), 3);
+/// # Ok::<(), a3cs_envs::UnknownGameError>(())
+/// ```
+pub fn make_env(name: &str, seed: u64) -> Result<Box<dyn Environment>, UnknownGameError> {
+    Ok(match name {
+        "Alien" => Box::new(Alien::new(seed)),
+        "Assault" => Box::new(Assault::new(seed)),
+        "Asteroids" => Box::new(Asteroids::new(seed)),
+        "Asterix" => Box::new(Asterix::new(seed)),
+        "Atlantis" => Box::new(Atlantis::new(seed)),
+        "BattleZone" => Box::new(BattleZone::new(seed)),
+        "BeamRider" => Box::new(BeamRider::new(seed)),
+        "Bowling" => Box::new(Bowling::new(seed)),
+        "Boxing" => Box::new(Boxing::new(seed)),
+        "Breakout" => Box::new(Breakout::new(seed)),
+        "Centipede" => Box::new(Centipede::new(seed)),
+        "ChopperCommand" => Box::new(ChopperCommand::new(seed)),
+        "CrazyClimber" => Box::new(CrazyClimber::new(seed)),
+        "DemonAttack" => Box::new(DemonAttack::new(seed)),
+        "Pong" => Box::new(Pong::new(seed)),
+        "Qbert" => Box::new(Qbert::new(seed)),
+        "Seaquest" => Box::new(Seaquest::new(seed)),
+        "SpaceInvaders" => Box::new(SpaceInvaders::new(seed)),
+        "Tennis" => Box::new(Tennis::new(seed)),
+        "TimePilot" => Box::new(TimePilot::new(seed)),
+        "WizardOfWor" => Box::new(WizardOfWor::new(seed)),
+        other => {
+            return Err(UnknownGameError {
+                name: other.to_owned(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_game_constructs_and_resets() {
+        for name in game_names() {
+            let mut env = make_env(name, 1).expect("listed game must construct");
+            assert_eq!(env.name(), name);
+            let obs = env.reset();
+            assert_eq!(obs.len(), env.observation_len(), "{name}");
+            assert!(env.action_count() >= 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_game_reports_roster() {
+        let Err(err) = make_env("Frogger", 0) else {
+            panic!("Frogger must be unknown");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("Frogger") && msg.contains("Breakout"));
+    }
+
+    #[test]
+    fn table3_games_are_all_present() {
+        // Table III of the paper compares on these six titles.
+        for name in [
+            "BeamRider",
+            "Breakout",
+            "Pong",
+            "Qbert",
+            "Seaquest",
+            "SpaceInvaders",
+        ] {
+            assert!(make_env(name, 0).is_ok(), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Environment wrappers implementing the paper's evaluation protocol:
+//! frame stacking, reward clipping, null-op starts and episode caps.
+
+use crate::env::{Environment, StepOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stack the most recent `k` observations along the plane axis, giving the
+/// agent short-term motion information (standard Atari preprocessing).
+pub struct FrameStack<E> {
+    inner: E,
+    k: usize,
+    frames: Vec<Vec<f32>>,
+}
+
+impl<E: Environment> FrameStack<E> {
+    /// Wrap `inner`, stacking `k >= 1` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(inner: E, k: usize) -> Self {
+        assert!(k >= 1, "frame stack needs k >= 1");
+        FrameStack {
+            inner,
+            k,
+            frames: Vec::new(),
+        }
+    }
+
+    fn stacked(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.k * self.inner.observation_len());
+        for f in &self.frames {
+            out.extend_from_slice(f);
+        }
+        out
+    }
+
+    /// Access the wrapped environment.
+    #[must_use]
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Environment> Environment for FrameStack<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn observation_shape(&self) -> (usize, usize, usize) {
+        let (p, h, w) = self.inner.observation_shape();
+        (p * self.k, h, w)
+    }
+
+    fn action_count(&self) -> usize {
+        self.inner.action_count()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        let first = self.inner.reset();
+        self.frames = vec![first; self.k];
+        self.stacked()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        let out = self.inner.step(action);
+        self.frames.remove(0);
+        self.frames.push(out.observation);
+        StepOutcome {
+            observation: self.stacked(),
+            reward: out.reward,
+            done: out.done,
+        }
+    }
+}
+
+/// Clip rewards to `{-1, 0, +1}` (sign clipping), the standard DQN/A3C
+/// training transform. Evaluation uses the unclipped environment.
+pub struct ClipReward<E> {
+    inner: E,
+}
+
+impl<E: Environment> ClipReward<E> {
+    /// Wrap `inner` with sign reward clipping.
+    #[must_use]
+    pub fn new(inner: E) -> Self {
+        ClipReward { inner }
+    }
+}
+
+impl<E: Environment> Environment for ClipReward<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn observation_shape(&self) -> (usize, usize, usize) {
+        self.inner.observation_shape()
+    }
+
+    fn action_count(&self) -> usize {
+        self.inner.action_count()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.inner.reset()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        let mut out = self.inner.step(action);
+        out.reward = out.reward.signum() * f32::from(out.reward != 0.0);
+        out
+    }
+}
+
+/// Begin each episode with a random number (up to `max_noops`) of no-op
+/// actions — the paper's "null-op starts" evaluation protocol, which
+/// decorrelates initial states across the 30 evaluation episodes.
+pub struct NoopStart<E> {
+    inner: E,
+    rng: StdRng,
+    max_noops: usize,
+}
+
+impl<E: Environment> NoopStart<E> {
+    /// Wrap `inner` applying up to `max_noops` no-ops at reset.
+    #[must_use]
+    pub fn new(inner: E, max_noops: usize, seed: u64) -> Self {
+        NoopStart {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            max_noops,
+        }
+    }
+}
+
+impl<E: Environment> Environment for NoopStart<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn observation_shape(&self) -> (usize, usize, usize) {
+        self.inner.observation_shape()
+    }
+
+    fn action_count(&self) -> usize {
+        self.inner.action_count()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        let mut obs = self.inner.reset();
+        let noops = if self.max_noops == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.max_noops)
+        };
+        for _ in 0..noops {
+            let out = self.inner.step(0);
+            if out.done {
+                obs = self.inner.reset();
+            } else {
+                obs = out.observation;
+            }
+        }
+        obs
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        self.inner.step(action)
+    }
+}
+
+/// Truncate episodes after `max_steps` steps (reported as `done`), bounding
+/// rollout and evaluation time on unbounded games.
+pub struct EpisodeLimit<E> {
+    inner: E,
+    max_steps: usize,
+    steps: usize,
+}
+
+impl<E: Environment> EpisodeLimit<E> {
+    /// Wrap `inner` with a step cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps == 0`.
+    #[must_use]
+    pub fn new(inner: E, max_steps: usize) -> Self {
+        assert!(max_steps > 0, "episode limit must be positive");
+        EpisodeLimit {
+            inner,
+            max_steps,
+            steps: 0,
+        }
+    }
+}
+
+impl<E: Environment> Environment for EpisodeLimit<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn observation_shape(&self) -> (usize, usize, usize) {
+        self.inner.observation_shape()
+    }
+
+    fn action_count(&self) -> usize {
+        self.inner.action_count()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.steps = 0;
+        self.inner.reset()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        let mut out = self.inner.step(action);
+        self.steps += 1;
+        if self.steps >= self.max_steps {
+            out.done = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::Breakout;
+
+    #[test]
+    fn frame_stack_multiplies_planes() {
+        let mut env = FrameStack::new(Breakout::new(1), 4);
+        let (p, h, w) = env.observation_shape();
+        assert_eq!(p, 12); // 3 planes * 4 frames
+        let obs = env.reset();
+        assert_eq!(obs.len(), p * h * w);
+        // All four stacked frames are identical right after reset.
+        let len = obs.len() / 4;
+        assert_eq!(&obs[..len], &obs[len..2 * len]);
+        let out = env.step(2);
+        assert_eq!(out.observation.len(), obs.len());
+    }
+
+    #[test]
+    fn frame_stack_shifts_history() {
+        let mut env = FrameStack::new(Breakout::new(1), 2);
+        let obs0 = env.reset();
+        let len = obs0.len() / 2;
+        let out = env.step(2); // move paddle right: new frame differs
+        // Newest frame sits at the back; the old newest moved to the front.
+        assert_eq!(&out.observation[..len], &obs0[len..]);
+        assert_ne!(&out.observation[len..], &obs0[len..]);
+    }
+
+    #[test]
+    fn clip_reward_signs() {
+        struct Fixed(f32, bool);
+        impl Environment for Fixed {
+            fn name(&self) -> &str {
+                "Fixed"
+            }
+            fn observation_shape(&self) -> (usize, usize, usize) {
+                (1, 1, 1)
+            }
+            fn action_count(&self) -> usize {
+                1
+            }
+            fn reset(&mut self) -> Vec<f32> {
+                vec![0.0]
+            }
+            fn step(&mut self, _a: usize) -> StepOutcome {
+                StepOutcome {
+                    observation: vec![0.0],
+                    reward: self.0,
+                    done: self.1,
+                }
+            }
+        }
+        for (raw, clipped) in [(3.5, 1.0), (-7.0, -1.0), (0.0, 0.0)] {
+            let mut env = ClipReward::new(Fixed(raw, false));
+            let _ = env.reset();
+            assert_eq!(env.step(0).reward, clipped);
+        }
+    }
+
+    #[test]
+    fn noop_start_diversifies_initial_states() {
+        let collect = |seed| {
+            let mut env = NoopStart::new(Breakout::new(7), 8, seed);
+            (0..6).map(|_| env.reset()).collect::<Vec<_>>()
+        };
+        let states = collect(1);
+        let distinct = states
+            .iter()
+            .filter(|s| s.as_slice() != states[0].as_slice())
+            .count();
+        assert!(distinct > 0, "noop starts should vary the start state");
+    }
+
+    #[test]
+    fn episode_limit_truncates() {
+        let mut env = EpisodeLimit::new(Breakout::new(1), 5);
+        let _ = env.reset();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if env.step(0).done {
+                break;
+            }
+        }
+        assert!(steps <= 5);
+        // Reset clears the counter.
+        let _ = env.reset();
+        let out = env.step(0);
+        assert!(!out.done || steps == 1);
+    }
+
+    #[test]
+    fn wrappers_compose() {
+        let env = Breakout::new(3);
+        let mut wrapped = EpisodeLimit::new(
+            ClipReward::new(NoopStart::new(FrameStack::new(env, 4), 5, 11)),
+            50,
+        );
+        let obs = wrapped.reset();
+        assert_eq!(obs.len(), wrapped.observation_len());
+        for _ in 0..60 {
+            let out = wrapped.step(1);
+            assert!(out.reward.abs() <= 1.0);
+            if out.done {
+                let _ = wrapped.reset();
+            }
+        }
+    }
+}

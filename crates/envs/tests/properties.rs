@@ -1,0 +1,121 @@
+//! Property-based tests over the whole game roster: every environment
+//! must satisfy the `Environment` contract under arbitrary action
+//! sequences and seeds.
+
+use a3cs_envs::wrappers::{ClipReward, EpisodeLimit, FrameStack, NoopStart};
+use a3cs_envs::{game_names, make_env};
+use proptest::prelude::*;
+
+fn arbitrary_game() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(game_names())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn observations_stay_in_unit_range(
+        game in arbitrary_game(),
+        seed in 0u64..1000,
+        actions in prop::collection::vec(0usize..3, 1..60),
+    ) {
+        let mut env = make_env(game, seed).expect("known game");
+        let obs = env.reset();
+        prop_assert_eq!(obs.len(), env.observation_len());
+        let n_actions = env.action_count();
+        for &a in &actions {
+            let out = env.step(a % n_actions);
+            prop_assert_eq!(out.observation.len(), env.observation_len());
+            prop_assert!(out.observation.iter().all(|v| (0.0..=1.0).contains(v)),
+                "{game}: observation out of range");
+            prop_assert!(out.reward.is_finite(), "{game}: non-finite reward");
+            if out.done {
+                env.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory(
+        game in arbitrary_game(),
+        seed in 0u64..500,
+        actions in prop::collection::vec(0usize..3, 1..40),
+    ) {
+        let mut a = make_env(game, seed).expect("known game");
+        let mut b = make_env(game, seed).expect("known game");
+        prop_assert_eq!(a.reset(), b.reset());
+        let n = a.action_count();
+        for &act in &actions {
+            let oa = a.step(act % n);
+            let ob = b.step(act % n);
+            prop_assert_eq!(&oa, &ob, "{} diverged", game);
+            if oa.done {
+                prop_assert_eq!(a.reset(), b.reset());
+            }
+        }
+    }
+
+    #[test]
+    fn clip_reward_bounds_all_games(
+        game in arbitrary_game(),
+        seed in 0u64..200,
+        actions in prop::collection::vec(0usize..4, 1..50),
+    ) {
+        let mut env = ClipReward::new(make_env(game, seed).expect("known game"));
+        use a3cs_envs::Environment;
+        let _ = env.reset();
+        let n = env.action_count();
+        for &a in &actions {
+            let out = env.step(a % n);
+            prop_assert!([-1.0, 0.0, 1.0].contains(&out.reward));
+            if out.done {
+                env.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn frame_stack_observation_length_scales(
+        game in arbitrary_game(),
+        k in 1usize..5,
+    ) {
+        use a3cs_envs::Environment;
+        let base = make_env(game, 0).expect("known game");
+        let base_len = base.observation_len();
+        let mut stacked = FrameStack::new(base, k);
+        prop_assert_eq!(stacked.reset().len(), base_len * k);
+    }
+
+    #[test]
+    fn episode_limit_is_respected(
+        game in arbitrary_game(),
+        cap in 1usize..30,
+    ) {
+        use a3cs_envs::Environment;
+        let mut env = EpisodeLimit::new(make_env(game, 3).expect("known game"), cap);
+        let _ = env.reset();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if env.step(0).done {
+                break;
+            }
+            prop_assert!(steps <= cap, "{game}: exceeded the cap");
+        }
+        prop_assert!(steps <= cap);
+    }
+
+    #[test]
+    fn noop_start_never_exceeds_budget(
+        game in arbitrary_game(),
+        max_noops in 0usize..12,
+        seed in 0u64..100,
+    ) {
+        use a3cs_envs::Environment;
+        // NoopStart must always return a valid observation even when the
+        // noops end an episode internally.
+        let mut env = NoopStart::new(make_env(game, seed).expect("known game"), max_noops, seed);
+        let obs = env.reset();
+        prop_assert_eq!(obs.len(), env.observation_len());
+    }
+}

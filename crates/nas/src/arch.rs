@@ -1,0 +1,155 @@
+//! The architecture distribution `α`: one logit vector per searchable cell.
+
+use crate::gumbel::softmax_vec;
+use a3cs_nn::Param;
+use a3cs_tensor::Tensor;
+
+/// The architecture parameters `α` of Eq. 4: a learnable logit vector over
+/// candidate operators for each cell. Stored as [`Param`]s so the same
+/// optimiser machinery used for network weights applies.
+#[derive(Clone)]
+pub struct ArchParams {
+    cells: Vec<Param>,
+    num_ops: usize,
+}
+
+impl std::fmt::Debug for ArchParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ArchParams({} cells x {} ops, argmax={:?})",
+            self.cells.len(),
+            self.num_ops,
+            self.argmax()
+        )
+    }
+}
+
+impl ArchParams {
+    /// Uniform (all-zero logits) architecture distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cells` or `num_ops` is zero.
+    #[must_use]
+    pub fn new(num_cells: usize, num_ops: usize) -> Self {
+        assert!(num_cells > 0 && num_ops > 0, "empty architecture space");
+        let cells = (0..num_cells)
+            .map(|i| Param::new(&format!("alpha.cell{i}"), Tensor::zeros(&[num_ops])))
+            .collect();
+        ArchParams { cells, num_ops }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of operator choices per cell.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.num_ops
+    }
+
+    /// The underlying parameters (for the architecture optimiser).
+    #[must_use]
+    pub fn params(&self) -> Vec<Param> {
+        self.cells.clone()
+    }
+
+    /// The `Param` of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell(&self, cell: usize) -> &Param {
+        &self.cells[cell]
+    }
+
+    /// Current logits of one cell.
+    #[must_use]
+    pub fn logits(&self, cell: usize) -> Vec<f32> {
+        self.cells[cell].value().into_vec()
+    }
+
+    /// Softmax probabilities of one cell (no Gumbel noise, τ = 1).
+    #[must_use]
+    pub fn probs(&self, cell: usize) -> Tensor {
+        softmax_vec(&self.logits(cell))
+    }
+
+    /// Most likely operator index per cell (the derivation rule of Alg. 1:
+    /// "derive the final agent with the highest α").
+    #[must_use]
+    pub fn argmax(&self) -> Vec<usize> {
+        self.cells
+            .iter()
+            .map(|p| p.value().argmax())
+            .collect()
+    }
+
+    /// Mean Shannon entropy (nats) of the per-cell distributions — a
+    /// convergence diagnostic: it decreases as the search commits.
+    #[must_use]
+    pub fn mean_entropy(&self) -> f32 {
+        let total: f32 = (0..self.cells.len())
+            .map(|c| {
+                self.probs(c)
+                    .data()
+                    .iter()
+                    .map(|&p| if p > 0.0 { -p * p.ln() } else { 0.0 })
+                    .sum::<f32>()
+            })
+            .sum();
+        total / self.cells.len() as f32
+    }
+
+    /// Zero all accumulated `α` gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.cells {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uniform() {
+        let arch = ArchParams::new(4, 9);
+        let p = arch.probs(0);
+        for &v in p.data() {
+            assert!((v - 1.0 / 9.0).abs() < 1e-6);
+        }
+        // Uniform over 9 ops: entropy = ln 9.
+        assert!((arch.mean_entropy() - 9.0f32.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn argmax_follows_logits() {
+        let arch = ArchParams::new(3, 5);
+        arch.cell(1).update(|t| t.data_mut()[3] = 2.0);
+        assert_eq!(arch.argmax(), vec![0, 3, 0]);
+    }
+
+    #[test]
+    fn entropy_decreases_as_distribution_sharpens() {
+        let arch = ArchParams::new(2, 4);
+        let before = arch.mean_entropy();
+        arch.cell(0).update(|t| t.data_mut()[0] = 5.0);
+        arch.cell(1).update(|t| t.data_mut()[2] = 5.0);
+        assert!(arch.mean_entropy() < before);
+    }
+
+    #[test]
+    fn params_share_storage_with_cells() {
+        let arch = ArchParams::new(2, 3);
+        let params = arch.params();
+        params[0].update(|t| t.data_mut()[1] = 9.0);
+        assert_eq!(arch.argmax()[0], 1);
+    }
+}

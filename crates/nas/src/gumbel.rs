@@ -1,0 +1,186 @@
+//! Gumbel-Softmax sampling and the paper's temperature schedule.
+
+use a3cs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's Gumbel-Softmax temperature schedule: initial temperature 5,
+/// multiplied by 0.98 every 10⁵ steps (Section V-A). The scale is
+/// configurable so the reproduction can anneal over its smaller budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureSchedule {
+    /// Starting temperature (paper: 5.0).
+    pub initial: f32,
+    /// Multiplicative decay factor (paper: 0.98).
+    pub decay: f32,
+    /// Steps between decays (paper: 1e5; scaled down here).
+    pub every: u64,
+    /// Temperature floor to keep the relaxation numerically sane.
+    pub min: f32,
+}
+
+impl Default for TemperatureSchedule {
+    fn default() -> Self {
+        TemperatureSchedule {
+            initial: 5.0,
+            decay: 0.98,
+            every: 1_000,
+            min: 0.2,
+        }
+    }
+}
+
+impl TemperatureSchedule {
+    /// Temperature at training step `step`.
+    #[must_use]
+    pub fn at(&self, step: u64) -> f32 {
+        let decays = (step / self.every.max(1)) as i32;
+        (self.initial * self.decay.powi(decays)).max(self.min)
+    }
+}
+
+/// A seeded Gumbel-Softmax sampler.
+///
+/// Provides Gumbel noise, the softmax relaxation `softmax((logits + g)/τ)`
+/// and hard (argmax) sampling — the ingredients of Eq. 6 and Eq. 9.
+#[derive(Debug, Clone)]
+pub struct GumbelSoftmax {
+    rng: StdRng,
+}
+
+impl GumbelSoftmax {
+    /// Create a sampler with a fixed seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        GumbelSoftmax {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw `n` i.i.d. standard Gumbel variates `-ln(-ln(U))`.
+    #[must_use]
+    pub fn sample_noise(&mut self, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                let u: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+                -(-u.ln()).ln()
+            })
+            .collect()
+    }
+
+    /// Perturbed logits `(logits + g) / τ` with fresh Gumbel noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature <= 0`.
+    #[must_use]
+    pub fn perturb(&mut self, logits: &[f32], temperature: f32) -> Vec<f32> {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let noise = self.sample_noise(logits.len());
+        logits
+            .iter()
+            .zip(noise.iter())
+            .map(|(&l, &g)| (l + g) / temperature)
+            .collect()
+    }
+
+    /// Soft sample: `softmax((logits + g)/τ)` as a rank-1 tensor.
+    #[must_use]
+    pub fn soft(&mut self, logits: &[f32], temperature: f32) -> Tensor {
+        let z = self.perturb(logits, temperature);
+        softmax_vec(&z)
+    }
+
+    /// Hard sample: the argmax index of the perturbed logits (one-hot
+    /// forward of `GS_hard`).
+    #[must_use]
+    pub fn hard(&mut self, logits: &[f32], temperature: f32) -> usize {
+        let z = self.perturb(logits, temperature);
+        argmax(&z)
+    }
+}
+
+pub(crate) fn softmax_vec(z: &[f32]) -> Tensor {
+    let mx = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = z.iter().map(|&v| (v - mx).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(exps.iter().map(|&e| e / sum).collect(), &[z.len()])
+        .expect("softmax output shape")
+}
+
+pub(crate) fn argmax(z: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in z.iter().enumerate() {
+        if v > z[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_matches_paper_shape() {
+        let s = TemperatureSchedule::default();
+        assert_eq!(s.at(0), 5.0);
+        assert_eq!(s.at(999), 5.0);
+        assert!((s.at(1_000) - 4.9).abs() < 1e-5);
+        assert!(s.at(1_000_000) >= s.min);
+    }
+
+    #[test]
+    fn gumbel_noise_is_seeded() {
+        let a = GumbelSoftmax::new(1).sample_noise(16);
+        let b = GumbelSoftmax::new(1).sample_noise(16);
+        let c = GumbelSoftmax::new(2).sample_noise(16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn soft_sample_is_a_distribution() {
+        let mut gs = GumbelSoftmax::new(3);
+        let p = gs.soft(&[0.0, 1.0, -1.0], 1.0);
+        assert!((p.sum() - 1.0).abs() < 1e-5);
+        assert!(p.data().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn hard_sample_frequencies_track_logits() {
+        let mut gs = GumbelSoftmax::new(4);
+        let logits = [2.0f32, 0.0, 0.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[gs.hard(&logits, 1.0)] += 1;
+        }
+        // P(argmax = 0) = e^2 / (e^2 + 2) ≈ 0.787 under Gumbel-max.
+        assert!(
+            counts[0] > 1400 && counts[0] < 1800,
+            "gumbel-max frequency off: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn high_temperature_flattens_soft_samples() {
+        let sharp: f32 = (0..200)
+            .map(|s| GumbelSoftmax::new(s).soft(&[3.0, 0.0], 0.5).max())
+            .sum::<f32>()
+            / 200.0;
+        let flat: f32 = (0..200)
+            .map(|s| GumbelSoftmax::new(s).soft(&[3.0, 0.0], 50.0).max())
+            .sum::<f32>()
+            / 200.0;
+        assert!(sharp > flat, "τ=0.5 should be peakier than τ=50");
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        let mut gs = GumbelSoftmax::new(0);
+        let _ = gs.perturb(&[0.0], 0.0);
+    }
+}

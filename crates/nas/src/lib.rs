@@ -1,0 +1,48 @@
+//! Differentiable neural architecture search (DNAS) for DRL agents — the
+//! network half of A3C-S (paper Section IV-A).
+//!
+//! Implements:
+//!
+//! - [`GumbelSoftmax`]: seeded Gumbel noise, temperature-annealed softmax
+//!   relaxation and hard (one-hot) sampling, with the paper's temperature
+//!   schedule (initial 5, ×0.98 every 10⁵ steps) as [`TemperatureSchedule`];
+//! - [`OpChoice`]: the 9 candidate operators per cell (3×3/5×5 convolution,
+//!   inverted residuals with kernel ∈ {3,5} × expansion ∈ {1,3,5}, skip),
+//!   giving the paper's `9^12` search space over 12 cells;
+//! - [`ArchParams`]: the architecture distribution `α`;
+//! - [`SuperNet`]: the weight-sharing supernet with **single-path forward /
+//!   multi-path (top-K) backward** (Eq. 6–7) via a straight-through
+//!   Gumbel-Softmax estimator;
+//! - [`derive_backbone`]: extraction of the final (argmax-`α`) network as a
+//!   plain [`a3cs_nn::Backbone`].
+//!
+//! # Example
+//!
+//! ```
+//! use a3cs_nas::{SuperNet, SupernetConfig};
+//! use a3cs_nn::Module;
+//! use a3cs_tensor::{Tape, Tensor};
+//!
+//! let config = SupernetConfig::tiny(3, 12, 12);
+//! let supernet = SuperNet::new(config, 0);
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::zeros(&[1, 3, 12, 12]));
+//! let y = supernet.forward(&tape, &x, true);
+//! assert_eq!(y.shape()[0], 1);
+//! let arch = supernet.most_likely_arch();
+//! assert_eq!(arch.len(), supernet.num_cells());
+//! ```
+
+#![deny(missing_docs)]
+
+mod arch;
+mod derive;
+mod gumbel;
+mod ops;
+mod supernet;
+
+pub use arch::ArchParams;
+pub use derive::derive_backbone;
+pub use gumbel::{GumbelSoftmax, TemperatureSchedule};
+pub use ops::{build_op, search_space_size, OpChoice, ALL_OPS};
+pub use supernet::{SuperNet, SupernetConfig};

@@ -1,0 +1,88 @@
+//! Property tests for the NAS machinery: Gumbel sampling statistics,
+//! architecture parameters and supernet/derivation consistency.
+
+use a3cs_nas::{derive_backbone, ArchParams, GumbelSoftmax, SuperNet, SupernetConfig, ALL_OPS};
+use a3cs_nn::Module;
+use a3cs_tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn soft_samples_are_distributions(
+        seed in 0u64..10_000,
+        tau in 0.2f32..10.0,
+        logits in prop::collection::vec(-3.0f32..3.0, 2..12),
+    ) {
+        let mut gs = GumbelSoftmax::new(seed);
+        let p = gs.soft(&logits, tau);
+        prop_assert!((p.sum() - 1.0).abs() < 1e-4);
+        prop_assert!(p.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn hard_sample_is_a_valid_index(
+        seed in 0u64..10_000,
+        logits in prop::collection::vec(-3.0f32..3.0, 2..12),
+    ) {
+        let mut gs = GumbelSoftmax::new(seed);
+        prop_assert!(gs.hard(&logits, 1.0) < logits.len());
+    }
+
+    #[test]
+    fn arch_argmax_tracks_injected_preference(
+        cells in 1usize..8,
+        target_cell in 0usize..8,
+        target_op in 0usize..9,
+    ) {
+        let target_cell = target_cell % cells;
+        let arch = ArchParams::new(cells, 9);
+        arch.cell(target_cell).update(|t| t.data_mut()[target_op] = 4.0);
+        prop_assert_eq!(arch.argmax()[target_cell], target_op);
+    }
+
+    #[test]
+    fn derivation_matches_supernet_argmax_structure(seed in 0u64..200) {
+        let cfg = SupernetConfig::tiny(3, 12, 12);
+        let sn = SuperNet::new(cfg, seed);
+        // Randomise α.
+        for cell in 0..sn.num_cells() {
+            sn.arch().cell(cell).set_value(Tensor::randn(&[9], 1.0, seed + cell as u64));
+        }
+        let derived = derive_backbone(&cfg, &sn.most_likely_arch(), seed + 1);
+        let sn_descs = sn.most_likely_layer_descs();
+        let dv_descs = derived.layer_descs();
+        prop_assert_eq!(sn_descs.len(), dv_descs.len());
+        for (a, b) in sn_descs.iter().zip(dv_descs.iter()) {
+            prop_assert_eq!(a.op, b.op);
+        }
+    }
+
+    #[test]
+    fn training_forward_always_yields_finite_features(
+        seed in 0u64..100,
+        top_k in 1usize..4,
+    ) {
+        let mut cfg = SupernetConfig::tiny(3, 12, 12);
+        cfg.top_k = top_k;
+        let sn = SuperNet::new(cfg, seed);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[1, 3, 12, 12], 0.3, seed + 7));
+        let y = sn.forward(&tape, &x, true);
+        prop_assert!(y.value().all_finite());
+        let sampled = sn.last_sampled_indices();
+        prop_assert_eq!(sampled.len(), sn.num_cells());
+        prop_assert!(sampled.iter().all(|&i| i < ALL_OPS.len()));
+    }
+
+    #[test]
+    fn mean_entropy_is_bounded_by_uniform(cells in 1usize..6) {
+        let arch = ArchParams::new(cells, 9);
+        let uniform_entropy = 9.0f32.ln();
+        prop_assert!((arch.mean_entropy() - uniform_entropy).abs() < 1e-4);
+        // Sharpening any cell can only reduce the mean entropy.
+        arch.cell(0).update(|t| t.data_mut()[0] = 6.0);
+        prop_assert!(arch.mean_entropy() <= uniform_entropy);
+    }
+}

@@ -1,0 +1,319 @@
+//! Composite residual blocks: the ResNet basic block and the MobileNetV2
+//! inverted-residual block used as NAS candidate operators.
+
+use crate::describe::{FeatureShape, LayerDesc};
+use crate::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d};
+use crate::module::Module;
+use crate::param::Param;
+use a3cs_tensor::{Tape, Var};
+
+/// Classic ResNet basic block: two 3×3 convolutions with batch-norm and a
+/// (possibly projected) identity shortcut.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+}
+
+impl BasicBlock {
+    /// Create a basic block. A 1×1 projection shortcut is inserted when the
+    /// stride is not 1 or the channel count changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural argument is zero.
+    #[must_use]
+    pub fn new(name: &str, in_ch: usize, out_ch: usize, stride: usize, seed: u64) -> Self {
+        let conv1 = Conv2d::new(
+            &format!("{name}.conv1"),
+            in_ch,
+            out_ch,
+            3,
+            stride,
+            1,
+            false,
+            seed,
+        );
+        let bn1 = BatchNorm2d::new(&format!("{name}.bn1"), out_ch);
+        let conv2 = Conv2d::new(
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            false,
+            seed.wrapping_add(1),
+        );
+        let bn2 = BatchNorm2d::new(&format!("{name}.bn2"), out_ch);
+        let shortcut = (stride != 1 || in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(
+                    &format!("{name}.down"),
+                    in_ch,
+                    out_ch,
+                    1,
+                    stride,
+                    0,
+                    false,
+                    seed.wrapping_add(2),
+                ),
+                BatchNorm2d::new(&format!("{name}.down_bn"), out_ch),
+            )
+        });
+        BasicBlock {
+            conv1,
+            bn1,
+            conv2,
+            bn2,
+            shortcut,
+        }
+    }
+}
+
+impl Module for BasicBlock {
+    fn forward(&self, tape: &Tape, x: &Var, train: bool) -> Var {
+        let h = self.conv1.forward(tape, x, train);
+        let h = self.bn1.forward(tape, &h, train).relu();
+        let h = self.conv2.forward(tape, &h, train);
+        let h = self.bn2.forward(tape, &h, train);
+        let identity = match &self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(tape, x, train);
+                bn.forward(tape, &s, train)
+            }
+            None => x.clone(),
+        };
+        h.add(&identity).relu()
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.conv1.params();
+        p.extend(self.bn1.params());
+        p.extend(self.conv2.params());
+        p.extend(self.bn2.params());
+        if let Some((conv, bn)) = &self.shortcut {
+            p.extend(conv.params());
+            p.extend(bn.params());
+        }
+        p
+    }
+
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        let (mut descs, mid) = self.conv1.describe(input);
+        let (d2, out) = self.conv2.describe(mid);
+        descs.extend(d2);
+        if let Some((conv, _)) = &self.shortcut {
+            let (ds, sout) = conv.describe(input);
+            assert_eq!(sout, out, "shortcut must match the main path shape");
+            descs.extend(ds);
+        }
+        (descs, out)
+    }
+}
+
+/// MobileNetV2-style inverted residual: 1×1 expand → k×k depthwise →
+/// 1×1 project, with an identity skip when the shape is preserved.
+///
+/// This is the parameterised candidate operator of the A3C-S supernet
+/// (kernel ∈ {3, 5}, expansion ∈ {1, 3, 5}).
+pub struct InvertedResidual {
+    expand: Option<(Conv2d, BatchNorm2d)>,
+    depthwise: DepthwiseConv2d,
+    dw_bn: BatchNorm2d,
+    project: Conv2d,
+    proj_bn: BatchNorm2d,
+    use_skip: bool,
+}
+
+impl InvertedResidual {
+    /// Create an inverted-residual block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural argument is zero.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        expansion: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(expansion > 0, "expansion must be positive");
+        let hidden = in_ch * expansion;
+        let expand = (expansion != 1).then(|| {
+            (
+                Conv2d::new(
+                    &format!("{name}.expand"),
+                    in_ch,
+                    hidden,
+                    1,
+                    1,
+                    0,
+                    false,
+                    seed,
+                ),
+                BatchNorm2d::new(&format!("{name}.expand_bn"), hidden),
+            )
+        });
+        let depthwise = DepthwiseConv2d::new(
+            &format!("{name}.dw"),
+            hidden,
+            kernel,
+            stride,
+            kernel / 2,
+            seed.wrapping_add(1),
+        );
+        let dw_bn = BatchNorm2d::new(&format!("{name}.dw_bn"), hidden);
+        let project = Conv2d::new(
+            &format!("{name}.project"),
+            hidden,
+            out_ch,
+            1,
+            1,
+            0,
+            false,
+            seed.wrapping_add(2),
+        );
+        let proj_bn = BatchNorm2d::new(&format!("{name}.project_bn"), out_ch);
+        InvertedResidual {
+            expand,
+            depthwise,
+            dw_bn,
+            project,
+            proj_bn,
+            use_skip: stride == 1 && in_ch == out_ch,
+        }
+    }
+}
+
+impl Module for InvertedResidual {
+    fn forward(&self, tape: &Tape, x: &Var, train: bool) -> Var {
+        let mut h = x.clone();
+        if let Some((conv, bn)) = &self.expand {
+            h = conv.forward(tape, &h, train);
+            h = bn.forward(tape, &h, train).relu();
+        }
+        h = self.depthwise.forward(tape, &h, train);
+        h = self.dw_bn.forward(tape, &h, train).relu();
+        h = self.project.forward(tape, &h, train);
+        h = self.proj_bn.forward(tape, &h, train);
+        if self.use_skip {
+            h = h.add(x);
+        }
+        h
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = Vec::new();
+        if let Some((conv, bn)) = &self.expand {
+            p.extend(conv.params());
+            p.extend(bn.params());
+        }
+        p.extend(self.depthwise.params());
+        p.extend(self.dw_bn.params());
+        p.extend(self.project.params());
+        p.extend(self.proj_bn.params());
+        p
+    }
+
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        let mut descs = Vec::new();
+        let mut shape = input;
+        if let Some((conv, _)) = &self.expand {
+            let (d, s) = conv.describe(shape);
+            descs.extend(d);
+            shape = s;
+        }
+        let (d, s) = self.depthwise.describe(shape);
+        descs.extend(d);
+        shape = s;
+        let (d, s) = self.project.describe(shape);
+        descs.extend(d);
+        (descs, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_tensor::Tensor;
+
+    #[test]
+    fn basic_block_identity_shape() {
+        let block = BasicBlock::new("b", 8, 8, 1, 1);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[2, 8, 6, 6], 0.5, 1));
+        let y = block.forward(&tape, &x, true);
+        assert_eq!(y.shape(), vec![2, 8, 6, 6]);
+        assert_eq!(block.params().len(), 6); // 2 bias-free convs + 2 BNs * (gamma,beta)
+    }
+
+    #[test]
+    fn basic_block_downsample_shape_and_shortcut() {
+        let block = BasicBlock::new("b", 8, 16, 2, 1);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[1, 8, 6, 6], 0.5, 2));
+        let y = block.forward(&tape, &x, true);
+        assert_eq!(y.shape(), vec![1, 16, 3, 3]);
+        let (descs, out) = block.describe(FeatureShape::image(8, 6, 6));
+        assert_eq!(descs.len(), 3); // conv1, conv2, shortcut conv
+        assert_eq!(out, FeatureShape::image(16, 3, 3));
+    }
+
+    #[test]
+    fn inverted_residual_skip_only_when_shape_preserved() {
+        let with_skip = InvertedResidual::new("ir", 8, 8, 3, 1, 3, 1);
+        assert!(with_skip.use_skip);
+        let stride2 = InvertedResidual::new("ir", 8, 8, 3, 2, 3, 1);
+        assert!(!stride2.use_skip);
+        let widen = InvertedResidual::new("ir", 8, 16, 3, 1, 3, 1);
+        assert!(!widen.use_skip);
+    }
+
+    #[test]
+    fn inverted_residual_forward_shapes() {
+        for (kernel, stride, expansion) in [(3, 1, 1), (3, 2, 3), (5, 1, 5), (5, 2, 1)] {
+            let ir = InvertedResidual::new("ir", 6, 10, kernel, stride, expansion, 3);
+            let tape = Tape::new();
+            let x = tape.leaf(Tensor::randn(&[1, 6, 8, 8], 0.5, 4));
+            let y = ir.forward(&tape, &x, true);
+            let expect_hw = if stride == 2 { 4 } else { 8 };
+            assert_eq!(
+                y.shape(),
+                vec![1, 10, expect_hw, expect_hw],
+                "k={kernel} s={stride} e={expansion}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_residual_expansion_one_has_no_expand_conv() {
+        let ir = InvertedResidual::new("ir", 8, 8, 3, 1, 1, 1);
+        let (descs, _) = ir.describe(FeatureShape::image(8, 6, 6));
+        assert_eq!(descs.len(), 2); // depthwise + project only
+        let ir3 = InvertedResidual::new("ir", 8, 8, 3, 1, 3, 1);
+        let (descs3, _) = ir3.describe(FeatureShape::image(8, 6, 6));
+        assert_eq!(descs3.len(), 3);
+    }
+
+    #[test]
+    fn gradients_reach_all_block_params() {
+        let block = BasicBlock::new("b", 4, 8, 2, 9);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[2, 4, 6, 6], 0.5, 5));
+        block.forward(&tape, &x, true).square().sum().backward();
+        for p in block.params() {
+            assert!(
+                p.grad().sq_norm() > 0.0 || p.name().ends_with("beta"),
+                "no grad reached {}",
+                p.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Structural descriptors of networks, consumed by the accelerator crates.
+//!
+//! The accelerator performance predictor does not run tensors through a
+//! network; it reasons about per-layer dimensions. Every [`crate::Module`]
+//! can therefore *describe* itself as a sequence of compute layers
+//! ([`LayerDesc`]). Element-wise glue (ReLU, batch-norm, residual adds) is
+//! folded away, mirroring how deployment flows fold BN/activation into the
+//! preceding convolution.
+
+/// Shape of the feature tensor flowing between modules (batch excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureShape {
+    /// A `[channels, height, width]` image tensor.
+    Image {
+        /// Channel count.
+        channels: usize,
+        /// Spatial height.
+        height: usize,
+        /// Spatial width.
+        width: usize,
+    },
+    /// A flat `[features]` vector.
+    Flat {
+        /// Feature count.
+        features: usize,
+    },
+}
+
+impl FeatureShape {
+    /// Convenience constructor for the image variant.
+    #[must_use]
+    pub fn image(channels: usize, height: usize, width: usize) -> Self {
+        FeatureShape::Image {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn elements(&self) -> usize {
+        match *self {
+            FeatureShape::Image {
+                channels,
+                height,
+                width,
+            } => channels * height * width,
+            FeatureShape::Flat { features } => features,
+        }
+    }
+}
+
+/// Dimensions of a (dense or depthwise) 2-D convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvDims {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dims.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+}
+
+impl ConvDims {
+    /// Output spatial height.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+}
+
+/// The compute operation a [`LayerDesc`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerOp {
+    /// Dense convolution.
+    Conv(ConvDims),
+    /// Depthwise convolution (`in_ch == out_ch`, one filter per channel).
+    DepthwiseConv(ConvDims),
+    /// Fully connected layer.
+    Fc {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+/// One compute layer of a described network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerDesc {
+    /// Human-readable layer name (for reports).
+    pub name: String,
+    /// The operation and its dimensions.
+    pub op: LayerOp,
+}
+
+impl LayerDesc {
+    /// Multiply–accumulate count for one input sample.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv(d) => {
+                d.out_ch as u64
+                    * d.in_ch as u64
+                    * (d.kernel * d.kernel) as u64
+                    * (d.out_h() * d.out_w()) as u64
+            }
+            LayerOp::DepthwiseConv(d) => {
+                d.out_ch as u64 * (d.kernel * d.kernel) as u64 * (d.out_h() * d.out_w()) as u64
+            }
+            LayerOp::Fc {
+                in_features,
+                out_features,
+            } => in_features as u64 * out_features as u64,
+        }
+    }
+
+    /// Number of weights.
+    #[must_use]
+    pub fn weight_count(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv(d) => (d.out_ch * d.in_ch * d.kernel * d.kernel) as u64,
+            LayerOp::DepthwiseConv(d) => (d.out_ch * d.kernel * d.kernel) as u64,
+            LayerOp::Fc {
+                in_features,
+                out_features,
+            } => (in_features * out_features) as u64,
+        }
+    }
+
+    /// Input activation elements for one sample.
+    #[must_use]
+    pub fn input_elems(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv(d) | LayerOp::DepthwiseConv(d) => (d.in_ch * d.in_h * d.in_w) as u64,
+            LayerOp::Fc { in_features, .. } => in_features as u64,
+        }
+    }
+
+    /// Output activation elements for one sample.
+    #[must_use]
+    pub fn output_elems(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv(d) | LayerOp::DepthwiseConv(d) => {
+                (d.out_ch * d.out_h() * d.out_w()) as u64
+            }
+            LayerOp::Fc { out_features, .. } => out_features as u64,
+        }
+    }
+
+    /// Output feature shape for shape propagation.
+    #[must_use]
+    pub fn output_shape(&self) -> FeatureShape {
+        match self.op {
+            LayerOp::Conv(d) | LayerOp::DepthwiseConv(d) => {
+                FeatureShape::image(d.out_ch, d.out_h(), d.out_w())
+            }
+            LayerOp::Fc { out_features, .. } => FeatureShape::Flat {
+                features: out_features,
+            },
+        }
+    }
+}
+
+/// Total MACs across a slice of layer descriptors.
+#[must_use]
+pub fn total_macs(layers: &[LayerDesc]) -> u64 {
+    layers.iter().map(LayerDesc::macs).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, hw: usize) -> LayerDesc {
+        LayerDesc {
+            name: "c".into(),
+            op: LayerOp::Conv(ConvDims {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                padding: kernel / 2,
+                in_h: hw,
+                in_w: hw,
+            }),
+        }
+    }
+
+    #[test]
+    fn conv_macs_formula() {
+        let l = conv(3, 8, 3, 1, 8);
+        // out 8x8, macs = 8*3*9*64
+        assert_eq!(l.macs(), 8 * 3 * 9 * 64);
+        assert_eq!(l.weight_count(), 8 * 3 * 9);
+        assert_eq!(l.input_elems(), 3 * 64);
+        assert_eq!(l.output_elems(), 8 * 64);
+    }
+
+    #[test]
+    fn stride_halves_output() {
+        let l = conv(4, 4, 3, 2, 8);
+        assert_eq!(l.output_shape(), FeatureShape::image(4, 4, 4));
+    }
+
+    #[test]
+    fn depthwise_macs_drop_input_channel_factor() {
+        let dims = ConvDims {
+            in_ch: 16,
+            out_ch: 16,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_h: 6,
+            in_w: 6,
+        };
+        let dense = LayerDesc {
+            name: "d".into(),
+            op: LayerOp::Conv(dims),
+        };
+        let dw = LayerDesc {
+            name: "dw".into(),
+            op: LayerOp::DepthwiseConv(dims),
+        };
+        assert_eq!(dense.macs(), dw.macs() * 16);
+    }
+
+    #[test]
+    fn fc_shapes() {
+        let l = LayerDesc {
+            name: "fc".into(),
+            op: LayerOp::Fc {
+                in_features: 128,
+                out_features: 10,
+            },
+        };
+        assert_eq!(l.macs(), 1280);
+        assert_eq!(l.output_shape(), FeatureShape::Flat { features: 10 });
+    }
+
+    #[test]
+    fn feature_shape_elements() {
+        assert_eq!(FeatureShape::image(3, 4, 5).elements(), 60);
+        assert_eq!(FeatureShape::Flat { features: 7 }.elements(), 7);
+    }
+
+    #[test]
+    fn total_macs_sums() {
+        let layers = vec![conv(3, 8, 3, 1, 8), conv(8, 8, 3, 1, 8)];
+        assert_eq!(total_macs(&layers), layers[0].macs() + layers[1].macs());
+    }
+}

@@ -1,0 +1,43 @@
+//! Weight-initialisation helpers.
+
+/// He (Kaiming) initialisation standard deviation for a layer with the
+/// given fan-in, appropriate before ReLU nonlinearities.
+///
+/// # Example
+///
+/// ```
+/// let std = a3cs_nn::he_std(9 * 16);
+/// assert!((std - (2.0f32 / 144.0).sqrt()).abs() < 1e-7);
+/// ```
+#[must_use]
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// Xavier (Glorot) initialisation standard deviation for a layer with the
+/// given fan-in and fan-out, appropriate for linear output heads.
+#[must_use]
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    (2.0 / (fan_in + fan_out).max(1) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_shrinks_with_fan_in() {
+        assert!(he_std(10) > he_std(1000));
+    }
+
+    #[test]
+    fn zero_fans_do_not_divide_by_zero() {
+        assert!(he_std(0).is_finite());
+        assert!(xavier_std(0, 0).is_finite());
+    }
+
+    #[test]
+    fn xavier_symmetric_in_fans() {
+        assert_eq!(xavier_std(3, 7), xavier_std(7, 3));
+    }
+}

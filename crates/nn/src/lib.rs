@@ -1,0 +1,51 @@
+//! Neural-network layers and backbone builders for the A3C-S reproduction.
+//!
+//! Built on [`a3cs_tensor`]'s autograd, this crate provides:
+//!
+//! - [`Param`]: a shared, named parameter with accumulated gradient storage;
+//! - [`Module`]: the object-safe forward/parameters/describe trait;
+//! - layers ([`Conv2d`], [`DepthwiseConv2d`], [`Linear`], [`BatchNorm2d`],
+//!   [`Relu`], [`Flatten`], [`GlobalAvgPool`]) and composite blocks
+//!   ([`BasicBlock`], [`InvertedResidual`]);
+//! - backbone builders matching the paper's model zoo: [`vanilla`] (the
+//!   DQN-style small network) and [`resnet`] for depths 14/20/38/74;
+//! - [`LayerDesc`] descriptors that let the accelerator crates reason about
+//!   any built network (MACs, tensor footprints, per-layer dimensions).
+//!
+//! # Example
+//!
+//! ```
+//! use a3cs_nn::{vanilla, FeatureShape, Module};
+//! use a3cs_tensor::{Tape, Tensor};
+//!
+//! let net = vanilla(4, 12, 12, 32, 1);
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::zeros(&[2, 4, 12, 12]));
+//! let features = net.forward(&tape, &x, true);
+//! assert_eq!(features.shape(), vec![2, 32]);
+//! let (descs, out) = net.describe(FeatureShape::image(4, 12, 12));
+//! assert!(descs.len() >= 3);
+//! assert_eq!(out, FeatureShape::Flat { features: 32 });
+//! ```
+
+#![deny(missing_docs)]
+
+mod backbones;
+mod blocks;
+mod describe;
+mod init;
+mod layers;
+mod module;
+mod param;
+mod pool_layers;
+mod sequential;
+
+pub use backbones::{resnet, resnet_blocks_per_group, vanilla, Backbone};
+pub use blocks::{BasicBlock, InvertedResidual};
+pub use describe::{total_macs, ConvDims, FeatureShape, LayerDesc, LayerOp};
+pub use init::{he_std, xavier_std};
+pub use layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, Relu};
+pub use module::Module;
+pub use param::Param;
+pub use pool_layers::{AvgPool2d, MaxPool2d};
+pub use sequential::Sequential;

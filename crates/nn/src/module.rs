@@ -1,0 +1,73 @@
+//! The object-safe module trait.
+
+use crate::describe::{FeatureShape, LayerDesc};
+use crate::param::Param;
+use a3cs_tensor::{Tape, Var};
+
+/// A differentiable network component.
+///
+/// Implementations are object safe so heterogeneous layers can be composed
+/// through [`crate::Sequential`] and swapped inside the NAS supernet.
+///
+/// Modules take `&self`; layers that keep running statistics (batch norm)
+/// use interior mutability so that a shared module tree can be driven from
+/// anywhere.
+pub trait Module {
+    /// Run the module on `x`, recording onto `tape`.
+    ///
+    /// `train` toggles training-time behaviour (batch statistics vs running
+    /// statistics in normalisation layers).
+    fn forward(&self, tape: &Tape, x: &Var, train: bool) -> Var;
+
+    /// All learnable parameters, in a stable order.
+    fn params(&self) -> Vec<Param>;
+
+    /// Describe the compute layers of this module given an input shape,
+    /// returning the descriptors and the output shape.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `input` is structurally incompatible
+    /// (e.g. feeding a flat vector to a convolution).
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape);
+
+    /// Total number of learnable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Param::len).sum()
+    }
+
+    /// Zero the accumulated gradients of every parameter.
+    fn zero_grad(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl Module for Box<dyn Module> {
+    fn forward(&self, tape: &Tape, x: &Var, train: bool) -> Var {
+        self.as_ref().forward(tape, x, train)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.as_ref().params()
+    }
+
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        self.as_ref().describe(input)
+    }
+}
+
+impl<T: Module> Module for std::rc::Rc<T> {
+    fn forward(&self, tape: &Tape, x: &Var, train: bool) -> Var {
+        self.as_ref().forward(tape, x, train)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.as_ref().params()
+    }
+
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        self.as_ref().describe(input)
+    }
+}

@@ -1,0 +1,146 @@
+//! Windowed pooling layers (average and max), completing the layer
+//! library beyond the paper's minimum operator set.
+
+use crate::describe::{FeatureShape, LayerDesc};
+use crate::module::Module;
+use crate::param::Param;
+use a3cs_tensor::{Tape, Var};
+
+fn pooled_shape(input: FeatureShape, window: usize, stride: usize, what: &str) -> FeatureShape {
+    match input {
+        FeatureShape::Image {
+            channels,
+            height,
+            width,
+        } => {
+            assert!(
+                height >= window && width >= window,
+                "{what} window {window} does not fit {height}x{width}"
+            );
+            FeatureShape::image(
+                channels,
+                (height - window) / stride + 1,
+                (width - window) / stride + 1,
+            )
+        }
+        FeatureShape::Flat { .. } => panic!("{what} needs an image input"),
+    }
+}
+
+/// Windowed average pooling as a [`Module`].
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+}
+
+impl AvgPool2d {
+    /// Create an average-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    #[must_use]
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "pool dims must be positive");
+        AvgPool2d { window, stride }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&self, _tape: &Tape, x: &Var, _train: bool) -> Var {
+        x.avg_pool2d(self.window, self.stride)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        (
+            Vec::new(),
+            pooled_shape(input, self.window, self.stride, "avg pool"),
+        )
+    }
+}
+
+/// Windowed max pooling as a [`Module`].
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Create a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    #[must_use]
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "pool dims must be positive");
+        MaxPool2d { window, stride }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, _tape: &Tape, x: &Var, _train: bool) -> Var {
+        x.max_pool2d(self.window, self.stride)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        (
+            Vec::new(),
+            pooled_shape(input, self.window, self.stride, "max pool"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_tensor::Tensor;
+
+    #[test]
+    fn avg_pool_module_matches_describe() {
+        let pool = AvgPool2d::new(2, 2);
+        let (descs, out) = pool.describe(FeatureShape::image(3, 8, 8));
+        assert!(descs.is_empty());
+        assert_eq!(out, FeatureShape::image(3, 4, 4));
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[2, 3, 8, 8], 0.5, 1));
+        assert_eq!(pool.forward(&tape, &x, true).shape(), vec![2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn max_pool_module_matches_describe() {
+        let pool = MaxPool2d::new(3, 1);
+        let (_, out) = pool.describe(FeatureShape::image(2, 6, 6));
+        assert_eq!(out, FeatureShape::image(2, 4, 4));
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[1, 2, 6, 6], 0.5, 2));
+        assert_eq!(pool.forward(&tape, &x, true).shape(), vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool_pointwise() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[1, 1, 6, 6], 1.0, 3));
+        let mx = MaxPool2d::new(2, 2).forward(&tape, &x, true);
+        let av = AvgPool2d::new(2, 2).forward(&tape, &x, true);
+        for (m, a) in mx.value().data().iter().zip(av.value().data().iter()) {
+            assert!(m >= a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an image input")]
+    fn pooling_flat_input_panics() {
+        let _ = AvgPool2d::new(2, 2).describe(FeatureShape::Flat { features: 8 });
+    }
+}

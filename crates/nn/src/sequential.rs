@@ -1,0 +1,140 @@
+//! Ordered composition of modules.
+
+use crate::describe::{FeatureShape, LayerDesc};
+use crate::module::Module;
+use crate::param::Param;
+use a3cs_tensor::{Tape, Var};
+
+/// A chain of modules applied in order.
+///
+/// # Example
+///
+/// ```
+/// use a3cs_nn::{Flatten, Linear, Module, Relu, Sequential};
+/// use a3cs_tensor::{Tape, Tensor};
+///
+/// let net = Sequential::new()
+///     .push(Flatten::new())
+///     .push(Linear::new("fc1", 8, 4, 0))
+///     .push(Relu::new())
+///     .push(Linear::new("fc2", 4, 2, 1));
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::zeros(&[3, 2, 2, 2]));
+/// assert_eq!(net.forward(&tape, &x, true).shape(), vec![3, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    stages: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Create an empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a module, builder style.
+    #[must_use]
+    pub fn push(mut self, module: impl Module + 'static) -> Self {
+        self.stages.push(Box::new(module));
+        self
+    }
+
+    /// Append a boxed module in place.
+    pub fn push_boxed(&mut self, module: Box<dyn Module>) {
+        self.stages.push(module);
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` when the chain has no stages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, tape: &Tape, x: &Var, train: bool) -> Var {
+        let mut h = x.clone();
+        for stage in &self.stages {
+            h = stage.forward(tape, &h, train);
+        }
+        h
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.stages.iter().flat_map(|s| s.params()).collect()
+    }
+
+    fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        let mut descs = Vec::new();
+        let mut shape = input;
+        for stage in &self.stages {
+            let (mut d, out) = stage.describe(shape);
+            descs.append(&mut d);
+            shape = out;
+        }
+        (descs, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Flatten, Linear, Relu};
+    use a3cs_tensor::Tensor;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let net = Sequential::new();
+        assert!(net.is_empty());
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2, 3]));
+        let y = net.forward(&tape, &x, true);
+        assert_eq!(y.value().as_ref(), &Tensor::ones(&[2, 3]));
+    }
+
+    #[test]
+    fn describe_propagates_shapes() {
+        let net = Sequential::new()
+            .push(Conv2d::new("c1", 2, 4, 3, 2, 1, false, 0))
+            .push(Relu::new())
+            .push(Flatten::new())
+            .push(Linear::new("fc", 4 * 4 * 4, 10, 1));
+        let (descs, out) = net.describe(FeatureShape::image(2, 8, 8));
+        assert_eq!(descs.len(), 2); // conv + fc; relu/flatten fold away
+        assert_eq!(out, FeatureShape::Flat { features: 10 });
+    }
+
+    #[test]
+    fn params_concatenate_in_order() {
+        let net = Sequential::new()
+            .push(Linear::new("a", 2, 2, 0))
+            .push(Linear::new("b", 2, 2, 1));
+        let names: Vec<_> = net.params().iter().map(|p| p.name().to_owned()).collect();
+        assert_eq!(names, ["a.weight", "a.bias", "b.weight", "b.bias"]);
+    }
+
+    #[test]
+    fn gradients_flow_through_chain() {
+        let net = Sequential::new()
+            .push(Linear::new("a", 3, 3, 0))
+            .push(Relu::new())
+            .push(Linear::new("b", 3, 1, 1));
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[2, 3], 1.0, 9));
+        net.forward(&tape, &x, true).sum().backward();
+        for p in net.params() {
+            // At least the weight matrices should see gradient mass.
+            if p.name().ends_with("weight") {
+                assert!(p.grad().sq_norm() > 0.0, "no grad on {}", p.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the nn crate: forward shapes must always agree with
+//! `describe`, and gradient plumbing must reach every parameter.
+
+use a3cs_nn::{
+    resnet, vanilla, BasicBlock, Conv2d, FeatureShape, InvertedResidual, Linear, Module,
+};
+use a3cs_tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_forward_matches_describe(
+        in_ch in 1usize..5,
+        out_ch in 1usize..6,
+        kernel in prop::sample::select(vec![1usize, 3, 5]),
+        stride in 1usize..3,
+        hw in 6usize..14,
+        batch in 1usize..3,
+    ) {
+        let conv = Conv2d::new("c", in_ch, out_ch, kernel, stride, kernel / 2, true, 0);
+        let (descs, out) = conv.describe(FeatureShape::image(in_ch, hw, hw));
+        prop_assert_eq!(descs.len(), 1);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[batch, in_ch, hw, hw], 0.3, 1));
+        let y = conv.forward(&tape, &x, true);
+        let FeatureShape::Image { channels, height, width } = out else {
+            return Err(TestCaseError::fail("conv output must be an image"));
+        };
+        prop_assert_eq!(y.shape(), vec![batch, channels, height, width]);
+    }
+
+    #[test]
+    fn linear_forward_matches_describe(
+        in_f in 1usize..24,
+        out_f in 1usize..16,
+        batch in 1usize..5,
+    ) {
+        let lin = Linear::new("l", in_f, out_f, 0);
+        let (_, out) = lin.describe(FeatureShape::Flat { features: in_f });
+        prop_assert_eq!(out, FeatureShape::Flat { features: out_f });
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[batch, in_f], 0.3, 1));
+        prop_assert_eq!(lin.forward(&tape, &x, true).shape(), vec![batch, out_f]);
+    }
+
+    #[test]
+    fn basic_block_shape_consistency(
+        in_ch in 2usize..6,
+        widen in 1usize..3,
+        stride in 1usize..3,
+        hw in prop::sample::select(vec![6usize, 8, 10]),
+    ) {
+        let out_ch = in_ch * widen;
+        let block = BasicBlock::new("b", in_ch, out_ch, stride, 3);
+        let (_, shape) = block.describe(FeatureShape::image(in_ch, hw, hw));
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[1, in_ch, hw, hw], 0.3, 4));
+        let y = block.forward(&tape, &x, true);
+        let FeatureShape::Image { channels, height, width } = shape else {
+            return Err(TestCaseError::fail("block output must be an image"));
+        };
+        prop_assert_eq!(y.shape(), vec![1, channels, height, width]);
+    }
+
+    #[test]
+    fn inverted_residual_shape_consistency(
+        kernel in prop::sample::select(vec![3usize, 5]),
+        expansion in prop::sample::select(vec![1usize, 3, 5]),
+        stride in 1usize..3,
+    ) {
+        let ir = InvertedResidual::new("ir", 4, 6, kernel, stride, expansion, 5);
+        let (_, shape) = ir.describe(FeatureShape::image(4, 10, 10));
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[1, 4, 10, 10], 0.3, 6));
+        let y = ir.forward(&tape, &x, true);
+        let FeatureShape::Image { channels, height, width } = shape else {
+            return Err(TestCaseError::fail("block output must be an image"));
+        };
+        prop_assert_eq!(y.shape(), vec![1, channels, height, width]);
+    }
+
+    #[test]
+    fn backbone_macs_and_params_positive(depth in prop::sample::select(vec![14usize, 20, 38])) {
+        let bb = resnet(depth, 3, 12, 12, 4, 16, 7);
+        prop_assert!(bb.total_macs() > 0);
+        prop_assert!(bb.param_count() > 0);
+        prop_assert_eq!(bb.layer_descs().is_empty(), false);
+    }
+
+    #[test]
+    fn every_weight_gets_gradient_from_scalar_loss(seed in 0u64..50) {
+        let bb = vanilla(2, 10, 10, 8, seed);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[2, 2, 10, 10], 0.5, seed + 1));
+        bb.forward(&tape, &x, true).square().sum().backward();
+        for p in bb.params() {
+            if p.name().ends_with("weight") {
+                prop_assert!(p.grad().sq_norm() > 0.0, "no grad on {}", p.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Matrix multiplication and convolution kernels operating on raw [`Tensor`]s.
+//!
+//! These are the hot loops of the crate. They are written cache-friendly
+//! (ikj loop order for GEMM, im2col lowering for convolution) but make no
+//! attempt at SIMD intrinsics; the A3C-S reproduction works on deliberately
+//! small tensors.
+
+use crate::tensor::Tensor;
+
+/// `A[m,k] @ B[k,n] -> [m,n]`.
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching inner dimension.
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
+}
+
+/// `A^T[k,m] @ B[k,n] -> [m,n]` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching leading dimension.
+#[must_use]
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_at_b lhs");
+    let (k2, n) = dims2(b, "matmul_at_b rhs");
+    assert_eq!(k, k2, "matmul_at_b leading dims differ: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_at_b output shape")
+}
+
+/// `A[m,k] @ B^T[n,k] -> [m,n]` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching trailing dimension.
+#[must_use]
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_a_bt lhs");
+    let (n, k2) = dims2(b, "matmul_a_bt rhs");
+    assert_eq!(k, k2, "matmul_a_bt trailing dims differ: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_a_bt output shape")
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 2, "{what} must be rank 2, got {s:?}");
+    (s[0], s[1])
+}
+
+/// Static geometry of a 2-D convolution (shared by forward and backward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output spatial height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        out_dim(self.in_h, self.kernel, self.stride, self.padding)
+    }
+
+    /// Output spatial width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        out_dim(self.in_w, self.kernel, self.stride, self.padding)
+    }
+
+    /// Number of rows of the lowered (im2col) matrix: `Ci * k * k`.
+    #[must_use]
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Number of columns of the lowered (im2col) matrix: `Ho * Wo`.
+    #[must_use]
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Multiply–accumulate operations for one input image.
+    #[must_use]
+    pub fn macs_per_image(&self) -> u64 {
+        self.out_channels as u64 * self.col_rows() as u64 * self.col_cols() as u64
+    }
+}
+
+fn out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = input + 2 * padding;
+    assert!(
+        padded >= kernel && stride > 0,
+        "kernel {kernel} with stride {stride} does not fit input {input} (+2*{padding} pad)"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Lower one image `[Ci, H, W]` (as a flat slice) to the im2col matrix
+/// `[Ci*k*k, Ho*Wo]` for `geom`.
+///
+/// # Panics
+///
+/// Panics if `image` does not hold exactly `Ci*H*W` elements.
+#[must_use]
+pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
+    let (ci, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    assert_eq!(image.len(), ci * h * w, "im2col image size mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; geom.col_rows() * cols];
+    for c in 0..ci {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[base + oy * ow + ox] = image[(c * h + iy) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[geom.col_rows(), cols]).expect("im2col output shape")
+}
+
+/// Inverse of [`im2col`]: scatter-add a `[Ci*k*k, Ho*Wo]` matrix back into
+/// an image buffer `[Ci, H, W]` (used by the convolution backward pass).
+///
+/// # Panics
+///
+/// Panics if `col` or `image` have sizes inconsistent with `geom`.
+pub fn col2im(col: &Tensor, geom: &Conv2dGeometry, image: &mut [f32]) {
+    let (ci, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    assert_eq!(image.len(), ci * h * w, "col2im image size mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(
+        col.shape(),
+        &[geom.col_rows(), oh * ow],
+        "col2im column matrix shape mismatch"
+    );
+    let k = geom.kernel;
+    let cols = oh * ow;
+    let cd = col.data();
+    for c in 0..ci {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        image[(c * h + iy) * w + ix as usize] += cd[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::randn(&[5, 5], 1.0, 1);
+        let mut eye = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Tensor::randn(&[4, 6], 1.0, 2);
+        let b = Tensor::randn(&[4, 3], 1.0, 3);
+        let c = Tensor::randn(&[5, 6], 1.0, 4);
+        assert!(matmul_at_b(&a, &b).max_abs_diff(&matmul(&a.transpose(), &b)) < 1e-5);
+        assert!(matmul_a_bt(&a, &c).max_abs_diff(&matmul(&a, &c.transpose())) < 1e-5);
+    }
+
+    #[test]
+    fn geometry_output_dims() {
+        let g = Conv2dGeometry {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            in_h: 8,
+            in_w: 8,
+        };
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+        assert_eq!(g.col_rows(), 27);
+        assert_eq!(g.col_cols(), 16);
+        assert_eq!(g.macs_per_image(), 8 * 27 * 16);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is just a reshape.
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_h: 2,
+            in_w: 2,
+        };
+        let img: Vec<f32> = (0..8).map(|x| x as f32).collect();
+        let col = im2col(&img, &g);
+        assert_eq!(col.shape(), &[2, 4]);
+        assert_eq!(col.data(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_h: 2,
+            in_w: 2,
+        };
+        let img = vec![1.0, 2.0, 3.0, 4.0];
+        let col = im2col(&img, &g);
+        assert_eq!(col.shape(), &[9, 4]);
+        // Top-left kernel tap at output (0,0) reads the padded corner => 0.
+        assert_eq!(col.at(&[0, 0]), 0.0);
+        // Centre tap reproduces the image.
+        assert_eq!(col.at(&[4, 0]), 1.0);
+        assert_eq!(col.at(&[4, 3]), 4.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_naive() {
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            in_h: 5,
+            in_w: 5,
+        };
+        let img = Tensor::randn(&[2 * 5 * 5], 1.0, 9);
+        let w = Tensor::randn(&[3, g.col_rows()], 1.0, 10);
+        let col = im2col(img.data(), &g);
+        let out = matmul(&w, &col); // [Co, Ho*Wo]
+
+        // naive direct convolution
+        let (oh, ow) = (g.out_h(), g.out_w());
+        for co in 0..3 {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..2 {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                let iy = (oy * 2 + ky) as isize - 1;
+                                let ix = (ox * 2 + kx) as isize - 1;
+                                if iy < 0 || ix < 0 || iy >= 5 || ix >= 5 {
+                                    continue;
+                                }
+                                let iv = img.data()[(ci * 5 + iy as usize) * 5 + ix as usize];
+                                let wv = w.at(&[co, (ci * 3 + ky) * 3 + kx]);
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    let got = out.at(&[co, oy * ow + ox]);
+                    assert!((got - acc).abs() < 1e-4, "mismatch at {co},{oy},{ox}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_roundtrip_counts_overlaps() {
+        // With kernel 1 / stride 1 / no padding col2im must be the exact
+        // inverse scatter of im2col.
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_h: 3,
+            in_w: 3,
+        };
+        let img: Vec<f32> = (0..18).map(|x| x as f32).collect();
+        let col = im2col(&img, &g);
+        let mut back = vec![0.0f32; 18];
+        col2im(&col, &g, &mut back);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn col2im_accumulates_overlapping_windows() {
+        // kernel 2, stride 1 on a 3-wide row: centre pixel is visited twice.
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+            in_h: 2,
+            in_w: 3,
+        };
+        let ones = Tensor::ones(&[g.col_rows(), g.col_cols()]);
+        let mut img = vec![0.0f32; 6];
+        col2im(&ones, &g, &mut img);
+        // Visit counts: corners 1, edge-centres 2 (2x3 input, 2x2 kernel -> 1x2 outputs).
+        assert_eq!(img, vec![1.0, 2.0, 1.0, 1.0, 2.0, 1.0]);
+    }
+}

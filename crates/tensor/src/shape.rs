@@ -1,0 +1,99 @@
+//! Shape bookkeeping helpers shared by [`crate::Tensor`] and the autograd ops.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a tensor from mismatched data and shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    expected: usize,
+    actual: usize,
+    shape: Vec<usize>,
+}
+
+impl ShapeError {
+    pub(crate) fn new(shape: &[usize], actual: usize) -> Self {
+        Self {
+            expected: num_elements(shape),
+            actual,
+            shape: shape.to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape {:?} requires {} elements but {} were provided",
+            self.shape, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Total number of elements implied by `shape`.
+///
+/// The empty shape `[]` denotes a scalar and has one element.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(a3cs_tensor::num_elements(&[2, 3, 4]), 24);
+/// assert_eq!(a3cs_tensor::num_elements(&[]), 1);
+/// ```
+#[must_use]
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major (C-order) strides for `shape`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(a3cs_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+#[must_use]
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_of_scalar_is_one() {
+        assert_eq!(num_elements(&[]), 1);
+    }
+
+    #[test]
+    fn num_elements_with_zero_dim_is_zero() {
+        assert_eq!(num_elements(&[3, 0, 2]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[4]), vec![1]);
+        assert_eq!(strides_for(&[2, 5]), vec![5, 1]);
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn strides_of_scalar_is_empty() {
+        assert!(strides_for(&[]).is_empty());
+    }
+
+    #[test]
+    fn shape_error_display_mentions_counts() {
+        let err = ShapeError::new(&[2, 2], 3);
+        let msg = err.to_string();
+        assert!(msg.contains('4') && msg.contains('3'), "{msg}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The reverse-mode autodiff tape.
+
+use crate::tensor::Tensor;
+use crate::var::Var;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Gradient contributions a backward closure sends to its parents:
+/// `(parent node id, gradient tensor)` pairs.
+pub(crate) type GradContributions = Vec<(usize, Tensor)>;
+
+/// Backward function of one node: maps the node's output gradient to
+/// gradient contributions for its parents.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> GradContributions>;
+
+pub(crate) struct Node {
+    pub(crate) value: Rc<Tensor>,
+    pub(crate) grad: Option<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+    /// Optional external gradient sink (used by `nn` parameters): when
+    /// backward finishes, the node's gradient is accumulated into it.
+    pub(crate) sink: Option<Rc<RefCell<Tensor>>>,
+}
+
+#[derive(Default)]
+pub(crate) struct TapeInner {
+    pub(crate) nodes: Vec<Node>,
+}
+
+/// A recording of differentiable operations.
+///
+/// Every [`Var`] belongs to exactly one tape. Operations on `Var`s append
+/// nodes (value + backward closure) to the tape; [`Var::backward`] then
+/// walks the tape in reverse creation order, accumulating gradients.
+///
+/// Tapes are cheap (`Rc`-backed) to clone; clones share the same recording.
+///
+/// # Example
+///
+/// ```
+/// use a3cs_tensor::{Tape, Tensor};
+///
+/// let tape = Tape::new();
+/// let a = tape.leaf(Tensor::scalar(3.0));
+/// let b = tape.leaf(Tensor::scalar(4.0));
+/// let c = a.mul(&b);
+/// c.backward();
+/// assert_eq!(a.grad().unwrap().item(), 4.0);
+/// assert_eq!(b.grad().unwrap().item(), 3.0);
+/// ```
+#[derive(Clone, Default)]
+pub struct Tape {
+    pub(crate) inner: Rc<RefCell<TapeInner>>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.len())
+    }
+}
+
+impl Tape {
+    /// Create an empty tape.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// `true` if no nodes have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a leaf (input) node holding `value`. Its gradient is
+    /// retrievable through [`Var::grad`] after a backward pass.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(Rc::new(value), None, None)
+    }
+
+    /// Record a constant node: like a leaf, but never receives gradient
+    /// storage of interest (its gradient is still computed and discarded).
+    /// Semantically identical to [`Tape::leaf`]; exists for call-site clarity.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.leaf(value)
+    }
+
+    /// Record a parameter node: a leaf whose gradient is additionally
+    /// accumulated into `sink` when a backward pass completes. The `nn`
+    /// crate uses this to route gradients to optimiser state.
+    pub fn param(&self, value: Tensor, sink: Rc<RefCell<Tensor>>) -> Var {
+        self.push(Rc::new(value), None, Some(sink))
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Rc<Tensor>,
+        backward: Option<BackwardFn>,
+        sink: Option<Rc<RefCell<Tensor>>>,
+    ) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node {
+            value,
+            grad: None,
+            backward,
+            sink,
+        });
+        Var {
+            tape: self.clone(),
+            id,
+        }
+    }
+
+    pub(crate) fn value_of(&self, id: usize) -> Rc<Tensor> {
+        Rc::clone(&self.inner.borrow().nodes[id].value)
+    }
+
+    pub(crate) fn same_tape(&self, other: &Tape) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Run reverse-mode accumulation seeded with `seed` at node `root_id`.
+    pub(crate) fn backward_from(&self, root_id: usize, seed: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        let n = root_id + 1;
+        let mut grads: Vec<Option<Tensor>> = Vec::with_capacity(n);
+        grads.resize_with(n, || None);
+        assert_eq!(
+            seed.shape(),
+            inner.nodes[root_id].value.shape(),
+            "backward seed shape must match the root value shape"
+        );
+        grads[root_id] = Some(seed);
+        for id in (0..n).rev() {
+            let Some(grad) = grads[id].take() else {
+                continue;
+            };
+            if let Some(backward) = inner.nodes[id].backward.as_ref() {
+                for (pid, contribution) in backward(&grad) {
+                    assert!(pid < id, "gradient must flow to earlier nodes");
+                    match grads[pid].as_mut() {
+                        Some(existing) => existing.add_assign(&contribution),
+                        None => grads[pid] = Some(contribution),
+                    }
+                }
+            }
+            let node = &mut inner.nodes[id];
+            if let Some(sink) = node.sink.as_ref() {
+                sink.borrow_mut().add_assign(&grad);
+            }
+            match node.grad.as_mut() {
+                Some(existing) => existing.add_assign(&grad),
+                None => node.grad = Some(grad),
+            }
+        }
+    }
+
+    pub(crate) fn grad_of(&self, id: usize) -> Option<Tensor> {
+        self.inner.borrow().nodes[id].grad.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tape() {
+        let tape = Tape::new();
+        assert!(tape.is_empty());
+        assert_eq!(tape.len(), 0);
+        assert_eq!(format!("{tape:?}"), "Tape(0 nodes)");
+    }
+
+    #[test]
+    fn leaves_record_in_order() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(1.0));
+        let b = tape.leaf(Tensor::scalar(2.0));
+        assert_eq!(a.id, 0);
+        assert_eq!(b.id, 1);
+        assert_eq!(tape.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_recording() {
+        let tape = Tape::new();
+        let clone = tape.clone();
+        let _ = clone.leaf(Tensor::scalar(0.0));
+        assert_eq!(tape.len(), 1);
+        assert!(tape.same_tape(&clone));
+        assert!(!tape.same_tape(&Tape::new()));
+    }
+
+    #[test]
+    fn param_sink_accumulates_across_backward_passes() {
+        let tape = Tape::new();
+        let sink = Rc::new(RefCell::new(Tensor::zeros(&[])));
+        let p = tape.param(Tensor::scalar(5.0), Rc::clone(&sink));
+        let loss = p.mul(&p); // dL/dp = 2p = 10
+        loss.backward();
+        loss.backward();
+        assert_eq!(sink.borrow().item(), 20.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // y = x*x + x  => dy/dx = 2x + 1
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(3.0));
+        let y = x.mul(&x).add(&x);
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 7.0);
+    }
+}

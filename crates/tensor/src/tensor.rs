@@ -1,0 +1,594 @@
+//! The dense, contiguous, row-major `f32` tensor type.
+
+use crate::shape::{num_elements, strides_for, ShapeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` array tagged with a shape.
+///
+/// `Tensor` is the plain-value half of this crate; differentiable
+/// computations wrap tensors in [`crate::Var`] nodes on a [`crate::Tape`].
+///
+/// The empty shape `[]` denotes a scalar holding exactly one element.
+///
+/// # Example
+///
+/// ```
+/// use a3cs_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::full(&[2, 2], 10.0);
+/// let c = a.add(&b);
+/// assert_eq!(c.data(), &[11.0, 12.0, 13.0, 14.0]);
+/// # Ok::<(), a3cs_tensor::ShapeError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= PREVIEW {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:?}.., len={}]", &self.data[..PREVIEW], self.data.len())
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// A scalar zero tensor.
+    fn default() -> Self {
+        Tensor::zeros(&[])
+    }
+}
+
+impl Tensor {
+    /// Tensor of zeros with the given shape.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Tensor of ones with the given shape.
+    #[must_use]
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Tensor filled with `value`.
+    #[must_use]
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; num_elements(shape)],
+        }
+    }
+
+    /// Scalar (rank-0) tensor holding `value`.
+    #[must_use]
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Vec::new(),
+            data: vec![value],
+        }
+    }
+
+    /// Build a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not equal the number of
+    /// elements implied by `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, ShapeError> {
+        if data.len() != num_elements(shape) {
+            return Err(ShapeError::new(shape, data.len()));
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Tensor with elements drawn i.i.d. from `U[lo, hi)` using a seeded RNG.
+    #[must_use]
+    pub fn uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..num_elements(shape))
+            .map(|_| rng.gen_range(lo..hi))
+            .collect();
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Tensor with elements drawn i.i.d. from `N(0, std^2)` using a seeded
+    /// RNG (Box–Muller transform, so only `rand`'s uniform source is needed).
+    #[must_use]
+    pub fn randn(shape: &[usize], std: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = num_elements(shape);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape of the tensor.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor stores no elements (some dimension is 0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its raw data.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single element of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor holds more than one element.
+    #[must_use]
+    pub fn item(&self) -> f32 {
+        assert!(
+            self.data.len() == 1,
+            "item() requires exactly one element, shape is {:?}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    #[must_use]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Set the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let flat = self.flat_index(index);
+        self.data[flat] = value;
+    }
+
+    fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.shape.len(),
+            "index rank {} does not match tensor rank {}",
+            index.len(),
+            self.shape.len()
+        );
+        let strides = strides_for(&self.shape);
+        index
+            .iter()
+            .zip(self.shape.iter())
+            .zip(strides.iter())
+            .map(|((&i, &d), &s)| {
+                assert!(i < d, "index {i} out of bounds for dim of size {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// View the same data under a new shape (element count must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            num_elements(shape),
+            "cannot reshape {:?} ({} elems) to {:?} ({} elems)",
+            self.shape,
+            self.len(),
+            shape,
+            num_elements(shape)
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Apply `f` to every element, producing a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Combine two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "elementwise op requires equal shapes"
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Panics on shape mismatch.
+    #[must_use]
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise product. Panics on shape mismatch.
+    #[must_use]
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient. Panics on shape mismatch.
+    #[must_use]
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Add `other` into `self` in place. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign requires equal shapes");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Multiply every element by `c`.
+    #[must_use]
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// Add `c` to every element.
+    #[must_use]
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        self.map(|x| x + c)
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        assert!(!self.is_empty(), "mean of an empty tensor");
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    #[must_use]
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max of an empty tensor");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    #[must_use]
+    pub fn min(&self) -> f32 {
+        assert!(!self.is_empty(), "min of an empty tensor");
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Flat index of the maximum element (first one on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of an empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Row-wise argmax for a rank-2 tensor `[rows, cols]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank 2 with at least one column.
+    #[must_use]
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2, "argmax_rows requires a rank-2 tensor");
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        assert!(cols > 0, "argmax_rows requires at least one column");
+        (0..rows)
+            .map(|r| {
+                let row = &self.data[r * cols..(r + 1) * cols];
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Squared L2 norm of all elements.
+    #[must_use]
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank 2.
+    #[must_use]
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a rank-2 tensor");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor {
+            shape: vec![c, r],
+            data: out,
+        }
+    }
+
+    /// Concatenate rank-≥1 tensors along axis 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or trailing dimensions disagree.
+    #[must_use]
+    pub fn concat0(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat0 of zero tensors");
+        let tail = &parts[0].shape[1..];
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(&p.shape[1..], tail, "concat0 trailing dims must match");
+            rows += p.shape[0];
+        }
+        let mut shape = vec![rows];
+        shape.extend_from_slice(tail);
+        let mut data = Vec::with_capacity(num_elements(&shape));
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { shape, data }
+    }
+
+    /// `true` when every element is finite (no NaN / infinity).
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff requires equal shapes");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec(vec![1.0; 4], &[2, 2]).is_ok());
+        assert!(Tensor::from_vec(vec![1.0; 3], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.shape(), &[] as &[usize]);
+        assert_eq!(s.item(), 3.5);
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+        assert_eq!(t.at(&[1, 0, 2]), 14.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = Tensor::zeros(&[3, 3]);
+        t.set(&[1, 2], 7.0);
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        assert_eq!(t.sum(), 7.0);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-1.0, 4.0, 2.5, 0.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum(), 5.5);
+        assert_eq!(t.mean(), 1.375);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -1.0);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_ties() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 0.0, 3.0, 9.0, 9.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let r = t.reshape(&[4]);
+        assert_eq!(r.shape(), &[4]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn concat0_stacks_rows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = Tensor::concat0(&[&a, &b]);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn(&[32], 1.0, 7);
+        let b = Tensor::randn(&[32], 1.0, 7);
+        let c = Tensor::randn(&[32], 1.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.all_finite());
+    }
+
+    #[test]
+    fn randn_std_scales_spread() {
+        let small = Tensor::randn(&[4096], 0.1, 3);
+        let large = Tensor::randn(&[4096], 10.0, 3);
+        assert!(large.sq_norm() > small.sq_norm() * 100.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = Tensor::uniform(&[1000], -2.0, 3.0, 11);
+        assert!(t.min() >= -2.0 && t.max() < 3.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_bounded() {
+        let t = Tensor::zeros(&[64, 64]);
+        let s = format!("{t:?}");
+        assert!(s.contains("Tensor[64, 64]"));
+        assert!(s.len() < 200);
+    }
+}

@@ -1,0 +1,1237 @@
+//! Differentiable values ([`Var`]) and the operation set recorded on a
+//! [`Tape`].
+//!
+//! Every method that combines two `Var`s panics if they live on different
+//! tapes; this is always a programming error in the caller.
+
+use crate::linalg::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry};
+use crate::tape::{BackwardFn, Tape};
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// A differentiable value: a reference to one node of a [`Tape`].
+///
+/// `Var` is cheap to clone (it is an id plus an `Rc` tape handle). All
+/// arithmetic on `Var`s records backward closures so that [`Var::backward`]
+/// can later accumulate gradients.
+///
+/// # Example
+///
+/// ```
+/// use a3cs_tensor::{Tape, Tensor};
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![0.5, -1.0], &[2]).unwrap());
+/// let loss = x.relu().sum();
+/// loss.backward();
+/// assert_eq!(x.grad().unwrap().data(), &[1.0, 0.0]);
+/// ```
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) tape: Tape,
+    pub(crate) id: usize,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var(id={}, value={:?})", self.id, self.value())
+    }
+}
+
+impl Var {
+    /// The tensor value this node holds.
+    #[must_use]
+    pub fn value(&self) -> Rc<Tensor> {
+        self.tape.value_of(self.id)
+    }
+
+    /// Shape of the held value.
+    #[must_use]
+    pub fn shape(&self) -> Vec<usize> {
+        self.value().shape().to_vec()
+    }
+
+    /// Gradient accumulated at this node by previous [`Var::backward`]
+    /// calls, if any.
+    #[must_use]
+    pub fn grad(&self) -> Option<Tensor> {
+        self.tape.grad_of(self.id)
+    }
+
+    /// Run reverse-mode differentiation from this node, seeding with a
+    /// tensor of ones (for a scalar loss this is the usual `dL/dL = 1`).
+    pub fn backward(&self) {
+        let seed = Tensor::ones(self.value().shape());
+        self.tape.backward_from(self.id, seed);
+    }
+
+    /// Run reverse-mode differentiation seeded with an explicit gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` does not match this node's value shape.
+    pub fn backward_with(&self, seed: Tensor) {
+        self.tape.backward_from(self.id, seed);
+    }
+
+    /// A new leaf on the same tape holding a copy of this value; gradient
+    /// does not flow through it (stop-gradient).
+    #[must_use]
+    pub fn detach(&self) -> Var {
+        self.tape.leaf(self.value().as_ref().clone())
+    }
+
+    fn assert_same_tape(&self, other: &Var) {
+        assert!(
+            self.tape.same_tape(&other.tape),
+            "operands belong to different tapes"
+        );
+    }
+
+    fn unary(&self, value: Tensor, backward: BackwardFn) -> Var {
+        self.tape.push(Rc::new(value), Some(backward), None)
+    }
+
+    // ---------------------------------------------------------------
+    // Elementwise binary ops (equal shapes)
+    // ---------------------------------------------------------------
+
+    /// Elementwise sum. Panics on shape or tape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Var) -> Var {
+        self.assert_same_tape(other);
+        let (a, b) = (self.id, other.id);
+        let value = self.value().add(&other.value());
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, g.clone()), (b, g.clone())]),
+        )
+    }
+
+    /// Elementwise difference. Panics on shape or tape mismatch.
+    #[must_use]
+    pub fn sub(&self, other: &Var) -> Var {
+        self.assert_same_tape(other);
+        let (a, b) = (self.id, other.id);
+        let value = self.value().sub(&other.value());
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, g.clone()), (b, g.scale(-1.0))]),
+        )
+    }
+
+    /// Elementwise product. Panics on shape or tape mismatch.
+    #[must_use]
+    pub fn mul(&self, other: &Var) -> Var {
+        self.assert_same_tape(other);
+        let (a, b) = (self.id, other.id);
+        let (av, bv) = (self.value(), other.value());
+        let value = av.mul(&bv);
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, g.mul(&bv)), (b, g.mul(&av))]),
+        )
+    }
+
+    /// Elementwise quotient. Panics on shape or tape mismatch.
+    #[must_use]
+    pub fn div(&self, other: &Var) -> Var {
+        self.assert_same_tape(other);
+        let (a, b) = (self.id, other.id);
+        let (av, bv) = (self.value(), other.value());
+        let value = av.div(&bv);
+        self.unary(
+            value,
+            Box::new(move |g| {
+                let da = g.div(&bv);
+                let db = g.mul(&av).div(&bv).div(&bv).scale(-1.0);
+                vec![(a, da), (b, db)]
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Elementwise unary ops
+    // ---------------------------------------------------------------
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Var {
+        self.scale(-1.0)
+    }
+
+    /// Multiply every element by the constant `c`.
+    #[must_use]
+    pub fn scale(&self, c: f32) -> Var {
+        let a = self.id;
+        let value = self.value().scale(c);
+        self.unary(value, Box::new(move |g| vec![(a, g.scale(c))]))
+    }
+
+    /// Add the constant `c` to every element.
+    #[must_use]
+    pub fn add_scalar(&self, c: f32) -> Var {
+        let a = self.id;
+        let value = self.value().add_scalar(c);
+        self.unary(value, Box::new(move |g| vec![(a, g.clone())]))
+    }
+
+    /// Rectified linear unit `max(x, 0)`.
+    #[must_use]
+    pub fn relu(&self) -> Var {
+        let a = self.id;
+        let x = self.value();
+        let value = x.map(|v| v.max(0.0));
+        self.unary(
+            value,
+            Box::new(move |g| {
+                vec![(a, g.zip(&x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }))]
+            }),
+        )
+    }
+
+    /// Elementwise exponential.
+    #[must_use]
+    pub fn exp(&self) -> Var {
+        let a = self.id;
+        let value = self.value().map(f32::exp);
+        let out = value.clone();
+        self.unary(value, Box::new(move |g| vec![(a, g.mul(&out))]))
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// Inputs are expected strictly positive; non-positive values produce
+    /// NaN/-inf exactly as `f32::ln` does.
+    #[must_use]
+    pub fn ln(&self) -> Var {
+        let a = self.id;
+        let x = self.value();
+        let value = x.map(f32::ln);
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, g.zip(&x, |gv, xv| gv / xv))]),
+        )
+    }
+
+    /// Elementwise hyperbolic tangent.
+    #[must_use]
+    pub fn tanh(&self) -> Var {
+        let a = self.id;
+        let value = self.value().map(f32::tanh);
+        let out = value.clone();
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, g.zip(&out, |gv, yv| gv * (1.0 - yv * yv)))]),
+        )
+    }
+
+    /// Elementwise square.
+    #[must_use]
+    pub fn square(&self) -> Var {
+        let a = self.id;
+        let x = self.value();
+        let value = x.map(|v| v * v);
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, g.zip(&x, |gv, xv| gv * 2.0 * xv))]),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Shape ops
+    // ---------------------------------------------------------------
+
+    /// Reshape to `shape` (element count must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(&self, shape: &[usize]) -> Var {
+        let a = self.id;
+        let old_shape = self.value().shape().to_vec();
+        let value = self.value().reshape(shape);
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, g.reshape(&old_shape))]),
+        )
+    }
+
+    /// Flatten `[N, d1, d2, ...]` to `[N, d1*d2*...]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is rank 0.
+    #[must_use]
+    pub fn flatten_batch(&self) -> Var {
+        let s = self.shape();
+        assert!(!s.is_empty(), "flatten_batch requires rank >= 1");
+        let n = s[0];
+        let rest: usize = s[1..].iter().product();
+        self.reshape(&[n, rest])
+    }
+
+    // ---------------------------------------------------------------
+    // Reductions
+    // ---------------------------------------------------------------
+
+    /// Sum of all elements, as a scalar.
+    #[must_use]
+    pub fn sum(&self) -> Var {
+        let a = self.id;
+        let shape = self.value().shape().to_vec();
+        let value = Tensor::scalar(self.value().sum());
+        self.unary(
+            value,
+            Box::new(move |g| vec![(a, Tensor::full(&shape, g.item()))]),
+        )
+    }
+
+    /// Mean of all elements, as a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is empty.
+    #[must_use]
+    pub fn mean(&self) -> Var {
+        let n = self.value().len();
+        assert!(n > 0, "mean of an empty tensor");
+        self.sum().scale(1.0 / n as f32)
+    }
+
+    /// Row sums of a rank-2 value: `[N, M] -> [N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the value is rank 2.
+    #[must_use]
+    pub fn sum_rows(&self) -> Var {
+        let a = self.id;
+        let s = self.shape();
+        assert_eq!(s.len(), 2, "sum_rows requires a rank-2 value");
+        let (n, m) = (s[0], s[1]);
+        let x = self.value();
+        let mut out = vec![0.0f32; n];
+        for r in 0..n {
+            out[r] = x.data()[r * m..(r + 1) * m].iter().sum();
+        }
+        self.unary(
+            Tensor::from_vec(out, &[n]).expect("sum_rows shape"),
+            Box::new(move |g| {
+                let mut dx = vec![0.0f32; n * m];
+                for r in 0..n {
+                    let gv = g.data()[r];
+                    for c in 0..m {
+                        dx[r * m + c] = gv;
+                    }
+                }
+                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("sum_rows grad shape"))]
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Broadcasting helpers
+    // ---------------------------------------------------------------
+
+    /// `[N, F] + [F]` bias broadcast over rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or tape mismatch.
+    #[must_use]
+    pub fn add_bias_row(&self, bias: &Var) -> Var {
+        self.assert_same_tape(bias);
+        let (a, b) = (self.id, bias.id);
+        let xs = self.shape();
+        let bs = bias.shape();
+        assert_eq!(xs.len(), 2, "add_bias_row lhs must be rank 2");
+        assert_eq!(bs.len(), 1, "add_bias_row bias must be rank 1");
+        assert_eq!(xs[1], bs[0], "bias length must equal feature dim");
+        let (n, f) = (xs[0], xs[1]);
+        let x = self.value();
+        let bv = bias.value();
+        let mut out = x.data().to_vec();
+        for r in 0..n {
+            for c in 0..f {
+                out[r * f + c] += bv.data()[c];
+            }
+        }
+        self.unary(
+            Tensor::from_vec(out, &[n, f]).expect("add_bias_row shape"),
+            Box::new(move |g| {
+                let mut db = vec![0.0f32; f];
+                for r in 0..n {
+                    for c in 0..f {
+                        db[c] += g.data()[r * f + c];
+                    }
+                }
+                vec![
+                    (a, g.clone()),
+                    (b, Tensor::from_vec(db, &[f]).expect("bias grad shape")),
+                ]
+            }),
+        )
+    }
+
+    /// `[N, C, H, W] + [C]` bias broadcast over batch and space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or tape mismatch.
+    #[must_use]
+    pub fn add_bias_channel(&self, bias: &Var) -> Var {
+        self.assert_same_tape(bias);
+        let (a, b) = (self.id, bias.id);
+        let xs = self.shape();
+        let bs = bias.shape();
+        assert_eq!(xs.len(), 4, "add_bias_channel lhs must be rank 4 (NCHW)");
+        assert_eq!(bs.len(), 1, "add_bias_channel bias must be rank 1");
+        assert_eq!(xs[1], bs[0], "bias length must equal channel dim");
+        let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+        let hw = h * w;
+        let x = self.value();
+        let bv = bias.value();
+        let mut out = x.data().to_vec();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                let add = bv.data()[ci];
+                for o in &mut out[base..base + hw] {
+                    *o += add;
+                }
+            }
+        }
+        self.unary(
+            Tensor::from_vec(out, &xs).expect("add_bias_channel shape"),
+            Box::new(move |g| {
+                let mut db = vec![0.0f32; c];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        db[ci] += g.data()[base..base + hw].iter().sum::<f32>();
+                    }
+                }
+                vec![
+                    (a, g.clone()),
+                    (b, Tensor::from_vec(db, &[c]).expect("channel bias grad shape")),
+                ]
+            }),
+        )
+    }
+
+    /// Multiply this whole tensor by a scalar (rank-0 or one-element) `Var`.
+    ///
+    /// Used by the NAS supernet to weight candidate-operator outputs by
+    /// Gumbel-Softmax coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` holds more than one element, or on tape mismatch.
+    #[must_use]
+    pub fn scale_by(&self, s: &Var) -> Var {
+        self.assert_same_tape(s);
+        let (a, b) = (self.id, s.id);
+        let x = self.value();
+        let sv = s.value();
+        assert_eq!(sv.len(), 1, "scale_by expects a one-element scalar Var");
+        let s_shape = sv.shape().to_vec();
+        let c = sv.data()[0];
+        let value = x.scale(c);
+        self.unary(
+            value,
+            Box::new(move |g| {
+                let dx = g.scale(c);
+                let ds = g
+                    .data()
+                    .iter()
+                    .zip(x.data().iter())
+                    .map(|(gv, xv)| gv * xv)
+                    .sum::<f32>();
+                vec![
+                    (a, dx),
+                    (b, Tensor::full(&s_shape, ds)),
+                ]
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------
+
+    /// Matrix product `[N, K] @ [K, M] -> [N, M]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or tape mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Var) -> Var {
+        self.assert_same_tape(other);
+        let (a, b) = (self.id, other.id);
+        let (av, bv) = (self.value(), other.value());
+        let value = matmul(&av, &bv);
+        self.unary(
+            value,
+            Box::new(move |g| {
+                let da = matmul_a_bt(g, &bv); // g @ B^T
+                let db = matmul_at_b(&av, g); // A^T @ g
+                vec![(a, da), (b, db)]
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Softmax family (rows of a rank-2 value)
+    // ---------------------------------------------------------------
+
+    /// Row-wise softmax of a `[N, M]` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the value is rank 2.
+    #[must_use]
+    pub fn softmax_rows(&self) -> Var {
+        let a = self.id;
+        let s = self.shape();
+        assert_eq!(s.len(), 2, "softmax_rows requires a rank-2 value");
+        let (n, m) = (s[0], s[1]);
+        let x = self.value();
+        let mut out = vec![0.0f32; n * m];
+        for r in 0..n {
+            softmax_into(&x.data()[r * m..(r + 1) * m], &mut out[r * m..(r + 1) * m]);
+        }
+        let value = Tensor::from_vec(out, &[n, m]).expect("softmax shape");
+        let y = value.clone();
+        self.unary(
+            value,
+            Box::new(move |g| {
+                let mut dx = vec![0.0f32; n * m];
+                for r in 0..n {
+                    let yr = &y.data()[r * m..(r + 1) * m];
+                    let gr = &g.data()[r * m..(r + 1) * m];
+                    let dot: f32 = yr.iter().zip(gr.iter()).map(|(yv, gv)| yv * gv).sum();
+                    for c in 0..m {
+                        dx[r * m + c] = yr[c] * (gr[c] - dot);
+                    }
+                }
+                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("softmax grad shape"))]
+            }),
+        )
+    }
+
+    /// Row-wise log-softmax of a `[N, M]` value (numerically stable).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the value is rank 2.
+    #[must_use]
+    pub fn log_softmax_rows(&self) -> Var {
+        let a = self.id;
+        let s = self.shape();
+        assert_eq!(s.len(), 2, "log_softmax_rows requires a rank-2 value");
+        let (n, m) = (s[0], s[1]);
+        let x = self.value();
+        let mut out = vec![0.0f32; n * m];
+        for r in 0..n {
+            let row = &x.data()[r * m..(r + 1) * m];
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = mx + row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln();
+            for c in 0..m {
+                out[r * m + c] = row[c] - lse;
+            }
+        }
+        let value = Tensor::from_vec(out, &[n, m]).expect("log_softmax shape");
+        let y = value.clone();
+        self.unary(
+            value,
+            Box::new(move |g| {
+                let mut dx = vec![0.0f32; n * m];
+                for r in 0..n {
+                    let yr = &y.data()[r * m..(r + 1) * m];
+                    let gr = &g.data()[r * m..(r + 1) * m];
+                    let gsum: f32 = gr.iter().sum();
+                    for c in 0..m {
+                        dx[r * m + c] = gr[c] - yr[c].exp() * gsum;
+                    }
+                }
+                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("log_softmax grad shape"))]
+            }),
+        )
+    }
+
+    /// Gather one element per row: `[N, M]` with indices `[N]` to `[N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the value is rank 2, `indices.len() == N`, and every
+    /// index is in bounds.
+    #[must_use]
+    pub fn pick_rows(&self, indices: &[usize]) -> Var {
+        let a = self.id;
+        let s = self.shape();
+        assert_eq!(s.len(), 2, "pick_rows requires a rank-2 value");
+        let (n, m) = (s[0], s[1]);
+        assert_eq!(indices.len(), n, "one index per row required");
+        let idx = indices.to_vec();
+        let x = self.value();
+        let mut out = vec![0.0f32; n];
+        for r in 0..n {
+            assert!(idx[r] < m, "pick index {} out of bounds for {m}", idx[r]);
+            out[r] = x.data()[r * m + idx[r]];
+        }
+        self.unary(
+            Tensor::from_vec(out, &[n]).expect("pick shape"),
+            Box::new(move |g| {
+                let mut dx = vec![0.0f32; n * m];
+                for r in 0..n {
+                    dx[r * m + idx[r]] = g.data()[r];
+                }
+                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("pick grad shape"))]
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Convolution / pooling / normalisation
+    // ---------------------------------------------------------------
+
+    /// Dense 2-D convolution (NCHW) with square kernels.
+    ///
+    /// `self` is `[N, Ci, H, W]`; `weight` is `[Co, Ci, k, k]`. Output is
+    /// `[N, Co, Ho, Wo]` per `geom`. Bias, if any, is added separately via
+    /// [`Var::add_bias_channel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree with `geom` or on tape mismatch.
+    #[must_use]
+    pub fn conv2d(&self, weight: &Var, geom: Conv2dGeometry) -> Var {
+        self.assert_same_tape(weight);
+        let (a, b) = (self.id, weight.id);
+        let x = self.value();
+        let w = weight.value();
+        let xs = x.shape().to_vec();
+        assert_eq!(xs.len(), 4, "conv2d input must be NCHW");
+        assert_eq!(
+            &xs[1..],
+            &[geom.in_channels, geom.in_h, geom.in_w],
+            "conv2d input does not match geometry"
+        );
+        assert_eq!(
+            w.shape(),
+            &[geom.out_channels, geom.in_channels, geom.kernel, geom.kernel],
+            "conv2d weight does not match geometry"
+        );
+        let n = xs[0];
+        let (co, oh, ow) = (geom.out_channels, geom.out_h(), geom.out_w());
+        let ckk = geom.col_rows();
+        let image_len = geom.in_channels * geom.in_h * geom.in_w;
+        let w2d = w.reshape(&[co, ckk]);
+        let mut out = Vec::with_capacity(n * co * oh * ow);
+        for ni in 0..n {
+            let img = &x.data()[ni * image_len..(ni + 1) * image_len];
+            let col = im2col(img, &geom);
+            out.extend_from_slice(matmul(&w2d, &col).data());
+        }
+        let value = Tensor::from_vec(out, &[n, co, oh, ow]).expect("conv2d output shape");
+        self.unary(
+            value,
+            Box::new(move |g| {
+                let w2d = w.reshape(&[co, ckk]);
+                let out_len = co * oh * ow;
+                let mut dw = Tensor::zeros(&[co, ckk]);
+                let mut dx = vec![0.0f32; n * image_len];
+                for ni in 0..n {
+                    let img = &x.data()[ni * image_len..(ni + 1) * image_len];
+                    let col = im2col(img, &geom);
+                    let gmat = Tensor::from_vec(
+                        g.data()[ni * out_len..(ni + 1) * out_len].to_vec(),
+                        &[co, oh * ow],
+                    )
+                    .expect("conv2d grad slice");
+                    dw.add_assign(&matmul_a_bt(&gmat, &col));
+                    let dcol = matmul_at_b(&w2d, &gmat);
+                    col2im(
+                        &dcol,
+                        &geom,
+                        &mut dx[ni * image_len..(ni + 1) * image_len],
+                    );
+                }
+                let dw = dw.reshape(&[co, geom.in_channels, geom.kernel, geom.kernel]);
+                vec![
+                    (a, Tensor::from_vec(dx, &xs).expect("conv2d input grad shape")),
+                    (b, dw),
+                ]
+            }),
+        )
+    }
+
+    /// Depthwise 2-D convolution (NCHW): one `k x k` filter per channel.
+    ///
+    /// `self` is `[N, C, H, W]`; `weight` is `[C, k, k]`. `geom` must have
+    /// `in_channels == out_channels == C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree with `geom` or on tape mismatch.
+    #[must_use]
+    pub fn depthwise_conv2d(&self, weight: &Var, geom: Conv2dGeometry) -> Var {
+        self.assert_same_tape(weight);
+        assert_eq!(
+            geom.in_channels, geom.out_channels,
+            "depthwise conv requires in_channels == out_channels"
+        );
+        let (a, b) = (self.id, weight.id);
+        let x = self.value();
+        let w = weight.value();
+        let xs = x.shape().to_vec();
+        assert_eq!(xs.len(), 4, "depthwise conv input must be NCHW");
+        assert_eq!(
+            &xs[1..],
+            &[geom.in_channels, geom.in_h, geom.in_w],
+            "depthwise conv input does not match geometry"
+        );
+        assert_eq!(
+            w.shape(),
+            &[geom.in_channels, geom.kernel, geom.kernel],
+            "depthwise conv weight must be [C, k, k]"
+        );
+        let (n, c, h, wd) = (xs[0], xs[1], xs[2], xs[3]);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let k = geom.kernel;
+        let (stride, pad) = (geom.stride, geom.padding);
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                let ibase = (ni * c + ci) * h * wd;
+                let obase = (ni * c + ci) * oh * ow;
+                let wbase = ci * k * k;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                acc += x.data()[ibase + iy as usize * wd + ix as usize]
+                                    * w.data()[wbase + ky * k + kx];
+                            }
+                        }
+                        out[obase + oy * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        let value =
+            Tensor::from_vec(out, &[n, c, oh, ow]).expect("depthwise conv output shape");
+        self.unary(
+            value,
+            Box::new(move |g| {
+                let mut dx = vec![0.0f32; n * c * h * wd];
+                let mut dw = vec![0.0f32; c * k * k];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let ibase = (ni * c + ci) * h * wd;
+                        let obase = (ni * c + ci) * oh * ow;
+                        let wbase = ci * k * k;
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let gv = g.data()[obase + oy * ow + ox];
+                                if gv == 0.0 {
+                                    continue;
+                                }
+                                for ky in 0..k {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..k {
+                                        let ix = (ox * stride + kx) as isize - pad as isize;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        let ii = ibase + iy as usize * wd + ix as usize;
+                                        dx[ii] += gv * w.data()[wbase + ky * k + kx];
+                                        dw[wbase + ky * k + kx] += gv * x.data()[ii];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                vec![
+                    (a, Tensor::from_vec(dx, &xs).expect("depthwise dx shape")),
+                    (
+                        b,
+                        Tensor::from_vec(dw, &[c, k, k]).expect("depthwise dw shape"),
+                    ),
+                ]
+            }),
+        )
+    }
+
+    /// Global average pooling `[N, C, H, W] -> [N, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the value is rank 4 with non-empty spatial dims.
+    #[must_use]
+    pub fn global_avg_pool(&self) -> Var {
+        let a = self.id;
+        let s = self.shape();
+        assert_eq!(s.len(), 4, "global_avg_pool requires NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let hw = h * w;
+        assert!(hw > 0, "global_avg_pool over empty spatial dims");
+        let x = self.value();
+        let mut out = vec![0.0f32; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                out[ni * c + ci] =
+                    x.data()[base..base + hw].iter().sum::<f32>() / hw as f32;
+            }
+        }
+        self.unary(
+            Tensor::from_vec(out, &[n, c]).expect("gap shape"),
+            Box::new(move |g| {
+                let mut dx = vec![0.0f32; n * c * hw];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let gv = g.data()[ni * c + ci] / hw as f32;
+                        let base = (ni * c + ci) * hw;
+                        for d in &mut dx[base..base + hw] {
+                            *d = gv;
+                        }
+                    }
+                }
+                vec![(a, Tensor::from_vec(dx, &[n, c, h, w]).expect("gap grad shape"))]
+            }),
+        )
+    }
+
+    /// Training-mode batch normalisation over `[N, C, H, W]` with per-channel
+    /// affine parameters `gamma` / `beta` (both `[C]`).
+    ///
+    /// Statistics are computed over the `(N, H, W)` axes; the full batch-norm
+    /// backward (including the dependence of mean/variance on the input) is
+    /// implemented.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch, on tape mismatch, or if the per-channel
+    /// sample count `N*H*W` is zero.
+    #[must_use]
+    pub fn batch_norm2d(&self, gamma: &Var, beta: &Var, eps: f32) -> Var {
+        self.assert_same_tape(gamma);
+        self.assert_same_tape(beta);
+        let (a, gi, bi) = (self.id, gamma.id, beta.id);
+        let s = self.shape();
+        assert_eq!(s.len(), 4, "batch_norm2d requires NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let m = n * h * w;
+        assert!(m > 0, "batch_norm2d over an empty batch");
+        let gv = gamma.value();
+        let bv = beta.value();
+        assert_eq!(gv.shape(), &[c], "gamma must be [C]");
+        assert_eq!(bv.shape(), &[c], "beta must be [C]");
+        let x = self.value();
+        let hw = h * w;
+
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut acc = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                acc += x.data()[base..base + hw].iter().sum::<f32>();
+            }
+            mean[ci] = acc / m as f32;
+            let mut vacc = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                for &xv in &x.data()[base..base + hw] {
+                    let d = xv - mean[ci];
+                    vacc += d * d;
+                }
+            }
+            var[ci] = vacc / m as f32;
+        }
+        let ivar: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+
+        let mut xhat = vec![0.0f32; n * c * hw];
+        let mut out = vec![0.0f32; n * c * hw];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                for o in 0..hw {
+                    let xh = (x.data()[base + o] - mean[ci]) * ivar[ci];
+                    xhat[base + o] = xh;
+                    out[base + o] = gv.data()[ci] * xh + bv.data()[ci];
+                }
+            }
+        }
+        let xhat = Tensor::from_vec(xhat, &s).expect("bn xhat shape");
+        let value = Tensor::from_vec(out, &s).expect("bn output shape");
+        let shape = s.clone();
+        self.unary(
+            value,
+            Box::new(move |g| {
+                // Standard BN backward per channel:
+                // dx = (gamma*ivar/m) * (m*g - sum(g) - xhat * sum(g*xhat))
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut gsum = vec![0.0f32; c];
+                let mut gxsum = vec![0.0f32; c];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        for o in 0..hw {
+                            let gg = g.data()[base + o];
+                            let xh = xhat.data()[base + o];
+                            dbeta[ci] += gg;
+                            dgamma[ci] += gg * xh;
+                            gsum[ci] += gg;
+                            gxsum[ci] += gg * xh;
+                        }
+                    }
+                }
+                let mut dx = vec![0.0f32; g.len()];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        let k = gv.data()[ci] * ivar[ci] / m as f32;
+                        for o in 0..hw {
+                            let gg = g.data()[base + o];
+                            let xh = xhat.data()[base + o];
+                            dx[base + o] =
+                                k * (m as f32 * gg - gsum[ci] - xh * gxsum[ci]);
+                        }
+                    }
+                }
+                vec![
+                    (a, Tensor::from_vec(dx, &shape).expect("bn dx shape")),
+                    (gi, Tensor::from_vec(dgamma, &[c]).expect("bn dgamma shape")),
+                    (bi, Tensor::from_vec(dbeta, &[c]).expect("bn dbeta shape")),
+                ]
+            }),
+        )
+    }
+
+    /// Inference-mode batch normalisation using fixed statistics.
+    ///
+    /// `mean`/`var` are treated as constants; gradient flows to the input
+    /// and the affine parameters only.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or tape mismatch.
+    #[must_use]
+    pub fn batch_norm2d_inference(
+        &self,
+        gamma: &Var,
+        beta: &Var,
+        mean: &Tensor,
+        var: &Tensor,
+        eps: f32,
+    ) -> Var {
+        self.assert_same_tape(gamma);
+        self.assert_same_tape(beta);
+        let (a, gi, bi) = (self.id, gamma.id, beta.id);
+        let s = self.shape();
+        assert_eq!(s.len(), 4, "batch_norm2d_inference requires NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(mean.shape(), &[c], "running mean must be [C]");
+        assert_eq!(var.shape(), &[c], "running var must be [C]");
+        let gv = gamma.value();
+        let bv = beta.value();
+        assert_eq!(gv.shape(), &[c], "gamma must be [C]");
+        assert_eq!(bv.shape(), &[c], "beta must be [C]");
+        let hw = h * w;
+        let x = self.value();
+        let ivar: Vec<f32> = var.data().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let mut out = vec![0.0f32; x.len()];
+        let mut xhat = vec![0.0f32; x.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                for o in 0..hw {
+                    let xh = (x.data()[base + o] - mean.data()[ci]) * ivar[ci];
+                    xhat[base + o] = xh;
+                    out[base + o] = gv.data()[ci] * xh + bv.data()[ci];
+                }
+            }
+        }
+        let xhat = Tensor::from_vec(xhat, &s).expect("bn-inf xhat shape");
+        let shape = s.clone();
+        self.unary(
+            Tensor::from_vec(out, &s).expect("bn-inf output shape"),
+            Box::new(move |g| {
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut dx = vec![0.0f32; g.len()];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        let k = gv.data()[ci] * ivar[ci];
+                        for o in 0..hw {
+                            let gg = g.data()[base + o];
+                            dbeta[ci] += gg;
+                            dgamma[ci] += gg * xhat.data()[base + o];
+                            dx[base + o] = gg * k;
+                        }
+                    }
+                }
+                vec![
+                    (a, Tensor::from_vec(dx, &shape).expect("bn-inf dx shape")),
+                    (gi, Tensor::from_vec(dgamma, &[c]).expect("bn-inf dgamma")),
+                    (bi, Tensor::from_vec(dbeta, &[c]).expect("bn-inf dbeta")),
+                ]
+            }),
+        )
+    }
+}
+
+fn softmax_into(row: &[f32], out: &mut [f32]) {
+    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &v) in out.iter_mut().zip(row.iter()) {
+        let e = (v - mx).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(tape: &Tape, data: Vec<f32>, shape: &[usize]) -> Var {
+        tape.leaf(Tensor::from_vec(data, shape).unwrap())
+    }
+
+    #[test]
+    fn add_sub_grads() {
+        let tape = Tape::new();
+        let a = leaf(&tape, vec![1.0, 2.0], &[2]);
+        let b = leaf(&tape, vec![3.0, 4.0], &[2]);
+        let y = a.add(&b).sub(&a); // y = b, but grads flow through both paths
+        y.sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[0.0, 0.0]);
+        assert_eq!(b.grad().unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn div_grad() {
+        let tape = Tape::new();
+        let a = leaf(&tape, vec![6.0], &[1]);
+        let b = leaf(&tape, vec![2.0], &[1]);
+        let y = a.div(&b);
+        y.backward();
+        assert!((a.grad().unwrap().data()[0] - 0.5).abs() < 1e-6);
+        assert!((b.grad().unwrap().data()[0] + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_value_and_grad() {
+        let tape = Tape::new();
+        let a = leaf(&tape, vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = leaf(&tape, vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let y = a.matmul(&b);
+        assert_eq!(y.value().data(), &[19.0, 22.0, 43.0, 50.0]);
+        y.sum().backward();
+        // dA = ones @ B^T ; dB = A^T @ ones
+        assert_eq!(a.grad().unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let y = x.softmax_rows();
+        let v = y.value();
+        for r in 0..2 {
+            let s: f32 = v.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![0.1, 1.5, -2.0, 0.3], &[2, 2]);
+        let ls = x.log_softmax_rows().value().as_ref().clone();
+        let sl = x.softmax_rows().value().map(f32::ln);
+        assert!(ls.max_abs_diff(&sl) < 1e-5);
+    }
+
+    #[test]
+    fn pick_rows_value_and_grad() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = x.pick_rows(&[2, 0]);
+        assert_eq!(y.value().data(), &[3.0, 4.0]);
+        y.sum().backward();
+        assert_eq!(
+            x.grad().unwrap().data(),
+            &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![2.0], &[1]);
+        let y = x.detach().mul(&x); // treats first factor as a constant 2
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn scale_by_scalar_var() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![1.0, 2.0, 3.0], &[3]);
+        let s = leaf(&tape, vec![2.0], &[1]);
+        let y = x.scale_by(&s);
+        assert_eq!(y.value().data(), &[2.0, 4.0, 6.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(s.grad().unwrap().data(), &[6.0]); // sum(x)
+    }
+
+    #[test]
+    fn sum_rows_value_and_grad() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = x.sum_rows();
+        assert_eq!(y.value().data(), &[3.0, 7.0]);
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, 10.0], &[2]).unwrap());
+        y.mul(&w).sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0, 1.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_value() {
+        let tape = Tape::new();
+        let x = leaf(&tape, (0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let y = x.global_avg_pool();
+        assert_eq!(y.value().shape(), &[1, 2]);
+        assert_eq!(y.value().data(), &[1.5, 5.5]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 8]);
+    }
+
+    #[test]
+    fn conv2d_known_value() {
+        // 1x1x2x2 input, single 2x2 kernel of ones, no pad, stride 1 => sum.
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let w = leaf(&tape, vec![1.0; 4], &[1, 1, 2, 2]);
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+            in_h: 2,
+            in_w: 2,
+        };
+        let y = x.conv2d(&w, geom);
+        assert_eq!(y.value().shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.value().item(), 10.0);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 4]);
+        assert_eq!(w.grad().unwrap().data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn depthwise_conv2d_independent_channels() {
+        let tape = Tape::new();
+        // Two channels: channel 0 all ones, channel 1 all twos.
+        let x = leaf(
+            &tape,
+            vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0],
+            &[1, 2, 2, 2],
+        );
+        // Kernel: channel 0 identity-ish sum, channel 1 zeros.
+        let w = leaf(&tape, vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0], &[2, 2, 2]);
+        let geom = Conv2dGeometry {
+            in_channels: 2,
+            out_channels: 2,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+            in_h: 2,
+            in_w: 2,
+        };
+        let y = x.depthwise_conv2d(&w, geom);
+        assert_eq!(y.value().shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.value().data(), &[4.0, 0.0]);
+        y.sum().backward();
+        // Channel 1 weights see input 2.0 everywhere.
+        assert_eq!(
+            w.grad().unwrap().data(),
+            &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn batch_norm_normalises() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![1.0, 2.0, 3.0, 4.0], &[4, 1, 1, 1]);
+        let gamma = leaf(&tape, vec![1.0], &[1]);
+        let beta = leaf(&tape, vec![0.0], &[1]);
+        let y = x.batch_norm2d(&gamma, &beta, 1e-5);
+        let v = y.value();
+        let mean: f32 = v.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = v.data().iter().map(|&a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batch_norm_inference_uses_running_stats() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![10.0, 20.0], &[2, 1, 1, 1]);
+        let gamma = leaf(&tape, vec![2.0], &[1]);
+        let beta = leaf(&tape, vec![1.0], &[1]);
+        let mean = Tensor::from_vec(vec![10.0], &[1]).unwrap();
+        let var = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        let y = x.batch_norm2d_inference(&gamma, &beta, &mean, &var, 0.0);
+        // (10-10)/2*2+1 = 1 ; (20-10)/2*2+1 = 11
+        assert!((y.value().data()[0] - 1.0).abs() < 1e-4);
+        assert!((y.value().data()[1] - 11.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tapes")]
+    fn cross_tape_operations_panic() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.leaf(Tensor::scalar(1.0));
+        let b = t2.leaf(Tensor::scalar(2.0));
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn reshape_grad_flows() {
+        let tape = Tape::new();
+        let x = leaf(&tape, vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = x.reshape(&[4]).relu().sum();
+        y.backward();
+        assert_eq!(x.grad().unwrap().shape(), &[2, 2]);
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 4]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the tensor and autograd core.
+
+use a3cs_tensor::{check_gradients, matmul, Tape, Tensor};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(data in small_vec(12)) {
+        let a = Tensor::from_vec(data[..6].to_vec(), &[6]).unwrap();
+        let b = Tensor::from_vec(data[6..].to_vec(), &[6]).unwrap();
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(data in small_vec(12)) {
+        let a = Tensor::from_vec(data[..4].to_vec(), &[4]).unwrap();
+        let b = Tensor::from_vec(data[4..8].to_vec(), &[4]).unwrap();
+        let c = Tensor::from_vec(data[8..].to_vec(), &[4]).unwrap();
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn scale_matches_mul_by_full(data in small_vec(8), c in -2.0f32..2.0) {
+        let a = Tensor::from_vec(data, &[8]).unwrap();
+        let full = Tensor::full(&[8], c);
+        prop_assert!(a.scale(c).max_abs_diff(&a.mul(&full)) < 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in small_vec(12)) {
+        let a = Tensor::from_vec(data, &[3, 4]).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_is_linear_in_lhs(data in small_vec(24), s in -2.0f32..2.0) {
+        let a = Tensor::from_vec(data[..6].to_vec(), &[2, 3]).unwrap();
+        let b = Tensor::from_vec(data[6..12].to_vec(), &[2, 3]).unwrap();
+        let m = Tensor::from_vec(data[12..].to_vec(), &[3, 4]).unwrap();
+        let lhs = matmul(&a.scale(s).add(&b), &m);
+        let rhs = matmul(&a, &m).scale(s).add(&matmul(&b, &m));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in small_vec(15)) {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(data, &[3, 5]).unwrap());
+        let p = x.softmax_rows();
+        let v = p.value();
+        for r in 0..3 {
+            let row = &v.data()[r * 5..(r + 1) * 5];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn backward_of_sum_is_ones(data in small_vec(10)) {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(data, &[10]).unwrap());
+        x.sum().backward();
+        prop_assert_eq!(x.grad().unwrap(), Tensor::ones(&[10]));
+    }
+
+    #[test]
+    fn gradient_of_quadratic_matches_numeric(data in small_vec(6)) {
+        let x = Tensor::from_vec(data, &[6]).unwrap();
+        let report = check_gradients(
+            &|_t, v| v.square().sum(),
+            &x,
+            1e-2,
+        );
+        prop_assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn gradient_is_linear_in_seed(data in small_vec(5), k in 0.5f32..3.0) {
+        // backward_with(k * seed) must produce k * grad.
+        let x_t = Tensor::from_vec(data, &[5]).unwrap();
+        let run = |scale: f32| {
+            let tape = Tape::new();
+            let x = tape.leaf(x_t.clone());
+            let y = x.square();
+            y.backward_with(Tensor::full(&[5], scale));
+            x.grad().unwrap()
+        };
+        let g1 = run(1.0);
+        let gk = run(k);
+        prop_assert!(gk.max_abs_diff(&g1.scale(k)) < 1e-3);
+    }
+
+    #[test]
+    fn reshape_roundtrip_preserves_values(data in small_vec(24)) {
+        let t = Tensor::from_vec(data, &[2, 3, 4]).unwrap();
+        let r = t.reshape(&[4, 6]).reshape(&[2, 3, 4]);
+        prop_assert_eq!(r, t);
+    }
+
+    #[test]
+    fn concat0_len_is_sum(rows_a in 1usize..4, rows_b in 1usize..4) {
+        let a = Tensor::ones(&[rows_a, 3]);
+        let b = Tensor::zeros(&[rows_b, 3]);
+        let c = Tensor::concat0(&[&a, &b]);
+        prop_assert_eq!(c.shape(), &[rows_a + rows_b, 3]);
+        prop_assert!((c.sum() - (rows_a * 3) as f32).abs() < 1e-6);
+    }
+}

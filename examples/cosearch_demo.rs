@@ -1,0 +1,74 @@
+//! End-to-end A3C-S co-search demo: jointly search a DRL agent backbone
+//! and its FPGA accelerator on the simulated Pong game, then retrain the
+//! derived agent with AC-distillation from a quickly-trained teacher.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example cosearch_demo
+//! ```
+
+use a3cs::core::{CoSearch, CoSearchConfig};
+use a3cs::drl::{ActorCritic, DistillConfig, Trainer, TrainerConfig};
+use a3cs::envs::{Environment, Pong};
+use a3cs::nas::derive_backbone;
+use a3cs::nn::{resnet, Module};
+
+fn main() {
+    let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Pong::new(seed)) };
+    let (planes, h, w, actions) = (3, 12, 12, 3);
+
+    // 1. Train a teacher agent (the paper uses ResNet-20).
+    println!("[1/3] training the ResNet-20 teacher...");
+    let teacher_backbone = resnet(20, planes, h, w, 8, 32, 100);
+    let teacher = ActorCritic::new(Box::new(teacher_backbone), 32, (planes, h, w), actions, 100);
+    let teacher_cfg = TrainerConfig {
+        total_steps: 6_000,
+        eval_every: 6_000,
+        eval_episodes: 5,
+        eval_max_steps: 200,
+        ..TrainerConfig::default()
+    };
+    let teacher_curve = Trainer::new(teacher_cfg, 1).train(&teacher, &factory, None);
+    println!("      teacher score: {:.1}", teacher_curve.final_score());
+
+    // 2. Co-search agent + accelerator with AC-distillation (Alg. 1).
+    println!("[2/3] running the A3C-S co-search...");
+    let mut config = CoSearchConfig::tiny(planes, h, w, actions);
+    config.total_steps = 4_000;
+    config.eval_every = 1_000;
+    let mut search = CoSearch::new(config, 2);
+    let result = search.run(&factory, Some(&teacher));
+    println!("      {}", result.summary());
+    for (step, score) in &result.score_curve {
+        println!("      search step {step:>5}: score {score:.1}");
+    }
+
+    // 3. Derive and retrain the final agent with AC-distillation.
+    println!("[3/3] retraining the derived agent...");
+    let derived = derive_backbone(search.supernet().config(), &result.arch, 7);
+    println!(
+        "      derived backbone: {} MACs/frame, {} params",
+        derived.total_macs(),
+        derived.param_count()
+    );
+    let feat_dim = derived.feat_dim();
+    let agent = ActorCritic::new(Box::new(derived), feat_dim, (planes, h, w), actions, 7);
+    let final_cfg = TrainerConfig {
+        total_steps: 6_000,
+        eval_every: 3_000,
+        eval_episodes: 5,
+        eval_max_steps: 200,
+        ..TrainerConfig::default()
+    };
+    let curve = Trainer::new(final_cfg, 3).train(
+        &agent,
+        &factory,
+        Some((&DistillConfig::ac_distillation(), &teacher)),
+    );
+    println!("      final agent score: {:.1}", curve.final_score());
+    println!(
+        "      matched accelerator: {:.1} FPS on {} DSPs",
+        result.report.fps, result.report.dsp_used
+    );
+}

@@ -1,0 +1,62 @@
+//! Design an FPGA accelerator for a DRL backbone with the DAS engine and
+//! compare it against the DNNBuilder-style baseline and random search —
+//! a standalone version of the hardware half of the paper's Fig. 3.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example design_accelerator
+//! ```
+
+use a3cs::accel::{
+    CostWeights, DasConfig, DasEngine, DnnBuilderModel, FpgaTarget, PerfModel, RandomSearch,
+    SearchSpace,
+};
+use a3cs::nn::resnet;
+
+fn main() {
+    // The paper's most competitive hand-designed agent backbone.
+    let net = resnet(14, 4, 12, 12, 8, 64, 0);
+    let layers = net.layer_descs();
+    let target = FpgaTarget::zc706();
+    println!(
+        "network: {} ({} compute layers, {} MACs/frame)",
+        net.name(),
+        layers.len(),
+        net.total_macs()
+    );
+    println!(
+        "target: ZC706 ({} DSPs, {} KiB BRAM, {} MHz)\n",
+        target.dsp_limit, target.bram_kb_limit, target.clock_mhz
+    );
+
+    // DAS (the paper's differentiable accelerator search, Eq. 9).
+    let mut das = DasEngine::new(DasConfig::default(), 11);
+    let das_accel = das.run(&layers, &target, 1_500);
+    let das_report = PerfModel::evaluate(&das_accel, &layers, &target);
+
+    // DNNBuilder baseline.
+    let dnnb_accel = DnnBuilderModel::design(&layers, &target);
+    let dnnb_report = PerfModel::evaluate(&dnnb_accel, &layers, &target);
+
+    // Random search with the same evaluation budget as DAS.
+    let mut random = RandomSearch::new(SearchSpace::default(), 4, CostWeights::default(), 13);
+    let (rand_accel, _) = random.run(&layers, &target, 1_500);
+    let rand_report = PerfModel::evaluate(&rand_accel, &layers, &target);
+
+    println!("{:<14} {:>10} {:>8} {:>10} {:>9}", "design", "FPS", "DSPs", "BRAM KiB", "feasible");
+    for (name, report) in [
+        ("DAS (A3C-S)", &das_report),
+        ("DNNBuilder", &dnnb_report),
+        ("Random", &rand_report),
+    ] {
+        println!(
+            "{:<14} {:>10.1} {:>8} {:>10} {:>9}",
+            name, report.fps, report.dsp_used, report.bram_kb_used, report.feasible
+        );
+    }
+    println!(
+        "\nDAS speedup over DNNBuilder: {:.2}x",
+        das_report.fps / dnnb_report.fps
+    );
+}

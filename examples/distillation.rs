@@ -1,0 +1,55 @@
+//! AC-distillation in isolation: train the same student backbone on the
+//! simulated Atlantis game with (a) no distillation, (b) policy-only
+//! distillation and (c) the paper's AC-distillation, from the same teacher
+//! — a miniature of the paper's Table II ablation.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example distillation
+//! ```
+
+use a3cs::drl::{ActorCritic, DistillConfig, Trainer, TrainerConfig};
+use a3cs::envs::{Atlantis, Environment};
+use a3cs::nn::{resnet, vanilla};
+
+fn main() {
+    let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Atlantis::new(seed)) };
+    let (planes, h, w, actions) = (3, 12, 12, 4);
+
+    println!("training the teacher (ResNet-20)...");
+    let teacher_backbone = resnet(20, planes, h, w, 8, 32, 1);
+    let teacher = ActorCritic::new(Box::new(teacher_backbone), 32, (planes, h, w), actions, 1);
+    let teacher_cfg = TrainerConfig {
+        total_steps: 8_000,
+        eval_every: 8_000,
+        eval_episodes: 5,
+        eval_max_steps: 200,
+        ..TrainerConfig::default()
+    };
+    let tcurve = Trainer::new(teacher_cfg, 9).train(&teacher, &factory, None);
+    println!("teacher score: {:.1}\n", tcurve.final_score());
+
+    let student_cfg = TrainerConfig {
+        total_steps: 6_000,
+        eval_every: 2_000,
+        eval_episodes: 8,
+        eval_max_steps: 200,
+        ..TrainerConfig::default()
+    };
+    let modes: [(&str, Option<DistillConfig>); 3] = [
+        ("no distillation", None),
+        ("policy only", Some(DistillConfig::policy_only())),
+        ("AC-distillation", Some(DistillConfig::ac_distillation())),
+    ];
+    println!("{:<18} {:>12}", "mode", "best score");
+    for (name, distill) in modes {
+        let backbone = vanilla(planes, h, w, 32, 5);
+        let student = ActorCritic::new(Box::new(backbone), 32, (planes, h, w), actions, 5);
+        let curve = match &distill {
+            Some(d) => Trainer::new(student_cfg, 11).train(&student, &factory, Some((d, &teacher))),
+            None => Trainer::new(student_cfg, 11).train(&student, &factory, None),
+        };
+        println!("{:<18} {:>12.1}", name, curve.best_score());
+    }
+}

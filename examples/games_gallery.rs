@@ -1,0 +1,57 @@
+//! Render an ASCII frame of every simulated game after a burst of random
+//! play — a quick visual sanity check of the ALE-substitute suite.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example games_gallery
+//! ```
+
+use a3cs::envs::{game_names, make_env};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Collapse the plane dimension into one glyph per cell: the highest
+/// active plane wins, planes are labelled `a`, `b`, `c`, ...
+fn render(obs: &[f32], planes: usize, h: usize, w: usize) -> String {
+    let mut out = String::new();
+    for r in 0..h {
+        for c in 0..w {
+            let mut glyph = '·';
+            for p in 0..planes {
+                let v = obs[(p * h + r) * w + c];
+                if v > 0.0 {
+                    glyph = if v >= 0.95 {
+                        (b'A' + p as u8) as char
+                    } else {
+                        (b'a' + p as u8) as char
+                    };
+                }
+            }
+            out.push(glyph);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for name in game_names() {
+        let mut env = make_env(name, 11).expect("known game");
+        let (p, h, w) = env.observation_shape();
+        let mut obs = env.reset();
+        let mut score = 0.0f32;
+        for _ in 0..40 {
+            let a = rng.gen_range(0..env.action_count());
+            let out = env.step(a);
+            score += out.reward;
+            obs = if out.done { env.reset() } else { out.observation };
+        }
+        println!(
+            "== {name} ({p} planes, {h}x{w}, {} actions, random-40 score {score:.1})",
+            env.action_count()
+        );
+        println!("{}", render(&obs, p, h, w));
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: train a small actor–critic agent on the simulated Breakout
+//! environment and watch the evaluation score improve.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use a3cs::drl::{evaluate, ActorCritic, EvalProtocol, Trainer, TrainerConfig};
+use a3cs::envs::{Breakout, Environment};
+use a3cs::nn::{vanilla, Module};
+
+fn main() {
+    let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
+
+    // Observation shape of Breakout: 3 planes on a 12x12 grid, 3 actions.
+    let backbone = vanilla(3, 12, 12, 32, 42);
+    println!(
+        "backbone: {} ({} params, {} MACs/frame)",
+        backbone.name(),
+        backbone.param_count(),
+        backbone.total_macs()
+    );
+    let agent = ActorCritic::new(Box::new(backbone), 32, (3, 12, 12), 3, 42);
+
+    let protocol = EvalProtocol {
+        episodes: 10,
+        max_steps: 300,
+        ..EvalProtocol::default()
+    };
+    let before = evaluate(&agent, &factory, &protocol);
+    println!("score before training: {before:.1}");
+
+    let config = TrainerConfig {
+        total_steps: 12_000,
+        eval_every: 3_000,
+        eval_episodes: 10,
+        eval_max_steps: 300,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(config, 7);
+    let curve = trainer.train(&agent, &factory, None);
+    for (step, score) in &curve.points {
+        println!("  step {step:>6}: eval score {score:.1}");
+    }
+
+    let after = evaluate(&agent, &factory, &protocol);
+    println!("score after training:  {after:.1}");
+    println!("best during training:  {:.1}", curve.best_score());
+}

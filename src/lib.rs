@@ -1,0 +1,36 @@
+//! A3C-S reproduction meta-crate: re-exports the whole workspace under one
+//! roof for examples, integration tests and downstream users.
+//!
+//! The workspace reproduces *A3C-S: Automated Agent Accelerator Co-Search
+//! towards Efficient Deep Reinforcement Learning* (Fu et al., DAC 2021):
+//!
+//! - [`tensor`]: dense `f32` tensors + reverse-mode autograd;
+//! - [`nn`]: layers, residual blocks and the paper's backbone zoo;
+//! - [`envs`]: the simulated Atari suite (ALE substitute);
+//! - [`drl`]: A2C training with AC-distillation (Eq. 10–12);
+//! - [`nas`]: the Gumbel-Softmax supernet (Eq. 6–7);
+//! - [`accel`]: the accelerator template, predictor and DAS (Eq. 9);
+//! - [`core`]: the joint co-search pipeline (Alg. 1).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use a3cs::core::{CoSearch, CoSearchConfig};
+//! use a3cs::envs::{Breakout, Environment};
+//!
+//! let mut config = CoSearchConfig::tiny(3, 12, 12, 3);
+//! config.total_steps = 200;
+//! let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
+//! let result = CoSearch::new(config, 0).run(&factory, None);
+//! println!("{}", result.summary());
+//! ```
+
+#![deny(missing_docs)]
+
+pub use a3cs_accel as accel;
+pub use a3cs_core as core;
+pub use a3cs_drl as drl;
+pub use a3cs_envs as envs;
+pub use a3cs_nas as nas;
+pub use a3cs_nn as nn;
+pub use a3cs_tensor as tensor;

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the full stack working together.
+
+use a3cs::accel::{DasConfig, DasEngine, DnnBuilderModel, FpgaTarget, PerfModel};
+use a3cs::core::{CoSearch, CoSearchConfig, SearchScheme};
+use a3cs::drl::{
+    evaluate, ActorCritic, DistillConfig, EvalProtocol, Trainer, TrainerConfig,
+};
+use a3cs::envs::{game_names, make_env, Environment};
+use a3cs::nas::{derive_backbone, search_space_size, SuperNet, SupernetConfig, ALL_OPS};
+use a3cs::nn::{resnet, vanilla};
+
+fn breakout(seed: u64) -> Box<dyn Environment> {
+    make_env("Breakout", seed).expect("Breakout exists")
+}
+
+#[test]
+fn every_game_trains_one_update_with_every_backbone_family() {
+    for name in game_names() {
+        let mut probe = make_env(name, 0).expect("game constructs");
+        let (p, h, w) = probe.observation_shape();
+        let actions = probe.action_count();
+        let _ = probe.reset();
+        for backbone in [vanilla(p, h, w, 16, 1), resnet(14, p, h, w, 4, 16, 1)] {
+            let agent = ActorCritic::new(Box::new(backbone), 16, (p, h, w), actions, 2);
+            let cfg = TrainerConfig {
+                total_steps: 40,
+                eval_every: 40,
+                eval_episodes: 1,
+                eval_max_steps: 20,
+                n_envs: 2,
+                ..TrainerConfig::default()
+            };
+            let factory = move |seed: u64| make_env(name, seed).expect("game constructs");
+            let curve = Trainer::new(cfg, 3).train(&agent, &factory, None);
+            assert!(curve.final_stats.total.is_finite(), "{name}");
+        }
+    }
+}
+
+#[test]
+fn derived_architecture_flows_into_accelerator_design() {
+    // NAS output -> nn backbone -> layer descs -> DAS -> predictor.
+    let cfg = SupernetConfig::tiny(3, 12, 12);
+    let sn = SuperNet::new(cfg, 1);
+    let arch = sn.most_likely_arch();
+    let backbone = derive_backbone(&cfg, &arch, 2);
+    let layers = backbone.layer_descs();
+    assert!(!layers.is_empty());
+
+    let target = FpgaTarget::zc706();
+    let mut das = DasEngine::new(DasConfig::default(), 3);
+    let accel = das.run(&layers, &target, 150);
+    let report = PerfModel::evaluate(&accel, &layers, &target);
+    assert!(report.fps > 0.0 && report.fps.is_finite());
+
+    // The same layers evaluate under the baseline generator too.
+    let baseline = DnnBuilderModel::design(&layers, &target);
+    let baseline_report = PerfModel::evaluate(&baseline, &layers, &target);
+    assert!(baseline_report.fps > 0.0);
+}
+
+#[test]
+fn full_cosearch_then_retrain_round_trip() {
+    let mut config = CoSearchConfig::tiny(3, 12, 12, 3);
+    config.total_steps = 400;
+    config.eval_every = 400;
+    config.eval_episodes = 2;
+    config.eval_max_steps = 40;
+    let mut search = CoSearch::new(config, 5);
+    let result = search.run(&breakout, None);
+
+    // Derived agent retrains on the same game.
+    let derived = derive_backbone(search.supernet().config(), &result.arch, 6);
+    let feat = derived.feat_dim();
+    let agent = ActorCritic::new(Box::new(derived), feat, (3, 12, 12), 3, 6);
+    let cfg = TrainerConfig {
+        total_steps: 100,
+        eval_every: 100,
+        eval_episodes: 1,
+        eval_max_steps: 30,
+        ..TrainerConfig::default()
+    };
+    let curve = Trainer::new(cfg, 7).train(&agent, &breakout, None);
+    assert!(curve.final_score().is_finite());
+    assert!(result.report.fps > 0.0);
+}
+
+#[test]
+fn teacher_student_distillation_across_backbones() {
+    // Teacher: ResNet-20 (paper's choice); student: vanilla.
+    let teacher_bb = resnet(20, 3, 12, 12, 4, 16, 8);
+    let teacher = ActorCritic::new(Box::new(teacher_bb), 16, (3, 12, 12), 3, 8);
+    let student_bb = vanilla(3, 12, 12, 16, 9);
+    let student = ActorCritic::new(Box::new(student_bb), 16, (3, 12, 12), 3, 9);
+    let cfg = TrainerConfig {
+        total_steps: 120,
+        eval_every: 120,
+        eval_episodes: 1,
+        eval_max_steps: 30,
+        ..TrainerConfig::default()
+    };
+    let curve = Trainer::new(cfg, 10).train(
+        &student,
+        &breakout,
+        Some((&DistillConfig::ac_distillation(), &teacher)),
+    );
+    assert!(curve.final_stats.actor_distill > 0.0);
+    assert!(curve.final_stats.critic_distill >= 0.0);
+}
+
+#[test]
+fn all_three_search_schemes_complete() {
+    for scheme in [
+        SearchScheme::OneLevel,
+        SearchScheme::BiLevel,
+        SearchScheme::DirectNas,
+    ] {
+        let mut config = CoSearchConfig::tiny(3, 12, 12, 3);
+        config.total_steps = 200;
+        config.eval_every = 200;
+        config.eval_episodes = 1;
+        config.eval_max_steps = 30;
+        config.scheme = scheme;
+        let result = CoSearch::new(config, 11).run(&breakout, None);
+        assert_eq!(result.arch.len(), 6, "{scheme:?}");
+        assert!(result.report.fps > 0.0, "{scheme:?}");
+    }
+}
+
+#[test]
+fn joint_search_space_matches_paper_scale_claim() {
+    // Network space: 9^12; accelerator space: > 10^27 at paper scale.
+    let net_space = search_space_size(ALL_OPS.len(), 12);
+    assert!(net_space > 1e11);
+    let cfg = DasConfig::default();
+    let accel_log10 = cfg.space.log10_cardinality(cfg.num_chunks, 20);
+    assert!(accel_log10 > 27.0);
+    // Joint space dwarfs both.
+    assert!(net_space.log10() + accel_log10 > 38.0);
+}
+
+#[test]
+fn checkpoints_transfer_trained_behaviour_between_processes() {
+    use a3cs::drl::Checkpoint;
+    // Train briefly, checkpoint to disk, restore into a fresh agent, and
+    // verify the policies coincide (the teacher-caching path of the
+    // experiment harnesses).
+    let make_agent = |seed: u64| {
+        let backbone = vanilla(3, 12, 12, 16, seed);
+        ActorCritic::new(Box::new(backbone), 16, (3, 12, 12), 3, seed)
+    };
+    let trained = make_agent(77);
+    let cfg = TrainerConfig {
+        total_steps: 200,
+        eval_every: 200,
+        eval_episodes: 1,
+        eval_max_steps: 30,
+        ..TrainerConfig::default()
+    };
+    let _ = Trainer::new(cfg, 1).train(&trained, &breakout, None);
+
+    let dir = std::env::temp_dir().join("a3cs_integration_ckpt");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("teacher.json");
+    Checkpoint::capture(&trained).save(&path).expect("save");
+
+    let restored = make_agent(77);
+    Checkpoint::load(&path)
+        .expect("load")
+        .apply(&restored)
+        .expect("apply");
+    let obs = vec![0.25; 3 * 12 * 12];
+    assert_eq!(
+        trained.policy_probs(&obs, 1),
+        restored.policy_probs(&obs, 1)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn supernet_agent_evaluates_like_any_agent() {
+    let cfg = SupernetConfig::tiny(3, 12, 12);
+    let sn = std::rc::Rc::new(SuperNet::new(cfg, 12));
+    let agent = ActorCritic::new(Box::new(sn), cfg.feat_dim, (3, 12, 12), 3, 12);
+    let protocol = EvalProtocol {
+        episodes: 2,
+        max_steps: 30,
+        ..EvalProtocol::default()
+    };
+    let score = evaluate(&agent, &breakout, &protocol);
+    assert!(score.is_finite());
+}
