@@ -132,6 +132,15 @@ impl DasEngine {
 
     /// Decode a knob-choice vector for a `num_layers`-deep network.
     ///
+    /// The assignment tail is sorted so every decoded accelerator is a
+    /// *legal* pipeline (each chunk owns a contiguous layer interval).
+    /// This repair is gradient-safe: the DAS update (Eq. 9) scales every
+    /// knob's straight-through gradient by one global scalar advantage, so
+    /// re-ordering the decoded assignment cannot misattribute credit
+    /// between knobs — each assignment logit still learns which chunk its
+    /// layer-slot prefers, and sorting only canonicalises the decoded
+    /// interval boundaries.
+    ///
     /// # Panics
     ///
     /// Panics if `num_layers` exceeds `max_layers`.
@@ -142,9 +151,12 @@ impl DasEngine {
             "network deeper ({num_layers}) than max_layers ({})",
             self.config.max_layers
         );
-        self.config
+        let mut accel = self
+            .config
             .space
-            .decode(self.config.num_chunks, num_layers, choices)
+            .decode(self.config.num_chunks, num_layers, choices);
+        accel.assignment.sort_unstable();
+        accel
     }
 
     /// One DAS iteration on `layers`: sample, evaluate, update `φ`.
@@ -311,6 +323,18 @@ mod tests {
         assert_eq!(a.chunks, b.chunks, "chunk knobs are shared");
         assert_eq!(a.assignment.len(), shallow.len());
         assert_eq!(b.assignment.len(), deep.len());
+    }
+
+    #[test]
+    fn decoded_assignments_are_contiguous() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut das = DasEngine::new(DasConfig::default(), 13);
+        for _ in 0..25 {
+            let _ = das.step(&layers, &target);
+            assert!(das.best(layers.len()).assignment_contiguous());
+        }
     }
 
     #[test]

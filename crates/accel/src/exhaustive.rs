@@ -16,6 +16,7 @@ pub struct ExhaustiveSearch {
     num_chunks: usize,
     cost: CostWeights,
     max_evaluations: u64,
+    legality_filter: bool,
 }
 
 impl ExhaustiveSearch {
@@ -37,7 +38,19 @@ impl ExhaustiveSearch {
             num_chunks,
             cost,
             max_evaluations,
+            legality_filter: false,
         }
+    }
+
+    /// Enable the legality pre-filter: enumeration still visits every
+    /// point, but only designs within the target's DSP/BRAM budget and
+    /// with a contiguous layer→chunk assignment reach the predictor. The
+    /// filter is `O(config)` per point, so it prunes the expensive
+    /// evaluations; the visited count still reports the full space.
+    #[must_use]
+    pub fn with_legality_filter(mut self) -> Self {
+        self.legality_filter = true;
+        self
     }
 
     /// Enumerate every configuration, returning the optimum
@@ -46,7 +59,9 @@ impl ExhaustiveSearch {
     /// # Panics
     ///
     /// Panics if the space exceeds the evaluation cap (use DAS or random
-    /// search instead), or if `layers` is empty.
+    /// search instead), if `layers` is empty, or if the legality filter
+    /// (see [`ExhaustiveSearch::with_legality_filter`]) rejects every
+    /// point in the space.
     #[must_use]
     pub fn run(
         &self,
@@ -67,17 +82,22 @@ impl ExhaustiveSearch {
         let mut visited = 0u64;
         loop {
             let accel = self.space.decode(self.num_chunks, layers.len(), &choices);
-            let report = PerfModel::evaluate(&accel, layers, target);
-            let cost = PerfModel::cost(&report, target, &self.cost);
             visited += 1;
-            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-                best = Some((accel, cost));
+            let legal = !self.legality_filter
+                || (accel.within_budget(target) && accel.assignment_contiguous());
+            if legal {
+                let report = PerfModel::evaluate(&accel, layers, target);
+                let cost = PerfModel::cost(&report, target, &self.cost);
+                if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                    best = Some((accel, cost));
+                }
             }
             // Odometer increment.
             let mut k = 0;
             loop {
                 if k == sizes.len() {
-                    let (config, cost) = best.expect("at least one point visited");
+                    let (config, cost) =
+                        best.expect("the legality filter rejected every point in the space");
                     return (config, cost, visited);
                 }
                 choices[k] += 1;
@@ -164,6 +184,40 @@ mod tests {
             das_cost <= optimum * 2.0,
             "DAS cost {das_cost} too far from optimum {optimum}"
         );
+    }
+
+    #[test]
+    fn legality_filter_agrees_on_feasible_spaces_and_skips_illegal_points() {
+        // Two chunks of up to 16x8 PEs fit the ZC706 easily, but the
+        // 2-chunk assignment makes interleaved (non-contiguous) points
+        // that the filter must skip without changing the optimum's cost
+        // class: the filtered optimum is a legal design, and no legal
+        // design beats it.
+        let space = tiny_space();
+        let layers = layers();
+        let target = FpgaTarget::zc706();
+        let plain = ExhaustiveSearch::new(space.clone(), 2, CostWeights::default(), 10_000_000);
+        let filtered = ExhaustiveSearch::new(space, 2, CostWeights::default(), 10_000_000)
+            .with_legality_filter();
+        let (_, plain_cost, plain_visited) = plain.run(&layers, &target);
+        let (best, filtered_cost, filtered_visited) = filtered.run(&layers, &target);
+        assert_eq!(plain_visited, filtered_visited, "filter must not skip enumeration");
+        assert!(best.assignment_contiguous());
+        assert!(best.within_budget(&target));
+        // The unfiltered optimum ranges over a superset of designs.
+        assert!(filtered_cost >= plain_cost - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected every point")]
+    fn filter_rejecting_everything_panics() {
+        let impossible = FpgaTarget {
+            dsp_limit: 1,
+            ..FpgaTarget::zc706()
+        };
+        let search = ExhaustiveSearch::new(tiny_space(), 1, CostWeights::default(), 100_000)
+            .with_legality_filter();
+        let _ = search.run(&layers(), &impossible);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use dnnbuilder::DnnBuilderModel;
 pub use exhaustive::{tiny_space, ExhaustiveSearch};
 pub use predictor::{CostWeights, LayerDims, PerfModel, PerfReport};
 pub use random_search::RandomSearch;
-pub use space::SearchSpace;
+pub use space::{SearchSpace, SpaceError};
 pub use template::{
     AcceleratorConfig, BufferAlloc, ChunkConfig, Dataflow, NocTopology, PeArray, Tiling,
 };

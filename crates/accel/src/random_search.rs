@@ -39,10 +39,31 @@ impl RandomSearch {
 
     /// Sample one configuration, evaluate it, and track the best. Returns
     /// the sampled cost.
+    ///
+    /// Sampled assignments are sorted into contiguous chunk intervals
+    /// (the only legal pipeline layouts), and designs that blow the DSP or
+    /// BRAM budget are rejected and resampled — the legality predicates
+    /// are `O(config)`, far cheaper than the predictor, so filtering them
+    /// up front spends the sample budget on feasible points. A resampling
+    /// cap keeps termination guaranteed on targets too tight for the
+    /// space, in which case the last (infeasible) sample is evaluated and
+    /// the predictor's resource penalty prices it.
     pub fn step(&mut self, layers: &[LayerDesc], target: &FpgaTarget) -> f64 {
+        const MAX_RESAMPLES: usize = 64;
         let sizes = self.space.knob_sizes(self.num_chunks, layers.len());
-        let choices: Vec<usize> = sizes.iter().map(|&s| self.rng.gen_range(0..s)).collect();
-        let accel = self.space.decode(self.num_chunks, layers.len(), &choices);
+        let split = self.space.chunk_knob_sizes().len() * self.num_chunks;
+        let mut accel = None;
+        for attempt in 0..MAX_RESAMPLES {
+            let mut choices: Vec<usize> =
+                sizes.iter().map(|&s| self.rng.gen_range(0..s)).collect();
+            choices[split..].sort_unstable();
+            let candidate = self.space.decode(self.num_chunks, layers.len(), &choices);
+            if candidate.within_budget(target) || attempt + 1 == MAX_RESAMPLES {
+                accel = Some(candidate);
+                break;
+            }
+        }
+        let accel = accel.expect("the resampling loop always produces a sample");
         let report = PerfModel::evaluate(&accel, layers, target);
         let cost = PerfModel::cost(&report, target, &self.cost);
         if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
@@ -110,6 +131,8 @@ mod tests {
         );
         let (best, cost) = rs.run(&layers, &target, 20);
         assert!(best.assignment_valid());
+        assert!(best.assignment_contiguous());
+        assert!(best.within_budget(&target));
         assert_eq!(best.assignment.len(), layers.len());
         assert!(cost.is_finite());
     }

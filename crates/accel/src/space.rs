@@ -71,6 +71,75 @@ pub(crate) fn buffer_split_count() -> usize {
     BUFFER_SPLITS.len()
 }
 
+/// Why a choice vector failed to decode against a [`SearchSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceError {
+    /// A chunk choice vector has the wrong length.
+    ChunkArity {
+        /// Knobs one chunk needs.
+        expected: usize,
+        /// Knobs provided.
+        actual: usize,
+    },
+    /// A knob choice indexes past its option list.
+    KnobOutOfRange {
+        /// Knob position in decode order.
+        knob: usize,
+        /// The offending choice.
+        choice: usize,
+        /// The option count of that knob.
+        size: usize,
+    },
+    /// A full-accelerator choice vector has the wrong length.
+    AcceleratorArity {
+        /// Knobs the accelerator needs.
+        expected: usize,
+        /// Knobs provided.
+        actual: usize,
+    },
+    /// An assignment entry indexes a chunk that does not exist.
+    AssignmentOutOfRange {
+        /// The layer whose assignment is invalid.
+        layer: usize,
+        /// The offending chunk index.
+        assignment: usize,
+        /// Number of chunks being decoded.
+        num_chunks: usize,
+    },
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SpaceError::ChunkArity { expected, actual } => {
+                write!(f, "chunk knob arity mismatch: expected {expected}, got {actual}")
+            }
+            SpaceError::KnobOutOfRange { knob, choice, size } => {
+                write!(f, "knob choice {choice} out of range {size} (knob {knob})")
+            }
+            SpaceError::AcceleratorArity { expected, actual } => {
+                write!(
+                    f,
+                    "accelerator knob arity mismatch: expected {expected}, got {actual}"
+                )
+            }
+            SpaceError::AssignmentOutOfRange {
+                layer,
+                assignment,
+                num_chunks,
+            } => {
+                write!(
+                    f,
+                    "assignment {assignment} out of range: layer {layer} needs a chunk \
+                     index below {num_chunks}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
 impl SearchSpace {
     /// A monolithic-template preset: one large compute engine executing
     /// layers back-to-back (pair with `num_chunks = 1`). Demonstrates the
@@ -124,20 +193,30 @@ impl SearchSpace {
 
     /// Decode one chunk's knob choices into a [`ChunkConfig`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `choices` has the wrong arity or any index is out of
-    /// range.
-    #[must_use]
-    pub fn decode_chunk(&self, choices: &[usize]) -> ChunkConfig {
+    /// [`SpaceError::ChunkArity`] or [`SpaceError::KnobOutOfRange`] when
+    /// `choices` does not address this space.
+    pub fn try_decode_chunk(&self, choices: &[usize]) -> Result<ChunkConfig, SpaceError> {
         let sizes = self.chunk_knob_sizes();
-        assert_eq!(choices.len(), sizes.len(), "chunk knob arity mismatch");
-        for (c, s) in choices.iter().zip(sizes.iter()) {
-            assert!(c < s, "knob choice {c} out of range {s}");
+        if choices.len() != sizes.len() {
+            return Err(SpaceError::ChunkArity {
+                expected: sizes.len(),
+                actual: choices.len(),
+            });
+        }
+        for (knob, (&c, &s)) in choices.iter().zip(sizes.iter()).enumerate() {
+            if c >= s {
+                return Err(SpaceError::KnobOutOfRange {
+                    knob,
+                    choice: c,
+                    size: s,
+                });
+            }
         }
         let total = self.buffer_totals_kb[choices[4]] as f64;
         let (fi, fw, fo) = BUFFER_SPLITS[choices[5]];
-        ChunkConfig {
+        Ok(ChunkConfig {
             pe: PeArray {
                 rows: self.pe_rows[choices[0]],
                 cols: self.pe_cols[choices[1]],
@@ -155,6 +234,21 @@ impl SearchSpace {
                 tr: self.tr[choices[8]],
                 tc: self.tc[choices[9]],
             },
+        })
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`SearchSpace::try_decode_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` has the wrong arity or any index is out of
+    /// range.
+    #[must_use]
+    pub fn decode_chunk(&self, choices: &[usize]) -> ChunkConfig {
+        match self.try_decode_chunk(choices) {
+            Ok(chunk) => chunk,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -162,9 +256,50 @@ impl SearchSpace {
     /// groups followed by one assignment knob (with `num_chunks` choices)
     /// per layer.
     ///
+    /// # Errors
+    ///
+    /// [`SpaceError::AcceleratorArity`], or the first chunk/assignment
+    /// decoding error encountered.
+    pub fn try_decode(
+        &self,
+        num_chunks: usize,
+        num_layers: usize,
+        choices: &[usize],
+    ) -> Result<AcceleratorConfig, SpaceError> {
+        let per_chunk = self.chunk_knob_sizes().len();
+        let expected = num_chunks * per_chunk + num_layers;
+        if choices.len() != expected {
+            return Err(SpaceError::AcceleratorArity {
+                expected,
+                actual: choices.len(),
+            });
+        }
+        let chunks = (0..num_chunks)
+            .map(|c| self.try_decode_chunk(&choices[c * per_chunk..(c + 1) * per_chunk]))
+            .collect::<Result<Vec<_>, _>>()?;
+        let assignment = choices[num_chunks * per_chunk..]
+            .iter()
+            .enumerate()
+            .map(|(layer, &a)| {
+                if a < num_chunks {
+                    Ok(a)
+                } else {
+                    Err(SpaceError::AssignmentOutOfRange {
+                        layer,
+                        assignment: a,
+                        num_chunks,
+                    })
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AcceleratorConfig { chunks, assignment })
+    }
+
+    /// Panicking convenience wrapper around [`SearchSpace::try_decode`].
+    ///
     /// # Panics
     ///
-    /// Panics on arity mismatch.
+    /// Panics on arity mismatch or out-of-range choices.
     #[must_use]
     pub fn decode(
         &self,
@@ -172,23 +307,10 @@ impl SearchSpace {
         num_layers: usize,
         choices: &[usize],
     ) -> AcceleratorConfig {
-        let per_chunk = self.chunk_knob_sizes().len();
-        assert_eq!(
-            choices.len(),
-            num_chunks * per_chunk + num_layers,
-            "accelerator knob arity mismatch"
-        );
-        let chunks = (0..num_chunks)
-            .map(|c| self.decode_chunk(&choices[c * per_chunk..(c + 1) * per_chunk]))
-            .collect();
-        let assignment = choices[num_chunks * per_chunk..]
-            .iter()
-            .map(|&a| {
-                assert!(a < num_chunks, "assignment {a} out of range");
-                a
-            })
-            .collect();
-        AcceleratorConfig { chunks, assignment }
+        match self.try_decode(num_chunks, num_layers, choices) {
+            Ok(accel) => accel,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Knob sizes for the whole accelerator, in the same order
@@ -258,6 +380,53 @@ mod tests {
     fn wrong_arity_panics() {
         let space = SearchSpace::default();
         let _ = space.decode(1, 1, &[0, 0]);
+    }
+
+    #[test]
+    fn try_decode_reports_structured_errors() {
+        let space = SearchSpace::default();
+        let per_chunk = space.chunk_knob_sizes().len();
+        assert_eq!(
+            space.try_decode(1, 1, &[0, 0]),
+            Err(SpaceError::AcceleratorArity {
+                expected: per_chunk + 1,
+                actual: 2,
+            })
+        );
+        // Knob 0 (pe_rows) has 6 options; choice 6 is one past the end.
+        let mut bad_knob = vec![0; per_chunk + 1];
+        bad_knob[0] = space.pe_rows.len();
+        let err = space.try_decode(1, 1, &bad_knob).unwrap_err();
+        assert_eq!(
+            err,
+            SpaceError::KnobOutOfRange {
+                knob: 0,
+                choice: space.pe_rows.len(),
+                size: space.pe_rows.len(),
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        // Assignment entry beyond the chunk count.
+        let mut bad_assign = vec![0; per_chunk + 2];
+        bad_assign[per_chunk + 1] = 1;
+        assert_eq!(
+            space.try_decode(1, 2, &bad_assign),
+            Err(SpaceError::AssignmentOutOfRange {
+                layer: 1,
+                assignment: 1,
+                num_chunks: 1,
+            })
+        );
+        assert_eq!(
+            space.try_decode_chunk(&[0; 3]),
+            Err(SpaceError::ChunkArity {
+                expected: per_chunk,
+                actual: 3,
+            })
+        );
+        // The Ok path agrees with the panicking wrapper.
+        let ok = space.try_decode(1, 1, &vec![0; per_chunk + 1]).expect("legal");
+        assert_eq!(ok, space.decode(1, 1, &vec![0; per_chunk + 1]));
     }
 
     #[test]

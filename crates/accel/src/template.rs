@@ -142,6 +142,21 @@ impl AcceleratorConfig {
     pub fn assignment_valid(&self) -> bool {
         self.assignment.iter().all(|&c| c < self.chunks.len())
     }
+
+    /// `true` when the assignment is non-decreasing, i.e. every chunk owns
+    /// one contiguous interval of layers in pipeline-stage order. Pipelined
+    /// execution requires this: activations flow chunk-to-chunk, so a
+    /// layer cannot run on an earlier stage than its predecessor.
+    #[must_use]
+    pub fn assignment_contiguous(&self) -> bool {
+        self.assignment.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// `true` when the design fits the target's DSP and BRAM budgets.
+    #[must_use]
+    pub fn within_budget(&self, target: &crate::zc706::FpgaTarget) -> bool {
+        self.total_pes() <= target.dsp_limit && self.total_buffer_kb() <= target.bram_kb_limit
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +191,27 @@ mod tests {
         assert_eq!(cfg.total_pes(), 3 * 64);
         assert_eq!(cfg.total_buffer_kb(), 3 * 80);
         assert!(cfg.assignment_valid());
+    }
+
+    #[test]
+    fn contiguity_and_budget_predicates() {
+        use crate::zc706::FpgaTarget;
+        let ok = AcceleratorConfig {
+            chunks: vec![chunk(), chunk()],
+            assignment: vec![0, 0, 1, 1],
+        };
+        assert!(ok.assignment_contiguous());
+        assert!(ok.within_budget(&FpgaTarget::zc706()));
+        let interleaved = AcceleratorConfig {
+            chunks: vec![chunk(), chunk()],
+            assignment: vec![0, 1, 0, 1],
+        };
+        assert!(!interleaved.assignment_contiguous());
+        let tiny_target = FpgaTarget {
+            dsp_limit: 100,
+            ..FpgaTarget::zc706()
+        };
+        assert!(!ok.within_budget(&tiny_target));
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Accelerator legality checking against the FPGA resource model.
+//!
+//! Validates [`AcceleratorConfig`] instances (and the search setups that
+//! produce them) in `O(config)` time so DAS, random and exhaustive search
+//! can filter illegal points without invoking the performance predictor.
+
+use crate::diag::{codes, Diagnostic, Report};
+use a3cs_accel::{AcceleratorConfig, FpgaTarget, SearchSpace};
+
+/// Bytes per activation/weight word in the on-chip buffers (fp16).
+const WORD_BYTES: usize = 2;
+
+/// Structural legality of an accelerator instance, independent of any
+/// FPGA target: chunk sanity (`A3CS-E106`/`E107`/`E108`), assignment
+/// coverage/range/contiguity (`A3CS-E103`–`E105`) and the idle-chunk and
+/// guaranteed-thrash warnings (`A3CS-W201`/`W202`).
+#[must_use]
+pub fn check_accelerator_structure(accel: &AcceleratorConfig, num_layers: usize) -> Report {
+    let mut report = Report::new();
+    if accel.chunks.is_empty() {
+        report.push(Diagnostic::error(
+            codes::ACCEL_NO_CHUNKS,
+            "accelerator has no chunks",
+        ));
+        return report;
+    }
+    for (ci, chunk) in accel.chunks.iter().enumerate() {
+        if chunk.pe.rows == 0
+            || chunk.pe.cols == 0
+            || chunk.buffers.input_kb == 0
+            || chunk.buffers.weight_kb == 0
+            || chunk.buffers.output_kb == 0
+        {
+            report.push(Diagnostic::error(
+                codes::ACCEL_DEGENERATE_CHUNK,
+                format!(
+                    "chunk {ci} is degenerate: {}x{} PEs, buffers {}+{}+{} KiB",
+                    chunk.pe.rows,
+                    chunk.pe.cols,
+                    chunk.buffers.input_kb,
+                    chunk.buffers.weight_kb,
+                    chunk.buffers.output_kb
+                ),
+            ));
+            continue;
+        }
+        let t = chunk.tiling;
+        if t.tm == 0 || t.tn == 0 || t.tr == 0 || t.tc == 0 {
+            report.push(Diagnostic::error(
+                codes::ACCEL_ILLEGAL_TILING,
+                format!(
+                    "chunk {ci} has a zero tiling factor \
+                     (Tm {}, Tn {}, Tr {}, Tc {})",
+                    t.tm, t.tn, t.tr, t.tc
+                ),
+            ));
+            continue;
+        }
+        // Smallest possible working set: a 1x1 stride-1 layer tiled at
+        // exactly (Tm, Tn, Tr, Tc), double-buffered. If even that
+        // overflows a bank, *every* layer thrashes on this chunk.
+        let double = 2 * WORD_BYTES;
+        let input_need = t.tn * t.tr * t.tc * double;
+        let weight_need = t.tm * t.tn * double;
+        let output_need = t.tm * t.tr * t.tc * double;
+        if input_need > chunk.buffers.input_kb * 1024
+            || weight_need > chunk.buffers.weight_kb * 1024
+            || output_need > chunk.buffers.output_kb * 1024
+        {
+            report.push(Diagnostic::warning(
+                codes::NUM_GUARANTEED_THRASH,
+                format!(
+                    "chunk {ci}: the minimal double-buffered tile working set \
+                     ({input_need}/{weight_need}/{output_need} B) exceeds its \
+                     buffer banks ({}/{}/{} KiB) — every layer will thrash",
+                    chunk.buffers.input_kb, chunk.buffers.weight_kb, chunk.buffers.output_kb
+                ),
+            ));
+        }
+    }
+    if accel.assignment.len() != num_layers {
+        report.push(Diagnostic::error(
+            codes::ACCEL_ASSIGNMENT_ARITY,
+            format!(
+                "assignment covers {} layers but the network has {num_layers}",
+                accel.assignment.len()
+            ),
+        ));
+        return report;
+    }
+    let mut out_of_range = false;
+    for (li, &a) in accel.assignment.iter().enumerate() {
+        if a >= accel.chunks.len() {
+            report.push(Diagnostic::error(
+                codes::ACCEL_ASSIGNMENT_RANGE,
+                format!(
+                    "layer {li} is assigned to chunk {a}, but only {} chunks exist",
+                    accel.chunks.len()
+                ),
+            ));
+            out_of_range = true;
+        }
+    }
+    if out_of_range {
+        return report;
+    }
+    if !accel.assignment_contiguous() {
+        report.push(Diagnostic::error(
+            codes::ACCEL_ASSIGNMENT_NONCONTIGUOUS,
+            format!(
+                "assignment {:?} is not non-decreasing: each pipeline chunk \
+                 must own a contiguous layer interval",
+                accel.assignment
+            ),
+        ));
+    }
+    if num_layers >= accel.chunks.len() {
+        for ci in 0..accel.chunks.len() {
+            if !accel.assignment.contains(&ci) {
+                report.push(Diagnostic::warning(
+                    codes::NUM_IDLE_CHUNK,
+                    format!("chunk {ci} has no layers assigned: its resources idle"),
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Full legality of an accelerator instance for `target`: the structural
+/// checks plus the DSP (`A3CS-E101`) and BRAM (`A3CS-E102`) budgets.
+#[must_use]
+pub fn check_accelerator(
+    accel: &AcceleratorConfig,
+    num_layers: usize,
+    target: &FpgaTarget,
+) -> Report {
+    let mut report = check_accelerator_structure(accel, num_layers);
+    let pes = accel.total_pes();
+    if pes > target.dsp_limit {
+        report.push(Diagnostic::error(
+            codes::ACCEL_DSP_OVERFLOW,
+            format!(
+                "design needs {pes} PEs (≈ DSPs) but the target has {}",
+                target.dsp_limit
+            ),
+        ));
+    }
+    let kb = accel.total_buffer_kb();
+    if kb > target.bram_kb_limit {
+        report.push(Diagnostic::error(
+            codes::ACCEL_BRAM_OVERFLOW,
+            format!(
+                "design needs {kb} KiB of on-chip buffer but the target has {} KiB",
+                target.bram_kb_limit
+            ),
+        ));
+    }
+    report
+}
+
+/// Legality of a search *setup* before any sampling happens: the knob
+/// lists must be non-empty and zero-free (`A3CS-E106`/`E107`), at least
+/// one chunk must exist (`A3CS-E108`), and the assignment knobs must cover
+/// the deepest network the search can be asked to map (`A3CS-E109`).
+#[must_use]
+pub fn check_search_setup(
+    space: &SearchSpace,
+    num_chunks: usize,
+    max_layers: usize,
+    required_layers: usize,
+) -> Report {
+    let mut report = Report::new();
+    if num_chunks == 0 {
+        report.push(Diagnostic::error(
+            codes::ACCEL_NO_CHUNKS,
+            "search is configured with zero chunks",
+        ));
+    }
+    for (name, options) in [
+        ("pe_rows", &space.pe_rows),
+        ("pe_cols", &space.pe_cols),
+        ("buffer_totals_kb", &space.buffer_totals_kb),
+    ] {
+        if options.is_empty() || options.contains(&0) {
+            report.push(Diagnostic::error(
+                codes::ACCEL_DEGENERATE_CHUNK,
+                format!("search-space knob `{name}` is empty or offers 0: {options:?}"),
+            ));
+        }
+    }
+    for (name, options) in [
+        ("tm", &space.tm),
+        ("tn", &space.tn),
+        ("tr", &space.tr),
+        ("tc", &space.tc),
+    ] {
+        if options.is_empty() || options.contains(&0) {
+            report.push(Diagnostic::error(
+                codes::ACCEL_ILLEGAL_TILING,
+                format!("tiling knob `{name}` is empty or offers 0: {options:?}"),
+            ));
+        }
+    }
+    if space.nocs.is_empty() || space.dataflows.is_empty() {
+        report.push(Diagnostic::error(
+            codes::ACCEL_DEGENERATE_CHUNK,
+            "search space offers no NoC or no dataflow options",
+        ));
+    }
+    if required_layers > max_layers {
+        report.push(Diagnostic::error(
+            codes::ACCEL_DEPTH_EXCEEDS_KNOBS,
+            format!(
+                "the deepest derivable network has {required_layers} layers \
+                 but the search only carries {max_layers} assignment knobs"
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3cs_accel::{BufferAlloc, ChunkConfig, Dataflow, NocTopology, PeArray, Tiling};
+
+    fn chunk(rows: usize, cols: usize, buffer_kb: usize) -> ChunkConfig {
+        ChunkConfig {
+            pe: PeArray { rows, cols },
+            noc: NocTopology::Systolic,
+            dataflow: Dataflow::OutputStationary,
+            buffers: BufferAlloc {
+                input_kb: buffer_kb,
+                weight_kb: buffer_kb,
+                output_kb: buffer_kb,
+            },
+            tiling: Tiling {
+                tm: 8,
+                tn: 8,
+                tr: 4,
+                tc: 4,
+            },
+        }
+    }
+
+    fn two_chunk(assignment: Vec<usize>) -> AcceleratorConfig {
+        AcceleratorConfig {
+            chunks: vec![chunk(8, 8, 32), chunk(8, 8, 32)],
+            assignment,
+        }
+    }
+
+    #[test]
+    fn legal_design_is_clean() {
+        let accel = two_chunk(vec![0, 0, 1, 1]);
+        let report = check_accelerator(&accel, 4, &FpgaTarget::zc706());
+        assert!(report.is_clean(), "{report}");
+        assert!(report.warnings().is_empty(), "{report}");
+    }
+
+    #[test]
+    fn dsp_overflow_is_e101() {
+        let accel = AcceleratorConfig {
+            chunks: vec![chunk(32, 32, 32)],
+            assignment: vec![0, 0],
+        };
+        let report = check_accelerator(&accel, 2, &FpgaTarget::zc706());
+        assert!(report.has_code(codes::ACCEL_DSP_OVERFLOW), "{report}");
+    }
+
+    #[test]
+    fn bram_overflow_is_e102() {
+        let accel = AcceleratorConfig {
+            chunks: vec![chunk(8, 8, 1024)],
+            assignment: vec![0, 0],
+        };
+        let report = check_accelerator(&accel, 2, &FpgaTarget::zc706());
+        assert!(report.has_code(codes::ACCEL_BRAM_OVERFLOW), "{report}");
+    }
+
+    #[test]
+    fn assignment_arity_is_e103() {
+        let accel = two_chunk(vec![0, 1]);
+        let report = check_accelerator_structure(&accel, 5);
+        assert!(report.has_code(codes::ACCEL_ASSIGNMENT_ARITY), "{report}");
+    }
+
+    #[test]
+    fn assignment_range_is_e104() {
+        let accel = two_chunk(vec![0, 0, 2, 1]);
+        let report = check_accelerator_structure(&accel, 4);
+        assert!(report.has_code(codes::ACCEL_ASSIGNMENT_RANGE), "{report}");
+    }
+
+    #[test]
+    fn interleaved_assignment_is_e105() {
+        let accel = two_chunk(vec![0, 1, 0, 1]);
+        let report = check_accelerator_structure(&accel, 4);
+        assert!(
+            report.has_code(codes::ACCEL_ASSIGNMENT_NONCONTIGUOUS),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn zero_tiling_is_e106() {
+        let mut bad = chunk(8, 8, 32);
+        bad.tiling.tn = 0;
+        let accel = AcceleratorConfig {
+            chunks: vec![bad],
+            assignment: vec![0],
+        };
+        let report = check_accelerator_structure(&accel, 1);
+        assert!(report.has_code(codes::ACCEL_ILLEGAL_TILING), "{report}");
+    }
+
+    #[test]
+    fn degenerate_chunk_is_e107() {
+        let accel = AcceleratorConfig {
+            chunks: vec![chunk(0, 8, 32)],
+            assignment: vec![0],
+        };
+        let report = check_accelerator_structure(&accel, 1);
+        assert!(report.has_code(codes::ACCEL_DEGENERATE_CHUNK), "{report}");
+    }
+
+    #[test]
+    fn no_chunks_is_e108() {
+        let accel = AcceleratorConfig {
+            chunks: Vec::new(),
+            assignment: Vec::new(),
+        };
+        let report = check_accelerator_structure(&accel, 0);
+        assert!(report.has_code(codes::ACCEL_NO_CHUNKS), "{report}");
+    }
+
+    #[test]
+    fn idle_chunk_is_w202_but_stays_clean() {
+        let accel = two_chunk(vec![0, 0, 0, 0]);
+        let report = check_accelerator_structure(&accel, 4);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.has_code(codes::NUM_IDLE_CHUNK), "{report}");
+    }
+
+    #[test]
+    fn undersized_buffers_are_w201() {
+        let mut cramped = chunk(8, 8, 32);
+        cramped.buffers = BufferAlloc {
+            input_kb: 1,
+            weight_kb: 1,
+            output_kb: 1,
+        };
+        cramped.tiling = Tiling {
+            tm: 32,
+            tn: 16,
+            tr: 8,
+            tc: 8,
+        };
+        let accel = AcceleratorConfig {
+            chunks: vec![cramped],
+            assignment: vec![0],
+        };
+        let report = check_accelerator_structure(&accel, 1);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.has_code(codes::NUM_GUARANTEED_THRASH), "{report}");
+    }
+
+    #[test]
+    fn default_search_setup_is_clean() {
+        let report = check_search_setup(&SearchSpace::default(), 4, 48, 38);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn depth_overflow_is_e109() {
+        let report = check_search_setup(&SearchSpace::default(), 4, 10, 38);
+        assert!(report.has_code(codes::ACCEL_DEPTH_EXCEEDS_KNOBS), "{report}");
+    }
+
+    #[test]
+    fn zero_tile_option_is_rejected() {
+        let space = SearchSpace {
+            tr: vec![0, 2],
+            ..SearchSpace::default()
+        };
+        let report = check_search_setup(&space, 2, 16, 8);
+        assert!(report.has_code(codes::ACCEL_ILLEGAL_TILING), "{report}");
+    }
+
+    #[test]
+    fn zero_chunks_setup_is_e108() {
+        let report = check_search_setup(&SearchSpace::default(), 0, 16, 8);
+        assert!(report.has_code(codes::ACCEL_NO_CHUNKS), "{report}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Workspace lint driver: `cargo run -p a3cs-check --bin lint [-- --update]`.
+//!
+//! Walks `crates/*/src`, counts panic-prone call sites and `#[must_use]`
+//! omissions (see `a3cs_check::lint`), and compares the census against the
+//! committed allowlist `crates/check/lint-allowlist.txt`. Counts may only
+//! ratchet down; `--update` rewrites the allowlist to the current counts.
+
+use a3cs_check::{compare, count_hits, format_allowlist, parse_allowlist, scan_source, LintHit};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const ALLOWLIST_REL: &str = "crates/check/lint-allowlist.txt";
+
+fn repo_root() -> Option<PathBuf> {
+    // This binary lives in crates/check; the workspace root is two up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.parent()?.parent()?;
+    Some(root.to_path_buf())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn scan_workspace(root: &Path) -> Result<Vec<LintHit>, String> {
+    let crates_dir = root.join("crates");
+    let entries =
+        fs::read_dir(&crates_dir).map_err(|e| format!("cannot read {crates_dir:?}: {e}"))?;
+    let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    let mut hits = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files);
+        for file in files {
+            let source =
+                fs::read_to_string(&file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            hits.extend(scan_source(&rel, &source));
+        }
+    }
+    Ok(hits)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut update = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--update" => update = true,
+            other => return Err(format!("unknown argument `{other}` (only --update is accepted)")),
+        }
+    }
+    let root = repo_root().ok_or_else(|| "cannot locate the workspace root".to_string())?;
+    let hits = scan_workspace(&root)?;
+    let actual = count_hits(&hits);
+    let total: usize = actual.values().sum();
+    let allowlist_path = root.join(ALLOWLIST_REL);
+
+    if update {
+        fs::write(&allowlist_path, format_allowlist(&actual))
+            .map_err(|e| format!("cannot write {allowlist_path:?}: {e}"))?;
+        println!("lint: allowlist updated with {total} grandfathered findings ({ALLOWLIST_REL})");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let allowed = match fs::read_to_string(&allowlist_path) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(e) => {
+            return Err(format!(
+                "cannot read {ALLOWLIST_REL}: {e}; run with --update to create it"
+            ))
+        }
+    };
+    let outcome = compare(&actual, &allowed);
+    if !outcome.is_ok() {
+        eprintln!("lint: counts above the allowlist (new findings must be fixed, not added):");
+        for (file, category, got, cap) in &outcome.violations {
+            eprintln!("  {file}: {category} {got} > allowed {cap}");
+            for hit in &hits {
+                if &hit.file == file && hit.category.as_str() == category {
+                    eprintln!("    {file}:{}", hit.line);
+                }
+            }
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    if outcome.ratchets.is_empty() {
+        println!("lint: clean against allowlist ({total} grandfathered findings)");
+    } else {
+        println!("lint: clean; {} entries improved — ratchet down with --update:", outcome.ratchets.len());
+        for (file, category, got, cap) in &outcome.ratchets {
+            println!("  {file}: {category} {got} (allowed {cap})");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The diagnostic framework: stable codes, severities and reports.
+//!
+//! Every check in this crate reports findings as [`Diagnostic`] values
+//! collected into a [`Report`]. Codes are stable strings (`A3CS-Exxx` /
+//! `A3CS-Wxxx`) so callers and tests can match on *what* went wrong
+//! without parsing prose; messages are free-form and may change.
+
+use std::fmt;
+
+/// Stable diagnostic codes. The numbering is namespaced:
+///
+/// - `A3CS-E0xx` — shape-inference errors (architectures/networks);
+/// - `A3CS-E1xx` — accelerator-legality errors (configs/search spaces);
+/// - `A3CS-W2xx` — numerics/performance warnings (legal but hazardous).
+///
+/// Codes are append-only: a published code never changes meaning.
+pub mod codes {
+    /// A convolution was applied to a flat (non-image) feature vector.
+    pub const SHAPE_NOT_IMAGE: &str = "A3CS-E001";
+    /// A layer's declared input dims disagree with the propagated shape.
+    pub const SHAPE_INPUT_MISMATCH: &str = "A3CS-E002";
+    /// A kernel exceeds its padded input extent (output would underflow).
+    pub const SHAPE_KERNEL_TOO_LARGE: &str = "A3CS-E003";
+    /// A propagated shape or structural parameter has a zero dimension.
+    pub const SHAPE_ZERO_DIM: &str = "A3CS-E004";
+    /// A fully connected layer's `in_features` disagree with its input.
+    pub const SHAPE_FC_MISMATCH: &str = "A3CS-E005";
+    /// The supernet structure is invalid (cell count, `top_k`, …).
+    pub const ARCH_BAD_STRUCTURE: &str = "A3CS-E006";
+    /// An operator-choice vector has the wrong arity for the cell plan.
+    pub const ARCH_CHOICE_ARITY: &str = "A3CS-E007";
+
+    /// Total PE count exceeds the target's DSP budget.
+    pub const ACCEL_DSP_OVERFLOW: &str = "A3CS-E101";
+    /// Total on-chip buffer allocation exceeds the target's BRAM budget.
+    pub const ACCEL_BRAM_OVERFLOW: &str = "A3CS-E102";
+    /// The layer→chunk assignment does not cover every network layer.
+    pub const ACCEL_ASSIGNMENT_ARITY: &str = "A3CS-E103";
+    /// An assignment entry indexes a chunk that does not exist.
+    pub const ACCEL_ASSIGNMENT_RANGE: &str = "A3CS-E104";
+    /// The assignment is not contiguous (chunks must own layer intervals).
+    pub const ACCEL_ASSIGNMENT_NONCONTIGUOUS: &str = "A3CS-E105";
+    /// A tiling factor is zero (no legal loop nest).
+    pub const ACCEL_ILLEGAL_TILING: &str = "A3CS-E106";
+    /// A chunk is degenerate (zero PE rows/cols or a zero buffer bank).
+    pub const ACCEL_DEGENERATE_CHUNK: &str = "A3CS-E107";
+    /// The accelerator has no chunks (or the space offers no options).
+    pub const ACCEL_NO_CHUNKS: &str = "A3CS-E108";
+    /// The deepest derivable network exceeds the assignment knob count.
+    pub const ACCEL_DEPTH_EXCEEDS_KNOBS: &str = "A3CS-E109";
+
+    /// A tiling's double-buffered working set cannot fit the chunk's
+    /// buffers even for the smallest (1×1, stride-1) layer: every layer
+    /// will thrash.
+    pub const NUM_GUARANTEED_THRASH: &str = "A3CS-W201";
+    /// A chunk has no layers assigned to it (resources are wasted).
+    pub const NUM_IDLE_CHUNK: &str = "A3CS-W202";
+}
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Legal but suspicious; execution may proceed.
+    Warning,
+    /// Illegal input; the checked object must not be executed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: a stable code, a severity and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code from [`codes`].
+    pub code: &'static str,
+    /// Severity level.
+    pub severity: Severity,
+    /// Human-readable description (free-form; not stable).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    #[must_use]
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    #[must_use]
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// The outcome of a static check: zero or more diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append one diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Append every diagnostic of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics in emission order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Error-severity diagnostics only.
+    #[must_use]
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// Warning-severity diagnostics only.
+    #[must_use]
+    pub fn warnings(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .collect()
+    }
+
+    /// `true` when the report carries no errors (warnings are allowed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors().is_empty()
+    }
+
+    /// `true` when any diagnostic carries `code`.
+    #[must_use]
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Serialise the report as a JSON array of
+    /// `{code, severity, message}` objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let items: Vec<serde::Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                serde::Value::Object(vec![
+                    ("code".to_string(), serde::Value::Str(d.code.to_string())),
+                    (
+                        "severity".to_string(),
+                        serde::Value::Str(d.severity.to_string()),
+                    ),
+                    (
+                        "message".to_string(),
+                        serde::Value::Str(d.message.clone()),
+                    ),
+                ])
+            })
+            .collect();
+        serde_json::to_string(&serde::Value::Array(items)).unwrap_or_default()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "clean: no diagnostics");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_has_no_errors() {
+        let report = Report::new();
+        assert!(report.is_clean());
+        assert!(report.errors().is_empty());
+        assert_eq!(report.to_string(), "clean: no diagnostics");
+    }
+
+    #[test]
+    fn warnings_do_not_dirty_a_report() {
+        let mut report = Report::new();
+        report.push(Diagnostic::warning(codes::NUM_IDLE_CHUNK, "chunk 2 idle"));
+        assert!(report.is_clean());
+        assert_eq!(report.warnings().len(), 1);
+        assert!(report.has_code(codes::NUM_IDLE_CHUNK));
+    }
+
+    #[test]
+    fn errors_dirty_a_report_and_display_codes() {
+        let mut report = Report::new();
+        report.push(Diagnostic::error(codes::ACCEL_DSP_OVERFLOW, "1200 > 900"));
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("error[A3CS-E101]"), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips_through_serde_json() {
+        let mut report = Report::new();
+        report.push(Diagnostic::error(codes::SHAPE_ZERO_DIM, "zero height"));
+        report.push(Diagnostic::warning(codes::NUM_IDLE_CHUNK, "idle"));
+        let json = report.to_json();
+        let value: serde::Value = serde_json::from_str(&json).expect("valid json");
+        let items = value.as_array().expect("array");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0]["code"], "A3CS-E004");
+        assert_eq!(items[0]["severity"], "error");
+        assert_eq!(items[1]["severity"], "warning");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.push(Diagnostic::error(codes::SHAPE_ZERO_DIM, "x"));
+        let mut b = Report::new();
+        b.push(Diagnostic::error(codes::ACCEL_NO_CHUNKS, "y"));
+        a.merge(b);
+        assert_eq!(a.diagnostics().len(), 2);
+    }
+}

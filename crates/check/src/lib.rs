@@ -1,0 +1,46 @@
+//! Static verification for A3C-S: shape inference, accelerator legality
+//! and the workspace lint driver.
+//!
+//! Everything here runs in `O(description)` — no tensor is allocated and
+//! no predictor is invoked — so the co-search pipeline can gate every
+//! configuration up front and the search engines can filter illegal
+//! points cheaply. Findings come back as [`Diagnostic`]s with stable
+//! codes ([`codes`]) collected into a [`Report`]:
+//!
+//! - `A3CS-E0xx` — shape-inference errors over [`a3cs_nn`] layer
+//!   descriptors and [`a3cs_nas`] supernet/derived architectures
+//!   ([`check_layers`], [`check_arch`], [`check_supernet`]);
+//! - `A3CS-E1xx` — accelerator-legality errors against the ZC706
+//!   resource model ([`check_accelerator`], [`check_search_setup`]);
+//! - `A3CS-W2xx` — numerics/performance warnings (legal but hazardous).
+//!
+//! The [`lint`] module and the `lint` binary implement the workspace
+//! code-health ratchet (panic-site census, `#[must_use]` hygiene).
+//!
+//! # Example
+//!
+//! ```
+//! use a3cs_check::{check_accelerator, codes};
+//! use a3cs_accel::{FpgaTarget, SearchSpace};
+//!
+//! let space = SearchSpace::default();
+//! let n = space.knob_sizes(2, 4).len();
+//! let accel = space.decode(2, 4, &vec![0; n]);
+//! let report = check_accelerator(&accel, 4, &FpgaTarget::zc706());
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+#![deny(missing_docs)]
+
+mod accel;
+mod diag;
+mod lint;
+mod shape;
+
+pub use accel::{check_accelerator, check_accelerator_structure, check_search_setup};
+pub use diag::{codes, Diagnostic, Report, Severity};
+pub use lint::{
+    compare, count_hits, format_allowlist, parse_allowlist, scan_source, LintCategory,
+    LintCounts, LintHit, LintOutcome, ALL_CATEGORIES,
+};
+pub use shape::{arch_layer_descs, check_arch, check_layers, check_supernet, max_arch_depth};

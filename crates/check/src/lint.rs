@@ -1,0 +1,394 @@
+//! Workspace code-health lint: panic-site census and `#[must_use]` hygiene.
+//!
+//! [`scan_source`] flags `unwrap`/`expect`/`panic!`/`todo!`/
+//! `unimplemented!` calls outside `#[cfg(test)]` modules, plus `&self`
+//! methods returning a value without `#[must_use]`. Counts are compared
+//! against a committed allowlist so they can only ratchet *down*: new code
+//! must not add panic sites, and converting one to a `Result` lets the
+//! allowlist shrink. The `lint` binary (`cargo run -p a3cs-check --bin
+//! lint`) drives this over `crates/*/src`.
+
+use std::collections::BTreeMap;
+
+/// What a lint hit is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCategory {
+    /// An `.unwrap()` call.
+    Unwrap,
+    /// An `.expect(...)` call.
+    Expect,
+    /// A `panic!` invocation.
+    Panic,
+    /// A `todo!` invocation.
+    Todo,
+    /// An `unimplemented!` invocation.
+    Unimplemented,
+    /// A value-returning `&self` method without `#[must_use]`.
+    MissingMustUse,
+}
+
+/// Every category, in report order.
+pub const ALL_CATEGORIES: [LintCategory; 6] = [
+    LintCategory::Unwrap,
+    LintCategory::Expect,
+    LintCategory::Panic,
+    LintCategory::Todo,
+    LintCategory::Unimplemented,
+    LintCategory::MissingMustUse,
+];
+
+impl LintCategory {
+    /// Stable name used in reports and the allowlist file.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCategory::Unwrap => "unwrap",
+            LintCategory::Expect => "expect",
+            LintCategory::Panic => "panic",
+            LintCategory::Todo => "todo",
+            LintCategory::Unimplemented => "unimplemented",
+            LintCategory::MissingMustUse => "missing-must-use",
+        }
+    }
+
+    /// Parse a stable name back into a category.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        ALL_CATEGORIES.iter().copied().find(|c| c.as_str() == name)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintHit {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub category: LintCategory,
+}
+
+/// Per-`(file, category)` hit counts — the allowlist currency.
+pub type LintCounts = BTreeMap<(String, String), usize>;
+
+/// The textual patterns each category matches on a comment-stripped line.
+/// Built at runtime from fragments so the linter does not flag its own
+/// pattern table when scanning this crate.
+fn patterns() -> Vec<(String, LintCategory)> {
+    let bang = "!";
+    vec![
+        (format!(".{}()", "unwrap"), LintCategory::Unwrap),
+        (format!(".{}(", "expect"), LintCategory::Expect),
+        (format!("{}{bang}(", "panic"), LintCategory::Panic),
+        (format!("{}{bang}(", "todo"), LintCategory::Todo),
+        (format!("{}{bang}(", "unimplemented"), LintCategory::Unimplemented),
+    ]
+}
+
+/// Strip a line comment, respecting (naively) string literals: the first
+/// `//` preceded by an even number of quotes starts the comment.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut quotes = 0usize;
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        match bytes[i] {
+            b'"' => quotes += 1,
+            b'\\' if quotes % 2 == 1 => i += 1, // skip escaped char in string
+            b'/' if bytes[i + 1] == b'/' && quotes.is_multiple_of(2) => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut delta = 0i64;
+    let mut quotes = 0usize;
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => quotes += 1,
+            b'\\' if quotes % 2 == 1 => i += 1,
+            b'{' if quotes.is_multiple_of(2) => delta += 1,
+            b'}' if quotes.is_multiple_of(2) => delta -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    delta
+}
+
+/// Scan one file's source text. `relpath` is recorded verbatim in the
+/// hits. Code under `#[cfg(test)]` is exempt, as are comments.
+#[must_use]
+pub fn scan_source(relpath: &str, source: &str) -> Vec<LintHit> {
+    let pats = patterns();
+    let mut hits = Vec::new();
+    // Test-module exclusion: after `#[cfg(test)]`, skip until the brace
+    // opened by the next item closes again.
+    let mut test_pending = false;
+    let mut test_depth = 0i64;
+    // `#[must_use]` tracking: true while inside the contiguous
+    // attribute/doc block preceding an item.
+    let mut block_has_must_use = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim_start();
+        let code = strip_comment(trimmed);
+        if code.trim().is_empty() {
+            // Doc comments keep an attribute block contiguous.
+            if !trimmed.starts_with("///") && !trimmed.starts_with("//!") && !trimmed.starts_with("#[")
+            {
+                block_has_must_use = false;
+            }
+            continue;
+        }
+        if test_pending || test_depth > 0 {
+            let delta = brace_delta(code);
+            if test_pending && delta > 0 {
+                test_pending = false;
+                test_depth = delta;
+            } else if test_depth > 0 {
+                test_depth += delta;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            let delta = brace_delta(code);
+            if delta > 0 {
+                test_depth = delta; // `#[cfg(test)] mod t {` on one line
+            } else {
+                test_pending = true;
+            }
+            continue;
+        }
+        if code.starts_with("#[") {
+            if code.contains("must_use") {
+                block_has_must_use = true;
+            }
+            continue;
+        }
+        for (pat, category) in &pats {
+            if code.contains(pat.as_str()) {
+                hits.push(LintHit {
+                    file: relpath.to_string(),
+                    line,
+                    category: *category,
+                });
+            }
+        }
+        if code.starts_with("pub fn ")
+            && code.contains("(&self")
+            && code.contains("->")
+            && !block_has_must_use
+        {
+            hits.push(LintHit {
+                file: relpath.to_string(),
+                line,
+                category: LintCategory::MissingMustUse,
+            });
+        }
+        block_has_must_use = false;
+    }
+    hits
+}
+
+/// Aggregate hits into allowlist counts.
+#[must_use]
+pub fn count_hits(hits: &[LintHit]) -> LintCounts {
+    let mut counts = LintCounts::new();
+    for hit in hits {
+        *counts
+            .entry((hit.file.clone(), hit.category.as_str().to_string()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Parse the allowlist file format: `#`-comments and blank lines ignored,
+/// otherwise `<path> <category> <count>` per line.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_allowlist(text: &str) -> Result<LintCounts, String> {
+    let mut counts = LintCounts::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(category), Some(count)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("allowlist line {}: expected `<path> <category> <count>`", idx + 1));
+        };
+        if LintCategory::parse(category).is_none() {
+            return Err(format!("allowlist line {}: unknown category `{category}`", idx + 1));
+        }
+        let n: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{count}`", idx + 1))?;
+        counts.insert((path.to_string(), category.to_string()), n);
+    }
+    Ok(counts)
+}
+
+/// Render counts in the allowlist file format (sorted, reproducible).
+#[must_use]
+pub fn format_allowlist(counts: &LintCounts) -> String {
+    let mut out = String::from(
+        "# a3cs-check lint allowlist: grandfathered counts per (file, category).\n\
+         # Counts may only ratchet down. Regenerate with:\n\
+         #   cargo run -p a3cs-check --bin lint -- --update\n",
+    );
+    for ((path, category), count) in counts {
+        out.push_str(&format!("{path} {category} {count}\n"));
+    }
+    out
+}
+
+/// Outcome of comparing actual counts against the allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintOutcome {
+    /// `(file, category, actual, allowed)` where actual exceeds allowed.
+    pub violations: Vec<(String, String, usize, usize)>,
+    /// `(file, category, actual, allowed)` where the allowlist can shrink.
+    pub ratchets: Vec<(String, String, usize, usize)>,
+}
+
+impl LintOutcome {
+    /// `true` when no count exceeds its allowance.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Compare actual counts with allowed ones. Entries absent from the
+/// allowlist are allowed zero.
+#[must_use]
+pub fn compare(actual: &LintCounts, allowed: &LintCounts) -> LintOutcome {
+    let mut outcome = LintOutcome::default();
+    for (key, &n) in actual {
+        let cap = allowed.get(key).copied().unwrap_or(0);
+        if n > cap {
+            outcome
+                .violations
+                .push((key.0.clone(), key.1.clone(), n, cap));
+        } else if n < cap {
+            outcome.ratchets.push((key.0.clone(), key.1.clone(), n, cap));
+        }
+    }
+    for (key, &cap) in allowed {
+        if !actual.contains_key(key) && cap > 0 {
+            outcome.ratchets.push((key.0.clone(), key.1.clone(), 0, cap));
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_panics_outside_tests_only() {
+        let src = "\
+pub fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = Some(1).unwrap();
+        panic!(\"fine here\");
+    }
+}
+";
+        let hits = scan_source("a.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].category, LintCategory::Unwrap);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_count() {
+        let src = "\
+// this mentions .unwrap() in prose
+/// docs may say panic!(...) too
+pub fn fine() {
+    let url = \"https://example.com\"; // trailing .expect( note
+}
+";
+        assert!(scan_source("b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn todo_and_unimplemented_are_flagged() {
+        let src = "fn later() {\n    todo!()\n}\nfn never() {\n    unimplemented!()\n}\n";
+        let cats: Vec<LintCategory> =
+            scan_source("c.rs", src).iter().map(|h| h.category).collect();
+        assert_eq!(cats, vec![LintCategory::Todo, LintCategory::Unimplemented]);
+    }
+
+    #[test]
+    fn must_use_attribute_suppresses_the_hit() {
+        let flagged = "impl X {\n    pub fn value(&self) -> u32 {\n        self.0\n    }\n}\n";
+        assert_eq!(
+            scan_source("d.rs", flagged)
+                .iter()
+                .filter(|h| h.category == LintCategory::MissingMustUse)
+                .count(),
+            1
+        );
+        let ok = "impl X {\n    /// Doc.\n    #[must_use]\n    pub fn value(&self) -> u32 {\n        self.0\n    }\n}\n";
+        assert!(scan_source("e.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn allowlist_round_trip_and_compare() {
+        let hits = vec![
+            LintHit {
+                file: "x.rs".into(),
+                line: 1,
+                category: LintCategory::Unwrap,
+            },
+            LintHit {
+                file: "x.rs".into(),
+                line: 2,
+                category: LintCategory::Unwrap,
+            },
+        ];
+        let actual = count_hits(&hits);
+        let text = format_allowlist(&actual);
+        let parsed = parse_allowlist(&text).expect("well-formed");
+        assert_eq!(parsed, actual);
+        assert!(compare(&actual, &parsed).is_ok());
+
+        // One fewer hit than allowed: a ratchet opportunity, still ok.
+        let fewer = count_hits(&hits[..1]);
+        let outcome = compare(&fewer, &parsed);
+        assert!(outcome.is_ok());
+        assert_eq!(outcome.ratchets.len(), 1);
+
+        // More hits than allowed: a violation.
+        let mut more = actual.clone();
+        *more.get_mut(&("x.rs".to_string(), "unwrap".to_string())).expect("key") = 3;
+        assert!(!compare(&more, &parsed).is_ok());
+    }
+
+    #[test]
+    fn malformed_allowlist_lines_error() {
+        assert!(parse_allowlist("x.rs unwrap notanumber").is_err());
+        assert!(parse_allowlist("x.rs nonsense 3").is_err());
+        assert!(parse_allowlist("# comment\n\n").expect("ok").is_empty());
+    }
+}

@@ -1,0 +1,534 @@
+//! Static shape inference over layer descriptors and A3C-S architectures.
+//!
+//! Propagates `[C, H, W]` symbolically — no tensor is ever allocated —
+//! through a [`LayerDesc`] sequence, a derived architecture (cell plan +
+//! one [`OpChoice`] per cell), or every candidate operator of a supernet.
+//! Mismatches surface as `A3CS-E0xx` diagnostics instead of a `panic!`
+//! deep inside a rollout.
+
+use crate::diag::{codes, Diagnostic, Report};
+use a3cs_nn::{ConvDims, FeatureShape, LayerDesc, LayerOp};
+use a3cs_nas::{OpChoice, SupernetConfig, ALL_OPS};
+
+/// Output side length of a convolution, or `None` when the kernel
+/// exceeds the padded input (the unsigned formula would underflow).
+fn conv_out(side: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = side + 2 * padding;
+    if kernel == 0 || stride == 0 || padded < kernel {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+fn check_conv_dims(
+    report: &mut Report,
+    name: &str,
+    d: &ConvDims,
+    depthwise: bool,
+    shape: FeatureShape,
+) -> Option<FeatureShape> {
+    let FeatureShape::Image {
+        channels,
+        height,
+        width,
+    } = shape
+    else {
+        report.push(Diagnostic::error(
+            codes::SHAPE_NOT_IMAGE,
+            format!("conv `{name}` applied to a flat feature vector"),
+        ));
+        return None;
+    };
+    if d.kernel == 0 || d.stride == 0 || d.in_ch == 0 || d.out_ch == 0 {
+        report.push(Diagnostic::error(
+            codes::SHAPE_ZERO_DIM,
+            format!(
+                "conv `{name}` has a zero structural parameter \
+                 (in {}, out {}, k {}, s {})",
+                d.in_ch, d.out_ch, d.kernel, d.stride
+            ),
+        ));
+        return None;
+    }
+    if channels != d.in_ch {
+        report.push(Diagnostic::error(
+            codes::SHAPE_INPUT_MISMATCH,
+            format!(
+                "conv `{name}` expects {} input channels, got {channels}",
+                d.in_ch
+            ),
+        ));
+    }
+    if depthwise && d.in_ch != d.out_ch {
+        report.push(Diagnostic::error(
+            codes::SHAPE_INPUT_MISMATCH,
+            format!(
+                "depthwise conv `{name}` must preserve channels \
+                 ({} in vs {} out)",
+                d.in_ch, d.out_ch
+            ),
+        ));
+    }
+    if (height, width) != (d.in_h, d.in_w) {
+        report.push(Diagnostic::error(
+            codes::SHAPE_INPUT_MISMATCH,
+            format!(
+                "conv `{name}` declares a {}x{} input but receives {height}x{width}",
+                d.in_h, d.in_w
+            ),
+        ));
+    }
+    let out_h = conv_out(d.in_h, d.kernel, d.stride, d.padding);
+    let out_w = conv_out(d.in_w, d.kernel, d.stride, d.padding);
+    let (Some(out_h), Some(out_w)) = (out_h, out_w) else {
+        report.push(Diagnostic::error(
+            codes::SHAPE_KERNEL_TOO_LARGE,
+            format!(
+                "conv `{name}`: kernel {} exceeds padded input \
+                 {}x{} (+{} padding)",
+                d.kernel, d.in_h, d.in_w, d.padding
+            ),
+        ));
+        return None;
+    };
+    Some(FeatureShape::image(d.out_ch, out_h, out_w))
+}
+
+/// Check a [`LayerDesc`] sequence against `input`, propagating the shape
+/// layer by layer.
+///
+/// Rules: convolutions require an image input whose `[C, H, W]` match the
+/// layer's declared dims; fully connected layers accept a flat input of
+/// `in_features`, or an image input via an implicit global-average-pool
+/// (`channels == in_features`) or flatten (`elements == in_features`) —
+/// mirroring how element-wise glue is folded out of descriptors.
+#[must_use]
+pub fn check_layers(layers: &[LayerDesc], input: FeatureShape) -> Report {
+    let mut report = Report::new();
+    if input.elements() == 0 {
+        report.push(Diagnostic::error(
+            codes::SHAPE_ZERO_DIM,
+            format!("network input {input:?} has a zero dimension"),
+        ));
+        return report;
+    }
+    let mut shape = input;
+    for layer in layers {
+        let next = match layer.op {
+            LayerOp::Conv(d) => check_conv_dims(&mut report, &layer.name, &d, false, shape),
+            LayerOp::DepthwiseConv(d) => {
+                check_conv_dims(&mut report, &layer.name, &d, true, shape)
+            }
+            LayerOp::Fc {
+                in_features,
+                out_features,
+            } => {
+                if in_features == 0 || out_features == 0 {
+                    report.push(Diagnostic::error(
+                        codes::SHAPE_ZERO_DIM,
+                        format!("fc `{}` has zero features", layer.name),
+                    ));
+                    None
+                } else {
+                    let accepted = match shape {
+                        FeatureShape::Flat { features } => features == in_features,
+                        FeatureShape::Image { channels, .. } => {
+                            channels == in_features || shape.elements() == in_features
+                        }
+                    };
+                    if !accepted {
+                        report.push(Diagnostic::error(
+                            codes::SHAPE_FC_MISMATCH,
+                            format!(
+                                "fc `{}` expects {in_features} input features, \
+                                 got {shape:?}",
+                                layer.name
+                            ),
+                        ));
+                    }
+                    Some(FeatureShape::Flat {
+                        features: out_features,
+                    })
+                }
+            }
+        };
+        match next {
+            // Unrecoverable: the output shape is undefined, stop here.
+            None => return report,
+            Some(s) => {
+                if s.elements() == 0 {
+                    report.push(Diagnostic::error(
+                        codes::SHAPE_ZERO_DIM,
+                        format!("layer `{}` produces an empty {s:?}", layer.name),
+                    ));
+                    return report;
+                }
+                shape = s;
+            }
+        }
+    }
+    report
+}
+
+/// Structural validation shared by [`check_arch`] and [`check_supernet`]:
+/// the cell-plan invariants and the head/stem parameters.
+fn check_structure(config: &SupernetConfig) -> Report {
+    let mut report = Report::new();
+    if config.num_cells == 0 || !config.num_cells.is_multiple_of(3) {
+        report.push(Diagnostic::error(
+            codes::ARCH_BAD_STRUCTURE,
+            format!(
+                "num_cells must be a positive multiple of 3, got {}",
+                config.num_cells
+            ),
+        ));
+    }
+    if !(1..=ALL_OPS.len()).contains(&config.top_k) {
+        report.push(Diagnostic::error(
+            codes::ARCH_BAD_STRUCTURE,
+            format!("top_k must be within 1..={}, got {}", ALL_OPS.len(), config.top_k),
+        ));
+    }
+    for (what, value) in [
+        ("in_planes", config.in_planes),
+        ("height", config.height),
+        ("width", config.width),
+        ("base_width", config.base_width),
+        ("feat_dim", config.feat_dim),
+    ] {
+        if value == 0 {
+            report.push(Diagnostic::error(
+                codes::SHAPE_ZERO_DIM,
+                format!("supernet {what} is zero"),
+            ));
+        }
+    }
+    report
+}
+
+/// Symbolic layer descriptors of one candidate operator at `shape`,
+/// mirroring `a3cs_nas::build_op` / the modules' `describe` exactly.
+fn op_layer_descs(
+    choice: OpChoice,
+    name: &str,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    shape: FeatureShape,
+) -> Vec<LayerDesc> {
+    let FeatureShape::Image {
+        height: h,
+        width: w,
+        ..
+    } = shape
+    else {
+        return Vec::new();
+    };
+    let conv = |n: &str, ic: usize, oc: usize, k: usize, s: usize, p: usize, ih, iw| LayerDesc {
+        name: n.to_string(),
+        op: LayerOp::Conv(ConvDims {
+            in_ch: ic,
+            out_ch: oc,
+            kernel: k,
+            stride: s,
+            padding: p,
+            in_h: ih,
+            in_w: iw,
+        }),
+    };
+    match choice {
+        OpChoice::Conv { kernel } => {
+            vec![conv(
+                &format!("{name}.conv{kernel}"),
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                kernel / 2,
+                h,
+                w,
+            )]
+        }
+        OpChoice::InvertedResidual { kernel, expansion } => {
+            let hidden = in_ch * expansion;
+            let mut descs = Vec::new();
+            if expansion != 1 {
+                descs.push(conv(&format!("{name}.expand"), in_ch, hidden, 1, 1, 0, h, w));
+            }
+            let (dh, dw_) = (
+                conv_out(h, kernel, stride, kernel / 2).unwrap_or(0),
+                conv_out(w, kernel, stride, kernel / 2).unwrap_or(0),
+            );
+            descs.push(LayerDesc {
+                name: format!("{name}.dw"),
+                op: LayerOp::DepthwiseConv(ConvDims {
+                    in_ch: hidden,
+                    out_ch: hidden,
+                    kernel,
+                    stride,
+                    padding: kernel / 2,
+                    in_h: h,
+                    in_w: w,
+                }),
+            });
+            descs.push(conv(&format!("{name}.project"), hidden, out_ch, 1, 1, 0, dh, dw_));
+            descs
+        }
+        OpChoice::Skip => {
+            if in_ch == out_ch && stride == 1 {
+                Vec::new()
+            } else {
+                vec![conv(&format!("{name}.skip_proj"), in_ch, out_ch, 1, stride, 0, h, w)]
+            }
+        }
+    }
+}
+
+/// Symbolic layer descriptors of the architecture `choices` derives from
+/// `config` — the stem, one operator per cell, and the feature head —
+/// without instantiating a single weight.
+///
+/// Returns `Err` with the structural report when the configuration or the
+/// choice arity is invalid (shapes cannot even be proposed).
+///
+/// # Errors
+///
+/// The invalid-structure [`Report`] (codes `A3CS-E004`/`E006`/`E007`).
+pub fn arch_layer_descs(
+    config: &SupernetConfig,
+    choices: &[OpChoice],
+) -> Result<Vec<LayerDesc>, Report> {
+    let mut report = check_structure(config);
+    if report.is_clean() && choices.len() != config.num_cells {
+        report.push(Diagnostic::error(
+            codes::ARCH_CHOICE_ARITY,
+            format!(
+                "need exactly one operator choice per cell: \
+                 {} cells, {} choices",
+                config.num_cells,
+                choices.len()
+            ),
+        ));
+    }
+    if !report.is_clean() {
+        return Err(report);
+    }
+    let mut descs = vec![LayerDesc {
+        name: "stem".to_string(),
+        op: LayerOp::Conv(ConvDims {
+            in_ch: config.in_planes,
+            out_ch: config.base_width,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            in_h: config.height,
+            in_w: config.width,
+        }),
+    }];
+    let mut shape = descs[0].output_shape();
+    for (ci, (&choice, &(in_ch, out_ch, stride))) in
+        choices.iter().zip(config.cell_plan().iter()).enumerate()
+    {
+        let cell = op_layer_descs(choice, &format!("c{ci}.{choice}"), in_ch, out_ch, stride, shape);
+        if let Some(last) = cell.last() {
+            shape = last.output_shape();
+        }
+        descs.extend(cell);
+    }
+    // GlobalAvgPool folds Image{channels} -> Flat{channels}; the fc head
+    // consumes head_width features.
+    descs.push(LayerDesc {
+        name: "head.fc".to_string(),
+        op: LayerOp::Fc {
+            in_features: config.head_width(),
+            out_features: config.feat_dim,
+        },
+    });
+    Ok(descs)
+}
+
+/// Statically verify the architecture `choices` derives from `config`:
+/// structure, choice arity, then full shape propagation.
+#[must_use]
+pub fn check_arch(config: &SupernetConfig, choices: &[OpChoice]) -> Report {
+    match arch_layer_descs(config, choices) {
+        Err(report) => report,
+        Ok(descs) => check_layers(
+            &descs,
+            FeatureShape::image(config.in_planes, config.height, config.width),
+        ),
+    }
+}
+
+/// Statically verify a supernet configuration: structure, then shape
+/// propagation through *every* candidate operator of *every* cell (all
+/// `9^num_cells` derivable architectures share these per-cell shapes, so
+/// this covers each of them without enumeration).
+#[must_use]
+pub fn check_supernet(config: &SupernetConfig) -> Report {
+    let mut report = check_structure(config);
+    if !report.is_clean() {
+        return report;
+    }
+    let input = FeatureShape::image(config.in_planes, config.height, config.width);
+    for &probe in &ALL_OPS {
+        let uniform = vec![probe; config.num_cells];
+        match arch_layer_descs(config, &uniform) {
+            Err(r) => report.merge(r),
+            Ok(descs) => report.merge(check_layers(&descs, input)),
+        }
+        if !report.is_clean() {
+            // One bad operator family is enough to reject; avoid
+            // repeating the same mismatch nine times.
+            return report;
+        }
+    }
+    report
+}
+
+/// Depth (compute-layer count) of the deepest architecture derivable from
+/// `config`: stem + three layers per cell (expanded inverted residual) +
+/// the fc head. Used to size DAS assignment knobs.
+#[must_use]
+pub fn max_arch_depth(config: &SupernetConfig) -> usize {
+    3 * config.num_cells + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_desc(in_ch: usize, out_ch: usize, k: usize, s: usize, hw: usize) -> LayerDesc {
+        LayerDesc {
+            name: "t".into(),
+            op: LayerOp::Conv(ConvDims {
+                in_ch,
+                out_ch,
+                kernel: k,
+                stride: s,
+                padding: k / 2,
+                in_h: hw,
+                in_w: hw,
+            }),
+        }
+    }
+
+    #[test]
+    fn valid_chain_is_clean() {
+        let layers = vec![conv_desc(3, 8, 3, 2, 12), conv_desc(8, 16, 3, 1, 6)];
+        let report = check_layers(&layers, FeatureShape::image(3, 12, 12));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn channel_mismatch_is_e002() {
+        let layers = vec![conv_desc(3, 8, 3, 2, 12), conv_desc(16, 16, 3, 1, 6)];
+        let report = check_layers(&layers, FeatureShape::image(3, 12, 12));
+        assert!(!report.is_clean());
+        assert!(report.has_code(codes::SHAPE_INPUT_MISMATCH), "{report}");
+    }
+
+    #[test]
+    fn oversized_kernel_is_e003() {
+        let mut layer = conv_desc(3, 8, 7, 1, 2);
+        if let LayerOp::Conv(d) = &mut layer.op {
+            d.padding = 0;
+        }
+        let report = check_layers(&[layer], FeatureShape::image(3, 2, 2));
+        assert!(report.has_code(codes::SHAPE_KERNEL_TOO_LARGE), "{report}");
+    }
+
+    #[test]
+    fn zero_input_is_e004() {
+        let report = check_layers(&[conv_desc(3, 8, 3, 1, 8)], FeatureShape::image(3, 0, 8));
+        assert!(report.has_code(codes::SHAPE_ZERO_DIM), "{report}");
+    }
+
+    #[test]
+    fn fc_mismatch_is_e005_and_gap_fold_is_accepted() {
+        let fc = |in_features| LayerDesc {
+            name: "fc".into(),
+            op: LayerOp::Fc {
+                in_features,
+                out_features: 10,
+            },
+        };
+        // channels == in_features: implicit global-average-pool, clean.
+        let ok = check_layers(
+            &[conv_desc(3, 32, 3, 1, 4), fc(32)],
+            FeatureShape::image(3, 4, 4),
+        );
+        assert!(ok.is_clean(), "{ok}");
+        // elements == in_features: implicit flatten, clean.
+        let flat = check_layers(
+            &[conv_desc(3, 32, 3, 1, 4), fc(32 * 16)],
+            FeatureShape::image(3, 4, 4),
+        );
+        assert!(flat.is_clean(), "{flat}");
+        let bad = check_layers(
+            &[conv_desc(3, 32, 3, 1, 4), fc(33)],
+            FeatureShape::image(3, 4, 4),
+        );
+        assert!(bad.has_code(codes::SHAPE_FC_MISMATCH), "{bad}");
+    }
+
+    #[test]
+    fn flat_input_to_conv_is_e001() {
+        let report = check_layers(
+            &[conv_desc(3, 8, 3, 1, 8)],
+            FeatureShape::Flat { features: 192 },
+        );
+        assert!(report.has_code(codes::SHAPE_NOT_IMAGE), "{report}");
+    }
+
+    #[test]
+    fn tiny_and_paper_supernets_are_clean() {
+        for config in [
+            SupernetConfig::tiny(3, 12, 12),
+            SupernetConfig::paper(4, 12, 12),
+        ] {
+            let report = check_supernet(&config);
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    #[test]
+    fn bad_cell_count_is_e006() {
+        let mut config = SupernetConfig::tiny(3, 12, 12);
+        config.num_cells = 5;
+        let report = check_supernet(&config);
+        assert!(report.has_code(codes::ARCH_BAD_STRUCTURE), "{report}");
+    }
+
+    #[test]
+    fn choice_arity_is_e007() {
+        let config = SupernetConfig::tiny(3, 12, 12);
+        let report = check_arch(&config, &[OpChoice::Skip]);
+        assert!(report.has_code(codes::ARCH_CHOICE_ARITY), "{report}");
+    }
+
+    #[test]
+    fn arch_descs_match_the_real_derived_backbone() {
+        use a3cs_nas::derive_backbone;
+        let config = SupernetConfig::tiny(3, 12, 12);
+        for &op in &ALL_OPS {
+            let choices = vec![op; config.num_cells];
+            let symbolic = arch_layer_descs(&config, &choices).expect("valid arch");
+            let real = derive_backbone(&config, &choices, 7).layer_descs();
+            assert_eq!(symbolic.len(), real.len(), "{op}");
+            for (s, r) in symbolic.iter().zip(real.iter()) {
+                assert_eq!(s.op, r.op, "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_bounds_every_derivable_arch() {
+        let config = SupernetConfig::tiny(3, 12, 12);
+        for &op in &ALL_OPS {
+            let descs =
+                arch_layer_descs(&config, &vec![op; config.num_cells]).expect("valid");
+            assert!(descs.len() <= max_arch_depth(&config));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests for the static verification pass: everything the search
+//! engines actually produce must pass the checker, and every class of
+//! broken input must be rejected with its stable diagnostic code.
+
+use a3cs_accel::{
+    tiny_space, CostWeights, DasConfig, DasEngine, FpgaTarget, RandomSearch, SearchSpace,
+};
+use a3cs_check::{
+    check_accelerator, check_accelerator_structure, check_arch, check_layers, check_search_setup,
+    check_supernet, codes, max_arch_depth,
+};
+use a3cs_nas::{SupernetConfig, ALL_OPS};
+use a3cs_nn::{ConvDims, FeatureShape, LayerDesc, LayerOp};
+use proptest::prelude::*;
+
+fn conv(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, hw: usize) -> LayerDesc {
+    LayerDesc {
+        name: "l".into(),
+        op: LayerOp::Conv(ConvDims {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding: kernel / 2,
+            in_h: hw,
+            in_w: hw,
+        }),
+    }
+}
+
+fn proxy_layers(n: usize) -> Vec<LayerDesc> {
+    (0..n).map(|i| conv(8 + i, 8 + i + 1, 3, 1, 12)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever RandomSearch returns as its best design passes the full
+    /// legality check: the engine's rejection sampling and assignment
+    /// repair line up exactly with the checker's notion of legal.
+    #[test]
+    fn random_search_best_is_fully_legal(
+        seed in 0u64..1_000,
+        chunks in 1usize..4,
+        layers in 1usize..7,
+    ) {
+        let target = FpgaTarget::zc706();
+        let descs = proxy_layers(layers);
+        let mut rs = RandomSearch::new(tiny_space(), chunks, CostWeights::default(), seed);
+        for _ in 0..12 {
+            rs.step(&descs, &target);
+        }
+        let (best, _) = rs.best().expect("12 steps produce a best");
+        let report = check_accelerator(best, layers, &target);
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    /// DAS-decoded designs are structurally sound (contiguous assignment,
+    /// no degenerate chunks) for any seed and proxy depth.
+    #[test]
+    fn das_best_is_structurally_sound(
+        seed in 0u64..1_000,
+        layers in 1usize..7,
+    ) {
+        let config = DasConfig {
+            space: tiny_space(),
+            num_chunks: 2,
+            max_layers: 8,
+            ..DasConfig::default()
+        };
+        let target = FpgaTarget::zc706();
+        let descs = proxy_layers(layers);
+        let mut das = DasEngine::new(config, seed);
+        for _ in 0..8 {
+            let _ = das.step(&descs, &target);
+        }
+        let best = das.best(layers);
+        let report = check_accelerator_structure(&best, layers);
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    /// Every architecture derivable from the tiny supernet — any choice of
+    /// the 9 operators per cell — passes symbolic shape inference.
+    #[test]
+    fn derivable_architectures_are_shape_clean(
+        idx in prop::collection::vec(0usize..ALL_OPS.len(), 6),
+    ) {
+        let config = SupernetConfig::tiny(3, 12, 12);
+        let choices: Vec<_> = idx.iter().map(|&i| ALL_OPS[i]).collect();
+        let report = check_arch(&config, &choices);
+        prop_assert!(report.is_clean(), "{choices:?}: {report}");
+    }
+
+    /// Search setups with non-degenerate knobs and enough assignment
+    /// coverage always pass; shrinking max_layers below the deepest
+    /// derivable net always fails with the stable code.
+    #[test]
+    fn setup_coverage_check_is_exact(extra in 0usize..8) {
+        let config = SupernetConfig::tiny(3, 12, 12);
+        let required = max_arch_depth(&config);
+        let ok = check_search_setup(&tiny_space(), 2, required + extra, required);
+        prop_assert!(ok.is_clean(), "{ok}");
+        let short = check_search_setup(&tiny_space(), 2, required - 1, required);
+        prop_assert!(short.has_code(codes::ACCEL_DEPTH_EXCEEDS_KNOBS));
+    }
+}
+
+// ---- negative tests: each invalid-input class yields its stable code ----
+
+#[test]
+fn shape_mismatch_is_rejected_with_e002() {
+    // 16-channel output feeding a layer that expects 8 input channels.
+    let layers = vec![conv(3, 16, 3, 1, 12), conv(8, 16, 3, 1, 12)];
+    let report = check_layers(&layers, FeatureShape::image(3, 12, 12));
+    assert!(report.has_code(codes::SHAPE_INPUT_MISMATCH), "{report}");
+}
+
+#[test]
+fn oversized_kernel_is_rejected_with_e003() {
+    // 7x7 kernel with padding 3 is fine on 12x12 but a kernel larger than
+    // the padded input must be flagged.
+    let layers = vec![LayerDesc {
+        name: "big".into(),
+        op: LayerOp::Conv(ConvDims {
+            in_ch: 3,
+            out_ch: 8,
+            kernel: 15,
+            stride: 1,
+            padding: 0,
+            in_h: 12,
+            in_w: 12,
+        }),
+    }];
+    let report = check_layers(&layers, FeatureShape::image(3, 12, 12));
+    assert!(report.has_code(codes::SHAPE_KERNEL_TOO_LARGE), "{report}");
+}
+
+#[test]
+fn dsp_overflow_is_rejected_with_e101() {
+    let space = SearchSpace {
+        pe_rows: vec![64],
+        pe_cols: vec![64],
+        ..tiny_space()
+    };
+    let choices = vec![0; space.knob_sizes(1, 1).len()];
+    let accel = space.decode(1, 1, &choices);
+    let report = check_accelerator(&accel, 1, &FpgaTarget::zc706());
+    assert!(report.has_code(codes::ACCEL_DSP_OVERFLOW), "{report}");
+}
+
+#[test]
+fn bram_overflow_is_rejected_with_e102() {
+    let space = SearchSpace {
+        buffer_totals_kb: vec![4096],
+        ..tiny_space()
+    };
+    let choices = vec![0; space.knob_sizes(1, 1).len()];
+    let accel = space.decode(1, 1, &choices);
+    let report = check_accelerator(&accel, 1, &FpgaTarget::zc706());
+    assert!(report.has_code(codes::ACCEL_BRAM_OVERFLOW), "{report}");
+}
+
+#[test]
+fn noncontiguous_assignment_is_rejected_with_e105() {
+    let space = tiny_space();
+    let knobs = space.chunk_knob_sizes().len();
+    let mut choices = vec![0; space.knob_sizes(2, 3).len()];
+    // Assignment [1, 0, 1]: layer 1 jumps back to an earlier chunk.
+    choices[2 * knobs] = 1;
+    choices[2 * knobs + 1] = 0;
+    choices[2 * knobs + 2] = 1;
+    let accel = space.decode(2, 3, &choices);
+    let report = check_accelerator_structure(&accel, 3);
+    assert!(
+        report.has_code(codes::ACCEL_ASSIGNMENT_NONCONTIGUOUS),
+        "{report}"
+    );
+}
+
+#[test]
+fn illegal_tiling_setup_is_rejected_with_e106() {
+    let space = SearchSpace {
+        tm: vec![0, 8],
+        ..tiny_space()
+    };
+    let report = check_search_setup(&space, 2, 8, 4);
+    assert!(report.has_code(codes::ACCEL_ILLEGAL_TILING), "{report}");
+}
+
+#[test]
+fn broken_supernet_config_is_rejected_with_e006() {
+    let mut config = SupernetConfig::tiny(3, 12, 12);
+    config.num_cells = 4; // not a multiple of 3
+    let report = check_supernet(&config);
+    assert!(report.has_code(codes::ARCH_BAD_STRUCTURE), "{report}");
+}

@@ -39,5 +39,5 @@ mod pipeline;
 mod result;
 
 pub use config::{CoSearchConfig, SearchScheme};
-pub use pipeline::{per_op_costs, CoSearch};
+pub use pipeline::{per_op_costs, preflight, CoSearch};
 pub use result::CoSearchResult;

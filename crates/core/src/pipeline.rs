@@ -3,6 +3,7 @@
 use crate::config::{CoSearchConfig, SearchScheme};
 use crate::result::CoSearchResult;
 use a3cs_accel::{DasEngine, PerfModel};
+use a3cs_check::{check_search_setup, check_supernet, max_arch_depth, Report};
 use a3cs_drl::{
     a2c_losses, clip_grad_norm, evaluate, ActorCritic, Adam, DistillConfig, DistillMode,
     EnvFactory, EvalProtocol, LrSchedule, Optimizer, RmsProp, RolloutRunner,
@@ -61,6 +62,25 @@ pub fn per_op_costs(
         .collect()
 }
 
+/// Static pre-flight verification of a co-search configuration: symbolic
+/// shape inference over every operator the supernet can derive, plus
+/// legality of the accelerator search setup (knob lists, chunk count,
+/// assignment coverage of the deepest derivable network).
+///
+/// Runs in O(config) — no tensors are allocated and no search step is
+/// taken — so it is cheap enough to gate every [`CoSearch`] construction.
+#[must_use]
+pub fn preflight(config: &CoSearchConfig) -> Report {
+    let mut report = check_supernet(&config.supernet);
+    report.merge(check_search_setup(
+        &config.das.space,
+        config.das.num_chunks,
+        config.das.max_layers,
+        max_arch_depth(&config.supernet),
+    ));
+    report
+}
+
 /// The co-search driver: owns the supernet agent, the DAS engine and the
 /// two optimisers (RMSProp for `θ`, Adam for `α` — paper Section V-A).
 pub struct CoSearch {
@@ -73,13 +93,36 @@ pub struct CoSearch {
 
 impl CoSearch {
     /// Construct a fresh co-search with its own supernet and `φ`
+    /// distribution, after the [`preflight`] gate passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full diagnostic [`Report`] when the configuration fails
+    /// any static check, so callers can print every problem at once
+    /// instead of fixing them one panic at a time.
+    pub fn try_new(config: CoSearchConfig, seed: u64) -> Result<Self, Report> {
+        let report = preflight(&config);
+        if !report.is_clean() {
+            return Err(report);
+        }
+        Ok(Self::build(config, seed))
+    }
+
+    /// Construct a fresh co-search with its own supernet and `φ`
     /// distribution.
     ///
     /// # Panics
     ///
-    /// Panics if the supernet configuration is structurally invalid.
+    /// Panics if the configuration fails the static [`preflight`] checks.
     #[must_use]
     pub fn new(config: CoSearchConfig, seed: u64) -> Self {
+        match Self::try_new(config, seed) {
+            Ok(search) => search,
+            Err(report) => panic!("co-search pre-flight failed:\n{report}"),
+        }
+    }
+
+    fn build(config: CoSearchConfig, seed: u64) -> Self {
         let supernet = Rc::new(SuperNet::new(config.supernet, seed));
         let (p, h, w) = (
             config.supernet.in_planes,
@@ -375,6 +418,39 @@ mod tests {
         }
         // Identity skips (stride-1, equal channels) are exactly free.
         assert_eq!(costs[1][skip_idx], 0.0);
+    }
+
+    #[test]
+    fn preflight_accepts_the_stock_configs() {
+        assert!(preflight(&tiny_config(300)).is_clean());
+        assert!(preflight(&CoSearchConfig::paper(4, 84, 84, 6)).is_clean());
+    }
+
+    #[test]
+    fn preflight_rejects_a_broken_cell_count() {
+        let mut cfg = tiny_config(300);
+        cfg.supernet.num_cells = 5; // not a multiple of 3
+        let report = preflight(&cfg);
+        assert!(!report.is_clean());
+        assert!(report.has_code(a3cs_check::codes::ARCH_BAD_STRUCTURE));
+        assert!(CoSearch::try_new(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn preflight_rejects_insufficient_assignment_coverage() {
+        let mut cfg = tiny_config(300);
+        cfg.das.max_layers = 3; // far fewer than the deepest derivable net
+        let report = preflight(&cfg);
+        assert!(report.has_code(a3cs_check::codes::ACCEL_DEPTH_EXCEEDS_KNOBS));
+        assert!(CoSearch::try_new(cfg, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "co-search pre-flight failed")]
+    fn new_panics_on_preflight_failure() {
+        let mut cfg = tiny_config(300);
+        cfg.das.num_chunks = 0;
+        let _ = CoSearch::new(cfg, 0);
     }
 
     #[test]

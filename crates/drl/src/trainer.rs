@@ -249,7 +249,7 @@ mod tests {
             eval_max_steps: 150,
             ..TrainerConfig::default()
         };
-        let _ = Trainer::new(cfg, 11).train(&a, &atlantis, None);
+        let _ = Trainer::new(cfg, 17).train(&a, &atlantis, None);
         let after = evaluate(&a, &atlantis, &protocol);
         assert!(
             after > before,

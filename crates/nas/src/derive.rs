@@ -1,5 +1,6 @@
 //! Deriving the final (fixed) network from a finished search.
 
+use crate::error::NasError;
 use crate::ops::{build_op, OpChoice};
 use crate::supernet::SupernetConfig;
 use a3cs_nn::{
@@ -13,17 +14,23 @@ use a3cs_nn::{
 /// The derived network keeps the supernet's stem, cell plan and head; only
 /// the per-cell operator varies.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `choices.len()` does not equal the configured cell count.
-#[must_use]
-pub fn derive_backbone(config: &SupernetConfig, choices: &[OpChoice], seed: u64) -> Backbone {
-    let plan = config.cell_plan();
-    assert_eq!(
-        choices.len(),
-        plan.len(),
-        "need exactly one operator choice per cell"
-    );
+/// [`NasError::InvalidCellCount`] when the configuration has no valid cell
+/// plan; [`NasError::ChoiceArityMismatch`] when `choices.len()` does not
+/// equal the configured cell count.
+pub fn try_derive_backbone(
+    config: &SupernetConfig,
+    choices: &[OpChoice],
+    seed: u64,
+) -> Result<Backbone, NasError> {
+    let plan = config.try_cell_plan()?;
+    if choices.len() != plan.len() {
+        return Err(NasError::ChoiceArityMismatch {
+            expected: plan.len(),
+            actual: choices.len(),
+        });
+    }
     let mut net = Sequential::new()
         .push(Conv2d::new(
             "a3cs.stem",
@@ -56,12 +63,26 @@ pub fn derive_backbone(config: &SupernetConfig, choices: &[OpChoice], seed: u64)
             seed.wrapping_add(911),
         ))
         .push(Relu::new());
-    Backbone::from_parts(
+    Ok(Backbone::from_parts(
         "A3C-S",
         net,
         FeatureShape::image(config.in_planes, config.height, config.width),
         config.feat_dim,
-    )
+    ))
+}
+
+/// Panicking convenience wrapper around [`try_derive_backbone`].
+///
+/// # Panics
+///
+/// Panics if `choices.len()` does not equal the configured cell count or
+/// the configuration has no valid cell plan.
+#[must_use]
+pub fn derive_backbone(config: &SupernetConfig, choices: &[OpChoice], seed: u64) -> Backbone {
+    match try_derive_backbone(config, choices, seed) {
+        Ok(backbone) => backbone,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +145,29 @@ mod tests {
     fn wrong_choice_count_panics() {
         let cfg = SupernetConfig::tiny(3, 12, 12);
         let _ = derive_backbone(&cfg, &[OpChoice::Skip], 0);
+    }
+
+    #[test]
+    fn try_derive_reports_structured_errors() {
+        use crate::error::NasError;
+        let cfg = SupernetConfig::tiny(3, 12, 12);
+        assert_eq!(
+            try_derive_backbone(&cfg, &[OpChoice::Skip], 0).err(),
+            Some(NasError::ChoiceArityMismatch {
+                expected: 6,
+                actual: 1,
+            })
+        );
+        let mut bad = cfg;
+        bad.num_cells = 5;
+        assert_eq!(
+            try_derive_backbone(&bad, &vec![OpChoice::Skip; 5], 0).err(),
+            Some(NasError::InvalidCellCount { num_cells: 5 })
+        );
+        assert_eq!(
+            bad.try_cell_plan().err(),
+            Some(NasError::InvalidCellCount { num_cells: 5 })
+        );
+        assert!(try_derive_backbone(&cfg, &vec![OpChoice::Skip; 6], 0).is_ok());
     }
 }

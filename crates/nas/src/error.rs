@@ -1,0 +1,55 @@
+//! Structured errors for supernet/architecture construction.
+
+use std::fmt;
+
+/// Why a supernet configuration or derivation request is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NasError {
+    /// `num_cells` is not a positive multiple of 3.
+    InvalidCellCount {
+        /// The offending cell count.
+        num_cells: usize,
+    },
+    /// An operator-choice vector does not match the cell count.
+    ChoiceArityMismatch {
+        /// Cells in the plan.
+        expected: usize,
+        /// Choices provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NasError::InvalidCellCount { num_cells } => write!(
+                f,
+                "num_cells must be a positive multiple of 3 (3 groups), got {num_cells}"
+            ),
+            NasError::ChoiceArityMismatch { expected, actual } => write!(
+                f,
+                "need exactly one operator choice per cell: {expected} cells, {actual} choices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_the_legacy_substrings() {
+        let cell = NasError::InvalidCellCount { num_cells: 5 };
+        assert!(cell
+            .to_string()
+            .contains("num_cells must be a positive multiple of 3 (3 groups)"));
+        let arity = NasError::ChoiceArityMismatch {
+            expected: 6,
+            actual: 1,
+        };
+        assert!(arity.to_string().contains("one operator choice per cell"));
+    }
+}

@@ -37,12 +37,14 @@
 
 mod arch;
 mod derive;
+mod error;
 mod gumbel;
 mod ops;
 mod supernet;
 
 pub use arch::ArchParams;
-pub use derive::derive_backbone;
+pub use derive::{derive_backbone, try_derive_backbone};
+pub use error::NasError;
 pub use gumbel::{GumbelSoftmax, TemperatureSchedule};
 pub use ops::{build_op, search_space_size, OpChoice, ALL_OPS};
 pub use supernet::{SuperNet, SupernetConfig};

@@ -2,6 +2,7 @@
 //! (top-K) backward (paper Eq. 6–7).
 
 use crate::arch::ArchParams;
+use crate::error::NasError;
 use crate::gumbel::{GumbelSoftmax, TemperatureSchedule};
 use crate::ops::{build_op, OpChoice, ALL_OPS};
 use a3cs_nn::{
@@ -72,15 +73,16 @@ impl SupernetConfig {
 
     /// `(in_ch, out_ch, stride)` for each searchable cell.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `num_cells` is a positive multiple of 3.
-    #[must_use]
-    pub fn cell_plan(&self) -> Vec<(usize, usize, usize)> {
-        assert!(
-            self.num_cells > 0 && self.num_cells % 3 == 0,
-            "num_cells must be a positive multiple of 3 (3 groups)"
-        );
+    /// [`NasError::InvalidCellCount`] unless `num_cells` is a positive
+    /// multiple of 3.
+    pub fn try_cell_plan(&self) -> Result<Vec<(usize, usize, usize)>, NasError> {
+        if self.num_cells == 0 || self.num_cells % 3 != 0 {
+            return Err(NasError::InvalidCellCount {
+                num_cells: self.num_cells,
+            });
+        }
         let per_group = self.num_cells / 3;
         let widths = [self.base_width, self.base_width * 2, self.base_width * 4];
         let mut plan = Vec::with_capacity(self.num_cells);
@@ -92,7 +94,21 @@ impl SupernetConfig {
                 in_ch = w;
             }
         }
-        plan
+        Ok(plan)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`SupernetConfig::try_cell_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_cells` is a positive multiple of 3.
+    #[must_use]
+    pub fn cell_plan(&self) -> Vec<(usize, usize, usize)> {
+        match self.try_cell_plan() {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Feature width entering the head (`4w`).

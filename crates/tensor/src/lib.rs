@@ -36,7 +36,7 @@ mod var;
 
 pub use grad_check::{check_gradients, numeric_gradient, GradCheckReport};
 pub use linalg::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry};
-pub use shape::{num_elements, strides_for, ShapeError};
+pub use shape::{checked_num_elements, num_elements, strides_for, ShapeError, SizeOverflowError};
 pub use tape::Tape;
 pub use tensor::Tensor;
 pub use var::Var;

@@ -14,11 +14,53 @@ pub struct ShapeError {
 impl ShapeError {
     pub(crate) fn new(shape: &[usize], actual: usize) -> Self {
         Self {
-            expected: num_elements(shape),
+            // A shape whose product overflows can never be satisfied by
+            // real data; saturate so the error message stays meaningful.
+            expected: checked_num_elements(shape).unwrap_or(usize::MAX),
             actual,
             shape: shape.to_vec(),
         }
     }
+}
+
+/// Error returned when a shape's element count overflows `usize`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeOverflowError {
+    shape: Vec<usize>,
+}
+
+impl fmt::Display for SizeOverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape {:?} has more elements than usize can represent",
+            self.shape
+        )
+    }
+}
+
+impl Error for SizeOverflowError {}
+
+/// Total number of elements implied by `shape`, erroring on overflow
+/// instead of silently wrapping in release builds.
+///
+/// # Errors
+///
+/// [`SizeOverflowError`] when the product exceeds `usize::MAX`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(a3cs_tensor::checked_num_elements(&[2, 3, 4]), Ok(24));
+/// assert!(a3cs_tensor::checked_num_elements(&[usize::MAX, 2]).is_err());
+/// ```
+pub fn checked_num_elements(shape: &[usize]) -> Result<usize, SizeOverflowError> {
+    shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| SizeOverflowError {
+            shape: shape.to_vec(),
+        })
 }
 
 impl fmt::Display for ShapeError {
@@ -95,5 +137,28 @@ mod tests {
         let err = ShapeError::new(&[2, 2], 3);
         let msg = err.to_string();
         assert!(msg.contains('4') && msg.contains('3'), "{msg}");
+    }
+
+    #[test]
+    fn checked_num_elements_matches_unchecked_when_small() {
+        for shape in [&[][..], &[3][..], &[2, 3, 4][..], &[3, 0, 2][..]] {
+            assert_eq!(checked_num_elements(shape), Ok(num_elements(shape)));
+        }
+    }
+
+    #[test]
+    fn checked_num_elements_errors_on_overflow() {
+        let err = checked_num_elements(&[usize::MAX, 2]).unwrap_err();
+        assert!(err.to_string().contains("more elements"), "{err}");
+        // Overflow in a middle factor, even when a later dim is zero:
+        // the product is computed left-to-right, so this must also error
+        // rather than "rescue" itself through the zero.
+        assert!(checked_num_elements(&[usize::MAX, 3, 0]).is_err());
+    }
+
+    #[test]
+    fn shape_error_saturates_on_overflowing_shape() {
+        let err = ShapeError::new(&[usize::MAX, 2], 3);
+        assert_eq!(err.expected, usize::MAX);
     }
 }

@@ -84,9 +84,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`ShapeError`] if `data.len()` does not equal the number of
-    /// elements implied by `shape`.
+    /// elements implied by `shape`, including when that number overflows
+    /// `usize` (no real buffer can satisfy such a shape).
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, ShapeError> {
-        if data.len() != num_elements(shape) {
+        let expected = crate::shape::checked_num_elements(shape);
+        if expected != Ok(data.len()) {
             return Err(ShapeError::new(shape, data.len()));
         }
         Ok(Tensor {
@@ -478,6 +480,17 @@ mod tests {
     fn from_vec_checks_len() {
         assert!(Tensor::from_vec(vec![1.0; 4], &[2, 2]).is_ok());
         assert!(Tensor::from_vec(vec![1.0; 3], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn from_vec_rejects_overflowing_shapes() {
+        // The product wraps modulo 2^64 in release arithmetic; the
+        // checked path must reject it instead of trusting the wrap.
+        assert!(Tensor::from_vec(vec![1.0; 2], &[usize::MAX, 2]).is_err());
+        // A wrap that lands exactly on data.len() would be accepted by
+        // unchecked arithmetic — (2^63)*2 wraps to 0, so pair it with an
+        // empty buffer.
+        assert!(Tensor::from_vec(Vec::new(), &[usize::MAX / 2 + 1, 2]).is_err());
     }
 
     #[test]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local verification gate: build, test, static lint ratchet, and a
+# clippy-clean a3cs-check crate. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> a3cs-check lint ratchet"
+cargo run -q -p a3cs-check --bin lint
+
+echo "==> clippy (a3cs-check, -D warnings)"
+cargo clippy -q -p a3cs-check --all-targets --no-deps -- -D warnings
+
+echo "all checks passed"

@@ -10,6 +10,7 @@
 //! - [`drl`]: A2C training with AC-distillation (Eq. 10–12);
 //! - [`nas`]: the Gumbel-Softmax supernet (Eq. 6–7);
 //! - [`accel`]: the accelerator template, predictor and DAS (Eq. 9);
+//! - [`check`]: static shape inference, accelerator legality and lints;
 //! - [`core`]: the joint co-search pipeline (Alg. 1).
 //!
 //! # Quickstart
@@ -28,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub use a3cs_accel as accel;
+pub use a3cs_check as check;
 pub use a3cs_core as core;
 pub use a3cs_drl as drl;
 pub use a3cs_envs as envs;

@@ -1,0 +1,253 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API slice the workspace benches use — `Criterion` with
+//! `warm_up_time`/`measurement_time`/`sample_size`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock loop: calibrate with one iteration, scale the iteration
+//! count to the measurement budget, report the mean time per iteration.
+//! No statistics, plots, or result persistence.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for criterion compatibility.
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times one routine; handed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` only, rebuilding its input with `setup` each
+    /// iteration (setup time is excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up budget.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Set the measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Set the nominal sample count (bounds the iteration count).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Calibrate: single iterations until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_secs(1);
+        loop {
+            f(&mut bencher);
+            per_iter = per_iter.min(bencher.elapsed.max(Duration::from_nanos(1)));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+
+        // Measure: as many iterations as fit the budget, bounded so a
+        // mis-calibration cannot hang the run.
+        let budget = self.measurement.as_nanos();
+        let iters = (budget / per_iter.as_nanos().max(1))
+            .clamp(1, (self.sample_size.max(1) as u128) * 5_000) as u64;
+        bencher.iters = iters;
+        f(&mut bencher);
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        println!("{id:<44} time: [{}]  ({iters} iters)", format_ns(mean_ns));
+        self
+    }
+
+    /// Start a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// End the group (no-op; kept for criterion compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function. Supports both the plain form
+/// `criterion_group!(benches, f, g)` and the configured form
+/// `criterion_group!{name = benches; config = ...; targets = f, g}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main()` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut calls = 0u64;
+        quick().bench_function("counting", |bench| {
+            bench.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        quick().bench_function("batched", |bench| {
+            bench.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(setups > 0);
+        assert_eq!(setups, runs);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut criterion = quick();
+        let mut group = criterion.benchmark_group("grp");
+        group.bench_function("inner", |bench| bench.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build container has no crates.io access, so this crate hand-rolls
+//! the two derives against the vendored `serde` facade (a JSON-shaped
+//! `Value` data model) without `syn`/`quote`. Supported shapes — the only
+//! ones the workspace uses:
+//!
+//! - structs with named fields (no generics),
+//! - enums whose variants are all unit variants (no generics).
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed skeleton of the item being derived for.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+/// Skip one attribute (`#` already consumed by the caller peeking it):
+/// consumes the `#` and the following bracket group.
+fn skip_attribute<I: Iterator<Item = TokenTree>>(iter: &mut std::iter::Peekable<I>) {
+    iter.next(); // '#'
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Bracket {
+            iter.next();
+        }
+    }
+}
+
+/// Parse the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    let kind = loop {
+        match iter.peek() {
+            None => return Err("derive input ended before `struct`/`enum`".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attribute(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    iter.next();
+                    break word;
+                }
+                // `pub`, `pub(crate)`, `crate`, etc.
+                iter.next();
+            }
+            Some(_) => {
+                iter.next();
+            }
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    match iter.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("generic type `{name}` is not supported by the vendored derive"));
+        }
+        _ => {}
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple struct `{name}` is not supported by the vendored derive"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("unit struct `{name}` is not supported by the vendored derive"));
+            }
+            Some(_) => {}
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_struct_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_enum_variants(body)?,
+        })
+    }
+}
+
+/// Split `body` on top-level commas (commas nested inside `<...>` or any
+/// group do not count; groups arrive pre-matched in the token tree).
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty chunk list").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(body) {
+        let mut iter = chunk.into_iter().peekable();
+        // Skip attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attribute(&mut iter),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(body) {
+        let mut iter = chunk.into_iter().peekable();
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attribute(&mut iter),
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        if iter.next().is_some() {
+            return Err(format!(
+                "variant `{name}` carries data; the vendored derive only supports unit variants"
+            ));
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+/// Derive `serde::Serialize` (vendored facade: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut obj = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match *self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (vendored facade:
+/// `fn from_value(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field({f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => \
+                                  ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"unknown {name} variant: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
