@@ -1,0 +1,121 @@
+//! Criterion benches for the deterministic parallel execution layer:
+//! conv2d forward/backward, rollout collection and evaluation, each at one
+//! thread (exact sequential fallback) and at four threads.
+//!
+//! `threadpool::with_threads` pins the thread count per measurement so the
+//! comparison is self-contained regardless of `A3CS_THREADS`.
+
+use a3cs_drl::{evaluate, ActorCritic, EvalProtocol, RolloutRunner};
+use a3cs_envs::{Breakout, Environment};
+use a3cs_nn::resnet;
+use a3cs_tensor::{Conv2dGeometry, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn resnet20_agent() -> ActorCritic {
+    let backbone = resnet(20, 3, 12, 12, 8, 32, 7);
+    ActorCritic::new(Box::new(backbone), 32, (3, 12, 12), 3, 7)
+}
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let geom = Conv2dGeometry {
+        in_channels: 16,
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        in_h: 12,
+        in_w: 12,
+    };
+    let x_t = Tensor::randn(&[8, 16, 12, 12], 0.5, 3);
+    let w_t = Tensor::randn(&[16, 16, 3, 3], 0.5, 4);
+
+    let mut group = c.benchmark_group("par_conv2d_forward");
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("{threads}_threads"), |bench| {
+            bench.iter_batched(
+                Tape::new,
+                |tape| {
+                    threadpool::with_threads(threads, || {
+                        let x = tape.leaf(x_t.clone());
+                        let w = tape.leaf(w_t.clone());
+                        black_box(x.conv2d(&w, geom).value());
+                    });
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("par_conv2d_forward_backward");
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("{threads}_threads"), |bench| {
+            bench.iter_batched(
+                Tape::new,
+                |tape| {
+                    threadpool::with_threads(threads, || {
+                        let x = tape.leaf(x_t.clone());
+                        let w = tape.leaf(w_t.clone());
+                        x.conv2d(&w, geom).square().sum().backward();
+                        black_box(w.grad());
+                    });
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_rollout(c: &mut Criterion) {
+    let agent = resnet20_agent();
+    let mut group = c.benchmark_group("par_rollout_collect");
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("{threads}_threads"), |bench| {
+            bench.iter(|| {
+                threadpool::with_threads(threads, || {
+                    let mut runner = RolloutRunner::new(&factory, 8, 11);
+                    black_box(runner.collect(&agent, 5));
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let agent = resnet20_agent();
+    let protocol = EvalProtocol {
+        episodes: 4,
+        max_steps: 40,
+        ..EvalProtocol::default()
+    };
+    let mut group = c.benchmark_group("par_evaluate");
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("{threads}_threads"), |bench| {
+            bench.iter(|| {
+                threadpool::with_threads(threads, || {
+                    black_box(evaluate(&agent, &factory, &protocol));
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_conv, bench_rollout, bench_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! 1-thread vs N-thread baseline for the deterministic parallel execution
+//! layer: rollout collection, evaluation and conv2d forward/backward on the
+//! ResNet-20 workload, with a bit-equivalence check per entry.
+//!
+//! Emits `BENCH_par.json` in the working directory. Speedups depend on the
+//! machine's core count (`available_cores` in the JSON); determinism does
+//! not — `identical` must be `true` for every entry everywhere.
+//!
+//! ```sh
+//! cargo run --release -p a3cs-bench --bin bench_par
+//! ```
+
+use a3cs_bench::setup::{agent_with, build_backbone, factory_for, game_info};
+use a3cs_drl::{evaluate, ActorCritic, EvalProtocol, RolloutRunner};
+use a3cs_tensor::{Conv2dGeometry, Tape, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Threads for the parallel leg (the acceptance workload compares 4 vs 1).
+const PAR_THREADS: usize = 4;
+/// Timed repetitions per leg (best-of, after one warm-up run).
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct Entry {
+    name: String,
+    seq_ms: f64,
+    par_ms: f64,
+    speedup: f64,
+    /// Bit-identical output across thread counts (must always hold).
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    threads_seq: usize,
+    threads_par: usize,
+    /// Cores visible to this process; speedup is bounded by this.
+    available_cores: usize,
+    entries: Vec<Entry>,
+}
+
+/// Time `work` at a fixed thread count: one warm-up, then best of [`REPS`],
+/// returning (milliseconds, output fingerprint).
+fn time_at<T: PartialEq>(threads: usize, work: &dyn Fn() -> T) -> (f64, T) {
+    threadpool::with_threads(threads, || {
+        let mut out = work();
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            out = work();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        (best, out)
+    })
+}
+
+fn entry<T: PartialEq>(name: &str, work: &dyn Fn() -> T) -> Entry {
+    let (seq_ms, seq_out) = time_at(1, work);
+    let (par_ms, par_out) = time_at(PAR_THREADS, work);
+    let e = Entry {
+        name: name.to_owned(),
+        seq_ms,
+        par_ms,
+        speedup: seq_ms / par_ms,
+        identical: seq_out == par_out,
+    };
+    println!(
+        "{:>32}  seq {:8.2} ms  par {:8.2} ms  speedup {:.2}x  identical: {}",
+        e.name, e.seq_ms, e.par_ms, e.speedup, e.identical
+    );
+    e
+}
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|x| x.to_bits()).collect()
+}
+
+fn resnet20_agent(seed: u64) -> ActorCritic {
+    let info = game_info("Breakout");
+    agent_with(build_backbone("ResNet-20", &info, seed), &info, seed)
+}
+
+fn main() {
+    let agent = resnet20_agent(7);
+    let info = game_info("Breakout");
+    let obs_len = info.planes * info.height * info.width;
+    let factory = factory_for("Breakout");
+    let available_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!(
+        "parallel-layer baseline: ResNet-20 on Breakout, {PAR_THREADS} threads vs 1 \
+         ({available_cores} cores available)\n"
+    );
+
+    let entries = vec![
+        entry("rollout_collect_8x5", &|| {
+            let mut runner = RolloutRunner::new(&factory, 8, 11);
+            let r = runner.collect(&agent, 5);
+            (r.actions, bits(&r.rewards), bits(&r.observations))
+        }),
+        entry("conv2d_forward_batch8", &|| {
+            // Full ResNet-20 forward: every conv in the backbone, batch 8.
+            let batch: Vec<f32> = (0..8 * obs_len).map(|i| (i % 17) as f32 * 0.05).collect();
+            bits(agent.policy_probs(&batch, 8).data())
+        }),
+        entry("conv2d_forward_backward_batch8", &|| {
+            // One representative ResNet-20 body convolution, fwd + bwd.
+            let geom = Conv2dGeometry {
+                in_channels: 16,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 12,
+                in_w: 12,
+            };
+            let tape = Tape::new();
+            let x = tape.leaf(Tensor::randn(&[8, 16, 12, 12], 0.5, 3));
+            let w = tape.leaf(Tensor::randn(&[16, 16, 3, 3], 0.5, 4));
+            let y = x.conv2d(&w, geom);
+            y.square().sum().backward();
+            let grad_bits = |g: Option<Tensor>| g.map(|t| bits(t.data()));
+            (bits(y.value().data()), grad_bits(w.grad()), grad_bits(x.grad()))
+        }),
+        entry("evaluate_6_episodes", &|| {
+            let protocol = EvalProtocol {
+                episodes: 6,
+                max_steps: 60,
+                ..EvalProtocol::default()
+            };
+            evaluate(&agent, &factory, &protocol).to_bits()
+        }),
+    ];
+
+    let all_identical = entries.iter().all(|e| e.identical);
+    let baseline = Baseline {
+        threads_seq: 1,
+        threads_par: PAR_THREADS,
+        available_cores,
+        entries,
+    };
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_par.json", json + "\n") {
+                eprintln!("warning: cannot write BENCH_par.json: {e}");
+            } else {
+                println!("\n(baseline written to BENCH_par.json)");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise baseline: {e}"),
+    }
+    assert!(all_identical, "parallel output diverged from sequential");
+}

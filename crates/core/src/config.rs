@@ -65,6 +65,10 @@ pub struct CoSearchConfig {
     pub eval_episodes: usize,
     /// Step cap per evaluation episode.
     pub eval_max_steps: usize,
+    /// Worker threads for rollout/eval/conv fan-out (`None`: keep the
+    /// process default — `A3CS_THREADS` or the core count). Results are
+    /// bit-identical for every setting; this only trades wall-clock.
+    pub threads: Option<usize>,
 }
 
 impl CoSearchConfig {
@@ -93,6 +97,7 @@ impl CoSearchConfig {
             eval_every: 2_000,
             eval_episodes: 10,
             eval_max_steps: 300,
+            threads: None,
         }
     }
 

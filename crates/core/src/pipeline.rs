@@ -11,16 +11,8 @@ use a3cs_drl::{
 use a3cs_envs::wrappers::{ClipReward, EpisodeLimit};
 use a3cs_envs::Environment;
 use a3cs_nas::SuperNet;
-use a3cs_nn::Param;
 use a3cs_tensor::{Tape, Tensor};
 use std::rc::Rc;
-
-/// Accumulate `grad` into a parameter's gradient storage (the same
-/// injection path [`a3cs_drl::clip_grad_norm`] uses internally).
-fn add_grad(param: &Param, grad: Tensor) {
-    let tape = Tape::new();
-    param.bind(&tape).backward_with(grad);
-}
 
 /// Layer-wise hardware cost of every candidate operator of every supernet
 /// cell on `accel` (Eq. 8's `L_cost^{α_i^l}`): the cycle count of the
@@ -123,6 +115,11 @@ impl CoSearch {
     }
 
     fn build(config: CoSearchConfig, seed: u64) -> Self {
+        if let Some(n) = config.threads {
+            // First caller wins: the pool is process-global, and results
+            // are bit-identical for every thread count anyway.
+            let _ = threadpool::configure_global(n);
+        }
         let supernet = Rc::new(SuperNet::new(config.supernet, seed));
         let (p, h, w) = (
             config.supernet.in_planes,
@@ -177,7 +174,7 @@ impl CoSearch {
             let num_ops = cell_costs.len();
             let mut grad = Tensor::zeros(&[num_ops]);
             grad.data_mut()[activated] = self.config.lambda * rel;
-            add_grad(self.supernet.arch().cell(cell_idx), grad);
+            self.supernet.arch().cell(cell_idx).accumulate_grad(&grad);
         }
     }
 
@@ -251,7 +248,10 @@ impl CoSearch {
                     if iteration % 2 == 0 {
                         (&mut train_runner, true, false)
                     } else {
-                        (val_runner.as_mut().expect("bilevel has val runner"), false, true)
+                        match val_runner.as_mut() {
+                            Some(runner) => (runner, false, true),
+                            None => unreachable!("bilevel scheme constructs a validation runner"),
+                        }
                     }
                 }
                 _ => (&mut train_runner, true, true),

@@ -73,6 +73,7 @@ impl ActorCritic {
     ///
     /// Panics if `obs` is not `[N, planes, height, width]` for this agent's
     /// observation shape.
+    #[must_use]
     pub fn forward(&self, tape: &Tape, obs: &Var, train: bool) -> (Var, Var) {
         let s = obs.shape();
         let (p, h, w) = self.obs_shape;
@@ -128,8 +129,16 @@ impl ActorCritic {
     #[must_use]
     pub fn obs_tensor(&self, obs_batch: &[f32], n: usize) -> Tensor {
         let (p, h, w) = self.obs_shape;
-        Tensor::from_vec(obs_batch.to_vec(), &[n, p, h, w])
-            .expect("observation batch length mismatch")
+        assert_eq!(
+            obs_batch.len(),
+            n * p * h * w,
+            "observation batch length {} does not match [{n}, {p}, {h}, {w}]",
+            obs_batch.len()
+        );
+        match Tensor::from_vec(obs_batch.to_vec(), &[n, p, h, w]) {
+            Ok(t) => t,
+            Err(e) => unreachable!("length asserted above: {e:?}"),
+        }
     }
 
     /// All learnable parameters (backbone + both heads).

@@ -1,8 +1,18 @@
 //! The paper's evaluation protocol: average score over 30 episodes with
 //! null-op starts (Section V-A).
+//!
+//! # Determinism
+//!
+//! Episodes run as lockstep lanes: every still-active episode advances one
+//! step per iteration, with the batched policy forward on the calling thread
+//! and env stepping fanned out across the pool. Each episode owns an RNG
+//! stream derived only from `(protocol.seed, episode)`, and the final score
+//! sum runs in episode order on the calling thread, so the result is
+//! bit-identical for every thread count and independent of `episodes`
+//! (episode `i` scores the same whether 1 or 30 episodes run).
 
-use crate::agent::ActorCritic;
-use crate::rollout::EnvFactory;
+use crate::agent::{sample_index, ActorCritic};
+use crate::rollout::{lane_stream_seed, EnvFactory};
 use a3cs_envs::wrappers::{EpisodeLimit, NoopStart};
 use a3cs_envs::Environment;
 use rand::rngs::StdRng;
@@ -42,32 +52,83 @@ impl Default for EvalProtocol {
 /// *not* clipped, matching how the paper reports test scores.
 #[must_use]
 pub fn evaluate(agent: &ActorCritic, factory: &EnvFactory<'_>, protocol: &EvalProtocol) -> f32 {
-    let mut total = 0.0f64;
-    let mut rng = StdRng::seed_from_u64(protocol.seed ^ 0x5bd1_e995);
-    for ep in 0..protocol.episodes {
-        let seed = protocol.seed.wrapping_add(ep as u64);
-        let env = factory(seed);
-        let mut env = EpisodeLimit::new(
-            NoopStart::new(env, protocol.noop_max, seed ^ 0xabcd),
-            protocol.max_steps,
-        );
-        let mut obs = env.reset();
-        let mut episode = 0.0f64;
-        loop {
-            let action = if protocol.greedy {
-                agent.act_greedy(&obs, 1)[0]
-            } else {
-                agent.act(&obs, 1, &mut rng)[0]
-            };
-            let out = env.step(action);
-            episode += f64::from(out.reward);
-            if out.done {
-                break;
-            }
-            obs = out.observation;
-        }
-        total += episode;
+    if protocol.episodes == 0 {
+        return 0.0;
     }
+
+    struct EvalLane {
+        env: EpisodeLimit<NoopStart<Box<dyn Environment>>>,
+        rng: StdRng,
+        obs: Vec<f32>,
+        score: f64,
+        done: bool,
+    }
+
+    let mut lanes: Vec<EvalLane> = (0..protocol.episodes)
+        .map(|ep| {
+            let seed = protocol.seed.wrapping_add(ep as u64);
+            let mut env = EpisodeLimit::new(
+                NoopStart::new(factory(seed), protocol.noop_max, seed ^ 0xabcd),
+                protocol.max_steps,
+            );
+            let obs = env.reset();
+            EvalLane {
+                env,
+                rng: StdRng::seed_from_u64(lane_stream_seed(
+                    protocol.seed ^ 0x5bd1_e995,
+                    ep as u64,
+                )),
+                obs,
+                score: 0.0,
+                done: false,
+            }
+        })
+        .collect();
+
+    let n_actions = agent.n_actions();
+    loop {
+        let active = lanes.iter().filter(|l| !l.done).count();
+        if active == 0 {
+            break;
+        }
+        // Batch the still-active lanes in episode order; the policy forward
+        // is row-independent, so each lane's action distribution does not
+        // depend on which other lanes are still alive.
+        let mut batch = Vec::new();
+        for lane in lanes.iter().filter(|l| !l.done) {
+            batch.extend_from_slice(&lane.obs);
+        }
+        let (probs, greedy_actions) = if protocol.greedy {
+            (None, Some(agent.act_greedy(&batch, active)))
+        } else {
+            (Some(agent.policy_probs(&batch, active)), None)
+        };
+        let probs_data = probs.as_ref().map(|p| p.data());
+
+        let mut slots: Vec<&mut EvalLane> = lanes.iter_mut().filter(|l| !l.done).collect();
+        threadpool::current().parallel_chunks_mut(&mut slots, |start, chunk| {
+            for (i, lane) in chunk.iter_mut().enumerate() {
+                let row = start + i;
+                let action = match (probs_data, &greedy_actions) {
+                    (Some(pd), _) => {
+                        sample_index(&pd[row * n_actions..(row + 1) * n_actions], &mut lane.rng)
+                    }
+                    (None, Some(acts)) => acts[row],
+                    (None, None) => 0,
+                };
+                let out = lane.env.step(action);
+                lane.score += f64::from(out.reward);
+                if out.done {
+                    lane.done = true;
+                } else {
+                    lane.obs = out.observation;
+                }
+            }
+        });
+    }
+
+    // Deterministic reduction: sum scores in episode order on this thread.
+    let total: f64 = lanes.iter().map(|l| l.score).sum();
     (total / protocol.episodes as f64) as f32
 }
 
@@ -109,6 +170,46 @@ mod tests {
         let p2 = EvalProtocol { seed: 2, ..p1 };
         // Not a hard guarantee, but overwhelmingly likely on a stochastic game.
         assert_ne!(evaluate(&a, &factory, &p1), evaluate(&a, &factory, &p2));
+    }
+
+    #[test]
+    fn evaluation_bit_identical_across_thread_counts() {
+        let a = agent(3, 3, 5);
+        let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
+        let protocol = EvalProtocol {
+            episodes: 4,
+            max_steps: 60,
+            ..EvalProtocol::default()
+        };
+        let seq = threadpool::with_threads(1, || evaluate(&a, &factory, &protocol));
+        let par = threadpool::with_threads(4, || evaluate(&a, &factory, &protocol));
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn episode_scores_independent_of_episode_count() {
+        // Episode i's RNG stream and environment seed depend only on
+        // (protocol.seed, i), so adding more episodes must not perturb
+        // earlier ones: the 1-episode average (exactly episode 0's score)
+        // must be recoverable from the 2-episode average in f64.
+        let a = agent(3, 3, 1);
+        let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
+        let p1 = EvalProtocol {
+            episodes: 1,
+            max_steps: 60,
+            ..EvalProtocol::default()
+        };
+        let p2 = EvalProtocol { episodes: 2, ..p1 };
+        let ep0 = f64::from(evaluate(&a, &factory, &p1));
+        let avg2 = f64::from(evaluate(&a, &factory, &p2));
+        let ep1 = 2.0 * avg2 - ep0;
+        // Scores on this game are small integers of f32-exact rewards, so
+        // the reconstruction is exact if episode 0 was undisturbed.
+        assert!(
+            (ep1 - ep1.round()).abs() < 1e-6,
+            "episode 0 score changed when a second episode was added: \
+             ep0={ep0} avg2={avg2}"
+        );
     }
 
     #[test]

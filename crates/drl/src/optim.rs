@@ -17,12 +17,42 @@ pub trait Optimizer {
     fn lr(&self) -> f32;
 }
 
+/// Identity of the parameter an optimiser state slot was created for.
+///
+/// Moment buffers are only meaningful for the exact parameter they
+/// accumulated over, so state is keyed to `(name, shape)` and rebuilt from
+/// scratch whenever the parameter list stops matching — a same-length list
+/// of different parameters must not silently reuse stale moments.
+#[derive(PartialEq, Eq)]
+struct ParamKey {
+    name: String,
+    shape: Vec<usize>,
+}
+
+impl ParamKey {
+    fn of(p: &Param) -> Self {
+        ParamKey {
+            name: p.name().to_string(),
+            shape: p.shape(),
+        }
+    }
+
+    fn matches(&self, p: &Param) -> bool {
+        self.name == p.name() && self.shape == p.shape()
+    }
+}
+
+fn keys_match(keys: &[ParamKey], params: &[Param]) -> bool {
+    keys.len() == params.len() && keys.iter().zip(params).all(|(k, p)| k.matches(p))
+}
+
 /// RMSProp as used for DRL training in the paper (following DQN/A3C
 /// practice): squared-gradient moving average, no momentum.
 pub struct RmsProp {
     lr: f32,
     alpha: f32,
     eps: f32,
+    keys: Vec<ParamKey>,
     square_avg: Vec<Tensor>,
 }
 
@@ -35,6 +65,7 @@ impl RmsProp {
             lr,
             alpha: 0.99,
             eps: 1e-5,
+            keys: Vec::new(),
             square_avg: Vec::new(),
         }
     }
@@ -42,21 +73,24 @@ impl RmsProp {
 
 impl Optimizer for RmsProp {
     fn step(&mut self, params: &[Param]) {
-        if self.square_avg.len() != params.len() {
-            self.square_avg = params
-                .iter()
-                .map(|p| Tensor::zeros(p.value().shape()))
-                .collect();
+        if !keys_match(&self.keys, params) {
+            self.keys = params.iter().map(ParamKey::of).collect();
+            self.square_avg = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
         }
+        let (lr, alpha, eps) = (self.lr, self.alpha, self.eps);
         for (p, s) in params.iter().zip(self.square_avg.iter_mut()) {
             let g = p.grad();
-            for i in 0..g.len() {
-                let gi = g.data()[i];
-                let si = self.alpha * s.data()[i] + (1.0 - self.alpha) * gi * gi;
-                s.data_mut()[i] = si;
-                let delta = self.lr * gi / (si.sqrt() + self.eps);
-                p.update(|t| t.data_mut()[i] -= delta);
-            }
+            let gd = g.data();
+            let sd = s.data_mut();
+            // One vectorised pass per tensor: update the moving average and
+            // apply the delta element-by-element in a single traversal.
+            p.update(|t| {
+                for ((tv, si), &gi) in t.data_mut().iter_mut().zip(sd.iter_mut()).zip(gd) {
+                    let s_new = alpha * *si + (1.0 - alpha) * gi * gi;
+                    *si = s_new;
+                    *tv -= lr * gi / (s_new.sqrt() + eps);
+                }
+            });
             p.zero_grad();
         }
     }
@@ -77,7 +111,12 @@ pub struct Adam {
     beta1: f32,
     beta2: f32,
     eps: f32,
-    step_count: u64,
+    /// `β1^t` and `β2^t`, maintained incrementally in `f64` so bias
+    /// correction stays exact on arbitrarily long runs (the previous
+    /// `powi(step_count as i32)` wrapped once `step_count` exceeded `i32`).
+    beta1_pow: f64,
+    beta2_pow: f64,
+    keys: Vec<ParamKey>,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
 }
@@ -91,7 +130,9 @@ impl Adam {
             beta1: 0.9,
             beta2: 0.999,
             eps: 1e-8,
-            step_count: 0,
+            beta1_pow: 1.0,
+            beta2_pow: 1.0,
+            keys: Vec::new(),
             m: Vec::new(),
             v: Vec::new(),
         }
@@ -100,29 +141,39 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &[Param]) {
-        if self.m.len() != params.len() {
-            self.m = params
-                .iter()
-                .map(|p| Tensor::zeros(p.value().shape()))
-                .collect();
+        if !keys_match(&self.keys, params) {
+            // A different parameter list is a different optimisation
+            // problem: reset the moments and the bias-correction clock.
+            self.keys = params.iter().map(ParamKey::of).collect();
+            self.m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
             self.v = self.m.clone();
+            self.beta1_pow = 1.0;
+            self.beta2_pow = 1.0;
         }
-        self.step_count += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.step_count as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.step_count as i32);
+        self.beta1_pow *= f64::from(self.beta1);
+        self.beta2_pow *= f64::from(self.beta2);
+        let bc1 = (1.0 - self.beta1_pow) as f32;
+        let bc2 = (1.0 - self.beta2_pow) as f32;
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
         for ((p, m), v) in params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
             let g = p.grad();
-            for i in 0..g.len() {
-                let gi = g.data()[i];
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
-                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
-                let mhat = mi / bc1;
-                let vhat = vi / bc2;
-                let delta = self.lr * mhat / (vhat.sqrt() + self.eps);
-                p.update(|t| t.data_mut()[i] -= delta);
-            }
+            let gd = g.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            // One vectorised pass per tensor over (value, m, v, grad).
+            p.update(|t| {
+                for (((tv, mi), vi), &gi) in
+                    t.data_mut().iter_mut().zip(md.iter_mut()).zip(vd.iter_mut()).zip(gd)
+                {
+                    let m_new = beta1 * *mi + (1.0 - beta1) * gi;
+                    let v_new = beta2 * *vi + (1.0 - beta2) * gi * gi;
+                    *mi = m_new;
+                    *vi = v_new;
+                    let mhat = m_new / bc1;
+                    let vhat = v_new / bc2;
+                    *tv -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
             p.zero_grad();
         }
     }
@@ -144,22 +195,10 @@ pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            let scaled = p.grad().scale(scale);
-            p.zero_grad();
-            p_set_grad(p, scaled);
+            p.set_grad(p.grad().scale(scale));
         }
     }
     norm
-}
-
-fn p_set_grad(p: &Param, grad: Tensor) {
-    // Params expose gradient accumulation through backward passes only; for
-    // clipping we zero and inject via a trivial tape pass.
-    use a3cs_tensor::Tape;
-    let tape = Tape::new();
-    let v = p.bind(&tape);
-    // d(sum(v * c))/dv = c, so seeding with `grad` as the constant works:
-    v.backward_with(grad);
 }
 
 /// The paper's learning-rate schedule: constant for the first
@@ -228,6 +267,72 @@ mod tests {
         let mut opt = RmsProp::new(0.01);
         quadratic_step(&mut opt, &p);
         assert_eq!(p.grad().item(), 0.0);
+    }
+
+    /// One quadratic step on `p`, returning how much the value moved.
+    fn one_step_delta(opt: &mut dyn Optimizer, p: &Param) -> f32 {
+        let before = p.value().item();
+        quadratic_step(opt, p);
+        p.value().item() - before
+    }
+
+    #[test]
+    fn rmsprop_resets_state_for_different_same_length_param_list() {
+        // Warm up state on parameter "a", then step a *different* parameter
+        // of the same length: the step must match a fresh optimiser exactly
+        // (stale moment buffers used to be silently reused).
+        let mut warm = RmsProp::new(0.1);
+        let a = Param::new("a", Tensor::scalar(50.0));
+        for _ in 0..5 {
+            quadratic_step(&mut warm, &a);
+        }
+        let b = Param::new("b", Tensor::scalar(0.0));
+        let warm_delta = one_step_delta(&mut warm, &b);
+
+        let mut fresh = RmsProp::new(0.1);
+        let b2 = Param::new("b", Tensor::scalar(0.0));
+        let fresh_delta = one_step_delta(&mut fresh, &b2);
+        assert_eq!(warm_delta, fresh_delta);
+    }
+
+    #[test]
+    fn adam_resets_state_for_different_same_length_param_list() {
+        let mut warm = Adam::new(0.2);
+        let a = Param::new("a", Tensor::scalar(50.0));
+        for _ in 0..5 {
+            quadratic_step(&mut warm, &a);
+        }
+        let b = Param::new("b", Tensor::scalar(0.0));
+        let warm_delta = one_step_delta(&mut warm, &b);
+
+        let mut fresh = Adam::new(0.2);
+        let b2 = Param::new("b", Tensor::scalar(0.0));
+        let fresh_delta = one_step_delta(&mut fresh, &b2);
+        assert_eq!(warm_delta, fresh_delta);
+    }
+
+    #[test]
+    fn optimizer_state_persists_for_matching_param_list() {
+        // Same (name, shape) list across steps must keep its moments: the
+        // second step of RMSProp on a constant gradient differs from the
+        // first only if square_avg persisted.
+        let p = Param::new("p", Tensor::scalar(0.0));
+        let mut opt = RmsProp::new(0.1);
+        let d1 = {
+            let before = p.value().item();
+            let tape = Tape::new();
+            p.bind(&tape).sum().backward(); // grad = 1
+            opt.step(std::slice::from_ref(&p));
+            p.value().item() - before
+        };
+        let d2 = {
+            let before = p.value().item();
+            let tape = Tape::new();
+            p.bind(&tape).sum().backward(); // grad = 1 again
+            opt.step(std::slice::from_ref(&p));
+            p.value().item() - before
+        };
+        assert_ne!(d1, d2, "state must persist across matching steps");
     }
 
     #[test]

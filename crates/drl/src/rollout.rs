@@ -1,11 +1,30 @@
 //! Rollout collection: step `n` environments for `L` steps under the
 //! current policy (the inner loop of Alg. 1).
+//!
+//! # Determinism
+//!
+//! Each lane samples actions from its own RNG stream, split from the runner
+//! seed by [`lane_stream_seed`], so lane `e`'s trajectory depends only on
+//! `(seed, e)` — never on how many lanes run beside it or on how lanes are
+//! partitioned across worker threads. Policy forwards happen on the calling
+//! thread (the tape is not `Sync`); only env stepping and action sampling
+//! fan out.
 
-use crate::agent::ActorCritic;
+use crate::agent::{sample_index, ActorCritic};
 use a3cs_envs::Environment;
 use a3cs_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Seed for lane `lane`'s action-sampling stream: a SplitMix64-style
+/// finalizer over the runner seed and lane index, so streams are
+/// decorrelated and depend only on `(seed, lane)`.
+pub(crate) fn lane_stream_seed(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ 0x9e37_79b9_7f4a_7c15 ^ lane.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Factory producing fresh seeded environments (training uses one per
 /// parallel lane, evaluation creates independent copies).
@@ -56,15 +75,38 @@ impl Rollout {
 #[must_use]
 pub fn batch_to_tensor(data: &[f32], n: usize, shape: (usize, usize, usize)) -> Tensor {
     let (p, h, w) = shape;
-    Tensor::from_vec(data.to_vec(), &[n, p, h, w]).expect("batch length mismatch")
+    assert_eq!(
+        data.len(),
+        n * p * h * w,
+        "batch length {} does not match [{n}, {p}, {h}, {w}]",
+        data.len()
+    );
+    match Tensor::from_vec(data.to_vec(), &[n, p, h, w]) {
+        Ok(t) => t,
+        Err(e) => unreachable!("length asserted above: {e:?}"),
+    }
+}
+
+/// Per-lane mutable state handed to one worker for a single step.
+struct LaneSlot<'a> {
+    env: &'a mut Box<dyn Environment>,
+    rng: &'a mut StdRng,
+    obs: &'a mut Vec<f32>,
+    action: &'a mut usize,
+    reward: &'a mut f32,
+    done: &'a mut bool,
 }
 
 /// Persistent rollout state: keeps environments (and their mid-episode
 /// state) alive across successive [`collect_rollout`] calls.
+///
+/// Each lane owns an action-sampling RNG stream split from the runner seed
+/// (see the module docs), so collected data is bit-identical for every
+/// thread count and lane trajectories are independent of the lane count.
 pub struct RolloutRunner {
     envs: Vec<Box<dyn Environment>>,
     current_obs: Vec<Vec<f32>>,
-    rng: StdRng,
+    lane_rngs: Vec<StdRng>,
 }
 
 impl RolloutRunner {
@@ -80,10 +122,13 @@ impl RolloutRunner {
             .map(|i| factory(seed.wrapping_add(i as u64)))
             .collect();
         let current_obs = envs.iter_mut().map(|e| e.reset()).collect();
+        let lane_rngs = (0..n_envs)
+            .map(|i| StdRng::seed_from_u64(lane_stream_seed(seed, i as u64)))
+            .collect();
         RolloutRunner {
             envs,
             current_obs,
-            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            lane_rngs,
         }
     }
 
@@ -96,32 +141,75 @@ impl RolloutRunner {
     /// Observation length of the wrapped environments.
     #[must_use]
     pub fn obs_len(&self) -> usize {
-        self.envs[0].observation_len()
+        self.envs.first().map_or(0, |e| e.observation_len())
     }
 
     /// Collect an `len`-step rollout under `agent`'s stochastic policy.
+    ///
+    /// The batched policy forward runs on the calling thread; action
+    /// sampling and environment stepping fan out per lane across the
+    /// [`threadpool::current`] pool with bit-identical results for any
+    /// thread count.
     pub fn collect(&mut self, agent: &ActorCritic, len: usize) -> Rollout {
         let n = self.envs.len();
+        let n_actions = agent.n_actions();
         let obs_len = self.obs_len();
         let mut observations = Vec::with_capacity((len + 1) * n * obs_len);
-        let mut actions = Vec::with_capacity(len * n);
-        let mut rewards = Vec::with_capacity(len * n);
-        let mut dones = Vec::with_capacity(len * n);
+        let mut actions = vec![0usize; len * n];
+        let mut rewards = vec![0.0f32; len * n];
+        let mut dones = vec![false; len * n];
 
-        for _ in 0..len {
+        for t in 0..len {
             let mut step_obs = Vec::with_capacity(n * obs_len);
             for o in &self.current_obs {
                 step_obs.extend_from_slice(o);
             }
-            let acts = agent.act(&step_obs, n, &mut self.rng);
+            let probs = agent.policy_probs(&step_obs, n);
             observations.extend_from_slice(&step_obs);
-            for (e, (&a, env)) in acts.iter().zip(self.envs.iter_mut()).enumerate() {
-                let out = env.step(a);
-                actions.push(a);
-                rewards.push(out.reward);
-                dones.push(out.done);
-                self.current_obs[e] = if out.done { env.reset() } else { out.observation };
-            }
+
+            let step = t * n..(t + 1) * n;
+            let (actions_t, rewards_t, dones_t) = (
+                &mut actions[step.clone()],
+                &mut rewards[step.clone()],
+                &mut dones[step],
+            );
+            let mut slots: Vec<LaneSlot<'_>> = self
+                .envs
+                .iter_mut()
+                .zip(self.lane_rngs.iter_mut())
+                .zip(self.current_obs.iter_mut())
+                .zip(
+                    actions_t
+                        .iter_mut()
+                        .zip(rewards_t.iter_mut())
+                        .zip(dones_t.iter_mut()),
+                )
+                .map(|(((env, rng), obs), ((action, reward), done))| LaneSlot {
+                    env,
+                    rng,
+                    obs,
+                    action,
+                    reward,
+                    done,
+                })
+                .collect();
+            let pd = probs.data();
+            threadpool::current().parallel_chunks_mut(&mut slots, |start, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let lane = start + i;
+                    let row = &pd[lane * n_actions..(lane + 1) * n_actions];
+                    let a = sample_index(row, slot.rng);
+                    let out = slot.env.step(a);
+                    *slot.action = a;
+                    *slot.reward = out.reward;
+                    *slot.done = out.done;
+                    *slot.obs = if out.done {
+                        slot.env.reset()
+                    } else {
+                        out.observation
+                    };
+                }
+            });
         }
         // Bootstrap observations (post-rollout states).
         for o in &self.current_obs {
@@ -196,6 +284,40 @@ mod tests {
         let a = agent();
         let r = collect_rollout(&a, &factory, 2, 10, 11);
         assert!(r.actions.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn lane_trajectories_independent_of_lane_count() {
+        // Lane e's trajectory must depend only on (seed, e): collecting with
+        // 2 lanes and with 4 lanes must produce bit-identical data for the
+        // two lanes they share.
+        let a = agent();
+        let r2 = collect_rollout(&a, &factory, 2, 4, 9);
+        let r4 = collect_rollout(&a, &factory, 4, 4, 9);
+        for t in 0..4 {
+            for e in 0..2 {
+                assert_eq!(r2.actions[t * 2 + e], r4.actions[t * 4 + e], "t={t} e={e}");
+                assert_eq!(
+                    r2.rewards[t * 2 + e].to_bits(),
+                    r4.rewards[t * 4 + e].to_bits(),
+                    "t={t} e={e}"
+                );
+                assert_eq!(r2.dones[t * 2 + e], r4.dones[t * 4 + e], "t={t} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn collect_bit_identical_across_thread_counts() {
+        let a = agent();
+        let run = || collect_rollout(&a, &factory, 4, 5, 13);
+        let seq = threadpool::with_threads(1, run);
+        let par = threadpool::with_threads(4, run);
+        assert_eq!(seq.actions, par.actions);
+        assert_eq!(seq.dones, par.dones);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&seq.rewards), bits(&par.rewards));
+        assert_eq!(bits(&seq.observations), bits(&par.observations));
     }
 
     #[test]

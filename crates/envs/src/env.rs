@@ -18,7 +18,11 @@ pub struct StepOutcome {
 /// Action `0` is always a no-op, which the evaluation protocol's null-op
 /// starts rely on. Implementations are deterministic given their
 /// construction seed.
-pub trait Environment {
+///
+/// Environments must be [`Send`] so rollout and evaluation lanes can step
+/// them on worker threads (implementations are plain data plus a seeded
+/// PRNG, so this costs nothing).
+pub trait Environment: Send {
     /// Display name, matching the Atari game this environment stands in
     /// for (e.g. `"Breakout"`).
     fn name(&self) -> &str;

@@ -73,6 +73,12 @@ impl Param {
         self.len() == 0
     }
 
+    /// Shape of the value tensor (without cloning it).
+    #[must_use]
+    pub fn shape(&self) -> Vec<usize> {
+        self.value.borrow().shape().to_vec()
+    }
+
     /// Snapshot of the current value.
     #[must_use]
     pub fn value(&self) -> Tensor {
@@ -104,6 +110,39 @@ impl Param {
     #[must_use]
     pub fn grad(&self) -> Tensor {
         self.grad.borrow().clone()
+    }
+
+    /// Replace the accumulated gradient (used by gradient clipping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` does not match the parameter's shape.
+    pub fn set_grad(&self, grad: Tensor) {
+        let mut g = self.grad.borrow_mut();
+        assert_eq!(
+            g.shape(),
+            grad.shape(),
+            "parameter {} gradient cannot change shape",
+            self.name
+        );
+        *g = grad;
+    }
+
+    /// Add `grad` into the accumulated gradient (used by manual gradient
+    /// injection, e.g. straight-through estimators in the co-search loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` does not match the parameter's shape.
+    pub fn accumulate_grad(&self, grad: &Tensor) {
+        let mut g = self.grad.borrow_mut();
+        assert_eq!(
+            g.shape(),
+            grad.shape(),
+            "parameter {} gradient cannot change shape",
+            self.name
+        );
+        g.add_assign(grad);
     }
 
     /// Reset the accumulated gradient to zero.
@@ -165,6 +204,26 @@ mod tests {
     fn set_value_rejects_shape_change() {
         let p = Param::new("w", Tensor::zeros(&[2]));
         p.set_value(Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn set_grad_replaces_and_accumulate_adds() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        p.set_grad(Tensor::from_vec(vec![5.0, 6.0], &[2]).unwrap());
+        assert_eq!(p.grad().data(), &[5.0, 6.0]);
+        p.accumulate_grad(&Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap());
+        assert_eq!(p.grad().data(), &[6.0, 7.0]);
+        // Optimiser-visible: the next bind/backward accumulates on top.
+        let tape = Tape::new();
+        p.bind(&tape).sum().backward();
+        assert_eq!(p.grad().data(), &[7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient cannot change shape")]
+    fn set_grad_rejects_shape_change() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.set_grad(Tensor::zeros(&[3]));
     }
 
     #[test]

@@ -4,8 +4,48 @@
 //! (ikj loop order for GEMM, im2col lowering for convolution) but make no
 //! attempt at SIMD intrinsics; the A3C-S reproduction works on deliberately
 //! small tensors.
+//!
+//! # Determinism under parallelism
+//!
+//! Above [`PAR_MIN_MACS`] multiply–accumulates, the GEMM kernels fan output
+//! rows across the [`threadpool::current`] pool. Each output row is computed
+//! entirely by one lane with the exact per-element accumulation order of the
+//! sequential loop, and rows are disjoint slices of the output buffer, so the
+//! result is bit-identical for every thread count (`A3CS_THREADS=1` included).
+//! No kernel skips `a == 0.0` entries: `0 × NaN = NaN` and `0 × ∞ = NaN` must
+//! propagate like IEEE-754 says they do.
 
 use crate::tensor::Tensor;
+
+/// Minimum multiply–accumulate count before a GEMM fans rows out across the
+/// thread pool. Below this, fork-join overhead beats the win on the small
+/// tensors this workspace uses.
+pub const PAR_MIN_MACS: usize = 16 * 1024;
+
+/// Wrap a buffer that the caller sized as exactly `m * n` elements.
+fn tensor2(data: Vec<f32>, m: usize, n: usize) -> Tensor {
+    match Tensor::from_vec(data, &[m, n]) {
+        Ok(t) => t,
+        // Callers allocate `vec![0.0; m * n]`, so the length always matches
+        // and the element count already fit in memory.
+        Err(e) => unreachable!("buffer sized by construction for [{m}, {n}]: {e:?}"),
+    }
+}
+
+/// Run `fill(row, row_slice)` for every row of `out`, fanning rows across
+/// the pool when the kernel is worth `macs` multiply–accumulates.
+fn fill_rows(out: &mut [f32], rows: usize, row_len: usize, macs: usize, fill: impl Fn(usize, &mut [f32]) + Sync) {
+    if rows == 0 || row_len == 0 {
+        return;
+    }
+    if rows >= 2 && macs >= PAR_MIN_MACS {
+        threadpool::current().parallel_fill_rows(out, rows, row_len, fill);
+    } else {
+        for (i, orow) in out.chunks_mut(row_len).enumerate() {
+            fill(i, orow);
+        }
+    }
+}
 
 /// `A[m,k] @ B[k,n] -> [m,n]`.
 ///
@@ -20,20 +60,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
+    fill_rows(&mut out, m, n, m * k * n, |i, orow| {
         let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
         for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let brow = &bd[p * n..(p + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                 *o += av * bv;
             }
         }
-    }
-    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
+    });
+    tensor2(out, m, n)
 }
 
 /// `A^T[k,m] @ B[k,n] -> [m,n]` without materialising the transpose.
@@ -49,20 +85,18 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
+    // Row-major over the output: lane-disjoint rows, and each output element
+    // still accumulates over `p` in ascending order.
+    fill_rows(&mut out, m, n, m * k * n, |i, orow| {
+        for p in 0..k {
+            let av = ad[p * m + i];
+            let brow = &bd[p * n..(p + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                 *o += av * bv;
             }
         }
-    }
-    Tensor::from_vec(out, &[m, n]).expect("matmul_at_b output shape")
+    });
+    tensor2(out, m, n)
 }
 
 /// `A[m,k] @ B^T[n,k] -> [m,n]` without materialising the transpose.
@@ -78,18 +112,18 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
+    fill_rows(&mut out, m, n, m * k * n, |i, orow| {
         let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
+        for (j, o) in orow.iter_mut().enumerate() {
             let brow = &bd[j * k..(j + 1) * k];
             let mut acc = 0.0;
             for (&av, &bv) in arow.iter().zip(brow.iter()) {
                 acc += av * bv;
             }
-            out[i * n + j] = acc;
+            *o = acc;
         }
-    }
-    Tensor::from_vec(out, &[m, n]).expect("matmul_a_bt output shape")
+    });
+    tensor2(out, m, n)
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
@@ -202,7 +236,7 @@ pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[geom.col_rows(), cols]).expect("im2col output shape")
+    tensor2(out, geom.col_rows(), cols)
 }
 
 /// Inverse of [`im2col`]: scatter-add a `[Ci*k*k, Ho*Wo]` matrix back into
@@ -273,6 +307,47 @@ mod tests {
         }
         assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
         assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_entries() {
+        // 0 × NaN must yield NaN per IEEE-754; a zero-skip fast path used to
+        // silently drop it.
+        let a = t(vec![0.0, 0.0], &[1, 2]);
+        let b = t(vec![f32::NAN, f32::INFINITY, 1.0, 2.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert!(c.data()[0].is_nan(), "0*NaN row must stay NaN");
+        assert!(c.data()[1].is_nan(), "0*inf must stay NaN");
+
+        let at = t(vec![0.0, 0.0], &[2, 1]);
+        let cat = matmul_at_b(&at, &b);
+        assert!(cat.data()[0].is_nan() && cat.data()[1].is_nan());
+
+        let bt = t(vec![f32::NAN, f32::INFINITY], &[1, 2]);
+        let cbt = matmul_a_bt(&a, &bt);
+        assert!(cbt.data()[0].is_nan());
+    }
+
+    #[test]
+    fn gemm_kernels_bit_identical_across_thread_counts() {
+        // Big enough to clear PAR_MIN_MACS so the 4-thread run really forks.
+        let a = Tensor::randn(&[40, 33], 1.0, 21);
+        let b = Tensor::randn(&[33, 37], 1.0, 22);
+        let at = Tensor::randn(&[33, 40], 1.0, 23);
+        let bt = Tensor::randn(&[37, 33], 1.0, 24);
+        assert!(40 * 33 * 37 >= PAR_MIN_MACS);
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let seq = threadpool::with_threads(1, || {
+            (matmul(&a, &b), matmul_at_b(&at, &b), matmul_a_bt(&a, &bt))
+        });
+        for threads in [2usize, 4] {
+            let par = threadpool::with_threads(threads, || {
+                (matmul(&a, &b), matmul_at_b(&at, &b), matmul_a_bt(&a, &bt))
+            });
+            assert_eq!(bits(&seq.0), bits(&par.0), "matmul threads={threads}");
+            assert_eq!(bits(&seq.1), bits(&par.1), "matmul_at_b threads={threads}");
+            assert_eq!(bits(&seq.2), bits(&par.2), "matmul_a_bt threads={threads}");
+        }
     }
 
     #[test]

@@ -4,10 +4,66 @@
 //! Every method that combines two `Var`s panics if they live on different
 //! tapes; this is always a programming error in the caller.
 
-use crate::linalg::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry};
+use crate::linalg::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, PAR_MIN_MACS};
 use crate::tape::{BackwardFn, Tape};
 use crate::tensor::Tensor;
 use std::rc::Rc;
+
+/// Wrap a buffer whose length the caller derived from `shape` itself.
+fn sized(data: Vec<f32>, shape: &[usize], what: &str) -> Tensor {
+    match Tensor::from_vec(data, shape) {
+        Ok(t) => t,
+        // Every call site allocates the buffer from the same dimensions it
+        // passes as `shape`, so the length always matches.
+        Err(e) => unreachable!("{what}: buffer sized by construction for {shape:?}: {e:?}"),
+    }
+}
+
+/// Run `f(image_index, image_chunk)` over the `n` disjoint `row_len`-sized
+/// blocks of `out`, fanning images across the pool when the op is worth
+/// `macs_per_image * n` multiply–accumulates. Per-image work is identical in
+/// either mode, so output is bit-identical for every thread count.
+fn conv_fan_out(
+    out: &mut [f32],
+    n: usize,
+    row_len: usize,
+    macs_per_image: u64,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if n == 0 || row_len == 0 {
+        return;
+    }
+    if n >= 2 && macs_per_image.saturating_mul(n as u64) >= PAR_MIN_MACS as u64 {
+        threadpool::current().parallel_fill_rows(out, n, row_len, f);
+    } else {
+        for (ni, chunk) in out.chunks_mut(row_len).enumerate() {
+            f(ni, chunk);
+        }
+    }
+}
+
+/// As [`conv_fan_out`], but over per-image slot pairs (typically an input
+/// gradient slice plus a staging slice for that image's weight gradient).
+fn conv_fan_out_slots(
+    slots: &mut [(&mut [f32], &mut [f32])],
+    macs_per_image: u64,
+    f: impl Fn(usize, &mut [f32], &mut [f32]) + Sync,
+) {
+    let n = slots.len();
+    if n == 0 {
+        return;
+    }
+    let run = |start: usize, chunk: &mut [(&mut [f32], &mut [f32])]| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            f(start + i, &mut *slot.0, &mut *slot.1);
+        }
+    };
+    if n >= 2 && macs_per_image.saturating_mul(n as u64) >= PAR_MIN_MACS as u64 {
+        threadpool::current().parallel_chunks_mut(slots, run);
+    } else {
+        run(0, slots);
+    }
+}
 
 /// A differentiable value: a reference to one node of a [`Tape`].
 ///
@@ -317,7 +373,7 @@ impl Var {
             out[r] = x.data()[r * m..(r + 1) * m].iter().sum();
         }
         self.unary(
-            Tensor::from_vec(out, &[n]).expect("sum_rows shape"),
+            sized(out, &[n], "sum_rows shape"),
             Box::new(move |g| {
                 let mut dx = vec![0.0f32; n * m];
                 for r in 0..n {
@@ -326,7 +382,7 @@ impl Var {
                         dx[r * m + c] = gv;
                     }
                 }
-                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("sum_rows grad shape"))]
+                vec![(a, sized(dx, &[n, m], "sum_rows grad shape"))]
             }),
         )
     }
@@ -359,7 +415,7 @@ impl Var {
             }
         }
         self.unary(
-            Tensor::from_vec(out, &[n, f]).expect("add_bias_row shape"),
+            sized(out, &[n, f], "add_bias_row shape"),
             Box::new(move |g| {
                 let mut db = vec![0.0f32; f];
                 for r in 0..n {
@@ -369,7 +425,7 @@ impl Var {
                 }
                 vec![
                     (a, g.clone()),
-                    (b, Tensor::from_vec(db, &[f]).expect("bias grad shape")),
+                    (b, sized(db, &[f], "bias grad shape")),
                 ]
             }),
         )
@@ -404,7 +460,7 @@ impl Var {
             }
         }
         self.unary(
-            Tensor::from_vec(out, &xs).expect("add_bias_channel shape"),
+            sized(out, &xs, "add_bias_channel shape"),
             Box::new(move |g| {
                 let mut db = vec![0.0f32; c];
                 for ni in 0..n {
@@ -415,7 +471,7 @@ impl Var {
                 }
                 vec![
                     (a, g.clone()),
-                    (b, Tensor::from_vec(db, &[c]).expect("channel bias grad shape")),
+                    (b, sized(db, &[c], "channel bias grad shape")),
                 ]
             }),
         )
@@ -502,7 +558,7 @@ impl Var {
         for r in 0..n {
             softmax_into(&x.data()[r * m..(r + 1) * m], &mut out[r * m..(r + 1) * m]);
         }
-        let value = Tensor::from_vec(out, &[n, m]).expect("softmax shape");
+        let value = sized(out, &[n, m], "softmax shape");
         let y = value.clone();
         self.unary(
             value,
@@ -516,7 +572,7 @@ impl Var {
                         dx[r * m + c] = yr[c] * (gr[c] - dot);
                     }
                 }
-                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("softmax grad shape"))]
+                vec![(a, sized(dx, &[n, m], "softmax grad shape"))]
             }),
         )
     }
@@ -542,7 +598,7 @@ impl Var {
                 out[r * m + c] = row[c] - lse;
             }
         }
-        let value = Tensor::from_vec(out, &[n, m]).expect("log_softmax shape");
+        let value = sized(out, &[n, m], "log_softmax shape");
         let y = value.clone();
         self.unary(
             value,
@@ -556,7 +612,7 @@ impl Var {
                         dx[r * m + c] = gr[c] - yr[c].exp() * gsum;
                     }
                 }
-                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("log_softmax grad shape"))]
+                vec![(a, sized(dx, &[n, m], "log_softmax grad shape"))]
             }),
         )
     }
@@ -582,13 +638,13 @@ impl Var {
             out[r] = x.data()[r * m + idx[r]];
         }
         self.unary(
-            Tensor::from_vec(out, &[n]).expect("pick shape"),
+            sized(out, &[n], "pick shape"),
             Box::new(move |g| {
                 let mut dx = vec![0.0f32; n * m];
                 for r in 0..n {
                     dx[r * m + idx[r]] = g.data()[r];
                 }
-                vec![(a, Tensor::from_vec(dx, &[n, m]).expect("pick grad shape"))]
+                vec![(a, sized(dx, &[n, m], "pick grad shape"))]
             }),
         )
     }
@@ -628,42 +684,64 @@ impl Var {
         let (co, oh, ow) = (geom.out_channels, geom.out_h(), geom.out_w());
         let ckk = geom.col_rows();
         let image_len = geom.in_channels * geom.in_h * geom.in_w;
+        let out_len = co * oh * ow;
         let w2d = w.reshape(&[co, ckk]);
-        let mut out = Vec::with_capacity(n * co * oh * ow);
-        for ni in 0..n {
-            let img = &x.data()[ni * image_len..(ni + 1) * image_len];
-            let col = im2col(img, &geom);
-            out.extend_from_slice(matmul(&w2d, &col).data());
+        let mut out = vec![0.0f32; n * out_len];
+        {
+            // Per-image fan-out: each image's lowered GEMM is independent and
+            // writes a disjoint output slice, so any partition of images
+            // across lanes is bit-identical to the sequential loop.
+            let xd = x.data();
+            conv_fan_out(&mut out, n, out_len, geom.macs_per_image(), |ni, chunk| {
+                let img = &xd[ni * image_len..(ni + 1) * image_len];
+                let col = im2col(img, &geom);
+                chunk.copy_from_slice(matmul(&w2d, &col).data());
+            });
         }
-        let value = Tensor::from_vec(out, &[n, co, oh, ow]).expect("conv2d output shape");
+        let value = sized(out, &[n, co, oh, ow], "conv2d output");
         self.unary(
             value,
             Box::new(move |g| {
                 let w2d = w.reshape(&[co, ckk]);
-                let out_len = co * oh * ow;
-                let mut dw = Tensor::zeros(&[co, ckk]);
+                let xd = x.data();
+                let gd = g.data();
                 let mut dx = vec![0.0f32; n * image_len];
-                for ni in 0..n {
-                    let img = &x.data()[ni * image_len..(ni + 1) * image_len];
-                    let col = im2col(img, &geom);
-                    let gmat = Tensor::from_vec(
-                        g.data()[ni * out_len..(ni + 1) * out_len].to_vec(),
-                        &[co, oh * ow],
-                    )
-                    .expect("conv2d grad slice");
-                    dw.add_assign(&matmul_a_bt(&gmat, &col));
-                    let dcol = matmul_at_b(&w2d, &gmat);
-                    col2im(
-                        &dcol,
-                        &geom,
-                        &mut dx[ni * image_len..(ni + 1) * image_len],
-                    );
+                // Per-image weight-gradient staging buffer: lanes fill
+                // disjoint `[co, ckk]` blocks, then the caller reduces them
+                // in image order so the dw sum is bit-identical to the
+                // sequential accumulation regardless of thread count.
+                let mut dw_per_image = vec![0.0f32; n * co * ckk];
+                {
+                    let mut slots: Vec<(&mut [f32], &mut [f32])> = dx
+                        .chunks_mut(image_len)
+                        .zip(dw_per_image.chunks_mut(co * ckk))
+                        .collect();
+                    let macs = geom.macs_per_image().saturating_mul(2);
+                    conv_fan_out_slots(&mut slots, macs, |ni, dx_img, dw_img| {
+                        let img = &xd[ni * image_len..(ni + 1) * image_len];
+                        let col = im2col(img, &geom);
+                        let gmat = sized(
+                            gd[ni * out_len..(ni + 1) * out_len].to_vec(),
+                            &[co, oh * ow],
+                            "conv2d grad slice",
+                        );
+                        dw_img.copy_from_slice(matmul_a_bt(&gmat, &col).data());
+                        let dcol = matmul_at_b(&w2d, &gmat);
+                        col2im(&dcol, &geom, dx_img);
+                    });
                 }
-                let dw = dw.reshape(&[co, geom.in_channels, geom.kernel, geom.kernel]);
-                vec![
-                    (a, Tensor::from_vec(dx, &xs).expect("conv2d input grad shape")),
-                    (b, dw),
-                ]
+                let mut dw = vec![0.0f32; co * ckk];
+                for image_dw in dw_per_image.chunks(co * ckk) {
+                    for (d, s) in dw.iter_mut().zip(image_dw.iter()) {
+                        *d += s;
+                    }
+                }
+                let dw = sized(
+                    dw,
+                    &[co, geom.in_channels, geom.kernel, geom.kernel],
+                    "conv2d weight grad",
+                );
+                vec![(a, sized(dx, &xs, "conv2d input grad")), (b, dw)]
             }),
         )
     }
@@ -702,77 +780,99 @@ impl Var {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let k = geom.kernel;
         let (stride, pad) = (geom.stride, geom.padding);
+        let macs_per_image = (c * k * k * oh * ow) as u64;
         let mut out = vec![0.0f32; n * c * oh * ow];
-        for ni in 0..n {
-            for ci in 0..c {
-                let ibase = (ni * c + ci) * h * wd;
-                let obase = (ni * c + ci) * oh * ow;
-                let wbase = ci * k * k;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ky in 0..k {
-                            let iy = (oy * stride + ky) as isize - pad as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix >= wd as isize {
+        {
+            let xd = x.data();
+            let wv = w.data();
+            conv_fan_out(&mut out, n, c * oh * ow, macs_per_image, |ni, chunk| {
+                for ci in 0..c {
+                    let ibase = (ni * c + ci) * h * wd;
+                    let obase = ci * oh * ow;
+                    let wbase = ci * k * k;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0f32;
+                            for ky in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize {
                                     continue;
                                 }
-                                acc += x.data()[ibase + iy as usize * wd + ix as usize]
-                                    * w.data()[wbase + ky * k + kx];
+                                for kx in 0..k {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    acc += xd[ibase + iy as usize * wd + ix as usize]
+                                        * wv[wbase + ky * k + kx];
+                                }
                             }
+                            chunk[obase + oy * ow + ox] = acc;
                         }
-                        out[obase + oy * ow + ox] = acc;
                     }
                 }
-            }
+            });
         }
-        let value =
-            Tensor::from_vec(out, &[n, c, oh, ow]).expect("depthwise conv output shape");
+        let value = sized(out, &[n, c, oh, ow], "depthwise conv output");
         self.unary(
             value,
             Box::new(move |g| {
+                let xd = x.data();
+                let wv = w.data();
+                let gd = g.data();
                 let mut dx = vec![0.0f32; n * c * h * wd];
-                let mut dw = vec![0.0f32; c * k * k];
-                for ni in 0..n {
-                    for ci in 0..c {
-                        let ibase = (ni * c + ci) * h * wd;
-                        let obase = (ni * c + ci) * oh * ow;
-                        let wbase = ci * k * k;
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let gv = g.data()[obase + oy * ow + ox];
-                                if gv == 0.0 {
-                                    continue;
-                                }
-                                for ky in 0..k {
-                                    let iy = (oy * stride + ky) as isize - pad as isize;
-                                    if iy < 0 || iy >= h as isize {
+                // Per-image dw staging, reduced in image order below, so the
+                // shared weight gradient is bit-identical for any thread
+                // count (see conv2d's backward for the same pattern).
+                let mut dw_per_image = vec![0.0f32; n * c * k * k];
+                {
+                    let mut slots: Vec<(&mut [f32], &mut [f32])> = dx
+                        .chunks_mut(c * h * wd)
+                        .zip(dw_per_image.chunks_mut(c * k * k))
+                        .collect();
+                    let macs = macs_per_image.saturating_mul(2);
+                    conv_fan_out_slots(&mut slots, macs, |ni, dx_img, dw_img| {
+                        for ci in 0..c {
+                            let ibase = ci * h * wd;
+                            let obase = (ni * c + ci) * oh * ow;
+                            let wbase = ci * k * k;
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let gv = gd[obase + oy * ow + ox];
+                                    if gv == 0.0 {
                                         continue;
                                     }
-                                    for kx in 0..k {
-                                        let ix = (ox * stride + kx) as isize - pad as isize;
-                                        if ix < 0 || ix >= wd as isize {
+                                    for ky in 0..k {
+                                        let iy = (oy * stride + ky) as isize - pad as isize;
+                                        if iy < 0 || iy >= h as isize {
                                             continue;
                                         }
-                                        let ii = ibase + iy as usize * wd + ix as usize;
-                                        dx[ii] += gv * w.data()[wbase + ky * k + kx];
-                                        dw[wbase + ky * k + kx] += gv * x.data()[ii];
+                                        for kx in 0..k {
+                                            let ix =
+                                                (ox * stride + kx) as isize - pad as isize;
+                                            if ix < 0 || ix >= wd as isize {
+                                                continue;
+                                            }
+                                            let ii = ibase + iy as usize * wd + ix as usize;
+                                            dx_img[ii] += gv * wv[wbase + ky * k + kx];
+                                            dw_img[wbase + ky * k + kx] +=
+                                                gv * xd[(ni * c) * h * wd + ii];
+                                        }
                                     }
                                 }
                             }
                         }
+                    });
+                }
+                let mut dw = vec![0.0f32; c * k * k];
+                for image_dw in dw_per_image.chunks(c * k * k) {
+                    for (d, s) in dw.iter_mut().zip(image_dw.iter()) {
+                        *d += s;
                     }
                 }
                 vec![
-                    (a, Tensor::from_vec(dx, &xs).expect("depthwise dx shape")),
-                    (
-                        b,
-                        Tensor::from_vec(dw, &[c, k, k]).expect("depthwise dw shape"),
-                    ),
+                    (a, sized(dx, &xs, "depthwise dx")),
+                    (b, sized(dw, &[c, k, k], "depthwise dw")),
                 ]
             }),
         )
@@ -801,7 +901,7 @@ impl Var {
             }
         }
         self.unary(
-            Tensor::from_vec(out, &[n, c]).expect("gap shape"),
+            sized(out, &[n, c], "gap shape"),
             Box::new(move |g| {
                 let mut dx = vec![0.0f32; n * c * hw];
                 for ni in 0..n {
@@ -813,7 +913,7 @@ impl Var {
                         }
                     }
                 }
-                vec![(a, Tensor::from_vec(dx, &[n, c, h, w]).expect("gap grad shape"))]
+                vec![(a, sized(dx, &[n, c, h, w], "gap grad shape"))]
             }),
         )
     }
@@ -879,8 +979,8 @@ impl Var {
                 }
             }
         }
-        let xhat = Tensor::from_vec(xhat, &s).expect("bn xhat shape");
-        let value = Tensor::from_vec(out, &s).expect("bn output shape");
+        let xhat = sized(xhat, &s, "bn xhat shape");
+        let value = sized(out, &s, "bn output shape");
         let shape = s.clone();
         self.unary(
             value,
@@ -918,9 +1018,9 @@ impl Var {
                     }
                 }
                 vec![
-                    (a, Tensor::from_vec(dx, &shape).expect("bn dx shape")),
-                    (gi, Tensor::from_vec(dgamma, &[c]).expect("bn dgamma shape")),
-                    (bi, Tensor::from_vec(dbeta, &[c]).expect("bn dbeta shape")),
+                    (a, sized(dx, &shape, "bn dx shape")),
+                    (gi, sized(dgamma, &[c], "bn dgamma shape")),
+                    (bi, sized(dbeta, &[c], "bn dbeta shape")),
                 ]
             }),
         )
@@ -970,10 +1070,10 @@ impl Var {
                 }
             }
         }
-        let xhat = Tensor::from_vec(xhat, &s).expect("bn-inf xhat shape");
+        let xhat = sized(xhat, &s, "bn-inf xhat shape");
         let shape = s.clone();
         self.unary(
-            Tensor::from_vec(out, &s).expect("bn-inf output shape"),
+            sized(out, &s, "bn-inf output shape"),
             Box::new(move |g| {
                 let mut dgamma = vec![0.0f32; c];
                 let mut dbeta = vec![0.0f32; c];
@@ -991,9 +1091,9 @@ impl Var {
                     }
                 }
                 vec![
-                    (a, Tensor::from_vec(dx, &shape).expect("bn-inf dx shape")),
-                    (gi, Tensor::from_vec(dgamma, &[c]).expect("bn-inf dgamma")),
-                    (bi, Tensor::from_vec(dbeta, &[c]).expect("bn-inf dbeta")),
+                    (a, sized(dx, &shape, "bn-inf dx shape")),
+                    (gi, sized(dgamma, &[c], "bn-inf dgamma")),
+                    (bi, sized(dbeta, &[c], "bn-inf dbeta")),
                 ]
             }),
         )

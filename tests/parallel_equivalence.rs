@@ -1,0 +1,91 @@
+//! Parallel-vs-sequential equivalence: the deterministic parallel layer
+//! must produce bit-identical results at every thread count — rollouts,
+//! evaluation scores and conv2d forward/backward, same seeds throughout.
+
+use a3cs::drl::{collect_rollout, evaluate, ActorCritic, EvalProtocol, Rollout};
+use a3cs::envs::{make_env, Environment};
+use a3cs::nn::resnet;
+use a3cs::tensor::{Conv2dGeometry, Tape, Tensor};
+
+fn breakout(seed: u64) -> Box<dyn Environment> {
+    make_env("Breakout", seed).expect("Breakout exists")
+}
+
+fn resnet20_agent(seed: u64) -> ActorCritic {
+    let backbone = resnet(20, 3, 12, 12, 8, 32, seed);
+    ActorCritic::new(Box::new(backbone), 32, (3, 12, 12), 3, seed)
+}
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_rollouts_identical(a: &Rollout, b: &Rollout) {
+    assert_eq!(a.actions, b.actions);
+    assert_eq!(a.dones, b.dones);
+    assert_eq!(bits(&a.rewards), bits(&b.rewards));
+    assert_eq!(bits(&a.observations), bits(&b.observations));
+}
+
+#[test]
+fn rollouts_bit_identical_across_thread_counts() {
+    let agent = resnet20_agent(1);
+    let run = || collect_rollout(&agent, &breakout, 4, 5, 17);
+    let seq = threadpool::with_threads(1, run);
+    let par = threadpool::with_threads(4, run);
+    assert_rollouts_identical(&seq, &par);
+}
+
+#[test]
+fn eval_scores_bit_identical_across_thread_counts() {
+    let agent = resnet20_agent(2);
+    let protocol = EvalProtocol {
+        episodes: 4,
+        max_steps: 50,
+        ..EvalProtocol::default()
+    };
+    let run = || evaluate(&agent, &breakout, &protocol);
+    let seq = threadpool::with_threads(1, run);
+    let par = threadpool::with_threads(4, run);
+    assert_eq!(seq.to_bits(), par.to_bits());
+}
+
+#[test]
+fn conv2d_forward_backward_bit_identical_across_thread_counts() {
+    let geom = Conv2dGeometry {
+        in_channels: 16,
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        in_h: 12,
+        in_w: 12,
+    };
+    let x_t = Tensor::randn(&[8, 16, 12, 12], 0.5, 3);
+    let w_t = Tensor::randn(&[16, 16, 3, 3], 0.5, 4);
+    let run = || {
+        let tape = Tape::new();
+        let x = tape.leaf(x_t.clone());
+        let w = tape.leaf(w_t.clone());
+        let y = x.conv2d(&w, geom);
+        y.square().sum().backward();
+        let grad = |g: Option<Tensor>| bits(g.expect("leaf gets a gradient").data());
+        (bits(y.value().data()), grad(w.grad()), grad(x.grad()))
+    };
+    let seq = threadpool::with_threads(1, run);
+    let par = threadpool::with_threads(4, run);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn full_agent_forward_bit_identical_across_thread_counts() {
+    // End-to-end: every conv, depthwise conv and GEMM in a ResNet-20
+    // forward pass, batch of 8.
+    let agent = resnet20_agent(5);
+    let obs_len = 3 * 12 * 12;
+    let batch: Vec<f32> = (0..8 * obs_len).map(|i| (i % 13) as f32 * 0.07).collect();
+    let run = || bits(agent.policy_probs(&batch, 8).data());
+    let seq = threadpool::with_threads(1, run);
+    let par = threadpool::with_threads(4, run);
+    assert_eq!(seq, par);
+}

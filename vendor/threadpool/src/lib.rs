@@ -1,0 +1,519 @@
+//! Offline vendored stand-in for a scoped thread pool (`threadpool`/`rayon`
+//! lineage), specialised for the determinism contract this workspace needs.
+//!
+//! The contract: work is partitioned into **fixed, contiguous, disjoint**
+//! index ranges ([`chunk_ranges`]), each item's computation must be
+//! independent of which worker runs it, and every floating-point reduction
+//! happens on the calling thread in index order. Under that contract the
+//! output of any parallel helper here is bit-identical for every thread
+//! count, including the pure-inline `threads = 1` fallback.
+//!
+//! Thread count resolution for the process-global pool:
+//! `A3CS_THREADS` env var if set to a positive integer, otherwise
+//! `std::thread::available_parallelism()`. `A3CS_THREADS=1` yields the exact
+//! sequential fallback (no worker threads are ever spawned). Tests that need
+//! a specific thread count without mutating the environment use
+//! [`with_threads`], which installs a thread-local override consulted by
+//! [`current`].
+//!
+//! Nesting policy: only the thread that entered a parallel region forks.
+//! Workers (and the caller while it executes its own chunk) run any nested
+//! parallel call inline, which makes the pool deadlock-free by construction
+//! and avoids oversubscription without work stealing.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread;
+
+/// Acquire a mutex, recovering from poisoning (worker panics are caught and
+/// forwarded, so a poisoned lock never guards broken invariants here).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+thread_local! {
+    /// True while this thread is executing inside a parallel region (worker
+    /// threads set it permanently). Nested parallel calls then run inline.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    /// Thread-local pool override installed by [`with_threads`].
+    static OVERRIDE: RefCell<Option<Arc<ThreadPool>>> = const { RefCell::new(None) };
+}
+
+/// Returns true when called from inside a parallel region (a pool worker, or
+/// the caller thread while it runs its own chunk).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL.with(Cell::get)
+}
+
+/// Shared bookkeeping for one fork-join region.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload raised by a worker task, if any.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new(pending: usize) -> Self {
+        ScopeState {
+            pending: Mutex::new(pending),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut pending = lock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = lock(&self.panic);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = lock(&self.pending);
+        while *pending > 0 {
+            pending = match self.done.wait(pending) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+/// A lifetime-erased task plus the fork-join region it belongs to.
+struct Job {
+    task: Box<dyn FnOnce() + Send + 'static>,
+    state: Arc<ScopeState>,
+}
+
+fn worker_main(rx: Arc<Mutex<Receiver<Job>>>) {
+    IN_PARALLEL.with(|f| f.set(true));
+    loop {
+        // Take the next job while holding the lock, then release it before
+        // running so other workers can dequeue concurrently.
+        let job = {
+            let rx = lock(&rx);
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        let result = catch_unwind(AssertUnwindSafe(job.task));
+        if let Err(payload) = result {
+            job.state.record_panic(payload);
+        }
+        job.state.complete_one();
+    }
+}
+
+/// Fixed-size pool of worker threads executing scoped fork-join regions.
+///
+/// `threads` counts execution lanes including the calling thread, so
+/// `ThreadPool::new(n)` spawns `n - 1` workers and `new(1)` spawns none
+/// (every helper then runs inline — the exact sequential fallback).
+pub struct ThreadPool {
+    threads: usize,
+    queue: Option<Sender<Job>>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` execution lanes (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return ThreadPool { threads: 1, queue: None };
+        }
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut spawned = 0usize;
+        for i in 0..threads - 1 {
+            let rx = Arc::clone(&rx);
+            let handle = thread::Builder::new()
+                .name(format!("a3cs-pool-{i}"))
+                .spawn(move || worker_main(rx));
+            if handle.is_err() {
+                // Could not spawn (resource exhaustion): degrade to fewer
+                // lanes. Remaining chunks run on the caller; determinism is
+                // unaffected because partitioning uses `self.threads`, which
+                // we keep as requested, and every chunk still runs.
+                break;
+            }
+            spawned += 1;
+        }
+        if spawned == 0 {
+            // No consumers: fall back to the inline pool so fork_join never
+            // queues work nobody will run.
+            return ThreadPool { threads: 1, queue: None };
+        }
+        ThreadPool { threads, queue: Some(tx) }
+    }
+
+    /// Number of execution lanes (including the calling thread).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run a set of scoped tasks to completion: all but the last are queued
+    /// for the workers, the last runs on the calling thread, and the call
+    /// does not return (or unwind) until every task has finished. The first
+    /// panic from any task is re-raised on the caller.
+    fn fork_join<'env>(&self, mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let Some(local) = tasks.pop() else { return };
+        if tasks.is_empty() || self.queue.is_none() || in_parallel_region() {
+            // Inline path: run everything sequentially in index order.
+            for task in tasks {
+                task();
+            }
+            local();
+            return;
+        }
+        let state = Arc::new(ScopeState::new(tasks.len()));
+        if let Some(queue) = self.queue.as_ref() {
+            for task in tasks {
+                // SAFETY: lifetime erasure from 'env to 'static. Sound
+                // because this function waits (via `WaitGuard`, even when the
+                // local task unwinds) for every queued task to complete
+                // before returning, so no borrow in `task` outlives its
+                // referent.
+                let task: Box<dyn FnOnce() + Send + 'static> =
+                    unsafe { std::mem::transmute(task) };
+                let job = Job { task, state: Arc::clone(&state) };
+                if let Err(send_err) = queue.send(job) {
+                    // Workers are gone (spawn failed earlier): run inline.
+                    let Job { task, state } = send_err.0;
+                    task();
+                    state.complete_one();
+                }
+            }
+        }
+
+        struct WaitGuard<'a>(&'a ScopeState);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.0.wait();
+            }
+        }
+        let guard = WaitGuard(&state);
+        // Run the caller's own chunk with the in-parallel flag set so nested
+        // parallel calls stay inline.
+        let local_result = {
+            IN_PARALLEL.with(|f| f.set(true));
+            let r = catch_unwind(AssertUnwindSafe(local));
+            IN_PARALLEL.with(|f| f.set(false));
+            r
+        };
+        drop(guard); // blocks until all queued tasks have completed
+        if let Err(payload) = local_result {
+            resume_unwind(payload);
+        }
+        let worker_panic = lock(&state.panic).take();
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Invoke `f` on fixed, contiguous, disjoint chunks of `0..len`
+    /// (partitioned by [`chunk_ranges`] into at most [`Self::threads`]
+    /// pieces). With one lane, inside a parallel region, or for `len <= 1`,
+    /// this is exactly `f(0..len)`.
+    pub fn parallel_for_chunks<F>(&self, len: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        if self.threads <= 1 || len == 1 || in_parallel_region() {
+            f(0..len);
+            return;
+        }
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunk_ranges(len, self.threads)
+            .into_iter()
+            .map(|r| Box::new(move || f(r)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        self.fork_join(tasks);
+    }
+
+    /// Split `items` into fixed contiguous chunks and invoke
+    /// `f(start_index, chunk)` on each with exclusive access. The sequential
+    /// fallback is a single `f(0, items)` call; `f` must therefore treat
+    /// items independently (chunk boundaries carry no meaning).
+    pub fn parallel_chunks_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        if self.threads <= 1 || items.len() == 1 || in_parallel_region() {
+            f(0, items);
+            return;
+        }
+        let ranges = chunk_ranges(items.len(), self.threads);
+        let f = &f;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+        let mut rest = items;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let start = r.start;
+            tasks.push(Box::new(move || f(start, chunk)));
+        }
+        self.fork_join(tasks);
+    }
+
+    /// Fill `out` (laid out as `rows` rows of `row_len` items) by invoking
+    /// `f(row, row_slice)` for every row, rows fanned out across lanes in
+    /// fixed contiguous blocks. Row order within a lane is ascending, and
+    /// each `f(row, ..)` call is identical to the sequential one, so the
+    /// result is bit-identical for any thread count.
+    pub fn parallel_fill_rows<T, F>(&self, out: &mut [T], rows: usize, row_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert_eq!(
+            out.len(),
+            rows * row_len,
+            "parallel_fill_rows: output length {} != rows {} * row_len {}",
+            out.len(),
+            rows,
+            row_len
+        );
+        if rows == 0 || row_len == 0 {
+            return;
+        }
+        let mut row_slices: Vec<&mut [T]> = out.chunks_mut(row_len).collect();
+        self.parallel_chunks_mut(&mut row_slices, |start, chunk| {
+            for (i, row) in chunk.iter_mut().enumerate() {
+                f(start + i, row);
+            }
+        });
+    }
+}
+
+/// Partition `0..len` into `parts` fixed, contiguous, disjoint ranges that
+/// cover every index in order. The first `len % parts` chunks hold one extra
+/// item. `parts` is clamped to `1..=len`; `len == 0` yields no ranges.
+#[must_use]
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+static GLOBAL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+
+fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("A3CS_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The pool the current thread should use: the [`with_threads`] override if
+/// one is installed, otherwise the lazily created process-global pool
+/// (`A3CS_THREADS` lanes, defaulting to the available core count).
+#[must_use]
+pub fn current() -> Arc<ThreadPool> {
+    let overridden = OVERRIDE.with(|o| o.borrow().clone());
+    if let Some(pool) = overridden {
+        return pool;
+    }
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(ThreadPool::new(default_threads()))))
+}
+
+/// Install the process-global pool with an explicit lane count before first
+/// use. Returns `false` (leaving the existing pool in place) if the global
+/// pool was already created.
+pub fn configure_global(threads: usize) -> bool {
+    GLOBAL.set(Arc::new(ThreadPool::new(threads))).is_ok()
+}
+
+/// Run `f` with [`current`] resolving to a fresh pool of `threads` lanes on
+/// this thread. Restores the previous override on exit (including unwind).
+/// This is the race-free alternative to mutating `A3CS_THREADS` in tests.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<ThreadPool>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            OVERRIDE.with(|o| *o.borrow_mut() = prev);
+        }
+    }
+    let pool = Arc::new(ThreadPool::new(threads));
+    let prev = OVERRIDE.with(|o| o.borrow_mut().replace(pool));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_all_indices_in_order() {
+        for len in 0..40usize {
+            for parts in 1..8usize {
+                let ranges = chunk_ranges(len, parts);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} parts={parts}");
+                if len > 0 {
+                    assert_eq!(ranges.len(), parts.min(len));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_is_deterministic() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
+        assert_eq!(chunk_ranges(2, 16), vec![0..1, 1..2]);
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_for_chunks_visits_every_index_once() {
+        for threads in [1usize, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..101).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for_chunks(hits.len(), |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_mut_matches_sequential() {
+        let expected: Vec<usize> = (0..57).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut got = vec![0usize; 57];
+            pool.parallel_chunks_mut(&mut got, |start, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (start + i) * 3 + 1;
+                }
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fill_rows_is_bit_identical_across_thread_counts() {
+        let fill = |row: usize, out: &mut [f32]| {
+            let mut acc = 0.1f32 + row as f32;
+            for (j, slot) in out.iter_mut().enumerate() {
+                acc = acc * 1.000_1 + (j as f32) * 0.01;
+                *slot = acc.sin();
+            }
+        };
+        let mut seq = vec![0.0f32; 33 * 17];
+        ThreadPool::new(1).parallel_fill_rows(&mut seq, 33, 17, fill);
+        for threads in [2usize, 4, 8] {
+            let mut par = vec![0.0f32; 33 * 17];
+            ThreadPool::new(threads).parallel_fill_rows(&mut par, 33, 17, fill);
+            assert_eq!(
+                seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline_without_deadlock() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let outer = Arc::clone(&pool);
+        let hits = AtomicUsize::new(0);
+        outer.parallel_for_chunks(8, |range| {
+            for _ in range {
+                // Nested region: must run inline on whatever thread we're on.
+                pool.parallel_for_chunks(4, |inner| {
+                    hits.fetch_add(inner.len(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8 * 4);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for_chunks(16, |range| {
+                if range.contains(&0) {
+                    panic!("boom from chunk");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must remain usable after a panicked region.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for_chunks(16, |range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn with_threads_overrides_current_and_restores() {
+        let before = current().threads();
+        with_threads(3, || {
+            assert_eq!(current().threads(), 3);
+            with_threads(5, || assert_eq!(current().threads(), 5));
+            assert_eq!(current().threads(), 3);
+        });
+        assert_eq!(current().threads(), before);
+    }
+
+    #[test]
+    fn one_lane_pool_spawns_no_workers_and_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert!(pool.queue.is_none());
+        let caller = thread::current().id();
+        pool.parallel_for_chunks(10, |range| {
+            assert_eq!(range, 0..10);
+            assert_eq!(thread::current().id(), caller);
+        });
+    }
+}
