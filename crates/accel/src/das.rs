@@ -65,6 +65,50 @@ pub struct DasEngine {
     temperature: f64,
 }
 
+/// The complete mutable state of a [`DasEngine`], as captured by
+/// [`DasEngine::export_state`] for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DasState {
+    /// Per-knob φ logit rows.
+    pub logits: Vec<Vec<f64>>,
+    /// Gumbel sampler RNG state words.
+    pub rng: [u64; 4],
+    /// Moving-average cost baseline (`None` until the first step).
+    pub baseline: Option<f64>,
+    /// Current (annealed) sampling temperature.
+    pub temperature: f64,
+}
+
+/// Why a [`DasState`] could not be imported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DasStateError {
+    /// The logit table's row lengths do not match the engine's knob
+    /// layout (different search space or chunk/layer budget).
+    ShapeMismatch {
+        /// Row lengths this engine expects.
+        expected: Vec<usize>,
+        /// Row lengths found in the state.
+        actual: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for DasStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DasStateError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "DAS state has {} logit rows {:?}, engine expects {} rows {:?}",
+                actual.len(),
+                actual,
+                expected.len(),
+                expected
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DasStateError {}
+
 impl DasEngine {
     /// Create an engine with uniform knob distributions.
     ///
@@ -91,6 +135,37 @@ impl DasEngine {
     #[must_use]
     pub fn config(&self) -> &DasConfig {
         &self.config
+    }
+
+    /// Export the engine's complete mutable state (φ logits, RNG stream,
+    /// cost baseline, annealed temperature) for checkpointing.
+    #[must_use]
+    pub fn export_state(&self) -> DasState {
+        DasState {
+            logits: self.logits.clone(),
+            rng: self.rng.state(),
+            baseline: self.baseline,
+            temperature: self.temperature,
+        }
+    }
+
+    /// Restore state captured by [`DasEngine::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`DasStateError::ShapeMismatch`] when the logit table does not
+    /// match this engine's knob layout; nothing is modified in that case.
+    pub fn import_state(&mut self, state: &DasState) -> Result<(), DasStateError> {
+        let expected: Vec<usize> = self.logits.iter().map(Vec::len).collect();
+        let actual: Vec<usize> = state.logits.iter().map(Vec::len).collect();
+        if expected != actual {
+            return Err(DasStateError::ShapeMismatch { expected, actual });
+        }
+        self.logits = state.logits.clone();
+        self.rng = StdRng::from_state(state.rng);
+        self.baseline = state.baseline;
+        self.temperature = state.temperature;
+        Ok(())
     }
 
     fn knob_count_for(&self, num_layers: usize) -> usize {

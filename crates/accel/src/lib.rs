@@ -51,7 +51,7 @@ mod space;
 mod template;
 mod zc706;
 
-pub use das::{DasConfig, DasEngine};
+pub use das::{DasConfig, DasEngine, DasState, DasStateError};
 pub use dnnbuilder::DnnBuilderModel;
 pub use exhaustive::{tiny_space, ExhaustiveSearch};
 pub use predictor::{CostWeights, LayerDims, PerfModel, PerfReport};

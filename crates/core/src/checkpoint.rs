@@ -1,0 +1,658 @@
+//! Resumable search-state checkpoints for the co-search loop.
+//!
+//! A [`SearchCheckpoint`] captures *everything* the loop in
+//! [`crate::CoSearch`] mutates — supernet weights `θ` and architecture
+//! logits `α`, both optimiser states, the DAS `φ` distribution and RNG,
+//! every rollout lane's environment state and action RNG stream, the
+//! step/iteration counters and the diagnostic curves — so a run killed at
+//! any iteration boundary resumes **bit-identically** to one that never
+//! stopped (the contract established in `DESIGN.md` §9 makes this provable
+//! by equality).
+//!
+//! # Bit-safe serialisation
+//!
+//! The vendored `serde` stores every number as an `f64`, which silently
+//! loses precision above 2⁵³ and maps non-finite floats to `null`. A
+//! checkpoint therefore never stores a raw `f32`/`f64`/`u64`/wide `i64`:
+//! `f32`s travel as their `u32` bit patterns, and 64-bit values (RNG
+//! words, `f64` bits, seeds) travel as `(hi, lo)` pairs of `u32`s. Plain
+//! `u64` fields are used only for counters that stay far below 2⁵³.
+
+use crate::config::CoSearchConfig;
+use crate::robustness::RobustnessEvent;
+use a3cs_accel::DasState;
+use a3cs_drl::{fnv1a64, OptimizerState, RunnerState};
+use a3cs_envs::EnvState;
+use a3cs_nas::SupernetSearchState;
+use a3cs_nn::Param;
+use a3cs_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Format version of [`SearchCheckpoint`]. Bumped on any layout change;
+/// older versions are rejected (never mis-read).
+pub const SEARCH_CHECKPOINT_VERSION: u32 = 2;
+
+// --- bit-safe packing helpers -------------------------------------------
+
+pub(crate) fn u64_pair(x: u64) -> (u32, u32) {
+    ((x >> 32) as u32, x as u32)
+}
+
+pub(crate) fn pair_u64((hi, lo): (u32, u32)) -> u64 {
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+pub(crate) fn f64_pair(x: f64) -> (u32, u32) {
+    u64_pair(x.to_bits())
+}
+
+pub(crate) fn pair_f64(p: (u32, u32)) -> f64 {
+    f64::from_bits(pair_u64(p))
+}
+
+fn rng_pairs(words: [u64; 4]) -> Vec<(u32, u32)> {
+    words.iter().map(|&w| u64_pair(w)).collect()
+}
+
+fn pairs_rng(pairs: &[(u32, u32)]) -> Result<[u64; 4], CheckpointError> {
+    if pairs.len() != 4 {
+        return Err(CheckpointError::Incompatible(format!(
+            "RNG state has {} words, expected 4",
+            pairs.len()
+        )));
+    }
+    Ok([
+        pair_u64(pairs[0]),
+        pair_u64(pairs[1]),
+        pair_u64(pairs[2]),
+        pair_u64(pairs[3]),
+    ])
+}
+
+fn f32_bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn bits_f32(v: &[u32]) -> Vec<f32> {
+    v.iter().map(|&b| f32::from_bits(b)).collect()
+}
+
+// --- why a checkpoint could not be applied ------------------------------
+
+/// Why a [`SearchCheckpoint`] could not be parsed or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The payload is not a parsable checkpoint of the current version.
+    Parse(String),
+    /// The checkpoint was produced by a run with a different configuration
+    /// or seed, so resuming from it would silently change the experiment.
+    Fingerprint {
+        /// Fingerprint of the running configuration.
+        expected: String,
+        /// Fingerprint recorded in the checkpoint.
+        found: String,
+    },
+    /// The checkpoint's shapes do not match the constructed search state.
+    Incompatible(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Parse(m) => write!(f, "checkpoint parse error: {m}"),
+            CheckpointError::Fingerprint { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different run: config/seed fingerprint \
+                 {found} vs this run's {expected}"
+            ),
+            CheckpointError::Incompatible(m) => write!(f, "checkpoint incompatible: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+// --- serialisable representations ---------------------------------------
+
+/// One named tensor (parameter or non-learnable state buffer), data as
+/// `f32` bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorRepr {
+    pub(crate) name: String,
+    pub(crate) shape: Vec<usize>,
+    pub(crate) bits: Vec<u32>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct EnvStateRepr {
+    pub(crate) tag: String,
+    /// `i64` stream values as `(hi, lo)` pairs of their two's-complement
+    /// bits (environment ints embed RNG words, which exceed 2⁵³).
+    pub(crate) ints: Vec<(u32, u32)>,
+    pub(crate) floats: Vec<u32>,
+    pub(crate) inner: Vec<EnvStateRepr>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct RunnerStateRepr {
+    pub(crate) envs: Vec<EnvStateRepr>,
+    pub(crate) lane_rngs: Vec<Vec<(u32, u32)>>,
+    pub(crate) current_obs: Vec<Vec<u32>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct OptimStateRepr {
+    pub(crate) kind: String,
+    pub(crate) lr: u32,
+    pub(crate) key_names: Vec<String>,
+    pub(crate) key_shapes: Vec<Vec<usize>>,
+    pub(crate) slots: Vec<Vec<Vec<u32>>>,
+    /// `f64` scalars (Adam bias-correction powers) as bit pairs.
+    pub(crate) scalars: Vec<(u32, u32)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct DasStateRepr {
+    /// `f64` logits as bit pairs, one row per knob.
+    pub(crate) logits: Vec<Vec<(u32, u32)>>,
+    pub(crate) rng: Vec<(u32, u32)>,
+    pub(crate) baseline: Option<(u32, u32)>,
+    pub(crate) temperature: (u32, u32),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct SupernetStateRepr {
+    pub(crate) alpha: Vec<Vec<u32>>,
+    pub(crate) gumbel_rng: Vec<(u32, u32)>,
+    pub(crate) step: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct CurvePointRepr {
+    pub(crate) step: u64,
+    pub(crate) bits: u32,
+}
+
+/// A complete, versioned snapshot of the co-search loop state, written at
+/// an iteration boundary. See the module docs for the serialisation
+/// contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    pub(crate) version: u32,
+    /// FNV-1a fingerprint of the producing configuration (fault plan and
+    /// thread count excluded — neither changes the trajectory).
+    pub(crate) fingerprint: String,
+    pub(crate) seed: (u32, u32),
+    pub(crate) steps: u64,
+    pub(crate) iteration: u64,
+    pub(crate) next_eval: u64,
+    pub(crate) score_curve: Vec<CurvePointRepr>,
+    pub(crate) entropy_curve: Vec<CurvePointRepr>,
+    /// Learnable parameters of the agent (supernet weights + heads).
+    pub(crate) weight_params: Vec<TensorRepr>,
+    /// Non-learnable state tensors (e.g. batch-norm running statistics).
+    pub(crate) state_tensors: Vec<TensorRepr>,
+    pub(crate) supernet: SupernetStateRepr,
+    pub(crate) weight_opt: OptimStateRepr,
+    pub(crate) alpha_opt: OptimStateRepr,
+    pub(crate) das: DasStateRepr,
+    pub(crate) train_runner: RunnerStateRepr,
+    pub(crate) val_runner: Option<RunnerStateRepr>,
+    pub(crate) lr_scale: u32,
+    pub(crate) rollbacks_left: u32,
+    pub(crate) events: Vec<RobustnessEvent>,
+}
+
+impl SearchCheckpoint {
+    /// Serialise to compact JSON (the payload sealed into the checkpoint
+    /// envelope by the store).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match serde_json::to_string(self) {
+            Ok(json) => json,
+            Err(e) => unreachable!("vendored serde_json serialisation is infallible: {e}"),
+        }
+    }
+
+    /// Parse a checkpoint payload, rejecting other versions.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Parse`] on malformed JSON or a version mismatch.
+    pub fn from_json(payload: &str) -> Result<Self, CheckpointError> {
+        let ck: SearchCheckpoint =
+            serde_json::from_str(payload).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        if ck.version != SEARCH_CHECKPOINT_VERSION {
+            return Err(CheckpointError::Parse(format!(
+                "checkpoint version {} (this build reads {})",
+                ck.version, SEARCH_CHECKPOINT_VERSION
+            )));
+        }
+        Ok(ck)
+    }
+
+    /// Environment steps consumed at capture time.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Co-search iteration at capture time.
+    #[must_use]
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+}
+
+/// Identity of a run for resume-compatibility checks: an FNV-1a hash over
+/// the configuration with the fault plan and thread count normalised out
+/// (neither affects the search trajectory).
+#[must_use]
+pub fn config_fingerprint(config: &CoSearchConfig) -> String {
+    let mut normalized = config.clone();
+    normalized.threads = None;
+    normalized.fault = crate::fault::FaultConfig::default();
+    format!("{:016x}", fnv1a64(format!("{normalized:?}").as_bytes()))
+}
+
+// --- conversions to/from live state -------------------------------------
+
+pub(crate) fn tensors_to_repr(params: &[Param]) -> Vec<TensorRepr> {
+    params
+        .iter()
+        .map(|p| {
+            let value = p.value();
+            TensorRepr {
+                name: p.name().to_owned(),
+                shape: value.shape().to_vec(),
+                bits: f32_bits(value.data()),
+            }
+        })
+        .collect()
+}
+
+pub(crate) fn apply_tensor_reprs(
+    reprs: &[TensorRepr],
+    params: &[Param],
+    what: &str,
+) -> Result<(), CheckpointError> {
+    if reprs.len() != params.len() {
+        return Err(CheckpointError::Incompatible(format!(
+            "{what}: checkpoint has {} tensors, model has {}",
+            reprs.len(),
+            params.len()
+        )));
+    }
+    // Validate the whole list before mutating anything.
+    for (r, p) in reprs.iter().zip(params) {
+        if r.name != p.name() || r.shape != p.shape() {
+            return Err(CheckpointError::Incompatible(format!(
+                "{what}: checkpoint tensor {:?} {:?} vs model {:?} {:?}",
+                r.name,
+                r.shape,
+                p.name(),
+                p.shape()
+            )));
+        }
+        let numel: usize = r.shape.iter().product();
+        if r.bits.len() != numel {
+            return Err(CheckpointError::Incompatible(format!(
+                "{what}: tensor {:?} has {} values for shape {:?}",
+                r.name,
+                r.bits.len(),
+                r.shape
+            )));
+        }
+    }
+    for (r, p) in reprs.iter().zip(params) {
+        match Tensor::from_vec(bits_f32(&r.bits), &r.shape) {
+            Ok(t) => p.set_value(t),
+            Err(e) => unreachable!("length validated above: {e:?}"),
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn env_to_repr(state: &EnvState) -> EnvStateRepr {
+    EnvStateRepr {
+        tag: state.tag().to_owned(),
+        ints: state
+            .ints()
+            .iter()
+            .map(|&i| u64_pair(i as u64))
+            .collect(),
+        floats: f32_bits(state.floats()),
+        inner: state.inner().iter().map(env_to_repr).collect(),
+    }
+}
+
+pub(crate) fn repr_to_env(repr: &EnvStateRepr) -> EnvState {
+    EnvState::from_parts(
+        repr.tag.clone(),
+        repr.ints.iter().map(|&p| pair_u64(p) as i64).collect(),
+        bits_f32(&repr.floats),
+        repr.inner.iter().map(repr_to_env).collect(),
+    )
+}
+
+pub(crate) fn runner_to_repr(state: &RunnerState) -> RunnerStateRepr {
+    RunnerStateRepr {
+        envs: state.envs.iter().map(env_to_repr).collect(),
+        lane_rngs: state.lane_rngs.iter().map(|&w| rng_pairs(w)).collect(),
+        current_obs: state.current_obs.iter().map(|o| f32_bits(o)).collect(),
+    }
+}
+
+pub(crate) fn repr_to_runner(repr: &RunnerStateRepr) -> Result<RunnerState, CheckpointError> {
+    Ok(RunnerState {
+        envs: repr.envs.iter().map(repr_to_env).collect(),
+        lane_rngs: repr
+            .lane_rngs
+            .iter()
+            .map(|p| pairs_rng(p))
+            .collect::<Result<_, _>>()?,
+        current_obs: repr.current_obs.iter().map(|o| bits_f32(o)).collect(),
+    })
+}
+
+pub(crate) fn optim_to_repr(state: &OptimizerState) -> OptimStateRepr {
+    OptimStateRepr {
+        kind: state.kind.clone(),
+        lr: state.lr.to_bits(),
+        key_names: state.keys.iter().map(|(n, _)| n.clone()).collect(),
+        key_shapes: state.keys.iter().map(|(_, s)| s.clone()).collect(),
+        slots: state
+            .slots
+            .iter()
+            .map(|slot| slot.iter().map(|buf| f32_bits(buf)).collect())
+            .collect(),
+        scalars: state.scalars.iter().map(|&s| f64_pair(s)).collect(),
+    }
+}
+
+pub(crate) fn repr_to_optim(repr: &OptimStateRepr) -> Result<OptimizerState, CheckpointError> {
+    if repr.key_names.len() != repr.key_shapes.len() {
+        return Err(CheckpointError::Incompatible(format!(
+            "optimizer state has {} key names for {} key shapes",
+            repr.key_names.len(),
+            repr.key_shapes.len()
+        )));
+    }
+    Ok(OptimizerState {
+        kind: repr.kind.clone(),
+        lr: f32::from_bits(repr.lr),
+        keys: repr
+            .key_names
+            .iter()
+            .cloned()
+            .zip(repr.key_shapes.iter().cloned())
+            .collect(),
+        slots: repr
+            .slots
+            .iter()
+            .map(|slot| slot.iter().map(|buf| bits_f32(buf)).collect())
+            .collect(),
+        scalars: repr.scalars.iter().map(|&p| pair_f64(p)).collect(),
+    })
+}
+
+pub(crate) fn das_to_repr(state: &DasState) -> DasStateRepr {
+    DasStateRepr {
+        logits: state
+            .logits
+            .iter()
+            .map(|row| row.iter().map(|&x| f64_pair(x)).collect())
+            .collect(),
+        rng: rng_pairs(state.rng),
+        baseline: state.baseline.map(f64_pair),
+        temperature: f64_pair(state.temperature),
+    }
+}
+
+pub(crate) fn repr_to_das(repr: &DasStateRepr) -> Result<DasState, CheckpointError> {
+    Ok(DasState {
+        logits: repr
+            .logits
+            .iter()
+            .map(|row| row.iter().map(|&p| pair_f64(p)).collect())
+            .collect(),
+        rng: pairs_rng(&repr.rng)?,
+        baseline: repr.baseline.map(pair_f64),
+        temperature: pair_f64(repr.temperature),
+    })
+}
+
+pub(crate) fn supernet_to_repr(state: &SupernetSearchState) -> SupernetStateRepr {
+    SupernetStateRepr {
+        alpha: state.alpha.iter().map(|row| f32_bits(row)).collect(),
+        gumbel_rng: rng_pairs(state.gumbel_rng),
+        step: state.step,
+    }
+}
+
+pub(crate) fn repr_to_supernet(
+    repr: &SupernetStateRepr,
+) -> Result<SupernetSearchState, CheckpointError> {
+    Ok(SupernetSearchState {
+        alpha: repr.alpha.iter().map(|row| bits_f32(row)).collect(),
+        gumbel_rng: pairs_rng(&repr.gumbel_rng)?,
+        step: repr.step,
+    })
+}
+
+pub(crate) fn curve_to_repr(curve: &[(u64, f32)]) -> Vec<CurvePointRepr> {
+    curve
+        .iter()
+        .map(|&(step, v)| CurvePointRepr {
+            step,
+            bits: v.to_bits(),
+        })
+        .collect()
+}
+
+pub(crate) fn repr_to_curve(reprs: &[CurvePointRepr]) -> Vec<(u64, f32)> {
+    reprs
+        .iter()
+        .map(|r| (r.step, f32::from_bits(r.bits)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::robustness::RobustnessEventKind;
+    use proptest::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (u32, u32)> {
+        (any::<u32>(), any::<u32>())
+    }
+
+    fn tensor_strategy() -> impl Strategy<Value = TensorRepr> {
+        (1usize..5, prop::collection::vec(any::<u32>(), 1..6)).prop_map(|(d, bits)| TensorRepr {
+            name: format!("t{d}"),
+            shape: vec![bits.len()],
+            bits,
+        })
+    }
+
+    fn env_strategy() -> impl Strategy<Value = EnvStateRepr> {
+        (
+            prop::collection::vec(pair_strategy(), 0..6),
+            prop::collection::vec(any::<u32>(), 0..6),
+        )
+            .prop_map(|(ints, floats)| EnvStateRepr {
+                tag: "Env".to_string(),
+                ints,
+                floats,
+                inner: Vec::new(),
+            })
+    }
+
+    /// A checkpoint exercising every repr: tensors, nested env states,
+    /// optimizer slots, RNG words, f64 pairs, curves, events.
+    fn build_checkpoint(
+        seed: (u32, u32),
+        steps32: u32,
+        tensors: Vec<TensorRepr>,
+        envs: Vec<EnvStateRepr>,
+        scalars: Vec<(u32, u32)>,
+        lr: u32,
+        lr_scale: u32,
+        rollbacks: u32,
+    ) -> SearchCheckpoint {
+        let rng = vec![(1, 2), (3, 4), (5, 6), (7, 8)];
+        let n_envs = envs.len();
+        SearchCheckpoint {
+            version: SEARCH_CHECKPOINT_VERSION,
+            fingerprint: "deadbeefdeadbeef".to_string(),
+            seed,
+            steps: u64::from(steps32),
+            iteration: u64::from(steps32) / 20,
+            next_eval: u64::from(steps32) + 500,
+            score_curve: vec![
+                CurvePointRepr { step: 100, bits: lr },
+                CurvePointRepr {
+                    step: 200,
+                    bits: lr_scale,
+                },
+            ],
+            entropy_curve: vec![CurvePointRepr { step: 100, bits: 7 }],
+            weight_params: tensors.clone(),
+            state_tensors: tensors,
+            supernet: SupernetStateRepr {
+                alpha: vec![vec![1, 2, 3], vec![4, 5, 6]],
+                gumbel_rng: rng.clone(),
+                step: u64::from(steps32),
+            },
+            weight_opt: OptimStateRepr {
+                kind: "rmsprop".to_string(),
+                lr,
+                key_names: vec!["w".to_string()],
+                key_shapes: vec![vec![2]],
+                slots: vec![vec![vec![9, 10]]],
+                scalars: Vec::new(),
+            },
+            alpha_opt: OptimStateRepr {
+                kind: "adam".to_string(),
+                lr,
+                key_names: Vec::new(),
+                key_shapes: Vec::new(),
+                slots: vec![Vec::new(), Vec::new()],
+                scalars: scalars.clone(),
+            },
+            das: DasStateRepr {
+                logits: vec![scalars],
+                rng: rng.clone(),
+                baseline: Some((11, 12)),
+                temperature: (13, 14),
+            },
+            train_runner: RunnerStateRepr {
+                envs,
+                lane_rngs: vec![rng; n_envs],
+                current_obs: vec![vec![15, 16]; n_envs],
+            },
+            val_runner: None,
+            lr_scale,
+            rollbacks_left: rollbacks,
+            events: vec![RobustnessEvent {
+                iteration: 3,
+                kind: RobustnessEventKind::FaultInjected,
+                detail: "nan loss".to_string(),
+            }],
+        }
+    }
+
+    fn checkpoint_strategy() -> impl Strategy<Value = SearchCheckpoint> {
+        (
+            pair_strategy(),
+            any::<u32>(),
+            prop::collection::vec(tensor_strategy(), 0..4),
+            prop::collection::vec(env_strategy(), 1..4),
+            prop::collection::vec(pair_strategy(), 0..4),
+            (any::<u32>(), any::<u32>(), 0u32..10),
+        )
+            .prop_map(|(seed, steps32, tensors, envs, scalars, (lr, scale, rb))| {
+                build_checkpoint(seed, steps32, tensors, envs, scalars, lr, scale, rb)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The full checkpoint — including extreme bit patterns for every
+        /// float and 64-bit field — survives JSON exactly.
+        #[test]
+        fn search_checkpoint_json_round_trip(ck in checkpoint_strategy()) {
+            let json = ck.to_json();
+            let back = SearchCheckpoint::from_json(&json);
+            prop_assert!(back.is_ok(), "{:?}", back.err());
+            let is_equal = back.ok() == Some(ck);
+            prop_assert!(is_equal, "checkpoint changed across the JSON round trip");
+        }
+
+        /// 64-bit packing is lossless for every value, including those
+        /// above 2^53 where the vendored serde would silently round.
+        #[test]
+        fn u64_pair_round_trip(x in any::<u64>()) {
+            prop_assert_eq!(pair_u64(u64_pair(x)), x);
+        }
+
+        /// f64 packing preserves exact bits (NaN payloads included).
+        #[test]
+        fn f64_pair_round_trip(bits in any::<u64>()) {
+            let x = f64::from_bits(bits);
+            prop_assert_eq!(pair_f64(f64_pair(x)).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_other_versions() {
+        let mut ck = build_checkpoint(
+            (1, 2),
+            300,
+            Vec::new(),
+            vec![EnvStateRepr {
+                tag: "Env".to_string(),
+                ints: Vec::new(),
+                floats: Vec::new(),
+                inner: Vec::new(),
+            }],
+            Vec::new(),
+            5,
+            6,
+            1,
+        );
+        ck.version = SEARCH_CHECKPOINT_VERSION + 1;
+        let err = SearchCheckpoint::from_json(&ck.to_json()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            SearchCheckpoint::from_json("not json"),
+            Err(CheckpointError::Parse(_))
+        ));
+        assert!(matches!(
+            SearchCheckpoint::from_json("{\"version\": 2}"),
+            Err(CheckpointError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_and_fault_plan() {
+        let base = CoSearchConfig::tiny(3, 12, 12, 3);
+        let mut threaded = base.clone();
+        threaded.threads = Some(2);
+        let mut faulted = base.clone();
+        faulted.fault.plan = crate::fault::FaultPlan::none().abort_at(3);
+        faulted.fault.sentinel = true;
+        let mut different = base.clone();
+        different.total_steps += 1;
+
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&threaded));
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&faulted));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&different));
+    }
+}

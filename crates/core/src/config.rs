@@ -1,5 +1,6 @@
 //! Co-search configuration.
 
+use crate::fault::FaultConfig;
 use a3cs_accel::{DasConfig, FpgaTarget};
 use a3cs_drl::{A2cConfig, DistillConfig};
 use a3cs_nas::SupernetConfig;
@@ -69,6 +70,9 @@ pub struct CoSearchConfig {
     /// process default — `A3CS_THREADS` or the core count). Results are
     /// bit-identical for every setting; this only trades wall-clock.
     pub threads: Option<usize>,
+    /// Fault-tolerance knobs: resumable checkpoints, divergence sentinels
+    /// and deterministic fault injection (all disabled by default).
+    pub fault: FaultConfig,
 }
 
 impl CoSearchConfig {
@@ -98,6 +102,7 @@ impl CoSearchConfig {
             eval_episodes: 10,
             eval_max_steps: 300,
             threads: None,
+            fault: FaultConfig::default(),
         }
     }
 

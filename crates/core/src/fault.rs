@@ -1,0 +1,301 @@
+//! Deterministic fault injection for the co-search loop, plus the
+//! fault-tolerance configuration knobs.
+//!
+//! A [`FaultPlan`] schedules one-shot faults at exact co-search iterations,
+//! so robustness tests are reproducible: a crash at iteration `N` is a
+//! crash at iteration `N` on every run, at every thread count. Faults
+//! never fire unless explicitly configured — the default plan is empty.
+
+use crate::fault::io_faults::{flip_byte, truncate_file};
+use std::path::{Path, PathBuf};
+
+/// One scheduled fault. Each fires at most once, at the start (or, for
+/// checkpoint corruption, the checkpoint write) of the given co-search
+/// iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Return [`crate::SearchError::Aborted`] from `run_guarded` at the
+    /// start of the iteration — simulating the process dying between two
+    /// iterations (the checkpoint on disk is whatever was last written).
+    Abort {
+        /// Iteration to abort at.
+        at_iteration: u64,
+    },
+    /// Poison the task loss with `NaN` before backward on this iteration,
+    /// exercising the divergence sentinel and rollback path.
+    NanLoss {
+        /// Iteration whose loss is poisoned.
+        at_iteration: u64,
+    },
+    /// After the checkpoint for this iteration is written, truncate the
+    /// file to its first `keep_bytes` bytes — simulating a torn write.
+    TruncateCheckpoint {
+        /// Iteration whose checkpoint file is truncated.
+        at_iteration: u64,
+        /// Bytes of the file to keep.
+        keep_bytes: usize,
+    },
+    /// After the checkpoint for this iteration is written, XOR one byte at
+    /// `offset` (clamped into the file) — simulating bit rot.
+    FlipCheckpointByte {
+        /// Iteration whose checkpoint file is corrupted.
+        at_iteration: u64,
+        /// Byte offset to flip.
+        offset: usize,
+    },
+}
+
+impl Fault {
+    fn at_iteration(&self) -> u64 {
+        match self {
+            Fault::Abort { at_iteration }
+            | Fault::NanLoss { at_iteration }
+            | Fault::TruncateCheckpoint { at_iteration, .. }
+            | Fault::FlipCheckpointByte { at_iteration, .. } => *at_iteration,
+        }
+    }
+}
+
+/// A deterministic schedule of one-shot faults (empty by default — no
+/// faults ever fire unless asked for).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a simulated crash at the start of `iteration`.
+    #[must_use]
+    pub fn abort_at(mut self, iteration: u64) -> Self {
+        self.faults.push(Fault::Abort {
+            at_iteration: iteration,
+        });
+        self
+    }
+
+    /// Add a `NaN` loss injection at `iteration`.
+    #[must_use]
+    pub fn nan_loss_at(mut self, iteration: u64) -> Self {
+        self.faults.push(Fault::NanLoss {
+            at_iteration: iteration,
+        });
+        self
+    }
+
+    /// Truncate the checkpoint written at `iteration` to `keep_bytes`.
+    #[must_use]
+    pub fn truncate_checkpoint_at(mut self, iteration: u64, keep_bytes: usize) -> Self {
+        self.faults.push(Fault::TruncateCheckpoint {
+            at_iteration: iteration,
+            keep_bytes,
+        });
+        self
+    }
+
+    /// Flip one byte of the checkpoint written at `iteration`.
+    #[must_use]
+    pub fn flip_checkpoint_byte_at(mut self, iteration: u64, offset: usize) -> Self {
+        self.faults.push(Fault::FlipCheckpointByte {
+            at_iteration: iteration,
+            offset,
+        });
+        self
+    }
+
+    /// `true` if the plan contains an [`Fault::Abort`] (which only
+    /// `run_guarded` can surface).
+    #[must_use]
+    pub fn has_abort(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::Abort { .. }))
+    }
+}
+
+/// Runtime driver over a [`FaultPlan`]: tracks which faults have fired so
+/// each is one-shot even when the surrounding iteration replays after a
+/// rollback.
+pub(crate) struct FaultDriver {
+    faults: Vec<(Fault, bool)>,
+}
+
+impl FaultDriver {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultDriver {
+            faults: plan.faults.into_iter().map(|f| (f, false)).collect(),
+        }
+    }
+
+    /// Fire (at most once) the first unfired fault matching `pred` at
+    /// `iteration`, returning it.
+    fn fire(&mut self, iteration: u64, pred: impl Fn(&Fault) -> bool) -> Option<Fault> {
+        for (fault, fired) in &mut self.faults {
+            if !*fired && fault.at_iteration() == iteration && pred(fault) {
+                *fired = true;
+                return Some(fault.clone());
+            }
+        }
+        None
+    }
+
+    /// Should the loop simulate a crash right now?
+    pub(crate) fn abort_now(&mut self, iteration: u64) -> bool {
+        self.fire(iteration, |f| matches!(f, Fault::Abort { .. }))
+            .is_some()
+    }
+
+    /// Should this iteration's loss be poisoned?
+    pub(crate) fn nan_loss_now(&mut self, iteration: u64) -> bool {
+        self.fire(iteration, |f| matches!(f, Fault::NanLoss { .. }))
+            .is_some()
+    }
+
+    /// Apply every scheduled corruption to the checkpoint file just written
+    /// for `iteration`, returning a description of each applied fault.
+    pub(crate) fn corrupt_checkpoint_now(&mut self, iteration: u64, path: &Path) -> Vec<String> {
+        let mut applied = Vec::new();
+        loop {
+            let fault = self.fire(iteration, |f| {
+                matches!(
+                    f,
+                    Fault::TruncateCheckpoint { .. } | Fault::FlipCheckpointByte { .. }
+                )
+            });
+            let Some(fault) = fault else { break };
+            let outcome = match &fault {
+                Fault::TruncateCheckpoint { keep_bytes, .. } => truncate_file(path, *keep_bytes),
+                Fault::FlipCheckpointByte { offset, .. } => flip_byte(path, *offset),
+                Fault::Abort { .. } | Fault::NanLoss { .. } => {
+                    unreachable!("fire() matched only checkpoint corruptions")
+                }
+            };
+            match outcome {
+                Ok(()) => applied.push(format!("{fault:?} applied to {}", path.display())),
+                Err(e) => applied.push(format!("{fault:?} failed: {e}")),
+            }
+        }
+        applied
+    }
+}
+
+mod io_faults {
+    use std::fs;
+    use std::path::Path;
+
+    pub(crate) fn truncate_file(path: &Path, keep_bytes: usize) -> std::io::Result<()> {
+        let bytes = fs::read(path)?;
+        let keep = keep_bytes.min(bytes.len());
+        fs::write(path, &bytes[..keep])
+    }
+
+    pub(crate) fn flip_byte(path: &Path, offset: usize) -> std::io::Result<()> {
+        let mut bytes = fs::read(path)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let at = offset.min(bytes.len() - 1);
+        bytes[at] ^= 0xff;
+        fs::write(path, bytes)
+    }
+}
+
+/// Fault-tolerance configuration of a co-search run. The default disables
+/// everything — no checkpoints are written, no sentinel checks run, and no
+/// faults are injected — so existing behaviour is unchanged unless opted
+/// into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Directory for resumable search checkpoints (`None`: checkpointing
+    /// off). `run_guarded` auto-resumes from the newest valid checkpoint
+    /// found here.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write (and, for the sentinel, capture) a checkpoint every this many
+    /// co-search iterations.
+    pub checkpoint_every: u64,
+    /// On-disk checkpoints to retain (older ones are pruned; keep ≥ 2 to
+    /// survive corruption of the newest).
+    pub keep: usize,
+    /// Enable divergence sentinels: after backward and after each `θ`/`α`
+    /// update, check loss and parameters for non-finite values and roll
+    /// back to the last good checkpoint when tripped.
+    pub sentinel: bool,
+    /// How many rollbacks the sentinel may perform before degrading to
+    /// skip-and-continue.
+    pub max_rollbacks: u32,
+    /// Multiply the effective learning rates by this factor on every
+    /// rollback (1.0: no back-off). Values < 1.0 trade replay fidelity for
+    /// stability, so bit-identity with an uninterrupted run only holds at
+    /// 1.0.
+    pub lr_backoff: f32,
+    /// Deterministic fault-injection schedule (empty: no faults).
+    pub plan: FaultPlan,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            keep: 3,
+            sentinel: false,
+            max_rollbacks: 3,
+            lr_backoff: 1.0,
+            plan: FaultPlan::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once_at_their_iteration() {
+        let plan = FaultPlan::none().abort_at(3).nan_loss_at(5);
+        let mut driver = FaultDriver::new(plan);
+        assert!(!driver.abort_now(2));
+        assert!(!driver.nan_loss_now(3)); // wrong kind
+        assert!(driver.abort_now(3));
+        assert!(!driver.abort_now(3), "one-shot");
+        assert!(driver.nan_loss_now(5));
+        assert!(!driver.nan_loss_now(5), "one-shot");
+    }
+
+    #[test]
+    fn corruption_faults_modify_the_file() {
+        let dir = std::env::temp_dir().join(format!("a3cs_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ckpt.json");
+        std::fs::write(&path, "0123456789").expect("seed file");
+
+        let plan = FaultPlan::none()
+            .truncate_checkpoint_at(1, 4)
+            .flip_checkpoint_byte_at(2, 0);
+        let mut driver = FaultDriver::new(plan);
+        assert!(driver.corrupt_checkpoint_now(0, &path).is_empty());
+        let applied = driver.corrupt_checkpoint_now(1, &path);
+        assert_eq!(applied.len(), 1, "{applied:?}");
+        assert_eq!(std::fs::read(&path).expect("read"), b"0123");
+        let applied = driver.corrupt_checkpoint_now(2, &path);
+        assert_eq!(applied.len(), 1, "{applied:?}");
+        assert_eq!(std::fs::read(&path).expect("read")[0], b'0' ^ 0xff);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_config_is_fully_disabled() {
+        let cfg = FaultConfig::default();
+        assert!(cfg.checkpoint_dir.is_none());
+        assert!(!cfg.sentinel);
+        assert!(cfg.plan.faults.is_empty());
+        assert!(!cfg.plan.has_abort());
+        assert_eq!(cfg.lr_backoff, 1.0);
+    }
+}

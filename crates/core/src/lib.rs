@@ -34,10 +34,16 @@
 
 #![deny(missing_docs)]
 
+mod checkpoint;
 mod config;
+mod fault;
 mod pipeline;
 mod result;
+mod robustness;
 
+pub use checkpoint::{config_fingerprint, CheckpointError, SearchCheckpoint, SEARCH_CHECKPOINT_VERSION};
 pub use config::{CoSearchConfig, SearchScheme};
-pub use pipeline::{per_op_costs, preflight, CoSearch};
+pub use fault::{Fault, FaultConfig, FaultPlan};
+pub use pipeline::{per_op_costs, preflight, CoSearch, SearchError};
 pub use result::CoSearchResult;
+pub use robustness::{RobustnessEvent, RobustnessEventKind, RobustnessLog};

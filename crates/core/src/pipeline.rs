@@ -1,18 +1,86 @@
-//! The A3C-S co-search loop (paper Alg. 1).
+//! The A3C-S co-search loop (paper Alg. 1), with an optional
+//! fault-tolerance layer: resumable checkpoints, divergence sentinels with
+//! rollback, and deterministic fault injection (all off by default — see
+//! [`crate::FaultConfig`]).
 
+use crate::checkpoint::{
+    apply_tensor_reprs, config_fingerprint, curve_to_repr, das_to_repr, optim_to_repr, pair_u64,
+    repr_to_curve, repr_to_das, repr_to_optim, repr_to_runner, repr_to_supernet, runner_to_repr,
+    supernet_to_repr, tensors_to_repr, u64_pair, CheckpointError, SearchCheckpoint,
+    SEARCH_CHECKPOINT_VERSION,
+};
 use crate::config::{CoSearchConfig, SearchScheme};
+use crate::fault::FaultDriver;
 use crate::result::CoSearchResult;
+use crate::robustness::{RobustnessEventKind, RobustnessLog};
 use a3cs_accel::{DasEngine, PerfModel};
 use a3cs_check::{check_search_setup, check_supernet, max_arch_depth, Report};
 use a3cs_drl::{
-    a2c_losses, clip_grad_norm, evaluate, ActorCritic, Adam, DistillConfig, DistillMode,
-    EnvFactory, EvalProtocol, LrSchedule, Optimizer, RmsProp, RolloutRunner,
+    a2c_losses, clip_grad_norm, evaluate, ActorCritic, Adam, CheckpointStore, DistillConfig,
+    DistillMode, EnvFactory, EvalProtocol, LrSchedule, Optimizer, RmsProp, RolloutRunner,
 };
 use a3cs_envs::wrappers::{ClipReward, EpisodeLimit};
 use a3cs_envs::Environment;
 use a3cs_nas::SuperNet;
+use a3cs_nn::Param;
 use a3cs_tensor::{Tape, Tensor};
+use std::fmt;
 use std::rc::Rc;
+
+/// Why [`CoSearch::run_guarded`] stopped before the search completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// A scheduled [`crate::Fault::Abort`] fired: the loop simulated a
+    /// process crash at an iteration boundary. The checkpoint store (if
+    /// configured) holds whatever was last written; a fresh `CoSearch` on
+    /// the same config/seed resumes from it bit-identically.
+    Aborted {
+        /// Co-search iteration at which the simulated crash fired.
+        iteration: u64,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Aborted { iteration } => {
+                write!(f, "search aborted by injected crash at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Everything `run_guarded` mutates per iteration, gathered so the
+/// checkpoint capture/apply paths see one coherent bundle.
+struct RunState {
+    train_runner: RolloutRunner,
+    val_runner: Option<RolloutRunner>,
+    weight_opt: RmsProp,
+    alpha_opt: Adam,
+    steps: u64,
+    next_eval: u64,
+    score_curve: Vec<(u64, f32)>,
+    alpha_entropy_curve: Vec<(u64, f32)>,
+    iteration: u64,
+    /// Multiplier on both learning rates; decays by `lr_backoff` per
+    /// rollback (1.0 until a rollback happens).
+    lr_scale: f32,
+    rollbacks_left: u32,
+    log: RobustnessLog,
+}
+
+/// First parameter containing a non-finite value, if any.
+fn first_non_finite(params: &[Param], what: &str) -> Option<String> {
+    params.iter().find_map(|p| {
+        if p.value().data().iter().any(|x| !x.is_finite()) {
+            Some(format!("{what} parameter {:?} is non-finite", p.name()))
+        } else {
+            None
+        }
+    })
+}
 
 /// Layer-wise hardware cost of every candidate operator of every supernet
 /// cell on `accel` (Eq. 8's `L_cost^{α_i^l}`): the cycle count of the
@@ -178,13 +246,169 @@ impl CoSearch {
         }
     }
 
+    /// Fresh (iteration-zero) loop state for this search.
+    fn fresh_run_state(&self, train_factory: &EnvFactory<'_>) -> RunState {
+        let cfg = &self.config;
+        RunState {
+            train_runner: RolloutRunner::new(train_factory, cfg.n_envs, self.seed),
+            // Bi-level mode draws its α updates from held-out rollouts.
+            val_runner: match cfg.scheme {
+                SearchScheme::BiLevel => Some(RolloutRunner::new(
+                    train_factory,
+                    cfg.n_envs,
+                    self.seed ^ 0x55aa_55aa,
+                )),
+                _ => None,
+            },
+            weight_opt: RmsProp::new(cfg.weight_lr),
+            alpha_opt: Adam::new(cfg.alpha_lr),
+            steps: 0,
+            next_eval: cfg.eval_every.min(cfg.total_steps),
+            score_curve: Vec::new(),
+            alpha_entropy_curve: Vec::new(),
+            iteration: 0,
+            lr_scale: 1.0,
+            rollbacks_left: cfg.fault.max_rollbacks,
+            log: RobustnessLog::new(),
+        }
+    }
+
+    /// Snapshot the complete loop state at an iteration boundary.
+    fn capture_checkpoint(&self, st: &RunState) -> SearchCheckpoint {
+        SearchCheckpoint {
+            version: SEARCH_CHECKPOINT_VERSION,
+            fingerprint: config_fingerprint(&self.config),
+            seed: u64_pair(self.seed),
+            steps: st.steps,
+            iteration: st.iteration,
+            next_eval: st.next_eval,
+            score_curve: curve_to_repr(&st.score_curve),
+            entropy_curve: curve_to_repr(&st.alpha_entropy_curve),
+            weight_params: tensors_to_repr(&self.agent.params()),
+            state_tensors: tensors_to_repr(&self.agent.state()),
+            supernet: supernet_to_repr(&self.supernet.export_search_state()),
+            weight_opt: optim_to_repr(&st.weight_opt.export_state()),
+            alpha_opt: optim_to_repr(&st.alpha_opt.export_state()),
+            das: das_to_repr(&self.das.export_state()),
+            train_runner: runner_to_repr(&st.train_runner.export_state()),
+            val_runner: st
+                .val_runner
+                .as_ref()
+                .map(|r| runner_to_repr(&r.export_state())),
+            lr_scale: st.lr_scale.to_bits(),
+            rollbacks_left: st.rollbacks_left,
+            events: st.log.events.clone(),
+        }
+    }
+
+    /// Restore the loop to a captured iteration boundary. On `Err` the
+    /// search/run state may be partially overwritten — callers either
+    /// rebuild from scratch (resume path) or know the checkpoint cannot
+    /// mismatch (in-memory rollback path).
+    fn apply_checkpoint(
+        &mut self,
+        ck: &SearchCheckpoint,
+        st: &mut RunState,
+    ) -> Result<(), CheckpointError> {
+        let expected = config_fingerprint(&self.config);
+        if ck.fingerprint != expected {
+            return Err(CheckpointError::Fingerprint {
+                expected,
+                found: ck.fingerprint.clone(),
+            });
+        }
+        if pair_u64(ck.seed) != self.seed {
+            return Err(CheckpointError::Incompatible(format!(
+                "checkpoint seed {} vs this run's {}",
+                pair_u64(ck.seed),
+                self.seed
+            )));
+        }
+        if ck.val_runner.is_some() != st.val_runner.is_some() {
+            return Err(CheckpointError::Incompatible(
+                "checkpoint and run disagree on the validation runner".to_string(),
+            ));
+        }
+        apply_tensor_reprs(&ck.weight_params, &self.agent.params(), "agent params")?;
+        apply_tensor_reprs(&ck.state_tensors, &self.agent.state(), "agent state")?;
+        self.supernet
+            .import_search_state(&repr_to_supernet(&ck.supernet)?)
+            .map_err(|e| CheckpointError::Incompatible(format!("supernet state: {e:?}")))?;
+        st.weight_opt
+            .import_state(&repr_to_optim(&ck.weight_opt)?)
+            .map_err(|e| CheckpointError::Incompatible(format!("weight optimiser: {e}")))?;
+        st.alpha_opt
+            .import_state(&repr_to_optim(&ck.alpha_opt)?)
+            .map_err(|e| CheckpointError::Incompatible(format!("alpha optimiser: {e}")))?;
+        self.das
+            .import_state(&repr_to_das(&ck.das)?)
+            .map_err(|e| CheckpointError::Incompatible(format!("DAS state: {e}")))?;
+        st.train_runner
+            .import_state(&repr_to_runner(&ck.train_runner)?)
+            .map_err(|e| CheckpointError::Incompatible(format!("train runner: {e}")))?;
+        if let (Some(runner), Some(repr)) = (st.val_runner.as_mut(), ck.val_runner.as_ref()) {
+            runner
+                .import_state(&repr_to_runner(repr)?)
+                .map_err(|e| CheckpointError::Incompatible(format!("validation runner: {e}")))?;
+        }
+        st.steps = ck.steps;
+        st.iteration = ck.iteration;
+        st.next_eval = ck.next_eval;
+        st.score_curve = repr_to_curve(&ck.score_curve);
+        st.alpha_entropy_curve = repr_to_curve(&ck.entropy_curve);
+        st.lr_scale = f32::from_bits(ck.lr_scale);
+        st.rollbacks_left = ck.rollbacks_left;
+        st.log = RobustnessLog {
+            events: ck.events.clone(),
+        };
+        Ok(())
+    }
+
     /// Run the full co-search (Alg. 1) against environments from
     /// `factory`, optionally distilling from `teacher`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan schedules an [`crate::Fault::Abort`] —
+    /// simulated crashes end a run early, which only
+    /// [`CoSearch::run_guarded`] can express in its return type.
     pub fn run(
         &mut self,
         factory: &EnvFactory<'_>,
         teacher: Option<&ActorCritic>,
     ) -> CoSearchResult {
+        assert!(
+            !self.config.fault.plan.has_abort(),
+            "the fault plan schedules an abort: call run_guarded, which \
+             surfaces it as SearchError::Aborted"
+        );
+        match self.run_guarded(factory, teacher) {
+            Ok(result) => result,
+            Err(SearchError::Aborted { .. }) => {
+                unreachable!("run_guarded only aborts on Fault::Abort, which was ruled out above")
+            }
+        }
+    }
+
+    /// [`CoSearch::run`] with the full fault-tolerance layer surfaced:
+    /// auto-resume from the newest valid checkpoint in
+    /// `config.fault.checkpoint_dir`, periodic atomic checkpoint writes,
+    /// divergence sentinels with bounded rollback, and deterministic fault
+    /// injection. Every robustness action taken is recorded in
+    /// [`CoSearchResult::robustness`].
+    ///
+    /// With the default [`crate::FaultConfig`] this is exactly `run`.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::Aborted`] when a scheduled [`crate::Fault::Abort`]
+    /// fires (only fault plans produce errors; real I/O or divergence
+    /// problems degrade gracefully and are logged instead).
+    pub fn run_guarded(
+        &mut self,
+        factory: &EnvFactory<'_>,
+        teacher: Option<&ActorCritic>,
+    ) -> Result<CoSearchResult, SearchError> {
         let cfg = self.config.clone();
         let distill = match cfg.scheme {
             SearchScheme::DirectNas => DistillConfig {
@@ -202,39 +426,114 @@ impl CoSearch {
         let train_factory = move |seed: u64| -> Box<dyn Environment> {
             Box::new(EpisodeLimit::new(ClipReward::new(factory(seed)), cap))
         };
-        let mut train_runner = RolloutRunner::new(&train_factory, cfg.n_envs, self.seed);
-        // Bi-level mode draws its α updates from held-out rollouts.
-        let mut val_runner = match cfg.scheme {
-            SearchScheme::BiLevel => Some(RolloutRunner::new(
-                &train_factory,
-                cfg.n_envs,
-                self.seed ^ 0x55aa_55aa,
-            )),
-            _ => None,
-        };
+        let mut st = self.fresh_run_state(&train_factory);
+        let store = cfg
+            .fault
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| CheckpointStore::new(dir.clone(), cfg.fault.keep));
+        let mut driver = FaultDriver::new(cfg.fault.plan.clone());
+        let checkpoint_every = cfg.fault.checkpoint_every.max(1);
+
+        // --- auto-resume from the newest valid on-disk checkpoint.
+        if let Some(store) = &store {
+            let recovery = store.recover();
+            for diagnostic in &recovery.skipped {
+                st.log.push(
+                    0,
+                    RobustnessEventKind::CorruptCheckpointSkipped,
+                    diagnostic.clone(),
+                );
+            }
+            if let Some((iter, payload)) = recovery.checkpoint {
+                let outcome = SearchCheckpoint::from_json(&payload).and_then(|ck| {
+                    let prior_events = std::mem::take(&mut st.log.events);
+                    let applied = self.apply_checkpoint(&ck, &mut st);
+                    // apply overwrites the log with the checkpoint's events
+                    // on success (and leaves it alone on failure): keep the
+                    // skip diagnostics either way.
+                    st.log.events.extend(prior_events);
+                    applied
+                });
+                match outcome {
+                    Ok(()) => {
+                        st.log.push(
+                            st.iteration,
+                            RobustnessEventKind::Resumed,
+                            format!(
+                                "from checkpoint at iteration {iter} ({} env steps)",
+                                st.steps
+                            ),
+                        );
+                    }
+                    Err(e) => {
+                        // The failed apply may have left partial state:
+                        // rebuild the search and the run state from scratch.
+                        st.log.push(
+                            0,
+                            RobustnessEventKind::ResumeRejected,
+                            format!("checkpoint at iteration {iter}: {e}"),
+                        );
+                        let log = std::mem::take(&mut st.log);
+                        *self = Self::build(self.config.clone(), self.seed);
+                        st = self.fresh_run_state(&train_factory);
+                        st.log = log;
+                    }
+                }
+            }
+        }
 
         let weight_params = self.agent.params();
         let alpha_params = self.supernet.arch().params();
-        let mut weight_opt = RmsProp::new(cfg.weight_lr);
-        let mut alpha_opt = Adam::new(cfg.alpha_lr);
         let schedule = LrSchedule {
             initial_lr: cfg.weight_lr,
             final_lr: cfg.weight_lr * 0.1,
             constant_steps: cfg.total_steps / 3,
             total_steps: cfg.total_steps,
         };
-
-        let mut steps: u64 = 0;
-        let mut next_eval = cfg.eval_every.min(cfg.total_steps);
-        let mut score_curve = Vec::new();
-        let mut alpha_entropy_curve = Vec::new();
-        let mut iteration: u64 = 0;
+        let mut last_good: Option<SearchCheckpoint> = None;
 
         // Rollouts sample operator paths per Eq. 6 (Alg. 1); evaluations
         // below temporarily switch back to the argmax network.
         self.supernet.set_eval_sampling(true);
-        while steps < cfg.total_steps {
-            self.supernet.set_step(steps);
+        while st.steps < cfg.total_steps {
+            // --- simulated crash (only ever fires from the fault plan).
+            if driver.abort_now(st.iteration) {
+                st.log.push(
+                    st.iteration,
+                    RobustnessEventKind::FaultInjected,
+                    "abort (simulated crash)",
+                );
+                self.supernet.set_eval_sampling(false);
+                return Err(SearchError::Aborted {
+                    iteration: st.iteration,
+                });
+            }
+
+            // --- checkpoint boundary: persist and/or arm the rollback.
+            if (store.is_some() || cfg.fault.sentinel) && st.iteration % checkpoint_every == 0 {
+                let ck = self.capture_checkpoint(&st);
+                if let Some(store) = &store {
+                    match store.write(st.iteration, &ck.to_json()) {
+                        Ok(path) => {
+                            for applied in driver.corrupt_checkpoint_now(st.iteration, &path) {
+                                st.log
+                                    .push(st.iteration, RobustnessEventKind::FaultInjected, applied);
+                            }
+                        }
+                        Err(e) => st.log.push(
+                            st.iteration,
+                            RobustnessEventKind::CheckpointWriteFailed,
+                            e.to_string(),
+                        ),
+                    }
+                }
+                if cfg.fault.sentinel {
+                    last_good = Some(ck);
+                }
+            }
+
+            self.supernet.set_step(st.steps);
 
             // --- φ update (Eq. 5/9) on the current most-likely network.
             let proxy_layers = self.supernet.most_likely_layer_descs();
@@ -245,55 +544,133 @@ impl CoSearch {
             // --- rollout + L_task.
             let (runner, update_weights, update_alpha) = match cfg.scheme {
                 SearchScheme::BiLevel => {
-                    if iteration % 2 == 0 {
-                        (&mut train_runner, true, false)
+                    if st.iteration % 2 == 0 {
+                        (&mut st.train_runner, true, false)
                     } else {
-                        match val_runner.as_mut() {
+                        match st.val_runner.as_mut() {
                             Some(runner) => (runner, false, true),
                             None => unreachable!("bilevel scheme constructs a validation runner"),
                         }
                     }
                 }
-                _ => (&mut train_runner, true, true),
+                _ => (&mut st.train_runner, true, true),
             };
             let rollout = runner.collect(&self.agent, cfg.rollout_len);
-            steps += rollout.transitions() as u64;
+            st.steps += rollout.transitions() as u64;
 
             let tape = Tape::new();
             self.agent.zero_grad();
             self.supernet.arch().zero_grad();
-            let (loss, _stats) =
+            let (mut loss, _stats) =
                 a2c_losses(&tape, &self.agent, &rollout, &cfg.a2c, &distill, teacher);
-            loss.backward();
+            if driver.nan_loss_now(st.iteration) {
+                st.log.push(
+                    st.iteration,
+                    RobustnessEventKind::FaultInjected,
+                    "loss poisoned with NaN",
+                );
+                loss = loss.scale(f32::NAN);
+            }
 
-            if update_alpha {
-                // --- λ·L_cost gradient on the activated ops (Eq. 8).
-                let sampled = self.supernet.last_sampled_indices();
-                self.apply_cost_gradient(&sampled);
-                alpha_opt.step(&alpha_params);
+            // --- divergence sentinel: a non-finite loss is caught before
+            // it can touch the parameters; a non-finite parameter is
+            // caught right after the updates that produced it.
+            let mut tripped: Option<String> = None;
+            if cfg.fault.sentinel {
+                let value = loss.value().item();
+                if !value.is_finite() {
+                    st.log.push(
+                        st.iteration,
+                        RobustnessEventKind::NonFiniteLoss,
+                        format!("loss = {value}"),
+                    );
+                    tripped = Some(format!("non-finite loss {value}"));
+                }
             }
-            if update_weights {
-                let _ = clip_grad_norm(&weight_params, cfg.max_grad_norm);
-                weight_opt.set_lr(schedule.at(steps));
-                weight_opt.step(&weight_params);
+            if tripped.is_none() {
+                loss.backward();
+                if update_alpha {
+                    // --- λ·L_cost gradient on the activated ops (Eq. 8).
+                    let sampled = self.supernet.last_sampled_indices();
+                    self.apply_cost_gradient(&sampled);
+                    st.alpha_opt.set_lr(cfg.alpha_lr * st.lr_scale);
+                    st.alpha_opt.step(&alpha_params);
+                }
+                if update_weights {
+                    let _ = clip_grad_norm(&weight_params, cfg.max_grad_norm);
+                    st.weight_opt.set_lr(schedule.at(st.steps) * st.lr_scale);
+                    st.weight_opt.step(&weight_params);
+                }
+                if cfg.fault.sentinel {
+                    let bad = first_non_finite(&weight_params, "agent")
+                        .or_else(|| first_non_finite(&alpha_params, "alpha"));
+                    if let Some(bad) = bad {
+                        st.log
+                            .push(st.iteration, RobustnessEventKind::NonFiniteParam, bad.clone());
+                        tripped = Some(bad);
+                    }
+                }
             }
-            iteration += 1;
+            if let Some(reason) = tripped {
+                if let Some(good) = last_good.clone() {
+                    if st.rollbacks_left > 0 {
+                        // Monotone fields survive the restore: the log, the
+                        // decayed lr and the spent budget must not rewind.
+                        let events = std::mem::take(&mut st.log.events);
+                        let lr_scale = st.lr_scale * cfg.fault.lr_backoff;
+                        let rollbacks_left = st.rollbacks_left - 1;
+                        let tripped_at = st.iteration;
+                        match self.apply_checkpoint(&good, &mut st) {
+                            Ok(()) => {}
+                            Err(e) => {
+                                unreachable!("checkpoint captured this run always applies: {e}")
+                            }
+                        }
+                        st.log.events = events;
+                        st.lr_scale = lr_scale;
+                        st.rollbacks_left = rollbacks_left;
+                        st.log.push(
+                            tripped_at,
+                            RobustnessEventKind::RolledBack,
+                            format!(
+                                "to iteration {} after {reason} ({} rollbacks left)",
+                                good.iteration(),
+                                rollbacks_left
+                            ),
+                        );
+                        continue;
+                    }
+                    st.log.push(
+                        st.iteration,
+                        RobustnessEventKind::RollbackBudgetExhausted,
+                        format!("update skipped after {reason}"),
+                    );
+                } else {
+                    st.log.push(
+                        st.iteration,
+                        RobustnessEventKind::NoCheckpointToRollBackTo,
+                        format!("update skipped after {reason}"),
+                    );
+                }
+            }
+            st.iteration += 1;
 
             // --- periodic evaluation of the argmax network (Fig. 2 data).
-            if steps >= next_eval {
+            if st.steps >= st.next_eval {
                 let protocol = EvalProtocol {
                     episodes: cfg.eval_episodes,
                     noop_max: 8,
                     max_steps: cfg.eval_max_steps,
-                    seed: self.seed ^ steps,
+                    seed: self.seed ^ st.steps,
                     greedy: false,
                 };
                 self.supernet.set_eval_sampling(false);
                 let score = evaluate(&self.agent, factory, &protocol);
                 self.supernet.set_eval_sampling(true);
-                score_curve.push((steps, score));
-                alpha_entropy_curve.push((steps, self.supernet.arch().mean_entropy()));
-                next_eval += cfg.eval_every;
+                st.score_curve.push((st.steps, score));
+                st.alpha_entropy_curve
+                    .push((st.steps, self.supernet.arch().mean_entropy()));
+                st.next_eval += cfg.eval_every;
             }
         }
 
@@ -306,14 +683,15 @@ impl CoSearch {
             .run(&final_layers, &cfg.target, cfg.das_final_iters);
         let report = PerfModel::evaluate(&accelerator, &final_layers, &cfg.target);
 
-        CoSearchResult {
+        Ok(CoSearchResult {
             arch,
             accelerator,
             report,
-            score_curve,
-            alpha_entropy_curve,
-            steps,
-        }
+            score_curve: st.score_curve,
+            alpha_entropy_curve: st.alpha_entropy_curve,
+            steps: st.steps,
+            robustness: st.log,
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Co-search outputs.
 
+use crate::robustness::RobustnessLog;
 use a3cs_accel::{AcceleratorConfig, PerfReport};
 use a3cs_nas::OpChoice;
 
@@ -20,6 +21,9 @@ pub struct CoSearchResult {
     pub alpha_entropy_curve: Vec<(u64, f32)>,
     /// Total environment steps consumed.
     pub steps: u64,
+    /// Every fault-tolerance action the run took (resumes, rollbacks,
+    /// injected faults); empty for an undisturbed run.
+    pub robustness: RobustnessLog,
 }
 
 impl CoSearchResult {
@@ -95,6 +99,7 @@ mod tests {
             score_curve: vec![(100, 1.0), (200, 5.0), (300, 3.0)],
             alpha_entropy_curve: vec![(100, 2.0)],
             steps: 300,
+            robustness: RobustnessLog::new(),
         }
     }
 

@@ -1,0 +1,155 @@
+//! Runtime robustness diagnostics: a structured log of every
+//! fault-tolerance action the co-search loop takes — resumes, corrupt
+//! checkpoints skipped, divergence sentinel trips, rollbacks, injected
+//! faults — surfaced through [`crate::CoSearchResult`] so harnesses can
+//! assert on (and operators can audit) how a run survived.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of robustness action happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RobustnessEventKind {
+    /// The run resumed from an on-disk checkpoint instead of starting
+    /// fresh.
+    Resumed,
+    /// A checkpoint file failed integrity verification and was skipped in
+    /// favour of an older one.
+    CorruptCheckpointSkipped,
+    /// A recovered checkpoint parsed but could not be applied (config
+    /// fingerprint or shape mismatch); the run started fresh instead.
+    ResumeRejected,
+    /// Writing a checkpoint failed; the run continued without it.
+    CheckpointWriteFailed,
+    /// The divergence sentinel saw a non-finite loss after backward.
+    NonFiniteLoss,
+    /// The divergence sentinel saw a non-finite parameter after an update.
+    NonFiniteParam,
+    /// The loop state was rolled back to the last good checkpoint.
+    RolledBack,
+    /// A sentinel tripped but the rollback budget was exhausted; the
+    /// offending update was skipped and the run continued degraded.
+    RollbackBudgetExhausted,
+    /// A sentinel tripped before any checkpoint existed to roll back to;
+    /// the offending update was skipped.
+    NoCheckpointToRollBackTo,
+    /// A configured fault from the injection plan fired.
+    FaultInjected,
+}
+
+impl RobustnessEventKind {
+    /// Stable lowercase label (used in logs and summaries).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RobustnessEventKind::Resumed => "resumed",
+            RobustnessEventKind::CorruptCheckpointSkipped => "corrupt-checkpoint-skipped",
+            RobustnessEventKind::ResumeRejected => "resume-rejected",
+            RobustnessEventKind::CheckpointWriteFailed => "checkpoint-write-failed",
+            RobustnessEventKind::NonFiniteLoss => "non-finite-loss",
+            RobustnessEventKind::NonFiniteParam => "non-finite-param",
+            RobustnessEventKind::RolledBack => "rolled-back",
+            RobustnessEventKind::RollbackBudgetExhausted => "rollback-budget-exhausted",
+            RobustnessEventKind::NoCheckpointToRollBackTo => "no-checkpoint-to-roll-back-to",
+            RobustnessEventKind::FaultInjected => "fault-injected",
+        }
+    }
+}
+
+impl fmt::Display for RobustnessEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One robustness action, stamped with the co-search iteration it happened
+/// at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessEvent {
+    /// Co-search iteration (outer-loop index, not env steps) at the time.
+    pub iteration: u64,
+    /// What happened.
+    pub kind: RobustnessEventKind,
+    /// Human-readable specifics (paths, error messages, fault parameters).
+    pub detail: String,
+}
+
+impl fmt::Display for RobustnessEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[iter {}] {}: {}", self.iteration, self.kind, self.detail)
+    }
+}
+
+/// Ordered log of every robustness action a run took. Empty for a run that
+/// needed none.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RobustnessLog {
+    /// Events in the order they happened.
+    pub events: Vec<RobustnessEvent>,
+}
+
+impl RobustnessLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, iteration: u64, kind: RobustnessEventKind, detail: impl Into<String>) {
+        self.events.push(RobustnessEvent {
+            iteration,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of events of `kind`.
+    #[must_use]
+    pub fn count(&self, kind: RobustnessEventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// `true` if no robustness action was needed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_by_kind() {
+        let mut log = RobustnessLog::new();
+        assert!(log.is_empty());
+        log.push(3, RobustnessEventKind::NonFiniteLoss, "loss = nan");
+        log.push(3, RobustnessEventKind::RolledBack, "to iteration 2");
+        log.push(9, RobustnessEventKind::NonFiniteLoss, "loss = inf");
+        assert_eq!(log.count(RobustnessEventKind::NonFiniteLoss), 2);
+        assert_eq!(log.count(RobustnessEventKind::RolledBack), 1);
+        assert_eq!(log.count(RobustnessEventKind::Resumed), 0);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn event_serialises_round_trip() {
+        let mut log = RobustnessLog::new();
+        log.push(7, RobustnessEventKind::FaultInjected, "nan loss at 7");
+        let json = serde_json::to_string(&log).expect("serialises");
+        let back: RobustnessLog = serde_json::from_str(&json).expect("parses");
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = RobustnessEvent {
+            iteration: 4,
+            kind: RobustnessEventKind::RolledBack,
+            detail: "to iteration 3".to_string(),
+        };
+        assert_eq!(e.to_string(), "[iter 4] rolled-back: to iteration 3");
+    }
+}

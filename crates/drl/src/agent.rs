@@ -150,6 +150,17 @@ impl ActorCritic {
         p
     }
 
+    /// Non-learnable state tensors (e.g. batch-norm running statistics)
+    /// that checkpoints must capture alongside [`ActorCritic::params`] for
+    /// evaluation forwards to resume bit-exactly.
+    #[must_use]
+    pub fn state(&self) -> Vec<Param> {
+        let mut s = self.backbone.state();
+        s.extend(self.policy_head.state());
+        s.extend(self.value_head.state());
+        s
+    }
+
     /// Zero all accumulated gradients.
     pub fn zero_grad(&self) {
         for p in self.params() {

@@ -1,8 +1,13 @@
-//! Parameter checkpointing: persist and restore agent weights as JSON.
+//! Parameter checkpointing: persist and restore agent weights as JSON,
+//! plus the durable-write machinery shared by all checkpoint producers —
+//! atomic writes, a checksummed envelope format, and a rotating on-disk
+//! store with corruption fallback.
 //!
-//! The harnesses use this to train a teacher once and reuse it across
-//! experiments, mirroring how the paper pretrains one ResNet-20 teacher
-//! per task.
+//! The harnesses use [`Checkpoint`] to train a teacher once and reuse it
+//! across experiments, mirroring how the paper pretrains one ResNet-20
+//! teacher per task. The co-search loop's fault-tolerance layer builds its
+//! resumable search checkpoints on [`write_atomic`], [`seal_envelope`] /
+//! [`unseal_envelope`] and [`CheckpointStore`].
 
 use crate::agent::ActorCritic;
 use a3cs_tensor::Tensor;
@@ -10,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A serialisable snapshot of one agent's parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,6 +73,278 @@ impl From<serde_json::Error> for LoadCheckpointError {
     }
 }
 
+/// Error saving a checkpoint.
+#[derive(Debug)]
+pub enum SaveCheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The checkpoint could not be serialised.
+    Serialize(serde_json::Error),
+}
+
+impl fmt::Display for SaveCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaveCheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            SaveCheckpointError::Serialize(e) => {
+                write!(f, "checkpoint serialise error: {e}")
+            }
+        }
+    }
+}
+
+impl Error for SaveCheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SaveCheckpointError::Io(e) => Some(e),
+            SaveCheckpointError::Serialize(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for SaveCheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        SaveCheckpointError::Io(e)
+    }
+}
+
+/// Write `contents` to `path` atomically: write a sibling `*.tmp` file and
+/// rename it into place, so readers never observe a half-written file even
+/// if the process dies mid-write.
+///
+/// # Errors
+///
+/// Returns any filesystem error encountered; the temporary file is removed
+/// on failure when possible.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), std::io::Error> {
+    let mut tmp_name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("checkpoint"), ToOwned::to_owned);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — the integrity checksum used by the checkpoint
+/// envelope. Not cryptographic; it detects truncation and bit corruption.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Magic/version prefix of the checkpoint envelope header line.
+const ENVELOPE_MAGIC: &str = "A3CS-CKPT v2";
+
+/// Wrap `payload` in the checkpoint envelope: a single header line
+/// `A3CS-CKPT v2 fnv1a=<16 hex digits>` followed by the payload verbatim.
+/// [`unseal_envelope`] verifies the checksum over the payload bytes.
+#[must_use]
+pub fn seal_envelope(payload: &str) -> String {
+    format!(
+        "{ENVELOPE_MAGIC} fnv1a={:016x}\n{payload}",
+        fnv1a64(payload.as_bytes())
+    )
+}
+
+/// Why an envelope failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// The header line is missing, has the wrong magic/version, or carries
+    /// an unparsable checksum.
+    Malformed {
+        /// Description of what was wrong with the header.
+        detail: String,
+    },
+    /// The payload bytes do not hash to the checksum in the header —
+    /// the file was truncated or corrupted.
+    Checksum {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload actually present.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::Malformed { detail } => {
+                write!(f, "malformed checkpoint envelope: {detail}")
+            }
+            EnvelopeError::Checksum { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {stored:016x}, \
+                 payload hashes to {computed:016x} (truncated or corrupted)"
+            ),
+        }
+    }
+}
+
+impl Error for EnvelopeError {}
+
+/// Verify and strip the envelope added by [`seal_envelope`], returning the
+/// payload.
+///
+/// # Errors
+///
+/// [`EnvelopeError`] when the header is malformed or the checksum does not
+/// match the payload.
+pub fn unseal_envelope(text: &str) -> Result<&str, EnvelopeError> {
+    let Some((header, payload)) = text.split_once('\n') else {
+        return Err(EnvelopeError::Malformed {
+            detail: "no header line".to_string(),
+        });
+    };
+    let Some(rest) = header.strip_prefix(ENVELOPE_MAGIC) else {
+        return Err(EnvelopeError::Malformed {
+            detail: format!("header {header:?} does not start with {ENVELOPE_MAGIC:?}"),
+        });
+    };
+    let Some(hex) = rest.trim().strip_prefix("fnv1a=") else {
+        return Err(EnvelopeError::Malformed {
+            detail: format!("header {header:?} lacks a fnv1a= checksum"),
+        });
+    };
+    let Ok(stored) = u64::from_str_radix(hex, 16) else {
+        return Err(EnvelopeError::Malformed {
+            detail: format!("unparsable checksum {hex:?}"),
+        });
+    };
+    let computed = fnv1a64(payload.as_bytes());
+    if stored != computed {
+        return Err(EnvelopeError::Checksum { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// A rotating directory of sealed checkpoints: `ckpt-<iteration>.json`
+/// files written atomically, pruned to the most recent `keep`, and read
+/// back newest-first with automatic fallback past corrupt or truncated
+/// files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+/// Outcome of [`CheckpointStore::recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// `(iteration, payload)` of the newest checkpoint that verified, if
+    /// any did.
+    pub checkpoint: Option<(u64, String)>,
+    /// One human-readable diagnostic per file that was skipped (unreadable,
+    /// malformed, or failed its checksum), newest first.
+    pub skipped: Vec<String>,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir`, retaining the newest `keep` checkpoints
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> Self {
+        CheckpointStore {
+            dir: dir.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The directory this store writes into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the checkpoint for `iteration`.
+    #[must_use]
+    pub fn path_for(&self, iteration: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{iteration:012}.json"))
+    }
+
+    /// Seal `payload` and write it atomically as the checkpoint for
+    /// `iteration`, then prune files beyond the newest `keep`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from creating the directory or writing
+    /// the file. Pruning failures are ignored — stale files cost disk, not
+    /// correctness.
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn write(&self, iteration: u64, payload: &str) -> Result<PathBuf, std::io::Error> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(iteration);
+        write_atomic(&path, &seal_envelope(payload))?;
+        let files = self.candidates();
+        for (_, stale) in files.iter().skip(self.keep) {
+            fs::remove_file(stale).ok();
+        }
+        Ok(path)
+    }
+
+    /// All checkpoint files currently in the store as `(iteration, path)`,
+    /// newest first. Files whose names do not parse are ignored.
+    #[must_use]
+    pub fn candidates(&self) -> Vec<(u64, PathBuf)> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut files: Vec<(u64, PathBuf)> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let path = e.path();
+                let name = path.file_name()?.to_str()?;
+                let iter = name.strip_prefix("ckpt-")?.strip_suffix(".json")?;
+                Some((iter.parse::<u64>().ok()?, path))
+            })
+            .collect();
+        files.sort_by(|a, b| b.0.cmp(&a.0));
+        files
+    }
+
+    /// Find the newest checkpoint that reads back and passes its checksum,
+    /// collecting a diagnostic for every newer file that had to be skipped.
+    /// Never panics: corruption, truncation and unreadable files all
+    /// degrade to fallback.
+    #[must_use]
+    pub fn recover(&self) -> Recovery {
+        let mut skipped = Vec::new();
+        for (iteration, path) in self.candidates() {
+            let text = match fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    skipped.push(format!("{}: unreadable: {e}", path.display()));
+                    continue;
+                }
+            };
+            match unseal_envelope(&text) {
+                Ok(payload) => {
+                    return Recovery {
+                        checkpoint: Some((iteration, payload.to_string())),
+                        skipped,
+                    };
+                }
+                Err(e) => skipped.push(format!("{}: {e}", path.display())),
+            }
+        }
+        Recovery {
+            checkpoint: None,
+            skipped,
+        }
+    }
+}
+
 impl Checkpoint {
     /// Capture the current parameter values of `agent`.
     #[must_use]
@@ -99,14 +376,18 @@ impl Checkpoint {
         self.entries.is_empty()
     }
 
-    /// Write the checkpoint as pretty JSON to `path`.
+    /// Write the checkpoint as JSON to `path`, atomically (tmp + rename),
+    /// so a crash mid-save never leaves a truncated checkpoint behind.
     ///
     /// # Errors
     ///
-    /// Returns any filesystem error encountered.
-    pub fn save(&self, path: &Path) -> Result<(), std::io::Error> {
-        let json = serde_json::to_string(self).expect("checkpoint serialises");
-        fs::write(path, json)
+    /// Returns [`SaveCheckpointError`] on serialisation or filesystem
+    /// failure.
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn save(&self, path: &Path) -> Result<(), SaveCheckpointError> {
+        let json = serde_json::to_string(self).map_err(SaveCheckpointError::Serialize)?;
+        write_atomic(path, &json)?;
+        Ok(())
     }
 
     /// Read a checkpoint from `path`.
@@ -126,6 +407,7 @@ impl Checkpoint {
     ///
     /// Returns [`LoadCheckpointError::Mismatch`] when the agent's
     /// architecture differs from the checkpointed one.
+    #[must_use = "the Result reports failure and must be checked"]
     pub fn apply(&self, agent: &ActorCritic) -> Result<(), LoadCheckpointError> {
         let params = agent.params();
         if params.len() != self.entries.len() {
@@ -180,17 +462,125 @@ mod tests {
         assert_eq!(a.policy_probs(&obs, 1), b.policy_probs(&obs, 1));
     }
 
+    /// A per-test, per-process scratch directory: tests used to share one
+    /// fixed path and could race each other (or stale state from a killed
+    /// run) when the suite ran concurrently.
+    fn test_dir(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("a3cs_ckpt_{}_{test}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
     #[test]
     fn save_load_round_trip() {
         let a = agent(3);
-        let dir = std::env::temp_dir().join("a3cs_ckpt_test");
-        std::fs::create_dir_all(&dir).expect("temp dir");
+        let dir = test_dir("save_load_round_trip");
         let path = dir.join("agent.json");
         let ck = Checkpoint::capture(&a);
         ck.save(&path).expect("save");
         let loaded = Checkpoint::load(&path).expect("load");
         assert_eq!(ck, loaded);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file_behind() {
+        let dir = test_dir("save_leaves_no_tmp_file_behind");
+        let path = dir.join("agent.json");
+        Checkpoint::capture(&agent(6)).save(&path).expect("save");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["agent.json".to_string()], "{names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn envelope_round_trip_and_rejection() {
+        let payload = r#"{"hello": [1, 2, 3]}"#;
+        let sealed = seal_envelope(payload);
+        assert_eq!(unseal_envelope(&sealed).expect("round trip"), payload);
+
+        // Flip one payload byte: checksum must catch it.
+        let mut bytes = sealed.clone().into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        let flipped = String::from_utf8(bytes).expect("ascii payload");
+        assert!(matches!(
+            unseal_envelope(&flipped),
+            Err(EnvelopeError::Checksum { .. })
+        ));
+
+        // Truncate mid-payload: checksum must catch it.
+        let truncated = &sealed[..sealed.len() - 4];
+        assert!(matches!(
+            unseal_envelope(truncated),
+            Err(EnvelopeError::Checksum { .. })
+        ));
+
+        // Not an envelope at all.
+        assert!(matches!(
+            unseal_envelope("random junk\nmore junk"),
+            Err(EnvelopeError::Malformed { .. })
+        ));
+        assert!(matches!(
+            unseal_envelope("no newline at all"),
+            Err(EnvelopeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn store_rotates_and_recovers_newest() {
+        let dir = test_dir("store_rotates_and_recovers_newest");
+        let store = CheckpointStore::new(&dir, 2);
+        for i in [3u64, 7, 11] {
+            store.write(i, &format!("payload-{i}")).expect("write");
+        }
+        let files = store.candidates();
+        assert_eq!(
+            files.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![11, 7],
+            "oldest checkpoint must be pruned"
+        );
+        let rec = store.recover();
+        assert_eq!(rec.checkpoint, Some((11, "payload-11".to_string())));
+        assert!(rec.skipped.is_empty(), "{:?}", rec.skipped);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_falls_back_past_corrupt_checkpoints() {
+        let dir = test_dir("store_falls_back_past_corrupt_checkpoints");
+        let store = CheckpointStore::new(&dir, 3);
+        store.write(1, "good-old").expect("write");
+        store.write(2, "good-new").expect("write");
+        // Corrupt the newest on disk (simulating a torn write from a
+        // pre-atomic producer or disk corruption).
+        std::fs::write(store.path_for(2), "A3CS-CKPT v2 fnv1a=0000000000000000\nbad")
+            .expect("corrupt");
+        let rec = store.recover();
+        assert_eq!(rec.checkpoint, Some((1, "good-old".to_string())));
+        assert_eq!(rec.skipped.len(), 1, "{:?}", rec.skipped);
+        assert!(rec.skipped[0].contains("checksum"), "{:?}", rec.skipped);
+
+        // Truncate the survivor too: recovery degrades to None, no panic.
+        let text = std::fs::read_to_string(store.path_for(1)).expect("read");
+        std::fs::write(store.path_for(1), &text[..text.len() - 2]).expect("truncate");
+        let rec = store.recover();
+        assert_eq!(rec.checkpoint, None);
+        assert_eq!(rec.skipped.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_recover_on_missing_dir_is_empty() {
+        let store = CheckpointStore::new("/nonexistent/a3cs-ckpt-store", 2);
+        let rec = store.recover();
+        assert_eq!(rec.checkpoint, None);
+        assert!(rec.skipped.is_empty());
     }
 
     #[test]

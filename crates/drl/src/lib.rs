@@ -47,9 +47,17 @@ mod trainer;
 
 pub use a2c::{a2c_losses, A2cConfig, LossStats};
 pub use agent::ActorCritic;
-pub use checkpoint::{Checkpoint, LoadCheckpointError};
+pub use checkpoint::{
+    fnv1a64, seal_envelope, unseal_envelope, write_atomic, Checkpoint, CheckpointStore,
+    EnvelopeError, LoadCheckpointError, Recovery, SaveCheckpointError,
+};
 pub use distill::{DistillConfig, DistillMode};
 pub use eval::{evaluate, EvalProtocol};
-pub use optim::{clip_grad_norm, Adam, LrSchedule, Optimizer, RmsProp};
-pub use rollout::{batch_to_tensor, collect_rollout, EnvFactory, Rollout, RolloutRunner};
+pub use optim::{
+    clip_grad_norm, Adam, LrSchedule, OptimStateError, Optimizer, OptimizerState, RmsProp,
+};
+pub use rollout::{
+    batch_to_tensor, collect_rollout, EnvFactory, Rollout, RolloutRunner, RunnerState,
+    RunnerStateError,
+};
 pub use trainer::{Trainer, TrainerConfig, TrainingCurve};

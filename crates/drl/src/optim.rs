@@ -15,6 +15,147 @@ pub trait Optimizer {
 
     /// Current learning rate.
     fn lr(&self) -> f32;
+
+    /// Export the optimiser's complete mutable state — moment buffers,
+    /// parameter identity keys, and algorithm scalars — so a checkpoint
+    /// can resume optimisation bit-exactly.
+    fn export_state(&self) -> OptimizerState;
+
+    /// Restore state captured by [`Optimizer::export_state`] on the same
+    /// algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimStateError`] when the state was produced by a different
+    /// algorithm or its buffers are internally inconsistent; nothing is
+    /// modified in that case.
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), OptimStateError>;
+}
+
+/// Serialisable snapshot of an optimiser's mutable state.
+///
+/// The layout is algorithm-agnostic: `slots` holds one buffer per
+/// parameter per moment (RMSProp: one slot, the squared-gradient average;
+/// Adam: two slots, `m` then `v`) and `scalars` holds algorithm counters
+/// (Adam: the running `β1^t`, `β2^t` bias-correction powers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerState {
+    /// Producing algorithm (`"rmsprop"` or `"adam"`).
+    pub kind: String,
+    /// Learning rate at capture time.
+    pub lr: f32,
+    /// `(name, shape)` identity of each tracked parameter, in step order.
+    pub keys: Vec<(String, Vec<usize>)>,
+    /// `slots[s][i]`: flat data of moment slot `s` for parameter `i`.
+    pub slots: Vec<Vec<Vec<f32>>>,
+    /// Algorithm scalars (Adam: `[β1^t, β2^t]`; RMSProp: empty).
+    pub scalars: Vec<f64>,
+}
+
+/// Why an [`OptimizerState`] could not be imported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimStateError {
+    /// The state was produced by a different algorithm.
+    KindMismatch {
+        /// Algorithm of the importing optimiser.
+        expected: &'static str,
+        /// Algorithm recorded in the state.
+        found: String,
+    },
+    /// The state's buffers are internally inconsistent (wrong slot or
+    /// scalar count, or a buffer that does not match its key's shape).
+    Malformed {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for OptimStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimStateError::KindMismatch { expected, found } => {
+                write!(f, "optimizer state is for {found:?}, expected {expected:?}")
+            }
+            OptimStateError::Malformed { detail } => {
+                write!(f, "malformed optimizer state: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimStateError {}
+
+/// Validate the cross-buffer invariants shared by both algorithms and
+/// rebuild `(keys, per-slot tensors)` from a state.
+fn decode_state(
+    state: &OptimizerState,
+    expected_kind: &'static str,
+    expected_slots: usize,
+    expected_scalars: usize,
+) -> Result<(Vec<ParamKey>, Vec<Vec<Tensor>>), OptimStateError> {
+    if state.kind != expected_kind {
+        return Err(OptimStateError::KindMismatch {
+            expected: expected_kind,
+            found: state.kind.clone(),
+        });
+    }
+    if state.slots.len() != expected_slots {
+        return Err(OptimStateError::Malformed {
+            detail: format!(
+                "{} slots, {expected_kind} has {expected_slots}",
+                state.slots.len()
+            ),
+        });
+    }
+    if state.scalars.len() != expected_scalars {
+        return Err(OptimStateError::Malformed {
+            detail: format!(
+                "{} scalars, {expected_kind} has {expected_scalars}",
+                state.scalars.len()
+            ),
+        });
+    }
+    let keys: Vec<ParamKey> = state
+        .keys
+        .iter()
+        .map(|(name, shape)| ParamKey {
+            name: name.clone(),
+            shape: shape.clone(),
+        })
+        .collect();
+    let mut slots = Vec::with_capacity(expected_slots);
+    for (si, slot) in state.slots.iter().enumerate() {
+        if slot.len() != keys.len() {
+            return Err(OptimStateError::Malformed {
+                detail: format!(
+                    "slot {si} has {} buffers for {} keys",
+                    slot.len(),
+                    keys.len()
+                ),
+            });
+        }
+        let mut tensors = Vec::with_capacity(slot.len());
+        for (key, data) in keys.iter().zip(slot) {
+            let t = Tensor::from_vec(data.clone(), &key.shape).map_err(|e| {
+                OptimStateError::Malformed {
+                    detail: format!("buffer for {:?}: {e}", key.name),
+                }
+            })?;
+            tensors.push(t);
+        }
+        slots.push(tensors);
+    }
+    Ok((keys, slots))
+}
+
+fn encode_keys(keys: &[ParamKey]) -> Vec<(String, Vec<usize>)> {
+    keys.iter()
+        .map(|k| (k.name.clone(), k.shape.clone()))
+        .collect()
+}
+
+fn encode_slot(slot: &[Tensor]) -> Vec<Vec<f32>> {
+    slot.iter().map(|t| t.data().to_vec()).collect()
 }
 
 /// Identity of the parameter an optimiser state slot was created for.
@@ -102,6 +243,27 @@ impl Optimizer for RmsProp {
     fn lr(&self) -> f32 {
         self.lr
     }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: "rmsprop".to_string(),
+            lr: self.lr,
+            keys: encode_keys(&self.keys),
+            slots: vec![encode_slot(&self.square_avg)],
+            scalars: Vec::new(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), OptimStateError> {
+        let (keys, mut slots) = decode_state(state, "rmsprop", 1, 0)?;
+        self.lr = state.lr;
+        self.keys = keys;
+        self.square_avg = match slots.pop() {
+            Some(s) => s,
+            None => unreachable!("decode_state guarantees one slot"),
+        };
+        Ok(())
+    }
 }
 
 /// Adam, used for the architecture parameters `α` (paper: fixed learning
@@ -184,6 +346,33 @@ impl Optimizer for Adam {
 
     fn lr(&self) -> f32 {
         self.lr
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: "adam".to_string(),
+            lr: self.lr,
+            keys: encode_keys(&self.keys),
+            slots: vec![encode_slot(&self.m), encode_slot(&self.v)],
+            scalars: vec![self.beta1_pow, self.beta2_pow],
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), OptimStateError> {
+        let (keys, mut slots) = decode_state(state, "adam", 2, 2)?;
+        self.lr = state.lr;
+        self.keys = keys;
+        self.v = match slots.pop() {
+            Some(v) => v,
+            None => unreachable!("decode_state guarantees two slots"),
+        };
+        self.m = match slots.pop() {
+            Some(m) => m,
+            None => unreachable!("decode_state guarantees two slots"),
+        };
+        self.beta1_pow = state.scalars[0];
+        self.beta2_pow = state.scalars[1];
+        Ok(())
     }
 }
 
@@ -354,6 +543,76 @@ mod tests {
         let pre = clip_grad_norm(&[p.clone()], 10.0);
         assert!((pre - 0.5).abs() < 1e-6);
         assert!((p.grad().item() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsprop_state_round_trip_is_bit_exact() {
+        // Warm up, export, keep stepping; a fresh optimiser that imports the
+        // exported state must produce the identical trajectory.
+        let p = Param::new("p", Tensor::scalar(0.0));
+        let mut opt = RmsProp::new(0.1);
+        for _ in 0..7 {
+            quadratic_step(&mut opt, &p);
+        }
+        let state = opt.export_state();
+
+        let p2 = Param::new("p", p.value().clone());
+        let mut resumed = RmsProp::new(0.5); // wrong lr, fixed by import
+        resumed.import_state(&state).unwrap();
+        for _ in 0..7 {
+            quadratic_step(&mut opt, &p);
+            quadratic_step(&mut resumed, &p2);
+        }
+        assert_eq!(p.value().item().to_bits(), p2.value().item().to_bits());
+    }
+
+    #[test]
+    fn adam_state_round_trip_is_bit_exact() {
+        let p = Param::new("p", Tensor::scalar(10.0));
+        let mut opt = Adam::new(0.2);
+        for _ in 0..7 {
+            quadratic_step(&mut opt, &p);
+        }
+        let state = opt.export_state();
+        assert_eq!(state.scalars.len(), 2, "adam exports bias-correction powers");
+
+        let p2 = Param::new("p", p.value().clone());
+        let mut resumed = Adam::new(0.9);
+        resumed.import_state(&state).unwrap();
+        for _ in 0..7 {
+            quadratic_step(&mut opt, &p);
+            quadratic_step(&mut resumed, &p2);
+        }
+        assert_eq!(p.value().item().to_bits(), p2.value().item().to_bits());
+    }
+
+    #[test]
+    fn import_rejects_wrong_kind_and_malformed_state() {
+        let p = Param::new("p", Tensor::scalar(0.0));
+        let mut rms = RmsProp::new(0.1);
+        quadratic_step(&mut rms, &p);
+        let state = rms.export_state();
+
+        let mut adam = Adam::new(0.1);
+        assert!(matches!(
+            adam.import_state(&state),
+            Err(OptimStateError::KindMismatch { .. })
+        ));
+
+        let mut truncated = state.clone();
+        truncated.slots[0].clear();
+        let mut fresh = RmsProp::new(0.1);
+        assert!(matches!(
+            fresh.import_state(&truncated),
+            Err(OptimStateError::Malformed { .. })
+        ));
+
+        let mut bad_shape = state.clone();
+        bad_shape.slots[0][0].push(0.0);
+        assert!(matches!(
+            fresh.import_state(&bad_shape),
+            Err(OptimStateError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! fan out.
 
 use crate::agent::{sample_index, ActorCritic};
-use a3cs_envs::Environment;
+use a3cs_envs::{EnvState, Environment, RestoreError};
 use a3cs_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -228,6 +228,106 @@ impl RolloutRunner {
     }
 }
 
+/// Snapshot of a [`RolloutRunner`]: per-lane environment states, per-lane
+/// action-sampling RNG streams, and the in-flight observations.
+///
+/// Restoring this into a runner built from the same factory/lane count
+/// resumes rollout collection bit-exactly mid-episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerState {
+    /// Per-lane environment snapshots.
+    pub envs: Vec<EnvState>,
+    /// Per-lane action-sampling RNG words (xoshiro256++ state).
+    pub lane_rngs: Vec<[u64; 4]>,
+    /// Per-lane observation the next policy forward will consume.
+    pub current_obs: Vec<Vec<f32>>,
+}
+
+/// Why a [`RunnerState`] could not be imported.
+#[derive(Debug)]
+pub enum RunnerStateError {
+    /// The state has a different lane count than the runner, or its
+    /// per-lane vectors disagree with each other.
+    LaneMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A lane's environment rejected its snapshot.
+    Env {
+        /// Lane whose environment failed to restore.
+        lane: usize,
+        /// The environment's rejection.
+        source: RestoreError,
+    },
+}
+
+impl std::fmt::Display for RunnerStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerStateError::LaneMismatch { detail } => {
+                write!(f, "runner state lane mismatch: {detail}")
+            }
+            RunnerStateError::Env { lane, source } => {
+                write!(f, "lane {lane} environment rejected snapshot: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunnerStateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunnerStateError::Env { source, .. } => Some(source),
+            RunnerStateError::LaneMismatch { .. } => None,
+        }
+    }
+}
+
+impl RolloutRunner {
+    /// Export the runner's complete mutable state for checkpointing.
+    #[must_use]
+    pub fn export_state(&self) -> RunnerState {
+        RunnerState {
+            envs: self.envs.iter().map(|e| e.snapshot()).collect(),
+            lane_rngs: self.lane_rngs.iter().map(rand::rngs::StdRng::state).collect(),
+            current_obs: self.current_obs.clone(),
+        }
+    }
+
+    /// Restore state captured by [`RolloutRunner::export_state`] into a
+    /// runner built from the same factory and lane count.
+    ///
+    /// # Errors
+    ///
+    /// [`RunnerStateError`] if the lane counts disagree or any lane's
+    /// environment rejects its snapshot. Counts are validated before
+    /// anything is modified; if an *environment* restore fails partway the
+    /// runner is left in an unspecified (but memory-safe) state and should
+    /// be rebuilt.
+    pub fn import_state(&mut self, state: &RunnerState) -> Result<(), RunnerStateError> {
+        let n = self.envs.len();
+        if state.envs.len() != n || state.lane_rngs.len() != n || state.current_obs.len() != n {
+            return Err(RunnerStateError::LaneMismatch {
+                detail: format!(
+                    "runner has {n} lanes, state has {} envs / {} rngs / {} obs",
+                    state.envs.len(),
+                    state.lane_rngs.len(),
+                    state.current_obs.len()
+                ),
+            });
+        }
+        for (lane, (env, snap)) in self.envs.iter_mut().zip(&state.envs).enumerate() {
+            env.restore(snap)
+                .map_err(|source| RunnerStateError::Env { lane, source })?;
+        }
+        for (rng, words) in self.lane_rngs.iter_mut().zip(&state.lane_rngs) {
+            *rng = StdRng::from_state(*words);
+        }
+        self.current_obs.clone_from(&state.current_obs);
+        Ok(())
+    }
+}
+
 /// One-shot convenience: build a runner and collect a single rollout.
 #[must_use]
 pub fn collect_rollout(
@@ -318,6 +418,37 @@ mod tests {
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&seq.rewards), bits(&par.rewards));
         assert_eq!(bits(&seq.observations), bits(&par.observations));
+    }
+
+    #[test]
+    fn runner_state_round_trip_resumes_bit_exactly() {
+        let a = agent();
+        let mut runner = RolloutRunner::new(&factory, 2, 3);
+        runner.collect(&a, 4); // advance into mid-episode state
+        let state = runner.export_state();
+        let reference = runner.collect(&a, 4);
+
+        // A runner built from a different seed, once restored, must replay
+        // the identical continuation.
+        let mut resumed = RolloutRunner::new(&factory, 2, 99);
+        resumed.import_state(&state).unwrap();
+        let replay = resumed.collect(&a, 4);
+        assert_eq!(reference.actions, replay.actions);
+        assert_eq!(reference.dones, replay.dones);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&reference.rewards), bits(&replay.rewards));
+        assert_eq!(bits(&reference.observations), bits(&replay.observations));
+    }
+
+    #[test]
+    fn runner_state_lane_mismatch_is_rejected() {
+        let runner = RolloutRunner::new(&factory, 2, 3);
+        let state = runner.export_state();
+        let mut wrong = RolloutRunner::new(&factory, 3, 3);
+        assert!(matches!(
+            wrong.import_state(&state),
+            Err(RunnerStateError::LaneMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The environment trait and step outcome type.
 
+use crate::state::{EnvState, RestoreError};
+
 /// Result of one environment step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepOutcome {
@@ -49,6 +51,21 @@ pub trait Environment: Send {
         let (p, h, w) = self.observation_shape();
         p * h * w
     }
+
+    /// Capture the complete dynamic state of the environment — RNG words,
+    /// entity positions, counters, episode flags — so that
+    /// [`Environment::restore`] resumes the episode bit-exactly: after a
+    /// snapshot/restore pair, identical action sequences must yield
+    /// identical observations, rewards, and `done` flags.
+    fn snapshot(&self) -> EnvState;
+
+    /// Restore a state captured by [`Environment::snapshot`] on an
+    /// environment of the same type and configuration.
+    ///
+    /// On error the environment's state is unspecified (call
+    /// [`Environment::reset`] before stepping again); no implementation
+    /// panics on a foreign or truncated snapshot.
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError>;
 }
 
 impl Environment for Box<dyn Environment> {
@@ -70,6 +87,14 @@ impl Environment for Box<dyn Environment> {
 
     fn step(&mut self, action: usize) -> StepOutcome {
         self.as_mut().step(action)
+    }
+
+    fn snapshot(&self) -> EnvState {
+        self.as_ref().snapshot()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        self.as_mut().restore(state)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Alien: maze dot-collection while evading chasers.
 
 use crate::env::{Canvas, Environment, StepOutcome};
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -106,10 +107,13 @@ impl Alien {
         }
         let target = if self.rng.gen_bool(0.7) {
             // Greedy: minimise Manhattan distance to the player.
-            *candidates
+            match candidates
                 .iter()
                 .min_by_key(|&&(r, c)| (r - pr).abs() + (c - pc).abs())
-                .expect("non-empty candidates")
+            {
+                Some(&best) => best,
+                None => unreachable!("guarded by the is_empty check above"),
+            }
         } else {
             candidates[self.rng.gen_range(0..candidates.len())]
         };
@@ -185,6 +189,50 @@ impl Environment for Alien {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Alien");
+        w.rng(&self.rng);
+        for row in &self.walls {
+            for &cell in row {
+                w.bool(cell);
+            }
+        }
+        for row in &self.dots {
+            for &cell in row {
+                w.bool(cell);
+            }
+        }
+        w.isize(self.player.0);
+        w.isize(self.player.1);
+        for item in &self.chasers {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Alien")?;
+        self.rng = r.rng()?;
+        for row in &mut self.walls {
+            for cell in row.iter_mut() {
+                *cell = r.bool()?;
+            }
+        }
+        for row in &mut self.dots {
+            for cell in row.iter_mut() {
+                *cell = r.bool()?;
+            }
+        }
+        self.player = (r.isize()?, r.isize()?);
+        for item in &mut self.chasers {
+            *item = (r.isize()?, r.isize()?);
+        }
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -181,6 +182,60 @@ impl Environment for Assault {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Assault");
+        w.rng(&self.rng);
+        w.isize(self.player);
+        w.usize(self.drones.len());
+        for item in &self.drones {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dir);
+        }
+        w.usize(self.bombs.len());
+        for item in &self.bombs {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.usize(self.shots.len());
+        for item in &self.shots {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.u32(self.heat);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Assault")?;
+        self.rng = r.rng()?;
+        self.player = r.isize()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Drone { row: r.isize()?, col: r.isize()?, dir: r.isize()? });
+        }
+        self.drones = items;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.bombs = items;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.shots = items;
+        self.heat = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

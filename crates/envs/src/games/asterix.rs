@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -165,6 +166,35 @@ impl Environment for Asterix {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Asterix");
+        w.rng(&self.rng);
+        w.isize(self.player.0);
+        w.isize(self.player.1);
+        for item in &self.lanes {
+            w.isize(item.col);
+            w.isize(item.dir);
+            w.int(match item.kind { ObjectKind::Reward => 0, ObjectKind::Hazard => 1 });
+        }
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Asterix")?;
+        self.rng = r.rng()?;
+        self.player = (r.isize()?, r.isize()?);
+        for item in &mut self.lanes {
+            *item = LaneObject { col: r.isize()?, dir: r.isize()?, kind: match r.int()? {
+                0 => ObjectKind::Reward,
+                1 => ObjectKind::Hazard,
+                v => return Err(r.out_of_range(format!("unknown ObjectKind {v}"))),
+            } };
+        }
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -228,6 +229,55 @@ impl Environment for Asteroids {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Asteroids");
+        w.rng(&self.rng);
+        w.isize(self.ship.0);
+        w.isize(self.ship.1);
+        w.isize(self.facing.0);
+        w.isize(self.facing.1);
+        w.usize(self.rocks.len());
+        for item in &self.rocks {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dr);
+            w.isize(item.dc);
+            w.bool(item.big);
+            w.u32(item.phase);
+        }
+        w.bool(self.bullet.is_some());
+        if let Some(item) = &self.bullet {
+            w.isize(item.0);
+            w.isize(item.1);
+            w.isize(item.2);
+            w.isize(item.3);
+        }
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Asteroids")?;
+        self.rng = r.rng()?;
+        self.ship = (r.isize()?, r.isize()?);
+        self.facing = (r.isize()?, r.isize()?);
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Rock { row: r.isize()?, col: r.isize()?, dr: r.isize()?, dc: r.isize()?, big: r.bool()?, phase: r.u32()? });
+        }
+        self.rocks = items;
+        self.bullet = if r.bool()? {
+            Some((r.isize()?, r.isize()?, r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

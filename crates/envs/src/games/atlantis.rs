@@ -1,6 +1,7 @@
 //! Atlantis: three fixed cannons defend a city against crossing raiders.
 
 use crate::env::{Canvas, Environment, StepOutcome};
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -152,6 +153,42 @@ impl Environment for Atlantis {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Atlantis");
+        w.rng(&self.rng);
+        w.usize(self.raiders.len());
+        for item in &self.raiders {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dir);
+        }
+        for item in &self.cooldowns {
+            w.u32(*item);
+        }
+        w.u32(self.city_hp);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Atlantis")?;
+        self.rng = r.rng()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Raider { row: r.isize()?, col: r.isize()?, dir: r.isize()? });
+        }
+        self.raiders = items;
+        for item in &mut self.cooldowns {
+            *item = r.u32()?;
+        }
+        self.city_hp = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -192,6 +193,53 @@ impl Environment for BattleZone {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("BattleZone");
+        w.rng(&self.rng);
+        w.isize(self.player.0);
+        w.isize(self.player.1);
+        w.isize(self.facing.0);
+        w.isize(self.facing.1);
+        w.usize(self.enemies.len());
+        for item in &self.enemies {
+            w.isize(item.row);
+            w.isize(item.col);
+        }
+        w.bool(self.shell.is_some());
+        if let Some(item) = &self.shell {
+            w.isize(item.0);
+            w.isize(item.1);
+            w.isize(item.2);
+            w.isize(item.3);
+        }
+        w.u32(self.kills);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "BattleZone")?;
+        self.rng = r.rng()?;
+        self.player = (r.isize()?, r.isize()?);
+        self.facing = (r.isize()?, r.isize()?);
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Tank { row: r.isize()?, col: r.isize()? });
+        }
+        self.enemies = items;
+        self.shell = if r.bool()? {
+            Some((r.isize()?, r.isize()?, r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        self.kills = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Beam Rider: lane-locked ship shooting descending enemies.
 
 use crate::env::{Canvas, Environment, StepOutcome};
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -179,6 +180,50 @@ impl Environment for BeamRider {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("BeamRider");
+        w.rng(&self.rng);
+        w.usize(self.ship_beam);
+        w.usize(self.enemies.len());
+        for item in &self.enemies {
+            w.isize(item.row);
+            w.usize(item.beam);
+        }
+        w.usize(self.shots.len());
+        for item in &self.shots {
+            w.isize(item.0);
+            w.usize(item.1);
+        }
+        w.u32(self.kills);
+        w.u32(self.sector);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "BeamRider")?;
+        self.rng = r.rng()?;
+        self.ship_beam = r.usize()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Enemy { row: r.isize()?, beam: r.usize()? });
+        }
+        self.enemies = items;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.usize()?));
+        }
+        self.shots = items;
+        self.kills = r.u32()?;
+        self.sector = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

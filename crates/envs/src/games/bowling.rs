@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -134,6 +135,40 @@ impl Environment for Bowling {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Bowling");
+        w.rng(&self.rng);
+        w.isize(self.ball_row);
+        w.isize(self.ball_col);
+        w.bool(self.rolling);
+        w.isize(self.drift);
+        w.usize(self.pins.len());
+        for item in &self.pins {
+            w.isize(*item);
+        }
+        w.u32(self.frame);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Bowling")?;
+        self.rng = r.rng()?;
+        self.ball_row = r.isize()?;
+        self.ball_col = r.isize()?;
+        self.rolling = r.bool()?;
+        self.drift = r.isize()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(r.isize()?);
+        }
+        self.pins = items;
+        self.frame = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

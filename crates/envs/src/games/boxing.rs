@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -137,6 +138,28 @@ impl Environment for Boxing {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Boxing");
+        w.rng(&self.rng);
+        w.isize(self.player.0);
+        w.isize(self.player.1);
+        w.isize(self.opponent.0);
+        w.isize(self.opponent.1);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Boxing")?;
+        self.rng = r.rng()?;
+        self.player = (r.isize()?, r.isize()?);
+        self.opponent = (r.isize()?, r.isize()?);
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -181,6 +182,42 @@ impl Environment for Breakout {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Breakout");
+        w.rng(&self.rng);
+        w.isize(self.paddle);
+        w.isize(self.ball_r);
+        w.isize(self.ball_c);
+        w.isize(self.vel_r);
+        w.isize(self.vel_c);
+        for row in &self.bricks {
+            for &cell in row {
+                w.bool(cell);
+            }
+        }
+        w.u32(self.lives);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Breakout")?;
+        self.rng = r.rng()?;
+        self.paddle = r.isize()?;
+        self.ball_r = r.isize()?;
+        self.ball_c = r.isize()?;
+        self.vel_r = r.isize()?;
+        self.vel_c = r.isize()?;
+        for row in &mut self.bricks {
+            for cell in row.iter_mut() {
+                *cell = r.bool()?;
+            }
+        }
+        self.lives = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -188,6 +189,57 @@ impl Environment for Centipede {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Centipede");
+        w.rng(&self.rng);
+        w.isize(self.player);
+        for row in &self.mushrooms {
+            for &cell in row {
+                w.bool(cell);
+            }
+        }
+        w.usize(self.body.len());
+        for item in &self.body {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.isize(self.dir);
+        w.bool(self.shot.is_some());
+        if let Some(item) = &self.shot {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Centipede")?;
+        self.rng = r.rng()?;
+        self.player = r.isize()?;
+        for row in &mut self.mushrooms {
+            for cell in row.iter_mut() {
+                *cell = r.bool()?;
+            }
+        }
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.body = items;
+        self.dir = r.isize()?;
+        self.shot = if r.bool()? {
+            Some((r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

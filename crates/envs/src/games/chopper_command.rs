@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -208,6 +209,61 @@ impl Environment for ChopperCommand {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("ChopperCommand");
+        w.rng(&self.rng);
+        w.isize(self.chopper.0);
+        w.isize(self.chopper.1);
+        w.isize(self.facing);
+        w.usize(self.jets.len());
+        for item in &self.jets {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dir);
+            w.bool(item.diving);
+        }
+        w.bool(self.rocket.is_some());
+        if let Some(item) = &self.rocket {
+            w.isize(item.0);
+            w.isize(item.1);
+            w.isize(item.2);
+        }
+        w.usize(self.trucks.len());
+        for item in &self.trucks {
+            w.isize(*item);
+        }
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "ChopperCommand")?;
+        self.rng = r.rng()?;
+        self.chopper = (r.isize()?, r.isize()?);
+        self.facing = r.isize()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Jet { row: r.isize()?, col: r.isize()?, dir: r.isize()?, diving: r.bool()? });
+        }
+        self.jets = items;
+        self.rocket = if r.bool()? {
+            Some((r.isize()?, r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(r.isize()?);
+        }
+        self.trucks = items;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

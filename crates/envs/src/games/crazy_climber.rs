@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -155,6 +156,49 @@ impl Environment for CrazyClimber {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("CrazyClimber");
+        w.rng(&self.rng);
+        w.isize(self.player.0);
+        w.isize(self.player.1);
+        w.usize(self.closed.len());
+        for item in &self.closed {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.usize(self.pots.len());
+        for item in &self.pots {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.u32(self.grips);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "CrazyClimber")?;
+        self.rng = r.rng()?;
+        self.player = (r.isize()?, r.isize()?);
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.closed = items;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.pots = items;
+        self.grips = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -208,6 +209,53 @@ impl Environment for DemonAttack {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("DemonAttack");
+        w.rng(&self.rng);
+        w.isize(self.player);
+        w.usize(self.demons.len());
+        for item in &self.demons {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dir);
+            w.int(match item.state { DemonState::Hover => 0, DemonState::Swoop => 1 });
+        }
+        w.bool(self.shot.is_some());
+        if let Some(item) = &self.shot {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.u32(self.wave);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "DemonAttack")?;
+        self.rng = r.rng()?;
+        self.player = r.isize()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Demon { row: r.isize()?, col: r.isize()?, dir: r.isize()?, state: match r.int()? {
+                0 => DemonState::Hover,
+                1 => DemonState::Swoop,
+                v => return Err(r.out_of_range(format!("unknown DemonState {v}"))),
+            } });
+        }
+        self.demons = items;
+        self.shot = if r.bool()? {
+            Some((r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        self.wave = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -150,6 +151,36 @@ impl Environment for Pong {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Pong");
+        w.rng(&self.rng);
+        w.isize(self.player);
+        w.isize(self.opponent);
+        w.isize(self.ball_r);
+        w.isize(self.ball_c);
+        w.isize(self.vel_r);
+        w.isize(self.vel_c);
+        w.int(i64::from(self.player_score));
+        w.int(i64::from(self.opponent_score));
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Pong")?;
+        self.rng = r.rng()?;
+        self.player = r.isize()?;
+        self.opponent = r.isize()?;
+        self.ball_r = r.isize()?;
+        self.ball_c = r.isize()?;
+        self.vel_r = r.isize()?;
+        self.vel_c = r.isize()?;
+        self.player_score = r.i32()?;
+        self.opponent_score = r.i32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Q*bert: hop across a pyramid, recolouring cells, dodging the ball.
 
 use crate::env::{Canvas, Environment, StepOutcome};
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -188,6 +189,57 @@ impl Environment for Qbert {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Qbert");
+        w.rng(&self.rng);
+        w.usize(self.visited.len());
+        for row in &self.visited {
+            w.usize(row.len());
+            for &cell in row {
+                w.bool(cell);
+            }
+        }
+        w.usize(self.player.0);
+        w.usize(self.player.1);
+        w.bool(self.ball.is_some());
+        if let Some(item) = &self.ball {
+            w.usize(item.0);
+            w.usize(item.1);
+        }
+        w.u32(self.lives);
+        w.u32(self.clock);
+        w.u32(self.ball_period);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Qbert")?;
+        self.rng = r.rng()?;
+        let rows = r.len(4096)?;
+        let mut visited = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let cols = r.len(4096)?;
+            let mut row = Vec::with_capacity(cols);
+            for _ in 0..cols {
+                row.push(r.bool()?);
+            }
+            visited.push(row);
+        }
+        self.visited = visited;
+        self.player = (r.usize()?, r.usize()?);
+        self.ball = if r.bool()? {
+            Some((r.usize()?, r.usize()?))
+        } else {
+            None
+        };
+        self.lives = r.u32()?;
+        self.clock = r.u32()?;
+        self.ball_period = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -213,6 +214,66 @@ impl Environment for Seaquest {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Seaquest");
+        w.rng(&self.rng);
+        w.isize(self.sub.0);
+        w.isize(self.sub.1);
+        w.isize(self.facing);
+        w.usize(self.enemies.len());
+        for item in &self.enemies {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dir);
+        }
+        w.usize(self.divers.len());
+        for item in &self.divers {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dir);
+        }
+        w.bool(self.torpedo.is_some());
+        if let Some(item) = &self.torpedo {
+            w.isize(item.row);
+            w.isize(item.col);
+            w.isize(item.dir);
+        }
+        w.int(i64::from(self.oxygen));
+        w.u32(self.held_divers);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Seaquest")?;
+        self.rng = r.rng()?;
+        self.sub = (r.isize()?, r.isize()?);
+        self.facing = r.isize()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Mover { row: r.isize()?, col: r.isize()?, dir: r.isize()? });
+        }
+        self.enemies = items;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(Mover { row: r.isize()?, col: r.isize()?, dir: r.isize()? });
+        }
+        self.divers = items;
+        self.torpedo = if r.bool()? {
+            Some(Mover { row: r.isize()?, col: r.isize()?, dir: r.isize()? })
+        } else {
+            None
+        };
+        self.oxygen = r.i32()?;
+        self.held_divers = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

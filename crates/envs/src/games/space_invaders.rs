@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -166,9 +167,10 @@ impl Environment for SpaceInvaders {
 
         // Wave marches on its cadence.
         if self.clock % self.move_period == 0 && self.alive_count() > 0 {
+            // alive_count() > 0 above guarantees the wave is non-empty.
             let occupied: Vec<isize> = self.alien_cells().iter().map(|&(_, c, _)| c).collect();
-            let min_c = *occupied.iter().min().expect("non-empty wave");
-            let max_c = *occupied.iter().max().expect("non-empty wave");
+            let min_c = occupied.iter().copied().fold(isize::MAX, isize::min);
+            let max_c = occupied.iter().copied().fold(isize::MIN, isize::max);
             if (self.wave_dir > 0 && max_c + 1 >= GRID as isize)
                 || (self.wave_dir < 0 && min_c - 1 < 0)
             {
@@ -218,6 +220,65 @@ impl Environment for SpaceInvaders {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("SpaceInvaders");
+        w.rng(&self.rng);
+        w.isize(self.player);
+        for row in &self.aliens {
+            for &cell in row {
+                w.bool(cell);
+            }
+        }
+        w.isize(self.wave_row);
+        w.isize(self.wave_col);
+        w.isize(self.wave_dir);
+        w.u32(self.move_period);
+        w.u32(self.clock);
+        w.bool(self.bullet.is_some());
+        if let Some(item) = &self.bullet {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.usize(self.bombs.len());
+        for item in &self.bombs {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.u32(self.wave);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "SpaceInvaders")?;
+        self.rng = r.rng()?;
+        self.player = r.isize()?;
+        for row in &mut self.aliens {
+            for cell in row.iter_mut() {
+                *cell = r.bool()?;
+            }
+        }
+        self.wave_row = r.isize()?;
+        self.wave_col = r.isize()?;
+        self.wave_dir = r.isize()?;
+        self.move_period = r.u32()?;
+        self.clock = r.u32()?;
+        self.bullet = if r.bool()? {
+            Some((r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.bombs = items;
+        self.wave = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::env::{Canvas, Environment, StepOutcome};
 use crate::games::clamp;
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -139,6 +140,32 @@ impl Environment for Tennis {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("Tennis");
+        w.rng(&self.rng);
+        w.isize(self.player);
+        w.isize(self.opponent);
+        w.isize(self.ball.0);
+        w.isize(self.ball.1);
+        w.isize(self.vel.0);
+        w.isize(self.vel.1);
+        w.int(i64::from(self.points_played));
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "Tennis")?;
+        self.rng = r.rng()?;
+        self.player = r.isize()?;
+        self.opponent = r.isize()?;
+        self.ball = (r.isize()?, r.isize()?);
+        self.vel = (r.isize()?, r.isize()?);
+        self.points_played = r.i32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Time Pilot: a pivoting centre gunship against converging raiders.
 
 use crate::env::{Canvas, Environment, StepOutcome};
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -169,6 +170,48 @@ impl Environment for TimePilot {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("TimePilot");
+        w.rng(&self.rng);
+        w.usize(self.facing);
+        w.usize(self.enemies.len());
+        for item in &self.enemies {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.bool(self.shot.is_some());
+        if let Some(item) = &self.shot {
+            w.isize(item.0);
+            w.isize(item.1);
+            w.usize(item.2);
+        }
+        w.u32(self.kills);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "TimePilot")?;
+        self.rng = r.rng()?;
+        self.facing = r.usize()?;
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.enemies = items;
+        self.shot = if r.bool()? {
+            Some((r.isize()?, r.isize()?, r.usize()?))
+        } else {
+            None
+        };
+        self.kills = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

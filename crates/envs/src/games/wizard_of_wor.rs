@@ -1,6 +1,7 @@
 //! Wizard of Wor: corridor-shooting monsters in a maze.
 
 use crate::env::{Canvas, Environment, StepOutcome};
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,10 +112,13 @@ impl WizardOfWor {
             return;
         }
         self.monsters[idx] = if self.rng.gen_bool(0.6) {
-            *options
+            match options
                 .iter()
                 .min_by_key(|&&(r, c)| (r - pr).abs() + (c - pc).abs())
-                .expect("non-empty options")
+            {
+                Some(&best) => best,
+                None => unreachable!("guarded by the is_empty check above"),
+            }
         } else {
             options[self.rng.gen_range(0..options.len())]
         };
@@ -242,6 +246,73 @@ impl Environment for WizardOfWor {
             reward,
             done: self.done,
         }
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("WizardOfWor");
+        w.rng(&self.rng);
+        for row in &self.walls {
+            for &cell in row {
+                w.bool(cell);
+            }
+        }
+        w.isize(self.player.0);
+        w.isize(self.player.1);
+        w.isize(self.facing.0);
+        w.isize(self.facing.1);
+        w.usize(self.monsters.len());
+        for item in &self.monsters {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.bool(self.worluk.is_some());
+        if let Some(item) = &self.worluk {
+            w.isize(item.0);
+            w.isize(item.1);
+        }
+        w.bool(self.shot.is_some());
+        if let Some(item) = &self.shot {
+            w.isize(item.0);
+            w.isize(item.1);
+            w.isize(item.2);
+            w.isize(item.3);
+        }
+        w.u32(self.dungeon);
+        w.u32(self.clock);
+        w.bool(self.done);
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "WizardOfWor")?;
+        self.rng = r.rng()?;
+        for row in &mut self.walls {
+            for cell in row.iter_mut() {
+                *cell = r.bool()?;
+            }
+        }
+        self.player = (r.isize()?, r.isize()?);
+        self.facing = (r.isize()?, r.isize()?);
+        let n = r.len(4096)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push((r.isize()?, r.isize()?));
+        }
+        self.monsters = items;
+        self.worluk = if r.bool()? {
+            Some((r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        self.shot = if r.bool()? {
+            Some((r.isize()?, r.isize()?, r.isize()?, r.isize()?))
+        } else {
+            None
+        };
+        self.dungeon = r.u32()?;
+        self.clock = r.u32()?;
+        self.done = r.bool()?;
+        r.finish()
     }
 }
 

@@ -35,9 +35,11 @@
 mod env;
 mod games;
 mod registry;
+mod state;
 pub mod wrappers;
 
 pub use env::{Environment, StepOutcome};
+pub use state::{EnvState, RestoreError, StateReader, StateWriter};
 pub use games::{
     Alien, Assault, Asterix, Asteroids, Atlantis, BattleZone, BeamRider, Bowling, Boxing,
     Breakout, Centipede, ChopperCommand, CrazyClimber, DemonAttack, Pong, Qbert, Seaquest,

@@ -1,0 +1,412 @@
+//! Serialisable environment state snapshots.
+//!
+//! [`EnvState`] is a self-describing bundle of integers, floats, and
+//! nested child states. Every game and wrapper packs its complete
+//! dynamic state (including RNG words) into one via [`StateWriter`] and
+//! unpacks it via [`StateReader`], so `snapshot → restore` resumes an
+//! episode bit-exactly. The representation is deliberately flat and
+//! typed so higher layers can serialise it without knowing game
+//! internals.
+
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// A snapshot of one environment's dynamic state.
+///
+/// `ints` carries counters, positions, booleans, and RNG words (as
+/// bit-cast `i64`); `floats` carries observation buffers and other real
+/// values; `inner` carries the states of wrapped environments. The `tag`
+/// names the producing type and guards against restoring a snapshot
+/// into the wrong environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvState {
+    tag: String,
+    ints: Vec<i64>,
+    floats: Vec<f32>,
+    inner: Vec<EnvState>,
+}
+
+impl EnvState {
+    /// Rebuild a snapshot from its raw parts (used by deserialisers).
+    #[must_use]
+    pub fn from_parts(tag: String, ints: Vec<i64>, floats: Vec<f32>, inner: Vec<EnvState>) -> Self {
+        EnvState {
+            tag,
+            ints,
+            floats,
+            inner,
+        }
+    }
+
+    /// The producing environment's tag.
+    #[must_use]
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The integer payload.
+    #[must_use]
+    pub fn ints(&self) -> &[i64] {
+        &self.ints
+    }
+
+    /// The float payload.
+    #[must_use]
+    pub fn floats(&self) -> &[f32] {
+        &self.floats
+    }
+
+    /// Nested child states (wrapped environments).
+    #[must_use]
+    pub fn inner(&self) -> &[EnvState] {
+        &self.inner
+    }
+}
+
+/// Why an [`EnvState`] could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot was produced by a different environment type.
+    WrongTag {
+        /// Tag the restoring environment expected.
+        expected: String,
+        /// Tag found in the snapshot.
+        found: String,
+    },
+    /// The snapshot ran out of payload before the environment finished
+    /// reading (a truncated or mismatched snapshot).
+    Truncated {
+        /// Tag of the snapshot being read.
+        tag: String,
+        /// Which payload stream was exhausted.
+        stream: &'static str,
+    },
+    /// A value was present but outside the legal range for its field
+    /// (e.g. an unknown enum discriminant).
+    OutOfRange {
+        /// Tag of the snapshot being read.
+        tag: String,
+        /// Human-readable description of the offending value.
+        detail: String,
+    },
+    /// The environment finished restoring but payload was left over —
+    /// the snapshot does not match this environment's layout.
+    Leftover {
+        /// Tag of the snapshot being read.
+        tag: String,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::WrongTag { expected, found } => {
+                write!(f, "snapshot tag {found:?} does not match environment {expected:?}")
+            }
+            RestoreError::Truncated { tag, stream } => {
+                write!(f, "snapshot {tag:?} exhausted its {stream} payload early")
+            }
+            RestoreError::OutOfRange { tag, detail } => {
+                write!(f, "snapshot {tag:?} holds an illegal value: {detail}")
+            }
+            RestoreError::Leftover { tag } => {
+                write!(f, "snapshot {tag:?} has unread payload left over")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Builds an [`EnvState`] field by field.
+#[derive(Debug)]
+pub struct StateWriter {
+    state: EnvState,
+}
+
+impl StateWriter {
+    /// Start a snapshot for the environment tagged `tag`.
+    #[must_use]
+    pub fn new(tag: &str) -> Self {
+        StateWriter {
+            state: EnvState {
+                tag: tag.to_string(),
+                ints: Vec::new(),
+                floats: Vec::new(),
+                inner: Vec::new(),
+            },
+        }
+    }
+
+    /// Append one integer.
+    pub fn int(&mut self, v: i64) {
+        self.state.ints.push(v);
+    }
+
+    /// Append one `isize` (games use `isize` coordinates throughout).
+    pub fn isize(&mut self, v: isize) {
+        self.int(v as i64);
+    }
+
+    /// Append one `usize`.
+    pub fn usize(&mut self, v: usize) {
+        self.int(v as i64);
+    }
+
+    /// Append one `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.int(i64::from(v));
+    }
+
+    /// Append one boolean as `0`/`1`.
+    pub fn bool(&mut self, v: bool) {
+        self.int(i64::from(v));
+    }
+
+    /// Append the four state words of a PRNG (bit-cast to `i64`).
+    pub fn rng(&mut self, rng: &StdRng) {
+        for word in rng.state() {
+            self.int(word as i64);
+        }
+    }
+
+    /// Append one float.
+    pub fn float(&mut self, v: f32) {
+        self.state.floats.push(v);
+    }
+
+    /// Append a float slice (length is *not* recorded; prefix with
+    /// [`StateWriter::usize`] when the length varies).
+    pub fn floats(&mut self, vs: &[f32]) {
+        self.state.floats.extend_from_slice(vs);
+    }
+
+    /// Append a wrapped environment's snapshot.
+    pub fn child(&mut self, s: EnvState) {
+        self.state.inner.push(s);
+    }
+
+    /// Finish and return the snapshot.
+    #[must_use]
+    pub fn finish(self) -> EnvState {
+        self.state
+    }
+}
+
+/// Reads an [`EnvState`] back in writer order, enforcing the tag up
+/// front and full consumption at the end.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    state: &'a EnvState,
+    int_pos: usize,
+    float_pos: usize,
+    inner_pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Open `state` for reading, failing if its tag is not `expect_tag`.
+    pub fn new(state: &'a EnvState, expect_tag: &str) -> Result<Self, RestoreError> {
+        if state.tag != expect_tag {
+            return Err(RestoreError::WrongTag {
+                expected: expect_tag.to_string(),
+                found: state.tag.clone(),
+            });
+        }
+        Ok(StateReader {
+            state,
+            int_pos: 0,
+            float_pos: 0,
+            inner_pos: 0,
+        })
+    }
+
+    fn truncated(&self, stream: &'static str) -> RestoreError {
+        RestoreError::Truncated {
+            tag: self.state.tag.clone(),
+            stream,
+        }
+    }
+
+    /// Error constructor for illegal field values, for use by callers
+    /// decoding enums or validating ranges.
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn out_of_range(&self, detail: impl Into<String>) -> RestoreError {
+        RestoreError::OutOfRange {
+            tag: self.state.tag.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Read one integer.
+    pub fn int(&mut self) -> Result<i64, RestoreError> {
+        let v = *self
+            .state
+            .ints
+            .get(self.int_pos)
+            .ok_or_else(|| self.truncated("int"))?;
+        self.int_pos += 1;
+        Ok(v)
+    }
+
+    /// Read one `isize`.
+    pub fn isize(&mut self) -> Result<isize, RestoreError> {
+        Ok(self.int()? as isize)
+    }
+
+    /// Read one `usize`, rejecting negatives.
+    pub fn usize(&mut self) -> Result<usize, RestoreError> {
+        let v = self.int()?;
+        usize::try_from(v).map_err(|_| self.out_of_range(format!("expected usize, got {v}")))
+    }
+
+    /// Read one `u32`, rejecting out-of-range values.
+    pub fn u32(&mut self) -> Result<u32, RestoreError> {
+        let v = self.int()?;
+        u32::try_from(v).map_err(|_| self.out_of_range(format!("expected u32, got {v}")))
+    }
+
+    /// Read one `i32`, rejecting out-of-range values.
+    pub fn i32(&mut self) -> Result<i32, RestoreError> {
+        let v = self.int()?;
+        i32::try_from(v).map_err(|_| self.out_of_range(format!("expected i32, got {v}")))
+    }
+
+    /// Read a collection length, rejecting values above `max` so a
+    /// corrupt snapshot cannot trigger a huge allocation.
+    pub fn len(&mut self, max: usize) -> Result<usize, RestoreError> {
+        let v = self.usize()?;
+        if v > max {
+            return Err(self.out_of_range(format!("length {v} exceeds cap {max}")));
+        }
+        Ok(v)
+    }
+
+    /// Read one boolean (`0` or `1`).
+    pub fn bool(&mut self) -> Result<bool, RestoreError> {
+        match self.int()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(self.out_of_range(format!("expected bool (0/1), got {v}"))),
+        }
+    }
+
+    /// Read four PRNG state words back into a generator.
+    pub fn rng(&mut self) -> Result<StdRng, RestoreError> {
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = self.int()? as u64;
+        }
+        Ok(StdRng::from_state(s))
+    }
+
+    /// Read one float.
+    pub fn float(&mut self) -> Result<f32, RestoreError> {
+        let v = *self
+            .state
+            .floats
+            .get(self.float_pos)
+            .ok_or_else(|| self.truncated("float"))?;
+        self.float_pos += 1;
+        Ok(v)
+    }
+
+    /// Read `n` floats.
+    pub fn floats(&mut self, n: usize) -> Result<Vec<f32>, RestoreError> {
+        let end = self
+            .float_pos
+            .checked_add(n)
+            .filter(|&e| e <= self.state.floats.len())
+            .ok_or_else(|| self.truncated("float"))?;
+        let out = self.state.floats[self.float_pos..end].to_vec();
+        self.float_pos = end;
+        Ok(out)
+    }
+
+    /// Read the next wrapped environment's snapshot.
+    pub fn child(&mut self) -> Result<&'a EnvState, RestoreError> {
+        let s = self
+            .state
+            .inner
+            .get(self.inner_pos)
+            .ok_or_else(|| self.truncated("inner"))?;
+        self.inner_pos += 1;
+        Ok(s)
+    }
+
+    /// Assert every payload element was consumed.
+    pub fn finish(self) -> Result<(), RestoreError> {
+        if self.int_pos != self.state.ints.len()
+            || self.float_pos != self.state.floats.len()
+            || self.inner_pos != self.state.inner.len()
+        {
+            return Err(RestoreError::Leftover {
+                tag: self.state.tag.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.next_u64();
+        let mut w = StateWriter::new("test");
+        w.isize(-4);
+        w.usize(9);
+        w.bool(true);
+        w.u32(77);
+        w.rng(&rng);
+        w.float(1.5);
+        w.floats(&[0.0, -2.0]);
+        let state = w.finish();
+
+        let mut r = StateReader::new(&state, "test").expect("tag matches");
+        assert_eq!(r.isize().unwrap(), -4);
+        assert_eq!(r.usize().unwrap(), 9);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 77);
+        let mut restored = r.rng().unwrap();
+        assert_eq!(restored.next_u64(), rng.next_u64());
+        assert_eq!(r.float().unwrap(), 1.5);
+        assert_eq!(r.floats(2).unwrap(), vec![0.0, -2.0]);
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn wrong_tag_is_rejected() {
+        let state = StateWriter::new("a").finish();
+        assert!(matches!(
+            StateReader::new(&state, "b"),
+            Err(RestoreError::WrongTag { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_leftover_are_detected() {
+        let mut w = StateWriter::new("t");
+        w.int(1);
+        let state = w.finish();
+
+        let mut r = StateReader::new(&state, "t").unwrap();
+        assert_eq!(r.int().unwrap(), 1);
+        assert!(matches!(r.int(), Err(RestoreError::Truncated { .. })));
+
+        let r = StateReader::new(&state, "t").unwrap();
+        assert!(matches!(r.finish(), Err(RestoreError::Leftover { .. })));
+    }
+
+    #[test]
+    fn bool_out_of_range_is_rejected() {
+        let mut w = StateWriter::new("t");
+        w.int(2);
+        let state = w.finish();
+        let mut r = StateReader::new(&state, "t").unwrap();
+        assert!(matches!(r.bool(), Err(RestoreError::OutOfRange { .. })));
+    }
+}

@@ -2,6 +2,7 @@
 //! frame stacking, reward clipping, null-op starts and episode caps.
 
 use crate::env::{Environment, StepOutcome};
+use crate::state::{EnvState, RestoreError, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +75,35 @@ impl<E: Environment> Environment for FrameStack<E> {
             done: out.done,
         }
     }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("FrameStack");
+        w.usize(self.k);
+        w.usize(self.frames.len());
+        for frame in &self.frames {
+            w.usize(frame.len());
+            w.floats(frame);
+        }
+        w.child(self.inner.snapshot());
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "FrameStack")?;
+        let k = r.usize()?;
+        if k != self.k {
+            return Err(r.out_of_range(format!("stack depth {k} != configured {}", self.k)));
+        }
+        let n = r.len(64)?;
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.len(1 << 20)?;
+            frames.push(r.floats(len)?);
+        }
+        self.frames = frames;
+        self.inner.restore(r.child()?)?;
+        r.finish()
+    }
 }
 
 /// Clip rewards to `{-1, 0, +1}` (sign clipping), the standard DQN/A3C
@@ -111,6 +141,18 @@ impl<E: Environment> Environment for ClipReward<E> {
         let mut out = self.inner.step(action);
         out.reward = out.reward.signum() * f32::from(out.reward != 0.0);
         out
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("ClipReward");
+        w.child(self.inner.snapshot());
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "ClipReward")?;
+        self.inner.restore(r.child()?)?;
+        r.finish()
     }
 }
 
@@ -169,6 +211,28 @@ impl<E: Environment> Environment for NoopStart<E> {
     fn step(&mut self, action: usize) -> StepOutcome {
         self.inner.step(action)
     }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("NoopStart");
+        w.usize(self.max_noops);
+        w.rng(&self.rng);
+        w.child(self.inner.snapshot());
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "NoopStart")?;
+        let max_noops = r.usize()?;
+        if max_noops != self.max_noops {
+            return Err(r.out_of_range(format!(
+                "max_noops {max_noops} != configured {}",
+                self.max_noops
+            )));
+        }
+        self.rng = r.rng()?;
+        self.inner.restore(r.child()?)?;
+        r.finish()
+    }
 }
 
 /// Truncate episodes after `max_steps` steps (reported as `done`), bounding
@@ -221,6 +285,28 @@ impl<E: Environment> Environment for EpisodeLimit<E> {
             out.done = true;
         }
         out
+    }
+
+    fn snapshot(&self) -> EnvState {
+        let mut w = StateWriter::new("EpisodeLimit");
+        w.usize(self.max_steps);
+        w.usize(self.steps);
+        w.child(self.inner.snapshot());
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+        let mut r = StateReader::new(state, "EpisodeLimit")?;
+        let max_steps = r.usize()?;
+        if max_steps != self.max_steps {
+            return Err(r.out_of_range(format!(
+                "max_steps {max_steps} != configured {}",
+                self.max_steps
+            )));
+        }
+        self.steps = r.usize()?;
+        self.inner.restore(r.child()?)?;
+        r.finish()
     }
 }
 
@@ -276,6 +362,12 @@ mod tests {
                     reward: self.0,
                     done: self.1,
                 }
+            }
+            fn snapshot(&self) -> EnvState {
+                StateWriter::new("Fixed").finish()
+            }
+            fn restore(&mut self, state: &EnvState) -> Result<(), RestoreError> {
+                StateReader::new(state, "Fixed")?.finish()
             }
         }
         for (raw, clipped) in [(3.5, 1.0), (-7.0, -1.0), (0.0, 0.0)] {

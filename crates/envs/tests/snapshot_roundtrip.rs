@@ -1,0 +1,130 @@
+//! Snapshot/restore contract over the whole roster: restoring a
+//! mid-episode snapshot into a *fresh* environment (any seed) must
+//! reproduce the original trajectory bit-exactly, and foreign or
+//! truncated snapshots must be rejected, never panic.
+
+use a3cs_envs::wrappers::{ClipReward, EpisodeLimit, FrameStack, NoopStart};
+use a3cs_envs::{game_names, make_env, Environment, EnvState, RestoreError};
+use proptest::prelude::*;
+
+/// Step `env` with a deterministic action pattern, recording outcomes.
+fn drive(env: &mut dyn Environment, actions: &[usize]) -> Vec<(Vec<f32>, u32, bool)> {
+    let n = env.action_count();
+    actions
+        .iter()
+        .map(|&a| {
+            let out = env.step(a % n);
+            let trace = (out.observation.clone(), out.reward.to_bits(), out.done);
+            if out.done {
+                let _ = env.reset();
+            }
+            trace
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn restored_env_continues_bit_exactly(
+        game in prop::sample::select(game_names()),
+        seed in 0u64..1000,
+        warmup in prop::collection::vec(0usize..6, 0..50),
+        cont in prop::collection::vec(0usize..6, 1..40),
+    ) {
+        let mut env = make_env(game, seed).expect("known game");
+        let _ = env.reset();
+        let _ = drive(&mut env, &warmup);
+        let snap = env.snapshot();
+
+        let expected = drive(&mut env, &cont);
+
+        // A fresh env with an unrelated seed: restore must overwrite
+        // every piece of dynamic state, or the trajectories diverge.
+        let mut fresh = make_env(game, seed ^ 0xdead_beef).expect("known game");
+        fresh.restore(&snap).expect("own snapshot restores");
+        let got = drive(&mut fresh, &cont);
+        prop_assert_eq!(expected, got, "{}: trajectory diverged after restore", game);
+    }
+
+    #[test]
+    fn foreign_snapshot_is_rejected_not_panicking(
+        game in prop::sample::select(game_names()),
+        other in prop::sample::select(game_names()),
+        seed in 0u64..100,
+    ) {
+        if game == other {
+            return Ok(());
+        }
+        let mut env = make_env(game, seed).expect("known game");
+        let _ = env.reset();
+        let mut donor = make_env(other, seed).expect("known game");
+        let _ = donor.reset();
+        let result = env.restore(&donor.snapshot());
+        // Same-shape games could in principle accept each other's payload,
+        // but the tag always differs, so this must be WrongTag.
+        let is_wrong_tag = matches!(result, Err(RestoreError::WrongTag { .. }));
+        prop_assert!(is_wrong_tag, "expected WrongTag");
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected_not_panicking(
+        game in prop::sample::select(game_names()),
+        seed in 0u64..100,
+        keep_ints in 0usize..4,
+    ) {
+        let mut env = make_env(game, seed).expect("known game");
+        let _ = env.reset();
+        let snap = env.snapshot();
+        if snap.ints().len() <= keep_ints {
+            return Ok(());
+        }
+        let cut = EnvState::from_parts(
+            snap.tag().to_string(),
+            snap.ints()[..keep_ints].to_vec(),
+            snap.floats().to_vec(),
+            snap.inner().to_vec(),
+        );
+        prop_assert!(env.restore(&cut).is_err());
+    }
+}
+
+#[test]
+fn wrapper_stack_round_trips() {
+    let build = |seed| {
+        EpisodeLimit::new(
+            ClipReward::new(NoopStart::new(
+                FrameStack::new(make_env("Breakout", seed).expect("known game"), 4),
+                5,
+                seed ^ 1,
+            )),
+            37,
+        )
+    };
+    let mut env = build(3);
+    let _ = env.reset();
+    let warmup: Vec<usize> = (0..25).map(|i| i % 3).collect();
+    let _ = drive(&mut env, &warmup);
+    let snap = env.snapshot();
+
+    let cont: Vec<usize> = (0..60).map(|i| (i * 7) % 3).collect();
+    let expected = drive(&mut env, &cont);
+
+    let mut fresh = build(999);
+    fresh.restore(&snap).expect("wrapper snapshot restores");
+    let got = drive(&mut fresh, &cont);
+    assert_eq!(expected, got, "wrapped trajectory diverged after restore");
+}
+
+#[test]
+fn wrapper_config_mismatch_is_rejected() {
+    let mut a = FrameStack::new(make_env("Pong", 0).expect("known game"), 4);
+    let _ = a.reset();
+    let mut b = FrameStack::new(make_env("Pong", 0).expect("known game"), 2);
+    let _ = b.reset();
+    assert!(matches!(
+        b.restore(&a.snapshot()),
+        Err(RestoreError::OutOfRange { .. })
+    ));
+}

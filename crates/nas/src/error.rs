@@ -17,6 +17,18 @@ pub enum NasError {
         /// Choices provided.
         actual: usize,
     },
+    /// A restored search state does not match the supernet's
+    /// `(cells × ops)` logit shape.
+    SearchStateShapeMismatch {
+        /// Cells the supernet has.
+        expected_cells: usize,
+        /// Operators per cell the supernet has.
+        expected_ops: usize,
+        /// Cells found in the state.
+        actual_cells: usize,
+        /// Operators per cell found in the offending row.
+        actual_ops: usize,
+    },
 }
 
 impl fmt::Display for NasError {
@@ -29,6 +41,16 @@ impl fmt::Display for NasError {
             NasError::ChoiceArityMismatch { expected, actual } => write!(
                 f,
                 "need exactly one operator choice per cell: {expected} cells, {actual} choices"
+            ),
+            NasError::SearchStateShapeMismatch {
+                expected_cells,
+                expected_ops,
+                actual_cells,
+                actual_ops,
+            } => write!(
+                f,
+                "search state shape {actual_cells}×{actual_ops} does not match \
+                 the supernet's {expected_cells}×{expected_ops} α logits"
             ),
         }
     }

@@ -57,6 +57,18 @@ impl GumbelSoftmax {
         }
     }
 
+    /// The sampler's RNG state words, for checkpointing.
+    #[must_use]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restore RNG state captured by [`GumbelSoftmax::rng_state`],
+    /// resuming the noise stream exactly where it left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Draw `n` i.i.d. standard Gumbel variates `-ln(-ln(U))`.
     #[must_use]
     pub fn sample_noise(&mut self, n: usize) -> Vec<f32> {
@@ -104,8 +116,10 @@ pub(crate) fn softmax_vec(z: &[f32]) -> Tensor {
     let mx = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = z.iter().map(|&v| (v - mx).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    Tensor::from_vec(exps.iter().map(|&e| e / sum).collect(), &[z.len()])
-        .expect("softmax output shape")
+    match Tensor::from_vec(exps.iter().map(|&e| e / sum).collect(), &[z.len()]) {
+        Ok(t) => t,
+        Err(e) => unreachable!("z.len() values always fit shape [z.len()]: {e:?}"),
+    }
 }
 
 pub(crate) fn argmax(z: &[f32]) -> usize {

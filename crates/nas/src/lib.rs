@@ -47,4 +47,4 @@ pub use derive::{derive_backbone, try_derive_backbone};
 pub use error::NasError;
 pub use gumbel::{GumbelSoftmax, TemperatureSchedule};
 pub use ops::{build_op, search_space_size, OpChoice, ALL_OPS};
-pub use supernet::{SuperNet, SupernetConfig};
+pub use supernet::{SuperNet, SupernetConfig, SupernetSearchState};

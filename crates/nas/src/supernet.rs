@@ -77,6 +77,7 @@ impl SupernetConfig {
     ///
     /// [`NasError::InvalidCellCount`] unless `num_cells` is a positive
     /// multiple of 3.
+    #[must_use = "the Result reports failure and must be checked"]
     pub fn try_cell_plan(&self) -> Result<Vec<(usize, usize, usize)>, NasError> {
         if self.num_cells == 0 || self.num_cells % 3 != 0 {
             return Err(NasError::InvalidCellCount {
@@ -120,6 +121,24 @@ impl SupernetConfig {
 
 struct SearchCell {
     ops: Vec<Box<dyn Module>>,
+}
+
+/// The architecture-search side of a supernet's state: the `α` logits,
+/// the Gumbel sampler's RNG stream, and the temperature-schedule step.
+///
+/// Together with the supernet *weights* (reachable through
+/// [`Module::params`] / [`Module::state`]) this is everything needed to
+/// resume a search bit-exactly. The transient forward trace
+/// (`last_sampled_indices`) and the `set_eval_sampling` toggle are
+/// excluded: both are (re)established by the caller before they are read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupernetSearchState {
+    /// Per-cell `α` logit rows (`num_cells × num_ops`).
+    pub alpha: Vec<Vec<f32>>,
+    /// Gumbel sampler RNG state words.
+    pub gumbel_rng: [u64; 4],
+    /// Global step driving the temperature schedule.
+    pub step: u64,
 }
 
 /// The A3C-S supernet: a stem, `num_cells` searchable cells each holding
@@ -290,6 +309,57 @@ impl SuperNet {
         .0
     }
 
+    /// Export the search-side state (α logits, Gumbel RNG, schedule step)
+    /// for checkpointing. See [`SupernetSearchState`] for what is and is
+    /// not covered.
+    #[must_use]
+    pub fn export_search_state(&self) -> SupernetSearchState {
+        SupernetSearchState {
+            alpha: (0..self.cells.len())
+                .map(|ci| self.arch.logits(ci))
+                .collect(),
+            gumbel_rng: self.gumbel.borrow().rng_state(),
+            step: self.step.get(),
+        }
+    }
+
+    /// Restore state captured by [`SuperNet::export_search_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`NasError::SearchStateShapeMismatch`] when the α logit shape does
+    /// not match this supernet; nothing is modified in that case.
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn import_search_state(&self, state: &SupernetSearchState) -> Result<(), NasError> {
+        let num_ops = ALL_OPS.len();
+        if state.alpha.len() != self.cells.len() {
+            return Err(NasError::SearchStateShapeMismatch {
+                expected_cells: self.cells.len(),
+                expected_ops: num_ops,
+                actual_cells: state.alpha.len(),
+                actual_ops: state.alpha.first().map_or(0, Vec::len),
+            });
+        }
+        if let Some(row) = state.alpha.iter().find(|row| row.len() != num_ops) {
+            return Err(NasError::SearchStateShapeMismatch {
+                expected_cells: self.cells.len(),
+                expected_ops: num_ops,
+                actual_cells: state.alpha.len(),
+                actual_ops: row.len(),
+            });
+        }
+        for (ci, row) in state.alpha.iter().enumerate() {
+            match Tensor::from_vec(row.clone(), &[num_ops]) {
+                Ok(t) => self.arch.cell(ci).set_value(t),
+                // Row length was validated against `num_ops` above.
+                Err(e) => unreachable!("validated α row must build a tensor: {e}"),
+            }
+        }
+        self.gumbel.borrow_mut().set_rng_state(state.gumbel_rng);
+        self.step.set(state.step);
+        Ok(())
+    }
+
     /// Per-cell, per-operator layer descriptors at the shapes each cell
     /// sees under the most-likely architecture. Used by Eq. 8's layer-wise
     /// hardware-cost penalty.
@@ -343,8 +413,10 @@ impl Module for SuperNet {
                 sample.push(hard);
 
                 let alpha = self.arch.cell(ci).bind(tape);
-                let noise_t =
-                    Tensor::from_vec(noise, &[num_ops]).expect("gumbel noise shape");
+                let noise_t = match Tensor::from_vec(noise, &[num_ops]) {
+                    Ok(t) => t,
+                    Err(e) => unreachable!("one noise value per op always fits: {e:?}"),
+                };
                 let probs = alpha
                     .add(&tape.constant(noise_t))
                     .scale(1.0 / tau)
@@ -358,18 +430,21 @@ impl Module for SuperNet {
                     let st_shift = hard_val - w.value().item();
                     // Straight-through: forward coefficient is exactly the
                     // one-hot value; gradient flows through `w`.
-                    let coeff = w.add(&tape.constant(Tensor::from_vec(
-                        vec![st_shift],
-                        &[1],
-                    )
-                    .expect("st shift shape")));
+                    let shift_t = match Tensor::from_vec(vec![st_shift], &[1]) {
+                        Ok(t) => t,
+                        Err(e) => unreachable!("one value always fits shape [1]: {e:?}"),
+                    };
+                    let coeff = w.add(&tape.constant(shift_t));
                     let branch = cell.ops[oi].forward(tape, &h, train).scale_by(&coeff);
                     acc = Some(match acc {
                         None => branch,
                         Some(a) => a.add(&branch),
                     });
                 }
-                h = acc.expect("top_k >= 1 guarantees a branch");
+                h = match acc {
+                    Some(sum) => sum,
+                    None => unreachable!("top_k >= 1 guarantees a branch"),
+                };
             } else {
                 // Evaluation: argmax path, or a hard-Gumbel sample when
                 // rollout-time sampling is enabled (Eq. 6 in Alg. 1).
@@ -403,6 +478,20 @@ impl Module for SuperNet {
         p
     }
 
+    fn state(&self) -> Vec<Param> {
+        // Batch-norm running statistics of the stem and every candidate
+        // operator: they steer eval-mode forwards (rollouts, evaluations),
+        // so checkpoints must carry them for bit-exact resume.
+        let mut s = self.stem.state();
+        for cell in &self.cells {
+            for op in &cell.ops {
+                s.extend(op.state());
+            }
+        }
+        s.extend(self.head_fc.state());
+        s
+    }
+
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
         // Describe the most-likely (argmax-α) single-path network — the
         // proxy the hardware-cost penalty evaluates (Section IV-A).
@@ -413,7 +502,7 @@ impl Module for SuperNet {
             shape = s;
         }
         let FeatureShape::Image { channels, .. } = shape else {
-            panic!("supernet cells must output an image tensor")
+            unreachable!("every candidate operator preserves the image shape")
         };
         let (d, s) = self
             .head_fc

@@ -90,6 +90,10 @@ impl Module for Backbone {
         self.net.params()
     }
 
+    fn state(&self) -> Vec<Param> {
+        self.net.state()
+    }
+
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
         self.net.describe(input)
     }

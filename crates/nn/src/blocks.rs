@@ -101,6 +101,15 @@ impl Module for BasicBlock {
         p
     }
 
+    fn state(&self) -> Vec<Param> {
+        let mut s = self.bn1.state();
+        s.extend(self.bn2.state());
+        if let Some((_, bn)) = &self.shortcut {
+            s.extend(bn.state());
+        }
+        s
+    }
+
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
         let (mut descs, mid) = self.conv1.describe(input);
         let (d2, out) = self.conv2.describe(mid);
@@ -220,6 +229,16 @@ impl Module for InvertedResidual {
         p.extend(self.project.params());
         p.extend(self.proj_bn.params());
         p
+    }
+
+    fn state(&self) -> Vec<Param> {
+        let mut s = Vec::new();
+        if let Some((_, bn)) = &self.expand {
+            s.extend(bn.state());
+        }
+        s.extend(self.dw_bn.state());
+        s.extend(self.proj_bn.state());
+        s
     }
 
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {

@@ -5,7 +5,6 @@ use crate::init::{he_std, xavier_std};
 use crate::module::Module;
 use crate::param::Param;
 use a3cs_tensor::{Conv2dGeometry, Tape, Tensor, Var};
-use std::cell::RefCell;
 
 /// Dense 2-D convolution layer (square kernels, NCHW, optional bias).
 ///
@@ -346,8 +345,11 @@ pub struct BatchNorm2d {
     channels: usize,
     gamma: Param,
     beta: Param,
-    running_mean: RefCell<Tensor>,
-    running_var: RefCell<Tensor>,
+    // Running statistics are non-learnable state: held as `Param` (never
+    // handed to an optimizer) so checkpoints can capture and restore them
+    // through `Module::state`.
+    running_mean: Param,
+    running_var: Param,
     momentum: f32,
     eps: f32,
 }
@@ -367,8 +369,8 @@ impl BatchNorm2d {
             channels,
             gamma: Param::new(&format!("{name}.gamma"), Tensor::ones(&[channels])),
             beta: Param::new(&format!("{name}.beta"), Tensor::zeros(&[channels])),
-            running_mean: RefCell::new(Tensor::zeros(&[channels])),
-            running_var: RefCell::new(Tensor::ones(&[channels])),
+            running_mean: Param::new(&format!("{name}.running_mean"), Tensor::zeros(&[channels])),
+            running_var: Param::new(&format!("{name}.running_var"), Tensor::ones(&[channels])),
             momentum: 0.1,
             eps: 1e-5,
         }
@@ -377,13 +379,13 @@ impl BatchNorm2d {
     /// Snapshot of the running mean.
     #[must_use]
     pub fn running_mean(&self) -> Tensor {
-        self.running_mean.borrow().clone()
+        self.running_mean.value()
     }
 
     /// Snapshot of the running variance.
     #[must_use]
     pub fn running_var(&self) -> Tensor {
-        self.running_var.borrow().clone()
+        self.running_var.value()
     }
 }
 
@@ -419,30 +421,32 @@ impl Module for BatchNorm2d {
                 }
                 var[ci] = vacc / m;
             }
-            {
-                let mut rm = self.running_mean.borrow_mut();
-                let mut rv = self.running_var.borrow_mut();
+            self.running_mean.update(|rm| {
                 for ci in 0..c {
                     let rm_v = rm.data()[ci];
-                    let rv_v = rv.data()[ci];
                     rm.data_mut()[ci] = (1.0 - self.momentum) * rm_v + self.momentum * mean[ci];
+                }
+            });
+            self.running_var.update(|rv| {
+                for ci in 0..c {
+                    let rv_v = rv.data()[ci];
                     rv.data_mut()[ci] = (1.0 - self.momentum) * rv_v + self.momentum * var[ci];
                 }
-            }
+            });
             x.batch_norm2d(&gamma, &beta, self.eps)
         } else {
-            x.batch_norm2d_inference(
-                &gamma,
-                &beta,
-                &self.running_mean.borrow(),
-                &self.running_var.borrow(),
-                self.eps,
-            )
+            let rm = self.running_mean.value();
+            let rv = self.running_var.value();
+            x.batch_norm2d_inference(&gamma, &beta, &rm, &rv, self.eps)
         }
     }
 
     fn params(&self) -> Vec<Param> {
         vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn state(&self) -> Vec<Param> {
+        vec![self.running_mean.clone(), self.running_var.clone()]
     }
 
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {

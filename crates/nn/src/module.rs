@@ -22,6 +22,15 @@ pub trait Module {
     /// All learnable parameters, in a stable order.
     fn params(&self) -> Vec<Param>;
 
+    /// Non-learnable state tensors (e.g. batch-norm running statistics),
+    /// in a stable order. These affect forward outputs but are never
+    /// handed to an optimizer; checkpoints must capture them alongside
+    /// [`Module::params`] for bit-exact resume. Stateless modules return
+    /// the default empty list. Containers must aggregate their children.
+    fn state(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
     /// Describe the compute layers of this module given an input shape,
     /// returning the descriptors and the output shape.
     ///
@@ -53,6 +62,10 @@ impl Module for Box<dyn Module> {
         self.as_ref().params()
     }
 
+    fn state(&self) -> Vec<Param> {
+        self.as_ref().state()
+    }
+
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
         self.as_ref().describe(input)
     }
@@ -65,6 +78,10 @@ impl<T: Module> Module for std::rc::Rc<T> {
 
     fn params(&self) -> Vec<Param> {
         self.as_ref().params()
+    }
+
+    fn state(&self) -> Vec<Param> {
+        self.as_ref().state()
     }
 
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {

@@ -72,6 +72,10 @@ impl Module for Sequential {
         self.stages.iter().flat_map(|s| s.params()).collect()
     }
 
+    fn state(&self) -> Vec<Param> {
+        self.stages.iter().flat_map(|s| s.state()).collect()
+    }
+
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
         let mut descs = Vec::new();
         let mut shape = input;

@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> crash-resume equivalence + fault-injection smoke"
+cargo test -q --test fault_tolerance
+
 echo "==> a3cs-check lint ratchet"
 cargo run -q -p a3cs-check --bin lint
 

@@ -1,0 +1,166 @@
+//! Fault tolerance: a co-search killed mid-run and resumed from disk must
+//! finish bit-identically to one that never stopped, injected NaN losses
+//! must trigger rollback without changing the trajectory, and corrupted
+//! checkpoint files must fall back to an older good one — all driven by
+//! the deterministic fault plan, with every action in the robustness log.
+
+use a3cs::core::{
+    CoSearch, CoSearchConfig, CoSearchResult, FaultPlan, RobustnessEventKind, SearchError,
+};
+use a3cs::envs::{Breakout, Environment};
+use std::path::PathBuf;
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn tiny_config(total_steps: u64) -> CoSearchConfig {
+    let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
+    cfg.total_steps = total_steps;
+    cfg.eval_every = 100;
+    cfg.eval_episodes = 2;
+    cfg.eval_max_steps = 40;
+    cfg.das_final_iters = 50;
+    cfg
+}
+
+fn test_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("a3cs_ft_{}_{}", std::process::id(), test));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn curve_bits(curve: &[(u64, f32)]) -> Vec<(u64, u32)> {
+    curve.iter().map(|&(s, v)| (s, v.to_bits())).collect()
+}
+
+fn assert_results_bit_identical(a: &CoSearchResult, b: &CoSearchResult) {
+    assert_eq!(format!("{:?}", a.arch), format!("{:?}", b.arch));
+    assert_eq!(
+        format!("{:?}", a.accelerator),
+        format!("{:?}", b.accelerator)
+    );
+    assert_eq!(curve_bits(&a.score_curve), curve_bits(&b.score_curve));
+    assert_eq!(
+        curve_bits(&a.alpha_entropy_curve),
+        curve_bits(&b.alpha_entropy_curve)
+    );
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.report.fps.to_bits(), b.report.fps.to_bits());
+    assert_eq!(a.report.dsp_used, b.report.dsp_used);
+}
+
+#[test]
+fn crash_resume_is_bit_identical_to_uninterrupted_run() {
+    let reference = CoSearch::new(tiny_config(300), 11).run(&factory, None);
+    assert!(reference.robustness.is_empty());
+
+    // Kill the loop at iteration 7 (the checkpoint on disk is iteration 6).
+    let dir = test_dir("crash_resume");
+    let mut cfg = tiny_config(300);
+    cfg.fault.checkpoint_dir = Some(dir.clone());
+    cfg.fault.keep = 2;
+    cfg.fault.plan = FaultPlan::none().abort_at(7);
+    let err = CoSearch::new(cfg.clone(), 11)
+        .run_guarded(&factory, None)
+        .expect_err("abort fault must surface");
+    assert_eq!(err, SearchError::Aborted { iteration: 7 });
+
+    // A fresh CoSearch on the same config/seed resumes from disk.
+    cfg.fault.plan = FaultPlan::none();
+    let resumed = CoSearch::new(cfg, 11)
+        .run_guarded(&factory, None)
+        .expect("resumed run completes");
+    assert_eq!(resumed.robustness.count(RobustnessEventKind::Resumed), 1);
+    assert_results_bit_identical(&reference, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn nan_loss_rolls_back_and_stays_bit_identical() {
+    let reference = CoSearch::new(tiny_config(300), 7).run(&factory, None);
+
+    // Poison the loss at iteration 5; the sentinel catches it before any
+    // optimiser step, rolls back to the in-memory checkpoint and replays.
+    // With the default lr_backoff of 1.0 the replay is exact, so the final
+    // result matches the undisturbed run bit for bit.
+    let mut cfg = tiny_config(300);
+    cfg.fault.sentinel = true;
+    cfg.fault.max_rollbacks = 3;
+    cfg.fault.plan = FaultPlan::none().nan_loss_at(5);
+    let mut search = CoSearch::new(cfg, 7);
+    let result = search
+        .run_guarded(&factory, None)
+        .expect("run survives the injected NaN");
+
+    let log = &result.robustness;
+    assert_eq!(log.count(RobustnessEventKind::FaultInjected), 1);
+    assert_eq!(log.count(RobustnessEventKind::NonFiniteLoss), 1);
+    assert_eq!(log.count(RobustnessEventKind::RolledBack), 1);
+    assert_results_bit_identical(&reference, &result);
+}
+
+#[test]
+fn exhausted_rollback_budget_degrades_without_panicking() {
+    // Two NaN injections at the same iteration: the first rolls back (using
+    // the whole budget of 1), the replayed iteration is poisoned again, and
+    // the loop degrades to skip-and-continue instead of looping forever.
+    let mut cfg = tiny_config(200);
+    cfg.fault.sentinel = true;
+    cfg.fault.max_rollbacks = 1;
+    cfg.fault.plan = FaultPlan::none().nan_loss_at(2).nan_loss_at(2);
+    let mut search = CoSearch::new(cfg, 21);
+    let result = search
+        .run_guarded(&factory, None)
+        .expect("degraded run still completes");
+
+    let log = &result.robustness;
+    assert_eq!(log.count(RobustnessEventKind::NonFiniteLoss), 2);
+    assert_eq!(log.count(RobustnessEventKind::RolledBack), 1);
+    assert_eq!(log.count(RobustnessEventKind::RollbackBudgetExhausted), 1);
+    assert!(result.steps >= 200);
+}
+
+#[test]
+fn resume_falls_back_past_corrupted_checkpoints() {
+    let reference = CoSearch::new(tiny_config(300), 3).run(&factory, None);
+
+    // Corrupt the two newest checkpoints (torn write at iteration 4, bit
+    // rot at iteration 5), then crash at 6: recovery must skip both and
+    // resume from iteration 3.
+    let dir = test_dir("corrupt_fallback");
+    let mut cfg = tiny_config(300);
+    cfg.fault.checkpoint_dir = Some(dir.clone());
+    cfg.fault.keep = 3;
+    cfg.fault.plan = FaultPlan::none()
+        .truncate_checkpoint_at(4, 10)
+        .flip_checkpoint_byte_at(5, 40)
+        .abort_at(6);
+    let err = CoSearch::new(cfg.clone(), 3)
+        .run_guarded(&factory, None)
+        .expect_err("abort fault must surface");
+    assert!(matches!(err, SearchError::Aborted { iteration: 6 }));
+
+    cfg.fault.plan = FaultPlan::none();
+    let resumed = CoSearch::new(cfg, 3)
+        .run_guarded(&factory, None)
+        .expect("resumed run completes");
+    let log = &resumed.robustness;
+    assert_eq!(
+        log.count(RobustnessEventKind::CorruptCheckpointSkipped),
+        2,
+        "events: {:?}",
+        log.events
+    );
+    assert_eq!(log.count(RobustnessEventKind::Resumed), 1);
+    assert_results_bit_identical(&reference, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+#[should_panic(expected = "schedules an abort")]
+fn run_rejects_abort_plans() {
+    let mut cfg = tiny_config(100);
+    cfg.fault.plan = FaultPlan::none().abort_at(0);
+    let _ = CoSearch::new(cfg, 1).run(&factory, None);
+}

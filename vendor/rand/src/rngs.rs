@@ -19,6 +19,30 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The four xoshiro256++ state words, for checkpointing. Restoring
+    /// them with [`StdRng::from_state`] resumes the stream exactly where
+    /// it left off.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from saved [`StdRng::state`] words.
+    ///
+    /// An all-zero state is a fixed point of xoshiro256++ and is replaced
+    /// by the same non-zero word `seed_from_u64` falls back to.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return StdRng {
+                s: [0x9e37_79b9_7f4a_7c15, 0, 0, 0],
+            };
+        }
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
@@ -55,6 +79,29 @@ impl RngCore for StdRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = rng.next_u64();
+        let saved = rng.state();
+        let expect: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state(saved);
+        let got: Vec<u64> = (0..4).map(|_| resumed.next_u64()).collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn all_zero_state_is_replaced() {
+        // An untouched all-zero state would emit zeros forever; the
+        // replacement word must produce a live stream. (The first two
+        // outputs of the replacement state coincide by construction, so
+        // look a few draws deep.)
+        let mut rng = StdRng::from_state([0; 4]);
+        let vals: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        assert!(vals.iter().any(|&v| v != vals[0]));
+    }
 
     #[test]
     fn stream_is_not_degenerate() {
