@@ -7,7 +7,7 @@
 //! A3CS_SCALE=short cargo run --release -p a3cs-bench --bin ablation_lambda [game]
 //! ```
 
-use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::report::{fmt, or_exit, print_table, save_json, status, warn};
 use a3cs_bench::scale::Scale;
 use a3cs_bench::setup::{
     agent_with, cosearch_config, factory_for, game_info, train_teacher, trainer_config,
@@ -33,25 +33,30 @@ fn main() {
         Some("Pong") | None => "Pong",
         Some("Breakout") => "Breakout",
         Some("SpaceInvaders") => "SpaceInvaders",
-        Some(other) => panic!("unsupported game {other}; use Pong|Breakout|SpaceInvaders"),
+        Some(other) => {
+            warn(format!(
+                "unsupported game {other}; use Pong|Breakout|SpaceInvaders"
+            ));
+            std::process::exit(2);
+        }
     };
     let lambdas = [0.0f32, 0.05, 0.2, 1.0, 5.0];
-    println!(
+    status(format!(
         "λ ablation on {game}: cost weight vs (score, FPS, model size) (scale: {})\n",
         scale.name
-    );
+    ));
 
-    let info = game_info(game);
-    let factory = factory_for(game);
-    let teacher = train_teacher(game, &scale, 8100);
+    let info = or_exit(game_info(game));
+    let factory = or_exit(factory_for(game));
+    let teacher = or_exit(train_teacher(game, &scale, 8100));
     let ac = DistillConfig::ac_distillation();
 
     let mut rows = Vec::new();
     let mut dumps = Vec::new();
     for lambda in lambdas {
-        let mut cfg = cosearch_config(game, &scale);
+        let mut cfg = or_exit(cosearch_config(game, &scale));
         cfg.lambda = lambda;
-        let mut search = CoSearch::new(cfg, 81);
+        let mut search = or_exit(CoSearch::try_new(cfg, 81));
         let result = search.run(&factory, Some(&teacher));
         let derived = derive_backbone(search.supernet().config(), &result.arch, 82);
         let macs = derived.total_macs();
@@ -66,12 +71,12 @@ fn main() {
             .iter()
             .filter(|&&op| op == OpChoice::Skip)
             .count();
-        println!(
+        status(format!(
             "λ={lambda:<5} score={:<8.1} fps={:<10.1} macs={macs} skips={skips}/{}",
             curve.best_score(),
             result.report.fps,
             result.arch.len()
-        );
+        ));
         rows.push(vec![
             format!("{lambda}"),
             fmt(f64::from(curve.best_score())),
@@ -90,8 +95,8 @@ fn main() {
         });
     }
 
-    println!("\nsummary:\n");
+    status("\nsummary:\n");
     print_table(&["lambda", "score", "FPS", "DSPs", "MACs", "skip ops"], &rows);
-    println!("\nexpected shape: FPS and skip-op share rise with λ; score holds then sags.");
+    status("\nexpected shape: FPS and skip-op share rise with λ; score holds then sags.");
     save_json("ablation_lambda", &dumps);
 }

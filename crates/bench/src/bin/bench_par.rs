@@ -10,6 +10,7 @@
 //! cargo run --release -p a3cs-bench --bin bench_par
 //! ```
 
+use a3cs_bench::report::{or_exit, status, warn};
 use a3cs_bench::setup::{agent_with, build_backbone, factory_for, game_info};
 use a3cs_drl::{evaluate, ActorCritic, EvalProtocol, RolloutRunner};
 use a3cs_tensor::{Conv2dGeometry, Tape, Tensor};
@@ -65,10 +66,10 @@ fn entry<T: PartialEq>(name: &str, work: &dyn Fn() -> T) -> Entry {
         speedup: seq_ms / par_ms,
         identical: seq_out == par_out,
     };
-    println!(
+    status(format!(
         "{:>32}  seq {:8.2} ms  par {:8.2} ms  speedup {:.2}x  identical: {}",
         e.name, e.seq_ms, e.par_ms, e.speedup, e.identical
-    );
+    ));
     e
 }
 
@@ -77,21 +78,21 @@ fn bits(data: &[f32]) -> Vec<u32> {
 }
 
 fn resnet20_agent(seed: u64) -> ActorCritic {
-    let info = game_info("Breakout");
-    agent_with(build_backbone("ResNet-20", &info, seed), &info, seed)
+    let info = or_exit(game_info("Breakout"));
+    agent_with(or_exit(build_backbone("ResNet-20", &info, seed)), &info, seed)
 }
 
 fn main() {
     let agent = resnet20_agent(7);
-    let info = game_info("Breakout");
+    let info = or_exit(game_info("Breakout"));
     let obs_len = info.planes * info.height * info.width;
-    let factory = factory_for("Breakout");
+    let factory = or_exit(factory_for("Breakout"));
     let available_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
-    println!(
+    status(format!(
         "parallel-layer baseline: ResNet-20 on Breakout, {PAR_THREADS} threads vs 1 \
          ({available_cores} cores available)\n"
-    );
+    ));
 
     let entries = vec![
         entry("rollout_collect_8x5", &|| {
@@ -143,12 +144,12 @@ fn main() {
     match serde_json::to_string_pretty(&baseline) {
         Ok(json) => {
             if let Err(e) = std::fs::write("BENCH_par.json", json + "\n") {
-                eprintln!("warning: cannot write BENCH_par.json: {e}");
+                warn(format!("cannot write BENCH_par.json: {e}"));
             } else {
-                println!("\n(baseline written to BENCH_par.json)");
+                status("\n(baseline written to BENCH_par.json)");
             }
         }
-        Err(e) => eprintln!("warning: cannot serialise baseline: {e}"),
+        Err(e) => warn(format!("cannot serialise baseline: {e}")),
     }
     assert!(all_identical, "parallel output diverged from sequential");
 }

@@ -1,0 +1,119 @@
+//! Telemetry overhead baseline: the same GEMM workload timed with the
+//! global telemetry sink disabled and enabled. The instrumentation on the
+//! kernel hot path is a handful of relaxed atomic adds per GEMM call, so
+//! the enabled leg must stay within 3% of the disabled one.
+//!
+//! Emits `BENCH_telemetry.json` in the working directory.
+//!
+//! ```sh
+//! cargo run --release -p a3cs-bench --bin bench_telemetry
+//! ```
+
+use a3cs_bench::report::{status, warn};
+use a3cs_tensor::{matmul, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Square GEMM dimension; big enough that one call does real work, small
+/// enough that many calls fit in a rep (per-call overhead is what we meter).
+const DIM: usize = 64;
+/// GEMM calls per timed rep.
+const CALLS: usize = 200;
+/// Timed repetitions per leg (best-of, after one warm-up rep).
+const REPS: usize = 7;
+/// Acceptance bound on (enabled - disabled) / disabled.
+const MAX_OVERHEAD: f64 = 0.03;
+
+#[derive(Serialize)]
+struct Baseline {
+    dim: usize,
+    calls_per_rep: usize,
+    reps: usize,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    overhead: f64,
+    gemm_calls_counted: u64,
+    gemm_macs_counted: u64,
+}
+
+/// One rep: `CALLS` chained matmuls. Returns a checksum so the optimiser
+/// cannot discard the work.
+fn rep(a: &Tensor, b: &Tensor) -> f32 {
+    let mut acc = 0.0f32;
+    for _ in 0..CALLS {
+        let c = matmul(a, b);
+        acc += c.data()[0];
+    }
+    acc
+}
+
+/// Best-of-[`REPS`] wall time of `rep` in milliseconds (one warm-up first).
+fn best_ms(a: &Tensor, b: &Tensor, sink: &mut f32) -> f64 {
+    *sink += rep(a, b);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        *sink += rep(a, b);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let a = Tensor::randn(&[DIM, DIM], 0.5, 1);
+    let b = Tensor::randn(&[DIM, DIM], 0.5, 2);
+    let mut sink = 0.0f32;
+
+    status(format!(
+        "telemetry overhead baseline: {CALLS}x {DIM}x{DIM} GEMM per rep, best of {REPS}\n"
+    ));
+
+    let disabled_ms = best_ms(&a, &b, &mut sink);
+
+    let session = telemetry::Session::start();
+    let enabled_ms = best_ms(&a, &b, &mut sink);
+    let trace = session.finish();
+    let gemm_calls = trace.metrics.counter("gemm.calls");
+    let gemm_macs = trace.metrics.counter("gemm.macs");
+
+    let overhead = (enabled_ms - disabled_ms) / disabled_ms;
+    status(format!(
+        "disabled {disabled_ms:8.2} ms   enabled {enabled_ms:8.2} ms   overhead {:+.2}%   (checksum {sink:e})",
+        overhead * 100.0
+    ));
+    status(format!(
+        "counted during enabled leg: {gemm_calls} GEMM calls, {gemm_macs} MACs"
+    ));
+
+    let baseline = Baseline {
+        dim: DIM,
+        calls_per_rep: CALLS,
+        reps: REPS,
+        disabled_ms,
+        enabled_ms,
+        overhead,
+        gemm_calls_counted: gemm_calls,
+        gemm_macs_counted: gemm_macs,
+    };
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_telemetry.json", json + "\n") {
+                warn(format!("cannot write BENCH_telemetry.json: {e}"));
+            } else {
+                status("\n(baseline written to BENCH_telemetry.json)");
+            }
+        }
+        Err(e) => warn(format!("cannot serialise baseline: {e}")),
+    }
+
+    assert!(
+        gemm_calls >= (CALLS * REPS) as u64,
+        "enabled leg did not count its GEMM calls: {gemm_calls}"
+    );
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "telemetry overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}

@@ -10,6 +10,7 @@
 //! Prints one PASS / PARTIAL / FAIL / MISSING verdict per claim; the same
 //! assessments appear narratively in `EXPERIMENTS.md`.
 
+use a3cs_bench::report::status as emit;
 use serde_json::Value;
 use std::fs;
 use std::path::Path;
@@ -213,7 +214,7 @@ fn check_fig2() -> Verdict {
 }
 
 fn main() {
-    println!("A3C-S reproduction claim check (reads results/*.json)\n");
+    emit("A3C-S reproduction claim check (reads results/*.json)\n");
     let verdicts = [
         check_table1(),
         check_table2(),
@@ -223,6 +224,6 @@ fn main() {
     ];
     let width = verdicts.iter().map(|v| v.claim.len()).max().unwrap_or(0);
     for v in &verdicts {
-        println!("{:<width$}  {:<14}  {}", v.claim, v.status, v.detail);
+        emit(format!("{:<width$}  {:<14}  {}", v.claim, v.status, v.detail));
     }
 }

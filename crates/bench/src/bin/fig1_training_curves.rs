@@ -10,7 +10,7 @@
 //! ```
 
 use a3cs_bench::paper_data::CURVE_GAMES;
-use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::report::{fmt, or_exit, print_table, save_json, status};
 use a3cs_bench::scale::Scale;
 use a3cs_bench::setup::{train_backbone, BACKBONES};
 use serde::Serialize;
@@ -24,19 +24,19 @@ struct CurveDump {
 
 fn main() {
     let scale = Scale::from_env();
-    println!(
+    status(format!(
         "Fig. 1: training curves of {} backbones on {:?} (scale: {})\n",
         BACKBONES.len(),
         CURVE_GAMES,
         scale.name
-    );
+    ));
 
     let mut dumps = Vec::new();
     let mut rows = Vec::new();
     for &game in CURVE_GAMES {
         for kind in BACKBONES {
-            let (_, curve) = train_backbone(game, kind, &scale, None, 1234);
-            println!(
+            let (_, curve) = or_exit(train_backbone(game, kind, &scale, None, 1234));
+            status(format!(
                 "{game:<14} {kind:<10} curve: {}",
                 curve
                     .points
@@ -44,7 +44,7 @@ fn main() {
                     .map(|(s, v)| format!("{s}:{v:.0}"))
                     .collect::<Vec<_>>()
                     .join(" ")
-            );
+            ));
             rows.push(vec![
                 game.to_owned(),
                 kind.to_owned(),
@@ -57,10 +57,10 @@ fn main() {
                 points: curve.points,
             });
         }
-        println!();
+        status("");
     }
 
-    println!("summary (best / final evaluation scores):\n");
+    status("summary (best / final evaluation scores):\n");
     print_table(&["game", "backbone", "best", "final"], &rows);
     save_json("fig1_training_curves", &dumps);
 }

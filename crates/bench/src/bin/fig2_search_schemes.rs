@@ -19,7 +19,7 @@
 
 use a3cs_bench::cli::{filter_games, parse_flag, positional};
 use a3cs_bench::paper_data::CURVE_GAMES;
-use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::report::{fmt, or_exit, print_table, save_json, status};
 use a3cs_bench::scale::Scale;
 use a3cs_bench::setup::{cosearch_config, train_teacher};
 use a3cs_core::{CoSearch, SearchScheme};
@@ -44,21 +44,21 @@ fn main() {
         ("A3C-S:Bi-level", SearchScheme::BiLevel),
         ("A3C-S:One-level", SearchScheme::OneLevel),
     ];
-    println!(
+    status(format!(
         "Fig. 2: search-score evolution, {:?} on {:?} (scale: {}, top-K: {})\n",
         schemes.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
         games,
         scale.name,
         top_k.unwrap_or(2)
-    );
+    ));
 
     let mut rows = Vec::new();
     let mut dumps = Vec::new();
     for &game in &games {
         // Teacher shared by the two distilled schemes.
-        let teacher = train_teacher(game, &scale, 4000);
+        let teacher = or_exit(train_teacher(game, &scale, 4000));
         for (name, scheme) in schemes {
-            let mut cfg = cosearch_config(game, &scale);
+            let mut cfg = or_exit(cosearch_config(game, &scale));
             cfg.scheme = scheme;
             if let Some(k) = top_k {
                 cfg.supernet.top_k = k;
@@ -67,14 +67,14 @@ fn main() {
                 cfg.total_steps = n;
                 cfg.eval_every = scale.eval_every(n);
             }
-            let mut search = CoSearch::new(cfg, 31);
+            let mut search = or_exit(CoSearch::try_new(cfg, 31));
             let teacher_opt = match scheme {
                 SearchScheme::DirectNas => None,
                 _ => Some(&teacher),
             };
-            let factory = a3cs_bench::setup::factory_for(game);
+            let factory = or_exit(a3cs_bench::setup::factory_for(game));
             let result = search.run(&factory, teacher_opt);
-            println!(
+            status(format!(
                 "{game:<14} {name:<16} curve: {}",
                 result
                     .score_curve
@@ -82,7 +82,7 @@ fn main() {
                     .map(|(s, v)| format!("{s}:{v:.0}"))
                     .collect::<Vec<_>>()
                     .join(" ")
-            );
+            ));
             rows.push(vec![
                 game.to_owned(),
                 name.to_owned(),
@@ -96,10 +96,10 @@ fn main() {
                 alpha_entropy: result.alpha_entropy_curve,
             });
         }
-        println!();
+        status("");
     }
 
-    println!("summary (best / final search-time scores):\n");
+    status("summary (best / final search-time scores):\n");
     print_table(&["game", "scheme", "best", "final"], &rows);
     save_json("fig2_search_schemes", &dumps);
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use a3cs_bench::paper_data::FIG3_GAMES;
-use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::report::{fmt, or_exit, print_table, save_json, status};
 use a3cs_bench::scale::Scale;
 use a3cs_bench::setup::{
     agent_with, cosearch_config, factory_for, game_info, train_backbone, train_teacher,
@@ -36,34 +36,34 @@ struct Point {
 fn main() {
     let scale = Scale::from_env();
     let target = FpgaTarget::zc706();
-    println!(
+    status(format!(
         "Fig. 3: score/FPS trade-off on {FIG3_GAMES:?} under {} DSPs (scale: {})\n",
         target.dsp_limit, scale.name
-    );
+    ));
 
     let ac = DistillConfig::ac_distillation();
     let mut rows = Vec::new();
     let mut dumps = Vec::new();
     for &game in FIG3_GAMES {
-        let info = game_info(game);
-        let factory = factory_for(game);
-        let teacher = train_teacher(game, &scale, 6000);
+        let info = or_exit(game_info(game));
+        let factory = or_exit(factory_for(game));
+        let teacher = or_exit(train_teacher(game, &scale, 6000));
 
         // (1) ResNet-14 + DAS accelerator (both halves searched/trained
         // with the same machinery for a fair comparison, per the paper).
         let (resnet_agent, resnet_curve) =
-            train_backbone(game, "ResNet-14", &scale, Some((&ac, &teacher)), 60);
+            or_exit(train_backbone(game, "ResNet-14", &scale, Some((&ac, &teacher)), 60));
         let _ = resnet_agent;
         let resnet_layers =
-            a3cs_bench::setup::build_backbone("ResNet-14", &info, 60).layer_descs();
+            or_exit(a3cs_bench::setup::build_backbone("ResNet-14", &info, 60)).layer_descs();
         let mut das = DasEngine::new(DasConfig::default(), 61);
         let resnet_accel = das.run(&resnet_layers, &target, scale.das_iters);
         let resnet_report = PerfModel::evaluate(&resnet_accel, &resnet_layers, &target);
 
         // (2) A3C-S agent + DAS accelerator.
-        let mut cfg = cosearch_config(game, &scale);
+        let mut cfg = or_exit(cosearch_config(game, &scale));
         cfg.das_final_iters = scale.das_iters;
-        let mut search = CoSearch::new(cfg, 62);
+        let mut search = or_exit(CoSearch::try_new(cfg, 62));
         let result = search.run(&factory, Some(&teacher));
         let derived = derive_backbone(search.supernet().config(), &result.arch, 63);
         let derived_layers = derived.layer_descs();
@@ -99,7 +99,7 @@ fn main() {
                 dnnb_report.dsp_used,
             ),
         ] {
-            println!("{game:<14} {design:<20} score={score:<10.1} fps={fps:.1}");
+            status(format!("{game:<14} {design:<20} score={score:<10.1} fps={fps:.1}"));
             rows.push(vec![
                 game.to_owned(),
                 design.to_owned(),
@@ -115,10 +115,10 @@ fn main() {
                 dsp,
             });
         }
-        println!();
+        status("");
     }
 
-    println!("summary:\n");
+    status("summary:\n");
     print_table(&["game", "design", "score", "FPS", "DSPs"], &rows);
     save_json("fig3_fps_tradeoff", &dumps);
 }

@@ -11,7 +11,7 @@
 
 use a3cs_bench::cli::positional;
 use a3cs_bench::paper_data::TABLE1;
-use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::report::{fmt, or_exit, print_table, save_json, status};
 use a3cs_bench::scale::Scale;
 use a3cs_bench::setup::{train_backbone, BACKBONES};
 use serde::Serialize;
@@ -34,12 +34,12 @@ fn main() {
         .map(|(g, _)| *g)
         .filter(|g| filter.is_empty() || filter.iter().any(|f| f == g))
         .collect();
-    println!(
+    status(format!(
         "Table I: best scores of {:?} on {} games (scale: {})\n",
         BACKBONES,
         games.len(),
         scale.name
-    );
+    ));
 
     let mut rows = Vec::new();
     let mut dumps = Vec::new();
@@ -47,12 +47,12 @@ fn main() {
         let mut cells = vec![game.to_owned()];
         let mut scores = BTreeMap::new();
         for kind in BACKBONES {
-            let (_, curve) = train_backbone(game, kind, &scale, None, 777);
+            let (_, curve) = or_exit(train_backbone(game, kind, &scale, None, 777));
             let best = curve.best_score();
             cells.push(fmt(f64::from(best)));
             scores.insert(kind.to_owned(), best);
         }
-        println!("{game} done");
+        status(format!("{game} done"));
         rows.push(cells);
         dumps.push(Row {
             game: game.to_owned(),
@@ -60,12 +60,12 @@ fn main() {
         });
     }
 
-    println!("\nmeasured (best evaluation score):\n");
+    status("\nmeasured (best evaluation score):\n");
     let mut headers = vec!["game"];
     headers.extend(BACKBONES);
     print_table(&headers, &rows);
 
-    println!("\npaper reference (ALE, 3e7 steps) for the shared games:\n");
+    status("\npaper reference (ALE, 3e7 steps) for the shared games:\n");
     let paper_rows: Vec<Vec<String>> = TABLE1
         .iter()
         .map(|(g, vals)| {

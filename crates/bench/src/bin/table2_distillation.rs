@@ -15,7 +15,7 @@
 
 use a3cs_bench::cli::{has_switch, positional};
 use a3cs_bench::paper_data::TABLE2;
-use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::report::{fmt, or_exit, print_table, save_json, status};
 use a3cs_bench::scale::Scale;
 use a3cs_bench::setup::{train_backbone, train_teacher};
 use a3cs_drl::{DistillConfig, DistillMode};
@@ -54,27 +54,28 @@ fn main() {
         })
         .collect();
     let ac = ac_config(&args);
-    println!(
+    status(format!(
         "Table II: distillation ablation on {games:?} (scale: {}, β2={}, β3={})\n",
         scale.name, ac.beta2, ac.beta3
-    );
+    ));
 
     let mut rows = Vec::new();
     let mut dumps = Vec::new();
     for game in games {
-        let teacher = train_teacher(game, &scale, 9000);
+        let teacher = or_exit(train_teacher(game, &scale, 9000));
         for student in ["Vanilla", "ResNet-14"] {
-            let (_, none) = train_backbone(game, student, &scale, None, 50);
+            let (_, none) = or_exit(train_backbone(game, student, &scale, None, 50));
             let policy = DistillConfig::policy_only();
             let (_, pol) =
-                train_backbone(game, student, &scale, Some((&policy, &teacher)), 50);
-            let (_, acd) = train_backbone(game, student, &scale, Some((&ac, &teacher)), 50);
-            println!(
+                or_exit(train_backbone(game, student, &scale, Some((&policy, &teacher)), 50));
+            let (_, acd) =
+                or_exit(train_backbone(game, student, &scale, Some((&ac, &teacher)), 50));
+            status(format!(
                 "{game:<14} {student:<10} none={:.1} policy={:.1} ac={:.1}",
                 none.best_score(),
                 pol.best_score(),
                 acd.best_score()
-            );
+            ));
             rows.push(vec![
                 game.to_owned(),
                 student.to_owned(),
@@ -92,13 +93,13 @@ fn main() {
         }
     }
 
-    println!("\nmeasured (best evaluation score):\n");
+    status("\nmeasured (best evaluation score):\n");
     print_table(
         &["game", "student", "no distill", "policy only", "AC-distill"],
         &rows,
     );
 
-    println!("\npaper reference (ALE):\n");
+    status("\npaper reference (ALE):\n");
     let mut paper_rows = Vec::new();
     for (g, v, r) in TABLE2 {
         paper_rows.push(vec![

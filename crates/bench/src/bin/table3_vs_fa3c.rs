@@ -12,7 +12,7 @@
 //! ```
 
 use a3cs_bench::paper_data::TABLE3;
-use a3cs_bench::report::{fmt, print_table, save_json};
+use a3cs_bench::report::{fmt, or_exit, print_table, save_json, status};
 use a3cs_bench::scale::Scale;
 use a3cs_bench::setup::{
     agent_with, cosearch_config, factory_for, game_info, train_teacher,
@@ -34,22 +34,22 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env();
-    println!(
+    status(format!(
         "Table III: A3C-S (full pipeline) vs FA3C reported numbers (scale: {})\n",
         scale.name
-    );
+    ));
 
     let ac = DistillConfig::ac_distillation();
     let mut rows = Vec::new();
     let mut dumps = Vec::new();
     for (game, (fa3c_score, fa3c_fps), _paper_a3cs) in TABLE3 {
         let game: &'static str = game;
-        let info = game_info(game);
-        let factory = factory_for(game);
-        let teacher = train_teacher(game, &scale, 7000);
+        let info = or_exit(game_info(game));
+        let factory = or_exit(factory_for(game));
+        let teacher = or_exit(train_teacher(game, &scale, 7000));
 
-        let cfg = cosearch_config(game, &scale);
-        let mut search = CoSearch::new(cfg, 71);
+        let cfg = or_exit(cosearch_config(game, &scale));
+        let mut search = or_exit(CoSearch::try_new(cfg, 71));
         let result = search.run(&factory, Some(&teacher));
         let derived = derive_backbone(search.supernet().config(), &result.arch, 72);
         let agent = agent_with(derived, &info, 73);
@@ -59,9 +59,9 @@ fn main() {
         let score = curve.best_score();
         let fps = result.report.fps;
         let speedup = fps / fa3c_fps;
-        println!(
+        status(format!(
             "{game:<14} FA3C {fa3c_score:>9.1}/{fa3c_fps:.0}fps  A3C-S {score:>9.1}/{fps:.1}fps  ({speedup:.1}x FPS)"
-        );
+        ));
         rows.push(vec![
             game.to_owned(),
             format!("{} / {}", fmt(*fa3c_score), fmt(*fa3c_fps)),
@@ -78,9 +78,9 @@ fn main() {
         });
     }
 
-    println!("\nmeasured (score / FPS):\n");
+    status("\nmeasured (score / FPS):\n");
     print_table(&["game", "FA3C (reported)", "A3C-S (ours)", "FPS speedup"], &rows);
 
-    println!("\npaper reference: A3C-S reported 2.1x–6.1x FPS over FA3C with higher scores.");
+    status("\npaper reference: A3C-S reported 2.1x–6.1x FPS over FA3C with higher scores.");
     save_json("table3_vs_fa3c", &dumps);
 }

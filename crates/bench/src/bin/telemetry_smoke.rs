@@ -1,0 +1,160 @@
+//! Telemetry end-to-end smoke check: run a tiny co-search under a
+//! [`telemetry::Session`], export the JSONL and Chrome traces into
+//! `results/`, and validate what came out — every line parses as JSON with
+//! a known record type, every co-search phase span is present, and the
+//! kernel counters are non-zero. Exits nonzero on any failure, so
+//! `scripts/check.sh` can use it as a gate.
+//!
+//! ```sh
+//! cargo run --release -p a3cs-bench --bin telemetry_smoke
+//! ```
+
+use a3cs_bench::report::{or_exit, status, warn};
+use a3cs_core::{CoSearch, CoSearchConfig};
+use a3cs_envs::{Breakout, Environment};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// The six per-iteration phases the co-search loop must trace (plus
+/// "iteration"/"derive", which are asserted separately).
+const PHASES: [&str; 6] = [
+    "rollout",
+    "loss_backward",
+    "optimizer_step",
+    "das_sweep",
+    "eval",
+    "checkpoint_io",
+];
+
+/// Record types the JSONL schema allows.
+const RECORD_TYPES: [&str; 6] = ["span", "event", "counter", "gauge", "histogram", "pool_worker"];
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn fail(problems: &[String]) -> ! {
+    for p in problems {
+        warn(p);
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
+    cfg.total_steps = 300;
+    cfg.eval_every = 100;
+    cfg.eval_episodes = 2;
+    cfg.eval_max_steps = 40;
+    cfg.das_final_iters = 50;
+    // Checkpoint to a throwaway dir so the checkpoint_io phase runs.
+    let ckpt_dir = std::env::temp_dir().join(format!("a3cs_tsmoke_{}", std::process::id()));
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    cfg.fault.checkpoint_dir = Some(ckpt_dir.clone());
+    cfg.fault.checkpoint_every = 2;
+
+    status("telemetry smoke: tiny co-search under an active session\n");
+    let session = telemetry::Session::start();
+    let result = match or_exit(CoSearch::try_new(cfg, 42)).run_guarded(&factory, None) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = session.finish();
+            fail(&[format!("smoke co-search failed: {e}")]);
+        }
+    };
+    let trace = session.finish();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    let dir = a3cs_bench::report::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        fail(&[format!("cannot create {}: {e}", dir.display())]);
+    }
+    let jsonl_path = dir.join("telemetry_smoke.jsonl");
+    let chrome_path = dir.join("telemetry_smoke.trace.json");
+    if let Err(e) = trace.write_jsonl(&jsonl_path) {
+        fail(&[format!("cannot write {}: {e}", jsonl_path.display())]);
+    }
+    if let Err(e) = trace.write_chrome_trace(&chrome_path) {
+        fail(&[format!("cannot write {}: {e}", chrome_path.display())]);
+    }
+
+    // Validate the JSONL dump line by line.
+    let mut problems = Vec::new();
+    let jsonl = match std::fs::read_to_string(&jsonl_path) {
+        Ok(s) => s,
+        Err(e) => fail(&[format!("cannot read back {}: {e}", jsonl_path.display())]),
+    };
+    let mut span_calls: BTreeMap<String, u64> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (i, line) in jsonl.lines().enumerate() {
+        lines += 1;
+        let v: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                problems.push(format!("line {}: not valid JSON: {e}", i + 1));
+                continue;
+            }
+        };
+        let ty = v["type"].as_str().unwrap_or("");
+        if !RECORD_TYPES.contains(&ty) {
+            problems.push(format!("line {}: unknown record type {ty:?}", i + 1));
+            continue;
+        }
+        match ty {
+            "span" => {
+                let name = v["name"].as_str().unwrap_or("");
+                let begin = v["begin_ns"].as_u64();
+                let end = v["end_ns"].as_u64();
+                match (begin, end) {
+                    (Some(b), Some(e)) if e >= b => {}
+                    _ => problems.push(format!("line {}: span {name:?} has bad timestamps", i + 1)),
+                }
+                *span_calls.entry(name.to_owned()).or_insert(0) += 1;
+            }
+            "counter" => {
+                let name = v["name"].as_str().unwrap_or("");
+                let value = v["value"].as_u64().unwrap_or(0);
+                counters.insert(name.to_owned(), value);
+            }
+            _ => {}
+        }
+    }
+    if lines == 0 {
+        problems.push("JSONL dump is empty".to_owned());
+    }
+
+    for phase in PHASES {
+        match span_calls.get(phase) {
+            Some(&n) if n > 0 => {}
+            _ => problems.push(format!("phase span {phase:?} missing from the trace")),
+        }
+    }
+    let iterations = span_calls.get("iteration").copied().unwrap_or(0);
+    if iterations == 0 {
+        problems.push("no \"iteration\" spans in the trace".to_owned());
+    }
+    for counter in ["gemm.macs", "env.steps", "checkpoint.bytes"] {
+        if counters.get(counter).copied().unwrap_or(0) == 0 {
+            problems.push(format!("counter {counter:?} is zero or missing"));
+        }
+    }
+
+    // The summary surfaced on the result must agree with the dump.
+    if result.telemetry.is_empty() {
+        problems.push("CoSearchResult.telemetry is empty despite an active session".to_owned());
+    }
+
+    if !problems.is_empty() {
+        fail(&problems);
+    }
+    status(format!(
+        "ok: {lines} JSONL records, {iterations} iterations, phases {:?}",
+        PHASES
+    ));
+    status(format!(
+        "traces written to {} and {}",
+        jsonl_path.display(),
+        chrome_path.display()
+    ));
+}

@@ -1,10 +1,51 @@
-//! Table printing and JSON result persistence.
+//! Table printing, JSON result persistence and the experiment binaries'
+//! structured output channel.
+//!
+//! All human-facing output of the `crates/bench` binaries flows through
+//! [`status`]/[`warn`] so that every line is mirrored into the telemetry
+//! event stream (as `bench.status`/`bench.warn` instants) whenever a
+//! [`telemetry::Session`] is active — traces then carry the experiment's
+//! narrative alongside its phase timings.
 
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
-/// Print an aligned text table.
+/// Print a progress/result line to stdout, mirroring it into the
+/// telemetry event stream when a session is active.
+pub fn status(line: impl AsRef<str>) {
+    let line = line.as_ref();
+    if telemetry::enabled() {
+        telemetry::instant("bench.status", line);
+    }
+    println!("{line}");
+}
+
+/// Print a warning to stderr, mirroring it into the telemetry event
+/// stream when a session is active.
+pub fn warn(line: impl AsRef<str>) {
+    let line = line.as_ref();
+    if telemetry::enabled() {
+        telemetry::instant("bench.warn", line);
+    }
+    eprintln!("warning: {line}");
+}
+
+/// Unwrap a setup result or exit the process with the error on stderr.
+/// Experiment binaries have no caller to propagate errors to, so a bad
+/// game/backbone/config name ends the run with a diagnostic instead of a
+/// panic backtrace.
+pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            warn(format!("{e}"));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print an aligned text table through [`status`].
 ///
 /// # Panics
 ///
@@ -22,7 +63,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         for (cell, w) in cells.iter().zip(widths.iter()) {
             out.push_str(&format!("{cell:>w$}  ", w = w));
         }
-        println!("{}", out.trim_end());
+        status(out.trim_end());
     };
     line(headers.iter().map(|s| (*s).to_owned()).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
@@ -46,19 +87,19 @@ pub fn results_dir() -> PathBuf {
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
+        warn(format!("cannot create {}: {e}", dir.display()));
         return;
     }
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(json) => {
             if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
+                warn(format!("cannot write {}: {e}", path.display()));
             } else {
-                println!("(results written to {})", path.display());
+                status(format!("(results written to {})", path.display()));
             }
         }
-        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+        Err(e) => warn(format!("cannot serialise {name}: {e}")),
     }
 }
 
@@ -97,5 +138,23 @@ mod tests {
     #[should_panic(expected = "row arity mismatch")]
     fn print_table_rejects_ragged_rows() {
         print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn or_exit_passes_ok_through() {
+        let v: Result<u32, String> = Ok(7);
+        assert_eq!(or_exit(v), 7);
+    }
+
+    #[test]
+    fn status_lines_reach_the_telemetry_stream() {
+        // The telemetry collector is process-global; this is the only test
+        // in this crate that opens a session, so no serialisation needed.
+        let session = telemetry::Session::start();
+        status("hello from the bench");
+        let trace = session.finish();
+        assert!(trace
+            .instants()
+            .any(|i| i.name == "bench.status" && i.detail.contains("hello from the bench")));
     }
 }

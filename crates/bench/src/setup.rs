@@ -1,11 +1,41 @@
 //! Shared experiment plumbing: game metadata, backbone construction,
 //! teacher training and configured trainers.
+//!
+//! Everything that can fail on bad user input (game or backbone names from
+//! the command line) returns a [`SetupError`] instead of panicking, so the
+//! experiment binaries can exit with a readable diagnostic (see
+//! [`crate::report::or_exit`]).
 
+use crate::report::warn;
 use crate::scale::Scale;
 use a3cs_core::CoSearchConfig;
 use a3cs_drl::{ActorCritic, DistillConfig, Trainer, TrainerConfig, TrainingCurve};
 use a3cs_envs::{make_env, Environment};
 use a3cs_nn::{resnet, vanilla, Backbone};
+use std::fmt;
+
+/// Why experiment setup failed: a name from the command line (or a table
+/// constant) did not resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupError {
+    /// The game name is not in the environment registry.
+    UnknownGame(String),
+    /// The backbone name is not one of [`BACKBONES`].
+    UnknownBackbone(String),
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::UnknownGame(name) => write!(f, "unknown game {name:?}"),
+            SetupError::UnknownBackbone(name) => {
+                write!(f, "unknown backbone {name:?}; one of {BACKBONES:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
 
 /// Static metadata of one game.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,26 +54,35 @@ pub struct GameInfo {
 
 /// Look up a game's observation/action signature by constructing it once.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `name` is unknown.
-#[must_use]
-pub fn game_info(name: &'static str) -> GameInfo {
-    let env = make_env(name, 0).expect("known game");
+/// [`SetupError::UnknownGame`] if `name` is not registered.
+pub fn game_info(name: &'static str) -> Result<GameInfo, SetupError> {
+    let env = make_env(name, 0).map_err(|_| SetupError::UnknownGame(name.to_owned()))?;
     let (planes, height, width) = env.observation_shape();
-    GameInfo {
+    Ok(GameInfo {
         name,
         planes,
         height,
         width,
         actions: env.action_count(),
-    }
+    })
 }
 
 /// An environment factory for `name`, suitable for trainers/evaluators.
-#[must_use]
-pub fn factory_for(name: &'static str) -> impl Fn(u64) -> Box<dyn Environment> {
-    move |seed| make_env(name, seed).expect("known game")
+/// The name is validated once up front; the returned closure cannot fail.
+///
+/// # Errors
+///
+/// [`SetupError::UnknownGame`] if `name` is not registered.
+pub fn factory_for(
+    name: &'static str,
+) -> Result<impl Fn(u64) -> Box<dyn Environment>, SetupError> {
+    let _ = game_info(name)?;
+    Ok(move |seed| match make_env(name, seed) {
+        Ok(env) => env,
+        Err(e) => unreachable!("game {name:?} validated above: {e}"),
+    })
 }
 
 /// The paper's five hand-designed backbones (Section V-A), in size order.
@@ -58,19 +97,18 @@ pub const BASE_WIDTH: usize = 8;
 
 /// Build one of the five named backbones for a game's observation shape.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown backbone name.
-#[must_use]
-pub fn build_backbone(kind: &str, info: &GameInfo, seed: u64) -> Backbone {
-    match kind {
+/// [`SetupError::UnknownBackbone`] if `kind` is not one of [`BACKBONES`].
+pub fn build_backbone(kind: &str, info: &GameInfo, seed: u64) -> Result<Backbone, SetupError> {
+    Ok(match kind {
         "Vanilla" => vanilla(info.planes, info.height, info.width, FEAT_DIM, seed),
         "ResNet-14" => resnet(14, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
         "ResNet-20" => resnet(20, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
         "ResNet-38" => resnet(38, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
         "ResNet-74" => resnet(74, info.planes, info.height, info.width, BASE_WIDTH, FEAT_DIM, seed),
-        other => panic!("unknown backbone {other:?}; one of {BACKBONES:?}"),
-    }
+        other => return Err(SetupError::UnknownBackbone(other.to_owned())),
+    })
 }
 
 /// Wrap a backbone into an agent for `info`'s action space.
@@ -100,28 +138,40 @@ pub fn trainer_config(scale: &Scale, total_steps: u64) -> TrainerConfig {
 
 /// Train `kind` on `game` and return the agent plus its score curve.
 /// `distill` optionally supplies `(mode, teacher)`.
+///
+/// # Errors
+///
+/// [`SetupError`] if the game or backbone name does not resolve.
 pub fn train_backbone(
     game: &'static str,
     kind: &str,
     scale: &Scale,
     distill: Option<(&DistillConfig, &ActorCritic)>,
     seed: u64,
-) -> (ActorCritic, TrainingCurve) {
-    let info = game_info(game);
-    let backbone = build_backbone(kind, &info, seed);
+) -> Result<(ActorCritic, TrainingCurve), SetupError> {
+    let info = game_info(game)?;
+    let backbone = build_backbone(kind, &info, seed)?;
     let agent = agent_with(backbone, &info, seed.wrapping_add(1));
     let cfg = trainer_config(scale, scale.train_steps);
-    let factory = factory_for(game);
+    let factory = factory_for(game)?;
     let curve = Trainer::new(cfg, seed.wrapping_add(2)).train(&agent, &factory, distill);
-    (agent, curve)
+    Ok((agent, curve))
 }
 
 /// Train the paper's ResNet-20 teacher for `game`, caching the trained
 /// weights under `results/teachers/` so the six experiment binaries share
 /// one teacher per game and scale profile.
-pub fn train_teacher(game: &'static str, scale: &Scale, seed: u64) -> ActorCritic {
-    let info = game_info(game);
-    let backbone = build_backbone("ResNet-20", &info, seed);
+///
+/// # Errors
+///
+/// [`SetupError::UnknownGame`] if `game` is not registered.
+pub fn train_teacher(
+    game: &'static str,
+    scale: &Scale,
+    seed: u64,
+) -> Result<ActorCritic, SetupError> {
+    let info = game_info(game)?;
+    let backbone = build_backbone("ResNet-20", &info, seed)?;
     let agent = agent_with(backbone, &info, seed.wrapping_add(1));
 
     let cache_dir = std::path::Path::new("results").join("teachers");
@@ -131,25 +181,28 @@ pub fn train_teacher(game: &'static str, scale: &Scale, seed: u64) -> ActorCriti
     ));
     if let Ok(checkpoint) = a3cs_drl::Checkpoint::load(&cache) {
         if checkpoint.apply(&agent).is_ok() {
-            return agent;
+            return Ok(agent);
         }
     }
 
     let cfg = trainer_config(scale, scale.teacher_steps);
-    let factory = factory_for(game);
+    let factory = factory_for(game)?;
     let _ = Trainer::new(cfg, seed.wrapping_add(2)).train(&agent, &factory, None);
     if std::fs::create_dir_all(&cache_dir).is_ok() {
         if let Err(e) = a3cs_drl::Checkpoint::capture(&agent).save(&cache) {
-            eprintln!("warning: cannot cache teacher to {}: {e}", cache.display());
+            warn(format!("cannot cache teacher to {}: {e}", cache.display()));
         }
     }
-    agent
+    Ok(agent)
 }
 
 /// A co-search configuration for `game` at `scale`.
-#[must_use]
-pub fn cosearch_config(game: &'static str, scale: &Scale) -> CoSearchConfig {
-    let info = game_info(game);
+///
+/// # Errors
+///
+/// [`SetupError::UnknownGame`] if `game` is not registered.
+pub fn cosearch_config(game: &'static str, scale: &Scale) -> Result<CoSearchConfig, SetupError> {
+    let info = game_info(game)?;
     let mut cfg = CoSearchConfig::paper(info.planes, info.height, info.width, info.actions);
     cfg.supernet.feat_dim = FEAT_DIM;
     cfg.supernet.base_width = BASE_WIDTH;
@@ -160,7 +213,7 @@ pub fn cosearch_config(game: &'static str, scale: &Scale) -> CoSearchConfig {
     cfg.das_final_iters = scale.das_iters;
     // Anneal the Gumbel temperature over the scaled budget.
     cfg.supernet.temperature.every = (scale.search_steps / 80).max(1);
-    cfg
+    Ok(cfg)
 }
 
 #[cfg(test)]
@@ -170,17 +223,34 @@ mod tests {
 
     #[test]
     fn game_info_matches_env() {
-        let info = game_info("Pong");
+        let info = game_info("Pong").expect("Pong exists");
         assert_eq!(info.actions, 3);
         assert_eq!(info.planes, 3);
     }
 
     #[test]
+    fn unknown_names_are_reported_not_panicked() {
+        assert_eq!(
+            game_info("NotAGame"),
+            Err(SetupError::UnknownGame("NotAGame".to_owned()))
+        );
+        let info = game_info("Pong").expect("Pong exists");
+        let err = match build_backbone("ResNet-999", &info, 1) {
+            Ok(_) => unreachable!("unknown backbone must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("ResNet-999"));
+        assert!(factory_for("NotAGame").is_err());
+        assert!(cosearch_config("NotAGame", &SMOKE).is_err());
+        assert!(train_backbone("NotAGame", "Vanilla", &SMOKE, None, 1).is_err());
+    }
+
+    #[test]
     fn all_backbones_build_for_all_games() {
         for game in ["Breakout", "Seaquest"] {
-            let info = game_info(game);
+            let info = game_info(game).expect("known game");
             for kind in BACKBONES {
-                let bb = build_backbone(kind, &info, 1);
+                let bb = build_backbone(kind, &info, 1).expect("known backbone");
                 assert_eq!(bb.feat_dim(), FEAT_DIM, "{game}/{kind}");
             }
         }
@@ -188,10 +258,14 @@ mod tests {
 
     #[test]
     fn backbone_sizes_are_ordered() {
-        let info = game_info("Breakout");
+        let info = game_info("Breakout").expect("known game");
         let macs: Vec<u64> = BACKBONES
             .iter()
-            .map(|k| build_backbone(k, &info, 1).total_macs())
+            .map(|k| {
+                build_backbone(k, &info, 1)
+                    .expect("known backbone")
+                    .total_macs()
+            })
             .collect();
         for pair in macs.windows(2) {
             assert!(pair[0] < pair[1], "MACs must grow with depth: {macs:?}");
@@ -200,13 +274,14 @@ mod tests {
 
     #[test]
     fn smoke_training_runs() {
-        let (_, curve) = train_backbone("Breakout", "Vanilla", &SMOKE, None, 5);
+        let (_, curve) =
+            train_backbone("Breakout", "Vanilla", &SMOKE, None, 5).expect("known names");
         assert!(!curve.points.is_empty());
     }
 
     #[test]
     fn cosearch_config_scales_with_profile() {
-        let cfg = cosearch_config("Pong", &SMOKE);
+        let cfg = cosearch_config("Pong", &SMOKE).expect("known game");
         assert_eq!(cfg.total_steps, SMOKE.search_steps);
         assert_eq!(cfg.n_actions, 3);
     }

@@ -25,7 +25,7 @@
 //!
 //! let mut config = CoSearchConfig::tiny(3, 12, 12, 3);
 //! config.total_steps = 200;
-//! let mut search = CoSearch::new(config, 1);
+//! let mut search = CoSearch::try_new(config, 1).expect("tiny config passes pre-flight");
 //! let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
 //! let result = search.run(&factory, None);
 //! assert_eq!(result.arch.len(), 6);

@@ -168,20 +168,6 @@ impl CoSearch {
         Ok(Self::build(config, seed))
     }
 
-    /// Construct a fresh co-search with its own supernet and `φ`
-    /// distribution.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails the static [`preflight`] checks.
-    #[must_use]
-    pub fn new(config: CoSearchConfig, seed: u64) -> Self {
-        match Self::try_new(config, seed) {
-            Ok(search) => search,
-            Err(report) => panic!("co-search pre-flight failed:\n{report}"),
-        }
-    }
-
     fn build(config: CoSearchConfig, seed: u64) -> Self {
         if let Some(n) = config.threads {
             // First caller wins: the pool is process-global, and results
@@ -510,11 +496,19 @@ impl CoSearch {
                 });
             }
 
+            // Phase spans are observe-only: they time the iteration but
+            // never influence it (see DESIGN.md §11).
+            let _iteration_span = telemetry::span!("iteration", st.iteration);
+
             // --- checkpoint boundary: persist and/or arm the rollback.
             if (store.is_some() || cfg.fault.sentinel) && st.iteration % checkpoint_every == 0 {
+                let _span = telemetry::span!("checkpoint_io");
                 let ck = self.capture_checkpoint(&st);
                 if let Some(store) = &store {
-                    match store.write(st.iteration, &ck.to_json()) {
+                    let payload = ck.to_json();
+                    telemetry::CHECKPOINT_BYTES.add(payload.len() as u64);
+                    telemetry::CHECKPOINT_BYTES_HIST.record(payload.len() as u64);
+                    match store.write(st.iteration, &payload) {
                         Ok(path) => {
                             for applied in driver.corrupt_checkpoint_now(st.iteration, &path) {
                                 st.log
@@ -536,9 +530,12 @@ impl CoSearch {
             self.supernet.set_step(st.steps);
 
             // --- φ update (Eq. 5/9) on the current most-likely network.
-            let proxy_layers = self.supernet.most_likely_layer_descs();
-            for _ in 0..cfg.das_steps_per_iter {
-                let _ = self.das.step(&proxy_layers, &cfg.target);
+            {
+                let _span = telemetry::span!("das_sweep");
+                let proxy_layers = self.supernet.most_likely_layer_descs();
+                for _ in 0..cfg.das_steps_per_iter {
+                    let _ = self.das.step(&proxy_layers, &cfg.target);
+                }
             }
 
             // --- rollout + L_task.
@@ -558,6 +555,7 @@ impl CoSearch {
             let rollout = runner.collect(&self.agent, cfg.rollout_len);
             st.steps += rollout.transitions() as u64;
 
+            let loss_span = telemetry::span!("loss_backward");
             let tape = Tape::new();
             self.agent.zero_grad();
             self.supernet.arch().zero_grad();
@@ -589,6 +587,10 @@ impl CoSearch {
             }
             if tripped.is_none() {
                 loss.backward();
+            }
+            drop(loss_span);
+            if tripped.is_none() {
+                let _span = telemetry::span!("optimizer_step");
                 if update_alpha {
                     // --- λ·L_cost gradient on the activated ops (Eq. 8).
                     let sampled = self.supernet.last_sampled_indices();
@@ -629,6 +631,7 @@ impl CoSearch {
                         st.log.events = events;
                         st.lr_scale = lr_scale;
                         st.rollbacks_left = rollbacks_left;
+                        telemetry::ROLLBACK_COUNT.add(1);
                         st.log.push(
                             tripped_at,
                             RobustnessEventKind::RolledBack,
@@ -675,13 +678,25 @@ impl CoSearch {
         }
 
         // --- derive the final pair: argmax α network + refined DAS φ.
-        self.supernet.set_eval_sampling(false);
-        let arch = self.supernet.most_likely_arch();
-        let final_layers = self.supernet.most_likely_layer_descs();
-        let accelerator = self
-            .das
-            .run(&final_layers, &cfg.target, cfg.das_final_iters);
-        let report = PerfModel::evaluate(&accelerator, &final_layers, &cfg.target);
+        let (arch, accelerator, report) = {
+            let _span = telemetry::span!("derive");
+            self.supernet.set_eval_sampling(false);
+            let arch = self.supernet.most_likely_arch();
+            let final_layers = self.supernet.most_likely_layer_descs();
+            let accelerator = self
+                .das
+                .run(&final_layers, &cfg.target, cfg.das_final_iters);
+            let report = PerfModel::evaluate(&accelerator, &final_layers, &cfg.target);
+            (arch, accelerator, report)
+        };
+
+        // Surface the aggregated telemetry (a read-only snapshot; the
+        // caller's session still owns the raw trace).
+        let telemetry_summary = if telemetry::enabled() {
+            telemetry::snapshot().summary()
+        } else {
+            telemetry::TelemetrySummary::default()
+        };
 
         Ok(CoSearchResult {
             arch,
@@ -691,6 +706,7 @@ impl CoSearch {
             alpha_entropy_curve: st.alpha_entropy_curve,
             steps: st.steps,
             robustness: st.log,
+            telemetry: telemetry_summary,
         })
     }
 }
@@ -715,9 +731,13 @@ mod tests {
         cfg
     }
 
+    fn search(cfg: CoSearchConfig, seed: u64) -> CoSearch {
+        CoSearch::try_new(cfg, seed).expect("stock test config passes preflight")
+    }
+
     #[test]
     fn cosearch_produces_consistent_result() {
-        let mut search = CoSearch::new(tiny_config(300), 1);
+        let mut search = search(tiny_config(300), 1);
         let result = search.run(&factory, None);
         assert_eq!(result.arch.len(), 6);
         assert!(result.report.fps > 0.0);
@@ -733,7 +753,7 @@ mod tests {
     fn cost_pressure_moves_alpha_away_from_uniform() {
         let mut cfg = tiny_config(600);
         cfg.lambda = 2.0; // strong cost pressure
-        let mut search = CoSearch::new(cfg, 2);
+        let mut search = search(cfg, 2);
         let h0 = search.supernet().arch().mean_entropy();
         let _ = search.run(&factory, None);
         let h1 = search.supernet().arch().mean_entropy();
@@ -744,7 +764,7 @@ mod tests {
     fn bilevel_mode_runs() {
         let mut cfg = tiny_config(300);
         cfg.scheme = SearchScheme::BiLevel;
-        let result = CoSearch::new(cfg, 3).run(&factory, None);
+        let result = search(cfg, 3).run(&factory, None);
         assert_eq!(result.arch.len(), 6);
     }
 
@@ -753,7 +773,7 @@ mod tests {
         let mut cfg = tiny_config(200);
         cfg.scheme = SearchScheme::DirectNas;
         // Teacher has incompatible shape on purpose: it must never be used.
-        let mut search = CoSearch::new(cfg, 4);
+        let mut search = search(cfg, 4);
         let result = search.run(&factory, None);
         assert_eq!(result.arch.len(), 6);
     }
@@ -762,7 +782,7 @@ mod tests {
     fn cosearch_sharpens_the_phi_distribution() {
         let mut cfg = tiny_config(500);
         cfg.das_steps_per_iter = 3;
-        let mut search = CoSearch::new(cfg, 13);
+        let mut search = search(cfg, 13);
         let h0 = search.das().mean_entropy();
         let _ = search.run(&factory, None);
         assert!(
@@ -824,16 +844,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "co-search pre-flight failed")]
-    fn new_panics_on_preflight_failure() {
+    fn try_new_reports_every_preflight_problem() {
         let mut cfg = tiny_config(300);
         cfg.das.num_chunks = 0;
-        let _ = CoSearch::new(cfg, 0);
+        let report = match CoSearch::try_new(cfg, 0) {
+            Ok(_) => unreachable!("broken config must be rejected"),
+            Err(report) => report,
+        };
+        assert!(!report.is_clean());
+        assert!(!report.to_string().is_empty());
     }
 
     #[test]
     fn derived_accelerator_is_dsp_feasible() {
-        let mut search = CoSearch::new(tiny_config(300), 5);
+        let mut search = search(tiny_config(300), 5);
         let result = search.run(&factory, None);
         assert!(
             result.report.dsp_used <= 900 * 2,

@@ -3,6 +3,7 @@
 use crate::robustness::RobustnessLog;
 use a3cs_accel::{AcceleratorConfig, PerfReport};
 use a3cs_nas::OpChoice;
+use telemetry::TelemetrySummary;
 
 /// Everything a finished co-search produces: the matched agent/accelerator
 /// pair plus the search-time diagnostics the paper's figures report.
@@ -24,6 +25,10 @@ pub struct CoSearchResult {
     /// Every fault-tolerance action the run took (resumes, rollbacks,
     /// injected faults); empty for an undisturbed run.
     pub robustness: RobustnessLog,
+    /// Aggregated telemetry for the run (phase timings, counters, pool
+    /// utilization). Empty unless a `telemetry::Session` was active.
+    /// Observe-only: never checkpointed, never fed back into the search.
+    pub telemetry: TelemetrySummary,
 }
 
 impl CoSearchResult {
@@ -100,6 +105,7 @@ mod tests {
             alpha_entropy_curve: vec![(100, 2.0)],
             steps: 300,
             robustness: RobustnessLog::new(),
+            telemetry: TelemetrySummary::default(),
         }
     }
 

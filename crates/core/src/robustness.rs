@@ -95,12 +95,18 @@ impl RobustnessLog {
         Self::default()
     }
 
-    /// Append an event.
+    /// Append an event. Every robustness action is also mirrored into the
+    /// telemetry event stream (when a telemetry session is active) so traces
+    /// show *why* a rollback or resume happened alongside the phase timings.
     pub fn push(&mut self, iteration: u64, kind: RobustnessEventKind, detail: impl Into<String>) {
+        let detail = detail.into();
+        if telemetry::enabled() {
+            telemetry::instant(kind.label(), &format!("[iter {iteration}] {detail}"));
+        }
         self.events.push(RobustnessEvent {
             iteration,
             kind,
-            detail: detail.into(),
+            detail,
         });
     }
 

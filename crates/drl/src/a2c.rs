@@ -110,8 +110,16 @@ pub fn a2c_losses(
             advantages[i] = targets[i] - v_dec.data()[i];
         }
     }
-    let targets_t = Tensor::from_vec(targets, &[transitions]).expect("targets shape");
-    let adv_t = Tensor::from_vec(advantages.clone(), &[transitions]).expect("advantage shape");
+    // Both vectors were allocated as `vec![0.0; transitions]` above, so the
+    // shapes match by construction.
+    let targets_t = match Tensor::from_vec(targets, &[transitions]) {
+        Ok(t) => t,
+        Err(e) => unreachable!("targets sized by construction for [{transitions}]: {e:?}"),
+    };
+    let adv_t = match Tensor::from_vec(advantages.clone(), &[transitions]) {
+        Ok(t) => t,
+        Err(e) => unreachable!("advantages sized by construction for [{transitions}]: {e:?}"),
+    };
 
     // Value loss: ½ (V(s) - y)².
     let value_loss = values
@@ -180,6 +188,11 @@ pub fn a2c_losses(
         mean_abs_advantage: advantages.iter().map(|a| a.abs()).sum::<f32>()
             / transitions as f32,
     };
+    if telemetry::enabled() {
+        telemetry::LOSS_TOTAL.set(f64::from(stats.total));
+        telemetry::LOSS_DISTILL_ACTOR.set(f64::from(stats.actor_distill));
+        telemetry::LOSS_DISTILL_CRITIC.set(f64::from(stats.critic_distill));
+    }
     (total, stats)
 }
 

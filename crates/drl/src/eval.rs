@@ -55,6 +55,8 @@ pub fn evaluate(agent: &ActorCritic, factory: &EnvFactory<'_>, protocol: &EvalPr
     if protocol.episodes == 0 {
         return 0.0;
     }
+    let _span = telemetry::span!("eval");
+    telemetry::EVAL_EPISODES.add(protocol.episodes as u64);
 
     struct EvalLane {
         env: EpisodeLimit<NoopStart<Box<dyn Environment>>>,
@@ -91,6 +93,7 @@ pub fn evaluate(agent: &ActorCritic, factory: &EnvFactory<'_>, protocol: &EvalPr
         if active == 0 {
             break;
         }
+        telemetry::EVAL_STEPS.add(active as u64);
         // Batch the still-active lanes in episode order; the policy forward
         // is row-independent, so each lane's action distribution does not
         // depend on which other lanes are still alive.

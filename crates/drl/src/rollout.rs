@@ -151,7 +151,9 @@ impl RolloutRunner {
     /// [`threadpool::current`] pool with bit-identical results for any
     /// thread count.
     pub fn collect(&mut self, agent: &ActorCritic, len: usize) -> Rollout {
+        let _span = telemetry::span!("rollout");
         let n = self.envs.len();
+        telemetry::ENV_STEPS.add((len * n) as u64);
         let n_actions = agent.n_actions();
         let obs_len = self.obs_len();
         let mut observations = Vec::with_capacity((len + 1) * n * obs_len);

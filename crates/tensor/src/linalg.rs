@@ -38,6 +38,12 @@ fn fill_rows(out: &mut [f32], rows: usize, row_len: usize, macs: usize, fill: im
     if rows == 0 || row_len == 0 {
         return;
     }
+    // Observe-only cost attribution; one relaxed load when telemetry is off.
+    if telemetry::enabled() {
+        telemetry::GEMM_CALLS.add(1);
+        telemetry::GEMM_MACS.add(macs as u64);
+        telemetry::GEMM_MACS_HIST.record(macs as u64);
+    }
     if rows >= 2 && macs >= PAR_MIN_MACS {
         threadpool::current().parallel_fill_rows(out, rows, row_len, fill);
     } else {

@@ -33,6 +33,7 @@ fn conv_fan_out(
     if n == 0 || row_len == 0 {
         return;
     }
+    telemetry::CONV_MACS.add(macs_per_image.saturating_mul(n as u64));
     if n >= 2 && macs_per_image.saturating_mul(n as u64) >= PAR_MIN_MACS as u64 {
         threadpool::current().parallel_fill_rows(out, n, row_len, f);
     } else {
@@ -53,6 +54,7 @@ fn conv_fan_out_slots(
     if n == 0 {
         return;
     }
+    telemetry::CONV_MACS.add(macs_per_image.saturating_mul(n as u64));
     let run = |start: usize, chunk: &mut [(&mut [f32], &mut [f32])]| {
         for (i, slot) in chunk.iter_mut().enumerate() {
             f(start + i, &mut *slot.0, &mut *slot.1);

@@ -37,7 +37,7 @@ fn main() {
     let mut config = CoSearchConfig::tiny(planes, h, w, actions);
     config.total_steps = 4_000;
     config.eval_every = 1_000;
-    let mut search = CoSearch::new(config, 2);
+    let mut search = CoSearch::try_new(config, 2).expect("demo config passes pre-flight");
     let result = search.run(&factory, Some(&teacher));
     println!("      {}", result.summary());
     for (step, score) in &result.score_curve {

@@ -22,7 +22,9 @@
 //! let mut config = CoSearchConfig::tiny(3, 12, 12, 3);
 //! config.total_steps = 200;
 //! let factory = |seed: u64| -> Box<dyn Environment> { Box::new(Breakout::new(seed)) };
-//! let result = CoSearch::new(config, 0).run(&factory, None);
+//! let result = CoSearch::try_new(config, 0)
+//!     .expect("tiny config passes pre-flight")
+//!     .run(&factory, None);
 //! println!("{}", result.summary());
 //! ```
 

@@ -14,6 +14,10 @@ fn factory(seed: u64) -> Box<dyn Environment> {
     Box::new(Breakout::new(seed))
 }
 
+fn cosearch(cfg: CoSearchConfig, seed: u64) -> CoSearch {
+    CoSearch::try_new(cfg, seed).expect("test config passes pre-flight")
+}
+
 fn tiny_config(total_steps: u64) -> CoSearchConfig {
     let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
     cfg.total_steps = total_steps;
@@ -52,7 +56,7 @@ fn assert_results_bit_identical(a: &CoSearchResult, b: &CoSearchResult) {
 
 #[test]
 fn crash_resume_is_bit_identical_to_uninterrupted_run() {
-    let reference = CoSearch::new(tiny_config(300), 11).run(&factory, None);
+    let reference = cosearch(tiny_config(300), 11).run(&factory, None);
     assert!(reference.robustness.is_empty());
 
     // Kill the loop at iteration 7 (the checkpoint on disk is iteration 6).
@@ -61,14 +65,14 @@ fn crash_resume_is_bit_identical_to_uninterrupted_run() {
     cfg.fault.checkpoint_dir = Some(dir.clone());
     cfg.fault.keep = 2;
     cfg.fault.plan = FaultPlan::none().abort_at(7);
-    let err = CoSearch::new(cfg.clone(), 11)
+    let err = cosearch(cfg.clone(), 11)
         .run_guarded(&factory, None)
         .expect_err("abort fault must surface");
     assert_eq!(err, SearchError::Aborted { iteration: 7 });
 
     // A fresh CoSearch on the same config/seed resumes from disk.
     cfg.fault.plan = FaultPlan::none();
-    let resumed = CoSearch::new(cfg, 11)
+    let resumed = cosearch(cfg, 11)
         .run_guarded(&factory, None)
         .expect("resumed run completes");
     assert_eq!(resumed.robustness.count(RobustnessEventKind::Resumed), 1);
@@ -78,7 +82,7 @@ fn crash_resume_is_bit_identical_to_uninterrupted_run() {
 
 #[test]
 fn nan_loss_rolls_back_and_stays_bit_identical() {
-    let reference = CoSearch::new(tiny_config(300), 7).run(&factory, None);
+    let reference = cosearch(tiny_config(300), 7).run(&factory, None);
 
     // Poison the loss at iteration 5; the sentinel catches it before any
     // optimiser step, rolls back to the in-memory checkpoint and replays.
@@ -88,7 +92,7 @@ fn nan_loss_rolls_back_and_stays_bit_identical() {
     cfg.fault.sentinel = true;
     cfg.fault.max_rollbacks = 3;
     cfg.fault.plan = FaultPlan::none().nan_loss_at(5);
-    let mut search = CoSearch::new(cfg, 7);
+    let mut search = cosearch(cfg, 7);
     let result = search
         .run_guarded(&factory, None)
         .expect("run survives the injected NaN");
@@ -109,7 +113,7 @@ fn exhausted_rollback_budget_degrades_without_panicking() {
     cfg.fault.sentinel = true;
     cfg.fault.max_rollbacks = 1;
     cfg.fault.plan = FaultPlan::none().nan_loss_at(2).nan_loss_at(2);
-    let mut search = CoSearch::new(cfg, 21);
+    let mut search = cosearch(cfg, 21);
     let result = search
         .run_guarded(&factory, None)
         .expect("degraded run still completes");
@@ -123,7 +127,7 @@ fn exhausted_rollback_budget_degrades_without_panicking() {
 
 #[test]
 fn resume_falls_back_past_corrupted_checkpoints() {
-    let reference = CoSearch::new(tiny_config(300), 3).run(&factory, None);
+    let reference = cosearch(tiny_config(300), 3).run(&factory, None);
 
     // Corrupt the two newest checkpoints (torn write at iteration 4, bit
     // rot at iteration 5), then crash at 6: recovery must skip both and
@@ -136,13 +140,13 @@ fn resume_falls_back_past_corrupted_checkpoints() {
         .truncate_checkpoint_at(4, 10)
         .flip_checkpoint_byte_at(5, 40)
         .abort_at(6);
-    let err = CoSearch::new(cfg.clone(), 3)
+    let err = cosearch(cfg.clone(), 3)
         .run_guarded(&factory, None)
         .expect_err("abort fault must surface");
     assert!(matches!(err, SearchError::Aborted { iteration: 6 }));
 
     cfg.fault.plan = FaultPlan::none();
-    let resumed = CoSearch::new(cfg, 3)
+    let resumed = cosearch(cfg, 3)
         .run_guarded(&factory, None)
         .expect("resumed run completes");
     let log = &resumed.robustness;
@@ -162,5 +166,5 @@ fn resume_falls_back_past_corrupted_checkpoints() {
 fn run_rejects_abort_plans() {
     let mut cfg = tiny_config(100);
     cfg.fault.plan = FaultPlan::none().abort_at(0);
-    let _ = CoSearch::new(cfg, 1).run(&factory, None);
+    let _ = cosearch(cfg, 1).run(&factory, None);
 }

@@ -66,7 +66,7 @@ fn full_cosearch_then_retrain_round_trip() {
     config.eval_every = 400;
     config.eval_episodes = 2;
     config.eval_max_steps = 40;
-    let mut search = CoSearch::new(config, 5);
+    let mut search = CoSearch::try_new(config, 5).expect("tiny config passes pre-flight");
     let result = search.run(&breakout, None);
 
     // Derived agent retrains on the same game.
@@ -121,7 +121,9 @@ fn all_three_search_schemes_complete() {
         config.eval_episodes = 1;
         config.eval_max_steps = 30;
         config.scheme = scheme;
-        let result = CoSearch::new(config, 11).run(&breakout, None);
+        let result = CoSearch::try_new(config, 11)
+            .expect("tiny config passes pre-flight")
+            .run(&breakout, None);
         assert_eq!(result.arch.len(), 6, "{scheme:?}");
         assert!(result.report.fps > 0.0, "{scheme:?}");
     }

@@ -1,0 +1,201 @@
+//! Telemetry integration: span attribution across pool workers, histogram
+//! bucket edges, stable (normalized) JSONL/Chrome-trace output, and —
+//! crucially — proof that turning telemetry on does not perturb the
+//! co-search by a single bit.
+//!
+//! The telemetry collector is process-global, so every test that opens a
+//! session serializes on [`lock`].
+
+use a3cs::core::{CoSearch, CoSearchConfig, CoSearchResult};
+use a3cs::envs::{Breakout, Environment};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn tiny_config(total_steps: u64) -> CoSearchConfig {
+    let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
+    cfg.total_steps = total_steps;
+    cfg.eval_every = 100;
+    cfg.eval_episodes = 2;
+    cfg.eval_max_steps = 40;
+    cfg.das_final_iters = 50;
+    cfg
+}
+
+fn curve_bits(curve: &[(u64, f32)]) -> Vec<(u64, u32)> {
+    curve.iter().map(|&(s, v)| (s, v.to_bits())).collect()
+}
+
+fn assert_results_bit_identical(a: &CoSearchResult, b: &CoSearchResult) {
+    assert_eq!(format!("{:?}", a.arch), format!("{:?}", b.arch));
+    assert_eq!(
+        format!("{:?}", a.accelerator),
+        format!("{:?}", b.accelerator)
+    );
+    assert_eq!(curve_bits(&a.score_curve), curve_bits(&b.score_curve));
+    assert_eq!(
+        curve_bits(&a.alpha_entropy_curve),
+        curve_bits(&b.alpha_entropy_curve)
+    );
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.report.fps.to_bits(), b.report.fps.to_bits());
+    assert_eq!(a.report.dsp_used, b.report.dsp_used);
+}
+
+#[test]
+fn pool_worker_spans_attribute_to_the_forking_span() {
+    let _guard = lock();
+    let session = telemetry::Session::start();
+    {
+        let outer = telemetry::span!("outer");
+        let _ = &outer;
+        threadpool::with_threads(3, || {
+            threadpool::current().parallel_for_chunks(64, |range| {
+                let _inner = telemetry::span_with("chunk_work", range.start as u64);
+            });
+        });
+    }
+    let trace = session.finish();
+
+    let spans: Vec<_> = trace.spans().collect();
+    let outer = spans
+        .iter()
+        .find(|s| s.name == "outer")
+        .expect("outer span recorded");
+    let chunks: Vec<_> = spans.iter().filter(|s| s.name == "chunk_work").collect();
+    assert_eq!(chunks.len(), 3, "one chunk span per lane: {spans:?}");
+    for c in &chunks {
+        assert_eq!(
+            c.parent,
+            Some(outer.id),
+            "chunk span on tid {} must attribute to the forking span",
+            c.tid
+        );
+        assert!(c.begin_ns >= outer.begin_ns && c.end_ns <= outer.end_ns);
+    }
+    // Chunks ran on more than one thread, and the pool reported its lanes.
+    let tids: std::collections::BTreeSet<u64> = chunks.iter().map(|c| c.tid).collect();
+    assert!(tids.len() > 1, "expected chunks on multiple threads");
+    assert!(!trace.pool.is_empty(), "pool lane stats missing");
+    let pool_tasks: u64 = trace.pool.iter().map(|w| w.tasks).sum();
+    assert!(pool_tasks >= 2, "worker lanes recorded tasks: {:?}", trace.pool);
+}
+
+#[test]
+fn histogram_buckets_split_at_powers_of_two() {
+    let _guard = lock();
+    let session = telemetry::Session::start();
+    let h = &telemetry::GEMM_MACS_HIST;
+    // Exercise both sides of several bucket edges plus the extremes.
+    for v in [0u64, 1, 2, 3, 4, 7, 8, (1 << 31) - 1, 1 << 31, 1 << 32, u64::MAX] {
+        h.record(v);
+    }
+    let counts = h.counts();
+    let _ = session.finish();
+
+    assert_eq!(counts[0], 1, "zero bucket");
+    assert_eq!(counts[1], 1, "[1,2): just 1");
+    assert_eq!(counts[2], 2, "[2,4): 2 and 3");
+    assert_eq!(counts[3], 2, "[4,8): 4 and 7");
+    assert_eq!(counts[4], 1, "[8,16): 8");
+    assert_eq!(counts[31], 1, "[2^30,2^31): 2^31-1");
+    assert_eq!(counts[32], 1, "[2^31,2^32): 2^31");
+    let total: u64 = counts.iter().sum();
+    assert_eq!(total, 11);
+    assert_eq!(telemetry::Histogram::bucket_upper_bound(0), Some(1));
+    assert_eq!(telemetry::Histogram::bucket_upper_bound(1), Some(2));
+    assert_eq!(telemetry::Histogram::bucket_upper_bound(2), Some(4));
+    // 2^31-1 and 2^31 land in adjacent buckets; 2^32 and u64::MAX overflow.
+    let overflow = counts[counts.len() - 1];
+    assert_eq!(overflow, 2, "values >= 2^32 overflow: {counts:?}");
+    assert_eq!(telemetry::Histogram::bucket_upper_bound(counts.len() - 1), None);
+}
+
+#[test]
+fn normalized_trace_serialization_is_deterministic() {
+    let _guard = lock();
+    let session = telemetry::Session::start();
+    {
+        let _iter = telemetry::span_with("iteration", 7);
+        {
+            let _rollout = telemetry::span!("rollout");
+            telemetry::instant("fault-injected", "nan loss at 7");
+        }
+    }
+    telemetry::ENV_STEPS.add(40);
+    let trace = session.finish().normalized();
+
+    let jsonl = trace.to_jsonl();
+    assert_eq!(
+        jsonl,
+        concat!(
+            "{\"type\":\"event\",\"name\":\"fault-injected\",\"detail\":\"nan loss at 7\",\"tid\":0,\"at_ns\":2}\n",
+            "{\"type\":\"span\",\"id\":1,\"parent\":2,\"name\":\"rollout\",\"tid\":0,\"begin_ns\":1,\"end_ns\":3,\"arg\":null}\n",
+            "{\"type\":\"span\",\"id\":2,\"parent\":null,\"name\":\"iteration\",\"tid\":0,\"begin_ns\":0,\"end_ns\":4,\"arg\":7}\n",
+            "{\"type\":\"counter\",\"name\":\"env.steps\",\"value\":40}\n",
+        )
+    );
+    // Every line of the real export parses as JSON.
+    for line in jsonl.lines() {
+        let parsed: Result<serde_json::Value, _> = serde_json::from_str(line);
+        assert!(parsed.is_ok(), "unparseable JSONL line: {line}");
+    }
+
+    let chrome = trace.to_chrome_trace();
+    assert_eq!(
+        chrome,
+        concat!(
+            "{\"traceEvents\":[\n",
+            "{\"name\":\"fault-injected\",\"cat\":\"a3cs\",\"ph\":\"i\",\"s\":\"t\",\"ts\":0.002,\"pid\":1,\"tid\":0,\"args\":{\"detail\":\"nan loss at 7\"}},\n",
+            "{\"name\":\"rollout\",\"cat\":\"a3cs\",\"ph\":\"X\",\"ts\":0.001,\"dur\":0.002,\"pid\":1,\"tid\":0,\"args\":{\"id\":1,\"parent\":2}},\n",
+            "{\"name\":\"iteration\",\"cat\":\"a3cs\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.004,\"pid\":1,\"tid\":0,\"args\":{\"id\":2,\"arg\":7}}\n",
+            "],\"displayTimeUnit\":\"ms\"}\n",
+        )
+    );
+    let parsed: Result<serde_json::Value, _> = serde_json::from_str(&chrome);
+    assert!(parsed.is_ok(), "Chrome trace is not valid JSON");
+}
+
+#[test]
+fn cosearch_with_telemetry_is_bit_identical_to_without() {
+    let _guard = lock();
+    // Reference: telemetry off. Sentinel on in both runs so the guarded
+    // paths (in-memory checkpoint capture every iteration) are exercised.
+    let mut cfg = tiny_config(300);
+    cfg.fault.sentinel = true;
+    let reference = CoSearch::try_new(cfg.clone(), 9)
+        .expect("tiny config passes pre-flight")
+        .run_guarded(&factory, None)
+        .expect("reference run completes");
+
+    let session = telemetry::Session::start();
+    let traced = CoSearch::try_new(cfg, 9)
+        .expect("tiny config passes pre-flight")
+        .run_guarded(&factory, None)
+        .expect("traced run completes");
+    let trace = session.finish();
+
+    assert_results_bit_identical(&reference, &traced);
+
+    // The traced run surfaced a real summary; the reference stayed empty.
+    assert!(reference.telemetry.is_empty());
+    assert!(!traced.telemetry.is_empty());
+    for phase in ["rollout", "loss_backward", "optimizer_step", "das_sweep", "eval"] {
+        let stat = traced
+            .telemetry
+            .phase(phase)
+            .unwrap_or_else(|| panic!("phase {phase:?} missing from summary"));
+        assert!(stat.calls > 0);
+    }
+    assert!(traced.telemetry.counter("env.steps") >= 300);
+    assert!(traced.telemetry.counter("gemm.macs") > 0);
+    assert!(trace.spans().any(|s| s.name == "iteration"));
+}

@@ -1,0 +1,485 @@
+//! Zero-dependency observability for the A3C-S workspace: hierarchical
+//! wall-clock **spans**, atomic **metrics** (counters / gauges / fixed-bucket
+//! histograms), per-worker **pool stats**, and pluggable **sinks** (in-memory
+//! [`TelemetrySummary`], JSONL event stream, Chrome-trace/Perfetto export).
+//!
+//! Design contract (see DESIGN.md §11):
+//!
+//! - **Observe-only.** Nothing recorded here may feed back into computation.
+//!   Timing, counters and the event stream are strictly outputs; checkpoints
+//!   never capture them, so a run resumes bit-identically whether telemetry
+//!   was on or off.
+//! - **Cheap when off.** Recording is gated on one process-global
+//!   `AtomicBool`; with telemetry disabled every probe costs ~one relaxed
+//!   atomic load and touches no clock, no lock and no allocation.
+//! - **Thread-aware.** The current span is thread-local; the thread pool
+//!   re-parents queued tasks onto the span that forked them (via
+//!   [`current_span_id`] + [`with_parent_span`]), so work done by pool
+//!   workers attributes to the phase that requested it.
+//!
+//! Telemetry is process-global state. The intended lifecycle is one
+//! [`Session`] per run: `Session::start()` resets and enables collection,
+//! `Session::finish()` disables it and drains the collected [`Trace`], which
+//! can then be exported through any [`Sink`].
+
+mod metrics;
+mod summary;
+mod trace;
+
+pub use metrics::{
+    all_counters, all_gauges, all_histograms, Counter, CounterSample, Gauge, GaugeSample,
+    Histogram, HistogramSample, MetricsSnapshot, CHECKPOINT_BYTES, CHECKPOINT_BYTES_HIST,
+    CONV_MACS, ENV_STEPS, EVAL_EPISODES, EVAL_STEPS, GEMM_CALLS, GEMM_MACS, GEMM_MACS_HIST,
+    LOSS_DISTILL_ACTOR, LOSS_DISTILL_CRITIC, LOSS_TOTAL, POOL_TASKS, ROLLBACK_COUNT,
+};
+pub use summary::{PhaseStat, TelemetrySummary};
+pub use trace::{
+    ChromeTraceSink, InstantRecord, JsonlSink, MemorySink, Record, Sink, SpanRecord, Trace,
+};
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Process-global enable flag; every probe gates on one relaxed load of it.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Monotonic span-id source (0 is reserved / never issued).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Dense per-process thread tags, assigned on a thread's first record.
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(0);
+/// Closed spans and instant events, in completion order.
+static COLLECTOR: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Innermost open span on this thread (what new spans parent to).
+    static CURRENT_SPAN: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Dense thread tag, lazily assigned (u64::MAX = unassigned).
+    static THREAD_TAG: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Acquire a mutex, recovering from poisoning (records are append-only, so a
+/// panicking recorder never leaves a broken invariant behind).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Is telemetry collection currently enabled? One relaxed atomic load.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable collection without resetting previously collected data.
+pub fn enable() {
+    // Pin the clock epoch before the first record so timestamps are
+    // monotonic from here on.
+    let _ = epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disable collection. Already-collected data stays until [`drain`]/[`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clear all collected records and zero every metric and pool slot.
+pub fn reset() {
+    lock(&COLLECTOR).clear();
+    metrics::reset_all();
+    reset_pool();
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide telemetry epoch.
+#[must_use]
+pub fn now_ns() -> u64 {
+    let nanos = epoch().elapsed().as_nanos();
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+
+/// Dense tag identifying the calling thread in trace records.
+#[must_use]
+pub fn thread_tag() -> u64 {
+    THREAD_TAG.with(|t| {
+        let v = t.get();
+        if v != u64::MAX {
+            return v;
+        }
+        let v = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
+pub(crate) fn push_record(record: Record) {
+    lock(&COLLECTOR).push(record);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard for an open span; the span record is committed on drop.
+///
+/// Not `Send`: a guard must be dropped on the thread that opened it (it
+/// restores that thread's current-span slot).
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    arg: Option<u64>,
+    begin_ns: u64,
+    prev: Option<u64>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        CURRENT_SPAN.with(|c| c.set(active.prev));
+        push_record(Record::Span(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            tid: thread_tag(),
+            begin_ns: active.begin_ns,
+            end_ns,
+            arg: active.arg,
+        }));
+    }
+}
+
+fn open_span(name: &'static str, arg: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None, _not_send: PhantomData };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT_SPAN.with(|c| c.replace(Some(id)));
+    SpanGuard {
+        active: Some(ActiveSpan { id, parent: prev, name, arg, begin_ns: now_ns(), prev }),
+        _not_send: PhantomData,
+    }
+}
+
+/// Open a span named `name`, parented to the innermost open span on this
+/// thread. Returns a no-op guard when telemetry is disabled.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    open_span(name, None)
+}
+
+/// Like [`span`], with an attached integer argument (e.g. iteration index).
+#[must_use]
+pub fn span_with(name: &'static str, arg: u64) -> SpanGuard {
+    open_span(name, Some(arg))
+}
+
+/// `span!("name")` / `span!("name", arg)` — sugar for [`span`]/[`span_with`].
+/// Bind the result: `let _guard = telemetry::span!("rollout");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $arg:expr) => {
+        $crate::span_with($name, $arg)
+    };
+}
+
+/// Id of the innermost open span on this thread, if any.
+#[must_use]
+pub fn current_span_id() -> Option<u64> {
+    CURRENT_SPAN.with(Cell::get)
+}
+
+/// Run `f` with this thread's current span set to `parent` (typically
+/// captured on another thread via [`current_span_id`] before handing work to
+/// a pool). Restores the previous current span afterwards, including on
+/// unwind.
+pub fn with_parent_span<R>(parent: Option<u64>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            CURRENT_SPAN.with(|c| c.set(prev));
+        }
+    }
+    let prev = CURRENT_SPAN.with(|c| c.replace(parent));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Record an instant event (a point in time with a free-form detail string),
+/// e.g. a robustness event mirrored from the co-search loop. No-op (and no
+/// allocation) when telemetry is disabled.
+pub fn instant(name: &'static str, detail: &str) {
+    if !enabled() {
+        return;
+    }
+    push_record(Record::Instant(InstantRecord {
+        name,
+        detail: detail.to_string(),
+        tid: thread_tag(),
+        at_ns: now_ns(),
+    }));
+}
+
+// ---------------------------------------------------------------------------
+// Pool worker stats
+// ---------------------------------------------------------------------------
+
+/// Number of tracked pool lanes (lane 0 is the forking caller; lanes 1.. are
+/// pool workers). Work on lanes beyond this folds into the last slot.
+pub const MAX_POOL_LANES: usize = 64;
+
+struct PoolSlot {
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const POOL_SLOT_INIT: PoolSlot = PoolSlot { busy_ns: AtomicU64::new(0), tasks: AtomicU64::new(0) };
+static POOL: [PoolSlot; MAX_POOL_LANES] = [POOL_SLOT_INIT; MAX_POOL_LANES];
+
+/// Busy time and task count attributed to one pool execution lane.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolWorkerStats {
+    /// Execution lane: 0 = the thread that forked the region, 1.. = workers.
+    pub lane: usize,
+    /// Total wall-clock time spent executing tasks on this lane.
+    pub busy_ns: u64,
+    /// Number of tasks this lane executed.
+    pub tasks: u64,
+}
+
+/// Attribute one executed task (`busy_ns` of wall time) to `lane`.
+/// No-op when telemetry is disabled.
+pub fn record_pool_task(lane: usize, busy_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let slot = &POOL[lane.min(MAX_POOL_LANES - 1)];
+    slot.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+    slot.tasks.fetch_add(1, Ordering::Relaxed);
+    POOL_TASKS.add(1);
+}
+
+/// Per-lane pool stats for every lane that executed at least one task.
+#[must_use]
+pub fn pool_snapshot() -> Vec<PoolWorkerStats> {
+    POOL.iter()
+        .enumerate()
+        .filter_map(|(lane, slot)| {
+            let tasks = slot.tasks.load(Ordering::Relaxed);
+            if tasks == 0 {
+                return None;
+            }
+            Some(PoolWorkerStats { lane, busy_ns: slot.busy_ns.load(Ordering::Relaxed), tasks })
+        })
+        .collect()
+}
+
+fn reset_pool() {
+    for slot in &POOL {
+        slot.busy_ns.store(0, Ordering::Relaxed);
+        slot.tasks.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection lifecycle
+// ---------------------------------------------------------------------------
+
+/// Non-destructive snapshot of everything collected so far. Open spans are
+/// not included (they commit on guard drop).
+#[must_use]
+pub fn snapshot() -> Trace {
+    Trace {
+        records: lock(&COLLECTOR).clone(),
+        metrics: metrics::snapshot_all(),
+        pool: pool_snapshot(),
+    }
+}
+
+/// Take everything collected so far and reset the collector, metrics and
+/// pool slots to zero.
+#[must_use]
+pub fn drain() -> Trace {
+    let records = std::mem::take(&mut *lock(&COLLECTOR));
+    let trace = Trace { records, metrics: metrics::snapshot_all(), pool: pool_snapshot() };
+    metrics::reset_all();
+    reset_pool();
+    trace
+}
+
+/// RAII handle for one telemetry collection window.
+///
+/// Telemetry state is process-global; run at most one session at a time
+/// (concurrent sessions would interleave their records).
+pub struct Session {
+    finished: bool,
+}
+
+impl Session {
+    /// Reset all collected state and enable collection.
+    #[must_use]
+    pub fn start() -> Session {
+        reset();
+        enable();
+        Session { finished: false }
+    }
+
+    /// Disable collection and return everything recorded by this session.
+    #[must_use]
+    pub fn finish(mut self) -> Trace {
+        self.finished = true;
+        disable();
+        drain()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.finished {
+            disable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Telemetry state is process-global; serialize tests that touch it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        match GATE.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _gate = serial();
+        reset();
+        disable();
+        {
+            let _s = span!("never");
+            instant("no", "event");
+            GEMM_MACS.add(10);
+            record_pool_task(1, 5);
+        }
+        let trace = drain();
+        assert!(trace.records.is_empty());
+        assert_eq!(GEMM_MACS.get(), 0);
+        assert!(trace.pool.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let _gate = serial();
+        let session = Session::start();
+        {
+            let _outer = span!("outer", 7);
+            let _inner = span!("inner");
+        }
+        let trace = session.finish();
+        let spans: Vec<&SpanRecord> = trace
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                Record::Instant(_) => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].arg, Some(7));
+        assert!(spans[0].begin_ns >= spans[1].begin_ns);
+        assert!(spans[0].end_ns <= spans[1].end_ns);
+    }
+
+    #[test]
+    fn with_parent_span_reparents_and_restores() {
+        let _gate = serial();
+        let session = Session::start();
+        let parent_id;
+        {
+            let _outer = span!("outer");
+            parent_id = current_span_id();
+            assert!(parent_id.is_some());
+        }
+        assert_eq!(current_span_id(), None);
+        with_parent_span(parent_id, || {
+            let _child = span!("adopted");
+            assert_eq!(current_span_id().is_some(), true);
+        });
+        assert_eq!(current_span_id(), None);
+        let trace = session.finish();
+        let adopted = trace
+            .records
+            .iter()
+            .find_map(|r| match r {
+                Record::Span(s) if s.name == "adopted" => Some(s),
+                _ => None,
+            })
+            .expect("adopted span recorded");
+        assert_eq!(adopted.parent, parent_id);
+    }
+
+    #[test]
+    fn session_finish_drains_and_disables() {
+        let _gate = serial();
+        let session = Session::start();
+        ENV_STEPS.add(3);
+        instant("note", "hello");
+        let trace = session.finish();
+        assert!(!enabled());
+        assert_eq!(trace.metrics.counter("env.steps"), 3);
+        assert_eq!(trace.records.len(), 1);
+        // Collector is empty after the drain.
+        assert!(drain().records.is_empty());
+        assert_eq!(ENV_STEPS.get(), 0);
+    }
+
+    #[test]
+    fn pool_stats_attribute_to_lanes() {
+        let _gate = serial();
+        let session = Session::start();
+        record_pool_task(0, 100);
+        record_pool_task(2, 50);
+        record_pool_task(2, 25);
+        let trace = session.finish();
+        assert_eq!(
+            trace.pool,
+            vec![
+                PoolWorkerStats { lane: 0, busy_ns: 100, tasks: 1 },
+                PoolWorkerStats { lane: 2, busy_ns: 75, tasks: 2 },
+            ]
+        );
+        assert_eq!(trace.metrics.counter("pool.tasks"), 3);
+    }
+}

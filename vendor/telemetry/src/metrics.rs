@@ -1,0 +1,382 @@
+//! Atomic metrics: counters, gauges and fixed-bucket (power-of-two)
+//! histograms, plus the static catalog of every metric the workspace
+//! records. All probes are relaxed atomics gated on the global enable flag;
+//! when telemetry is disabled each probe costs one relaxed load.
+
+use crate::enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counter (e.g. `gemm.macs`, `env.steps`).
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Create a named counter (usable in statics).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, value: AtomicU64::new(0) }
+    }
+
+    /// Metric name as it appears in traces and summaries.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `delta` to the counter. No-op when telemetry is disabled.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bit pattern marking a gauge that has never been set. (It is one specific
+/// NaN encoding; setting a gauge to a runtime NaN stores the canonical NaN
+/// bits instead, so real measurements never collide with it.)
+const GAUGE_UNSET: u64 = u64::MAX;
+
+/// Last-value-wins measurement (e.g. `loss.total`), stored as f64 bits.
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Create a named gauge (usable in statics).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge { name, bits: AtomicU64::new(GAUGE_UNSET) }
+    }
+
+    /// Metric name as it appears in traces and summaries.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record the latest value. No-op when telemetry is disabled.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if !enabled() {
+            return;
+        }
+        let bits = if value.is_nan() { f64::NAN.to_bits() } else { value.to_bits() };
+        self.bits.store(bits, Ordering::Relaxed);
+    }
+
+    /// Latest recorded value, or `None` if the gauge was never set.
+    #[must_use]
+    pub fn get(&self) -> Option<f64> {
+        let bits = self.bits.load(Ordering::Relaxed);
+        if bits == GAUGE_UNSET {
+            None
+        } else {
+            Some(f64::from_bits(bits))
+        }
+    }
+
+    /// Reset to the unset state.
+    pub fn reset(&self) {
+        self.bits.store(GAUGE_UNSET, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket `i`
+/// (1..=32) holds values in `[2^(i-1), 2^i)`, and the last bucket absorbs
+/// everything at or above `2^32`.
+pub const HISTOGRAM_BUCKETS: usize = 34;
+
+/// Fixed power-of-two-bucket histogram of `u64` samples (e.g. bytes per
+/// checkpoint write, MACs per GEMM call).
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const BUCKET_INIT: AtomicU64 = AtomicU64::new(0);
+
+impl Histogram {
+    /// Create a named histogram (usable in statics).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram { name, buckets: [BUCKET_INIT; HISTOGRAM_BUCKETS] }
+    }
+
+    /// Metric name as it appears in traces and summaries.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index for `value`: 0 for zero, otherwise
+    /// `floor(log2(value)) + 1`, capped at the overflow bucket.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            return 0;
+        }
+        let idx = 64 - value.leading_zeros() as usize;
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Exclusive upper bound of bucket `index`, or `None` for the overflow
+    /// bucket (and for out-of-range indices).
+    #[must_use]
+    pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+        if index + 1 >= HISTOGRAM_BUCKETS {
+            return None;
+        }
+        Some(1u64 << index)
+    }
+
+    /// Record one sample. No-op when telemetry is disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts.
+    #[must_use]
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Reset every bucket to zero.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric catalog
+// ---------------------------------------------------------------------------
+
+/// Multiply-accumulate operations executed by dense GEMM kernels.
+pub static GEMM_MACS: Counter = Counter::new("gemm.macs");
+/// Number of dense GEMM kernel invocations.
+pub static GEMM_CALLS: Counter = Counter::new("gemm.calls");
+/// Multiply-accumulate operations executed by conv2d/depthwise kernels
+/// (backward passes count their re-computation too).
+pub static CONV_MACS: Counter = Counter::new("conv.macs");
+/// Environment steps taken by training rollouts.
+pub static ENV_STEPS: Counter = Counter::new("env.steps");
+/// Episodes completed by evaluation.
+pub static EVAL_EPISODES: Counter = Counter::new("eval.episodes");
+/// Environment steps taken by evaluation lanes.
+pub static EVAL_STEPS: Counter = Counter::new("eval.steps");
+/// Bytes serialized into checkpoint payloads.
+pub static CHECKPOINT_BYTES: Counter = Counter::new("checkpoint.bytes");
+/// Divergence rollbacks performed by the guarded co-search loop.
+pub static ROLLBACK_COUNT: Counter = Counter::new("rollback.count");
+/// Tasks executed across all pool lanes.
+pub static POOL_TASKS: Counter = Counter::new("pool.tasks");
+
+/// Latest total A2C+distillation loss.
+pub static LOSS_TOTAL: Gauge = Gauge::new("loss.total");
+/// Latest actor distillation loss component.
+pub static LOSS_DISTILL_ACTOR: Gauge = Gauge::new("loss.distill_actor");
+/// Latest critic distillation loss component.
+pub static LOSS_DISTILL_CRITIC: Gauge = Gauge::new("loss.distill_critic");
+
+/// Distribution of MACs per GEMM call.
+pub static GEMM_MACS_HIST: Histogram = Histogram::new("gemm.macs.per_call");
+/// Distribution of bytes per checkpoint write.
+pub static CHECKPOINT_BYTES_HIST: Histogram = Histogram::new("checkpoint.bytes.per_write");
+
+static COUNTERS: [&Counter; 9] = [
+    &GEMM_MACS,
+    &GEMM_CALLS,
+    &CONV_MACS,
+    &ENV_STEPS,
+    &EVAL_EPISODES,
+    &EVAL_STEPS,
+    &CHECKPOINT_BYTES,
+    &ROLLBACK_COUNT,
+    &POOL_TASKS,
+];
+static GAUGES: [&Gauge; 3] = [&LOSS_TOTAL, &LOSS_DISTILL_ACTOR, &LOSS_DISTILL_CRITIC];
+static HISTOGRAMS: [&Histogram; 2] = [&GEMM_MACS_HIST, &CHECKPOINT_BYTES_HIST];
+
+/// Every registered counter, in stable catalog order.
+#[must_use]
+pub fn all_counters() -> &'static [&'static Counter] {
+    &COUNTERS
+}
+
+/// Every registered gauge, in stable catalog order.
+#[must_use]
+pub fn all_gauges() -> &'static [&'static Gauge] {
+    &GAUGES
+}
+
+/// Every registered histogram, in stable catalog order.
+#[must_use]
+pub fn all_histograms() -> &'static [&'static Histogram] {
+    &HISTOGRAMS
+}
+
+/// Reset every registered metric.
+pub(crate) fn reset_all() {
+    for c in all_counters() {
+        c.reset();
+    }
+    for g in all_gauges() {
+        g.reset();
+    }
+    for h in all_histograms() {
+        h.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One gauge's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Latest recorded value.
+    pub value: f64,
+}
+
+/// One histogram's buckets at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Per-bucket counts (length [`HISTOGRAM_BUCKETS`]).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSample {
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Values of every registered metric at one point in time. Zero counters,
+/// unset gauges and empty histograms are omitted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Non-zero counters, in catalog order.
+    pub counters: Vec<CounterSample>,
+    /// Set gauges, in catalog order.
+    pub gauges: Vec<GaugeSample>,
+    /// Non-empty histograms, in catalog order.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter (0 if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Value of the named gauge, if it was set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Buckets of the named histogram, if it recorded any samples.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+pub(crate) fn snapshot_all() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: all_counters()
+            .iter()
+            .filter_map(|c| {
+                let value = c.get();
+                (value != 0).then_some(CounterSample { name: c.name(), value })
+            })
+            .collect(),
+        gauges: all_gauges()
+            .iter()
+            .filter_map(|g| g.get().map(|value| GaugeSample { name: g.name(), value }))
+            .collect(),
+        histograms: all_histograms()
+            .iter()
+            .filter_map(|h| {
+                let counts = h.counts();
+                counts
+                    .iter()
+                    .any(|&n| n != 0)
+                    .then_some(HistogramSample { name: h.name(), counts })
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(1 << 32), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index((1 << 32) - 1), HISTOGRAM_BUCKETS - 2);
+    }
+
+    #[test]
+    fn bucket_bounds_match_indices() {
+        // Every value v must satisfy: bound(idx-1) <= v < bound(idx).
+        for v in [1u64, 2, 3, 4, 7, 8, 1000, 1 << 20] {
+            let idx = Histogram::bucket_index(v);
+            let upper = Histogram::bucket_upper_bound(idx).expect("not overflow");
+            assert!(v < upper, "v={v} idx={idx} upper={upper}");
+            if idx > 1 {
+                let lower = Histogram::bucket_upper_bound(idx - 1).expect("bound");
+                assert!(v >= lower, "v={v} idx={idx} lower={lower}");
+            }
+        }
+        assert_eq!(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! The in-memory aggregation surfaced on `CoSearchResult`: per-phase
+//! timings, counters, gauges, event counts and pool utilization, cheap to
+//! clone and compare.
+
+use crate::PoolWorkerStats;
+use std::fmt::Write as _;
+
+/// Aggregated timing for all spans sharing one name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Span name (e.g. `"rollout"`).
+    pub name: String,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Sum of their wall-clock durations.
+    pub total_ns: u64,
+}
+
+/// Aggregated view of one telemetry collection window. Attached to
+/// `CoSearchResult` (empty when telemetry was disabled); the run itself is
+/// bit-identical either way — this field is observe-only.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Wall-clock extent covered by recorded spans (max end − min begin).
+    pub wall_ns: u64,
+    /// Per-phase aggregates, sorted by phase name.
+    pub phases: Vec<PhaseStat>,
+    /// Non-zero counters (name, value), in catalog order.
+    pub counters: Vec<(String, u64)>,
+    /// Set gauges (name, latest value), in catalog order.
+    pub gauges: Vec<(String, f64)>,
+    /// Instant-event counts (name, occurrences), sorted by name.
+    pub events: Vec<(String, u64)>,
+    /// Per-lane pool busy time and task counts.
+    pub pool: Vec<PoolWorkerStats>,
+}
+
+impl TelemetrySummary {
+    /// True when the window recorded nothing (e.g. telemetry was disabled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.events.is_empty()
+            && self.pool.is_empty()
+    }
+
+    /// Aggregate for the named phase, if any span with that name closed.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Value of the named counter (0 if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Latest value of the named gauge, if it was set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Number of instant events with the given name.
+    #[must_use]
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.events.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Multi-line human-readable rendering (for bench bins and logs).
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "telemetry: (empty)".to_string();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry: wall {:.3} ms", self.wall_ns as f64 / 1e6);
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  phase {:<16} {:>6} calls  {:>10.3} ms",
+                p.name,
+                p.calls,
+                p.total_ns as f64 / 1e6
+            );
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  counter {name} = {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "  gauge {name} = {value}");
+        }
+        for (name, n) in &self.events {
+            let _ = writeln!(out, "  event {name} x{n}");
+        }
+        for w in &self.pool {
+            let _ = writeln!(
+                out,
+                "  pool lane {} busy {:.3} ms over {} tasks",
+                w.lane,
+                w.busy_ns as f64 / 1e6,
+                w.tasks
+            );
+        }
+        out.pop();
+        out
+    }
+}

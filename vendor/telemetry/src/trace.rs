@@ -1,0 +1,566 @@
+//! Collected trace data and its sinks: JSONL structured events, Chrome
+//! trace (`chrome://tracing` / Perfetto) export, and the in-memory
+//! [`TelemetrySummary`] aggregator. JSON is emitted by hand — the crate is
+//! dependency-free by design.
+
+use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::summary::{PhaseStat, TelemetrySummary};
+use crate::PoolWorkerStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A closed span: a named interval on one thread, with optional parent and
+/// optional integer argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique span id (never 0).
+    pub id: u64,
+    /// Id of the span this one was opened under, if any.
+    pub parent: Option<u64>,
+    /// Static span name (e.g. `"rollout"`).
+    pub name: &'static str,
+    /// Dense tag of the thread the span ran on.
+    pub tid: u64,
+    /// Open timestamp, nanoseconds since the telemetry epoch.
+    pub begin_ns: u64,
+    /// Close timestamp, nanoseconds since the telemetry epoch.
+    pub end_ns: u64,
+    /// Optional integer argument (e.g. iteration index).
+    pub arg: Option<u64>,
+}
+
+/// A point-in-time event with a free-form detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantRecord {
+    /// Static event name (e.g. `"rolled_back"`).
+    pub name: &'static str,
+    /// Free-form detail payload.
+    pub detail: String,
+    /// Dense tag of the thread the event fired on.
+    pub tid: u64,
+    /// Timestamp, nanoseconds since the telemetry epoch.
+    pub at_ns: u64,
+}
+
+/// One collected record, in completion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A closed span.
+    Span(SpanRecord),
+    /// An instant event.
+    Instant(InstantRecord),
+}
+
+/// Everything one collection window produced: records in completion order,
+/// metric values, and per-lane pool stats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Closed spans and instant events, in completion order.
+    pub records: Vec<Record>,
+    /// Metric values at drain/snapshot time.
+    pub metrics: MetricsSnapshot,
+    /// Per-lane pool busy time and task counts.
+    pub pool: Vec<PoolWorkerStats>,
+}
+
+impl Trace {
+    /// True when nothing at all was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+            && self.metrics.counters.is_empty()
+            && self.metrics.gauges.is_empty()
+            && self.metrics.histograms.is_empty()
+            && self.pool.is_empty()
+    }
+
+    /// Spans only, in completion order.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Span(s) => Some(s),
+            Record::Instant(_) => None,
+        })
+    }
+
+    /// Instant events only, in completion order.
+    pub fn instants(&self) -> impl Iterator<Item = &InstantRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Instant(i) => Some(i),
+            Record::Span(_) => None,
+        })
+    }
+
+    /// A copy with every timestamp replaced by its rank among all distinct
+    /// timestamps (0, 1, 2, …), span ids renumbered in appearance order
+    /// (from 1), and thread tags renumbered in appearance order (from 0).
+    /// Parents that refer to spans absent from this trace (still open at
+    /// drain time) become `None`. This makes traces from real runs
+    /// comparable against golden fixtures.
+    #[must_use]
+    pub fn normalized(&self) -> Trace {
+        let mut stamps: Vec<u64> = Vec::new();
+        for r in &self.records {
+            match r {
+                Record::Span(s) => stamps.extend([s.begin_ns, s.end_ns]),
+                Record::Instant(i) => stamps.push(i.at_ns),
+            }
+        }
+        stamps.sort_unstable();
+        stamps.dedup();
+        let stamp_of = |ns: u64| -> u64 {
+            match stamps.binary_search(&ns) {
+                Ok(rank) => rank as u64,
+                Err(_) => 0,
+            }
+        };
+
+        let mut id_map: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut tid_map: BTreeMap<u64, u64> = BTreeMap::new();
+        let map_tid = |tid: u64, tid_map: &mut BTreeMap<u64, u64>| -> u64 {
+            let next = tid_map.len() as u64;
+            *tid_map.entry(tid).or_insert(next)
+        };
+        for r in &self.records {
+            if let Record::Span(s) = r {
+                let next = id_map.len() as u64 + 1;
+                id_map.entry(s.id).or_insert(next);
+            }
+        }
+
+        let records = self
+            .records
+            .iter()
+            .map(|r| match r {
+                Record::Span(s) => Record::Span(SpanRecord {
+                    id: id_map.get(&s.id).copied().unwrap_or(0),
+                    parent: s.parent.and_then(|p| id_map.get(&p).copied()),
+                    name: s.name,
+                    tid: map_tid(s.tid, &mut tid_map),
+                    begin_ns: stamp_of(s.begin_ns),
+                    end_ns: stamp_of(s.end_ns),
+                    arg: s.arg,
+                }),
+                Record::Instant(i) => Record::Instant(InstantRecord {
+                    name: i.name,
+                    detail: i.detail.clone(),
+                    tid: map_tid(i.tid, &mut tid_map),
+                    at_ns: stamp_of(i.at_ns),
+                }),
+            })
+            .collect();
+        Trace { records, metrics: self.metrics.clone(), pool: self.pool.clone() }
+    }
+
+    /// Serialize as JSONL: one JSON object per line — every record in
+    /// completion order, then counters, gauges, histograms and pool lanes.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            match r {
+                Record::Span(s) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":",
+                        s.id,
+                        json_opt_u64(s.parent)
+                    );
+                    json_string(s.name, &mut out);
+                    let _ = writeln!(
+                        out,
+                        ",\"tid\":{},\"begin_ns\":{},\"end_ns\":{},\"arg\":{}}}",
+                        s.tid,
+                        s.begin_ns,
+                        s.end_ns,
+                        json_opt_u64(s.arg)
+                    );
+                }
+                Record::Instant(i) => {
+                    out.push_str("{\"type\":\"event\",\"name\":");
+                    json_string(i.name, &mut out);
+                    out.push_str(",\"detail\":");
+                    json_string(&i.detail, &mut out);
+                    let _ = writeln!(out, ",\"tid\":{},\"at_ns\":{}}}", i.tid, i.at_ns);
+                }
+            }
+        }
+        for c in &self.metrics.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json_string(c.name, &mut out);
+            let _ = writeln!(out, ",\"value\":{}}}", c.value);
+        }
+        for g in &self.metrics.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            json_string(g.name, &mut out);
+            let _ = writeln!(out, ",\"value\":{}}}", json_f64(g.value));
+        }
+        for h in &self.metrics.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            json_string(h.name, &mut out);
+            let _ = write!(out, ",\"count\":{},\"buckets\":[", h.total());
+            let mut first = true;
+            for (idx, &n) in h.counts.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"lt\":{},\"n\":{}}}",
+                    json_opt_u64(Histogram::bucket_upper_bound(idx)),
+                    n
+                );
+            }
+            out.push_str("]}\n");
+        }
+        for w in &self.pool {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"pool_worker\",\"lane\":{},\"busy_ns\":{},\"tasks\":{}}}",
+                w.lane, w.busy_ns, w.tasks
+            );
+        }
+        out
+    }
+
+    /// Serialize as a Chrome trace (the JSON object format understood by
+    /// `chrome://tracing` and <https://ui.perfetto.dev>): spans become
+    /// complete (`"ph":"X"`) events, instant records become thread-scoped
+    /// instant (`"ph":"i"`) events. Timestamps are microseconds.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for r in &self.records {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match r {
+                Record::Span(s) => {
+                    out.push_str("\n{\"name\":");
+                    json_string(s.name, &mut out);
+                    let _ = write!(
+                        out,
+                        ",\"cat\":\"a3cs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{}",
+                        micros(s.begin_ns),
+                        micros(s.end_ns.saturating_sub(s.begin_ns)),
+                        s.tid,
+                        s.id
+                    );
+                    if let Some(parent) = s.parent {
+                        let _ = write!(out, ",\"parent\":{parent}");
+                    }
+                    if let Some(arg) = s.arg {
+                        let _ = write!(out, ",\"arg\":{arg}");
+                    }
+                    out.push_str("}}");
+                }
+                Record::Instant(i) => {
+                    out.push_str("\n{\"name\":");
+                    json_string(i.name, &mut out);
+                    let _ = write!(
+                        out,
+                        ",\"cat\":\"a3cs\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"detail\":",
+                        micros(i.at_ns),
+                        i.tid
+                    );
+                    json_string(&i.detail, &mut out);
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Write the JSONL serialization to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the write.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Write the Chrome-trace serialization to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the write.
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+
+    /// Aggregate into a [`TelemetrySummary`]: per-phase call counts and
+    /// total durations (spans grouped by name), counters, gauges, instant
+    /// event counts and pool lane stats.
+    #[must_use]
+    pub fn summary(&self) -> TelemetrySummary {
+        let mut phases: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        let mut begin = u64::MAX;
+        let mut end = 0u64;
+        for s in self.spans() {
+            let slot = phases.entry(s.name).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += s.end_ns.saturating_sub(s.begin_ns);
+            begin = begin.min(s.begin_ns);
+            end = end.max(s.end_ns);
+        }
+        let mut events: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for i in self.instants() {
+            *events.entry(i.name).or_insert(0) += 1;
+        }
+        TelemetrySummary {
+            wall_ns: end.saturating_sub(if begin == u64::MAX { end } else { begin }),
+            phases: phases
+                .into_iter()
+                .map(|(name, (calls, total_ns))| PhaseStat {
+                    name: name.to_string(),
+                    calls,
+                    total_ns,
+                })
+                .collect(),
+            counters: self
+                .metrics
+                .counters
+                .iter()
+                .map(|c| (c.name.to_string(), c.value))
+                .collect(),
+            gauges: self.metrics.gauges.iter().map(|g| (g.name.to_string(), g.value)).collect(),
+            events: events.into_iter().map(|(name, n)| (name.to_string(), n)).collect(),
+            pool: self.pool.clone(),
+        }
+    }
+}
+
+fn micros(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on f64 never prints an exponent for the magnitudes we emit,
+        // and always round-trips; ensure it still parses as a JSON number.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// A place a finished [`Trace`] can be exported to.
+pub trait Sink {
+    /// Consume one trace.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer, if any.
+    fn consume(&mut self, trace: &Trace) -> io::Result<()>;
+}
+
+/// Sink writing the JSONL event stream to a file.
+pub struct JsonlSink {
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Sink writing to `path` (truncates on each consume).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> JsonlSink {
+        JsonlSink { path: path.into() }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn consume(&mut self, trace: &Trace) -> io::Result<()> {
+        trace.write_jsonl(&self.path)
+    }
+}
+
+/// Sink writing a Chrome trace to a file.
+pub struct ChromeTraceSink {
+    path: PathBuf,
+}
+
+impl ChromeTraceSink {
+    /// Sink writing to `path` (truncates on each consume).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> ChromeTraceSink {
+        ChromeTraceSink { path: path.into() }
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn consume(&mut self, trace: &Trace) -> io::Result<()> {
+        trace.write_chrome_trace(&self.path)
+    }
+}
+
+/// Sink keeping the aggregated [`TelemetrySummary`] in memory.
+#[derive(Default)]
+pub struct MemorySink {
+    /// Summary of the most recently consumed trace.
+    pub summary: Option<TelemetrySummary>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    #[must_use]
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn consume(&mut self, trace: &Trace) -> io::Result<()> {
+        self.summary = Some(trace.summary());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CounterSample, GaugeSample, HistogramSample, HISTOGRAM_BUCKETS};
+
+    fn sample_trace() -> Trace {
+        let mut hist_counts = vec![0u64; HISTOGRAM_BUCKETS];
+        hist_counts[0] = 1;
+        hist_counts[2] = 2;
+        hist_counts[HISTOGRAM_BUCKETS - 1] = 1;
+        Trace {
+            records: vec![
+                Record::Span(SpanRecord {
+                    id: 41,
+                    parent: None,
+                    name: "iteration",
+                    tid: 7,
+                    begin_ns: 1000,
+                    end_ns: 5000,
+                    arg: Some(3),
+                }),
+                Record::Instant(InstantRecord {
+                    name: "rolled_back",
+                    detail: "iteration 3 \"bad\"".to_string(),
+                    tid: 9,
+                    at_ns: 2500,
+                }),
+                Record::Span(SpanRecord {
+                    id: 44,
+                    parent: Some(41),
+                    name: "rollout",
+                    tid: 9,
+                    begin_ns: 1500,
+                    end_ns: 4000,
+                    arg: None,
+                }),
+            ],
+            metrics: MetricsSnapshot {
+                counters: vec![CounterSample { name: "env.steps", value: 128 }],
+                gauges: vec![GaugeSample { name: "loss.total", value: 1.5 }],
+                histograms: vec![HistogramSample { name: "gemm.macs.per_call", counts: hist_counts }],
+            },
+            pool: vec![PoolWorkerStats { lane: 0, busy_ns: 900, tasks: 2 }],
+        }
+    }
+
+    #[test]
+    fn normalization_is_stable_and_dense() {
+        let n = sample_trace().normalized();
+        let spans: Vec<&SpanRecord> = n.spans().collect();
+        assert_eq!(spans[0].id, 1);
+        assert_eq!(spans[1].id, 2);
+        assert_eq!(spans[1].parent, Some(1));
+        assert_eq!(spans[0].tid, 0);
+        assert_eq!(spans[1].tid, 1);
+        // Timestamps 1000 < 1500 < 2500 < 4000 < 5000 → ranks 0..5.
+        assert_eq!((spans[0].begin_ns, spans[0].end_ns), (0, 4));
+        assert_eq!((spans[1].begin_ns, spans[1].end_ns), (1, 3));
+        let inst: Vec<&InstantRecord> = n.instants().collect();
+        assert_eq!(inst[0].at_ns, 2);
+        assert_eq!(inst[0].tid, 1);
+        // Normalization is idempotent.
+        assert_eq!(n.normalized(), n);
+    }
+
+    #[test]
+    fn jsonl_golden() {
+        let got = sample_trace().normalized().to_jsonl();
+        let want = concat!(
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"iteration\",\"tid\":0,\"begin_ns\":0,\"end_ns\":4,\"arg\":3}\n",
+            "{\"type\":\"event\",\"name\":\"rolled_back\",\"detail\":\"iteration 3 \\\"bad\\\"\",\"tid\":1,\"at_ns\":2}\n",
+            "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"rollout\",\"tid\":1,\"begin_ns\":1,\"end_ns\":3,\"arg\":null}\n",
+            "{\"type\":\"counter\",\"name\":\"env.steps\",\"value\":128}\n",
+            "{\"type\":\"gauge\",\"name\":\"loss.total\",\"value\":1.5}\n",
+            "{\"type\":\"histogram\",\"name\":\"gemm.macs.per_call\",\"count\":4,\"buckets\":[{\"lt\":1,\"n\":1},{\"lt\":4,\"n\":2},{\"lt\":null,\"n\":1}]}\n",
+            "{\"type\":\"pool_worker\",\"lane\":0,\"busy_ns\":900,\"tasks\":2}\n",
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chrome_trace_golden() {
+        let got = sample_trace().normalized().to_chrome_trace();
+        let want = concat!(
+            "{\"traceEvents\":[\n",
+            "{\"name\":\"iteration\",\"cat\":\"a3cs\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.004,\"pid\":1,\"tid\":0,\"args\":{\"id\":1,\"arg\":3}},\n",
+            "{\"name\":\"rolled_back\",\"cat\":\"a3cs\",\"ph\":\"i\",\"s\":\"t\",\"ts\":0.002,\"pid\":1,\"tid\":1,\"args\":{\"detail\":\"iteration 3 \\\"bad\\\"\"}},\n",
+            "{\"name\":\"rollout\",\"cat\":\"a3cs\",\"ph\":\"X\",\"ts\":0.001,\"dur\":0.002,\"pid\":1,\"tid\":1,\"args\":{\"id\":2,\"parent\":1}}\n",
+            "],\"displayTimeUnit\":\"ms\"}\n",
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn summary_aggregates_phases_and_events() {
+        let s = sample_trace().summary();
+        assert_eq!(s.wall_ns, 4000);
+        assert_eq!(s.phases.len(), 2);
+        let iter = s.phase("iteration").expect("iteration phase");
+        assert_eq!((iter.calls, iter.total_ns), (1, 4000));
+        let rollout = s.phase("rollout").expect("rollout phase");
+        assert_eq!((rollout.calls, rollout.total_ns), (1, 2500));
+        assert_eq!(s.counter("env.steps"), 128);
+        assert_eq!(s.event_count("rolled_back"), 1);
+        assert_eq!(s.pool.len(), 1);
+        assert!(!s.is_empty());
+        assert!(TelemetrySummary::default().is_empty());
+    }
+
+    #[test]
+    fn memory_sink_captures_summary() {
+        let mut sink = MemorySink::new();
+        sink.consume(&sample_trace()).expect("in-memory sink cannot fail");
+        let summary = sink.summary.expect("summary captured");
+        assert_eq!(summary.counter("env.steps"), 128);
+    }
+}

@@ -101,7 +101,7 @@ struct Job {
     state: Arc<ScopeState>,
 }
 
-fn worker_main(rx: Arc<Mutex<Receiver<Job>>>) {
+fn worker_main(rx: Arc<Mutex<Receiver<Job>>>, lane: usize) {
     IN_PARALLEL.with(|f| f.set(true));
     loop {
         // Take the next job while holding the lock, then release it before
@@ -111,7 +111,14 @@ fn worker_main(rx: Arc<Mutex<Receiver<Job>>>) {
             rx.recv()
         };
         let Ok(job) = job else { break };
+        // Observe-only busy-time attribution; the clock is read only while
+        // telemetry is enabled and never influences scheduling.
+        let started = telemetry::enabled().then(std::time::Instant::now);
         let result = catch_unwind(AssertUnwindSafe(job.task));
+        if let Some(started) = started {
+            let busy = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            telemetry::record_pool_task(lane, busy);
+        }
         if let Err(payload) = result {
             job.state.record_panic(payload);
         }
@@ -144,7 +151,7 @@ impl ThreadPool {
             let rx = Arc::clone(&rx);
             let handle = thread::Builder::new()
                 .name(format!("a3cs-pool-{i}"))
-                .spawn(move || worker_main(rx));
+                .spawn(move || worker_main(rx, i + 1));
             if handle.is_err() {
                 // Could not spawn (resource exhaustion): degrade to fewer
                 // lanes. Remaining chunks run on the caller; determinism is
@@ -182,9 +189,17 @@ impl ThreadPool {
             local();
             return;
         }
+        // Capture the caller's innermost span so work queued to the pool
+        // attributes to the phase that forked it (observe-only).
+        let parent_span = telemetry::current_span_id();
         let state = Arc::new(ScopeState::new(tasks.len()));
         if let Some(queue) = self.queue.as_ref() {
             for task in tasks {
+                let task: Box<dyn FnOnce() + Send + 'env> = if parent_span.is_some() {
+                    Box::new(move || telemetry::with_parent_span(parent_span, task))
+                } else {
+                    task
+                };
                 // SAFETY: lifetime erasure from 'env to 'static. Sound
                 // because this function waits (via `WaitGuard`, even when the
                 // local task unwinds) for every queued task to complete
@@ -213,7 +228,12 @@ impl ThreadPool {
         // parallel calls stay inline.
         let local_result = {
             IN_PARALLEL.with(|f| f.set(true));
+            let started = telemetry::enabled().then(std::time::Instant::now);
             let r = catch_unwind(AssertUnwindSafe(local));
+            if let Some(started) = started {
+                let busy = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                telemetry::record_pool_task(0, busy);
+            }
             IN_PARALLEL.with(|f| f.set(false));
             r
         };
