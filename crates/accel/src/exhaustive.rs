@@ -80,7 +80,7 @@ impl ExhaustiveSearch {
         let mut choices = vec![0usize; sizes.len()];
         let mut best: Option<(AcceleratorConfig, f64)> = None;
         let mut visited = 0u64;
-        loop {
+        'space: loop {
             let accel = self.space.decode(self.num_chunks, layers.len(), &choices);
             visited += 1;
             let legal = !self.legality_filter
@@ -96,9 +96,7 @@ impl ExhaustiveSearch {
             let mut k = 0;
             loop {
                 if k == sizes.len() {
-                    let (config, cost) =
-                        best.expect("the legality filter rejected every point in the space");
-                    return (config, cost, visited);
+                    break 'space;
                 }
                 choices[k] += 1;
                 if choices[k] < sizes[k] {
@@ -107,6 +105,14 @@ impl ExhaustiveSearch {
                 choices[k] = 0;
                 k += 1;
             }
+        }
+        assert!(
+            best.is_some(),
+            "the legality filter rejected every point in the space"
+        );
+        match best {
+            Some((config, cost)) => (config, cost, visited),
+            None => unreachable!("asserted non-empty just above"),
         }
     }
 }

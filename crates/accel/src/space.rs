@@ -197,6 +197,7 @@ impl SearchSpace {
     ///
     /// [`SpaceError::ChunkArity`] or [`SpaceError::KnobOutOfRange`] when
     /// `choices` does not address this space.
+    #[must_use = "the decoded chunk config is the whole point of the call"]
     pub fn try_decode_chunk(&self, choices: &[usize]) -> Result<ChunkConfig, SpaceError> {
         let sizes = self.chunk_knob_sizes();
         if choices.len() != sizes.len() {

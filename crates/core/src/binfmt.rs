@@ -1,0 +1,504 @@
+//! Length-prefixed binary framing for [`SearchCheckpoint`].
+//!
+//! JSON is the default checkpoint payload (human-inspectable, stable), but
+//! the bit-safe encoding it forces — every `f32` as a `u32`, every 64-bit
+//! word as a `(hi, lo)` pair — makes large tensor dumps both slow and ~4×
+//! their natural size. `CheckpointFormat::Binary` instead frames the same
+//! reprs as little-endian words behind an 8-byte magic, so the two formats
+//! are self-describing: a payload starting with [`MAGIC`] is binary,
+//! anything else is parsed as JSON (see [`SearchCheckpoint::decode`]).
+//!
+//! The codec is hand-rolled (no new dependencies) and total: every read is
+//! bounds-checked and surfaces [`CheckpointError::Parse`], never a panic.
+//! Float bits travel verbatim, so NaN payloads and negative zeros survive
+//! exactly — the same contract the JSON bit-packing provides.
+
+use crate::checkpoint::{CheckpointError, SearchCheckpoint, TensorRepr};
+use crate::checkpoint::{
+    CurvePointRepr, DasStateRepr, EnvStateRepr, OptimStateRepr, RunnerStateRepr, SupernetStateRepr,
+};
+use crate::robustness::{RobustnessEvent, RobustnessEventKind};
+
+/// Leading bytes of every binary checkpoint payload. The trailing digit is
+/// the framing version; bump it on any layout change.
+pub(crate) const MAGIC: &[u8; 8] = b"A3CSBIN1";
+
+/// `true` if `payload` claims to be a binary checkpoint frame.
+#[must_use]
+pub(crate) fn is_binary(payload: &[u8]) -> bool {
+    payload.starts_with(MAGIC)
+}
+
+// --- writer --------------------------------------------------------------
+
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn pair(&mut self, (hi, lo): (u32, u32)) {
+        self.u32(hi);
+        self.u32(lo);
+    }
+
+    /// Length prefix for any repeated element. `u32` bounds a single field
+    /// at 4 billion elements — far above any real checkpoint.
+    fn len(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn u32s(&mut self, xs: &[u32]) {
+        self.len(xs.len());
+        for &x in xs {
+            self.u32(x);
+        }
+    }
+
+    fn pairs(&mut self, xs: &[(u32, u32)]) {
+        self.len(xs.len());
+        for &x in xs {
+            self.pair(x);
+        }
+    }
+
+    fn usizes(&mut self, xs: &[usize]) {
+        self.len(xs.len());
+        for &x in xs {
+            self.u64(x as u64);
+        }
+    }
+}
+
+// --- reader --------------------------------------------------------------
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn truncated(what: &str) -> CheckpointError {
+    CheckpointError::Parse(format!("binary checkpoint truncated reading {what}"))
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| truncated(what))?;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn pair(&mut self, what: &str) -> Result<(u32, u32), CheckpointError> {
+        Ok((self.u32(what)?, self.u32(what)?))
+    }
+
+    /// Read a length prefix, sanity-bounded by the bytes actually left (an
+    /// element needs ≥ 1 byte, so a longer claim is corrupt, not huge).
+    fn len(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        let n = self.u32(what)? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(CheckpointError::Parse(format!(
+                "binary checkpoint claims {n} elements of {what} with only {} bytes left",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let n = self.len(what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Parse(format!("binary checkpoint: {what} is not UTF-8")))
+    }
+
+    fn u32s(&mut self, what: &str) -> Result<Vec<u32>, CheckpointError> {
+        let n = self.len(what)?;
+        (0..n).map(|_| self.u32(what)).collect()
+    }
+
+    fn pairs(&mut self, what: &str) -> Result<Vec<(u32, u32)>, CheckpointError> {
+        let n = self.len(what)?;
+        (0..n).map(|_| self.pair(what)).collect()
+    }
+
+    fn usizes(&mut self, what: &str) -> Result<Vec<usize>, CheckpointError> {
+        let n = self.len(what)?;
+        (0..n).map(|_| Ok(self.u64(what)? as usize)).collect()
+    }
+}
+
+// --- per-repr framing ----------------------------------------------------
+
+fn put_tensor(w: &mut Writer, t: &TensorRepr) {
+    w.str(&t.name);
+    w.usizes(&t.shape);
+    w.u32s(&t.bits);
+}
+
+fn get_tensor(r: &mut Reader<'_>) -> Result<TensorRepr, CheckpointError> {
+    Ok(TensorRepr {
+        name: r.str("tensor name")?,
+        shape: r.usizes("tensor shape")?,
+        bits: r.u32s("tensor bits")?,
+    })
+}
+
+fn put_tensors(w: &mut Writer, ts: &[TensorRepr]) {
+    w.len(ts.len());
+    for t in ts {
+        put_tensor(w, t);
+    }
+}
+
+fn get_tensors(r: &mut Reader<'_>) -> Result<Vec<TensorRepr>, CheckpointError> {
+    let n = r.len("tensor list")?;
+    (0..n).map(|_| get_tensor(r)).collect()
+}
+
+fn put_env(w: &mut Writer, e: &EnvStateRepr) {
+    w.str(&e.tag);
+    w.pairs(&e.ints);
+    w.u32s(&e.floats);
+    w.len(e.inner.len());
+    for inner in &e.inner {
+        put_env(w, inner);
+    }
+}
+
+fn get_env(r: &mut Reader<'_>) -> Result<EnvStateRepr, CheckpointError> {
+    let tag = r.str("env tag")?;
+    let ints = r.pairs("env ints")?;
+    let floats = r.u32s("env floats")?;
+    let n = r.len("env inner list")?;
+    let inner = (0..n).map(|_| get_env(r)).collect::<Result<_, _>>()?;
+    Ok(EnvStateRepr {
+        tag,
+        ints,
+        floats,
+        inner,
+    })
+}
+
+fn put_runner(w: &mut Writer, s: &RunnerStateRepr) {
+    w.len(s.envs.len());
+    for e in &s.envs {
+        put_env(w, e);
+    }
+    w.len(s.lane_rngs.len());
+    for rng in &s.lane_rngs {
+        w.pairs(rng);
+    }
+    w.len(s.current_obs.len());
+    for obs in &s.current_obs {
+        w.u32s(obs);
+    }
+}
+
+fn get_runner(r: &mut Reader<'_>) -> Result<RunnerStateRepr, CheckpointError> {
+    let n_envs = r.len("runner envs")?;
+    let envs = (0..n_envs).map(|_| get_env(r)).collect::<Result<_, _>>()?;
+    let n_rngs = r.len("runner lane rngs")?;
+    let lane_rngs = (0..n_rngs)
+        .map(|_| r.pairs("lane rng words"))
+        .collect::<Result<_, _>>()?;
+    let n_obs = r.len("runner observations")?;
+    let current_obs = (0..n_obs)
+        .map(|_| r.u32s("observation bits"))
+        .collect::<Result<_, _>>()?;
+    Ok(RunnerStateRepr {
+        envs,
+        lane_rngs,
+        current_obs,
+    })
+}
+
+fn put_optim(w: &mut Writer, o: &OptimStateRepr) {
+    w.str(&o.kind);
+    w.u32(o.lr);
+    w.len(o.key_names.len());
+    for name in &o.key_names {
+        w.str(name);
+    }
+    w.len(o.key_shapes.len());
+    for shape in &o.key_shapes {
+        w.usizes(shape);
+    }
+    w.len(o.slots.len());
+    for slot in &o.slots {
+        w.len(slot.len());
+        for buf in slot {
+            w.u32s(buf);
+        }
+    }
+    w.pairs(&o.scalars);
+}
+
+fn get_optim(r: &mut Reader<'_>) -> Result<OptimStateRepr, CheckpointError> {
+    let kind = r.str("optimizer kind")?;
+    let lr = r.u32("optimizer lr")?;
+    let n_names = r.len("optimizer key names")?;
+    let key_names = (0..n_names)
+        .map(|_| r.str("optimizer key name"))
+        .collect::<Result<_, _>>()?;
+    let n_shapes = r.len("optimizer key shapes")?;
+    let key_shapes = (0..n_shapes)
+        .map(|_| r.usizes("optimizer key shape"))
+        .collect::<Result<_, _>>()?;
+    let n_slots = r.len("optimizer slots")?;
+    let slots = (0..n_slots)
+        .map(|_| {
+            let n_bufs = r.len("optimizer slot buffers")?;
+            (0..n_bufs)
+                .map(|_| r.u32s("optimizer slot buffer"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<_, _>>()?;
+    let scalars = r.pairs("optimizer scalars")?;
+    Ok(OptimStateRepr {
+        kind,
+        lr,
+        key_names,
+        key_shapes,
+        slots,
+        scalars,
+    })
+}
+
+fn put_das(w: &mut Writer, d: &DasStateRepr) {
+    w.len(d.logits.len());
+    for row in &d.logits {
+        w.pairs(row);
+    }
+    w.pairs(&d.rng);
+    match d.baseline {
+        Some(p) => {
+            w.u8(1);
+            w.pair(p);
+        }
+        None => w.u8(0),
+    }
+    w.pair(d.temperature);
+}
+
+fn get_das(r: &mut Reader<'_>) -> Result<DasStateRepr, CheckpointError> {
+    let n_rows = r.len("das logits")?;
+    let logits = (0..n_rows)
+        .map(|_| r.pairs("das logit row"))
+        .collect::<Result<_, _>>()?;
+    let rng = r.pairs("das rng")?;
+    let baseline = match r.u8("das baseline flag")? {
+        0 => None,
+        1 => Some(r.pair("das baseline")?),
+        other => {
+            return Err(CheckpointError::Parse(format!(
+                "binary checkpoint: das baseline flag must be 0 or 1, got {other}"
+            )))
+        }
+    };
+    let temperature = r.pair("das temperature")?;
+    Ok(DasStateRepr {
+        logits,
+        rng,
+        baseline,
+        temperature,
+    })
+}
+
+fn put_supernet(w: &mut Writer, s: &SupernetStateRepr) {
+    w.len(s.alpha.len());
+    for row in &s.alpha {
+        w.u32s(row);
+    }
+    w.pairs(&s.gumbel_rng);
+    w.u64(s.step);
+}
+
+fn get_supernet(r: &mut Reader<'_>) -> Result<SupernetStateRepr, CheckpointError> {
+    let n_rows = r.len("alpha rows")?;
+    let alpha = (0..n_rows)
+        .map(|_| r.u32s("alpha row"))
+        .collect::<Result<_, _>>()?;
+    let gumbel_rng = r.pairs("gumbel rng")?;
+    let step = r.u64("supernet step")?;
+    Ok(SupernetStateRepr {
+        alpha,
+        gumbel_rng,
+        step,
+    })
+}
+
+fn put_curve(w: &mut Writer, c: &[CurvePointRepr]) {
+    w.len(c.len());
+    for p in c {
+        w.u64(p.step);
+        w.u32(p.bits);
+    }
+}
+
+fn get_curve(r: &mut Reader<'_>) -> Result<Vec<CurvePointRepr>, CheckpointError> {
+    let n = r.len("curve")?;
+    (0..n)
+        .map(|_| {
+            Ok(CurvePointRepr {
+                step: r.u64("curve step")?,
+                bits: r.u32("curve bits")?,
+            })
+        })
+        .collect()
+}
+
+fn put_events(w: &mut Writer, events: &[RobustnessEvent]) {
+    w.len(events.len());
+    for e in events {
+        w.u64(e.iteration);
+        // A kind travels as its index in the stable `all()` order, so
+        // appending new kinds keeps old payloads readable.
+        let index = RobustnessEventKind::all()
+            .iter()
+            .position(|k| *k == e.kind)
+            .unwrap_or_default();
+        w.u32(index as u32);
+        w.str(&e.detail);
+    }
+}
+
+fn get_events(r: &mut Reader<'_>) -> Result<Vec<RobustnessEvent>, CheckpointError> {
+    let n = r.len("robustness events")?;
+    (0..n)
+        .map(|_| {
+            let iteration = r.u64("event iteration")?;
+            let index = r.u32("event kind")? as usize;
+            let kind = *RobustnessEventKind::all().get(index).ok_or_else(|| {
+                CheckpointError::Parse(format!(
+                    "binary checkpoint: unknown robustness event kind index {index}"
+                ))
+            })?;
+            let detail = r.str("event detail")?;
+            Ok(RobustnessEvent {
+                iteration,
+                kind,
+                detail,
+            })
+        })
+        .collect()
+}
+
+// --- whole-checkpoint framing --------------------------------------------
+
+pub(crate) fn encode(ck: &SearchCheckpoint) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(ck.version);
+    w.str(&ck.fingerprint);
+    w.pair(ck.seed);
+    w.u64(ck.steps);
+    w.u64(ck.iteration);
+    w.u64(ck.next_eval);
+    put_curve(&mut w, &ck.score_curve);
+    put_curve(&mut w, &ck.entropy_curve);
+    put_tensors(&mut w, &ck.weight_params);
+    put_tensors(&mut w, &ck.state_tensors);
+    put_supernet(&mut w, &ck.supernet);
+    put_optim(&mut w, &ck.weight_opt);
+    put_optim(&mut w, &ck.alpha_opt);
+    put_das(&mut w, &ck.das);
+    put_runner(&mut w, &ck.train_runner);
+    match &ck.val_runner {
+        Some(runner) => {
+            w.u8(1);
+            put_runner(&mut w, runner);
+        }
+        None => w.u8(0),
+    }
+    w.u32(ck.lr_scale);
+    w.u32(ck.rollbacks_left);
+    put_events(&mut w, &ck.events);
+    w.buf
+}
+
+pub(crate) fn decode(payload: &[u8]) -> Result<SearchCheckpoint, CheckpointError> {
+    if !is_binary(payload) {
+        return Err(CheckpointError::Parse(
+            "payload does not start with the binary checkpoint magic".to_string(),
+        ));
+    }
+    let mut r = Reader {
+        buf: payload,
+        pos: MAGIC.len(),
+    };
+    let ck = SearchCheckpoint {
+        version: r.u32("version")?,
+        fingerprint: r.str("fingerprint")?,
+        seed: r.pair("seed")?,
+        steps: r.u64("steps")?,
+        iteration: r.u64("iteration")?,
+        next_eval: r.u64("next eval")?,
+        score_curve: get_curve(&mut r)?,
+        entropy_curve: get_curve(&mut r)?,
+        weight_params: get_tensors(&mut r)?,
+        state_tensors: get_tensors(&mut r)?,
+        supernet: get_supernet(&mut r)?,
+        weight_opt: get_optim(&mut r)?,
+        alpha_opt: get_optim(&mut r)?,
+        das: get_das(&mut r)?,
+        train_runner: get_runner(&mut r)?,
+        val_runner: match r.u8("val runner flag")? {
+            0 => None,
+            1 => Some(get_runner(&mut r)?),
+            other => {
+                return Err(CheckpointError::Parse(format!(
+                    "binary checkpoint: val runner flag must be 0 or 1, got {other}"
+                )))
+            }
+        },
+        lr_scale: r.u32("lr scale")?,
+        rollbacks_left: r.u32("rollbacks left")?,
+        events: get_events(&mut r)?,
+    };
+    if r.pos != payload.len() {
+        return Err(CheckpointError::Parse(format!(
+            "binary checkpoint has {} trailing bytes",
+            payload.len() - r.pos
+        )));
+    }
+    Ok(ck)
+}

@@ -232,6 +232,38 @@ impl SearchCheckpoint {
         Ok(ck)
     }
 
+    /// Serialise to the length-prefixed binary frame
+    /// ([`crate::fault::CheckpointFormat::Binary`]).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::binfmt::encode(self)
+    }
+
+    /// Parse a checkpoint payload in either format: binary if it starts
+    /// with the binary magic, JSON otherwise. Rejects other versions.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Parse`] on a malformed payload or a version
+    /// mismatch.
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let ck = if crate::binfmt::is_binary(payload) {
+            crate::binfmt::decode(payload)?
+        } else {
+            let text = std::str::from_utf8(payload).map_err(|_| {
+                CheckpointError::Parse("checkpoint payload is neither binary nor UTF-8".to_string())
+            })?;
+            return Self::from_json(text);
+        };
+        if ck.version != SEARCH_CHECKPOINT_VERSION {
+            return Err(CheckpointError::Parse(format!(
+                "checkpoint version {} (this build reads {})",
+                ck.version, SEARCH_CHECKPOINT_VERSION
+            )));
+        }
+        Ok(ck)
+    }
+
     /// Environment steps consumed at capture time.
     #[must_use]
     pub fn steps(&self) -> u64 {
@@ -591,6 +623,31 @@ mod tests {
             prop_assert!(is_equal, "checkpoint changed across the JSON round trip");
         }
 
+        /// The binary frame round-trips the full checkpoint exactly —
+        /// arbitrary `u32` bit patterns cover NaN payloads, infinities and
+        /// negative zeros in every float-carrying field.
+        #[test]
+        fn search_checkpoint_binary_round_trip(ck in checkpoint_strategy()) {
+            let bytes = ck.to_bytes();
+            let back = SearchCheckpoint::decode(&bytes);
+            prop_assert!(back.is_ok(), "{:?}", back.err());
+            let is_equal = back.ok() == Some(ck);
+            prop_assert!(is_equal, "checkpoint changed across the binary round trip");
+        }
+
+        /// Truncating a binary frame at any point yields a parse error,
+        /// never a panic.
+        #[test]
+        fn truncated_binary_checkpoint_is_a_parse_error(
+            ck in checkpoint_strategy(),
+            cut in 0usize..4096,
+        ) {
+            let bytes = ck.to_bytes();
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            let err = SearchCheckpoint::decode(&bytes[..cut]);
+            prop_assert!(matches!(err, Err(CheckpointError::Parse(_))), "{err:?}");
+        }
+
         /// 64-bit packing is lossless for every value, including those
         /// above 2^53 where the vendored serde would silently round.
         #[test]
@@ -625,6 +682,56 @@ mod tests {
         );
         ck.version = SEARCH_CHECKPOINT_VERSION + 1;
         let err = SearchCheckpoint::from_json(&ck.to_json()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn decode_reads_both_formats_including_nan_bits() {
+        let nan_bits = f32::NAN.to_bits() | 0xdead; // a NaN with a payload
+        let ck = build_checkpoint(
+            (1, 2),
+            300,
+            vec![TensorRepr {
+                name: "w".to_string(),
+                shape: vec![2],
+                bits: vec![nan_bits, f32::NEG_INFINITY.to_bits()],
+            }],
+            vec![EnvStateRepr {
+                tag: "Env".to_string(),
+                ints: vec![(u32::MAX, 7)],
+                floats: vec![nan_bits],
+                inner: Vec::new(),
+            }],
+            vec![(nan_bits, nan_bits)],
+            nan_bits,
+            6,
+            1,
+        );
+        let from_json = SearchCheckpoint::decode(ck.to_json().as_bytes()).expect("json decodes");
+        let from_bin = SearchCheckpoint::decode(&ck.to_bytes()).expect("binary decodes");
+        assert_eq!(from_json, ck);
+        assert_eq!(from_bin, ck);
+    }
+
+    #[test]
+    fn decode_rejects_other_binary_versions() {
+        let mut ck = build_checkpoint(
+            (1, 2),
+            300,
+            Vec::new(),
+            vec![EnvStateRepr {
+                tag: "Env".to_string(),
+                ints: Vec::new(),
+                floats: Vec::new(),
+                inner: Vec::new(),
+            }],
+            Vec::new(),
+            5,
+            6,
+            1,
+        );
+        ck.version = SEARCH_CHECKPOINT_VERSION + 1;
+        let err = SearchCheckpoint::decode(&ck.to_bytes()).unwrap_err();
         assert!(matches!(err, CheckpointError::Parse(_)), "{err}");
     }
 

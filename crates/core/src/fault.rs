@@ -43,6 +43,37 @@ pub enum Fault {
         /// Byte offset to flip.
         offset: usize,
     },
+    /// Arm a one-shot panic on the supervised thread pool at the start of
+    /// the named phase: the next task a worker dequeues panics before
+    /// running its closure. In a restartable region the pool contains it
+    /// (quarantine + re-execution); in a stateful region the phase
+    /// supervisor restores the phase-entry snapshot and retries.
+    WorkerPanic {
+        /// Supervised phase (`"das_sweep"`, `"rollout"`, `"update"` or
+        /// `"eval"`) in which to arm the panic.
+        phase: String,
+        /// Iteration at which to arm it.
+        at_iteration: u64,
+    },
+    /// Poison one environment lane so its next `step` panics (the arm flag
+    /// clears before the panic, so the fault is transient and a phase retry
+    /// replays cleanly).
+    EnvPanic {
+        /// Environment lane (index into the rollout runner's lanes).
+        lane: usize,
+        /// Iteration whose rollout is poisoned.
+        at_iteration: u64,
+    },
+    /// Sleep on the supervised thread for `millis` at the start of the
+    /// named phase, tripping the stall watchdog's soft deadline.
+    Stall {
+        /// Supervised phase to stall.
+        phase: String,
+        /// Iteration at which to stall.
+        at_iteration: u64,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
 }
 
 impl Fault {
@@ -51,7 +82,10 @@ impl Fault {
             Fault::Abort { at_iteration }
             | Fault::NanLoss { at_iteration }
             | Fault::TruncateCheckpoint { at_iteration, .. }
-            | Fault::FlipCheckpointByte { at_iteration, .. } => *at_iteration,
+            | Fault::FlipCheckpointByte { at_iteration, .. }
+            | Fault::WorkerPanic { at_iteration, .. }
+            | Fault::EnvPanic { at_iteration, .. }
+            | Fault::Stall { at_iteration, .. } => *at_iteration,
         }
     }
 }
@@ -109,6 +143,40 @@ impl FaultPlan {
         self
     }
 
+    /// Arm a one-shot worker panic on the supervised pool at the start of
+    /// `phase` at `iteration` (see [`Fault::WorkerPanic`]).
+    #[must_use]
+    pub fn worker_panic_at(mut self, phase: &str, iteration: u64) -> Self {
+        self.faults.push(Fault::WorkerPanic {
+            phase: phase.to_string(),
+            at_iteration: iteration,
+        });
+        self
+    }
+
+    /// Poison environment lane `lane` so its next step at `iteration`
+    /// panics once (see [`Fault::EnvPanic`]).
+    #[must_use]
+    pub fn env_panic_at(mut self, lane: usize, iteration: u64) -> Self {
+        self.faults.push(Fault::EnvPanic {
+            lane,
+            at_iteration: iteration,
+        });
+        self
+    }
+
+    /// Stall `phase` at `iteration` for `millis` milliseconds, tripping the
+    /// watchdog's soft deadline (see [`Fault::Stall`]).
+    #[must_use]
+    pub fn stall_at(mut self, phase: &str, iteration: u64, millis: u64) -> Self {
+        self.faults.push(Fault::Stall {
+            phase: phase.to_string(),
+            at_iteration: iteration,
+            millis,
+        });
+        self
+    }
+
     /// `true` if the plan contains an [`Fault::Abort`] (which only
     /// `run_guarded` can surface).
     #[must_use]
@@ -116,6 +184,20 @@ impl FaultPlan {
         self.faults
             .iter()
             .any(|f| matches!(f, Fault::Abort { .. }))
+    }
+
+    /// `true` if the plan schedules any in-process fault that needs the
+    /// supervision layer to fire or be contained ([`Fault::WorkerPanic`],
+    /// [`Fault::EnvPanic`] or [`Fault::Stall`]). `run_guarded` enables
+    /// supervision automatically for such plans.
+    #[must_use]
+    pub fn has_supervised_fault(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                Fault::WorkerPanic { .. } | Fault::EnvPanic { .. } | Fault::Stall { .. }
+            )
+        })
     }
 }
 
@@ -157,6 +239,36 @@ impl FaultDriver {
             .is_some()
     }
 
+    /// Should a worker panic be armed for `phase` right now? Each scheduled
+    /// [`Fault::WorkerPanic`] fires once, so a retried phase only panics
+    /// again if the plan schedules another one.
+    pub(crate) fn worker_panic_now(&mut self, phase: &str, iteration: u64) -> bool {
+        self.fire(
+            iteration,
+            |f| matches!(f, Fault::WorkerPanic { phase: p, .. } if p == phase),
+        )
+        .is_some()
+    }
+
+    /// Environment lane to poison for this iteration's rollout, if any.
+    pub(crate) fn env_panic_now(&mut self, iteration: u64) -> Option<usize> {
+        match self.fire(iteration, |f| matches!(f, Fault::EnvPanic { .. })) {
+            Some(Fault::EnvPanic { lane, .. }) => Some(lane),
+            _ => None,
+        }
+    }
+
+    /// Milliseconds to stall `phase` for right now, if scheduled.
+    pub(crate) fn stall_now(&mut self, phase: &str, iteration: u64) -> Option<u64> {
+        match self.fire(
+            iteration,
+            |f| matches!(f, Fault::Stall { phase: p, .. } if p == phase),
+        ) {
+            Some(Fault::Stall { millis, .. }) => Some(millis),
+            _ => None,
+        }
+    }
+
     /// Apply every scheduled corruption to the checkpoint file just written
     /// for `iteration`, returning a description of each applied fault.
     pub(crate) fn corrupt_checkpoint_now(&mut self, iteration: u64, path: &Path) -> Vec<String> {
@@ -172,7 +284,11 @@ impl FaultDriver {
             let outcome = match &fault {
                 Fault::TruncateCheckpoint { keep_bytes, .. } => truncate_file(path, *keep_bytes),
                 Fault::FlipCheckpointByte { offset, .. } => flip_byte(path, *offset),
-                Fault::Abort { .. } | Fault::NanLoss { .. } => {
+                Fault::Abort { .. }
+                | Fault::NanLoss { .. }
+                | Fault::WorkerPanic { .. }
+                | Fault::EnvPanic { .. }
+                | Fault::Stall { .. } => {
                     unreachable!("fire() matched only checkpoint corruptions")
                 }
             };
@@ -206,6 +322,20 @@ mod io_faults {
     }
 }
 
+/// On-disk encoding of a search checkpoint payload (inside the checksummed
+/// envelope). Both formats are bit-safe; `recover()` detects either, so the
+/// knob can change between runs without invalidating old checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointFormat {
+    /// Human-readable JSON with every float stored as its raw bits (the
+    /// default, unchanged from PR 3).
+    #[default]
+    Json,
+    /// Length-prefixed little-endian binary framing — substantially smaller
+    /// for large supernets, still byte-exact (NaN payloads included).
+    Binary,
+}
+
 /// Fault-tolerance configuration of a co-search run. The default disables
 /// everything — no checkpoints are written, no sentinel checks run, and no
 /// faults are injected — so existing behaviour is unchanged unless opted
@@ -236,6 +366,28 @@ pub struct FaultConfig {
     pub lr_backoff: f32,
     /// Deterministic fault-injection schedule (empty: no faults).
     pub plan: FaultPlan,
+    /// Payload encoding for on-disk checkpoints (JSON by default; recovery
+    /// reads either format regardless of this knob).
+    pub format: CheckpointFormat,
+    /// Enable the supervision layer: phase-entry snapshots with bounded
+    /// retries, an isolation-mode thread pool (lane quarantine + chunk
+    /// re-execution + worker respawn), stall watchdogs and the degradation
+    /// ladder. Implied when the plan schedules a supervised fault.
+    pub supervision: bool,
+    /// How many times a failed (panicked) phase is retried from its entry
+    /// snapshot before the run surfaces
+    /// [`crate::SearchError::RunAbort`].
+    pub max_phase_retries: u32,
+    /// Degradation ladder: after this many lane faults at the current
+    /// thread count, halve it (N → N/2 → … → 1) instead of aborting.
+    /// `0` disables the ladder.
+    pub ladder_fault_threshold: u32,
+    /// Stall watchdog: a phase's soft deadline is
+    /// `max(stall_min_ms, stall_multiplier × EWMA of its past durations)`.
+    pub stall_multiplier: u32,
+    /// Floor (in milliseconds) for the watchdog's soft deadline, so fast
+    /// phases with sub-millisecond EWMAs don't trip on scheduler jitter.
+    pub stall_min_ms: u64,
 }
 
 impl Default for FaultConfig {
@@ -248,6 +400,12 @@ impl Default for FaultConfig {
             max_rollbacks: 3,
             lr_backoff: 1.0,
             plan: FaultPlan::none(),
+            format: CheckpointFormat::Json,
+            supervision: false,
+            max_phase_retries: 2,
+            ladder_fault_threshold: 4,
+            stall_multiplier: 8,
+            stall_min_ms: 40,
         }
     }
 }
@@ -297,5 +455,33 @@ mod tests {
         assert!(cfg.plan.faults.is_empty());
         assert!(!cfg.plan.has_abort());
         assert_eq!(cfg.lr_backoff, 1.0);
+        assert!(!cfg.supervision);
+        assert!(!cfg.plan.has_supervised_fault());
+        assert_eq!(cfg.format, CheckpointFormat::Json);
+    }
+
+    #[test]
+    fn supervised_faults_fire_once_per_schedule_entry() {
+        let plan = FaultPlan::none()
+            .worker_panic_at("rollout", 3)
+            .worker_panic_at("rollout", 3)
+            .env_panic_at(1, 4)
+            .stall_at("update", 5, 250);
+        assert!(plan.has_supervised_fault());
+        assert!(!plan.has_abort());
+        let mut driver = FaultDriver::new(plan);
+
+        assert!(!driver.worker_panic_now("update", 3), "wrong phase");
+        assert!(driver.worker_panic_now("rollout", 3));
+        assert!(driver.worker_panic_now("rollout", 3), "second entry fires");
+        assert!(!driver.worker_panic_now("rollout", 3), "both spent");
+
+        assert_eq!(driver.env_panic_now(3), None);
+        assert_eq!(driver.env_panic_now(4), Some(1));
+        assert_eq!(driver.env_panic_now(4), None, "one-shot");
+
+        assert_eq!(driver.stall_now("rollout", 5), None, "wrong phase");
+        assert_eq!(driver.stall_now("update", 5), Some(250));
+        assert_eq!(driver.stall_now("update", 5), None, "one-shot");
     }
 }

@@ -34,16 +34,19 @@
 
 #![deny(missing_docs)]
 
+mod binfmt;
 mod checkpoint;
 mod config;
 mod fault;
 mod pipeline;
 mod result;
 mod robustness;
+mod supervision;
 
 pub use checkpoint::{config_fingerprint, CheckpointError, SearchCheckpoint, SEARCH_CHECKPOINT_VERSION};
 pub use config::{CoSearchConfig, SearchScheme};
-pub use fault::{Fault, FaultConfig, FaultPlan};
+pub use fault::{CheckpointFormat, Fault, FaultConfig, FaultPlan};
 pub use pipeline::{per_op_costs, preflight, CoSearch, SearchError};
 pub use result::CoSearchResult;
 pub use robustness::{RobustnessEvent, RobustnessEventKind, RobustnessLog};
+pub use supervision::DegradationLadder;

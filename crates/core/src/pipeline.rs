@@ -10,9 +10,10 @@ use crate::checkpoint::{
     SEARCH_CHECKPOINT_VERSION,
 };
 use crate::config::{CoSearchConfig, SearchScheme};
-use crate::fault::FaultDriver;
+use crate::fault::{CheckpointFormat, FaultDriver};
 use crate::result::CoSearchResult;
 use crate::robustness::{RobustnessEventKind, RobustnessLog};
+use crate::supervision::Supervisor;
 use a3cs_accel::{DasEngine, PerfModel};
 use a3cs_check::{check_search_setup, check_supernet, max_arch_depth, Report};
 use a3cs_drl::{
@@ -25,7 +26,10 @@ use a3cs_nas::SuperNet;
 use a3cs_nn::Param;
 use a3cs_tensor::{Tape, Tensor};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Why [`CoSearch::run_guarded`] stopped before the search completed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +42,21 @@ pub enum SearchError {
         /// Co-search iteration at which the simulated crash fired.
         iteration: u64,
     },
+    /// A supervised phase kept panicking past its retry budget (or its
+    /// entry snapshot failed to restore): the supervisor gave up on
+    /// in-process containment and surfaced the failure as a value instead
+    /// of a panic. `log` carries the full attempt history.
+    RunAbort {
+        /// Name of the supervised phase that exhausted its retries.
+        phase: String,
+        /// Co-search iteration at which the phase kept failing.
+        iteration: u64,
+        /// Attempts made (initial execution plus retries).
+        attempts: u32,
+        /// Complete robustness log up to the abort, including one
+        /// `phase-failed` event per attempt.
+        log: RobustnessLog,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -46,11 +65,30 @@ impl fmt::Display for SearchError {
             SearchError::Aborted { iteration } => {
                 write!(f, "search aborted by injected crash at iteration {iteration}")
             }
+            SearchError::RunAbort {
+                phase,
+                iteration,
+                attempts,
+                ..
+            } => write!(
+                f,
+                "supervised phase {phase} failed {attempts} time(s) at iteration {iteration} \
+                 and exhausted its retry budget"
+            ),
         }
     }
 }
 
 impl std::error::Error for SearchError {}
+
+/// Best-effort description of a panic payload for the robustness log.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 /// Everything `run_guarded` mutates per iteration, gathered so the
 /// checkpoint capture/apply paths see one coherent bundle.
@@ -350,14 +388,135 @@ impl CoSearch {
         Ok(())
     }
 
+    /// Run `f` as one supervised phase (see `DESIGN.md` §12).
+    ///
+    /// Without a supervisor this is a plain call. With one, the phase-entry
+    /// state is snapshotted, the phase runs under the supervisor's
+    /// isolation-mode pool with the stall watchdog armed, and a panic
+    /// anywhere inside the phase restores the snapshot and retries —
+    /// bounded by `max_phase_retries` — before surfacing
+    /// [`SearchError::RunAbort`]. The snapshot restore is exact (PR 3's
+    /// checkpoint machinery), so a retry that succeeds replays the same
+    /// trajectory a fault-free run would have taken, bit for bit.
+    fn supervised<T>(
+        &mut self,
+        st: &mut RunState,
+        driver: &mut FaultDriver,
+        sup: &mut Option<Supervisor>,
+        phase: &'static str,
+        f: impl Fn(&mut Self, &mut RunState, &mut FaultDriver) -> T,
+    ) -> Result<T, SearchError> {
+        let Some(sup) = sup.as_mut() else {
+            return Ok(f(self, st, driver));
+        };
+        let snapshot = self.capture_checkpoint(st);
+        let mut attempts: u32 = 0;
+        loop {
+            if driver.worker_panic_now(phase, st.iteration) {
+                st.log.push(
+                    st.iteration,
+                    RobustnessEventKind::FaultInjected,
+                    format!("worker panic armed during {phase}"),
+                );
+                sup.pool.arm_worker_panic();
+            }
+            let stall_ms = driver.stall_now(phase, st.iteration);
+            sup.watchdog.arm(phase, st.iteration, sup.deadline(phase));
+            let started = Instant::now();
+            if let Some(millis) = stall_ms {
+                st.log.push(
+                    st.iteration,
+                    RobustnessEventKind::FaultInjected,
+                    format!("{phase} stalled for {millis} ms"),
+                );
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            let pool = Arc::clone(&sup.pool);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                threadpool::with_pool(pool, || f(&mut *self, st, driver))
+            }));
+            sup.watchdog.disarm();
+            sup.timings.record(phase, started.elapsed());
+            for stall in sup.watchdog.drain_stalls() {
+                st.log.push(
+                    stall.iteration,
+                    RobustnessEventKind::PhaseStalled,
+                    format!(
+                        "{} overran its soft deadline of {} ms",
+                        stall.phase, stall.deadline_ms
+                    ),
+                );
+            }
+            sup.absorb_pool_health(&mut st.log, st.iteration);
+            match outcome {
+                Ok(value) => return Ok(value),
+                Err(payload) => {
+                    attempts += 1;
+                    st.log.push(
+                        st.iteration,
+                        RobustnessEventKind::PhaseFailed,
+                        format!(
+                            "{phase} attempt {attempts} panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    );
+                    // Restore the phase-entry snapshot. The log is monotone
+                    // and must survive the restore.
+                    let events = std::mem::take(&mut st.log.events);
+                    let restored = self.apply_checkpoint(&snapshot, st);
+                    st.log.events = events;
+                    if let Err(e) = restored {
+                        st.log.push(
+                            st.iteration,
+                            RobustnessEventKind::RetriesExhausted,
+                            format!("{phase} entry snapshot failed to restore: {e}"),
+                        );
+                        return Err(SearchError::RunAbort {
+                            phase: phase.to_string(),
+                            iteration: st.iteration,
+                            attempts,
+                            log: st.log.clone(),
+                        });
+                    }
+                    if attempts > sup.max_retries {
+                        st.log.push(
+                            st.iteration,
+                            RobustnessEventKind::RetriesExhausted,
+                            format!(
+                                "{phase} panicked {attempts} time(s), retry budget {}",
+                                sup.max_retries
+                            ),
+                        );
+                        return Err(SearchError::RunAbort {
+                            phase: phase.to_string(),
+                            iteration: st.iteration,
+                            attempts,
+                            log: st.log.clone(),
+                        });
+                    }
+                    st.log.push(
+                        st.iteration,
+                        RobustnessEventKind::PhaseRetried,
+                        format!(
+                            "{phase} retrying from its entry snapshot (attempt {} of {})",
+                            attempts + 1,
+                            sup.max_retries + 1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     /// Run the full co-search (Alg. 1) against environments from
     /// `factory`, optionally distilling from `teacher`.
     ///
     /// # Panics
     ///
-    /// Panics if the fault plan schedules an [`crate::Fault::Abort`] —
-    /// simulated crashes end a run early, which only
-    /// [`CoSearch::run_guarded`] can express in its return type.
+    /// Panics if the fault plan schedules an [`crate::Fault::Abort`] or an
+    /// in-process fault (worker panic, env panic, stall) — injected faults
+    /// can end a run early, which only [`CoSearch::run_guarded`] can
+    /// express in its return type.
     pub fn run(
         &mut self,
         factory: &EnvFactory<'_>,
@@ -368,10 +527,15 @@ impl CoSearch {
             "the fault plan schedules an abort: call run_guarded, which \
              surfaces it as SearchError::Aborted"
         );
+        assert!(
+            !self.config.fault.plan.has_supervised_fault(),
+            "the fault plan schedules in-process faults: call run_guarded, \
+             which surfaces retry exhaustion as SearchError::RunAbort"
+        );
         match self.run_guarded(factory, teacher) {
             Ok(result) => result,
-            Err(SearchError::Aborted { .. }) => {
-                unreachable!("run_guarded only aborts on Fault::Abort, which was ruled out above")
+            Err(err) => {
+                unreachable!("run_guarded only fails on scheduled faults, ruled out above: {err}")
             }
         }
     }
@@ -379,8 +543,12 @@ impl CoSearch {
     /// [`CoSearch::run`] with the full fault-tolerance layer surfaced:
     /// auto-resume from the newest valid checkpoint in
     /// `config.fault.checkpoint_dir`, periodic atomic checkpoint writes,
-    /// divergence sentinels with bounded rollback, and deterministic fault
-    /// injection. Every robustness action taken is recorded in
+    /// divergence sentinels with bounded rollback, deterministic fault
+    /// injection, and (when `config.fault.supervision` is set or the plan
+    /// schedules an in-process fault) supervised execution: phase retries
+    /// from entry snapshots, lane quarantine with deterministic chunk
+    /// re-execution, stall watchdogs and the degradation ladder. Every
+    /// robustness action taken is recorded in
     /// [`CoSearchResult::robustness`].
     ///
     /// With the default [`crate::FaultConfig`] this is exactly `run`.
@@ -388,8 +556,9 @@ impl CoSearch {
     /// # Errors
     ///
     /// [`SearchError::Aborted`] when a scheduled [`crate::Fault::Abort`]
-    /// fires (only fault plans produce errors; real I/O or divergence
-    /// problems degrade gracefully and are logged instead).
+    /// fires, and [`SearchError::RunAbort`] when a supervised phase
+    /// exhausts its retry budget (real I/O or divergence problems degrade
+    /// gracefully and are logged instead).
     pub fn run_guarded(
         &mut self,
         factory: &EnvFactory<'_>,
@@ -432,7 +601,7 @@ impl CoSearch {
                 );
             }
             if let Some((iter, payload)) = recovery.checkpoint {
-                let outcome = SearchCheckpoint::from_json(&payload).and_then(|ck| {
+                let outcome = SearchCheckpoint::decode(&payload).and_then(|ck| {
                     let prior_events = std::mem::take(&mut st.log.events);
                     let applied = self.apply_checkpoint(&ck, &mut st);
                     // apply overwrites the log with the checkpoint's events
@@ -468,6 +637,16 @@ impl CoSearch {
                 }
             }
         }
+
+        // --- supervision: contain in-process faults instead of dying.
+        // Auto-enabled when the plan schedules one, so injected faults are
+        // never accidentally fatal.
+        let mut sup: Option<Supervisor> = (cfg.fault.supervision
+            || cfg.fault.plan.has_supervised_fault())
+        .then(|| {
+            let lanes = cfg.threads.unwrap_or_else(|| threadpool::current().threads());
+            Supervisor::new(&cfg.fault, lanes)
+        });
 
         let weight_params = self.agent.params();
         let alpha_params = self.supernet.arch().params();
@@ -505,7 +684,10 @@ impl CoSearch {
                 let _span = telemetry::span!("checkpoint_io");
                 let ck = self.capture_checkpoint(&st);
                 if let Some(store) = &store {
-                    let payload = ck.to_json();
+                    let payload = match cfg.fault.format {
+                        CheckpointFormat::Json => ck.to_json().into_bytes(),
+                        CheckpointFormat::Binary => ck.to_bytes(),
+                    };
                     telemetry::CHECKPOINT_BYTES.add(payload.len() as u64);
                     telemetry::CHECKPOINT_BYTES_HIST.record(payload.len() as u64);
                     match store.write(st.iteration, &payload) {
@@ -530,89 +712,119 @@ impl CoSearch {
             self.supernet.set_step(st.steps);
 
             // --- φ update (Eq. 5/9) on the current most-likely network.
-            {
+            self.supervised(&mut st, &mut driver, &mut sup, "das_sweep", |s, _st, _driver| {
                 let _span = telemetry::span!("das_sweep");
-                let proxy_layers = self.supernet.most_likely_layer_descs();
-                for _ in 0..cfg.das_steps_per_iter {
-                    let _ = self.das.step(&proxy_layers, &cfg.target);
+                let proxy_layers = s.supernet.most_likely_layer_descs();
+                for _ in 0..s.config.das_steps_per_iter {
+                    let _ = s.das.step(&proxy_layers, &s.config.target);
                 }
-            }
+            })?;
 
             // --- rollout + L_task.
-            let (runner, update_weights, update_alpha) = match cfg.scheme {
-                SearchScheme::BiLevel => {
-                    if st.iteration % 2 == 0 {
-                        (&mut st.train_runner, true, false)
-                    } else {
-                        match st.val_runner.as_mut() {
-                            Some(runner) => (runner, false, true),
-                            None => unreachable!("bilevel scheme constructs a validation runner"),
+            let use_val = matches!(cfg.scheme, SearchScheme::BiLevel) && st.iteration % 2 != 0;
+            let (update_weights, update_alpha) = match cfg.scheme {
+                SearchScheme::BiLevel => (!use_val, use_val),
+                _ => (true, true),
+            };
+            let rollout =
+                self.supervised(&mut st, &mut driver, &mut sup, "rollout", |s, st, driver| {
+                    if let Some(lane) = driver.env_panic_now(st.iteration) {
+                        st.log.push(
+                            st.iteration,
+                            RobustnessEventKind::FaultInjected,
+                            format!("environment lane {lane} poisoned to panic"),
+                        );
+                        let armed = if use_val {
+                            st.val_runner.as_ref()
+                        } else {
+                            Some(&st.train_runner)
+                        };
+                        if let Some(runner) = armed {
+                            runner.arm_panic(lane);
                         }
                     }
-                }
-                _ => (&mut st.train_runner, true, true),
-            };
-            let rollout = runner.collect(&self.agent, cfg.rollout_len);
-            st.steps += rollout.transitions() as u64;
+                    let runner = if use_val {
+                        match st.val_runner.as_mut() {
+                            Some(runner) => runner,
+                            None => unreachable!("bilevel scheme constructs a validation runner"),
+                        }
+                    } else {
+                        &mut st.train_runner
+                    };
+                    let rollout = runner.collect(&s.agent, s.config.rollout_len);
+                    st.steps += rollout.transitions() as u64;
+                    rollout
+                })?;
 
-            let loss_span = telemetry::span!("loss_backward");
-            let tape = Tape::new();
-            self.agent.zero_grad();
-            self.supernet.arch().zero_grad();
-            let (mut loss, _stats) =
-                a2c_losses(&tape, &self.agent, &rollout, &cfg.a2c, &distill, teacher);
-            if driver.nan_loss_now(st.iteration) {
-                st.log.push(
-                    st.iteration,
-                    RobustnessEventKind::FaultInjected,
-                    "loss poisoned with NaN",
-                );
-                loss = loss.scale(f32::NAN);
-            }
-
-            // --- divergence sentinel: a non-finite loss is caught before
-            // it can touch the parameters; a non-finite parameter is
-            // caught right after the updates that produced it.
-            let mut tripped: Option<String> = None;
-            if cfg.fault.sentinel {
-                let value = loss.value().item();
-                if !value.is_finite() {
-                    st.log.push(
-                        st.iteration,
-                        RobustnessEventKind::NonFiniteLoss,
-                        format!("loss = {value}"),
-                    );
-                    tripped = Some(format!("non-finite loss {value}"));
-                }
-            }
-            if tripped.is_none() {
-                loss.backward();
-            }
-            drop(loss_span);
-            if tripped.is_none() {
-                let _span = telemetry::span!("optimizer_step");
-                if update_alpha {
-                    // --- λ·L_cost gradient on the activated ops (Eq. 8).
-                    let sampled = self.supernet.last_sampled_indices();
-                    self.apply_cost_gradient(&sampled);
-                    st.alpha_opt.set_lr(cfg.alpha_lr * st.lr_scale);
-                    st.alpha_opt.step(&alpha_params);
-                }
-                if update_weights {
-                    let _ = clip_grad_norm(&weight_params, cfg.max_grad_norm);
-                    st.weight_opt.set_lr(schedule.at(st.steps) * st.lr_scale);
-                    st.weight_opt.step(&weight_params);
-                }
-                if cfg.fault.sentinel {
-                    let bad = first_non_finite(&weight_params, "agent")
-                        .or_else(|| first_non_finite(&alpha_params, "alpha"));
-                    if let Some(bad) = bad {
-                        st.log
-                            .push(st.iteration, RobustnessEventKind::NonFiniteParam, bad.clone());
-                        tripped = Some(bad);
+            // --- the update: loss + backward + both optimizers, one
+            // supervised unit. The cost gradient (Eq. 8) accumulates into
+            // the α grads, which are not checkpointed — so the whole
+            // grad-producing + grad-consuming sequence must retry together.
+            let tripped =
+                self.supervised(&mut st, &mut driver, &mut sup, "update", |s, st, driver| {
+                    let loss_span = telemetry::span!("loss_backward");
+                    let tape = Tape::new();
+                    s.agent.zero_grad();
+                    s.supernet.arch().zero_grad();
+                    let (mut loss, _stats) =
+                        a2c_losses(&tape, &s.agent, &rollout, &cfg.a2c, &distill, teacher);
+                    if driver.nan_loss_now(st.iteration) {
+                        st.log.push(
+                            st.iteration,
+                            RobustnessEventKind::FaultInjected,
+                            "loss poisoned with NaN",
+                        );
+                        loss = loss.scale(f32::NAN);
                     }
-                }
-            }
+
+                    // --- divergence sentinel: a non-finite loss is caught
+                    // before it can touch the parameters; a non-finite
+                    // parameter right after the updates that produced it.
+                    let mut tripped: Option<String> = None;
+                    if cfg.fault.sentinel {
+                        let value = loss.value().item();
+                        if !value.is_finite() {
+                            st.log.push(
+                                st.iteration,
+                                RobustnessEventKind::NonFiniteLoss,
+                                format!("loss = {value}"),
+                            );
+                            tripped = Some(format!("non-finite loss {value}"));
+                        }
+                    }
+                    if tripped.is_none() {
+                        loss.backward();
+                    }
+                    drop(loss_span);
+                    if tripped.is_none() {
+                        let _span = telemetry::span!("optimizer_step");
+                        if update_alpha {
+                            // --- λ·L_cost gradient on the activated ops (Eq. 8).
+                            let sampled = s.supernet.last_sampled_indices();
+                            s.apply_cost_gradient(&sampled);
+                            st.alpha_opt.set_lr(cfg.alpha_lr * st.lr_scale);
+                            st.alpha_opt.step(&alpha_params);
+                        }
+                        if update_weights {
+                            let _ = clip_grad_norm(&weight_params, cfg.max_grad_norm);
+                            st.weight_opt.set_lr(schedule.at(st.steps) * st.lr_scale);
+                            st.weight_opt.step(&weight_params);
+                        }
+                        if cfg.fault.sentinel {
+                            let bad = first_non_finite(&weight_params, "agent")
+                                .or_else(|| first_non_finite(&alpha_params, "alpha"));
+                            if let Some(bad) = bad {
+                                st.log.push(
+                                    st.iteration,
+                                    RobustnessEventKind::NonFiniteParam,
+                                    bad.clone(),
+                                );
+                                tripped = Some(bad);
+                            }
+                        }
+                    }
+                    tripped
+                })?;
             if let Some(reason) = tripped {
                 if let Some(good) = last_good.clone() {
                     if st.rollbacks_left > 0 {
@@ -660,20 +872,22 @@ impl CoSearch {
 
             // --- periodic evaluation of the argmax network (Fig. 2 data).
             if st.steps >= st.next_eval {
-                let protocol = EvalProtocol {
-                    episodes: cfg.eval_episodes,
-                    noop_max: 8,
-                    max_steps: cfg.eval_max_steps,
-                    seed: self.seed ^ st.steps,
-                    greedy: false,
-                };
-                self.supernet.set_eval_sampling(false);
-                let score = evaluate(&self.agent, factory, &protocol);
-                self.supernet.set_eval_sampling(true);
-                st.score_curve.push((st.steps, score));
-                st.alpha_entropy_curve
-                    .push((st.steps, self.supernet.arch().mean_entropy()));
-                st.next_eval += cfg.eval_every;
+                self.supervised(&mut st, &mut driver, &mut sup, "eval", |s, st, _driver| {
+                    let protocol = EvalProtocol {
+                        episodes: s.config.eval_episodes,
+                        noop_max: 8,
+                        max_steps: s.config.eval_max_steps,
+                        seed: s.seed ^ st.steps,
+                        greedy: false,
+                    };
+                    s.supernet.set_eval_sampling(false);
+                    let score = evaluate(&s.agent, factory, &protocol);
+                    s.supernet.set_eval_sampling(true);
+                    st.score_curve.push((st.steps, score));
+                    st.alpha_entropy_curve
+                        .push((st.steps, s.supernet.arch().mean_entropy()));
+                    st.next_eval += s.config.eval_every;
+                })?;
             }
         }
 

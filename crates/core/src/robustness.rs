@@ -35,6 +35,22 @@ pub enum RobustnessEventKind {
     NoCheckpointToRollBackTo,
     /// A configured fault from the injection plan fired.
     FaultInjected,
+    /// A supervised phase panicked; its entry snapshot was restored.
+    PhaseFailed,
+    /// A failed phase was retried from its entry snapshot.
+    PhaseRetried,
+    /// A failed phase exhausted its retry budget; the run surfaced
+    /// [`crate::SearchError::RunAbort`].
+    RetriesExhausted,
+    /// A phase overran the stall watchdog's soft deadline.
+    PhaseStalled,
+    /// A pool worker lane panicked and was quarantined (its restartable
+    /// chunks, if any, were re-executed on the supervising thread).
+    LaneQuarantined,
+    /// A replacement worker was spawned for a quarantined lane.
+    WorkerRespawned,
+    /// The degradation ladder stepped the supervised thread count down.
+    LadderStepped,
 }
 
 impl RobustnessEventKind {
@@ -52,7 +68,46 @@ impl RobustnessEventKind {
             RobustnessEventKind::RollbackBudgetExhausted => "rollback-budget-exhausted",
             RobustnessEventKind::NoCheckpointToRollBackTo => "no-checkpoint-to-roll-back-to",
             RobustnessEventKind::FaultInjected => "fault-injected",
+            RobustnessEventKind::PhaseFailed => "phase-failed",
+            RobustnessEventKind::PhaseRetried => "phase-retried",
+            RobustnessEventKind::RetriesExhausted => "retries-exhausted",
+            RobustnessEventKind::PhaseStalled => "phase-stalled",
+            RobustnessEventKind::LaneQuarantined => "lane-quarantined",
+            RobustnessEventKind::WorkerRespawned => "worker-respawned",
+            RobustnessEventKind::LadderStepped => "ladder-stepped",
         }
+    }
+
+    /// Every kind, in a stable order (the binary checkpoint codec encodes a
+    /// kind as its index here; appending new kinds keeps old payloads
+    /// readable).
+    #[must_use]
+    pub fn all() -> &'static [RobustnessEventKind] {
+        &[
+            RobustnessEventKind::Resumed,
+            RobustnessEventKind::CorruptCheckpointSkipped,
+            RobustnessEventKind::ResumeRejected,
+            RobustnessEventKind::CheckpointWriteFailed,
+            RobustnessEventKind::NonFiniteLoss,
+            RobustnessEventKind::NonFiniteParam,
+            RobustnessEventKind::RolledBack,
+            RobustnessEventKind::RollbackBudgetExhausted,
+            RobustnessEventKind::NoCheckpointToRollBackTo,
+            RobustnessEventKind::FaultInjected,
+            RobustnessEventKind::PhaseFailed,
+            RobustnessEventKind::PhaseRetried,
+            RobustnessEventKind::RetriesExhausted,
+            RobustnessEventKind::PhaseStalled,
+            RobustnessEventKind::LaneQuarantined,
+            RobustnessEventKind::WorkerRespawned,
+            RobustnessEventKind::LadderStepped,
+        ]
+    }
+
+    /// Inverse of [`RobustnessEventKind::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::all().iter().copied().find(|k| k.label() == label)
     }
 }
 
@@ -64,7 +119,7 @@ impl fmt::Display for RobustnessEventKind {
 
 /// One robustness action, stamped with the co-search iteration it happened
 /// at.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RobustnessEvent {
     /// Co-search iteration (outer-loop index, not env steps) at the time.
     pub iteration: u64,
@@ -82,7 +137,7 @@ impl fmt::Display for RobustnessEvent {
 
 /// Ordered log of every robustness action a run took. Empty for a run that
 /// needed none.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RobustnessLog {
     /// Events in the order they happened.
     pub events: Vec<RobustnessEvent>,
@@ -147,6 +202,14 @@ mod tests {
         let json = serde_json::to_string(&log).expect("serialises");
         let back: RobustnessLog = serde_json::from_str(&json).expect("parses");
         assert_eq!(log, back);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for &kind in RobustnessEventKind::all() {
+            assert_eq!(RobustnessEventKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(RobustnessEventKind::from_label("no-such-kind"), None);
     }
 
     #[test]

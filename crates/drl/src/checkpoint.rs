@@ -117,6 +117,16 @@ impl From<std::io::Error> for SaveCheckpointError {
 /// Returns any filesystem error encountered; the temporary file is removed
 /// on failure when possible.
 pub fn write_atomic(path: &Path, contents: &str) -> Result<(), std::io::Error> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// [`write_atomic`] for binary contents.
+///
+/// # Errors
+///
+/// Returns any filesystem error encountered; the temporary file is removed
+/// on failure when possible.
+pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> Result<(), std::io::Error> {
     let mut tmp_name = path
         .file_name()
         .map_or_else(|| std::ffi::OsString::from("checkpoint"), ToOwned::to_owned);
@@ -156,6 +166,15 @@ pub fn seal_envelope(payload: &str) -> String {
         "{ENVELOPE_MAGIC} fnv1a={:016x}\n{payload}",
         fnv1a64(payload.as_bytes())
     )
+}
+
+/// [`seal_envelope`] for binary payloads: the same ASCII header line
+/// followed by the payload bytes verbatim.
+#[must_use]
+pub fn seal_envelope_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut sealed = format!("{ENVELOPE_MAGIC} fnv1a={:016x}\n", fnv1a64(payload)).into_bytes();
+    sealed.extend_from_slice(payload);
+    sealed
 }
 
 /// Why an envelope failed verification.
@@ -202,9 +221,30 @@ impl Error for EnvelopeError {}
 /// [`EnvelopeError`] when the header is malformed or the checksum does not
 /// match the payload.
 pub fn unseal_envelope(text: &str) -> Result<&str, EnvelopeError> {
-    let Some((header, payload)) = text.split_once('\n') else {
+    let payload = unseal_envelope_bytes(text.as_bytes())?;
+    // The header split happens at an ASCII newline, so the payload is a
+    // char-boundary suffix of the UTF-8 input.
+    std::str::from_utf8(payload).map_err(|_| EnvelopeError::Malformed {
+        detail: "payload is not UTF-8".to_string(),
+    })
+}
+
+/// [`unseal_envelope`] for binary payloads.
+///
+/// # Errors
+///
+/// [`EnvelopeError`] when the header is malformed or the checksum does not
+/// match the payload.
+pub fn unseal_envelope_bytes(bytes: &[u8]) -> Result<&[u8], EnvelopeError> {
+    let Some(newline) = bytes.iter().position(|&b| b == b'\n') else {
         return Err(EnvelopeError::Malformed {
             detail: "no header line".to_string(),
+        });
+    };
+    let (header_bytes, payload) = (&bytes[..newline], &bytes[newline + 1..]);
+    let Ok(header) = std::str::from_utf8(header_bytes) else {
+        return Err(EnvelopeError::Malformed {
+            detail: "header line is not UTF-8".to_string(),
         });
     };
     let Some(rest) = header.strip_prefix(ENVELOPE_MAGIC) else {
@@ -222,7 +262,7 @@ pub fn unseal_envelope(text: &str) -> Result<&str, EnvelopeError> {
             detail: format!("unparsable checksum {hex:?}"),
         });
     };
-    let computed = fnv1a64(payload.as_bytes());
+    let computed = fnv1a64(payload);
     if stored != computed {
         return Err(EnvelopeError::Checksum { stored, computed });
     }
@@ -243,8 +283,9 @@ pub struct CheckpointStore {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Recovery {
     /// `(iteration, payload)` of the newest checkpoint that verified, if
-    /// any did.
-    pub checkpoint: Option<(u64, String)>,
+    /// any did. Payloads are opaque bytes — the producer decides the
+    /// format (JSON or a binary frame).
+    pub checkpoint: Option<(u64, Vec<u8>)>,
     /// One human-readable diagnostic per file that was skipped (unreadable,
     /// malformed, or failed its checksum), newest first.
     pub skipped: Vec<String>,
@@ -282,10 +323,10 @@ impl CheckpointStore {
     /// the file. Pruning failures are ignored — stale files cost disk, not
     /// correctness.
     #[must_use = "the Result reports failure and must be checked"]
-    pub fn write(&self, iteration: u64, payload: &str) -> Result<PathBuf, std::io::Error> {
+    pub fn write(&self, iteration: u64, payload: &[u8]) -> Result<PathBuf, std::io::Error> {
         fs::create_dir_all(&self.dir)?;
         let path = self.path_for(iteration);
-        write_atomic(&path, &seal_envelope(payload))?;
+        write_atomic_bytes(&path, &seal_envelope_bytes(payload))?;
         let files = self.candidates();
         for (_, stale) in files.iter().skip(self.keep) {
             fs::remove_file(stale).ok();
@@ -321,17 +362,17 @@ impl CheckpointStore {
     pub fn recover(&self) -> Recovery {
         let mut skipped = Vec::new();
         for (iteration, path) in self.candidates() {
-            let text = match fs::read_to_string(&path) {
-                Ok(t) => t,
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
                 Err(e) => {
                     skipped.push(format!("{}: unreadable: {e}", path.display()));
                     continue;
                 }
             };
-            match unseal_envelope(&text) {
+            match unseal_envelope_bytes(&bytes) {
                 Ok(payload) => {
                     return Recovery {
-                        checkpoint: Some((iteration, payload.to_string())),
+                        checkpoint: Some((iteration, payload.to_vec())),
                         skipped,
                     };
                 }
@@ -533,11 +574,32 @@ mod tests {
     }
 
     #[test]
+    fn binary_envelope_round_trips_non_utf8_payloads() {
+        let payload: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let sealed = seal_envelope_bytes(&payload);
+        assert_eq!(
+            unseal_envelope_bytes(&sealed).expect("round trip"),
+            payload.as_slice()
+        );
+        // A flipped payload byte fails the checksum.
+        let mut corrupt = sealed.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        assert!(matches!(
+            unseal_envelope_bytes(&corrupt),
+            Err(EnvelopeError::Checksum { .. })
+        ));
+        // The text API rejects binary payloads instead of panicking.
+        let lossy = String::from_utf8_lossy(&sealed).into_owned();
+        assert!(unseal_envelope(&lossy).is_err());
+    }
+
+    #[test]
     fn store_rotates_and_recovers_newest() {
         let dir = test_dir("store_rotates_and_recovers_newest");
         let store = CheckpointStore::new(&dir, 2);
         for i in [3u64, 7, 11] {
-            store.write(i, &format!("payload-{i}")).expect("write");
+            store.write(i, format!("payload-{i}").as_bytes()).expect("write");
         }
         let files = store.candidates();
         assert_eq!(
@@ -546,7 +608,7 @@ mod tests {
             "oldest checkpoint must be pruned"
         );
         let rec = store.recover();
-        assert_eq!(rec.checkpoint, Some((11, "payload-11".to_string())));
+        assert_eq!(rec.checkpoint, Some((11, b"payload-11".to_vec())));
         assert!(rec.skipped.is_empty(), "{:?}", rec.skipped);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -555,14 +617,14 @@ mod tests {
     fn store_falls_back_past_corrupt_checkpoints() {
         let dir = test_dir("store_falls_back_past_corrupt_checkpoints");
         let store = CheckpointStore::new(&dir, 3);
-        store.write(1, "good-old").expect("write");
-        store.write(2, "good-new").expect("write");
+        store.write(1, b"good-old").expect("write");
+        store.write(2, b"good-new").expect("write");
         // Corrupt the newest on disk (simulating a torn write from a
         // pre-atomic producer or disk corruption).
         std::fs::write(store.path_for(2), "A3CS-CKPT v2 fnv1a=0000000000000000\nbad")
             .expect("corrupt");
         let rec = store.recover();
-        assert_eq!(rec.checkpoint, Some((1, "good-old".to_string())));
+        assert_eq!(rec.checkpoint, Some((1, b"good-old".to_vec())));
         assert_eq!(rec.skipped.len(), 1, "{:?}", rec.skipped);
         assert!(rec.skipped[0].contains("checksum"), "{:?}", rec.skipped);
 

@@ -48,8 +48,9 @@ mod trainer;
 pub use a2c::{a2c_losses, A2cConfig, LossStats};
 pub use agent::ActorCritic;
 pub use checkpoint::{
-    fnv1a64, seal_envelope, unseal_envelope, write_atomic, Checkpoint, CheckpointStore,
-    EnvelopeError, LoadCheckpointError, Recovery, SaveCheckpointError,
+    fnv1a64, seal_envelope, seal_envelope_bytes, unseal_envelope, unseal_envelope_bytes,
+    write_atomic, write_atomic_bytes, Checkpoint, CheckpointStore, EnvelopeError,
+    LoadCheckpointError, Recovery, SaveCheckpointError,
 };
 pub use distill::{DistillConfig, DistillMode};
 pub use eval::{evaluate, EvalProtocol};

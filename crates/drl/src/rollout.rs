@@ -15,6 +15,7 @@ use a3cs_envs::{EnvState, Environment, RestoreError};
 use a3cs_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Seed for lane `lane`'s action-sampling stream: a SplitMix64-style
 /// finalizer over the runner seed and lane index, so streams are
@@ -107,7 +108,14 @@ pub struct RolloutRunner {
     envs: Vec<Box<dyn Environment>>,
     current_obs: Vec<Vec<f32>>,
     lane_rngs: Vec<StdRng>,
+    /// One-shot fault injection: the next step of this lane panics (the
+    /// flag clears *before* the panic, so a supervised retry of the phase
+    /// replays cleanly). Deliberately not part of [`RunnerState`].
+    armed_panic: AtomicUsize,
 }
+
+/// Sentinel for [`RolloutRunner::armed_panic`]: no lane is poisoned.
+const NO_ARMED_PANIC: usize = usize::MAX;
 
 impl RolloutRunner {
     /// Create `n_envs` environments from `factory` with distinct seeds.
@@ -129,7 +137,15 @@ impl RolloutRunner {
             envs,
             current_obs,
             lane_rngs,
+            armed_panic: AtomicUsize::new(NO_ARMED_PANIC),
         }
+    }
+
+    /// Arm a one-shot panic on `lane`: its next [`RolloutRunner::collect`]
+    /// step panics once (deterministic fault injection for supervision
+    /// tests). Lanes out of range never fire.
+    pub fn arm_panic(&self, lane: usize) {
+        self.armed_panic.store(lane, Ordering::SeqCst);
     }
 
     /// Number of parallel environments.
@@ -196,9 +212,23 @@ impl RolloutRunner {
                 })
                 .collect();
             let pd = probs.data();
+            let armed = &self.armed_panic;
             threadpool::current().parallel_chunks_mut(&mut slots, |start, chunk| {
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     let lane = start + i;
+                    // Injected lane fault: clears before unwinding, so it is
+                    // transient by construction.
+                    assert!(
+                        armed
+                            .compare_exchange(
+                                lane,
+                                NO_ARMED_PANIC,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst
+                            )
+                            .is_err(),
+                        "injected environment panic on lane {lane}"
+                    );
                     let row = &pd[lane * n_actions..(lane + 1) * n_actions];
                     let a = sample_index(row, slot.rng);
                     let out = slot.env.step(a);

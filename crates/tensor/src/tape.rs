@@ -80,6 +80,7 @@ impl Tape {
 
     /// Record a leaf (input) node holding `value`. Its gradient is
     /// retrievable through [`Var::grad`] after a backward pass.
+    #[must_use]
     pub fn leaf(&self, value: Tensor) -> Var {
         self.push(Rc::new(value), None, None)
     }
@@ -87,6 +88,7 @@ impl Tape {
     /// Record a constant node: like a leaf, but never receives gradient
     /// storage of interest (its gradient is still computed and discarded).
     /// Semantically identical to [`Tape::leaf`]; exists for call-site clarity.
+    #[must_use]
     pub fn constant(&self, value: Tensor) -> Var {
         self.leaf(value)
     }
@@ -94,6 +96,7 @@ impl Tape {
     /// Record a parameter node: a leaf whose gradient is additionally
     /// accumulated into `sink` when a backward pass completes. The `nn`
     /// crate uses this to route gradients to optimiser state.
+    #[must_use]
     pub fn param(&self, value: Tensor, sink: Rc<RefCell<Tensor>>) -> Var {
         self.push(Rc::new(value), None, Some(sink))
     }

@@ -16,6 +16,9 @@ cargo test -q --test fault_tolerance
 echo "==> telemetry smoke (tiny co-search, JSONL schema + phase spans)"
 cargo run -q --release -p a3cs-bench --bin telemetry_smoke
 
+echo "==> supervision smoke (worker panic + stall contained in-process)"
+cargo run -q --release -p a3cs-bench --bin supervision_smoke
+
 echo "==> a3cs-check lint ratchet"
 cargo run -q -p a3cs-check --bin lint
 

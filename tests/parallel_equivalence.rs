@@ -2,10 +2,12 @@
 //! must produce bit-identical results at every thread count — rollouts,
 //! evaluation scores and conv2d forward/backward, same seeds throughout.
 
+use a3cs::core::DegradationLadder;
 use a3cs::drl::{collect_rollout, evaluate, ActorCritic, EvalProtocol, Rollout};
 use a3cs::envs::{make_env, Environment};
 use a3cs::nn::resnet;
 use a3cs::tensor::{Conv2dGeometry, Tape, Tensor};
+use proptest::prelude::*;
 
 fn breakout(seed: u64) -> Box<dyn Environment> {
     make_env("Breakout", seed).expect("Breakout exists")
@@ -75,6 +77,59 @@ fn conv2d_forward_backward_bit_identical_across_thread_counts() {
     let seq = threadpool::with_threads(1, run);
     let par = threadpool::with_threads(4, run);
     assert_eq!(seq, par);
+}
+
+#[test]
+fn rollouts_bit_identical_at_every_ladder_level() {
+    // The degradation ladder halves the thread count on repeated lane
+    // faults: 8 → 4 → 2 → 1. A supervised run that steps mid-search mixes
+    // phases executed at different levels, so equivalence must hold at
+    // every rung the ladder can visit — not just the endpoints.
+    let agent = resnet20_agent(7);
+    let run = || collect_rollout(&agent, &breakout, 4, 5, 23);
+    let mut ladder = DegradationLadder::new(8, 1);
+    let reference = threadpool::with_threads(ladder.threads(), run);
+    while let Some(next) = ladder.record_faults(1) {
+        let stepped = threadpool::with_threads(next, run);
+        assert_rollouts_identical(&reference, &stepped);
+    }
+    assert_eq!(ladder.threads(), 1, "ladder bottoms out at serial");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The ladder is pure state: for any starting width, threshold and
+    // fault schedule, its step sequence is deterministic, strictly
+    // halving, never below one thread, and inert once the threshold is
+    // zero (disabled) or the pool is already serial.
+    #[test]
+    fn ladder_step_sequence_is_deterministic_and_halving(
+        threads in 1usize..=64,
+        threshold in 0u32..=5,
+        faults in prop::collection::vec(0u32..=6, 0..12),
+    ) {
+        let mut a = DegradationLadder::new(threads, threshold);
+        let mut b = DegradationLadder::new(threads, threshold);
+        let mut width = a.threads();
+        prop_assert_eq!(width, threads.max(1));
+        for &n in &faults {
+            let step_a = a.record_faults(u64::from(n));
+            let step_b = b.record_faults(u64::from(n));
+            // Same inputs, same steps: the ladder has no hidden state.
+            prop_assert_eq!(step_a, step_b);
+            if threshold == 0 || width == 1 {
+                prop_assert_eq!(step_a, None);
+            }
+            if let Some(next) = step_a {
+                // Each announced step halves at least once, and halving
+                // repeatedly can only land on a smaller, nonzero width.
+                prop_assert!(next >= 1 && next <= width / 2);
+                width = next;
+            }
+            prop_assert_eq!(a.threads(), width);
+        }
+    }
 }
 
 #[test]

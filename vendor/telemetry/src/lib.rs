@@ -16,6 +16,10 @@
 //!   re-parents queued tasks onto the span that forked them (via
 //!   [`current_span_id`] + [`with_parent_span`]), so work done by pool
 //!   workers attributes to the phase that requested it.
+//! - **Lock-free hot path.** While a span is open on a thread, its records
+//!   buffer thread-locally and flush to the global collector only when the
+//!   outermost span (or the worker's adopted region) closes — recording
+//!   inside a supervised phase never contends on the collector mutex.
 //!
 //! Telemetry is process-global state. The intended lifecycle is one
 //! [`Session`] per run: `Session::start()` resets and enables collection,
@@ -37,7 +41,7 @@ pub use trace::{
     ChromeTraceSink, InstantRecord, JsonlSink, MemorySink, Record, Sink, SpanRecord, Trace,
 };
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -51,12 +55,28 @@ static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(0);
 /// Closed spans and instant events, in completion order.
 static COLLECTOR: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+/// Collection generation, bumped by [`reset`]. Thread-local buffers stamped
+/// with an older generation are stale (their session is over) and are
+/// discarded on next use instead of leaking into the new session.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Records buffered on one thread while a span is open there.
+struct LocalBuf {
+    generation: u64,
+    records: Vec<Record>,
+}
 
 thread_local! {
     /// Innermost open span on this thread (what new spans parent to).
     static CURRENT_SPAN: Cell<Option<u64>> = const { Cell::new(None) };
     /// Dense thread tag, lazily assigned (u64::MAX = unassigned).
     static THREAD_TAG: Cell<u64> = const { Cell::new(u64::MAX) };
+    /// Per-thread record buffer: while a span is open on this thread,
+    /// records accumulate here (no global lock on the hot path) and flush
+    /// to [`COLLECTOR`] when the outermost span closes.
+    static LOCAL_BUF: RefCell<LocalBuf> = const {
+        RefCell::new(LocalBuf { generation: 0, records: Vec::new() })
+    };
 }
 
 /// Acquire a mutex, recovering from poisoning (records are append-only, so a
@@ -89,7 +109,11 @@ pub fn disable() {
 }
 
 /// Clear all collected records and zero every metric and pool slot.
+/// Thread-local buffers elsewhere become stale (their generation no longer
+/// matches) and are discarded on next use.
 pub fn reset() {
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    LOCAL_BUF.with(|buf| buf.borrow_mut().records.clear());
     lock(&COLLECTOR).clear();
     metrics::reset_all();
     reset_pool();
@@ -121,8 +145,46 @@ pub fn thread_tag() -> u64 {
     })
 }
 
+/// Route a record: buffered per-thread while a span is open here (flushed
+/// at outermost span exit), straight to the global collector otherwise.
 pub(crate) fn push_record(record: Record) {
-    lock(&COLLECTOR).push(record);
+    if current_span_id().is_some() {
+        buffer_record(record);
+    } else {
+        lock(&COLLECTOR).push(record);
+    }
+}
+
+/// Append to this thread's buffer, discarding stale records from a
+/// previous collection generation first.
+fn buffer_record(record: Record) {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    LOCAL_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.generation != generation {
+            buf.records.clear();
+            buf.generation = generation;
+        }
+        buf.records.push(record);
+    });
+}
+
+/// Move this thread's buffered records into the global collector (in
+/// order). Stale buffers from a previous generation are dropped instead.
+fn flush_local() {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let records = LOCAL_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.generation != generation {
+            buf.records.clear();
+            buf.generation = generation;
+            return Vec::new();
+        }
+        std::mem::take(&mut buf.records)
+    });
+    if !records.is_empty() {
+        lock(&COLLECTOR).extend(records);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -154,7 +216,7 @@ impl Drop for SpanGuard {
         };
         let end_ns = now_ns();
         CURRENT_SPAN.with(|c| c.set(active.prev));
-        push_record(Record::Span(SpanRecord {
+        buffer_record(Record::Span(SpanRecord {
             id: active.id,
             parent: active.parent,
             name: active.name,
@@ -163,6 +225,10 @@ impl Drop for SpanGuard {
             end_ns,
             arg: active.arg,
         }));
+        // Outermost span on this thread: publish everything it buffered.
+        if active.prev.is_none() {
+            flush_local();
+        }
     }
 }
 
@@ -219,6 +285,12 @@ pub fn with_parent_span<R>(parent: Option<u64>, f: impl FnOnce() -> R) -> R {
         fn drop(&mut self) {
             let prev = self.0;
             CURRENT_SPAN.with(|c| c.set(prev));
+            // A pool worker's adopted region ends here: publish whatever it
+            // buffered (runs on unwind too, so a panicking task loses no
+            // records).
+            if prev.is_none() {
+                flush_local();
+            }
         }
     }
     let prev = CURRENT_SPAN.with(|c| c.replace(parent));
@@ -311,6 +383,7 @@ fn reset_pool() {
 /// not included (they commit on guard drop).
 #[must_use]
 pub fn snapshot() -> Trace {
+    flush_local();
     Trace {
         records: lock(&COLLECTOR).clone(),
         metrics: metrics::snapshot_all(),
@@ -322,6 +395,7 @@ pub fn snapshot() -> Trace {
 /// pool slots to zero.
 #[must_use]
 pub fn drain() -> Trace {
+    flush_local();
     let records = std::mem::take(&mut *lock(&COLLECTOR));
     let trace = Trace { records, metrics: metrics::snapshot_all(), pool: pool_snapshot() };
     metrics::reset_all();
@@ -463,6 +537,51 @@ mod tests {
         // Collector is empty after the drain.
         assert!(drain().records.is_empty());
         assert_eq!(ENV_STEPS.get(), 0);
+    }
+
+    #[test]
+    fn records_buffer_until_the_outermost_span_closes() {
+        let _gate = serial();
+        let session = Session::start();
+        {
+            let _outer = span!("outer");
+            instant("inside", "buffered");
+            {
+                let _inner = span!("inner");
+            }
+            // Everything so far is thread-local: the collector is empty.
+            assert!(lock(&COLLECTOR).is_empty());
+        }
+        // Outermost span closed: the buffer flushed in completion order.
+        assert_eq!(lock(&COLLECTOR).len(), 3);
+        let trace = session.finish();
+        let names: Vec<&str> = trace
+            .records
+            .iter()
+            .map(|r| match r {
+                Record::Span(s) => s.name,
+                Record::Instant(i) => i.name,
+            })
+            .collect();
+        assert_eq!(names, vec!["inside", "inner", "outer"]);
+    }
+
+    #[test]
+    fn stale_buffers_are_discarded_across_sessions() {
+        let _gate = serial();
+        let session = Session::start();
+        let guard = span!("left-open");
+        instant("stale", "from the old session");
+        drop(session);
+        // A new session must not inherit the old session's buffered
+        // records.
+        let session = Session::start();
+        drop(guard);
+        let trace = session.finish();
+        assert!(
+            trace.records.iter().all(|r| !matches!(r, Record::Instant(i) if i.name == "stale")),
+            "stale buffered records leaked into the new session"
+        );
     }
 
     #[test]

@@ -14,17 +14,35 @@
 //! sequential fallback (no worker threads are ever spawned). Tests that need
 //! a specific thread count without mutating the environment use
 //! [`with_threads`], which installs a thread-local override consulted by
-//! [`current`].
+//! [`current`]; [`with_pool`] installs a specific (possibly isolated) pool
+//! the same way.
 //!
 //! Nesting policy: only the thread that entered a parallel region forks.
 //! Workers (and the caller while it executes its own chunk) run any nested
 //! parallel call inline, which makes the pool deadlock-free by construction
 //! and avoids oversubscription without work stealing.
+//!
+//! # Isolation mode
+//!
+//! With [`ThreadPool::set_isolation`] enabled, a panic inside a queued
+//! **restartable** chunk (one dispatched by [`ThreadPool::parallel_for_chunks`]
+//! or [`ThreadPool::parallel_fill_rows`], whose closures are pure per-index
+//! fills) is contained instead of propagated: the worker records the chunk's
+//! range, quarantines itself (exits its loop) and spawns a replacement, and
+//! the calling thread deterministically re-executes the failed ranges inline,
+//! in ascending index order, after the join. Because each chunk is a pure
+//! function of its indices, re-execution yields the same bits the worker
+//! would have produced. Non-restartable chunks
+//! ([`ThreadPool::parallel_chunks_mut`] mutates caller state in place, e.g.
+//! stepping environments) still propagate their panic to the caller — a
+//! higher-level supervisor must restore state before retrying those. Lane
+//! health is surfaced through [`ThreadPool::stats`].
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
@@ -42,7 +60,7 @@ thread_local! {
     /// True while this thread is executing inside a parallel region (worker
     /// threads set it permanently). Nested parallel calls then run inline.
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
-    /// Thread-local pool override installed by [`with_threads`].
+    /// Thread-local pool override installed by [`with_threads`]/[`with_pool`].
     static OVERRIDE: RefCell<Option<Arc<ThreadPool>>> = const { RefCell::new(None) };
 }
 
@@ -52,20 +70,87 @@ pub fn in_parallel_region() -> bool {
     IN_PARALLEL.with(Cell::get)
 }
 
+/// Cumulative lane-health counters for one pool. All counters stay zero
+/// until a task panics; containment counters additionally require
+/// [`ThreadPool::set_isolation`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Panic count per execution lane (lane 0 is the calling thread).
+    pub lane_faults: Vec<u64>,
+    /// Worker lanes quarantined after a panic (isolation mode only).
+    pub quarantined: u64,
+    /// Replacement workers spawned for quarantined lanes.
+    pub respawned: u64,
+    /// Restartable chunks re-executed on the caller after containment.
+    pub reexecuted_chunks: u64,
+}
+
+impl PoolStats {
+    /// Total panics observed across all lanes.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.lane_faults.iter().sum()
+    }
+}
+
+/// State shared between a pool handle and its workers (health counters and
+/// the isolation/injection flags), so quarantined workers can respawn their
+/// own replacements without a back-reference to the `ThreadPool`.
+struct PoolShared {
+    isolation: AtomicBool,
+    /// One-shot injection: the next task dequeued by any worker panics
+    /// before running its closure (so containment re-execution is trivially
+    /// bit-identical — the chunk was never touched).
+    armed_panic: AtomicBool,
+    lane_faults: Vec<AtomicU64>,
+    quarantined: AtomicU64,
+    respawned: AtomicU64,
+    reexecuted: AtomicU64,
+    respawn_gen: AtomicU64,
+}
+
+impl PoolShared {
+    fn new(lanes: usize) -> Self {
+        PoolShared {
+            isolation: AtomicBool::new(false),
+            armed_panic: AtomicBool::new(false),
+            lane_faults: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            quarantined: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            reexecuted: AtomicU64::new(0),
+            respawn_gen: AtomicU64::new(0),
+        }
+    }
+
+    fn note_fault(&self, lane: usize) {
+        if let Some(slot) = self.lane_faults.get(lane) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Shared bookkeeping for one fork-join region.
 struct ScopeState {
     pending: Mutex<usize>,
     done: Condvar,
     /// First panic payload raised by a worker task, if any.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Whether a contained worker panic may be resolved by re-executing the
+    /// chunk on the caller (true only for pure per-index fill regions).
+    restartable: bool,
+    /// Ranges whose chunk panicked on a worker and was contained; the
+    /// caller re-executes them inline after the join.
+    failed: Mutex<Vec<Range<usize>>>,
 }
 
 impl ScopeState {
-    fn new(pending: usize) -> Self {
+    fn new(pending: usize, restartable: bool) -> Self {
         ScopeState {
             pending: Mutex::new(pending),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            restartable,
+            failed: Mutex::new(Vec::new()),
         }
     }
 
@@ -99,31 +184,70 @@ impl ScopeState {
 struct Job {
     task: Box<dyn FnOnce() + Send + 'static>,
     state: Arc<ScopeState>,
+    /// The index range this task covers, when it is a restartable chunk.
+    range: Option<Range<usize>>,
 }
 
-fn worker_main(rx: Arc<Mutex<Receiver<Job>>>, lane: usize) {
+fn worker_main(rx: Arc<Mutex<Receiver<Job>>>, shared: Arc<PoolShared>, lane: usize) {
     IN_PARALLEL.with(|f| f.set(true));
     loop {
         // Take the next job while holding the lock, then release it before
         // running so other workers can dequeue concurrently.
         let job = {
-            let rx = lock(&rx);
-            rx.recv()
+            let rx_guard = lock(&rx);
+            rx_guard.recv()
         };
-        let Ok(job) = job else { break };
+        let Ok(Job { task, state, range }) = job else {
+            break;
+        };
         // Observe-only busy-time attribution; the clock is read only while
         // telemetry is enabled and never influences scheduling.
         let started = telemetry::enabled().then(std::time::Instant::now);
-        let result = catch_unwind(AssertUnwindSafe(job.task));
+        let armed = shared.armed_panic.swap(false, Ordering::SeqCst);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            assert!(!armed, "injected worker panic (fault plan)");
+            task();
+        }));
         if let Some(started) = started {
             let busy = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             telemetry::record_pool_task(lane, busy);
         }
-        if let Err(payload) = result {
-            job.state.record_panic(payload);
+        let Err(payload) = result else {
+            state.complete_one();
+            continue;
+        };
+        shared.note_fault(lane);
+        let contained = shared.isolation.load(Ordering::SeqCst) && state.restartable;
+        match (contained, range) {
+            (true, Some(r)) => lock(&state.failed).push(r),
+            _ => state.record_panic(payload),
         }
-        job.state.complete_one();
+        state.complete_one();
+        if shared.isolation.load(Ordering::SeqCst) && respawn_lane(&rx, &shared, lane) {
+            // Quarantine: this lane's thread exits; the replacement just
+            // spawned keeps the pool at full strength.
+            return;
+        }
+        // Isolation off (or the respawn failed): keep serving jobs so the
+        // pool never silently loses a lane.
     }
+}
+
+/// Spawn a replacement worker for a quarantined lane. Returns whether the
+/// spawn succeeded (only then may the caller's thread exit).
+fn respawn_lane(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<PoolShared>, lane: usize) -> bool {
+    let generation = shared.respawn_gen.fetch_add(1, Ordering::Relaxed);
+    let rx = Arc::clone(rx);
+    let shared_for_worker = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name(format!("a3cs-pool-{}-r{generation}", lane.saturating_sub(1)))
+        .spawn(move || worker_main(rx, shared_for_worker, lane))
+        .is_ok();
+    if spawned {
+        shared.quarantined.fetch_add(1, Ordering::Relaxed);
+        shared.respawned.fetch_add(1, Ordering::Relaxed);
+    }
+    spawned
 }
 
 /// Fixed-size pool of worker threads executing scoped fork-join regions.
@@ -134,6 +258,7 @@ fn worker_main(rx: Arc<Mutex<Receiver<Job>>>, lane: usize) {
 pub struct ThreadPool {
     threads: usize,
     queue: Option<Sender<Job>>,
+    shared: Arc<PoolShared>,
 }
 
 impl ThreadPool {
@@ -142,16 +267,22 @@ impl ThreadPool {
     pub fn new(threads: usize) -> ThreadPool {
         let threads = threads.max(1);
         if threads == 1 {
-            return ThreadPool { threads: 1, queue: None };
+            return ThreadPool {
+                threads: 1,
+                queue: None,
+                shared: Arc::new(PoolShared::new(1)),
+            };
         }
+        let shared = Arc::new(PoolShared::new(threads));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let mut spawned = 0usize;
         for i in 0..threads - 1 {
             let rx = Arc::clone(&rx);
+            let shared_for_worker = Arc::clone(&shared);
             let handle = thread::Builder::new()
                 .name(format!("a3cs-pool-{i}"))
-                .spawn(move || worker_main(rx, i + 1));
+                .spawn(move || worker_main(rx, shared_for_worker, i + 1));
             if handle.is_err() {
                 // Could not spawn (resource exhaustion): degrade to fewer
                 // lanes. Remaining chunks run on the caller; determinism is
@@ -164,9 +295,26 @@ impl ThreadPool {
         if spawned == 0 {
             // No consumers: fall back to the inline pool so fork_join never
             // queues work nobody will run.
-            return ThreadPool { threads: 1, queue: None };
+            return ThreadPool {
+                threads: 1,
+                queue: None,
+                shared: Arc::new(PoolShared::new(1)),
+            };
         }
-        ThreadPool { threads, queue: Some(tx) }
+        ThreadPool {
+            threads,
+            queue: Some(tx),
+            shared,
+        }
+    }
+
+    /// Create a pool with isolation mode already enabled — shorthand for
+    /// [`ThreadPool::new`] + [`ThreadPool::set_isolation`].
+    #[must_use]
+    pub fn new_isolated(threads: usize) -> ThreadPool {
+        let pool = ThreadPool::new(threads);
+        pool.set_isolation(true);
+        pool
     }
 
     /// Number of execution lanes (including the calling thread).
@@ -175,26 +323,73 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Turn panic isolation on or off for this pool (off by default; see the
+    /// crate docs for the containment contract).
+    pub fn set_isolation(&self, on: bool) {
+        self.shared.isolation.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether panic isolation is currently enabled.
+    #[must_use]
+    pub fn isolation(&self) -> bool {
+        self.shared.isolation.load(Ordering::SeqCst)
+    }
+
+    /// Arm a one-shot injected panic: the next task any worker dequeues
+    /// panics *before* running its closure (deterministic fault injection
+    /// for supervision tests — the chunk's output is untouched, so contained
+    /// re-execution is trivially bit-identical). A no-op until a worker
+    /// dequeues a task, so pools without workers never fire it.
+    pub fn arm_worker_panic(&self) {
+        self.shared.armed_panic.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the cumulative lane-health counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            lane_faults: self
+                .shared
+                .lane_faults
+                .iter()
+                .map(|slot| slot.load(Ordering::Relaxed))
+                .collect(),
+            quarantined: self.shared.quarantined.load(Ordering::Relaxed),
+            respawned: self.shared.respawned.load(Ordering::Relaxed),
+            reexecuted_chunks: self.shared.reexecuted.load(Ordering::Relaxed),
+        }
+    }
+
     /// Run a set of scoped tasks to completion: all but the last are queued
     /// for the workers, the last runs on the calling thread, and the call
     /// does not return (or unwind) until every task has finished. The first
-    /// panic from any task is re-raised on the caller.
-    fn fork_join<'env>(&self, mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
-        let Some(local) = tasks.pop() else { return };
+    /// panic from any task is re-raised on the caller, except contained
+    /// restartable worker chunks, whose ranges are returned (ascending) for
+    /// the caller to re-execute.
+    fn fork_join<'env>(
+        &self,
+        mut tasks: Vec<(Option<Range<usize>>, Box<dyn FnOnce() + Send + 'env>)>,
+        restartable: bool,
+    ) -> Vec<Range<usize>> {
+        let Some((_, local)) = tasks.pop() else {
+            return Vec::new();
+        };
         if tasks.is_empty() || self.queue.is_none() || in_parallel_region() {
-            // Inline path: run everything sequentially in index order.
-            for task in tasks {
+            // Inline path: run everything sequentially in index order. A
+            // panic here is a caller-thread panic and propagates as such.
+            for (_, task) in tasks {
                 task();
             }
             local();
-            return;
+            return Vec::new();
         }
         // Capture the caller's innermost span so work queued to the pool
         // attributes to the phase that forked it (observe-only).
         let parent_span = telemetry::current_span_id();
-        let state = Arc::new(ScopeState::new(tasks.len()));
+        let contain = restartable && self.shared.isolation.load(Ordering::SeqCst);
+        let state = Arc::new(ScopeState::new(tasks.len(), contain));
         if let Some(queue) = self.queue.as_ref() {
-            for task in tasks {
+            for (range, task) in tasks {
                 let task: Box<dyn FnOnce() + Send + 'env> = if parent_span.is_some() {
                     Box::new(move || telemetry::with_parent_span(parent_span, task))
                 } else {
@@ -207,10 +402,14 @@ impl ThreadPool {
                 // referent.
                 let task: Box<dyn FnOnce() + Send + 'static> =
                     unsafe { std::mem::transmute(task) };
-                let job = Job { task, state: Arc::clone(&state) };
+                let job = Job {
+                    task,
+                    state: Arc::clone(&state),
+                    range,
+                };
                 if let Err(send_err) = queue.send(job) {
                     // Workers are gone (spawn failed earlier): run inline.
-                    let Job { task, state } = send_err.0;
+                    let Job { task, state, .. } = send_err.0;
                     task();
                     state.complete_one();
                 }
@@ -245,12 +444,45 @@ impl ThreadPool {
         if let Some(payload) = worker_panic {
             resume_unwind(payload);
         }
+        let mut failed = std::mem::take(&mut *lock(&state.failed));
+        failed.sort_by_key(|r| r.start);
+        failed
+    }
+
+    /// Re-execute contained chunks inline on the caller, in ascending index
+    /// order, exactly as a worker would have run them (inside the parallel
+    /// region, so nested parallel calls stay inline).
+    fn rerun_contained<F>(&self, failed: Vec<Range<usize>>, mut f: F)
+    where
+        F: FnMut(Range<usize>),
+    {
+        if failed.is_empty() {
+            return;
+        }
+        self.shared
+            .reexecuted
+            .fetch_add(failed.len() as u64, Ordering::Relaxed);
+        struct ResetInParallel;
+        impl Drop for ResetInParallel {
+            fn drop(&mut self) {
+                IN_PARALLEL.with(|flag| flag.set(false));
+            }
+        }
+        IN_PARALLEL.with(|flag| flag.set(true));
+        let _reset = ResetInParallel;
+        for range in failed {
+            f(range);
+        }
     }
 
     /// Invoke `f` on fixed, contiguous, disjoint chunks of `0..len`
     /// (partitioned by [`chunk_ranges`] into at most [`Self::threads`]
     /// pieces). With one lane, inside a parallel region, or for `len <= 1`,
     /// this is exactly `f(0..len)`.
+    ///
+    /// Restartable: `f` must be a pure per-index fill (each index's output
+    /// independent of execution order and safe to recompute), so isolation
+    /// mode may re-execute a chunk whose worker panicked.
     pub fn parallel_for_chunks<F>(&self, len: usize, f: F)
     where
         F: Fn(Range<usize>) + Sync,
@@ -262,18 +494,32 @@ impl ThreadPool {
             f(0..len);
             return;
         }
-        let f = &f;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunk_ranges(len, self.threads)
-            .into_iter()
-            .map(|r| Box::new(move || f(r)) as Box<dyn FnOnce() + Send + '_>)
-            .collect();
-        self.fork_join(tasks);
+        let failed = {
+            let f = &f;
+            let tasks: Vec<(Option<Range<usize>>, Box<dyn FnOnce() + Send + '_>)> =
+                chunk_ranges(len, self.threads)
+                    .into_iter()
+                    .map(|r| {
+                        let task = r.clone();
+                        (
+                            Some(r),
+                            Box::new(move || f(task)) as Box<dyn FnOnce() + Send + '_>,
+                        )
+                    })
+                    .collect();
+            self.fork_join(tasks, true)
+        };
+        self.rerun_contained(failed, |range| f(range));
     }
 
     /// Split `items` into fixed contiguous chunks and invoke
     /// `f(start_index, chunk)` on each with exclusive access. The sequential
     /// fallback is a single `f(0, items)` call; `f` must therefore treat
     /// items independently (chunk boundaries carry no meaning).
+    ///
+    /// Not restartable: `f` may mutate items statefully (e.g. stepping an
+    /// environment), so a worker panic always propagates to the caller even
+    /// in isolation mode — recovery needs a state snapshot above this layer.
     pub fn parallel_chunks_mut<T, F>(&self, items: &mut [T], f: F)
     where
         T: Send,
@@ -288,15 +534,16 @@ impl ThreadPool {
         }
         let ranges = chunk_ranges(items.len(), self.threads);
         let f = &f;
-        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+        let mut tasks: Vec<(Option<Range<usize>>, Box<dyn FnOnce() + Send + '_>)> =
+            Vec::with_capacity(ranges.len());
         let mut rest = items;
         for r in ranges {
             let (chunk, tail) = rest.split_at_mut(r.len());
             rest = tail;
             let start = r.start;
-            tasks.push(Box::new(move || f(start, chunk)));
+            tasks.push((None, Box::new(move || f(start, chunk))));
         }
-        self.fork_join(tasks);
+        let _ = self.fork_join(tasks, false);
     }
 
     /// Fill `out` (laid out as `rows` rows of `row_len` items) by invoking
@@ -304,6 +551,9 @@ impl ThreadPool {
     /// fixed contiguous blocks. Row order within a lane is ascending, and
     /// each `f(row, ..)` call is identical to the sequential one, so the
     /// result is bit-identical for any thread count.
+    ///
+    /// Restartable: each row is a pure function of its index, so isolation
+    /// mode may re-execute a block whose worker panicked.
     pub fn parallel_fill_rows<T, F>(&self, out: &mut [T], rows: usize, row_len: usize, f: F)
     where
         T: Send,
@@ -320,10 +570,36 @@ impl ThreadPool {
         if rows == 0 || row_len == 0 {
             return;
         }
-        let mut row_slices: Vec<&mut [T]> = out.chunks_mut(row_len).collect();
-        self.parallel_chunks_mut(&mut row_slices, |start, chunk| {
-            for (i, row) in chunk.iter_mut().enumerate() {
-                f(start + i, row);
+        if self.threads <= 1 || rows == 1 || in_parallel_region() {
+            for (row, slice) in out.chunks_mut(row_len).enumerate() {
+                f(row, slice);
+            }
+            return;
+        }
+        let ranges = chunk_ranges(rows, self.threads);
+        let failed = {
+            let f = &f;
+            let mut tasks: Vec<(Option<Range<usize>>, Box<dyn FnOnce() + Send + '_>)> =
+                Vec::with_capacity(ranges.len());
+            let mut rest = &mut *out;
+            for r in ranges {
+                let (chunk, tail) = rest.split_at_mut(r.len() * row_len);
+                rest = tail;
+                let start = r.start;
+                tasks.push((
+                    Some(r),
+                    Box::new(move || {
+                        for (i, row_slice) in chunk.chunks_mut(row_len).enumerate() {
+                            f(start + i, row_slice);
+                        }
+                    }),
+                ));
+            }
+            self.fork_join(tasks, true)
+        };
+        self.rerun_contained(failed, |range| {
+            for row in range {
+                f(row, &mut out[row * row_len..(row + 1) * row_len]);
             }
         });
     }
@@ -363,9 +639,9 @@ fn default_threads() -> usize {
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// The pool the current thread should use: the [`with_threads`] override if
-/// one is installed, otherwise the lazily created process-global pool
-/// (`A3CS_THREADS` lanes, defaulting to the available core count).
+/// The pool the current thread should use: the [`with_threads`]/[`with_pool`]
+/// override if one is installed, otherwise the lazily created process-global
+/// pool (`A3CS_THREADS` lanes, defaulting to the available core count).
 #[must_use]
 pub fn current() -> Arc<ThreadPool> {
     let overridden = OVERRIDE.with(|o| o.borrow().clone());
@@ -382,10 +658,11 @@ pub fn configure_global(threads: usize) -> bool {
     GLOBAL.set(Arc::new(ThreadPool::new(threads))).is_ok()
 }
 
-/// Run `f` with [`current`] resolving to a fresh pool of `threads` lanes on
-/// this thread. Restores the previous override on exit (including unwind).
-/// This is the race-free alternative to mutating `A3CS_THREADS` in tests.
-pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+/// Run `f` with [`current`] resolving to `pool` on this thread. Restores the
+/// previous override on exit (including unwind). This is how a supervisor
+/// installs an isolation-mode pool — or a degradation-ladder replacement with
+/// fewer lanes — for the region it guards, without touching the global pool.
+pub fn with_pool<R>(pool: Arc<ThreadPool>, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<Arc<ThreadPool>>);
     impl Drop for Restore {
         fn drop(&mut self) {
@@ -393,10 +670,16 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
             OVERRIDE.with(|o| *o.borrow_mut() = prev);
         }
     }
-    let pool = Arc::new(ThreadPool::new(threads));
     let prev = OVERRIDE.with(|o| o.borrow_mut().replace(pool));
     let _restore = Restore(prev);
     f()
+}
+
+/// Run `f` with [`current`] resolving to a fresh pool of `threads` lanes on
+/// this thread. Restores the previous override on exit (including unwind).
+/// This is the race-free alternative to mutating `A3CS_THREADS` in tests.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    with_pool(Arc::new(ThreadPool::new(threads)), f)
 }
 
 #[cfg(test)]
@@ -516,6 +799,88 @@ mod tests {
     }
 
     #[test]
+    fn isolation_contains_injected_panic_in_restartable_region() {
+        let fill = |row: usize, out: &mut [f32]| {
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = (row as f32 * 31.0 + j as f32).sin();
+            }
+        };
+        let mut expected = vec![0.0f32; 24 * 9];
+        ThreadPool::new(1).parallel_fill_rows(&mut expected, 24, 9, fill);
+
+        let pool = ThreadPool::new_isolated(4);
+        pool.arm_worker_panic();
+        let mut got = vec![0.0f32; 24 * 9];
+        // No unwind reaches the caller; the contained chunk is re-executed.
+        pool.parallel_fill_rows(&mut got, 24, 9, fill);
+        assert_eq!(
+            expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        let stats = pool.stats();
+        assert_eq!(stats.total_faults(), 1, "{stats:?}");
+        assert_eq!(stats.quarantined, 1, "{stats:?}");
+        assert_eq!(stats.respawned, 1, "{stats:?}");
+        assert_eq!(stats.reexecuted_chunks, 1, "{stats:?}");
+        // The respawned lane keeps the pool at full strength.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for_chunks(64, |range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn isolation_contains_user_panic_in_restartable_region() {
+        // The panic fires only on the first execution of the chunk owning
+        // index 0 (a transient fault), so re-execution succeeds.
+        let pool = ThreadPool::new_isolated(4);
+        let first = AtomicUsize::new(0);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_chunks(64, |range| {
+            if range.contains(&0) && first.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient chunk fault");
+            }
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let stats = pool.stats();
+        assert!(stats.total_faults() >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn isolation_still_propagates_non_restartable_panics() {
+        let pool = ThreadPool::new_isolated(4);
+        let mut items = vec![0usize; 32];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_chunks_mut(&mut items, |start, _chunk| {
+                assert!(start == 0, "stateful chunk fault");
+            });
+        }));
+        assert!(result.is_err(), "stateful regions must propagate");
+        // The quarantined lane was respawned; the pool still works.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for_chunks(16, |range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+        assert!(pool.stats().total_faults() >= 1);
+    }
+
+    #[test]
+    fn armed_panic_without_isolation_propagates() {
+        let pool = ThreadPool::new(4);
+        pool.arm_worker_panic();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for_chunks(16, |_range| {});
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.stats().quarantined, 0);
+    }
+
+    #[test]
     fn with_threads_overrides_current_and_restores() {
         let before = current().threads();
         with_threads(3, || {
@@ -524,6 +889,16 @@ mod tests {
             assert_eq!(current().threads(), 3);
         });
         assert_eq!(current().threads(), before);
+    }
+
+    #[test]
+    fn with_pool_installs_a_specific_pool() {
+        let pool = Arc::new(ThreadPool::new_isolated(2));
+        with_pool(Arc::clone(&pool), || {
+            assert_eq!(current().threads(), 2);
+            assert!(current().isolation());
+        });
+        assert!(Arc::strong_count(&pool) >= 1);
     }
 
     #[test]
