@@ -52,18 +52,23 @@ impl RandomSearch {
         const MAX_RESAMPLES: usize = 64;
         let sizes = self.space.knob_sizes(self.num_chunks, layers.len());
         let split = self.space.chunk_knob_sizes().len() * self.num_chunks;
-        let mut accel = None;
-        for attempt in 0..MAX_RESAMPLES {
-            let mut choices: Vec<usize> =
-                sizes.iter().map(|&s| self.rng.gen_range(0..s)).collect();
+        let (space, num_chunks, rng) = (&self.space, self.num_chunks, &mut self.rng);
+        let sample = |rng: &mut StdRng| {
+            let mut choices: Vec<usize> = sizes.iter().map(|&s| rng.gen_range(0..s)).collect();
             choices[split..].sort_unstable();
-            let candidate = self.space.decode(self.num_chunks, layers.len(), &choices);
-            if candidate.within_budget(target) || attempt + 1 == MAX_RESAMPLES {
-                accel = Some(candidate);
-                break;
-            }
+            space.decode(num_chunks, layers.len(), &choices)
+        };
+        // Up to MAX_RESAMPLES - 1 feasibility-filtered draws, then one
+        // final draw accepted unconditionally (the predictor's resource
+        // penalty prices infeasible designs), so termination — and a
+        // sample — is guaranteed without an `Option` in sight. The draw
+        // sequence is identical to the historical filtered loop.
+        let mut accel = sample(rng);
+        let mut attempt = 1;
+        while !accel.within_budget(target) && attempt < MAX_RESAMPLES {
+            accel = sample(rng);
+            attempt += 1;
         }
-        let accel = accel.expect("the resampling loop always produces a sample");
         let report = PerfModel::evaluate(&accel, layers, target);
         let cost = PerfModel::cost(&report, target, &self.cost);
         if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
@@ -87,7 +92,12 @@ impl RandomSearch {
         for _ in 0..iters {
             let _ = self.step(layers, target);
         }
-        self.best.clone().expect("at least one sample was taken")
+        match self.best.clone() {
+            Some(best) => best,
+            // `step` unconditionally seeds `best` on its first call and the
+            // assert above guarantees at least one call.
+            None => unreachable!("step() always records a best sample"),
+        }
     }
 
     /// Best `(config, cost)` found so far, if any.

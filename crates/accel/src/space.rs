@@ -249,7 +249,10 @@ impl SearchSpace {
     pub fn decode_chunk(&self, choices: &[usize]) -> ChunkConfig {
         match self.try_decode_chunk(choices) {
             Ok(chunk) => chunk,
-            Err(e) => panic!("{e}"),
+            // Callers who must handle malformed choices use
+            // `try_decode_chunk`; reaching this arm is a caller bug the
+            // documented contract rules out.
+            Err(e) => unreachable!("decode_chunk precondition violated: {e}"),
         }
     }
 
@@ -310,7 +313,10 @@ impl SearchSpace {
     ) -> AcceleratorConfig {
         match self.try_decode(num_chunks, num_layers, choices) {
             Ok(accel) => accel,
-            Err(e) => panic!("{e}"),
+            // Callers who must handle malformed choices use `try_decode`;
+            // reaching this arm is a caller bug the documented contract
+            // rules out.
+            Err(e) => unreachable!("decode precondition violated: {e}"),
         }
     }
 

@@ -28,7 +28,7 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = or_exit(Scale::try_from_env());
     let game: &'static str = match std::env::args().nth(1).as_deref() {
         Some("Pong") | None => "Pong",
         Some("Breakout") => "Breakout",

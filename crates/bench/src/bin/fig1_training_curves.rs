@@ -23,7 +23,7 @@ struct CurveDump {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = or_exit(Scale::try_from_env());
     status(format!(
         "Fig. 1: training curves of {} backbones on {:?} (scale: {})\n",
         BACKBONES.len(),

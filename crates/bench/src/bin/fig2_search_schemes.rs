@@ -34,7 +34,7 @@ struct CurveDump {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = or_exit(Scale::try_from_env());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let top_k: Option<usize> = parse_flag(&args, "--top-k");
     let steps: Option<u64> = parse_flag(&args, "--steps");

@@ -34,7 +34,7 @@ struct Point {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = or_exit(Scale::try_from_env());
     let target = FpgaTarget::zc706();
     status(format!(
         "Fig. 3: score/FPS trade-off on {FIG3_GAMES:?} under {} DSPs (scale: {})\n",

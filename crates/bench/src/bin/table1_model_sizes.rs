@@ -24,7 +24,7 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = or_exit(Scale::try_from_env());
     // Defaults to the paper's 16-game Table I roster; pass game names to
     // filter (e.g. `table1_model_sizes Breakout Pong`).
     let args: Vec<String> = std::env::args().skip(1).collect();

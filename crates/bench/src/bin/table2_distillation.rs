@@ -43,7 +43,7 @@ fn ac_config(args: &[String]) -> DistillConfig {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = or_exit(Scale::try_from_env());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let games: Vec<&'static str> = TABLE2
         .iter()

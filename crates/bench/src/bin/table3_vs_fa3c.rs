@@ -33,7 +33,7 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = or_exit(Scale::try_from_env());
     status(format!(
         "Table III: A3C-S (full pipeline) vs FA3C reported numbers (scale: {})\n",
         scale.name

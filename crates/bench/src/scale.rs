@@ -57,19 +57,32 @@ pub const FULL: Scale = Scale {
     das_iters: 2_000,
 };
 
+/// An `A3CS_SCALE` value naming no known profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScale(pub String);
+
+impl std::fmt::Display for UnknownScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown A3CS_SCALE {:?}; use smoke|short|full", self.0)
+    }
+}
+
+impl std::error::Error for UnknownScale {}
+
 impl Scale {
     /// Resolve the profile from `A3CS_SCALE` (default: `short`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown profile name so typos fail loudly.
-    #[must_use]
-    pub fn from_env() -> Scale {
+    /// Returns [`UnknownScale`] on an unrecognised profile name so typos
+    /// fail loudly at the call site instead of silently running the
+    /// default budget.
+    pub fn try_from_env() -> Result<Scale, UnknownScale> {
         match std::env::var("A3CS_SCALE").as_deref() {
-            Ok("smoke") => SMOKE,
-            Ok("full") => FULL,
-            Ok("short") | Err(_) => SHORT,
-            Ok(other) => panic!("unknown A3CS_SCALE {other:?}; use smoke|short|full"),
+            Ok("smoke") => Ok(SMOKE),
+            Ok("full") => Ok(FULL),
+            Ok("short") | Err(_) => Ok(SHORT),
+            Ok(other) => Err(UnknownScale(other.to_string())),
         }
     }
 

@@ -1,16 +1,36 @@
-//! Workspace lint driver: `cargo run -p a3cs-check --bin lint [-- --update]`.
+//! Workspace lint driver:
+//! `cargo run -p a3cs-check --bin lint [-- --update | --deny-new | --json]`.
 //!
-//! Walks `crates/*/src`, counts panic-prone call sites and `#[must_use]`
-//! omissions (see `a3cs_check::lint`), and compares the census against the
-//! committed allowlist `crates/check/lint-allowlist.txt`. Counts may only
-//! ratchet down; `--update` rewrites the allowlist to the current counts.
+//! Walks every project-owned source root — `crates/*/src`, the root
+//! `src/`, and the project-owned vendor crates `vendor/threadpool` and
+//! `vendor/telemetry` (third-party vendored crates are upstream code and
+//! out of the determinism contract) — runs the token-level scanner
+//! (`a3cs_check::scan_source`), and compares the census against the
+//! committed allowlist `crates/check/lint-allowlist.txt`.
+//!
+//! Modes:
+//! - default: fail on any count above its allowance; print ratchet
+//!   opportunities as suggestions.
+//! - `--deny-new`: the CI gate. Additionally fails when the allowlist is
+//!   *stale* (an allowance exceeds the actual count), so paid-down debt
+//!   must be recorded with `--update` in the same change.
+//! - `--update`: rewrite the allowlist to the current counts.
+//! - `--json`: emit every finding as an `A3CS-L3xx` diagnostic in the
+//!   same JSON report format as the shape/legality checks, then apply
+//!   the normal gate.
 
-use a3cs_check::{compare, count_hits, format_allowlist, parse_allowlist, scan_source, LintHit};
+use a3cs_check::{
+    compare, count_hits, format_allowlist, hits_to_report, parse_allowlist, scan_source, LintHit,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const ALLOWLIST_REL: &str = "crates/check/lint-allowlist.txt";
+
+/// Project-owned vendor crates included in the scan. The rest of
+/// `vendor/` (serde, proptest, criterion, rand) is third-party code.
+const VENDOR_ROOTS: [&str; 2] = ["vendor/threadpool/src", "vendor/telemetry/src"];
 
 fn repo_root() -> Option<PathBuf> {
     // This binary lives in crates/check; the workspace root is two up.
@@ -34,20 +54,37 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn scan_workspace(root: &Path) -> Result<Vec<LintHit>, String> {
-    let crates_dir = root.join("crates");
-    let entries =
-        fs::read_dir(&crates_dir).map_err(|e| format!("cannot read {crates_dir:?}: {e}"))?;
-    let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    crate_dirs.sort();
-    let mut hits = Vec::new();
-    for crate_dir in crate_dirs {
-        let src = crate_dir.join("src");
-        if !src.is_dir() {
-            continue;
+/// Every scanned source root, relative to the repo root.
+fn scan_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            let src = crate_dir.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
         }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        roots.push(root_src);
+    }
+    for rel in VENDOR_ROOTS {
+        let dir = root.join(rel);
+        if dir.is_dir() {
+            roots.push(dir);
+        }
+    }
+    roots
+}
+
+fn scan_workspace(root: &Path) -> Result<Vec<LintHit>, String> {
+    let mut hits = Vec::new();
+    for scan_root in scan_roots(root) {
         let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
+        collect_rs_files(&scan_root, &mut files);
         for file in files {
             let source =
                 fs::read_to_string(&file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
@@ -64,10 +101,18 @@ fn scan_workspace(root: &Path) -> Result<Vec<LintHit>, String> {
 
 fn run() -> Result<ExitCode, String> {
     let mut update = false;
+    let mut deny_new = false;
+    let mut json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--update" => update = true,
-            other => return Err(format!("unknown argument `{other}` (only --update is accepted)")),
+            "--deny-new" => deny_new = true,
+            "--json" => json = true,
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (accepted: --update, --deny-new, --json)"
+                ))
+            }
         }
     }
     let root = repo_root().ok_or_else(|| "cannot locate the workspace root".to_string())?;
@@ -75,6 +120,10 @@ fn run() -> Result<ExitCode, String> {
     let actual = count_hits(&hits);
     let total: usize = actual.values().sum();
     let allowlist_path = root.join(ALLOWLIST_REL);
+
+    if json {
+        println!("{}", hits_to_report(&hits).to_json());
+    }
 
     if update {
         fs::write(&allowlist_path, format_allowlist(&actual))
@@ -98,7 +147,7 @@ fn run() -> Result<ExitCode, String> {
             eprintln!("  {file}: {category} {got} > allowed {cap}");
             for hit in &hits {
                 if &hit.file == file && hit.category.as_str() == category {
-                    eprintln!("    {file}:{}", hit.line);
+                    eprintln!("    {file}:{} — {}", hit.line, hit.category.why());
                 }
             }
         }
@@ -106,8 +155,21 @@ fn run() -> Result<ExitCode, String> {
     }
     if outcome.ratchets.is_empty() {
         println!("lint: clean against allowlist ({total} grandfathered findings)");
+    } else if deny_new {
+        eprintln!(
+            "lint: {} allowlist entries are stale — debt was paid but not recorded; \
+             run `cargo run -p a3cs-check --bin lint -- --update`:",
+            outcome.ratchets.len()
+        );
+        for (file, category, got, cap) in &outcome.ratchets {
+            eprintln!("  {file}: {category} {got} (allowed {cap})");
+        }
+        return Ok(ExitCode::FAILURE);
     } else {
-        println!("lint: clean; {} entries improved — ratchet down with --update:", outcome.ratchets.len());
+        println!(
+            "lint: clean; {} entries improved — ratchet down with --update:",
+            outcome.ratchets.len()
+        );
         for (file, category, got, cap) in &outcome.ratchets {
             println!("  {file}: {category} {got} (allowed {cap})");
         }

@@ -55,6 +55,35 @@ pub mod codes {
     pub const NUM_GUARANTEED_THRASH: &str = "A3CS-W201";
     /// A chunk has no layers assigned to it (resources are wasted).
     pub const NUM_IDLE_CHUNK: &str = "A3CS-W202";
+
+    /// `HashMap`/`HashSet` in non-test code (iteration order is seeded
+    /// per process — any traversal can reorder results between runs).
+    pub const LINT_NONDET_COLLECTION: &str = "A3CS-L301";
+    /// A wall-clock read (`Instant::now`, `SystemTime`) outside the
+    /// telemetry/watchdog/bench surfaces.
+    pub const LINT_WALL_CLOCK: &str = "A3CS-L302";
+    /// A raw `std::thread` spawn outside the deterministic pool and the
+    /// stall watchdog.
+    pub const LINT_THREAD_SPAWN: &str = "A3CS-L303";
+    /// Ambient (entropy-seeded) RNG construction outside the seeded
+    /// `SplitMix64`/`StdRng` plumbing.
+    pub const LINT_AMBIENT_RNG: &str = "A3CS-L304";
+    /// A numeric `as` cast inside a checkpoint-serialization path.
+    pub const LINT_LOSSY_CAST: &str = "A3CS-L305";
+    /// An `unsafe` block or function (ratcheted; waivers need reasons).
+    pub const LINT_UNSAFE_BLOCK: &str = "A3CS-L306";
+    /// An `.unwrap()` call outside tests.
+    pub const LINT_UNWRAP: &str = "A3CS-L310";
+    /// An `.expect(...)` call outside tests.
+    pub const LINT_EXPECT: &str = "A3CS-L311";
+    /// A `panic!` invocation outside tests.
+    pub const LINT_PANIC: &str = "A3CS-L312";
+    /// A `todo!` invocation outside tests.
+    pub const LINT_TODO: &str = "A3CS-L313";
+    /// An `unimplemented!` invocation outside tests.
+    pub const LINT_UNIMPLEMENTED: &str = "A3CS-L314";
+    /// A value-returning `&self` method without `#[must_use]`.
+    pub const LINT_MISSING_MUST_USE: &str = "A3CS-L315";
 }
 
 /// How severe a diagnostic is.

@@ -15,7 +15,13 @@
 //! - `A3CS-W2xx` — numerics/performance warnings (legal but hazardous).
 //!
 //! The [`lint`] module and the `lint` binary implement the workspace
-//! code-health ratchet (panic-site census, `#[must_use]` hygiene).
+//! code-health ratchet: the panic-site census and `#[must_use]` hygiene
+//! (`A3CS-L31x`), plus the determinism catalog (`A3CS-L30x`) that
+//! mechanically guards the bit-identity contract — nondeterministic
+//! collection order, wall-clock reads, raw thread spawns, ambient RNGs,
+//! lossy checkpoint casts and an `unsafe` ratchet. Both run on the
+//! token-level scanner in [`token`], so comments, string literals and
+//! `#[cfg(test)]` regions can never produce findings.
 //!
 //! # Example
 //!
@@ -36,11 +42,12 @@ mod accel;
 mod diag;
 mod lint;
 mod shape;
+pub mod token;
 
 pub use accel::{check_accelerator, check_accelerator_structure, check_search_setup};
 pub use diag::{codes, Diagnostic, Report, Severity};
 pub use lint::{
-    compare, count_hits, format_allowlist, parse_allowlist, scan_source, LintCategory,
-    LintCounts, LintHit, LintOutcome, ALL_CATEGORIES,
+    compare, count_hits, format_allowlist, hits_to_report, parse_allowlist, scan_source,
+    LintCategory, LintCounts, LintHit, LintOutcome, ALL_CATEGORIES,
 };
 pub use shape::{arch_layer_descs, check_arch, check_layers, check_supernet, max_arch_depth};

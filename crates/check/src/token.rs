@@ -1,0 +1,507 @@
+//! A minimal, panic-free Rust lexer for the workspace lint engine.
+//!
+//! [`lex`] turns source text into a flat [`Tok`] stream with 1-based line
+//! numbers, discarding the *content* of comments and string/char literals
+//! so downstream lints can pattern-match on real code tokens only — the
+//! false-positive/negative class inherent to raw-text scanning (a
+//! `panic!` mentioned in a doc comment, an `.unwrap()` inside a string)
+//! cannot occur by construction. The lexer also extracts lint **waivers**
+//! from comments of the form
+//!
+//! ```text
+//! // a3cs::allow(<category>): <reason>
+//! ```
+//!
+//! which suppress findings of `<category>` on the same line or the next
+//! code line. A waiver without a `: <reason>` tail is ignored — every
+//! suppression must say why.
+//!
+//! The lexer is intentionally approximate where precision does not matter
+//! for linting (multi-char operators come out as single punct tokens) but
+//! exact where it does: nested block comments, raw strings with hash
+//! fences, byte/char literals vs. lifetimes, and escapes are all handled.
+//! It never panics and always terminates: the cursor advances by at least
+//! one character per iteration of the main loop, a property pinned down
+//! by the proptests in `tests/properties.rs`.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, `{`, …).
+    Punct,
+    /// A literal (string, raw string, byte string, char, number). The
+    /// text is the literal's *kind tag* (`"str"`, `"char"`, `"num"`),
+    /// never its content — literal content must not influence lints.
+    Literal,
+    /// A lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Identifier text, punct character, or literal kind tag.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// A lint waiver extracted from an `// a3cs::allow(<cat>): <reason>`
+/// comment. Applies to findings of `category` on `line` or `line + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// The waived category's stable name (e.g. `wall-clock`).
+    pub category: String,
+    /// `true` only when a non-empty `: <reason>` tail was present.
+    pub justified: bool,
+}
+
+/// Lexer output: the token stream plus any waivers found in comments.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// All code tokens in source order.
+    pub tokens: Vec<Tok<'a>>,
+    /// All waiver comments, justified or not.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Extract `a3cs::allow(<category>)[: reason]` from one comment body.
+fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
+    let marker = "a3cs::allow(";
+    let start = comment.find(marker)? + marker.len();
+    let rest = &comment[start..];
+    let close = rest.find(')')?;
+    let category = rest[..close].trim().to_string();
+    if category.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let justified = tail
+        .strip_prefix(':')
+        .is_some_and(|reason| !reason.trim().is_empty());
+    Some(Waiver {
+        line,
+        category,
+        justified,
+    })
+}
+
+/// Character cursor with line tracking. All methods are total: past the
+/// end, `peek` returns `None` and `bump` is a no-op.
+struct Cursor<'a> {
+    src: &'a str,
+    chars: std::str::CharIndices<'a>,
+    /// Byte offset of the next unconsumed char (== src.len() at EOF).
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (i, c) = self.chars.next()?;
+        self.pos = i + c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume chars while `pred` holds; returns the consumed slice.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+        &self.src[start..self.pos]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Consume a `//…` line comment body (cursor sits after the second `/`),
+/// recording any waiver it carries.
+fn line_comment(cur: &mut Cursor<'_>, out: &mut Lexed<'_>) {
+    let line = cur.line;
+    let body = cur.eat_while(|c| c != '\n');
+    if let Some(w) = parse_waiver(body, line) {
+        out.waivers.push(w);
+    }
+}
+
+/// Consume a (possibly nested) `/* … */` block comment body; the cursor
+/// sits after the opening `/*`. Unterminated comments end at EOF.
+fn block_comment(cur: &mut Cursor<'_>, out: &mut Lexed<'_>) {
+    let line = cur.line;
+    let start = cur.pos;
+    let mut depth = 1usize;
+    let mut end = cur.src.len();
+    while depth > 0 {
+        match (cur.peek(), cur.peek2()) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                end = cur.pos;
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => {
+                end = cur.pos;
+                break;
+            }
+        }
+    }
+    if let Some(w) = parse_waiver(&cur.src[start..end.max(start)], line) {
+        out.waivers.push(w);
+    }
+}
+
+/// Consume a `"…"` string body (cursor sits after the opening quote).
+fn string_literal(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump(); // the escaped char, whatever it is
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consume a raw string `r##"…"##` starting at the first `#` or `"`
+/// (the `r`/`br` prefix is already consumed). Returns `false` if this
+/// is not actually a raw string (e.g. `r` was just an identifier —
+/// impossible here since callers check, but kept total anyway).
+fn raw_string_literal(cur: &mut Cursor<'_>) {
+    let hashes = cur.eat_while(|c| c == '#').len();
+    if cur.peek() != Some('"') {
+        return; // not a raw string after all (`r#ident` raw identifier)
+    }
+    cur.bump();
+    // Scan for `"` followed by `hashes` hash marks.
+    'scan: loop {
+        match cur.bump() {
+            None => break 'scan,
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if cur.peek() == Some('#') {
+                        cur.bump();
+                        seen += 1;
+                    } else {
+                        continue 'scan;
+                    }
+                }
+                break 'scan;
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// After a `'`, decide lifetime vs. char literal and consume it.
+/// Heuristic (sound for compiling Rust): `'x'` where the closing quote
+/// directly follows one (possibly escaped) char is a char literal;
+/// `'ident` not followed by `'` is a lifetime.
+fn char_or_lifetime<'a>(cur: &mut Cursor<'a>, line: usize) -> Tok<'a> {
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume `\`, the escape, then up to
+            // the closing quote (handles `\u{…}` and friends).
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok {
+                kind: TokKind::Literal,
+                text: "char",
+                line,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a` (lifetime) or `'a'` (char). Look one ahead.
+            if cur.peek2() == Some('\'') {
+                cur.bump();
+                cur.bump();
+                Tok {
+                    kind: TokKind::Literal,
+                    text: "char",
+                    line,
+                }
+            } else {
+                cur.eat_while(is_ident_continue);
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text: "'",
+                    line,
+                }
+            }
+        }
+        Some(_) => {
+            // `'('`-style char literal of a non-ident char.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Literal,
+                text: "char",
+                line,
+            }
+        }
+        None => Tok {
+            kind: TokKind::Punct,
+            text: "'",
+            line,
+        },
+    }
+}
+
+/// Consume a numeric literal starting with the already-peeked digit.
+/// Approximate but safe: digits, `_`, type suffixes, hex/bin/oct bodies,
+/// one fractional part (only when followed by a digit, so `0..n` lexes as
+/// `0` `.` `.` `n`), and exponents.
+fn number_literal(cur: &mut Cursor<'_>) {
+    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    if cur.peek() == Some('.') && cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+    // Signed exponent (`1e-3`): the alnum eaters above stop at `-`/`+`.
+    if cur.peek().is_some_and(|c| c == '-' || c == '+') {
+        // Only part of the number after an `e`/`E` tail — checked by the
+        // caller being mid-literal; a stray `-` ends the literal.
+        let prev = cur.src[..cur.pos]
+            .chars()
+            .next_back()
+            .unwrap_or(' ');
+        if prev == 'e' || prev == 'E' {
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+    }
+}
+
+/// Lex `source` into tokens and waivers. Never panics; always terminates.
+#[must_use]
+pub fn lex(source: &str) -> Lexed<'_> {
+    let mut out = Lexed::default();
+    let mut cur = Cursor::new(source);
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                cur.bump();
+                cur.bump();
+                line_comment(&mut cur, &mut out);
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                block_comment(&mut cur, &mut out);
+            }
+            '"' => {
+                cur.bump();
+                string_literal(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "str",
+                    line,
+                });
+            }
+            '\'' => {
+                cur.bump();
+                out.tokens.push(char_or_lifetime(&mut cur, line));
+            }
+            c if c.is_ascii_digit() => {
+                number_literal(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "num",
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                // `r"…"` / `r#"…"#` / `b"…"` / `br#"…"#` raw and byte
+                // strings look like an ident followed by a quote or fence.
+                let start = cur.pos;
+                let ident = {
+                    cur.eat_while(is_ident_continue);
+                    &cur.src[start..cur.pos]
+                };
+                match (ident, cur.peek()) {
+                    ("r" | "br", Some('"' | '#')) => {
+                        raw_string_literal(&mut cur);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: "str",
+                            line,
+                        });
+                    }
+                    ("b", Some('"')) => {
+                        cur.bump();
+                        string_literal(&mut cur);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: "str",
+                            line,
+                        });
+                    }
+                    ("b", Some('\'')) => {
+                        cur.bump();
+                        let tok = char_or_lifetime(&mut cur, line);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: "char",
+                            line: tok.line,
+                        });
+                    }
+                    _ => out.tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text: ident,
+                        line,
+                    }),
+                }
+            }
+            _ => {
+                let start = cur.pos;
+                cur.bump();
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: &cur.src[start..cur.pos],
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_yield_no_idents() {
+        let src = "// mentions unwrap here\n/* and panic\n over lines */\nlet s = \"HashMap::new()\";";
+        assert_eq!(idents(src), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_content() {
+        let src = "let s = r#\"thread::spawn \" still inside\"#; fine";
+        assert_eq!(idents(src), vec!["let", "s", "fine"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "/* outer /* inner */ still outer */ code";
+        assert_eq!(idents(src), vec!["code"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text == "char")
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let lines: Vec<usize> = lex(src).tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn waivers_require_a_reason() {
+        let src = "\
+// a3cs::allow(wall-clock): feeds the watchdog EWMA only
+let t = 1;
+// a3cs::allow(unsafe-block)
+let u = 2;
+";
+        let out = lex(src);
+        assert_eq!(out.waivers.len(), 2);
+        assert!(out.waivers[0].justified);
+        assert_eq!(out.waivers[0].category, "wall-clock");
+        assert_eq!(out.waivers[0].line, 1);
+        assert!(!out.waivers[1].justified);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_the_dots() {
+        let src = "for i in 0..10 {}";
+        let puncts: Vec<&str> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec![".", ".", "{", "}"]);
+    }
+}

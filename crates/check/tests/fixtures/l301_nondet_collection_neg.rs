@@ -1,0 +1,19 @@
+//! Negative fixture: ordered collections never fire A3CS-L301.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(words: &[String]) -> usize {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for w in words {
+        seen.insert(w);
+    }
+    seen.len()
+}
+
+pub fn index(words: &[String]) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for (i, w) in words.iter().enumerate() {
+        m.insert(w.clone(), i);
+    }
+    m
+}

@@ -1,0 +1,19 @@
+//! Positive fixture: HashMap/HashSet in non-test code must fire A3CS-L301.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(words: &[String]) -> usize {
+    let mut seen: HashSet<&str> = HashSet::new();
+    for w in words {
+        seen.insert(w);
+    }
+    seen.len()
+}
+
+pub fn index(words: &[String]) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for (i, w) in words.iter().enumerate() {
+        m.insert(w.clone(), i);
+    }
+    m
+}

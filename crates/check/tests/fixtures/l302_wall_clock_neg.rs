@@ -1,0 +1,12 @@
+//! Negative fixture: logical step counters are the sanctioned clock; no
+//! wall-clock read, no A3CS-L302.
+pub struct StepClock {
+    steps: u64,
+}
+
+impl StepClock {
+    pub fn tick(&mut self) -> u64 {
+        self.steps += 1;
+        self.steps
+    }
+}

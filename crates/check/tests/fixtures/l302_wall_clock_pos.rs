@@ -1,0 +1,9 @@
+//! Positive fixture: wall-clock reads outside the telemetry/watchdog
+//! allowlist must fire A3CS-L302.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_nanos() as u64
+}

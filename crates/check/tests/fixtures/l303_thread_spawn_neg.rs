@@ -1,0 +1,5 @@
+//! Negative fixture: parallelism through the deterministic pool never
+//! fires A3CS-L303.
+pub fn fan_out(pool: &threadpool::Pool, items: &[u32]) -> u32 {
+    pool.map_reduce(items, |x| x * 2, |a, b| a + b)
+}

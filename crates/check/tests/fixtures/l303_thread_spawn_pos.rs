@@ -1,0 +1,8 @@
+//! Positive fixture: raw OS threads outside the pool/watchdog must fire
+//! A3CS-L303 (both `spawn` and `Builder` count).
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    let b = std::thread::Builder::new().name("rogue".into());
+    let _ = b.spawn(|| ()).map(|h| h.join());
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: randomness derived from the run seed never fires
+//! A3CS-L304.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u8 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0..6)
+}

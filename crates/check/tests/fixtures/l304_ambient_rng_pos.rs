@@ -1,0 +1,11 @@
+//! Positive fixture: entropy-seeded randomness must fire A3CS-L304 —
+//! `thread_rng`, `from_entropy`, `rand::random` and `RandomState` alike.
+pub fn roll() -> (u8, u8, u64) {
+    let mut rng = rand::thread_rng();
+    let a = rng.gen_range(0..6);
+    let fresh = StdRng::from_entropy().gen();
+    let b = rand::random::<u8>();
+    let hasher = std::collections::hash_map::RandomState::new();
+    let _ = hasher;
+    (a, b, fresh)
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: bit-exact conversions in a checkpoint path never
+//! fire A3CS-L305.
+pub fn write_f32(v: f32) -> u32 {
+    v.to_bits()
+}
+
+pub fn read_f32(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+pub fn read_len(raw: u64) -> Option<usize> {
+    usize::try_from(raw).ok()
+}

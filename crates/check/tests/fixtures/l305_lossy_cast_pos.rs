@@ -1,0 +1,9 @@
+//! Positive fixture: numeric `as` casts in a checkpoint-serialization
+//! path must fire A3CS-L305 (only when scanned under a checkpoint path).
+pub fn write_f32(v: f32) -> u32 {
+    v as u32
+}
+
+pub fn read_len(raw: u64) -> usize {
+    raw as usize
+}

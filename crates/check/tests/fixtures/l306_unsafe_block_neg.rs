@@ -1,0 +1,13 @@
+//! Negative fixture: safe indexing never fires A3CS-L306, and a waived
+//! unsafe block with a written justification is suppressed.
+pub fn peek(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+pub fn peek_waived(v: &[u8]) -> u8 {
+    // SAFETY: callers pass non-empty slices; checked by the assert.
+    assert!(!v.is_empty());
+    // a3cs::allow(unsafe-block): reviewed — bounds proven by the assert
+    // directly above.
+    unsafe { *v.get_unchecked(0) }
+}

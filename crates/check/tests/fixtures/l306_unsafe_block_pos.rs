@@ -1,0 +1,4 @@
+//! Positive fixture: an unwaived `unsafe` block must fire A3CS-L306.
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

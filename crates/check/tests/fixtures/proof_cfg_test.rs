@@ -1,0 +1,29 @@
+//! Proof fixture: hazards confined to test regions — a `#[cfg(test)]`
+//! item and a bare `mod tests { … }` — must report ZERO hits.
+pub fn shipped() -> u32 {
+    42
+}
+
+#[cfg(test)]
+fn helper_with_hazards() {
+    let m = std::collections::HashMap::new();
+    let _ = m.get("k").unwrap();
+    let _ = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod unit {
+    #[test]
+    fn spawns_and_rolls() {
+        let h = std::thread::spawn(|| rand::thread_rng().gen::<u8>());
+        h.join().expect("joins");
+        panic!("tests may panic freely");
+    }
+}
+
+mod tests {
+    pub fn bare_mod_tests_is_exempt_too() {
+        let s = std::collections::HashSet::<u8>::new();
+        assert!(s.is_empty(), "{}", unsafe { std::mem::size_of::<u8>() });
+    }
+}

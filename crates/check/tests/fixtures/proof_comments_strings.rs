@@ -1,0 +1,34 @@
+//! Proof fixture: every hazard below appears only inside comments,
+//! strings, or doc text — the token scanner must report ZERO hits.
+//!
+//! HashMap::new(), Instant::now(), std::thread::spawn, thread_rng(),
+//! unsafe { }, x as u32, value.unwrap(), panic!("doc")
+
+// line comment: HashMap, SystemTime::now(), from_entropy(), todo!()
+/* block comment: HashSet, thread::Builder, rand::random::<u8>()
+   nested /* unsafe { transmute } */ still a comment: expect("msg") */
+
+/// Doc comment with a code example that must not count:
+///
+/// ```
+/// let m = std::collections::HashMap::new();
+/// let t = std::time::Instant::now();
+/// std::thread::spawn(|| drop(rand::thread_rng()));
+/// unsafe { core::hint::unreachable_unchecked() }
+/// ```
+pub fn messages() -> Vec<String> {
+    vec![
+        "HashMap iteration is randomized".to_string(),
+        "Instant::now() and SystemTime belong to telemetry".to_string(),
+        "std::thread::spawn bypasses the pool".to_string(),
+        "thread_rng and from_entropy cannot replay".to_string(),
+        String::from("unsafe { } needs review; x as u32 truncates"),
+        "never .unwrap() or .expect() or panic!()".to_string(),
+        r#"raw string: HashSet::new(); unimplemented!(); todo!()"#,
+    ]
+}
+
+pub fn char_soup() -> Vec<char> {
+    // Char literals exercise the lexer's '\''-vs-lifetime split.
+    vec!['u', '\n', '\'', '\\', '"']
+}

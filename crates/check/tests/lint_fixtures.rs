@@ -1,0 +1,230 @@
+//! Golden tests for the determinism lint catalog (A3CS-L301..306).
+//!
+//! Each code gets a positive fixture (the hazard, mechanically caught)
+//! and a negative fixture (the sanctioned alternative, silent). The
+//! proof fixtures pin the token scanner's core guarantee: text inside
+//! comments, string literals, doc examples and test regions is never
+//! counted. Property tests at the bottom pin totality — the lexer and
+//! scanner accept arbitrary bytes without panicking.
+
+use a3cs_check::{codes, hits_to_report, scan_source, LintCategory, LintHit};
+use proptest::prelude::*;
+
+/// A non-checkpoint, non-exempt path: every category except LossyCast
+/// is policed here.
+const PLAIN: &str = "crates/core/src/pipeline.rs";
+/// A checkpoint-serialization path: the only place LossyCast applies.
+const CHECKPOINT: &str = "crates/core/src/checkpoint.rs";
+
+fn categories(hits: &[LintHit]) -> Vec<LintCategory> {
+    hits.iter().map(|h| h.category).collect()
+}
+
+fn all_are(hits: &[LintHit], want: LintCategory) {
+    assert!(!hits.is_empty(), "expected {want:?} hits, got none");
+    for h in hits {
+        assert_eq!(h.category, want, "unexpected category in {hits:?}");
+    }
+}
+
+#[test]
+fn l301_nondet_collection_positive() {
+    let hits = scan_source(
+        PLAIN,
+        include_str!("fixtures/l301_nondet_collection_pos.rs"),
+    );
+    all_are(&hits, LintCategory::NondeterministicCollection);
+    assert_eq!(hits.len(), 6, "{hits:?}"); // 3× HashMap + 3× HashSet
+    assert_eq!(hits[0].category.code(), codes::LINT_NONDET_COLLECTION);
+}
+
+#[test]
+fn l301_nondet_collection_negative() {
+    let hits = scan_source(
+        PLAIN,
+        include_str!("fixtures/l301_nondet_collection_neg.rs"),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn l302_wall_clock_positive() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/l302_wall_clock_pos.rs"));
+    all_are(&hits, LintCategory::WallClock);
+    // `use … SystemTime`, `Instant::now()`, `SystemTime::now()`.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert_eq!(hits[0].category.code(), codes::LINT_WALL_CLOCK);
+}
+
+#[test]
+fn l302_wall_clock_negative_and_exempt_paths() {
+    let neg = include_str!("fixtures/l302_wall_clock_neg.rs");
+    assert!(scan_source(PLAIN, neg).is_empty());
+    // The same hazardous source is sanctioned on telemetry/bench/watchdog
+    // surfaces.
+    let pos = include_str!("fixtures/l302_wall_clock_pos.rs");
+    for exempt in [
+        "vendor/telemetry/src/lib.rs",
+        "crates/bench/src/bin/fig1_training_curves.rs",
+        "crates/core/src/supervision.rs",
+    ] {
+        assert!(
+            scan_source(exempt, pos).is_empty(),
+            "wall-clock should be exempt under {exempt}"
+        );
+    }
+}
+
+#[test]
+fn l303_thread_spawn_positive() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/l303_thread_spawn_pos.rs"));
+    all_are(&hits, LintCategory::ThreadSpawn);
+    assert_eq!(hits.len(), 2, "{hits:?}"); // thread::spawn + thread::Builder
+    assert_eq!(hits[0].category.code(), codes::LINT_THREAD_SPAWN);
+}
+
+#[test]
+fn l303_thread_spawn_negative_and_exempt_paths() {
+    let neg = include_str!("fixtures/l303_thread_spawn_neg.rs");
+    assert!(scan_source(PLAIN, neg).is_empty());
+    let pos = include_str!("fixtures/l303_thread_spawn_pos.rs");
+    for exempt in ["vendor/threadpool/src/lib.rs", "crates/core/src/supervision.rs"] {
+        assert!(
+            scan_source(exempt, pos).is_empty(),
+            "thread-spawn should be exempt under {exempt}"
+        );
+    }
+}
+
+#[test]
+fn l304_ambient_rng_positive() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/l304_ambient_rng_pos.rs"));
+    all_are(&hits, LintCategory::AmbientRng);
+    // thread_rng, from_entropy, rand::random, RandomState.
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    assert_eq!(hits[0].category.code(), codes::LINT_AMBIENT_RNG);
+}
+
+#[test]
+fn l304_ambient_rng_negative() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/l304_ambient_rng_neg.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn l305_lossy_cast_positive_only_in_checkpoint_paths() {
+    let pos = include_str!("fixtures/l305_lossy_cast_pos.rs");
+    let hits = scan_source(CHECKPOINT, pos);
+    all_are(&hits, LintCategory::LossyCast);
+    assert_eq!(hits.len(), 2, "{hits:?}"); // `as u32` + `as usize`
+    assert_eq!(hits[0].category.code(), codes::LINT_LOSSY_CAST);
+    // Identical source outside a checkpoint path is not policed.
+    assert!(scan_source(PLAIN, pos).is_empty());
+}
+
+#[test]
+fn l305_lossy_cast_negative() {
+    let hits = scan_source(CHECKPOINT, include_str!("fixtures/l305_lossy_cast_neg.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn l306_unsafe_block_positive() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/l306_unsafe_block_pos.rs"));
+    all_are(&hits, LintCategory::UnsafeBlock);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].category.code(), codes::LINT_UNSAFE_BLOCK);
+}
+
+#[test]
+fn l306_unsafe_block_negative_includes_waived_site() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/l306_unsafe_block_neg.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn comments_strings_and_doc_examples_never_count() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/proof_comments_strings.rs"));
+    assert!(hits.is_empty(), "{:?}", categories(&hits));
+    // Even under the strictest path config.
+    let hits = scan_source(CHECKPOINT, include_str!("fixtures/proof_comments_strings.rs"));
+    assert!(hits.is_empty(), "{:?}", categories(&hits));
+}
+
+#[test]
+fn cfg_test_and_mod_tests_regions_never_count() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/proof_cfg_test.rs"));
+    assert!(hits.is_empty(), "{:?}", categories(&hits));
+}
+
+#[test]
+fn hits_render_with_stable_codes_and_why_lines() {
+    let hits = scan_source(PLAIN, include_str!("fixtures/l306_unsafe_block_pos.rs"));
+    let report = hits_to_report(&hits);
+    let json = report.to_json();
+    assert!(json.contains(codes::LINT_UNSAFE_BLOCK), "{json}");
+    assert!(json.contains("reviewed justification"), "{json}");
+}
+
+/// Fragments chosen to stress every tricky lexer path: unbalanced
+/// quotes, stray backslashes, nested comment openers, raw-string fences,
+/// char-vs-lifetime ambiguity and hazard keywords in odd positions.
+fn hostile_fragments() -> Vec<&'static str> {
+    vec![
+        "\"", "'", "\\", "r#\"", "\"#", "r##\"", "/*", "*/", "//", "///", "//!", "b\"",
+        "b'", "'a", "'\\''", "#[", "]", "{", "}", "(", ")", "::", "..", "0x", "1e",
+        "0..10", "unsafe", "HashMap", "Instant", "now", "thread", "spawn", "as", "u32",
+        "panic", "!", "unwrap", ".", "a3cs::allow(", "fn", "pub", "mod tests", "\n",
+        " ", "\t", "é", "∂", "\u{0}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer is total: arbitrary bytes (lossily decoded, as the lint
+    /// driver does for on-disk files) never panic and always terminate.
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = a3cs_check::token::lex(&src);
+        // Token spans must be sane.
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1);
+            prop_assert!(!t.text.is_empty());
+        }
+    }
+
+    /// Adversarial concatenations of lexer-hostile fragments are equally
+    /// safe — and the full scanner inherits totality under both path
+    /// configs.
+    #[test]
+    fn scanner_is_total_on_hostile_fragments(
+        parts in prop::collection::vec(prop::sample::select(hostile_fragments()), 0..80),
+    ) {
+        let src = parts.concat();
+        let _ = a3cs_check::token::lex(&src);
+        let _ = scan_source(PLAIN, &src);
+        let _ = scan_source(CHECKPOINT, &src);
+    }
+
+    /// Quoting any source as a Rust string literal must silence every
+    /// hit: literal interiors are never scanned.
+    #[test]
+    fn string_quoting_silences_all_hits(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "HashMap", "Instant::now()", "thread::spawn", "thread_rng()",
+                "unsafe", "x as u32", ".unwrap()", "panic!", "SystemTime",
+                "from_entropy", "todo!()", " ", ":",
+            ]),
+            0..30,
+        ),
+    ) {
+        let quoted = format!("pub fn f() {{ let _ = {:?}; }}", parts.concat());
+        let hits = scan_source(CHECKPOINT, &quoted);
+        prop_assert!(hits.is_empty(), "{hits:?} from {quoted}");
+    }
+}

@@ -57,6 +57,12 @@ impl Writer {
     /// Length prefix for any repeated element. `u32` bounds a single field
     /// at 4 billion elements — far above any real checkpoint.
     fn len(&mut self, n: usize) {
+        debug_assert!(
+            u32::try_from(n).is_ok(),
+            "field length {n} overflows the u32 prefix"
+        );
+        // a3cs::allow(lossy-cast): guarded above — a field with more than
+        // u32::MAX elements cannot exist in memory.
         self.u32(n as u32);
     }
 
@@ -82,6 +88,8 @@ impl Writer {
     fn usizes(&mut self, xs: &[usize]) {
         self.len(xs.len());
         for &x in xs {
+            // a3cs::allow(lossy-cast): usize→u64 widens losslessly on
+            // every supported platform (usize ≤ 64 bits).
             self.u64(x as u64);
         }
     }
@@ -133,6 +141,7 @@ impl<'a> Reader<'a> {
     /// Read a length prefix, sanity-bounded by the bytes actually left (an
     /// element needs ≥ 1 byte, so a longer claim is corrupt, not huge).
     fn len(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        // a3cs::allow(lossy-cast): u32→usize widens losslessly.
         let n = self.u32(what)? as usize;
         if n > self.buf.len() - self.pos {
             return Err(CheckpointError::Parse(format!(
@@ -162,6 +171,8 @@ impl<'a> Reader<'a> {
 
     fn usizes(&mut self, what: &str) -> Result<Vec<usize>, CheckpointError> {
         let n = self.len(what)?;
+        // a3cs::allow(lossy-cast): round-trips a value `usizes` wrote from
+        // a live usize; 64-bit targets make the cast the exact inverse.
         (0..n).map(|_| Ok(self.u64(what)? as usize)).collect()
     }
 }
@@ -396,6 +407,8 @@ fn put_events(w: &mut Writer, events: &[RobustnessEvent]) {
             .iter()
             .position(|k| *k == e.kind)
             .unwrap_or_default();
+        // a3cs::allow(lossy-cast): `index` is a position within the fixed
+        // RobustnessEventKind::all() table (single digits).
         w.u32(index as u32);
         w.str(&e.detail);
     }
@@ -406,6 +419,7 @@ fn get_events(r: &mut Reader<'_>) -> Result<Vec<RobustnessEvent>, CheckpointErro
     (0..n)
         .map(|_| {
             let iteration = r.u64("event iteration")?;
+            // a3cs::allow(lossy-cast): u32→usize widens losslessly.
             let index = r.u32("event kind")? as usize;
             let kind = *RobustnessEventKind::all().get(index).ok_or_else(|| {
                 CheckpointError::Parse(format!(

@@ -36,6 +36,8 @@ pub const SEARCH_CHECKPOINT_VERSION: u32 = 2;
 // --- bit-safe packing helpers -------------------------------------------
 
 pub(crate) fn u64_pair(x: u64) -> (u32, u32) {
+    // a3cs::allow(lossy-cast): intentional 64→2×32 split; `pair_u64`
+    // reassembles both halves, so the round trip is bit-exact.
     ((x >> 32) as u32, x as u32)
 }
 
@@ -352,6 +354,8 @@ pub(crate) fn env_to_repr(state: &EnvState) -> EnvStateRepr {
         ints: state
             .ints()
             .iter()
+            // a3cs::allow(lossy-cast): i64→u64 keeps the two's-complement
+            // bits; `repr_to_env` inverts it exactly.
             .map(|&i| u64_pair(i as u64))
             .collect(),
         floats: f32_bits(state.floats()),
@@ -362,6 +366,8 @@ pub(crate) fn env_to_repr(state: &EnvState) -> EnvStateRepr {
 pub(crate) fn repr_to_env(repr: &EnvStateRepr) -> EnvState {
     EnvState::from_parts(
         repr.tag.clone(),
+        // a3cs::allow(lossy-cast): u64→i64 is the exact inverse of the
+        // two's-complement cast in `env_to_repr`.
         repr.ints.iter().map(|&p| pair_u64(p) as i64).collect(),
         bits_f32(&repr.floats),
         repr.inner.iter().map(repr_to_env).collect(),

@@ -422,6 +422,8 @@ impl CoSearch {
             }
             let stall_ms = driver.stall_now(phase, st.iteration);
             sup.watchdog.arm(phase, st.iteration, sup.deadline(phase));
+            // a3cs::allow(wall-clock): feeds only the watchdog's EWMA
+            // deadline (observe-only); never touches loop state or results.
             let started = Instant::now();
             if let Some(millis) = stall_ms {
                 st.log.push(

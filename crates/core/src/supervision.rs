@@ -20,7 +20,7 @@
 
 use crate::fault::FaultConfig;
 use crate::robustness::{RobustnessEventKind, RobustnessLog};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -171,7 +171,7 @@ fn watchdog_main(rx: &Receiver<WatchdogMsg>, stalls: &Mutex<Vec<StallRecord>>) {
 /// iteration is never spuriously flagged.
 #[derive(Default)]
 pub(crate) struct PhaseTimings {
-    ewma_ns: HashMap<&'static str, f64>,
+    ewma_ns: BTreeMap<&'static str, f64>,
 }
 
 impl PhaseTimings {

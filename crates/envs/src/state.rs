@@ -145,11 +145,19 @@ impl StateWriter {
 
     /// Append one `isize` (games use `isize` coordinates throughout).
     pub fn isize(&mut self, v: isize) {
+        // a3cs::allow(lossy-cast): isize→i64 widens losslessly on every
+        // supported platform (isize ≤ 64 bits).
         self.int(v as i64);
     }
 
     /// Append one `usize`.
     pub fn usize(&mut self, v: usize) {
+        debug_assert!(
+            i64::try_from(v).is_ok(),
+            "usize state word {v} overflows the i64 slot"
+        );
+        // a3cs::allow(lossy-cast): guarded above; game state sizes are
+        // nowhere near i64::MAX.
         self.int(v as i64);
     }
 
@@ -166,6 +174,8 @@ impl StateWriter {
     /// Append the four state words of a PRNG (bit-cast to `i64`).
     pub fn rng(&mut self, rng: &StdRng) {
         for word in rng.state() {
+            // a3cs::allow(lossy-cast): u64→i64 keeps the two's-complement
+            // bits; `Restore::rng` inverts it exactly.
             self.int(word as i64);
         }
     }
@@ -250,6 +260,8 @@ impl<'a> StateReader<'a> {
 
     /// Read one `isize`.
     pub fn isize(&mut self) -> Result<isize, RestoreError> {
+        // a3cs::allow(lossy-cast): round-trips what `Snapshot::isize`
+        // wrote; i64→isize is the exact inverse on 64-bit targets.
         Ok(self.int()? as isize)
     }
 
@@ -294,6 +306,8 @@ impl<'a> StateReader<'a> {
     pub fn rng(&mut self) -> Result<StdRng, RestoreError> {
         let mut s = [0u64; 4];
         for slot in &mut s {
+            // a3cs::allow(lossy-cast): i64→u64 is the exact inverse of the
+            // two's-complement cast in `Snapshot::rng`.
             *slot = self.int()? as u64;
         }
         Ok(StdRng::from_state(s))

@@ -81,7 +81,10 @@ pub fn try_derive_backbone(
 pub fn derive_backbone(config: &SupernetConfig, choices: &[OpChoice], seed: u64) -> Backbone {
     match try_derive_backbone(config, choices, seed) {
         Ok(backbone) => backbone,
-        Err(e) => panic!("{e}"),
+        // Callers who must handle bad configs use `try_derive_backbone`;
+        // reaching this arm is a caller bug the documented contract rules
+        // out.
+        Err(e) => unreachable!("derive_backbone precondition violated: {e}"),
     }
 }
 

@@ -108,7 +108,10 @@ impl SupernetConfig {
     pub fn cell_plan(&self) -> Vec<(usize, usize, usize)> {
         match self.try_cell_plan() {
             Ok(plan) => plan,
-            Err(e) => panic!("{e}"),
+            // Callers who must handle bad cell counts use `try_cell_plan`;
+            // reaching this arm is a caller bug the documented contract
+            // rules out.
+            Err(e) => unreachable!("cell_plan precondition violated: {e}"),
         }
     }
 

@@ -72,30 +72,34 @@ impl Conv2d {
     }
 
     fn dims(&self, input: FeatureShape) -> ConvDims {
-        match input {
-            FeatureShape::Image {
-                channels,
-                height,
-                width,
-            } => {
-                assert_eq!(
-                    channels, self.in_ch,
-                    "conv {} expects {} input channels, got {}",
-                    self.name, self.in_ch, channels
-                );
-                ConvDims {
-                    in_ch: self.in_ch,
-                    out_ch: self.out_ch,
-                    kernel: self.kernel,
-                    stride: self.stride,
-                    padding: self.padding,
-                    in_h: height,
-                    in_w: width,
-                }
-            }
-            FeatureShape::Flat { .. } => {
-                panic!("conv {} cannot consume a flat feature vector", self.name)
-            }
+        assert!(
+            !matches!(input, FeatureShape::Flat { .. }),
+            "conv {} cannot consume a flat feature vector",
+            self.name
+        );
+        let FeatureShape::Image {
+            channels,
+            height,
+            width,
+        } = input
+        else {
+            // `FeatureShape` has exactly two variants and the assert above
+            // rejected `Flat`.
+            unreachable!()
+        };
+        assert_eq!(
+            channels, self.in_ch,
+            "conv {} expects {} input channels, got {}",
+            self.name, self.in_ch, channels
+        );
+        ConvDims {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            in_h: height,
+            in_w: width,
         }
     }
 }
@@ -207,16 +211,20 @@ impl Module for DepthwiseConv2d {
     }
 
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
+        assert!(
+            !matches!(input, FeatureShape::Flat { .. }),
+            "depthwise conv {} cannot consume a flat feature vector",
+            self.name
+        );
         let FeatureShape::Image {
             channels,
             height,
             width,
         } = input
         else {
-            panic!(
-                "depthwise conv {} cannot consume a flat feature vector",
-                self.name
-            )
+            // `FeatureShape` has exactly two variants and the assert above
+            // rejected `Flat`.
+            unreachable!()
         };
         assert_eq!(
             channels, self.channels,
@@ -312,11 +320,15 @@ impl Module for Linear {
     }
 
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
-        let features = match input {
-            FeatureShape::Flat { features } => features,
-            FeatureShape::Image { .. } => {
-                panic!("linear {} cannot consume an image tensor", self.name)
-            }
+        assert!(
+            !matches!(input, FeatureShape::Image { .. }),
+            "linear {} cannot consume an image tensor",
+            self.name
+        );
+        let FeatureShape::Flat { features } = input else {
+            // `FeatureShape` has exactly two variants and the assert above
+            // rejected `Image`.
+            unreachable!()
         };
         assert_eq!(
             features, self.in_features,
@@ -535,12 +547,16 @@ impl Module for GlobalAvgPool {
     }
 
     fn describe(&self, input: FeatureShape) -> (Vec<LayerDesc>, FeatureShape) {
-        match input {
-            FeatureShape::Image { channels, .. } => {
-                (Vec::new(), FeatureShape::Flat { features: channels })
-            }
-            FeatureShape::Flat { .. } => panic!("global average pool needs an image input"),
-        }
+        assert!(
+            !matches!(input, FeatureShape::Flat { .. }),
+            "global average pool needs an image input"
+        );
+        let FeatureShape::Image { channels, .. } = input else {
+            // `FeatureShape` has exactly two variants and the assert above
+            // rejected `Flat`.
+            unreachable!()
+        };
+        (Vec::new(), FeatureShape::Flat { features: channels })
     }
 }
 

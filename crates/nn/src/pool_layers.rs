@@ -7,24 +7,29 @@ use crate::param::Param;
 use a3cs_tensor::{Tape, Var};
 
 fn pooled_shape(input: FeatureShape, window: usize, stride: usize, what: &str) -> FeatureShape {
-    match input {
-        FeatureShape::Image {
-            channels,
-            height,
-            width,
-        } => {
-            assert!(
-                height >= window && width >= window,
-                "{what} window {window} does not fit {height}x{width}"
-            );
-            FeatureShape::image(
-                channels,
-                (height - window) / stride + 1,
-                (width - window) / stride + 1,
-            )
-        }
-        FeatureShape::Flat { .. } => panic!("{what} needs an image input"),
-    }
+    assert!(
+        !matches!(input, FeatureShape::Flat { .. }),
+        "{what} needs an image input"
+    );
+    let FeatureShape::Image {
+        channels,
+        height,
+        width,
+    } = input
+    else {
+        // `FeatureShape` has exactly two variants and the assert above
+        // rejected `Flat`.
+        unreachable!()
+    };
+    assert!(
+        height >= window && width >= window,
+        "{what} window {window} does not fit {height}x{width}"
+    );
+    FeatureShape::image(
+        channels,
+        (height - window) / stride + 1,
+        (width - window) / stride + 1,
+    )
 }
 
 /// Windowed average pooling as a [`Module`].

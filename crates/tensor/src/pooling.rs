@@ -6,7 +6,7 @@
 
 use crate::tape::Tape;
 use crate::tensor::Tensor;
-use crate::var::Var;
+use crate::var::{sized, Var};
 
 impl Var {
     /// 2-D average pooling (NCHW) with a square window and stride.
@@ -41,7 +41,7 @@ impl Var {
         let id = self.node_id();
         let shape = self.shape();
         self.record(
-            Tensor::from_vec(out, &[n, c, oh, ow]).expect("avg pool shape"),
+            sized(out, &[n, c, oh, ow], "avg pool"),
             Box::new(move |g| {
                 let mut dx = vec![0.0f32; n * c * h * w];
                 for ni in 0..n {
@@ -63,7 +63,7 @@ impl Var {
                         }
                     }
                 }
-                vec![(id, Tensor::from_vec(dx, &shape).expect("avg pool grad"))]
+                vec![(id, sized(dx, &shape, "avg pool grad"))]
             }),
         )
     }
@@ -107,13 +107,13 @@ impl Var {
         let id = self.node_id();
         let shape = self.shape();
         self.record(
-            Tensor::from_vec(out, &[n, c, oh, ow]).expect("max pool shape"),
+            sized(out, &[n, c, oh, ow], "max pool"),
             Box::new(move |g| {
                 let mut dx = vec![0.0f32; n * c * h * w];
                 for (o, &src) in argmax.iter().enumerate() {
                     dx[src] += g.data()[o];
                 }
-                vec![(id, Tensor::from_vec(dx, &shape).expect("max pool grad"))]
+                vec![(id, sized(dx, &shape, "max pool grad"))]
             }),
         )
     }

@@ -10,7 +10,7 @@ use crate::tensor::Tensor;
 use std::rc::Rc;
 
 /// Wrap a buffer whose length the caller derived from `shape` itself.
-fn sized(data: Vec<f32>, shape: &[usize], what: &str) -> Tensor {
+pub(crate) fn sized(data: Vec<f32>, shape: &[usize], what: &str) -> Tensor {
     match Tensor::from_vec(data, shape) {
         Ok(t) => t,
         // Every call site allocates the buffer from the same dimensions it

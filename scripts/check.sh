@@ -19,8 +19,11 @@ cargo run -q --release -p a3cs-bench --bin telemetry_smoke
 echo "==> supervision smoke (worker panic + stall contained in-process)"
 cargo run -q --release -p a3cs-bench --bin supervision_smoke
 
-echo "==> a3cs-check lint ratchet"
-cargo run -q -p a3cs-check --bin lint
+echo "==> a3cs-check determinism lint (deny new findings + stale allowlist)"
+cargo run -q -p a3cs-check --bin lint -- --deny-new
+
+echo "==> threadpool tests under -D warnings"
+RUSTFLAGS="-D warnings" cargo test -q -p threadpool
 
 echo "==> clippy (a3cs-check, -D warnings)"
 cargo clippy -q -p a3cs-check --all-targets --no-deps -- -D warnings

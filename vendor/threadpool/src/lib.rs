@@ -202,6 +202,7 @@ fn worker_main(rx: Arc<Mutex<Receiver<Job>>>, shared: Arc<PoolShared>, lane: usi
         };
         // Observe-only busy-time attribution; the clock is read only while
         // telemetry is enabled and never influences scheduling.
+        // a3cs::allow(wall-clock): feeds per-lane telemetry stats only.
         let started = telemetry::enabled().then(std::time::Instant::now);
         let armed = shared.armed_panic.swap(false, Ordering::SeqCst);
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -401,6 +402,8 @@ impl ThreadPool {
                 // before returning, so no borrow in `task` outlives its
                 // referent.
                 let task: Box<dyn FnOnce() + Send + 'static> =
+                    // a3cs::allow(unsafe-block): reviewed — see the SAFETY
+                    // comment above; the join barrier bounds every lifetime.
                     unsafe { std::mem::transmute(task) };
                 let job = Job {
                     task,
@@ -427,6 +430,7 @@ impl ThreadPool {
         // parallel calls stay inline.
         let local_result = {
             IN_PARALLEL.with(|f| f.set(true));
+            // a3cs::allow(wall-clock): feeds per-lane telemetry stats only.
             let started = telemetry::enabled().then(std::time::Instant::now);
             let r = catch_unwind(AssertUnwindSafe(local));
             if let Some(started) = started {
