@@ -3,6 +3,7 @@
 //! overall hardware cost back-propagated to every sampled knob through the
 //! softmax relaxation.
 
+use crate::memo::{CachedCostModel, CostModel, MemoStats};
 use crate::predictor::{CostWeights, PerfModel, PerfReport};
 use crate::space::SearchSpace;
 use crate::template::AcceleratorConfig;
@@ -32,6 +33,10 @@ pub struct DasConfig {
     pub lr: f64,
     /// Cost weights fed to the predictor.
     pub cost: CostWeights,
+    /// `log2` of the transposition-table cost cache (0 disables caching;
+    /// cached and direct evaluation are bit-identical, so this only
+    /// trades memory for speed — see `memo.rs`).
+    pub memo_log2: u32,
 }
 
 impl Default for DasConfig {
@@ -45,6 +50,7 @@ impl Default for DasConfig {
             temperature_decay: 0.995,
             lr: 0.5,
             cost: CostWeights::default(),
+            memo_log2: 14,
         }
     }
 }
@@ -63,6 +69,11 @@ pub struct DasEngine {
     rng: StdRng,
     baseline: Option<f64>,
     temperature: f64,
+    /// Memoized predictor front-end (`None` when `memo_log2 == 0`).
+    /// Deliberately absent from [`DasState`]: cached results are
+    /// bit-identical to direct evaluation, so the cache is pure
+    /// acceleration state and resume stays exact without it.
+    cache: Option<CachedCostModel>,
 }
 
 /// The complete mutable state of a [`DasEngine`], as captured by
@@ -122,12 +133,14 @@ impl DasEngine {
         let sizes = config.space.knob_sizes(config.num_chunks, config.max_layers);
         let logits = sizes.iter().map(|&s| vec![0.0f64; s]).collect();
         let temperature = config.temperature;
+        let cache = (config.memo_log2 > 0).then(|| CachedCostModel::new(config.memo_log2));
         DasEngine {
             config,
             logits,
             rng: StdRng::seed_from_u64(seed),
             baseline: None,
             temperature,
+            cache,
         }
     }
 
@@ -240,7 +253,19 @@ impl DasEngine {
         let num_layers = layers.len();
         let (choices, softs) = self.sample(num_layers);
         let accel = self.decode(&choices, num_layers);
-        let report = PerfModel::evaluate(&accel, layers, target);
+        let report = match &mut self.cache {
+            Some(cache) => {
+                cache.begin(
+                    &self.config.space,
+                    self.config.num_chunks,
+                    layers,
+                    target,
+                    &self.config.cost,
+                );
+                cache.evaluate_config(&accel)
+            }
+            None => PerfModel::evaluate(&accel, layers, target),
+        };
         let cost = PerfModel::cost(&report, target, &self.config.cost);
 
         // Variance-reduced scalar signal, normalised by the baseline scale.
@@ -287,8 +312,19 @@ impl DasEngine {
     /// The argmax-`φ` accelerator for a `num_layers`-deep network.
     #[must_use]
     pub fn best(&self, num_layers: usize) -> AcceleratorConfig {
+        self.decode(&self.best_choices(num_layers), num_layers)
+    }
+
+    /// The argmax-`φ` choice vector for a `num_layers`-deep network, in
+    /// canonical form (assignment tail sorted — the same repair
+    /// [`DasEngine::decode`] applies). This is the natural seed for
+    /// [`BeamSearch::run_from`] refinement.
+    ///
+    /// [`BeamSearch::run_from`]: crate::BeamSearch::run_from
+    #[must_use]
+    pub fn best_choices(&self, num_layers: usize) -> Vec<usize> {
         let n = self.knob_count_for(num_layers);
-        let choices: Vec<usize> = self.logits[..n]
+        let mut choices: Vec<usize> = self.logits[..n]
             .iter()
             .map(|l| {
                 let mut best = 0;
@@ -300,7 +336,15 @@ impl DasEngine {
                 best
             })
             .collect();
-        self.decode(&choices, num_layers)
+        let split = self.config.space.chunk_knob_sizes().len() * self.config.num_chunks;
+        choices[split..].sort_unstable();
+        choices
+    }
+
+    /// Cost-cache counters, when caching is enabled (`memo_log2 > 0`).
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<MemoStats> {
+        self.cache.as_ref().map(CachedCostModel::stats)
     }
 
     /// Mean entropy (nats) of the knob distributions — decreases as the
@@ -424,6 +468,52 @@ mod tests {
         assert_eq!(run(11), run(11));
         // Different seeds explore differently (overwhelmingly likely).
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn das_with_and_without_cache_are_bit_identical() {
+        // The cost cache must be pure acceleration: any deviation in a
+        // cached cost would perturb the gradient stream and diverge the
+        // runs, so equal final state proves bit-identity end to end.
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut cached = DasEngine::new(DasConfig::default(), 17);
+        let mut direct = DasEngine::new(
+            DasConfig {
+                memo_log2: 0,
+                ..DasConfig::default()
+            },
+            17,
+        );
+        let best_cached = cached.run(&layers, &target, 150);
+        let best_direct = direct.run(&layers, &target, 150);
+        assert_eq!(best_cached, best_direct);
+        assert_eq!(cached.export_state(), direct.export_state());
+        // At 150 hot-temperature iterations the sampler rarely repeats an
+        // exact (knobs, assignment) pair, so assert engagement rather
+        // than hits — hit-rate behaviour is covered by the memo tests.
+        let stats = cached.cache_stats().unwrap_or_default();
+        assert!(stats.chunk_misses > 0, "cache never engaged: {stats:?}");
+        assert_eq!(direct.cache_stats(), None);
+    }
+
+    #[test]
+    fn best_choices_decode_to_best() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let mut das = DasEngine::new(DasConfig::default(), 23);
+        let _ = das.run(&layers, &target, 50);
+        let choices = das.best_choices(layers.len());
+        assert_eq!(
+            das.config().space.decode(
+                das.config().num_chunks,
+                layers.len(),
+                &choices
+            ),
+            das.best(layers.len())
+        );
     }
 
     #[test]

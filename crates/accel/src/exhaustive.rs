@@ -1,6 +1,7 @@
 //! Exhaustive enumeration of (small) accelerator spaces — ground truth
 //! for validating the DAS and random-search engines.
 
+use crate::memo::{CachedCostModel, CostModel};
 use crate::predictor::{CostWeights, PerfModel};
 use crate::space::SearchSpace;
 use crate::template::AcceleratorConfig;
@@ -17,6 +18,7 @@ pub struct ExhaustiveSearch {
     cost: CostWeights,
     max_evaluations: u64,
     legality_filter: bool,
+    cache: Option<CachedCostModel>,
 }
 
 impl ExhaustiveSearch {
@@ -39,7 +41,19 @@ impl ExhaustiveSearch {
             cost,
             max_evaluations,
             legality_filter: false,
+            cache: None,
         }
+    }
+
+    /// Front the predictor with a transposition-table cost cache of
+    /// `2^log2_entries` slots. The odometer enumeration varies one knob at
+    /// a time, so the per-chunk partial table converts most of each
+    /// evaluation into lookups; results are bit-identical to the uncached
+    /// run.
+    #[must_use]
+    pub fn with_cache(mut self, log2_entries: u32) -> Self {
+        self.cache = Some(CachedCostModel::new(log2_entries));
+        self
     }
 
     /// Enable the legality pre-filter: enumeration still visits every
@@ -64,7 +78,7 @@ impl ExhaustiveSearch {
     /// point in the space.
     #[must_use]
     pub fn run(
-        &self,
+        &mut self,
         layers: &[LayerDesc],
         target: &FpgaTarget,
     ) -> (AcceleratorConfig, f64, u64) {
@@ -76,6 +90,9 @@ impl ExhaustiveSearch {
             "space has {total} points, above the cap of {}",
             self.max_evaluations
         );
+        if let Some(cache) = &mut self.cache {
+            cache.begin(&self.space, self.num_chunks, layers, target, &self.cost);
+        }
 
         let mut choices = vec![0usize; sizes.len()];
         let mut best: Option<(AcceleratorConfig, f64)> = None;
@@ -86,8 +103,13 @@ impl ExhaustiveSearch {
             let legal = !self.legality_filter
                 || (accel.within_budget(target) && accel.assignment_contiguous());
             if legal {
-                let report = PerfModel::evaluate(&accel, layers, target);
-                let cost = PerfModel::cost(&report, target, &self.cost);
+                let cost = match &mut self.cache {
+                    Some(cache) => cache.cost_config(&accel),
+                    None => {
+                        let report = PerfModel::evaluate(&accel, layers, target);
+                        PerfModel::cost(&report, target, &self.cost)
+                    }
+                };
                 if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                     best = Some((accel, cost));
                 }
@@ -139,6 +161,7 @@ pub fn tiny_space() -> SearchSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::beam::{BeamConfig, BeamSearch};
     use crate::das::{DasConfig, DasEngine};
     use crate::random_search::RandomSearch;
     use a3cs_nn::vanilla;
@@ -153,9 +176,24 @@ mod tests {
         let layers = layers();
         let sizes = space.knob_sizes(1, layers.len());
         let expect: u64 = sizes.iter().map(|&s| s as u64).product();
-        let search = ExhaustiveSearch::new(space, 1, CostWeights::default(), 100_000);
+        let mut search = ExhaustiveSearch::new(space, 1, CostWeights::default(), 100_000);
         let (_, _, visited) = search.run(&layers, &FpgaTarget::zc706());
         assert_eq!(visited, expect);
+    }
+
+    #[test]
+    fn cached_enumeration_is_bit_identical_to_direct() {
+        let space = tiny_space();
+        let layers = layers();
+        let target = FpgaTarget::zc706();
+        let mut direct = ExhaustiveSearch::new(space.clone(), 1, CostWeights::default(), 100_000);
+        let mut cached = ExhaustiveSearch::new(space, 1, CostWeights::default(), 100_000)
+            .with_cache(12);
+        let (best_d, cost_d, visited_d) = direct.run(&layers, &target);
+        let (best_c, cost_c, visited_c) = cached.run(&layers, &target);
+        assert_eq!(best_d, best_c);
+        assert_eq!(cost_d.to_bits(), cost_c.to_bits());
+        assert_eq!(visited_d, visited_c);
     }
 
     #[test]
@@ -163,12 +201,31 @@ mod tests {
         let space = tiny_space();
         let layers = layers();
         let target = FpgaTarget::zc706();
-        let search = ExhaustiveSearch::new(space.clone(), 1, CostWeights::default(), 100_000);
+        let mut search = ExhaustiveSearch::new(space.clone(), 1, CostWeights::default(), 100_000);
         let (_, optimum, _) = search.run(&layers, &target);
 
         let mut random = RandomSearch::new(space.clone(), 1, CostWeights::default(), 1);
         let (_, rand_cost) = random.run(&layers, &target, 500);
         assert!(rand_cost >= optimum - 1e-6);
+
+        let mut beam = BeamSearch::new(
+            BeamConfig {
+                space: space.clone(),
+                num_chunks: 1,
+                width: 8,
+                mutations_per_parent: 6,
+                ..BeamConfig::default()
+            },
+            2,
+        );
+        let (_, beam_cost) = beam.run(&layers, &target, 10);
+        assert!(beam_cost >= optimum - 1e-6);
+        // On a 96-point space the beam should land on (or right next to)
+        // the global optimum.
+        assert!(
+            beam_cost <= optimum * 1.5,
+            "beam cost {beam_cost} too far from optimum {optimum}"
+        );
 
         let mut das = DasEngine::new(
             DasConfig {
@@ -202,8 +259,9 @@ mod tests {
         let space = tiny_space();
         let layers = layers();
         let target = FpgaTarget::zc706();
-        let plain = ExhaustiveSearch::new(space.clone(), 2, CostWeights::default(), 10_000_000);
-        let filtered = ExhaustiveSearch::new(space, 2, CostWeights::default(), 10_000_000)
+        let mut plain =
+            ExhaustiveSearch::new(space.clone(), 2, CostWeights::default(), 10_000_000);
+        let mut filtered = ExhaustiveSearch::new(space, 2, CostWeights::default(), 10_000_000)
             .with_legality_filter();
         let (_, plain_cost, plain_visited) = plain.run(&layers, &target);
         let (best, filtered_cost, filtered_visited) = filtered.run(&layers, &target);
@@ -221,7 +279,7 @@ mod tests {
             dsp_limit: 1,
             ..FpgaTarget::zc706()
         };
-        let search = ExhaustiveSearch::new(tiny_space(), 1, CostWeights::default(), 100_000)
+        let mut search = ExhaustiveSearch::new(tiny_space(), 1, CostWeights::default(), 100_000)
             .with_legality_filter();
         let _ = search.run(&layers(), &impossible);
     }
@@ -229,7 +287,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "above the cap")]
     fn oversized_space_is_refused() {
-        let search =
+        let mut search =
             ExhaustiveSearch::new(SearchSpace::default(), 4, CostWeights::default(), 1_000);
         let _ = search.run(&layers(), &FpgaTarget::zc706());
     }

@@ -23,7 +23,12 @@
 //! - [`DasEngine`]: Gumbel-Softmax search over the knobs (Eq. 9);
 //! - [`DnnBuilderModel`]: the DNNBuilder-style baseline accelerator
 //!   generator used in Fig. 3;
-//! - [`RandomSearch`]: a uniform-sampling baseline for ablations.
+//! - [`RandomSearch`]: a uniform-sampling baseline for ablations;
+//! - [`CachedCostModel`]: a transposition-table cost cache fronting the
+//!   predictor (bit-identical to direct evaluation), with per-chunk
+//!   partial memoization;
+//! - [`BeamSearch`]: deterministic beam search over the space, built on
+//!   the cache (single-knob mutations + assignment-boundary shifts).
 //!
 //! # Example
 //!
@@ -42,19 +47,23 @@
 
 #![deny(missing_docs)]
 
+mod beam;
 mod das;
 mod dnnbuilder;
 mod exhaustive;
+mod memo;
 mod predictor;
 mod random_search;
 mod space;
 mod template;
 mod zc706;
 
+pub use beam::{BeamConfig, BeamSearch};
 pub use das::{DasConfig, DasEngine, DasState, DasStateError};
 pub use dnnbuilder::DnnBuilderModel;
 pub use exhaustive::{tiny_space, ExhaustiveSearch};
-pub use predictor::{CostWeights, LayerDims, PerfModel, PerfReport};
+pub use memo::{CachedCostModel, CostModel, DirectCost, KeyHasher, MemoStats};
+pub use predictor::{ChunkPartial, CostWeights, LayerDims, PerfModel, PerfReport};
 pub use random_search::RandomSearch;
 pub use space::{SearchSpace, SpaceError};
 pub use template::{

@@ -85,19 +85,28 @@ impl LayerDims {
         self.m as f64 * self.n as f64 * (self.k * self.k) as f64 * (self.r * self.c) as f64
     }
 
-    fn input_bytes(&self) -> f64 {
-        let in_h = self.r * self.stride + self.k;
-        let in_w = self.c * self.stride + self.k;
+    /// Input-activation footprint in bytes. `R` output rows at stride `s`
+    /// with a `K`-wide kernel read an input halo of `(R-1)·s + K` rows
+    /// (the first output needs `K` rows, each further output `s` more) —
+    /// an FC layer (`r = c = k = stride = 1`) reads exactly `n` operands.
+    #[must_use]
+    pub fn input_bytes(&self) -> f64 {
+        let in_h = (self.r.saturating_sub(1)) * self.stride + self.k;
+        let in_w = (self.c.saturating_sub(1)) * self.stride + self.k;
         let in_ch = if self.depthwise { self.m } else { self.n };
         in_ch as f64 * (in_h * in_w) as f64 * BYTES
     }
 
-    fn weight_bytes(&self) -> f64 {
+    /// Weight footprint in bytes.
+    #[must_use]
+    pub fn weight_bytes(&self) -> f64 {
         let n = if self.depthwise { 1 } else { self.n };
         self.m as f64 * n as f64 * (self.k * self.k) as f64 * BYTES
     }
 
-    fn output_bytes(&self) -> f64 {
+    /// Output-activation footprint in bytes.
+    #[must_use]
+    pub fn output_bytes(&self) -> f64 {
         self.m as f64 * (self.r * self.c) as f64 * BYTES
     }
 }
@@ -123,6 +132,19 @@ pub struct PerfReport {
     pub feasible: bool,
     /// Number of layers whose tiles overflowed the buffers (thrashing).
     pub thrashing_layers: usize,
+}
+
+/// Cycle, energy and thrashing contribution of one chunk's assigned
+/// layers — the memoizable unit of [`PerfModel::evaluate`] (see
+/// [`PerfModel::chunk_partial`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkPartial {
+    /// Total cycles over the chunk's assigned layers.
+    pub cycles: f64,
+    /// Energy contribution of those layers, relative pJ units.
+    pub energy: f64,
+    /// Assigned layers whose tiles overflowed the buffers.
+    pub thrashing: usize,
 }
 
 /// Weights of the scalar search cost derived from a [`PerfReport`].
@@ -192,8 +214,11 @@ impl PerfModel {
             + dims.weight_bytes() * trips_w
             + dims.output_bytes() * trips_out;
 
-        // --- Buffer feasibility (double-buffered tiles must fit).
-        let in_tile = tn as f64 * ((tr * dims.stride + dims.k) * (tc * dims.stride + dims.k)) as f64 * BYTES;
+        // --- Buffer feasibility (double-buffered tiles must fit). A tile
+        // of `Tr` output rows reads a `(Tr-1)·stride + K` input halo.
+        let in_tile = tn as f64
+            * (((tr - 1) * dims.stride + dims.k) * ((tc - 1) * dims.stride + dims.k)) as f64
+            * BYTES;
         let w_tile = if dims.depthwise {
             tm as f64 * (dims.k * dims.k) as f64 * BYTES
         } else {
@@ -223,34 +248,115 @@ impl PerfModel {
         layers: &[LayerDesc],
         target: &FpgaTarget,
     ) -> PerfReport {
+        let dims: Vec<LayerDims> = layers.iter().map(LayerDims::from_desc).collect();
+        Self::evaluate_dims(accel, &dims, target)
+    }
+
+    /// [`PerfModel::evaluate`] over pre-extracted [`LayerDims`] — the form
+    /// the memoizing model (`memo.rs`) reuses so cached and direct paths
+    /// share one code path bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length does not match `dims`, or indexes a
+    /// missing chunk.
+    #[must_use]
+    pub fn evaluate_dims(
+        accel: &AcceleratorConfig,
+        dims: &[LayerDims],
+        target: &FpgaTarget,
+    ) -> PerfReport {
         assert_eq!(
             accel.assignment.len(),
-            layers.len(),
+            dims.len(),
             "assignment must cover every layer"
         );
         assert!(accel.assignment_valid(), "assignment indexes missing chunk");
-        let num_chunks = accel.chunks.len().max(1);
-        let bw_share = target.dram_bytes_per_cycle() / num_chunks as f64;
+        let assigned = Self::assigned_layers(accel);
+        let bw_share = Self::bandwidth_share(accel, target);
+        let partials: Vec<ChunkPartial> = accel
+            .chunks
+            .iter()
+            .zip(assigned.iter())
+            .map(|(chunk, layer_ids)| Self::chunk_partial(chunk, dims, layer_ids, bw_share))
+            .collect();
+        Self::assemble(accel, target, &partials)
+    }
 
-        let mut chunk_cycles = vec![0.0f64; accel.chunks.len()];
-        let mut energy = 0.0f64;
-        let mut thrashing_layers = 0;
-        for (layer, &chunk_idx) in layers.iter().zip(accel.assignment.iter()) {
-            let chunk = &accel.chunks[chunk_idx];
-            let dims = LayerDims::from_desc(layer);
-            let (cycles, thrash) = Self::layer_cycles(chunk, &dims, bw_share);
-            chunk_cycles[chunk_idx] += cycles;
-            thrashing_layers += usize::from(thrash);
+    /// Per-chunk lists of assigned layer indices, in layer order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment entry indexes a missing chunk.
+    #[must_use]
+    pub fn assigned_layers(accel: &AcceleratorConfig) -> Vec<Vec<usize>> {
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); accel.chunks.len()];
+        for (layer, &chunk_idx) in accel.assignment.iter().enumerate() {
+            assigned[chunk_idx].push(layer);
+        }
+        assigned
+    }
 
-            let macs = dims.macs();
-            let traffic = dims.input_bytes() + dims.weight_bytes() + dims.output_bytes();
-            energy += macs * (E_MAC + chunk.noc.energy_per_hop())
+    /// DRAM bytes per cycle available to each *active* chunk. Bandwidth is
+    /// shared only among chunks with at least one assigned layer: a chunk
+    /// that never issues a DRAM request consumes no bandwidth, so a
+    /// 4-chunk design routing every layer to chunk 0 costs exactly what
+    /// the 1-chunk design costs.
+    #[must_use]
+    pub fn bandwidth_share(accel: &AcceleratorConfig, target: &FpgaTarget) -> f64 {
+        let mut active = vec![false; accel.chunks.len()];
+        for &chunk_idx in &accel.assignment {
+            active[chunk_idx] = true;
+        }
+        let n = active.iter().filter(|&&a| a).count().max(1);
+        target.dram_bytes_per_cycle() / n as f64
+    }
+
+    /// Cycle, energy and thrashing contribution of the layers `assigned`
+    /// to one chunk, accumulated in `assigned` order. This is the unit the
+    /// transposition-table cache memoizes: its result depends only on the
+    /// chunk's knobs, the assigned layers' dimensions and the bandwidth
+    /// share.
+    #[must_use]
+    pub fn chunk_partial(
+        chunk: &ChunkConfig,
+        dims: &[LayerDims],
+        assigned: &[usize],
+        bw_share: f64,
+    ) -> ChunkPartial {
+        let mut partial = ChunkPartial {
+            cycles: 0.0,
+            energy: 0.0,
+            thrashing: 0,
+        };
+        for &layer in assigned {
+            let d = &dims[layer];
+            let (cycles, thrash) = Self::layer_cycles(chunk, d, bw_share);
+            partial.cycles += cycles;
+            partial.thrashing += usize::from(thrash);
+            let macs = d.macs();
+            let traffic = d.input_bytes() + d.weight_bytes() + d.output_bytes();
+            partial.energy += macs * (E_MAC + chunk.noc.energy_per_hop())
                 + traffic * E_DRAM
                 + macs * 0.1 * E_SRAM;
         }
+        partial
+    }
 
+    /// Assemble a [`PerfReport`] from per-chunk partials (one per chunk,
+    /// in chunk order). Shared by the direct and memoized paths so both
+    /// produce bit-identical reports.
+    #[must_use]
+    pub fn assemble(
+        accel: &AcceleratorConfig,
+        target: &FpgaTarget,
+        partials: &[ChunkPartial],
+    ) -> PerfReport {
+        let chunk_cycles: Vec<f64> = partials.iter().map(|p| p.cycles).collect();
         let bottleneck = chunk_cycles.iter().copied().fold(0.0, f64::max);
         let total: f64 = chunk_cycles.iter().sum();
+        let energy: f64 = partials.iter().map(|p| p.energy).sum();
+        let thrashing_layers: usize = partials.iter().map(|p| p.thrashing).sum();
         let dsp_used = accel.total_pes();
         let bram_kb_used = accel.total_buffer_kb();
         let feasible = dsp_used <= target.dsp_limit && bram_kb_used <= target.bram_kb_limit;
@@ -486,6 +592,73 @@ mod tests {
             ..CostWeights::default()
         };
         assert!(PerfModel::cost(&large, &target, &heavy).is_finite());
+    }
+
+    #[test]
+    fn fc_input_bytes_have_no_halo() {
+        // Regression: the input halo is (r-1)*stride + k, not r*stride + k.
+        // An FC layer (r = c = k = stride = 1) reads exactly `n` operands —
+        // the old formula overcounted its input traffic 4x.
+        let fc = LayerDims::from_desc(&LayerDesc {
+            name: "fc".into(),
+            op: LayerOp::Fc {
+                in_features: 4096,
+                out_features: 512,
+            },
+        });
+        assert_eq!(fc.input_bytes(), 4096.0 * BYTES);
+        assert_eq!(fc.output_bytes(), 512.0 * BYTES);
+        assert_eq!(fc.weight_bytes(), 4096.0 * 512.0 * BYTES);
+    }
+
+    #[test]
+    fn conv_input_halo_matches_sliding_window() {
+        // 8 output rows at stride 2 with a 3-wide kernel touch
+        // (8-1)*2 + 3 = 17 input rows.
+        let d = LayerDims {
+            m: 4,
+            n: 3,
+            r: 8,
+            c: 8,
+            k: 3,
+            stride: 2,
+            depthwise: false,
+        };
+        assert_eq!(d.input_bytes(), 3.0 * (17 * 17) as f64 * BYTES);
+    }
+
+    #[test]
+    fn idle_chunks_do_not_consume_bandwidth() {
+        // Regression: bandwidth is shared among chunks with >= 1 assigned
+        // layer, so a 4-chunk design routing everything to chunk 0 costs
+        // exactly what the 1-chunk design costs.
+        let layers = vec![conv_layer(16, 32, 16, 3); 4];
+        let target = FpgaTarget::zc706();
+        let four = AcceleratorConfig {
+            chunks: vec![chunk(8, 8); 4],
+            assignment: vec![0; 4],
+        };
+        let one = single_chunk_accel(8, 8, 4);
+        let r4 = PerfModel::evaluate(&four, &layers, &target);
+        let r1 = PerfModel::evaluate(&one, &layers, &target);
+        assert!(r4.feasible && r1.feasible);
+        assert_eq!(r4.bottleneck_cycles, r1.bottleneck_cycles);
+        let w = CostWeights::default();
+        assert_eq!(
+            PerfModel::cost(&r4, &target, &w),
+            PerfModel::cost(&r1, &target, &w)
+        );
+    }
+
+    #[test]
+    fn bandwidth_share_counts_only_active_chunks() {
+        let target = FpgaTarget::zc706();
+        let accel = AcceleratorConfig {
+            chunks: vec![chunk(8, 8); 4],
+            assignment: vec![0, 0, 2, 2],
+        };
+        let share = PerfModel::bandwidth_share(&accel, &target);
+        assert_eq!(share, target.dram_bytes_per_cycle() / 2.0);
     }
 
     #[test]

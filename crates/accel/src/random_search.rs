@@ -1,6 +1,7 @@
 //! Uniform random search over the accelerator space — the ablation
 //! baseline for DAS.
 
+use crate::memo::{CachedCostModel, CostModel};
 use crate::predictor::{CostWeights, PerfModel};
 use crate::space::SearchSpace;
 use crate::template::AcceleratorConfig;
@@ -17,6 +18,7 @@ pub struct RandomSearch {
     cost: CostWeights,
     rng: StdRng,
     best: Option<(AcceleratorConfig, f64)>,
+    cache: Option<CachedCostModel>,
 }
 
 impl RandomSearch {
@@ -34,7 +36,17 @@ impl RandomSearch {
             cost,
             rng: StdRng::seed_from_u64(seed),
             best: None,
+            cache: None,
         }
+    }
+
+    /// Front the predictor with a transposition-table cost cache of
+    /// `2^log2_entries` slots (bit-identical results; pure speedup on
+    /// workloads that revisit candidates).
+    #[must_use]
+    pub fn with_cache(mut self, log2_entries: u32) -> Self {
+        self.cache = Some(CachedCostModel::new(log2_entries));
+        self
     }
 
     /// Sample one configuration, evaluate it, and track the best. Returns
@@ -69,8 +81,16 @@ impl RandomSearch {
             accel = sample(rng);
             attempt += 1;
         }
-        let report = PerfModel::evaluate(&accel, layers, target);
-        let cost = PerfModel::cost(&report, target, &self.cost);
+        let cost = match &mut self.cache {
+            Some(cache) => {
+                cache.begin(space, num_chunks, layers, target, &self.cost);
+                cache.cost_config(&accel)
+            }
+            None => {
+                let report = PerfModel::evaluate(&accel, layers, target);
+                PerfModel::cost(&report, target, &self.cost)
+            }
+        };
         if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
             self.best = Some((accel, cost));
         }
@@ -126,6 +146,21 @@ mod tests {
         let (_, after_10) = rs.run(&layers, &target, 10);
         let (_, after_more) = rs.run(&layers, &target, 90);
         assert!(after_more <= after_10);
+    }
+
+    #[test]
+    fn cached_random_search_matches_uncached() {
+        let net = vanilla(4, 12, 12, 32, 0);
+        let layers = net.layer_descs();
+        let target = FpgaTarget::zc706();
+        let space = SearchSpace::default();
+        let mut plain = RandomSearch::new(space.clone(), 2, CostWeights::default(), 7);
+        let mut cached =
+            RandomSearch::new(space, 2, CostWeights::default(), 7).with_cache(10);
+        let (best_p, cost_p) = plain.run(&layers, &target, 60);
+        let (best_c, cost_c) = cached.run(&layers, &target, 60);
+        assert_eq!(best_p, best_c);
+        assert_eq!(cost_p.to_bits(), cost_c.to_bits());
     }
 
     #[test]

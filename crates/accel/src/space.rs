@@ -71,6 +71,55 @@ pub(crate) fn buffer_split_count() -> usize {
     BUFFER_SPLITS.len()
 }
 
+/// Apportion `total_kb` KiB among (input, weight, output) by the largest-
+/// remainder method: floor each share, then hand the leftover KiB to the
+/// largest fractional remainders (ties broken by operand order). The
+/// three parts always sum to exactly `total_kb` — naive rounding could
+/// exceed the selected budget (e.g. 32 KiB x (1/3, 1/3, 1/3) rounds to
+/// 11+11+11 = 33 KiB).
+fn split_buffer(total_kb: usize, fractions: (f64, f64, f64)) -> BufferAlloc {
+    let fr = [fractions.0, fractions.1, fractions.2];
+    let mut parts = [0usize; 3];
+    let mut remainders = [0f64; 3];
+    for i in 0..3 {
+        let raw = total_kb as f64 * fr[i];
+        let floor = raw.floor();
+        parts[i] = floor as usize;
+        remainders[i] = raw - floor;
+    }
+    let mut leftover = total_kb.saturating_sub(parts.iter().sum::<usize>());
+    let mut order = [0usize, 1, 2];
+    order.sort_by(|&a, &b| {
+        remainders[b]
+            .total_cmp(&remainders[a])
+            .then(a.cmp(&b))
+    });
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        parts[i] += 1;
+        leftover -= 1;
+    }
+    // Every operand needs at least 1 KiB; steal from the largest part
+    // (unreachable for the shipped option lists, where the smallest share
+    // is 0.2 x 32 KiB, but decode stays total for arbitrary spaces).
+    for i in 0..3 {
+        if parts[i] == 0 {
+            let max = (0..3).fold(0, |m, j| if parts[j] > parts[m] { j } else { m });
+            if parts[max] > 1 {
+                parts[max] -= 1;
+                parts[i] = 1;
+            }
+        }
+    }
+    BufferAlloc {
+        input_kb: parts[0],
+        weight_kb: parts[1],
+        output_kb: parts[2],
+    }
+}
+
 /// Why a choice vector failed to decode against a [`SearchSpace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpaceError {
@@ -215,8 +264,6 @@ impl SearchSpace {
                 });
             }
         }
-        let total = self.buffer_totals_kb[choices[4]] as f64;
-        let (fi, fw, fo) = BUFFER_SPLITS[choices[5]];
         Ok(ChunkConfig {
             pe: PeArray {
                 rows: self.pe_rows[choices[0]],
@@ -224,11 +271,7 @@ impl SearchSpace {
             },
             noc: self.nocs[choices[2]],
             dataflow: self.dataflows[choices[3]],
-            buffers: BufferAlloc {
-                input_kb: (total * fi).round().max(1.0) as usize,
-                weight_kb: (total * fw).round().max(1.0) as usize,
-                output_kb: (total * fo).round().max(1.0) as usize,
-            },
+            buffers: split_buffer(self.buffer_totals_kb[choices[4]], BUFFER_SPLITS[choices[5]]),
             tiling: Tiling {
                 tm: self.tm[choices[6]],
                 tn: self.tn[choices[7]],
@@ -374,12 +417,32 @@ mod tests {
 
     #[test]
     fn decode_chunk_buffer_split_sums_to_total() {
+        // Largest-remainder allocation: the three shares sum to exactly
+        // the selected budget for every (total, split) pair in the space.
         let space = SearchSpace::default();
-        for split in 0..buffer_split_count() {
-            let chunk = space.decode_chunk(&[0, 0, 0, 0, 2, split, 0, 0, 0, 0]);
-            let total = chunk.buffers.total_kb() as i64;
-            assert!((total - 128).abs() <= 2, "split {split}: total {total}");
+        for (budget, &total_kb) in space.buffer_totals_kb.iter().enumerate() {
+            for split in 0..buffer_split_count() {
+                let chunk = space.decode_chunk(&[0, 0, 0, 0, budget, split, 0, 0, 0, 0]);
+                assert_eq!(
+                    chunk.buffers.total_kb(),
+                    total_kb,
+                    "budget {total_kb} KiB, split {split}: {:?}",
+                    chunk.buffers
+                );
+                assert!(chunk.buffers.input_kb >= 1);
+                assert!(chunk.buffers.weight_kb >= 1);
+                assert!(chunk.buffers.output_kb >= 1);
+            }
         }
+    }
+
+    #[test]
+    fn split_buffer_handles_thirds_exactly() {
+        // 32 x (1/3, 1/3, 1/3): floors are 10+10+10, the 2 leftover KiB go
+        // to the two largest remainders (input, weight by operand order).
+        let alloc = split_buffer(32, (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0));
+        assert_eq!((alloc.input_kb, alloc.weight_kb, alloc.output_kb), (11, 11, 10));
+        assert_eq!(alloc.total_kb(), 32);
     }
 
     #[test]

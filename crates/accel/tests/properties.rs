@@ -1,7 +1,14 @@
 //! Property tests for the accelerator model: decode totality, predictor
-//! monotonicity and cost sanity over random configurations.
+//! monotonicity and cost sanity over random configurations, plus the
+//! memoization contract — the transposition-table cost cache must be
+//! bit-identical to direct evaluation over arbitrary legal choice
+//! vectors (cold, warm, and under eviction pressure), and beam search
+//! must be deterministic given its seed.
 
-use a3cs_accel::{CostWeights, FpgaTarget, PerfModel, SearchSpace};
+use a3cs_accel::{
+    tiny_space, BeamConfig, BeamSearch, CachedCostModel, CostModel, CostWeights, DirectCost,
+    FpgaTarget, PerfModel, SearchSpace,
+};
 use a3cs_nn::{ConvDims, LayerDesc, LayerOp};
 use proptest::prelude::*;
 
@@ -123,5 +130,95 @@ proptest! {
         let report = PerfModel::evaluate(&cfg, &layers, &FpgaTarget::zc706());
         prop_assert_eq!(report.dsp_used, cfg.total_pes());
         prop_assert_eq!(report.bram_kb_used, cfg.total_buffer_kb());
+    }
+}
+
+proptest! {
+    // The memoization properties evaluate many configs per case; keep
+    // the case count lower than the cheap decode/predictor block above.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cold pass, then a warm pass over the same pool: every cached cost
+    /// is bit-identical to direct `PerfModel` evaluation.
+    #[test]
+    fn cached_costs_are_bit_identical_to_direct(
+        layers in random_layers(),
+        chunks in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::default();
+        let target = FpgaTarget::zc706();
+        let weights = CostWeights::default();
+        let pool: Vec<Vec<usize>> = (0..12)
+            .map(|i| random_choices(&space, chunks, layers.len(), seed.wrapping_add(i)))
+            .collect();
+
+        let mut direct = DirectCost::new();
+        let mut cached = CachedCostModel::new(10);
+        direct.begin(&space, chunks, &layers, &target, &weights);
+        cached.begin(&space, chunks, &layers, &target, &weights);
+        for pass in 0..2 {
+            for choices in &pool {
+                let want = direct.cost_choices(choices);
+                let got = cached.cost_choices(choices);
+                prop_assert_eq!(
+                    want.to_bits(), got.to_bits(),
+                    "pass {} diverged: cached {} != direct {}", pass, got, want
+                );
+            }
+        }
+        // The warm pass revisits every pool entry, so the cache engaged.
+        prop_assert!(cached.stats().hits >= pool.len() as u64);
+    }
+
+    /// A 16-slot cache thrashed by a pool far larger than its capacity
+    /// still never serves a wrong cost (key verification on probe).
+    #[test]
+    fn eviction_pressure_never_corrupts_a_cost(
+        layers in random_layers(),
+        chunks in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::default();
+        let target = FpgaTarget::zc706();
+        let weights = CostWeights::default();
+        let pool: Vec<Vec<usize>> = (0..48)
+            .map(|i| random_choices(&space, chunks, layers.len(), seed.wrapping_add(i)))
+            .collect();
+
+        let mut direct = DirectCost::new();
+        let mut tiny = CachedCostModel::new(4);
+        direct.begin(&space, chunks, &layers, &target, &weights);
+        tiny.begin(&space, chunks, &layers, &target, &weights);
+        for _ in 0..2 {
+            for choices in &pool {
+                let want = direct.cost_choices(choices);
+                let got = tiny.cost_choices(choices);
+                prop_assert_eq!(want.to_bits(), got.to_bits());
+            }
+        }
+        prop_assert!(tiny.stats().evictions > 0, "pool of 48 never displaced a 16-slot cache");
+    }
+
+    /// Two beam searches built from the same seed walk the same
+    /// trajectory: identical best config and bit-identical cost.
+    #[test]
+    fn beam_search_is_deterministic_given_seed(
+        seed in 0u64..10_000,
+        layers in random_layers(),
+    ) {
+        let cfg = BeamConfig {
+            space: tiny_space(),
+            num_chunks: 2,
+            width: 4,
+            mutations_per_parent: 3,
+            cost: CostWeights::default(),
+            memo_log2: 8,
+        };
+        let target = FpgaTarget::zc706();
+        let (cfg_a, cost_a) = BeamSearch::new(cfg.clone(), seed).run(&layers, &target, 4);
+        let (cfg_b, cost_b) = BeamSearch::new(cfg, seed).run(&layers, &target, 4);
+        prop_assert_eq!(cfg_a, cfg_b);
+        prop_assert_eq!(cost_a.to_bits(), cost_b.to_bits());
     }
 }

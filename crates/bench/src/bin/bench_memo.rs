@@ -1,0 +1,183 @@
+//! Transposition-table cost-cache benchmark: sweep throughput of the
+//! memoized predictor vs direct evaluation on a repeated-evaluation
+//! workload (the shape every search engine produces — beam generations,
+//! converged DAS sampling and exhaustive re-runs all revisit candidates).
+//!
+//! The workload draws a pool of single-knob-mutation neighbours around a
+//! base design (beam/DAS locality) and sweeps the pool for several
+//! rounds. The direct leg decodes and runs the analytical predictor for
+//! every visit; the cached leg serves revisits from the full-config
+//! table and first visits through the per-chunk partial table. Both legs
+//! must produce bit-identical cost vectors.
+//!
+//! Emits `BENCH_memo.json` in the working directory.
+//!
+//! ```sh
+//! cargo run --release -p a3cs-bench --bin bench_memo
+//! ```
+
+use a3cs_accel::{
+    CachedCostModel, CostModel, CostWeights, DirectCost, FpgaTarget, MemoStats, SearchSpace,
+};
+use a3cs_bench::report::{status, warn};
+use a3cs_nn::resnet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Pipeline chunks (paper scale).
+const CHUNKS: usize = 4;
+/// Distinct candidates in the sweep pool.
+const POOL: usize = 400;
+/// Sweep rounds over the pool (round 1 is cold, the rest revisit).
+const ROUNDS: usize = 12;
+/// Cost-cache size exponent (the `DasConfig` default).
+const MEMO_LOG2: u32 = 14;
+/// Acceptance floor on cached/uncached throughput.
+const MIN_SPEEDUP: f64 = 5.0;
+/// Acceptance floor on the full-table hit rate.
+const MIN_HIT_RATE: f64 = 0.5;
+
+#[derive(Serialize)]
+struct MemoBench {
+    chunks: usize,
+    layers: usize,
+    pool: usize,
+    rounds: usize,
+    memo_log2: u32,
+    uncached_ms: f64,
+    cached_ms: f64,
+    uncached_evals_per_sec: f64,
+    cached_evals_per_sec: f64,
+    speedup: f64,
+    hit_rate: f64,
+    bit_identical: bool,
+    stats: MemoStats,
+}
+
+/// Sweep the whole pool once through `model`, appending each cost.
+fn sweep(model: &mut dyn CostModel, pool: &[Vec<usize>], costs: &mut Vec<f64>) {
+    for choices in pool {
+        costs.push(model.cost_choices(choices));
+    }
+}
+
+fn main() {
+    let space = SearchSpace::default();
+    let layers = resnet(14, 4, 12, 12, 8, 32, 0).layer_descs();
+    let target = FpgaTarget::zc706();
+    let weights = CostWeights::default();
+    let sizes = space.knob_sizes(CHUNKS, layers.len());
+    let split = space.chunk_knob_sizes().len() * CHUNKS;
+
+    // Candidate pool: a base design plus single-knob-mutation neighbours
+    // (every candidate distinct from the base in exactly one position).
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut base: Vec<usize> = sizes.iter().map(|&s| rng.gen_range(0..s)).collect();
+    base[split..].sort_unstable();
+    let mut pool = vec![base.clone()];
+    while pool.len() < POOL {
+        let mut c = base.clone();
+        let k = rng.gen_range(0..split);
+        if sizes[k] <= 1 {
+            continue;
+        }
+        let mut v = rng.gen_range(0..sizes[k] - 1);
+        if v >= c[k] {
+            v += 1;
+        }
+        c[k] = v;
+        pool.push(c);
+    }
+
+    status(format!(
+        "cost-cache sweep: {POOL} candidates x {ROUNDS} rounds, {CHUNKS} chunks, {} layers\n",
+        layers.len()
+    ));
+
+    let mut direct = DirectCost::new();
+    direct.begin(&space, CHUNKS, &layers, &target, &weights);
+    let mut cached = CachedCostModel::new(MEMO_LOG2);
+    cached.begin(&space, CHUNKS, &layers, &target, &weights);
+
+    // Warm-up round per leg (CPU caches; the cost cache is then reset so
+    // the timed leg still pays its cold round).
+    let mut scratch = Vec::with_capacity(POOL);
+    sweep(&mut direct, &pool, &mut scratch);
+    scratch.clear();
+    sweep(&mut cached, &pool, &mut scratch);
+    cached = CachedCostModel::new(MEMO_LOG2);
+    cached.begin(&space, CHUNKS, &layers, &target, &weights);
+
+    let mut direct_costs = Vec::with_capacity(POOL * ROUNDS);
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        sweep(&mut direct, &pool, &mut direct_costs);
+    }
+    let uncached_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut cached_costs = Vec::with_capacity(POOL * ROUNDS);
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        sweep(&mut cached, &pool, &mut cached_costs);
+    }
+    let cached_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let evals = (POOL * ROUNDS) as f64;
+    let uncached_eps = evals / (uncached_ms / 1e3);
+    let cached_eps = evals / (cached_ms / 1e3);
+    let speedup = uncached_ms / cached_ms;
+    let stats = cached.stats();
+    let hit_rate = stats.hit_rate();
+    let bit_identical = direct_costs.len() == cached_costs.len()
+        && direct_costs
+            .iter()
+            .zip(cached_costs.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    status(format!(
+        "direct {uncached_ms:8.1} ms ({uncached_eps:9.0} evals/s)   cached {cached_ms:8.1} ms ({cached_eps:9.0} evals/s)"
+    ));
+    status(format!(
+        "speedup {speedup:.1}x   hit rate {:.1}%   evals saved {}   bit-identical {bit_identical}",
+        hit_rate * 100.0,
+        stats.evals_saved()
+    ));
+
+    let bench = MemoBench {
+        chunks: CHUNKS,
+        layers: layers.len(),
+        pool: POOL,
+        rounds: ROUNDS,
+        memo_log2: MEMO_LOG2,
+        uncached_ms,
+        cached_ms,
+        uncached_evals_per_sec: uncached_eps,
+        cached_evals_per_sec: cached_eps,
+        speedup,
+        hit_rate,
+        bit_identical,
+        stats,
+    };
+    match serde_json::to_string_pretty(&bench) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_memo.json", json + "\n") {
+                warn(format!("cannot write BENCH_memo.json: {e}"));
+            } else {
+                status("\n(results written to BENCH_memo.json)");
+            }
+        }
+        Err(e) => warn(format!("cannot serialise results: {e}")),
+    }
+
+    assert!(bit_identical, "cached and direct costs diverged");
+    assert!(
+        hit_rate > MIN_HIT_RATE,
+        "hit rate {hit_rate:.3} at or below the {MIN_HIT_RATE} floor"
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor"
+    );
+}

@@ -1,0 +1,117 @@
+//! Cost-cache consistency gate for `scripts/check.sh`: a fixed workload
+//! that must hold four invariants of the transposition-table memoization
+//! layer (`a3cs-accel::memo`) on every run:
+//!
+//! 1. cached and direct costs are **bit-identical** over a mixed
+//!    revisit workload;
+//! 2. the full-config **hit rate clears a floor** on that workload
+//!    (the cache actually engages — it is not silently missing);
+//! 3. bit-identity survives **eviction pressure** (a 16-slot cache
+//!    displaced hundreds of times never serves a wrong cost);
+//! 4. beam search is **deterministic given its seed**.
+//!
+//! ```sh
+//! cargo run --release -p a3cs-bench --bin memo_smoke
+//! ```
+
+use a3cs_accel::{
+    tiny_space, BeamConfig, BeamSearch, CachedCostModel, CostModel, CostWeights, DirectCost,
+    FpgaTarget,
+};
+use a3cs_bench::report::status;
+use a3cs_nn::vanilla;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinct candidates in the fixed pool.
+const POOL: usize = 40;
+/// Draws from the pool (with revisits).
+const DRAWS: usize = 200;
+/// Hit-rate floor for the main leg (pool fits the cache, so all
+/// revisits hit: expected rate is `1 - POOL/DRAWS` = 0.8).
+const MIN_HIT_RATE: f64 = 0.5;
+
+fn main() {
+    let space = tiny_space();
+    let chunks = 2;
+    let layers = vanilla(4, 12, 12, 32, 0).layer_descs();
+    let target = FpgaTarget::zc706();
+    let weights = CostWeights::default();
+    let sizes = space.knob_sizes(chunks, layers.len());
+    let split = space.chunk_knob_sizes().len() * chunks;
+
+    let mut rng = StdRng::seed_from_u64(1234);
+    let pool: Vec<Vec<usize>> = (0..POOL)
+        .map(|_| {
+            let mut c: Vec<usize> = sizes.iter().map(|&s| rng.gen_range(0..s)).collect();
+            c[split..].sort_unstable();
+            c
+        })
+        .collect();
+    let draws: Vec<usize> = (0..DRAWS).map(|_| rng.gen_range(0..POOL)).collect();
+
+    // --- 1 + 2: bit-identity and hit-rate floor on the revisit workload.
+    let mut direct = DirectCost::new();
+    let mut cached = CachedCostModel::new(10);
+    direct.begin(&space, chunks, &layers, &target, &weights);
+    cached.begin(&space, chunks, &layers, &target, &weights);
+    for (n, &i) in draws.iter().enumerate() {
+        let want = direct.cost_choices(&pool[i]);
+        let got = cached.cost_choices(&pool[i]);
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "draw {n}: cached {got} != direct {want}"
+        );
+    }
+    let stats = cached.stats();
+    status(format!(
+        "consistency: {DRAWS} draws bit-identical, hit rate {:.1}% ({} hits / {} misses)",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.misses
+    ));
+    assert!(
+        stats.hit_rate() >= MIN_HIT_RATE,
+        "hit rate {:.3} below the {MIN_HIT_RATE} floor",
+        stats.hit_rate()
+    );
+
+    // --- 3: eviction pressure never corrupts a cost. 16 slots, the same
+    // workload: every slot is displaced over and over.
+    let mut tiny = CachedCostModel::new(4);
+    tiny.begin(&space, chunks, &layers, &target, &weights);
+    for &i in &draws {
+        let want = direct.cost_choices(&pool[i]);
+        let got = tiny.cost_choices(&pool[i]);
+        assert_eq!(want.to_bits(), got.to_bits(), "eviction-pressure mismatch");
+    }
+    status(format!(
+        "eviction pressure: 16-slot cache, {} evictions, still bit-identical",
+        tiny.stats().evictions
+    ));
+    assert!(tiny.stats().evictions > 0, "pressure leg never evicted");
+
+    // --- 4: beam determinism given a seed.
+    let beam_cfg = BeamConfig {
+        space,
+        num_chunks: chunks,
+        width: 6,
+        mutations_per_parent: 4,
+        cost: weights,
+        memo_log2: 10,
+    };
+    let mut a = BeamSearch::new(beam_cfg.clone(), 77);
+    let mut b = BeamSearch::new(beam_cfg, 77);
+    let (cfg_a, cost_a) = a.run(&layers, &target, 8);
+    let (cfg_b, cost_b) = b.run(&layers, &target, 8);
+    assert_eq!(cfg_a, cfg_b, "beam configs diverged across identical seeds");
+    assert_eq!(
+        cost_a.to_bits(),
+        cost_b.to_bits(),
+        "beam costs diverged across identical seeds"
+    );
+    status(format!("beam determinism: seed 77 reproduces cost {cost_a:.1}"));
+
+    status("memo smoke passed");
+}

@@ -21,6 +21,29 @@ pub enum SearchScheme {
     DirectNas,
 }
 
+/// Which engine derives the final matched accelerator `φ*` after the
+/// co-search loop finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeriveEngine {
+    /// DAS alone: `das_final_iters` Gumbel-Softmax refinement iterations
+    /// and the argmax `φ` (the paper's derivation).
+    #[default]
+    Das,
+    /// DAS followed by beam-search refinement seeded with the DAS argmax
+    /// vector: the beam's local moves (single-knob mutations +
+    /// assignment-boundary shifts) polish the design through the
+    /// transposition-table cost cache. Never returns a design worse than
+    /// the DAS argmax (the seed stays in the beam).
+    DasThenBeam {
+        /// Beam width.
+        width: usize,
+        /// Beam generations.
+        generations: usize,
+        /// Random single-knob mutations per beam member per generation.
+        mutations: usize,
+    },
+}
+
 /// Full configuration of a co-search run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoSearchConfig {
@@ -28,6 +51,9 @@ pub struct CoSearchConfig {
     pub supernet: SupernetConfig,
     /// Accelerator search engine settings.
     pub das: DasConfig,
+    /// Engine deriving the final accelerator (DAS alone, or DAS + beam
+    /// refinement).
+    pub derive_engine: DeriveEngine,
     /// FPGA resource/clock target.
     pub target: FpgaTarget,
     /// Search scheme (Fig. 2 ablation axis).
@@ -83,6 +109,7 @@ impl CoSearchConfig {
         CoSearchConfig {
             supernet: SupernetConfig::paper(planes, height, width),
             das: DasConfig::default(),
+            derive_engine: DeriveEngine::default(),
             target: FpgaTarget::zc706(),
             scheme: SearchScheme::OneLevel,
             distill: DistillConfig::ac_distillation(),

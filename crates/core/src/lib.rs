@@ -44,7 +44,7 @@ mod robustness;
 mod supervision;
 
 pub use checkpoint::{config_fingerprint, CheckpointError, SearchCheckpoint, SEARCH_CHECKPOINT_VERSION};
-pub use config::{CoSearchConfig, SearchScheme};
+pub use config::{CoSearchConfig, DeriveEngine, SearchScheme};
 pub use fault::{CheckpointFormat, Fault, FaultConfig, FaultPlan};
 pub use pipeline::{per_op_costs, preflight, CoSearch, SearchError};
 pub use result::CoSearchResult;

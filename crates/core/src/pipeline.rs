@@ -9,12 +9,12 @@ use crate::checkpoint::{
     supernet_to_repr, tensors_to_repr, u64_pair, CheckpointError, SearchCheckpoint,
     SEARCH_CHECKPOINT_VERSION,
 };
-use crate::config::{CoSearchConfig, SearchScheme};
+use crate::config::{CoSearchConfig, DeriveEngine, SearchScheme};
 use crate::fault::{CheckpointFormat, FaultDriver};
 use crate::result::CoSearchResult;
 use crate::robustness::{RobustnessEventKind, RobustnessLog};
 use crate::supervision::Supervisor;
-use a3cs_accel::{DasEngine, PerfModel};
+use a3cs_accel::{BeamConfig, BeamSearch, DasEngine, PerfModel};
 use a3cs_check::{check_search_setup, check_supernet, max_arch_depth, Report};
 use a3cs_drl::{
     a2c_losses, clip_grad_norm, evaluate, ActorCritic, Adam, CheckpointStore, DistillConfig,
@@ -899,9 +899,39 @@ impl CoSearch {
             self.supernet.set_eval_sampling(false);
             let arch = self.supernet.most_likely_arch();
             let final_layers = self.supernet.most_likely_layer_descs();
-            let accelerator = self
-                .das
-                .run(&final_layers, &cfg.target, cfg.das_final_iters);
+            let accelerator = match cfg.derive_engine {
+                DeriveEngine::Das => {
+                    self.das
+                        .run(&final_layers, &cfg.target, cfg.das_final_iters)
+                }
+                DeriveEngine::DasThenBeam {
+                    width,
+                    generations,
+                    mutations,
+                } => {
+                    let _ = self
+                        .das
+                        .run(&final_layers, &cfg.target, cfg.das_final_iters);
+                    // Seed the beam with the DAS argmax vector: the seed
+                    // stays in the beam, so refinement can only match or
+                    // improve the DAS design's cost.
+                    let seed_choices = self.das.best_choices(final_layers.len());
+                    let mut beam = BeamSearch::new(
+                        BeamConfig {
+                            space: cfg.das.space.clone(),
+                            num_chunks: cfg.das.num_chunks,
+                            width,
+                            mutations_per_parent: mutations,
+                            cost: cfg.das.cost,
+                            memo_log2: cfg.das.memo_log2,
+                        },
+                        self.seed.wrapping_add(3),
+                    );
+                    let (refined, _) =
+                        beam.run_from(&[seed_choices], &final_layers, &cfg.target, generations);
+                    refined
+                }
+            };
             let report = PerfModel::evaluate(&accelerator, &final_layers, &cfg.target);
             (arch, accelerator, report)
         };
@@ -963,6 +993,37 @@ mod tests {
         );
         assert!(!result.score_curve.is_empty());
         assert!(result.steps >= 300);
+    }
+
+    #[test]
+    fn beam_refined_derivation_never_loses_to_das_alone() {
+        // Same config and seed, so both runs reach the derive phase with
+        // identical DAS state; the beam is seeded with the DAS argmax and
+        // keeps it in the beam, so its design can only match or improve.
+        use a3cs_accel::CostWeights;
+        let seed = 4;
+        let mut das_only = search(tiny_config(200), seed);
+        let das_result = das_only.run(&factory, None);
+        let mut cfg = tiny_config(200);
+        cfg.derive_engine = DeriveEngine::DasThenBeam {
+            width: 6,
+            generations: 4,
+            mutations: 4,
+        };
+        let mut refined = search(cfg.clone(), seed);
+        let refined_result = refined.run(&factory, None);
+        assert_eq!(das_result.arch, refined_result.arch, "α derivation unchanged");
+        let layers = refined.supernet().most_likely_layer_descs();
+        assert_eq!(refined_result.accelerator.assignment.len(), layers.len());
+        assert!(refined_result.accelerator.assignment_contiguous());
+        let weights = CostWeights::default();
+        let cost_of = |r: &CoSearchResult| PerfModel::cost(&r.report, &cfg.target, &weights);
+        assert!(
+            cost_of(&refined_result) <= cost_of(&das_result) + 1e-9,
+            "beam refinement must not regress: {} vs {}",
+            cost_of(&refined_result),
+            cost_of(&das_result)
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@ cargo run -q --release -p a3cs-bench --bin telemetry_smoke
 echo "==> supervision smoke (worker panic + stall contained in-process)"
 cargo run -q --release -p a3cs-bench --bin supervision_smoke
 
+echo "==> memo smoke (cost-cache bit-identity + hit-rate floor + beam determinism)"
+cargo run -q --release -p a3cs-bench --bin memo_smoke
+
 echo "==> a3cs-check determinism lint (deny new findings + stale allowlist)"
 cargo run -q -p a3cs-check --bin lint -- --deny-new
 

@@ -34,7 +34,8 @@ pub use metrics::{
     all_counters, all_gauges, all_histograms, Counter, CounterSample, Gauge, GaugeSample,
     Histogram, HistogramSample, MetricsSnapshot, CHECKPOINT_BYTES, CHECKPOINT_BYTES_HIST,
     CONV_MACS, ENV_STEPS, EVAL_EPISODES, EVAL_STEPS, GEMM_CALLS, GEMM_MACS, GEMM_MACS_HIST,
-    LOSS_DISTILL_ACTOR, LOSS_DISTILL_CRITIC, LOSS_TOTAL, POOL_TASKS, ROLLBACK_COUNT,
+    LOSS_DISTILL_ACTOR, LOSS_DISTILL_CRITIC, LOSS_TOTAL, MEMO_CHUNK_HITS, MEMO_EVALS_SAVED,
+    MEMO_EVICTIONS, MEMO_HITS, MEMO_MISSES, POOL_TASKS, ROLLBACK_COUNT,
 };
 pub use summary::{PhaseStat, TelemetrySummary};
 pub use trace::{

@@ -192,6 +192,16 @@ pub static CHECKPOINT_BYTES: Counter = Counter::new("checkpoint.bytes");
 pub static ROLLBACK_COUNT: Counter = Counter::new("rollback.count");
 /// Tasks executed across all pool lanes.
 pub static POOL_TASKS: Counter = Counter::new("pool.tasks");
+/// Full-config hits in the accelerator cost cache.
+pub static MEMO_HITS: Counter = Counter::new("memo.hits");
+/// Full-config misses in the accelerator cost cache.
+pub static MEMO_MISSES: Counter = Counter::new("memo.misses");
+/// Live cost-cache entries displaced by newer results (both tables).
+pub static MEMO_EVICTIONS: Counter = Counter::new("memo.evictions");
+/// Per-chunk partial hits in the accelerator cost cache.
+pub static MEMO_CHUNK_HITS: Counter = Counter::new("memo.chunk_hits");
+/// Full predictor evaluations avoided by the cost cache.
+pub static MEMO_EVALS_SAVED: Counter = Counter::new("memo.evals_saved");
 
 /// Latest total A2C+distillation loss.
 pub static LOSS_TOTAL: Gauge = Gauge::new("loss.total");
@@ -205,7 +215,7 @@ pub static GEMM_MACS_HIST: Histogram = Histogram::new("gemm.macs.per_call");
 /// Distribution of bytes per checkpoint write.
 pub static CHECKPOINT_BYTES_HIST: Histogram = Histogram::new("checkpoint.bytes.per_write");
 
-static COUNTERS: [&Counter; 9] = [
+static COUNTERS: [&Counter; 14] = [
     &GEMM_MACS,
     &GEMM_CALLS,
     &CONV_MACS,
@@ -215,6 +225,11 @@ static COUNTERS: [&Counter; 9] = [
     &CHECKPOINT_BYTES,
     &ROLLBACK_COUNT,
     &POOL_TASKS,
+    &MEMO_HITS,
+    &MEMO_MISSES,
+    &MEMO_EVICTIONS,
+    &MEMO_CHUNK_HITS,
+    &MEMO_EVALS_SAVED,
 ];
 static GAUGES: [&Gauge; 3] = [&LOSS_TOTAL, &LOSS_DISTILL_ACTOR, &LOSS_DISTILL_CRITIC];
 static HISTOGRAMS: [&Histogram; 2] = [&GEMM_MACS_HIST, &CHECKPOINT_BYTES_HIST];
