@@ -435,7 +435,16 @@ impl CoSearch {
             }
             let pool = Arc::clone(&sup.pool);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                threadpool::with_pool(pool, || f(&mut *self, st, driver))
+                threadpool::with_pool(pool, || {
+                    if attempts == 0 {
+                        f(&mut *self, st, driver)
+                    } else {
+                        // Tag every record a retry produces with its attempt
+                        // number; the first execution stays untagged so
+                        // fault-free traces are byte-identical to before.
+                        telemetry::with_retry(Some(attempts), || f(&mut *self, st, driver))
+                    }
+                })
             }));
             sup.watchdog.disarm();
             sup.timings.record(phase, started.elapsed());
@@ -566,6 +575,26 @@ impl CoSearch {
         factory: &EnvFactory<'_>,
         teacher: Option<&ActorCritic>,
     ) -> Result<CoSearchResult, SearchError> {
+        let mut run = self.start_run(factory);
+        loop {
+            if run.step(self, factory, teacher)? == StepOutcome::Finished {
+                return Ok(run.finish(self));
+            }
+        }
+    }
+
+    /// Begin a guarded run without driving it to completion: the prologue
+    /// of [`CoSearch::run_guarded`] — fresh loop state, checkpoint store,
+    /// auto-resume from the newest valid on-disk checkpoint (rebuilding the
+    /// search from scratch when a recovered checkpoint is rejected), fault
+    /// driver and supervisor — reified as a [`GuardedRun`] stepper.
+    ///
+    /// The fleet orchestrator uses this to interleave many sessions
+    /// cooperatively on one thread, one [`GuardedRun::step`] per scheduler
+    /// tick; `run_guarded` is exactly `start_run` + `step` to completion +
+    /// [`GuardedRun::finish`], so a stepped run is bit-identical to a
+    /// driven one.
+    pub fn start_run(&mut self, factory: &EnvFactory<'_>) -> GuardedRun {
         let cfg = self.config.clone();
         let distill = match cfg.scheme {
             SearchScheme::DirectNas => DistillConfig {
@@ -573,10 +602,6 @@ impl CoSearch {
                 ..cfg.distill
             },
             _ => cfg.distill,
-        };
-        let teacher = match distill.mode {
-            DistillMode::None => None,
-            _ => teacher,
         };
 
         let cap = cfg.episode_cap;
@@ -589,8 +614,9 @@ impl CoSearch {
             .checkpoint_dir
             .as_ref()
             .map(|dir| CheckpointStore::new(dir.clone(), cfg.fault.keep));
-        let mut driver = FaultDriver::new(cfg.fault.plan.clone());
+        let driver = FaultDriver::new(cfg.fault.plan.clone());
         let checkpoint_every = cfg.fault.checkpoint_every.max(1);
+        let mut restore_count: u64 = 0;
 
         // --- auto-resume from the newest valid on-disk checkpoint.
         if let Some(store) = &store {
@@ -614,6 +640,8 @@ impl CoSearch {
                 });
                 match outcome {
                     Ok(()) => {
+                        telemetry::CHECKPOINT_RESTORES.add(1);
+                        restore_count += 1;
                         st.log.push(
                             st.iteration,
                             RobustnessEventKind::Resumed,
@@ -643,7 +671,7 @@ impl CoSearch {
         // --- supervision: contain in-process faults instead of dying.
         // Auto-enabled when the plan schedules one, so injected faults are
         // never accidentally fatal.
-        let mut sup: Option<Supervisor> = (cfg.fault.supervision
+        let sup: Option<Supervisor> = (cfg.fault.supervision
             || cfg.fault.plan.has_supervised_fault())
         .then(|| {
             let lanes = cfg.threads.unwrap_or_else(|| threadpool::current().threads());
@@ -658,78 +686,177 @@ impl CoSearch {
             constant_steps: cfg.total_steps / 3,
             total_steps: cfg.total_steps,
         };
-        let mut last_good: Option<SearchCheckpoint> = None;
 
         // Rollouts sample operator paths per Eq. 6 (Alg. 1); evaluations
-        // below temporarily switch back to the argmax network.
+        // temporarily switch back to the argmax network.
         self.supernet.set_eval_sampling(true);
-        while st.steps < cfg.total_steps {
-            // --- simulated crash (only ever fires from the fault plan).
-            if driver.abort_now(st.iteration) {
-                st.log.push(
-                    st.iteration,
-                    RobustnessEventKind::FaultInjected,
-                    "abort (simulated crash)",
-                );
-                self.supernet.set_eval_sampling(false);
-                return Err(SearchError::Aborted {
-                    iteration: st.iteration,
-                });
-            }
+        GuardedRun {
+            cfg,
+            distill,
+            st,
+            store,
+            driver,
+            checkpoint_every,
+            sup,
+            weight_params,
+            alpha_params,
+            schedule,
+            last_good: None,
+            bytes_written: 0,
+            restore_count,
+        }
+    }
+}
 
-            // Phase spans are observe-only: they time the iteration but
-            // never influence it (see DESIGN.md §11).
-            let _iteration_span = telemetry::span!("iteration", st.iteration);
+/// Outcome of one [`GuardedRun::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One co-search iteration (or a divergence rollback) ran; the step
+    /// budget is not yet spent.
+    Ran,
+    /// The step budget is spent: call [`GuardedRun::finish`] to derive the
+    /// final architecture/accelerator pair.
+    Finished,
+}
 
-            // --- checkpoint boundary: persist and/or arm the rollback.
-            if (store.is_some() || cfg.fault.sentinel) && st.iteration % checkpoint_every == 0 {
-                let _span = telemetry::span!("checkpoint_io");
-                let ck = self.capture_checkpoint(&st);
-                if let Some(store) = &store {
-                    let payload = match cfg.fault.format {
-                        CheckpointFormat::Json => ck.to_json().into_bytes(),
-                        CheckpointFormat::Binary => ck.to_bytes(),
-                    };
-                    telemetry::CHECKPOINT_BYTES.add(payload.len() as u64);
-                    telemetry::CHECKPOINT_BYTES_HIST.record(payload.len() as u64);
-                    match store.write(st.iteration, &payload) {
-                        Ok(path) => {
-                            for applied in driver.corrupt_checkpoint_now(st.iteration, &path) {
-                                st.log
-                                    .push(st.iteration, RobustnessEventKind::FaultInjected, applied);
-                            }
+/// An in-flight guarded co-search: the fault-tolerance machinery of
+/// [`CoSearch::run_guarded`] — auto-resume, periodic checkpoints,
+/// divergence rollback, fault injection, supervised phases — reified as a
+/// stepper, so a caller can interleave many searches cooperatively (the
+/// fleet orchestrator drives one `step` per scheduler tick and polls
+/// progress between ticks).
+///
+/// Holds no borrow of its [`CoSearch`]: the search, environment factory
+/// and teacher are passed into every call, and must be the ones
+/// [`CoSearch::start_run`] saw (same config, same seed, same factory) or
+/// the trajectory diverges from the solo run's.
+pub struct GuardedRun {
+    cfg: CoSearchConfig,
+    distill: DistillConfig,
+    st: RunState,
+    store: Option<CheckpointStore>,
+    driver: FaultDriver,
+    checkpoint_every: u64,
+    sup: Option<Supervisor>,
+    weight_params: Vec<Param>,
+    alpha_params: Vec<Param>,
+    schedule: LrSchedule,
+    last_good: Option<SearchCheckpoint>,
+    bytes_written: u64,
+    restore_count: u64,
+}
+
+impl GuardedRun {
+    /// Run one co-search iteration, or conclude that the budget is spent.
+    ///
+    /// A divergence rollback counts as a step: state rewinds to the last
+    /// good checkpoint and [`StepOutcome::Ran`] is returned without the
+    /// iteration counter advancing — exactly the `continue` of the driven
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CoSearch::run_guarded`]:
+    /// [`SearchError::Aborted`] when a scheduled crash fires,
+    /// [`SearchError::RunAbort`] when a supervised phase exhausts its
+    /// retries. After an error the run should be dropped; the checkpoint
+    /// store (if any) holds the last persisted state for a restart.
+    pub fn step(
+        &mut self,
+        search: &mut CoSearch,
+        factory: &EnvFactory<'_>,
+        teacher: Option<&ActorCritic>,
+    ) -> Result<StepOutcome, SearchError> {
+        if self.st.steps >= self.cfg.total_steps {
+            return Ok(StepOutcome::Finished);
+        }
+        let teacher = match self.distill.mode {
+            DistillMode::None => None,
+            _ => teacher,
+        };
+
+        // --- simulated crash (only ever fires from the fault plan).
+        if self.driver.abort_now(self.st.iteration) {
+            self.st.log.push(
+                self.st.iteration,
+                RobustnessEventKind::FaultInjected,
+                "abort (simulated crash)",
+            );
+            search.supernet.set_eval_sampling(false);
+            return Err(SearchError::Aborted {
+                iteration: self.st.iteration,
+            });
+        }
+
+        // Phase spans are observe-only: they time the iteration but
+        // never influence it (see DESIGN.md §11).
+        let _iteration_span = telemetry::span!("iteration", self.st.iteration);
+
+        // --- checkpoint boundary: persist and/or arm the rollback.
+        if (self.store.is_some() || self.cfg.fault.sentinel)
+            && self.st.iteration % self.checkpoint_every == 0
+        {
+            let _span = telemetry::span!("checkpoint_io");
+            let ck = search.capture_checkpoint(&self.st);
+            if let Some(store) = &self.store {
+                let payload = match self.cfg.fault.format {
+                    CheckpointFormat::Json => ck.to_json().into_bytes(),
+                    CheckpointFormat::Binary => ck.to_bytes(),
+                };
+                telemetry::CHECKPOINT_BYTES.add(payload.len() as u64);
+                telemetry::CHECKPOINT_BYTES_HIST.record(payload.len() as u64);
+                match store.write(self.st.iteration, &payload) {
+                    Ok(path) => {
+                        telemetry::CHECKPOINT_BYTES_WRITTEN.add(payload.len() as u64);
+                        self.bytes_written += payload.len() as u64;
+                        for applied in
+                            self.driver.corrupt_checkpoint_now(self.st.iteration, &path)
+                        {
+                            self.st.log.push(
+                                self.st.iteration,
+                                RobustnessEventKind::FaultInjected,
+                                applied,
+                            );
                         }
-                        Err(e) => st.log.push(
-                            st.iteration,
-                            RobustnessEventKind::CheckpointWriteFailed,
-                            e.to_string(),
-                        ),
                     }
-                }
-                if cfg.fault.sentinel {
-                    last_good = Some(ck);
+                    Err(e) => self.st.log.push(
+                        self.st.iteration,
+                        RobustnessEventKind::CheckpointWriteFailed,
+                        e.to_string(),
+                    ),
                 }
             }
+            if self.cfg.fault.sentinel {
+                self.last_good = Some(ck);
+            }
+        }
 
-            self.supernet.set_step(st.steps);
+        search.supernet.set_step(self.st.steps);
 
-            // --- φ update (Eq. 5/9) on the current most-likely network.
-            self.supervised(&mut st, &mut driver, &mut sup, "das_sweep", |s, _st, _driver| {
+        // --- φ update (Eq. 5/9) on the current most-likely network.
+        search.supervised(
+            &mut self.st,
+            &mut self.driver,
+            &mut self.sup,
+            "das_sweep",
+            |s, _st, _driver| {
                 let _span = telemetry::span!("das_sweep");
                 let proxy_layers = s.supernet.most_likely_layer_descs();
                 for _ in 0..s.config.das_steps_per_iter {
                     let _ = s.das.step(&proxy_layers, &s.config.target);
                 }
-            })?;
+            },
+        )?;
 
-            // --- rollout + L_task.
-            let use_val = matches!(cfg.scheme, SearchScheme::BiLevel) && st.iteration % 2 != 0;
-            let (update_weights, update_alpha) = match cfg.scheme {
-                SearchScheme::BiLevel => (!use_val, use_val),
-                _ => (true, true),
-            };
-            let rollout =
-                self.supervised(&mut st, &mut driver, &mut sup, "rollout", |s, st, driver| {
+        // --- rollout + L_task.
+        let use_val =
+            matches!(self.cfg.scheme, SearchScheme::BiLevel) && self.st.iteration % 2 != 0;
+        let (update_weights, update_alpha) = match self.cfg.scheme {
+            SearchScheme::BiLevel => (!use_val, use_val),
+            _ => (true, true),
+        };
+        let rollout =
+            search.supervised(&mut self.st, &mut self.driver, &mut self.sup, "rollout", |s, st, driver| {
                     if let Some(lane) = driver.env_panic_now(st.iteration) {
                         st.log.push(
                             st.iteration,
@@ -762,8 +889,13 @@ impl CoSearch {
             // supervised unit. The cost gradient (Eq. 8) accumulates into
             // the α grads, which are not checkpointed — so the whole
             // grad-producing + grad-consuming sequence must retry together.
+            let cfg = &self.cfg;
+            let distill = &self.distill;
+            let weight_params = &self.weight_params;
+            let alpha_params = &self.alpha_params;
+            let schedule = &self.schedule;
             let tripped =
-                self.supervised(&mut st, &mut driver, &mut sup, "update", |s, st, driver| {
+                search.supervised(&mut self.st, &mut self.driver, &mut self.sup, "update", |s, st, driver| {
                     let loss_span = telemetry::span!("loss_backward");
                     let tape = Tape::new();
                     s.agent.zero_grad();
@@ -827,54 +959,61 @@ impl CoSearch {
                     }
                     tripped
                 })?;
-            if let Some(reason) = tripped {
-                if let Some(good) = last_good.clone() {
-                    if st.rollbacks_left > 0 {
-                        // Monotone fields survive the restore: the log, the
-                        // decayed lr and the spent budget must not rewind.
-                        let events = std::mem::take(&mut st.log.events);
-                        let lr_scale = st.lr_scale * cfg.fault.lr_backoff;
-                        let rollbacks_left = st.rollbacks_left - 1;
-                        let tripped_at = st.iteration;
-                        match self.apply_checkpoint(&good, &mut st) {
-                            Ok(()) => {}
-                            Err(e) => {
-                                unreachable!("checkpoint captured this run always applies: {e}")
-                            }
+        if let Some(reason) = tripped {
+            if let Some(good) = self.last_good.clone() {
+                if self.st.rollbacks_left > 0 {
+                    // Monotone fields survive the restore: the log, the
+                    // decayed lr and the spent budget must not rewind.
+                    let events = std::mem::take(&mut self.st.log.events);
+                    let lr_scale = self.st.lr_scale * cfg.fault.lr_backoff;
+                    let rollbacks_left = self.st.rollbacks_left - 1;
+                    let tripped_at = self.st.iteration;
+                    match search.apply_checkpoint(&good, &mut self.st) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            unreachable!("checkpoint captured this run always applies: {e}")
                         }
-                        st.log.events = events;
-                        st.lr_scale = lr_scale;
-                        st.rollbacks_left = rollbacks_left;
-                        telemetry::ROLLBACK_COUNT.add(1);
-                        st.log.push(
-                            tripped_at,
-                            RobustnessEventKind::RolledBack,
-                            format!(
-                                "to iteration {} after {reason} ({} rollbacks left)",
-                                good.iteration(),
-                                rollbacks_left
-                            ),
-                        );
-                        continue;
                     }
-                    st.log.push(
-                        st.iteration,
-                        RobustnessEventKind::RollbackBudgetExhausted,
-                        format!("update skipped after {reason}"),
+                    self.st.log.events = events;
+                    self.st.lr_scale = lr_scale;
+                    self.st.rollbacks_left = rollbacks_left;
+                    telemetry::ROLLBACK_COUNT.add(1);
+                    telemetry::CHECKPOINT_RESTORES.add(1);
+                    self.restore_count += 1;
+                    self.st.log.push(
+                        tripped_at,
+                        RobustnessEventKind::RolledBack,
+                        format!(
+                            "to iteration {} after {reason} ({} rollbacks left)",
+                            good.iteration(),
+                            rollbacks_left
+                        ),
                     );
-                } else {
-                    st.log.push(
-                        st.iteration,
-                        RobustnessEventKind::NoCheckpointToRollBackTo,
-                        format!("update skipped after {reason}"),
-                    );
+                    return Ok(StepOutcome::Ran);
                 }
+                self.st.log.push(
+                    self.st.iteration,
+                    RobustnessEventKind::RollbackBudgetExhausted,
+                    format!("update skipped after {reason}"),
+                );
+            } else {
+                self.st.log.push(
+                    self.st.iteration,
+                    RobustnessEventKind::NoCheckpointToRollBackTo,
+                    format!("update skipped after {reason}"),
+                );
             }
-            st.iteration += 1;
+        }
+        self.st.iteration += 1;
 
-            // --- periodic evaluation of the argmax network (Fig. 2 data).
-            if st.steps >= st.next_eval {
-                self.supervised(&mut st, &mut driver, &mut sup, "eval", |s, st, _driver| {
+        // --- periodic evaluation of the argmax network (Fig. 2 data).
+        if self.st.steps >= self.st.next_eval {
+            search.supervised(
+                &mut self.st,
+                &mut self.driver,
+                &mut self.sup,
+                "eval",
+                |s, st, _driver| {
                     let protocol = EvalProtocol {
                         episodes: s.config.eval_episodes,
                         noop_max: 8,
@@ -889,19 +1028,34 @@ impl CoSearch {
                     st.alpha_entropy_curve
                         .push((st.steps, s.supernet.arch().mean_entropy()));
                     st.next_eval += s.config.eval_every;
-                })?;
-            }
+                },
+            )?;
         }
 
+        Ok(if self.st.steps >= self.cfg.total_steps {
+            StepOutcome::Finished
+        } else {
+            StepOutcome::Ran
+        })
+    }
+
+    /// Derive the final architecture/accelerator pair and assemble the
+    /// [`CoSearchResult`]. Call once [`GuardedRun::step`] returns
+    /// [`StepOutcome::Finished`]; finishing earlier derives from whatever
+    /// state the search has reached.
+    #[must_use]
+    pub fn finish(self, search: &mut CoSearch) -> CoSearchResult {
+        let cfg = &self.cfg;
         // --- derive the final pair: argmax α network + refined DAS φ.
         let (arch, accelerator, report) = {
             let _span = telemetry::span!("derive");
-            self.supernet.set_eval_sampling(false);
-            let arch = self.supernet.most_likely_arch();
-            let final_layers = self.supernet.most_likely_layer_descs();
+            search.supernet.set_eval_sampling(false);
+            let arch = search.supernet.most_likely_arch();
+            let final_layers = search.supernet.most_likely_layer_descs();
             let accelerator = match cfg.derive_engine {
                 DeriveEngine::Das => {
-                    self.das
+                    search
+                        .das
                         .run(&final_layers, &cfg.target, cfg.das_final_iters)
                 }
                 DeriveEngine::DasThenBeam {
@@ -909,13 +1063,13 @@ impl CoSearch {
                     generations,
                     mutations,
                 } => {
-                    let _ = self
+                    let _ = search
                         .das
                         .run(&final_layers, &cfg.target, cfg.das_final_iters);
                     // Seed the beam with the DAS argmax vector: the seed
                     // stays in the beam, so refinement can only match or
                     // improve the DAS design's cost.
-                    let seed_choices = self.das.best_choices(final_layers.len());
+                    let seed_choices = search.das.best_choices(final_layers.len());
                     let mut beam = BeamSearch::new(
                         BeamConfig {
                             space: cfg.das.space.clone(),
@@ -925,7 +1079,7 @@ impl CoSearch {
                             cost: cfg.das.cost,
                             memo_log2: cfg.das.memo_log2,
                         },
-                        self.seed.wrapping_add(3),
+                        search.seed.wrapping_add(3),
                     );
                     let (refined, _) =
                         beam.run_from(&[seed_choices], &final_layers, &cfg.target, generations);
@@ -937,23 +1091,65 @@ impl CoSearch {
         };
 
         // Surface the aggregated telemetry (a read-only snapshot; the
-        // caller's session still owns the raw trace).
+        // caller's session still owns the raw trace). Inside a fleet the
+        // snapshot is scoped to this session's records; solo runs are
+        // unscoped, so the filter is the identity there.
         let telemetry_summary = if telemetry::enabled() {
-            telemetry::snapshot().summary()
+            telemetry::snapshot()
+                .for_session(telemetry::current_session())
+                .summary()
         } else {
             telemetry::TelemetrySummary::default()
         };
 
-        Ok(CoSearchResult {
+        CoSearchResult {
             arch,
             accelerator,
             report,
-            score_curve: st.score_curve,
-            alpha_entropy_curve: st.alpha_entropy_curve,
-            steps: st.steps,
-            robustness: st.log,
+            score_curve: self.st.score_curve,
+            alpha_entropy_curve: self.st.alpha_entropy_curve,
+            steps: self.st.steps,
+            robustness: self.st.log,
             telemetry: telemetry_summary,
-        })
+        }
+    }
+
+    /// Env steps consumed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.st.steps
+    }
+
+    /// Total env-step budget for this run.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.cfg.total_steps
+    }
+
+    /// Outer-loop iteration index (does not advance on a rollback).
+    #[must_use]
+    pub fn iteration(&self) -> u64 {
+        self.st.iteration
+    }
+
+    /// The robustness log accumulated so far.
+    #[must_use]
+    pub fn robustness(&self) -> &RobustnessLog {
+        &self.st.log
+    }
+
+    /// Checkpoint bytes successfully persisted by this run (also counted
+    /// in the `checkpoint.bytes_written` telemetry metric).
+    #[must_use]
+    pub fn checkpoint_bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Checkpoint restores this run performed: auto-resume at start plus
+    /// divergence rollbacks (the `checkpoint.restore_count` metric).
+    #[must_use]
+    pub fn checkpoint_restores(&self) -> u64 {
+        self.restore_count
     }
 }
 

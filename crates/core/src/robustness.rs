@@ -51,6 +51,16 @@ pub enum RobustnessEventKind {
     WorkerRespawned,
     /// The degradation ladder stepped the supervised thread count down.
     LadderStepped,
+    /// A fleet session reached a terminal failed state (its siblings keep
+    /// running).
+    SessionFailed,
+    /// A failed fleet session was scheduled for a restart from its last
+    /// good checkpoint after a deterministic backoff.
+    SessionRestarted,
+    /// A failed fleet session exhausted `max_session_restarts`.
+    SessionRestartsExhausted,
+    /// A fleet session was cancelled via the session API.
+    SessionCancelled,
 }
 
 impl RobustnessEventKind {
@@ -75,6 +85,10 @@ impl RobustnessEventKind {
             RobustnessEventKind::LaneQuarantined => "lane-quarantined",
             RobustnessEventKind::WorkerRespawned => "worker-respawned",
             RobustnessEventKind::LadderStepped => "ladder-stepped",
+            RobustnessEventKind::SessionFailed => "session-failed",
+            RobustnessEventKind::SessionRestarted => "session-restarted",
+            RobustnessEventKind::SessionRestartsExhausted => "session-restarts-exhausted",
+            RobustnessEventKind::SessionCancelled => "session-cancelled",
         }
     }
 
@@ -101,6 +115,10 @@ impl RobustnessEventKind {
             RobustnessEventKind::LaneQuarantined,
             RobustnessEventKind::WorkerRespawned,
             RobustnessEventKind::LadderStepped,
+            RobustnessEventKind::SessionFailed,
+            RobustnessEventKind::SessionRestarted,
+            RobustnessEventKind::SessionRestartsExhausted,
+            RobustnessEventKind::SessionCancelled,
         ]
     }
 

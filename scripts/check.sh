@@ -22,6 +22,9 @@ cargo run -q --release -p a3cs-bench --bin supervision_smoke
 echo "==> memo smoke (cost-cache bit-identity + hit-rate floor + beam determinism)"
 cargo run -q --release -p a3cs-bench --bin memo_smoke
 
+echo "==> fleet smoke (4 sessions, injected crash isolated + one restart)"
+cargo run -q --release -p a3cs-bench --bin fleet_smoke
+
 echo "==> a3cs-check determinism lint (deny new findings + stale allowlist)"
 cargo run -q -p a3cs-check --bin lint -- --deny-new
 

@@ -11,7 +11,9 @@
 //! - [`nas`]: the Gumbel-Softmax supernet (Eq. 6–7);
 //! - [`accel`]: the accelerator template, predictor and DAS (Eq. 9);
 //! - [`check`]: static shape inference, accelerator legality and lints;
-//! - [`core`]: the joint co-search pipeline (Alg. 1).
+//! - [`core`]: the joint co-search pipeline (Alg. 1);
+//! - [`fleet`]: multi-session orchestration with per-session fault
+//!   domains, bounded backed-off restarts and fleet-wide aggregation.
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@ pub use a3cs_accel as accel;
 pub use a3cs_check as check;
 pub use a3cs_core as core;
 pub use a3cs_drl as drl;
+pub use a3cs_fleet as fleet;
 pub use a3cs_envs as envs;
 pub use a3cs_nas as nas;
 pub use a3cs_nn as nn;

@@ -1,0 +1,238 @@
+//! Fleet isolation proofs: a deterministic fault in one session must not
+//! perturb its siblings (bit-identical to solo runs), a faulted session
+//! must restart from its namespaced checkpoint store and finish
+//! bit-identically to a fault-free run, restart exhaustion must be a
+//! typed terminal state that never poisons the scheduler, and a cancelled
+//! session's store must stay recoverable for resume.
+
+use a3cs::core::{CoSearch, CoSearchConfig, CoSearchResult, FaultPlan, RobustnessEventKind};
+use a3cs::envs::{Breakout, Environment};
+use a3cs::fleet::{Fleet, FleetConfig, SessionFailure, SessionState};
+use std::path::PathBuf;
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn cosearch(cfg: CoSearchConfig, seed: u64) -> CoSearch {
+    CoSearch::try_new(cfg, seed).expect("test config passes pre-flight")
+}
+
+fn tiny_config(total_steps: u64) -> CoSearchConfig {
+    let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
+    cfg.total_steps = total_steps;
+    cfg.eval_every = 100;
+    cfg.eval_episodes = 2;
+    cfg.eval_max_steps = 40;
+    cfg.das_final_iters = 50;
+    cfg
+}
+
+fn test_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("a3cs_fleet_{}_{}", std::process::id(), test));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn curve_bits(curve: &[(u64, f32)]) -> Vec<(u64, u32)> {
+    curve.iter().map(|&(s, v)| (s, v.to_bits())).collect()
+}
+
+fn assert_results_bit_identical(a: &CoSearchResult, b: &CoSearchResult) {
+    assert_eq!(format!("{:?}", a.arch), format!("{:?}", b.arch));
+    assert_eq!(
+        format!("{:?}", a.accelerator),
+        format!("{:?}", b.accelerator)
+    );
+    assert_eq!(curve_bits(&a.score_curve), curve_bits(&b.score_curve));
+    assert_eq!(
+        curve_bits(&a.alpha_entropy_curve),
+        curve_bits(&b.alpha_entropy_curve)
+    );
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.report.fps.to_bits(), b.report.fps.to_bits());
+    assert_eq!(a.report.dsp_used, b.report.dsp_used);
+}
+
+/// ISSUE 8 acceptance: N >= 4 sessions, one deterministic fault, siblings
+/// bit-identical to solo runs, failed session typed — not panicking, not
+/// blocking the scheduler.
+#[test]
+fn fault_in_one_session_leaves_siblings_bit_identical_to_solo_runs() {
+    let mut fleet = Fleet::new(FleetConfig {
+        max_session_restarts: 0,
+        scheduler_seed: 42,
+        ..FleetConfig::default()
+    });
+    let mut ids = Vec::new();
+    for seed in 10..14u64 {
+        let mut cfg = tiny_config(200);
+        if seed == 12 {
+            // The black sheep: simulated crash at iteration 7, no
+            // checkpoint store, no restart budget -> terminal failure.
+            cfg.fault.plan = FaultPlan::none().abort_at(7);
+        }
+        let id = fleet
+            .submit(format!("s{seed}"), cfg, seed, factory)
+            .expect("tiny config is admitted");
+        ids.push((seed, id));
+    }
+
+    let report = fleet.run_to_completion();
+    assert_eq!(report.total_faults, 1);
+
+    for (seed, id) in ids {
+        let session = report.session(id).expect("session is reported");
+        if seed == 12 {
+            match &session.state {
+                SessionState::Failed(SessionFailure::Search(e)) => {
+                    assert!(e.to_string().contains("iteration 7"), "got: {e}");
+                }
+                other => panic!("expected a typed search failure, got {other:?}"),
+            }
+            assert!(session.result.is_none());
+            assert_eq!(
+                session.fleet_events.count(RobustnessEventKind::SessionFailed),
+                1
+            );
+            // The run's own log kept the injected-fault record.
+            assert_eq!(
+                session.robustness.count(RobustnessEventKind::FaultInjected),
+                1
+            );
+            continue;
+        }
+        // Siblings: completed, and bit-identical to the same search run
+        // solo (no fleet, no interleaving, default pool).
+        assert_eq!(session.state, SessionState::Done, "seed {seed}");
+        let solo = cosearch(tiny_config(200), seed).run(&factory, None);
+        let fleet_result = session.result.as_ref().expect("done session has a result");
+        assert_results_bit_identical(&solo, fleet_result);
+        assert!(fleet_result.robustness.is_empty());
+    }
+    assert_eq!(*report.event_totals.get("session-failed").expect("aggregated"), 1);
+}
+
+#[test]
+fn faulted_session_restarts_from_checkpoint_and_finishes_bit_identically() {
+    let root = test_dir("restart");
+    let mut fleet = Fleet::new(FleetConfig {
+        max_session_restarts: 1,
+        checkpoint_root: Some(root.clone()),
+        scheduler_seed: 7,
+        ..FleetConfig::default()
+    });
+    let mut cfg = tiny_config(200);
+    cfg.fault.plan = FaultPlan::none().abort_at(7);
+    let id = fleet
+        .submit("restarter", cfg, 21, factory)
+        .expect("admitted");
+
+    let report = fleet.run_to_completion();
+    let session = report.session(id).expect("reported");
+    assert_eq!(session.state, SessionState::Done);
+    assert_eq!(session.restarts, 1);
+    assert_eq!(
+        session.fleet_events.count(RobustnessEventKind::SessionRestarted),
+        1
+    );
+    // The restarted attempt auto-resumed from the namespaced store...
+    assert_eq!(session.robustness.count(RobustnessEventKind::Resumed), 1);
+    assert!(session.checkpoint_restores >= 1);
+    assert!(session.checkpoint_bytes_written > 0);
+    // ...and the final result matches a run that never faulted.
+    let solo = cosearch(tiny_config(200), 21).run(&factory, None);
+    assert_results_bit_identical(&solo, session.result.as_ref().expect("completed"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn restart_exhaustion_is_typed_and_does_not_poison_the_scheduler() {
+    let root = test_dir("exhaustion");
+    let mut fleet = Fleet::new(FleetConfig {
+        max_session_restarts: 2,
+        // Keep the fault plan across restarts: the abort re-fires on
+        // every attempt (the store never reaches iteration 7), so the
+        // budget is provably spent.
+        clear_fault_plan_on_restart: false,
+        checkpoint_root: Some(root.clone()),
+        ..FleetConfig::default()
+    });
+    let mut cfg = tiny_config(200);
+    cfg.fault.plan = FaultPlan::none().abort_at(7);
+    let doomed = fleet.submit("doomed", cfg, 31, factory).expect("admitted");
+    let healthy = fleet
+        .submit("healthy", tiny_config(200), 32, factory)
+        .expect("admitted");
+
+    let report = fleet.run_to_completion();
+    assert_eq!(report.total_faults, 3); // initial fault + 2 failed restarts
+
+    let doomed = report.session(doomed).expect("reported");
+    assert!(
+        matches!(doomed.state, SessionState::Failed(SessionFailure::Search(_))),
+        "exhaustion must end in a typed failure, got {:?}",
+        doomed.state
+    );
+    assert_eq!(doomed.restarts, 2);
+    assert_eq!(
+        doomed.fleet_events.count(RobustnessEventKind::SessionRestarted),
+        2
+    );
+    assert_eq!(
+        doomed
+            .fleet_events
+            .count(RobustnessEventKind::SessionRestartsExhausted),
+        1
+    );
+
+    // The sibling in its own fault domain still completed normally.
+    let healthy = report.session(healthy).expect("reported");
+    assert_eq!(healthy.state, SessionState::Done);
+    let solo = cosearch(tiny_config(200), 32).run(&factory, None);
+    assert_results_bit_identical(&solo, healthy.result.as_ref().expect("completed"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn cancel_mid_run_leaves_the_store_recoverable_for_resume() {
+    let root = test_dir("cancel");
+    let mut fleet = Fleet::new(FleetConfig {
+        checkpoint_root: Some(root.clone()),
+        scheduler_seed: 3,
+        ..FleetConfig::default()
+    });
+    let id = fleet
+        .submit("pausable", tiny_config(200), 41, factory)
+        .expect("admitted");
+
+    // Drive a handful of ticks: enough to open the run and persist at
+    // least the iteration-0 checkpoint, nowhere near completion.
+    for _ in 0..10 {
+        assert!(fleet.tick(), "session must still be in flight");
+    }
+    let status = fleet.poll(id).expect("session is polled");
+    assert_eq!(status.state, SessionState::Running);
+    assert!(status.checkpoint_bytes_written > 0, "store has checkpoints");
+
+    assert!(fleet.cancel(id), "live sessions are cancellable");
+    assert!(!fleet.cancel(id), "cancel is not idempotent on terminal state");
+    let status = fleet.poll(id).expect("session is polled");
+    assert_eq!(status.state, SessionState::Cancelled);
+
+    // Re-admit: the rebuilt run auto-resumes from the store and the
+    // completed search is bit-identical to one that was never paused.
+    assert!(fleet.resume(id), "cancelled sessions are resumable");
+    let report = fleet.run_to_completion();
+    let session = report.session(id).expect("reported");
+    assert_eq!(session.state, SessionState::Done);
+    assert_eq!(session.restarts, 0, "resume is not a fault restart");
+    assert_eq!(
+        session.fleet_events.count(RobustnessEventKind::SessionCancelled),
+        1
+    );
+    assert_eq!(session.robustness.count(RobustnessEventKind::Resumed), 1);
+    let solo = cosearch(tiny_config(200), 41).run(&factory, None);
+    assert_results_bit_identical(&solo, session.result.as_ref().expect("completed"));
+    std::fs::remove_dir_all(&root).ok();
+}

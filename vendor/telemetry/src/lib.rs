@@ -27,19 +27,23 @@
 //! can then be exported through any [`Sink`].
 
 mod metrics;
+mod stream;
 mod summary;
 mod trace;
 
 pub use metrics::{
     all_counters, all_gauges, all_histograms, Counter, CounterSample, Gauge, GaugeSample,
     Histogram, HistogramSample, MetricsSnapshot, CHECKPOINT_BYTES, CHECKPOINT_BYTES_HIST,
-    CONV_MACS, ENV_STEPS, EVAL_EPISODES, EVAL_STEPS, GEMM_CALLS, GEMM_MACS, GEMM_MACS_HIST,
-    LOSS_DISTILL_ACTOR, LOSS_DISTILL_CRITIC, LOSS_TOTAL, MEMO_CHUNK_HITS, MEMO_EVALS_SAVED,
-    MEMO_EVICTIONS, MEMO_HITS, MEMO_MISSES, POOL_TASKS, ROLLBACK_COUNT,
+    CHECKPOINT_BYTES_WRITTEN, CHECKPOINT_RESTORES, CONV_MACS, ENV_STEPS, EVAL_EPISODES,
+    EVAL_STEPS, GEMM_CALLS, GEMM_MACS, GEMM_MACS_HIST, LOSS_DISTILL_ACTOR, LOSS_DISTILL_CRITIC,
+    LOSS_TOTAL, MEMO_CHUNK_HITS, MEMO_EVALS_SAVED, MEMO_EVICTIONS, MEMO_HITS, MEMO_MISSES,
+    POOL_TASKS, ROLLBACK_COUNT,
 };
+pub use stream::{record_lines, StreamingJsonl};
 pub use summary::{PhaseStat, TelemetrySummary};
 pub use trace::{
-    ChromeTraceSink, InstantRecord, JsonlSink, MemorySink, Record, Sink, SpanRecord, Trace,
+    ChromeTraceSink, InstantRecord, JsonlSink, MemorySink, Payload, Record, Sink, SpanRecord,
+    Trace,
 };
 
 use std::cell::{Cell, RefCell};
@@ -70,6 +74,10 @@ struct LocalBuf {
 thread_local! {
     /// Innermost open span on this thread (what new spans parent to).
     static CURRENT_SPAN: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Fleet session id every record on this thread is tagged with.
+    static CURRENT_SESSION: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Supervised-retry attempt every record on this thread is tagged with.
+    static CURRENT_RETRY: Cell<Option<u32>> = const { Cell::new(None) };
     /// Dense thread tag, lazily assigned (u64::MAX = unassigned).
     static THREAD_TAG: Cell<u64> = const { Cell::new(u64::MAX) };
     /// Per-thread record buffer: while a span is open on this thread,
@@ -152,7 +160,9 @@ pub(crate) fn push_record(record: Record) {
     if current_span_id().is_some() {
         buffer_record(record);
     } else {
-        lock(&COLLECTOR).push(record);
+        let mut collector = lock(&COLLECTOR);
+        stream::publish(std::slice::from_ref(&record));
+        collector.push(record);
     }
 }
 
@@ -184,7 +194,9 @@ fn flush_local() {
         std::mem::take(&mut buf.records)
     });
     if !records.is_empty() {
-        lock(&COLLECTOR).extend(records);
+        let mut collector = lock(&COLLECTOR);
+        stream::publish(&records);
+        collector.extend(records);
     }
 }
 
@@ -205,7 +217,7 @@ struct ActiveSpan {
     id: u64,
     parent: Option<u64>,
     name: &'static str,
-    arg: Option<u64>,
+    payload: Payload,
     begin_ns: u64,
     prev: Option<u64>,
 }
@@ -224,13 +236,19 @@ impl Drop for SpanGuard {
             tid: thread_tag(),
             begin_ns: active.begin_ns,
             end_ns,
-            arg: active.arg,
+            payload: active.payload,
         }));
         // Outermost span on this thread: publish everything it buffered.
         if active.prev.is_none() {
             flush_local();
         }
     }
+}
+
+/// Payload for a new record: the explicit argument plus the ambient
+/// session/retry scope of the calling thread.
+fn ambient_payload(arg: Option<u64>) -> Payload {
+    Payload { arg, session: current_session(), retry: current_retry() }
 }
 
 fn open_span(name: &'static str, arg: Option<u64>) -> SpanGuard {
@@ -240,7 +258,14 @@ fn open_span(name: &'static str, arg: Option<u64>) -> SpanGuard {
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let prev = CURRENT_SPAN.with(|c| c.replace(Some(id)));
     SpanGuard {
-        active: Some(ActiveSpan { id, parent: prev, name, arg, begin_ns: now_ns(), prev }),
+        active: Some(ActiveSpan {
+            id,
+            parent: prev,
+            name,
+            payload: ambient_payload(arg),
+            begin_ns: now_ns(),
+            prev,
+        }),
         _not_send: PhantomData,
     }
 }
@@ -276,25 +301,112 @@ pub fn current_span_id() -> Option<u64> {
     CURRENT_SPAN.with(Cell::get)
 }
 
-/// Run `f` with this thread's current span set to `parent` (typically
-/// captured on another thread via [`current_span_id`] before handing work to
-/// a pool). Restores the previous current span afterwards, including on
-/// unwind.
-pub fn with_parent_span<R>(parent: Option<u64>, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<u64>);
+/// Fleet session id the calling thread's records are currently tagged with.
+#[must_use]
+pub fn current_session() -> Option<u64> {
+    CURRENT_SESSION.with(Cell::get)
+}
+
+/// Supervised-retry attempt the calling thread's records are currently
+/// tagged with.
+#[must_use]
+pub fn current_retry() -> Option<u32> {
+    CURRENT_RETRY.with(Cell::get)
+}
+
+/// The ambient record-tagging state of one thread: the span new records
+/// parent to, plus the session/retry tags they carry. Capture it with
+/// [`current_scope`] before handing work to another thread and reinstate it
+/// there with [`with_scope`], so pool workers attribute their records to
+/// the forking phase *and* its fleet session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scope {
+    /// Span new records parent to.
+    pub parent: Option<u64>,
+    /// Fleet session id records are tagged with.
+    pub session: Option<u64>,
+    /// Supervised-retry attempt records are tagged with.
+    pub retry: Option<u32>,
+}
+
+impl Scope {
+    /// Does reinstating this scope change anything on a fresh thread?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_none() && self.session.is_none() && self.retry.is_none()
+    }
+}
+
+/// The calling thread's current tagging scope.
+#[must_use]
+pub fn current_scope() -> Scope {
+    Scope { parent: current_span_id(), session: current_session(), retry: current_retry() }
+}
+
+/// Run `f` with the thread's tagging scope replaced by `scope`, restoring
+/// the previous scope afterwards, including on unwind. When the previous
+/// scope had no open span, the adopted region's buffered records are
+/// published on exit (a panicking task loses no records).
+pub fn with_scope<R>(scope: Scope, f: impl FnOnce() -> R) -> R {
+    struct Restore(Scope);
     impl Drop for Restore {
         fn drop(&mut self) {
             let prev = self.0;
-            CURRENT_SPAN.with(|c| c.set(prev));
+            CURRENT_SPAN.with(|c| c.set(prev.parent));
+            CURRENT_SESSION.with(|c| c.set(prev.session));
+            CURRENT_RETRY.with(|c| c.set(prev.retry));
             // A pool worker's adopted region ends here: publish whatever it
             // buffered (runs on unwind too, so a panicking task loses no
             // records).
-            if prev.is_none() {
+            if prev.parent.is_none() {
                 flush_local();
             }
         }
     }
-    let prev = CURRENT_SPAN.with(|c| c.replace(parent));
+    let prev = current_scope();
+    CURRENT_SPAN.with(|c| c.set(scope.parent));
+    CURRENT_SESSION.with(|c| c.set(scope.session));
+    CURRENT_RETRY.with(|c| c.set(scope.retry));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Run `f` with this thread's current span set to `parent` (typically
+/// captured on another thread via [`current_span_id`] before handing work to
+/// a pool), leaving the session/retry tags unchanged. Restores the previous
+/// current span afterwards, including on unwind.
+pub fn with_parent_span<R>(parent: Option<u64>, f: impl FnOnce() -> R) -> R {
+    with_scope(Scope { parent, session: current_session(), retry: current_retry() }, f)
+}
+
+/// Run `f` with every record the calling thread produces tagged with the
+/// given fleet session id. Restores the previous tag afterwards, including
+/// on unwind.
+pub fn with_session<R>(session: Option<u64>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            CURRENT_SESSION.with(|c| c.set(prev));
+        }
+    }
+    let prev = CURRENT_SESSION.with(|c| c.replace(session));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Run `f` with every record the calling thread produces tagged with the
+/// given supervised-retry attempt. Restores the previous tag afterwards,
+/// including on unwind.
+pub fn with_retry<R>(retry: Option<u32>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u32>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            CURRENT_RETRY.with(|c| c.set(prev));
+        }
+    }
+    let prev = CURRENT_RETRY.with(|c| c.replace(retry));
     let _restore = Restore(prev);
     f()
 }
@@ -311,6 +423,7 @@ pub fn instant(name: &'static str, detail: &str) {
         detail: detail.to_string(),
         tid: thread_tag(),
         at_ns: now_ns(),
+        payload: ambient_payload(None),
     }));
 }
 
@@ -492,7 +605,7 @@ mod tests {
         assert_eq!(spans[1].name, "outer");
         assert_eq!(spans[0].parent, Some(spans[1].id));
         assert_eq!(spans[1].parent, None);
-        assert_eq!(spans[1].arg, Some(7));
+        assert_eq!(spans[1].payload.arg, Some(7));
         assert!(spans[0].begin_ns >= spans[1].begin_ns);
         assert!(spans[0].end_ns <= spans[1].end_ns);
     }
@@ -583,6 +696,107 @@ mod tests {
             trace.records.iter().all(|r| !matches!(r, Record::Instant(i) if i.name == "stale")),
             "stale buffered records leaked into the new session"
         );
+    }
+
+    #[test]
+    fn session_and_retry_scopes_tag_records_and_restore() {
+        let _gate = serial();
+        let session = Session::start();
+        with_session(Some(3), || {
+            assert_eq!(current_session(), Some(3));
+            let _outer = span!("scoped", 11);
+            instant("tagged", "inside session 3");
+            with_retry(Some(2), || {
+                let _inner = span!("retried");
+            });
+            assert_eq!(current_retry(), None);
+        });
+        assert_eq!(current_session(), None);
+        instant("untagged", "outside any scope");
+        let trace = session.finish();
+        let span_of = |name: &str| {
+            trace
+                .spans()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("span {name} recorded"))
+                .clone()
+        };
+        assert_eq!(span_of("scoped").payload, Payload { arg: Some(11), session: Some(3), retry: None });
+        assert_eq!(span_of("retried").payload, Payload { arg: None, session: Some(3), retry: Some(2) });
+        let instant_of = |name: &str| {
+            trace
+                .instants()
+                .find(|i| i.name == name)
+                .unwrap_or_else(|| panic!("instant {name} recorded"))
+                .clone()
+        };
+        assert_eq!(instant_of("tagged").payload.session, Some(3));
+        assert_eq!(instant_of("untagged").payload, Payload::default());
+    }
+
+    #[test]
+    fn with_scope_reinstates_all_three_tags() {
+        let _gate = serial();
+        let session = Session::start();
+        let scope;
+        {
+            let _outer = span!("forking");
+            scope = with_session(Some(5), current_scope);
+            assert_eq!(scope.session, Some(5));
+            assert!(scope.parent.is_some());
+        }
+        with_scope(scope, || {
+            assert_eq!(current_span_id(), scope.parent);
+            assert_eq!(current_session(), Some(5));
+            let _child = span!("adopted");
+        });
+        assert!(current_scope().is_empty());
+        let trace = session.finish();
+        let adopted = trace.spans().find(|s| s.name == "adopted").expect("adopted recorded");
+        assert_eq!(adopted.parent, scope.parent);
+        assert_eq!(adopted.payload.session, Some(5));
+    }
+
+    /// `Write` sink backed by shared memory, for stream assertions.
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_jsonl_flushes_at_outermost_span_exit() {
+        let _gate = serial();
+        let bytes = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let session = Session::start();
+        let stream = StreamingJsonl::attach(Box::new(SharedBuf(bytes.clone())));
+        {
+            let _outer = span!("outer", 1);
+            instant("buffered", "waiting for span exit");
+            // Buffered: nothing reaches the stream while the span is open.
+            assert!(lock(&bytes).is_empty());
+        }
+        // Outermost span closed: both records streamed immediately, well
+        // before Session::finish.
+        let streamed_early = String::from_utf8(lock(&bytes).clone()).expect("utf8");
+        assert_eq!(streamed_early.lines().count(), 2);
+        instant("direct", "no span open: streams immediately");
+        stream.detach();
+        instant("after-detach", "not streamed");
+        let trace = session.finish();
+        let streamed = String::from_utf8(lock(&bytes).clone()).expect("utf8");
+        // Streamed lines are a byte-identical prefix of the drained
+        // trace's record lines (minus the post-detach record).
+        let all_lines = record_lines(&trace);
+        assert!(all_lines.starts_with(&streamed), "streamed:\n{streamed}\nall:\n{all_lines}");
+        assert_eq!(streamed.lines().count(), 3);
+        assert!(streamed.contains("\"direct\""));
+        assert!(!streamed.contains("after-detach"));
     }
 
     #[test]

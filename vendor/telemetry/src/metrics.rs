@@ -188,6 +188,12 @@ pub static EVAL_EPISODES: Counter = Counter::new("eval.episodes");
 pub static EVAL_STEPS: Counter = Counter::new("eval.steps");
 /// Bytes serialized into checkpoint payloads.
 pub static CHECKPOINT_BYTES: Counter = Counter::new("checkpoint.bytes");
+/// Bytes actually handed to the checkpoint store for persistence (counted
+/// per successful `CheckpointStore::write`, before envelope framing).
+pub static CHECKPOINT_BYTES_WRITTEN: Counter = Counter::new("checkpoint.bytes_written");
+/// Checkpoint restores applied: auto-resumes from disk plus divergence
+/// rollbacks to an in-memory sentinel checkpoint.
+pub static CHECKPOINT_RESTORES: Counter = Counter::new("checkpoint.restore_count");
 /// Divergence rollbacks performed by the guarded co-search loop.
 pub static ROLLBACK_COUNT: Counter = Counter::new("rollback.count");
 /// Tasks executed across all pool lanes.
@@ -215,7 +221,7 @@ pub static GEMM_MACS_HIST: Histogram = Histogram::new("gemm.macs.per_call");
 /// Distribution of bytes per checkpoint write.
 pub static CHECKPOINT_BYTES_HIST: Histogram = Histogram::new("checkpoint.bytes.per_write");
 
-static COUNTERS: [&Counter; 14] = [
+static COUNTERS: [&Counter; 16] = [
     &GEMM_MACS,
     &GEMM_CALLS,
     &CONV_MACS,
@@ -223,6 +229,8 @@ static COUNTERS: [&Counter; 14] = [
     &EVAL_EPISODES,
     &EVAL_STEPS,
     &CHECKPOINT_BYTES,
+    &CHECKPOINT_BYTES_WRITTEN,
+    &CHECKPOINT_RESTORES,
     &ROLLBACK_COUNT,
     &POOL_TASKS,
     &MEMO_HITS,

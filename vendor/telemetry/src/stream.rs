@@ -1,0 +1,107 @@
+//! Live JSONL streaming: an optional process-global writer that receives
+//! every span/instant record *as it is published to the collector* — i.e.
+//! at outermost-span exit for buffered records, immediately for records
+//! produced outside any span — instead of only when `Session::finish`
+//! drains the trace. A fleet tails this to watch long-running sessions.
+//!
+//! Ordering contract: lines are written while the collector mutex is held
+//! (see `push_record` / `flush_local` in `lib.rs`), so the streamed line
+//! order is exactly the collector's record order, and each line is
+//! byte-identical to the corresponding record line of `Trace::to_jsonl`
+//! (both go through `trace::record_jsonl_line`). Streamed records are raw
+//! (not [`Trace::normalized`]): ids and timestamps are the live values.
+//!
+//! Streaming is observe-only and best-effort: write errors are swallowed
+//! (a broken tail must never panic or abort a search), and the buffered
+//! path is untouched — with no stream attached, behavior and output are
+//! bit-identical to the pre-streaming crate.
+//!
+//! [`Trace::normalized`]: crate::Trace::normalized
+
+use crate::trace::{record_jsonl_line, Record};
+use crate::Trace;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Fast gate so the hot publish path pays one relaxed load when no stream
+/// is attached (the common case).
+static STREAM_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// The attached writer, if any. Locked only after the collector mutex (or
+/// alone, from attach/detach) — never the other way around.
+static STREAM: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Write the JSONL lines for `records` to the attached stream, if any.
+/// Called with the collector mutex held so stream order matches collector
+/// order. Best-effort: I/O errors are ignored.
+pub(crate) fn publish(records: &[Record]) {
+    if !STREAM_ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut guard = crate::lock(&STREAM);
+    if let Some(writer) = guard.as_mut() {
+        let mut lines = String::new();
+        for record in records {
+            record_jsonl_line(record, &mut lines);
+        }
+        let _ = writer.write_all(lines.as_bytes());
+    }
+}
+
+/// RAII handle for a live JSONL record stream.
+///
+/// While attached, every record entering the global collector is also
+/// written to the wrapped writer as one JSONL line, flushed at
+/// outermost-span exit rather than at `Session::finish`. At most one
+/// stream is attached at a time; attaching replaces (and flushes) any
+/// previous writer. Dropping the handle detaches and flushes.
+pub struct StreamingJsonl {
+    detached: bool,
+}
+
+impl StreamingJsonl {
+    /// Attach `writer` as the live record stream.
+    #[must_use]
+    pub fn attach(writer: Box<dyn Write + Send>) -> StreamingJsonl {
+        let mut guard = crate::lock(&STREAM);
+        if let Some(mut old) = guard.replace(writer) {
+            let _ = old.flush();
+        }
+        STREAM_ACTIVE.store(true, Ordering::Relaxed);
+        StreamingJsonl { detached: false }
+    }
+
+    /// Detach and flush the stream explicitly (equivalent to dropping).
+    pub fn detach(mut self) {
+        self.detach_inner();
+    }
+
+    fn detach_inner(&mut self) {
+        if self.detached {
+            return;
+        }
+        self.detached = true;
+        STREAM_ACTIVE.store(false, Ordering::Relaxed);
+        if let Some(mut writer) = crate::lock(&STREAM).take() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl Drop for StreamingJsonl {
+    fn drop(&mut self) {
+        self.detach_inner();
+    }
+}
+
+/// The JSONL record lines of `trace` — `Trace::to_jsonl` minus the
+/// trailing metric/pool lines. What a [`StreamingJsonl`] attached for the
+/// whole collection window would have received, in order.
+#[must_use]
+pub fn record_lines(trace: &Trace) -> String {
+    let mut out = String::new();
+    for record in &trace.records {
+        record_jsonl_line(record, &mut out);
+    }
+    out
+}

@@ -11,8 +11,34 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// Typed payload attached to every span and instant record. Replaces the
+/// historical single `u64` argument: records now carry the argument plus
+/// the ambient fleet-session id and supervised-retry attempt captured at
+/// record time (see `with_session` / `with_retry`). Fields that are `None`
+/// are omitted from every serialization, so traces recorded outside any
+/// session/retry scope serialize exactly as they did before the payload
+/// existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Payload {
+    /// Optional integer argument (e.g. iteration index).
+    pub arg: Option<u64>,
+    /// Fleet session the record was produced under, if any.
+    pub session: Option<u64>,
+    /// Supervised retry attempt the record was produced under (1 = first
+    /// retry after the initial attempt failed), if any.
+    pub retry: Option<u32>,
+}
+
+impl Payload {
+    /// Payload carrying only an integer argument.
+    #[must_use]
+    pub fn with_arg(arg: u64) -> Payload {
+        Payload { arg: Some(arg), session: None, retry: None }
+    }
+}
+
 /// A closed span: a named interval on one thread, with optional parent and
-/// optional integer argument.
+/// a typed [`Payload`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Unique span id (never 0).
@@ -27,8 +53,8 @@ pub struct SpanRecord {
     pub begin_ns: u64,
     /// Close timestamp, nanoseconds since the telemetry epoch.
     pub end_ns: u64,
-    /// Optional integer argument (e.g. iteration index).
-    pub arg: Option<u64>,
+    /// Typed payload (argument, session id, retry attempt).
+    pub payload: Payload,
 }
 
 /// A point-in-time event with a free-form detail string.
@@ -42,6 +68,8 @@ pub struct InstantRecord {
     pub tid: u64,
     /// Timestamp, nanoseconds since the telemetry epoch.
     pub at_ns: u64,
+    /// Typed payload (session id, retry attempt; `arg` unused for events).
+    pub payload: Payload,
 }
 
 /// One collected record, in completion order.
@@ -140,15 +168,38 @@ impl Trace {
                     tid: map_tid(s.tid, &mut tid_map),
                     begin_ns: stamp_of(s.begin_ns),
                     end_ns: stamp_of(s.end_ns),
-                    arg: s.arg,
+                    payload: s.payload,
                 }),
                 Record::Instant(i) => Record::Instant(InstantRecord {
                     name: i.name,
                     detail: i.detail.clone(),
                     tid: map_tid(i.tid, &mut tid_map),
                     at_ns: stamp_of(i.at_ns),
+                    payload: i.payload,
                 }),
             })
+            .collect();
+        Trace { records, metrics: self.metrics.clone(), pool: self.pool.clone() }
+    }
+
+    /// A copy keeping only the records whose payload session id equals
+    /// `session` (`None` matches records produced outside any session
+    /// scope — so filtering a solo, un-scoped trace by `None` is the
+    /// identity on records). Metrics and pool stats are process-global and
+    /// are carried over unchanged.
+    #[must_use]
+    pub fn for_session(&self, session: Option<u64>) -> Trace {
+        let records = self
+            .records
+            .iter()
+            .filter(|r| {
+                let payload = match r {
+                    Record::Span(s) => &s.payload,
+                    Record::Instant(i) => &i.payload,
+                };
+                payload.session == session
+            })
+            .cloned()
             .collect();
         Trace { records, metrics: self.metrics.clone(), pool: self.pool.clone() }
     }
@@ -159,32 +210,7 @@ impl Trace {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
-            match r {
-                Record::Span(s) => {
-                    let _ = write!(
-                        out,
-                        "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":",
-                        s.id,
-                        json_opt_u64(s.parent)
-                    );
-                    json_string(s.name, &mut out);
-                    let _ = writeln!(
-                        out,
-                        ",\"tid\":{},\"begin_ns\":{},\"end_ns\":{},\"arg\":{}}}",
-                        s.tid,
-                        s.begin_ns,
-                        s.end_ns,
-                        json_opt_u64(s.arg)
-                    );
-                }
-                Record::Instant(i) => {
-                    out.push_str("{\"type\":\"event\",\"name\":");
-                    json_string(i.name, &mut out);
-                    out.push_str(",\"detail\":");
-                    json_string(&i.detail, &mut out);
-                    let _ = writeln!(out, ",\"tid\":{},\"at_ns\":{}}}", i.tid, i.at_ns);
-                }
-            }
+            record_jsonl_line(r, &mut out);
         }
         for c in &self.metrics.counters {
             out.push_str("{\"type\":\"counter\",\"name\":");
@@ -256,8 +282,14 @@ impl Trace {
                     if let Some(parent) = s.parent {
                         let _ = write!(out, ",\"parent\":{parent}");
                     }
-                    if let Some(arg) = s.arg {
+                    if let Some(arg) = s.payload.arg {
                         let _ = write!(out, ",\"arg\":{arg}");
+                    }
+                    if let Some(session) = s.payload.session {
+                        let _ = write!(out, ",\"session\":{session}");
+                    }
+                    if let Some(retry) = s.payload.retry {
+                        let _ = write!(out, ",\"retry\":{retry}");
                     }
                     out.push_str("}}");
                 }
@@ -271,6 +303,12 @@ impl Trace {
                         i.tid
                     );
                     json_string(&i.detail, &mut out);
+                    if let Some(session) = i.payload.session {
+                        let _ = write!(out, ",\"session\":{session}");
+                    }
+                    if let Some(retry) = i.payload.retry {
+                        let _ = write!(out, ",\"retry\":{retry}");
+                    }
                     out.push_str("}}");
                 }
             }
@@ -334,6 +372,53 @@ impl Trace {
             events: events.into_iter().map(|(name, n)| (name.to_string(), n)).collect(),
             pool: self.pool.clone(),
         }
+    }
+}
+
+/// Append the JSONL line for one record (with trailing newline). Shared by
+/// [`Trace::to_jsonl`] and the live streaming sink so a streamed line is
+/// byte-identical to the line the buffered trace would emit for the same
+/// record. Payload session/retry fields are emitted only when present,
+/// keeping session-free traces byte-identical to the pre-payload format.
+pub(crate) fn record_jsonl_line(r: &Record, out: &mut String) {
+    match r {
+        Record::Span(s) => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":",
+                s.id,
+                json_opt_u64(s.parent)
+            );
+            json_string(s.name, out);
+            let _ = write!(
+                out,
+                ",\"tid\":{},\"begin_ns\":{},\"end_ns\":{},\"arg\":{}",
+                s.tid,
+                s.begin_ns,
+                s.end_ns,
+                json_opt_u64(s.payload.arg)
+            );
+            payload_jsonl_suffix(&s.payload, out);
+            out.push_str("}\n");
+        }
+        Record::Instant(i) => {
+            out.push_str("{\"type\":\"event\",\"name\":");
+            json_string(i.name, out);
+            out.push_str(",\"detail\":");
+            json_string(&i.detail, out);
+            let _ = write!(out, ",\"tid\":{},\"at_ns\":{}", i.tid, i.at_ns);
+            payload_jsonl_suffix(&i.payload, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn payload_jsonl_suffix(payload: &Payload, out: &mut String) {
+    if let Some(session) = payload.session {
+        let _ = write!(out, ",\"session\":{session}");
+    }
+    if let Some(retry) = payload.retry {
+        let _ = write!(out, ",\"retry\":{retry}");
     }
 }
 
@@ -466,13 +551,14 @@ mod tests {
                     tid: 7,
                     begin_ns: 1000,
                     end_ns: 5000,
-                    arg: Some(3),
+                    payload: Payload::with_arg(3),
                 }),
                 Record::Instant(InstantRecord {
                     name: "rolled_back",
                     detail: "iteration 3 \"bad\"".to_string(),
                     tid: 9,
                     at_ns: 2500,
+                    payload: Payload::default(),
                 }),
                 Record::Span(SpanRecord {
                     id: 44,
@@ -481,7 +567,7 @@ mod tests {
                     tid: 9,
                     begin_ns: 1500,
                     end_ns: 4000,
-                    arg: None,
+                    payload: Payload::default(),
                 }),
             ],
             metrics: MetricsSnapshot {
@@ -538,6 +624,55 @@ mod tests {
             "],\"displayTimeUnit\":\"ms\"}\n",
         );
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn payload_fields_serialize_only_when_present() {
+        let trace = Trace {
+            records: vec![
+                Record::Span(SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "iteration",
+                    tid: 0,
+                    begin_ns: 0,
+                    end_ns: 2,
+                    payload: Payload { arg: Some(4), session: Some(2), retry: Some(1) },
+                }),
+                Record::Instant(InstantRecord {
+                    name: "phase-failed",
+                    detail: "boom".to_string(),
+                    tid: 0,
+                    at_ns: 1,
+                    payload: Payload { arg: None, session: Some(2), retry: None },
+                }),
+            ],
+            metrics: MetricsSnapshot::default(),
+            pool: Vec::new(),
+        };
+        let want = concat!(
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"iteration\",\"tid\":0,\"begin_ns\":0,\"end_ns\":2,\"arg\":4,\"session\":2,\"retry\":1}\n",
+            "{\"type\":\"event\",\"name\":\"phase-failed\",\"detail\":\"boom\",\"tid\":0,\"at_ns\":1,\"session\":2}\n",
+        );
+        assert_eq!(trace.to_jsonl(), want);
+        let chrome = trace.to_chrome_trace();
+        assert!(chrome.contains("\"session\":2,\"retry\":1"), "{chrome}");
+    }
+
+    #[test]
+    fn for_session_filters_records_and_keeps_metrics() {
+        let mut trace = sample_trace();
+        if let Record::Span(s) = &mut trace.records[0] {
+            s.payload.session = Some(9);
+        }
+        let mine = trace.for_session(Some(9));
+        assert_eq!(mine.records.len(), 1);
+        assert_eq!(mine.spans().next().map(|s| s.name), Some("iteration"));
+        assert_eq!(mine.metrics, trace.metrics);
+        let unscoped = trace.for_session(None);
+        assert_eq!(unscoped.records.len(), 2);
+        // A trace with no session scoping filters to itself under `None`.
+        assert_eq!(sample_trace().for_session(None), sample_trace());
     }
 
     #[test]

@@ -384,17 +384,18 @@ impl ThreadPool {
             local();
             return Vec::new();
         }
-        // Capture the caller's innermost span so work queued to the pool
-        // attributes to the phase that forked it (observe-only).
-        let parent_span = telemetry::current_span_id();
+        // Capture the caller's tagging scope (innermost span + fleet
+        // session/retry tags) so work queued to the pool attributes to the
+        // phase — and session — that forked it (observe-only).
+        let scope = telemetry::current_scope();
         let contain = restartable && self.shared.isolation.load(Ordering::SeqCst);
         let state = Arc::new(ScopeState::new(tasks.len(), contain));
         if let Some(queue) = self.queue.as_ref() {
             for (range, task) in tasks {
-                let task: Box<dyn FnOnce() + Send + 'env> = if parent_span.is_some() {
-                    Box::new(move || telemetry::with_parent_span(parent_span, task))
-                } else {
+                let task: Box<dyn FnOnce() + Send + 'env> = if scope.is_empty() {
                     task
+                } else {
+                    Box::new(move || telemetry::with_scope(scope, task))
                 };
                 // SAFETY: lifetime erasure from 'env to 'static. Sound
                 // because this function waits (via `WaitGuard`, even when the
