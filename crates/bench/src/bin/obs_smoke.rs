@@ -1,0 +1,199 @@
+//! Observability end-to-end smoke check: run a small fleet with a live
+//! `ObsServer` attached (ephemeral port), then validate all three
+//! endpoints with a plain `std::net::TcpStream` HTTP client — the
+//! Prometheus exposition format of `/metrics` (HELP/TYPE lines, `a3cs_*`
+//! namespace, parseable sample lines), `/healthz` readiness, and that
+//! `/fleet` serves the run's own `FleetReport` JSON byte-for-byte. Exits
+//! nonzero on any failure, so `scripts/check.sh` can use it as a gate.
+//!
+//! ```sh
+//! cargo run --release -p a3cs-bench --bin obs_smoke
+//! ```
+
+use a3cs_bench::report::{or_exit, status, warn};
+use a3cs_core::CoSearchConfig;
+use a3cs_envs::{Breakout, Environment};
+use a3cs_fleet::{Fleet, FleetConfig, SessionState};
+use a3cs_obs::ObsServer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn fail(problems: &[String]) -> ! {
+    for p in problems {
+        warn(p);
+    }
+    std::process::exit(1);
+}
+
+fn tiny_config() -> CoSearchConfig {
+    let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
+    cfg.total_steps = 200;
+    cfg.eval_every = 100;
+    cfg.eval_episodes = 2;
+    cfg.eval_max_steps = 40;
+    cfg.das_final_iters = 50;
+    cfg
+}
+
+/// One GET over a fresh connection; returns `(status code, body)`.
+fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("send {path}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let code = response
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| format!("{path}: malformed status line"))?;
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .ok_or_else(|| format!("{path}: missing header/body separator"))?
+        .to_string();
+    Ok((code, body))
+}
+
+/// Validate the Prometheus text exposition shape: every line is a
+/// `# HELP`/`# TYPE` comment or a `name{labels} value` sample in the
+/// `a3cs_` namespace, and every sample family was declared first.
+fn check_exposition(body: &str, problems: &mut Vec<String>) {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (n, line) in body.lines().enumerate() {
+        let lineno = n + 1;
+        if let Some(rest) = line.strip_prefix("# ") {
+            let ok = rest
+                .strip_prefix("HELP ")
+                .or_else(|| rest.strip_prefix("TYPE "))
+                .map(|r| r.starts_with("a3cs_"));
+            if ok != Some(true) {
+                problems.push(format!("/metrics line {lineno}: bad comment: {line}"));
+                continue;
+            }
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                if let Some(name) = decl.split(' ').next() {
+                    declared.push(name.to_string());
+                }
+            }
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            problems.push(format!("/metrics line {lineno}: no sample value: {line}"));
+            continue;
+        };
+        if value.parse::<f64>().is_err() {
+            problems.push(format!("/metrics line {lineno}: unparseable value: {value}"));
+        }
+        let name = series.split('{').next().unwrap_or(series);
+        if !name.starts_with("a3cs_") {
+            problems.push(format!("/metrics line {lineno}: outside a3cs_ namespace: {name}"));
+        }
+        if !declared.iter().any(|d| d == name) {
+            problems.push(format!("/metrics line {lineno}: sample before TYPE: {name}"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        problems.push("/metrics exposed no samples".to_string());
+    }
+}
+
+fn main() {
+    status("obs smoke: fleet with a live exposition server attached\n");
+    let server = or_exit(ObsServer::bind_ephemeral());
+    let addr = server.addr();
+    status(format!("obs smoke: serving on http://{addr}\n"));
+
+    let mut fleet = Fleet::new(FleetConfig {
+        scheduler_seed: 7,
+        ..FleetConfig::default()
+    });
+    for seed in 10..12u64 {
+        let _ = or_exit(fleet.submit(format!("s{seed}"), tiny_config(), seed, factory));
+    }
+    fleet.attach_observer(Box::new(server.publisher(64)));
+    let report = fleet.run_to_completion();
+
+    let mut problems = Vec::new();
+    for s in &report.sessions {
+        if s.state != SessionState::Done {
+            problems.push(format!("session {} did not complete: {:?}", s.id, s.state));
+        }
+    }
+
+    // /metrics: exposition format plus the values this run must have hit.
+    match http_get(addr, "/metrics") {
+        Ok((200, body)) => {
+            check_exposition(&body, &mut problems);
+            for needle in [
+                format!("\na3cs_obs_publishes_total {}\n", report.ticks),
+                format!("\na3cs_fleet_ticks {}\n", report.ticks),
+                format!("\na3cs_fleet_pool_budget {}\n", report.pool_budget),
+                "a3cs_session_state{session=\"0\",name=\"s10\",state=\"done\"} 1".to_string(),
+                "a3cs_session_state{session=\"1\",name=\"s11\",state=\"done\"} 1".to_string(),
+            ] {
+                if !body.contains(&needle) {
+                    problems.push(format!("/metrics missing: {}", needle.trim()));
+                }
+            }
+        }
+        Ok((code, _)) => problems.push(format!("/metrics returned {code}, want 200")),
+        Err(e) => problems.push(e),
+    }
+
+    // /healthz: ready, with the final ladder rung.
+    match http_get(addr, "/healthz") {
+        Ok((200, body)) => {
+            if !body.starts_with("{\"ready\":true,") {
+                problems.push(format!("/healthz not ready: {body}"));
+            }
+            let rung = format!("\"pool_budget\":{}", report.pool_budget);
+            if !body.contains(&rung) {
+                problems.push(format!("/healthz missing {rung}: {body}"));
+            }
+        }
+        Ok((code, _)) => problems.push(format!("/healthz returned {code}, want 200")),
+        Err(e) => problems.push(e),
+    }
+
+    // /fleet: byte-for-byte the run's own final report.
+    match http_get(addr, "/fleet") {
+        Ok((200, body)) => {
+            if body != report.to_json() {
+                problems.push(
+                    "/fleet body differs from the run's own FleetReport::to_json".to_string(),
+                );
+            }
+        }
+        Ok((code, _)) => problems.push(format!("/fleet returned {code}, want 200")),
+        Err(e) => problems.push(e),
+    }
+
+    // Unknown paths 404; non-GET 405.
+    match http_get(addr, "/nope") {
+        Ok((404, _)) => {}
+        Ok((code, _)) => problems.push(format!("/nope returned {code}, want 404")),
+        Err(e) => problems.push(e),
+    }
+
+    server.shutdown();
+    if !problems.is_empty() {
+        fail(&problems);
+    }
+    status(format!(
+        "obs smoke: OK ({} sessions done in {} ticks; /metrics, /healthz and /fleet validated)\n",
+        report.sessions.len(),
+        report.ticks
+    ));
+}

@@ -575,9 +575,32 @@ impl CoSearch {
         factory: &EnvFactory<'_>,
         teacher: Option<&ActorCritic>,
     ) -> Result<CoSearchResult, SearchError> {
+        self.run_guarded_observed(factory, teacher, |_| {})
+    }
+
+    /// [`CoSearch::run_guarded`] with a read-only progress hook: `observe`
+    /// is called with the open [`GuardedRun`] right after `start_run` and
+    /// after every completed step, mirroring the fleet's tick-boundary
+    /// observer for solo runs (an `a3cs-obs` publisher hooks in here). The
+    /// observer receives `&GuardedRun` — it can read counters and the
+    /// robustness log but cannot steer the run, so the observed trajectory
+    /// is bit-identical to `run_guarded` with no observer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CoSearch::run_guarded`].
+    pub fn run_guarded_observed(
+        &mut self,
+        factory: &EnvFactory<'_>,
+        teacher: Option<&ActorCritic>,
+        mut observe: impl FnMut(&GuardedRun),
+    ) -> Result<CoSearchResult, SearchError> {
         let mut run = self.start_run(factory);
+        observe(&run);
         loop {
-            if run.step(self, factory, teacher)? == StepOutcome::Finished {
+            let outcome = run.step(self, factory, teacher)?;
+            observe(&run);
+            if outcome == StepOutcome::Finished {
                 return Ok(run.finish(self));
             }
         }

@@ -44,6 +44,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use threadpool::ThreadPool;
 
+mod json;
+pub use json::FLEET_REPORT_SCHEMA;
+
 /// SplitMix64: the scheduler's only source of (seeded, deterministic)
 /// mixing — no ambient RNG anywhere in the fleet.
 fn splitmix64(x: u64) -> u64 {
@@ -67,6 +70,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct SessionId(u64);
 
 impl SessionId {
+    /// A session id from its submission index. Ids minted this way only
+    /// match a fleet's own sessions when the index does; the constructor
+    /// exists so external mirrors (solo-run observability snapshots,
+    /// report deserializers) can build [`SessionReport`]s.
+    #[must_use]
+    pub const fn new(index: u64) -> SessionId {
+        SessionId(index)
+    }
+
     /// The submission index (also the telemetry `session` tag).
     #[must_use]
     pub fn index(self) -> u64 {
@@ -136,6 +148,22 @@ impl SessionState {
             self,
             SessionState::Done | SessionState::Failed(_) | SessionState::Cancelled
         )
+    }
+
+    /// Stable lowercase label used by the JSON schema and the metrics
+    /// exposition (`queued`, `running`, `backoff`, `done`, `failed`,
+    /// `cancelled`). These strings are part of the wire format — never
+    /// rename one.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionState::Queued => "queued",
+            SessionState::Running => "running",
+            SessionState::Backoff { .. } => "backoff",
+            SessionState::Done => "done",
+            SessionState::Failed(_) => "failed",
+            SessionState::Cancelled => "cancelled",
+        }
     }
 }
 
@@ -212,6 +240,9 @@ pub struct SessionReport {
     pub name: String,
     /// Terminal (or last observed) state.
     pub state: SessionState,
+    /// Env steps consumed — live counter while the session runs, the
+    /// result's total once it is done.
+    pub steps: u64,
     /// Restarts spent.
     pub restarts: u32,
     /// The search result, for [`SessionState::Done`] sessions.
@@ -252,6 +283,18 @@ impl FleetReport {
     }
 }
 
+/// Read-only hook invoked at every tick boundary (including idle ticks
+/// that only advance the clock), after the tick's work unit — if any —
+/// has fully settled. The fleet hands the observer `&Fleet`, so an
+/// observer can [`Fleet::poll`] sessions or take a
+/// [`Fleet::report_snapshot`], but can never mutate fleet state: the
+/// observe-only guarantee (observed run bit-identical to unobserved,
+/// DESIGN.md §16) holds by construction.
+pub trait TickObserver {
+    /// Called once per completed scheduler tick.
+    fn on_tick(&mut self, fleet: &Fleet<'_>);
+}
+
 /// What one scheduled work unit did.
 enum UnitOutcome {
     /// A queued/backed-off session (re)built its search and opened a run.
@@ -287,6 +330,7 @@ pub struct Fleet<'f> {
     ladder: DegradationLadder,
     tick: u64,
     total_faults: u64,
+    observer: Option<Box<dyn TickObserver + 'f>>,
 }
 
 impl<'f> Fleet<'f> {
@@ -305,6 +349,24 @@ impl<'f> Fleet<'f> {
             ladder,
             tick: 0,
             total_faults: 0,
+            observer: None,
+        }
+    }
+
+    /// Attach a [`TickObserver`] notified at every tick boundary (an
+    /// `a3cs-obs` publisher, a progress logger, ...). At most one observer
+    /// is held; attaching again replaces the previous one.
+    pub fn attach_observer(&mut self, observer: Box<dyn TickObserver + 'f>) {
+        self.observer = Some(observer);
+    }
+
+    /// Notify the attached observer (if any) with the fleet in a settled
+    /// state. The take/put-back dance lets the observer borrow `&self`
+    /// while the fleet still owns it.
+    fn notify_observer(&mut self) {
+        if let Some(mut observer) = self.observer.take() {
+            observer.on_tick(self);
+            self.observer = Some(observer);
         }
     }
 
@@ -471,15 +533,16 @@ impl<'f> Fleet<'f> {
             .map(|(i, _)| i)
             .collect();
         self.tick += 1;
-        if runnable.is_empty() {
-            return !self.all_terminal();
+        if !runnable.is_empty() {
+            // Fair rotation with a seeded phase: every runnable session is
+            // visited once per len ticks, whatever the seed. The pick order
+            // can never change any session's result — only its timing.
+            let phase = splitmix64(self.config.scheduler_seed);
+            let pick =
+                runnable[((self.tick.wrapping_add(phase)) % runnable.len() as u64) as usize];
+            self.step_session(pick);
         }
-        // Fair rotation with a seeded phase: every runnable session is
-        // visited once per len ticks, whatever the seed. The pick order
-        // can never change any session's result — only its timing.
-        let phase = splitmix64(self.config.scheduler_seed);
-        let pick = runnable[((self.tick.wrapping_add(phase)) % runnable.len() as u64) as usize];
-        self.step_session(pick);
+        self.notify_observer();
         !self.all_terminal()
     }
 
@@ -623,30 +686,45 @@ impl<'f> Fleet<'f> {
         });
     }
 
-    fn into_report(self) -> FleetReport {
+    /// A non-consuming [`FleetReport`] of the fleet's *current* state —
+    /// the live mirror served by `a3cs-obs` at `/fleet`. For a session
+    /// with an open run, the robustness log and checkpoint counters come
+    /// from the live [`GuardedRun`]; once every session is terminal the
+    /// snapshot is field-for-field identical to the final
+    /// [`Fleet::run_to_completion`] report (which is built through this
+    /// same path).
+    #[must_use]
+    pub fn report_snapshot(&self) -> FleetReport {
         let mut event_totals: BTreeMap<String, usize> = BTreeMap::new();
         let sessions = self
             .sessions
-            .into_iter()
+            .iter()
             .map(|s| {
-                for event in s
-                    .last_robustness
-                    .events
-                    .iter()
-                    .chain(s.fleet_log.events.iter())
-                {
+                let robustness = s
+                    .run
+                    .as_ref()
+                    .map_or_else(|| s.last_robustness.clone(), |run| run.robustness().clone());
+                let live_bytes = s.run.as_ref().map_or(0, GuardedRun::checkpoint_bytes_written);
+                let live_restores = s.run.as_ref().map_or(0, GuardedRun::checkpoint_restores);
+                for event in robustness.events.iter().chain(s.fleet_log.events.iter()) {
                     *event_totals.entry(event.kind.label().to_string()).or_insert(0) += 1;
                 }
                 SessionReport {
                     id: s.id,
-                    name: s.name,
-                    state: s.state,
+                    name: s.name.clone(),
+                    state: s.state.clone(),
+                    steps: s
+                        .run
+                        .as_ref()
+                        .map(GuardedRun::steps)
+                        .or_else(|| s.result.as_ref().map(|r| r.steps))
+                        .unwrap_or(0),
                     restarts: s.restarts_used,
-                    result: s.result,
-                    robustness: s.last_robustness,
-                    fleet_events: s.fleet_log,
-                    checkpoint_bytes_written: s.bytes_written,
-                    checkpoint_restores: s.restore_count,
+                    result: s.result.clone(),
+                    robustness,
+                    fleet_events: s.fleet_log.clone(),
+                    checkpoint_bytes_written: s.bytes_written + live_bytes,
+                    checkpoint_restores: s.restore_count + live_restores,
                 }
             })
             .collect();
@@ -657,6 +735,10 @@ impl<'f> Fleet<'f> {
             total_faults: self.total_faults,
             event_totals,
         }
+    }
+
+    fn into_report(self) -> FleetReport {
+        self.report_snapshot()
     }
 }
 

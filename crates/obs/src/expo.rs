@@ -1,0 +1,491 @@
+//! Wire-format rendering for the exposition service: Prometheus text
+//! format for `/metrics` and the `/healthz` JSON body.
+//!
+//! Every render is a pure function of one [`ObsSnapshot`], so the output
+//! is deterministic byte-for-byte: families appear in a fixed order
+//! (obs/fleet series, then the telemetry catalog in catalog order, then
+//! phase and session series sorted by name/id), every family carries
+//! `# HELP` and `# TYPE` lines, and metric names are the stable `a3cs_*`
+//! namespace pinned by the exposition golden test.
+
+use crate::rollup::ObsSnapshot;
+use std::fmt::Write as _;
+use telemetry::quantile_from_counts;
+
+/// Quantiles exposed per histogram, with their metric-name suffixes.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
+
+/// Mangle a catalog metric name (`gemm.macs`) into the Prometheus
+/// namespace (`a3cs_gemm_macs`): every non-alphanumeric byte becomes `_`.
+#[must_use]
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("a3cs_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the Prometheus text format.
+fn label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Shortest-round-trip float for exposition lines (`NaN`/`inf` are kept —
+/// Prometheus accepts them — but the aggregator never produces them).
+fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn session_labels(id: u64, name: &str) -> String {
+    let mut labels = format!("session=\"{id}\",name=\"");
+    label_value(name, &mut labels);
+    labels.push('"');
+    labels
+}
+
+/// Render the full `/metrics` body for one snapshot.
+#[must_use]
+pub fn render_prometheus(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+
+    family(
+        &mut out,
+        "a3cs_obs_publishes_total",
+        "Snapshots published to the observability plane.",
+        "counter",
+    );
+    let _ = writeln!(out, "a3cs_obs_publishes_total {}", snap.seq);
+
+    family(
+        &mut out,
+        "a3cs_fleet_ticks",
+        "Scheduler ticks consumed (outer-loop iterations for solo runs).",
+        "gauge",
+    );
+    let _ = writeln!(out, "a3cs_fleet_ticks {}", snap.ticks);
+
+    family(
+        &mut out,
+        "a3cs_fleet_pool_budget",
+        "Shared worker-pool budget: the degradation ladder's current rung.",
+        "gauge",
+    );
+    let _ = writeln!(out, "a3cs_fleet_pool_budget {}", snap.pool_budget);
+
+    family(
+        &mut out,
+        "a3cs_fleet_faults_total",
+        "Session faults observed fleet-wide.",
+        "counter",
+    );
+    let _ = writeln!(out, "a3cs_fleet_faults_total {}", snap.total_faults);
+
+    family(
+        &mut out,
+        "a3cs_fleet_sessions",
+        "Sessions submitted to the fleet.",
+        "gauge",
+    );
+    let _ = writeln!(out, "a3cs_fleet_sessions {}", snap.sessions_total);
+
+    family(
+        &mut out,
+        "a3cs_fleet_sessions_terminal",
+        "Sessions in a terminal state (done, failed or cancelled).",
+        "gauge",
+    );
+    let _ = writeln!(out, "a3cs_fleet_sessions_terminal {}", snap.sessions_terminal);
+
+    if let Some(rate) = snap.memo_hit_rate {
+        family(
+            &mut out,
+            "a3cs_memo_hit_rate",
+            "Memoisation hit rate over all lookups so far.",
+            "gauge",
+        );
+        let _ = writeln!(out, "a3cs_memo_hit_rate {}", num(rate));
+    }
+
+    for c in &snap.metrics.counters {
+        let name = format!("{}_total", prom_name(c.name));
+        family(&mut out, &name, &format!("Telemetry counter `{}`.", c.name), "counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snap.metrics.gauges {
+        let name = prom_name(g.name);
+        family(&mut out, &name, &format!("Telemetry gauge `{}`.", g.name), "gauge");
+        let _ = writeln!(out, "{name} {}", num(g.value));
+    }
+    for h in &snap.metrics.histograms {
+        let base = prom_name(h.name);
+        let total: u64 = h.counts.iter().sum();
+        let count_name = format!("{base}_count");
+        family(
+            &mut out,
+            &count_name,
+            &format!("Samples recorded by telemetry histogram `{}`.", h.name),
+            "counter",
+        );
+        let _ = writeln!(out, "{count_name} {total}");
+        for (q, suffix) in QUANTILES {
+            let name = format!("{base}_{suffix}");
+            family(
+                &mut out,
+                &name,
+                &format!(
+                    "q={q} of `{}`, interpolated within power-of-two buckets.",
+                    h.name
+                ),
+                "gauge",
+            );
+            match quantile_from_counts(&h.counts, q) {
+                Some(v) => {
+                    let _ = writeln!(out, "{name} {}", num(v));
+                }
+                None => {
+                    let _ = writeln!(out, "{name} 0");
+                }
+            }
+        }
+    }
+
+    if !snap.phases.is_empty() {
+        family(
+            &mut out,
+            "a3cs_phase_spans_total",
+            "Telemetry spans recorded per phase.",
+            "counter",
+        );
+        for p in &snap.phases {
+            let mut labels = String::from("phase=\"");
+            label_value(&p.name, &mut labels);
+            labels.push('"');
+            let _ = writeln!(out, "a3cs_phase_spans_total{{{labels}}} {}", p.count);
+        }
+        family(
+            &mut out,
+            "a3cs_phase_latency_ns_total",
+            "Cumulative span latency per phase, in nanoseconds.",
+            "counter",
+        );
+        for p in &snap.phases {
+            let mut labels = String::from("phase=\"");
+            label_value(&p.name, &mut labels);
+            labels.push('"');
+            let _ = writeln!(out, "a3cs_phase_latency_ns_total{{{labels}}} {}", p.total_ns);
+        }
+        family(
+            &mut out,
+            "a3cs_phase_latency_ns_max",
+            "Worst single span per phase, in nanoseconds.",
+            "gauge",
+        );
+        for p in &snap.phases {
+            let mut labels = String::from("phase=\"");
+            label_value(&p.name, &mut labels);
+            labels.push('"');
+            let _ = writeln!(out, "a3cs_phase_latency_ns_max{{{labels}}} {}", p.max_ns);
+        }
+    }
+
+    if !snap.sessions.is_empty() {
+        family(
+            &mut out,
+            "a3cs_session_state",
+            "Session lifecycle state (1 for the current state label).",
+            "gauge",
+        );
+        for s in &snap.sessions {
+            let labels = session_labels(s.id, &s.name);
+            let _ = writeln!(out, "a3cs_session_state{{{labels},state=\"{}\"}} 1", s.state);
+        }
+        family(&mut out, "a3cs_session_steps", "Env steps consumed per session.", "gauge");
+        for s in &snap.sessions {
+            let _ = writeln!(
+                out,
+                "a3cs_session_steps{{{}}} {}",
+                session_labels(s.id, &s.name),
+                s.steps
+            );
+        }
+        family(
+            &mut out,
+            "a3cs_session_restarts_total",
+            "Restarts spent per session.",
+            "counter",
+        );
+        for s in &snap.sessions {
+            let _ = writeln!(
+                out,
+                "a3cs_session_restarts_total{{{}}} {}",
+                session_labels(s.id, &s.name),
+                s.restarts
+            );
+        }
+        family(
+            &mut out,
+            "a3cs_session_checkpoint_bytes_total",
+            "Checkpoint bytes persisted per session, across attempts.",
+            "counter",
+        );
+        for s in &snap.sessions {
+            let _ = writeln!(
+                out,
+                "a3cs_session_checkpoint_bytes_total{{{}}} {}",
+                session_labels(s.id, &s.name),
+                s.checkpoint_bytes_written
+            );
+        }
+        family(
+            &mut out,
+            "a3cs_session_checkpoint_restores_total",
+            "Checkpoint restores (auto-resumes and rollbacks) per session.",
+            "counter",
+        );
+        for s in &snap.sessions {
+            let _ = writeln!(
+                out,
+                "a3cs_session_checkpoint_restores_total{{{}}} {}",
+                session_labels(s.id, &s.name),
+                s.checkpoint_restores
+            );
+        }
+        family(
+            &mut out,
+            "a3cs_session_checkpoint_lag",
+            "Publishes since the session's checkpoint bytes last advanced.",
+            "gauge",
+        );
+        for s in &snap.sessions {
+            let _ = writeln!(
+                out,
+                "a3cs_session_checkpoint_lag{{{}}} {}",
+                session_labels(s.id, &s.name),
+                s.checkpoint_lag
+            );
+        }
+        family(
+            &mut out,
+            "a3cs_session_events_total",
+            "Robustness events per session, by kind.",
+            "counter",
+        );
+        for s in &snap.sessions {
+            let labels = session_labels(s.id, &s.name);
+            for (kind, n) in [
+                ("fault", s.fault_events),
+                ("quarantine", s.quarantine_events),
+                ("stall", s.stall_events),
+                ("retry", s.retry_events),
+                ("rollback", s.rollback_events),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "a3cs_session_events_total{{{labels},kind=\"{kind}\"}} {n}"
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Render the `/healthz` body. Returns `(ready, json)`: `ready` is `false`
+/// until the first publish lands, which maps to HTTP 503.
+#[must_use]
+pub fn render_health(snap: Option<&ObsSnapshot>) -> (bool, String) {
+    match snap {
+        None => (false, "{\"ready\":false}".to_string()),
+        Some(s) => {
+            let json = format!(
+                "{{\"ready\":true,\"publishes\":{},\"ticks\":{},\"pool_budget\":{},\"total_faults\":{},\"sessions\":{},\"sessions_terminal\":{}}}",
+                s.seq, s.ticks, s.pool_budget, s.total_faults, s.sessions_total, s.sessions_terminal
+            );
+            (true, json)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollup::{PhaseStats, SessionRollup};
+    use telemetry::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+    fn sample_snapshot() -> ObsSnapshot {
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        counts[4] = 4; // all samples in [8, 16)
+        ObsSnapshot {
+            seq: 3,
+            ticks: 17,
+            pool_budget: 2,
+            total_faults: 1,
+            sessions_total: 1,
+            sessions_terminal: 0,
+            memo_hit_rate: Some(0.75),
+            phases: vec![PhaseStats {
+                name: "iteration".to_string(),
+                count: 5,
+                total_ns: 5000,
+                max_ns: 2000,
+            }],
+            sessions: vec![SessionRollup {
+                id: 0,
+                name: "alpha".to_string(),
+                state: "running".to_string(),
+                steps: 120,
+                restarts: 1,
+                checkpoint_bytes_written: 2048,
+                checkpoint_restores: 1,
+                checkpoint_lag: 2,
+                fault_events: 1,
+                quarantine_events: 0,
+                stall_events: 0,
+                retry_events: 2,
+                rollback_events: 0,
+            }],
+            metrics: MetricsSnapshot {
+                counters: vec![CounterSample {
+                    name: "env.steps",
+                    value: 1200,
+                }],
+                gauges: vec![GaugeSample {
+                    name: "loss.total",
+                    value: 0.5,
+                }],
+                histograms: vec![HistogramSample {
+                    name: "gemm.macs.per_call",
+                    counts,
+                }],
+            },
+        }
+    }
+
+    /// The wire format is pinned byte-for-byte: renaming a metric, losing
+    /// a HELP/TYPE line or reordering families is a breaking change and
+    /// must show up here.
+    #[test]
+    fn prometheus_exposition_golden() {
+        let want = concat!(
+            "# HELP a3cs_obs_publishes_total Snapshots published to the observability plane.\n",
+            "# TYPE a3cs_obs_publishes_total counter\n",
+            "a3cs_obs_publishes_total 3\n",
+            "# HELP a3cs_fleet_ticks Scheduler ticks consumed (outer-loop iterations for solo runs).\n",
+            "# TYPE a3cs_fleet_ticks gauge\n",
+            "a3cs_fleet_ticks 17\n",
+            "# HELP a3cs_fleet_pool_budget Shared worker-pool budget: the degradation ladder's current rung.\n",
+            "# TYPE a3cs_fleet_pool_budget gauge\n",
+            "a3cs_fleet_pool_budget 2\n",
+            "# HELP a3cs_fleet_faults_total Session faults observed fleet-wide.\n",
+            "# TYPE a3cs_fleet_faults_total counter\n",
+            "a3cs_fleet_faults_total 1\n",
+            "# HELP a3cs_fleet_sessions Sessions submitted to the fleet.\n",
+            "# TYPE a3cs_fleet_sessions gauge\n",
+            "a3cs_fleet_sessions 1\n",
+            "# HELP a3cs_fleet_sessions_terminal Sessions in a terminal state (done, failed or cancelled).\n",
+            "# TYPE a3cs_fleet_sessions_terminal gauge\n",
+            "a3cs_fleet_sessions_terminal 0\n",
+            "# HELP a3cs_memo_hit_rate Memoisation hit rate over all lookups so far.\n",
+            "# TYPE a3cs_memo_hit_rate gauge\n",
+            "a3cs_memo_hit_rate 0.75\n",
+            "# HELP a3cs_env_steps_total Telemetry counter `env.steps`.\n",
+            "# TYPE a3cs_env_steps_total counter\n",
+            "a3cs_env_steps_total 1200\n",
+            "# HELP a3cs_loss_total Telemetry gauge `loss.total`.\n",
+            "# TYPE a3cs_loss_total gauge\n",
+            "a3cs_loss_total 0.5\n",
+            "# HELP a3cs_gemm_macs_per_call_count Samples recorded by telemetry histogram `gemm.macs.per_call`.\n",
+            "# TYPE a3cs_gemm_macs_per_call_count counter\n",
+            "a3cs_gemm_macs_per_call_count 4\n",
+            "# HELP a3cs_gemm_macs_per_call_p50 q=0.5 of `gemm.macs.per_call`, interpolated within power-of-two buckets.\n",
+            "# TYPE a3cs_gemm_macs_per_call_p50 gauge\n",
+            "a3cs_gemm_macs_per_call_p50 12\n",
+            "# HELP a3cs_gemm_macs_per_call_p95 q=0.95 of `gemm.macs.per_call`, interpolated within power-of-two buckets.\n",
+            "# TYPE a3cs_gemm_macs_per_call_p95 gauge\n",
+            "a3cs_gemm_macs_per_call_p95 15.6\n",
+            "# HELP a3cs_gemm_macs_per_call_p99 q=0.99 of `gemm.macs.per_call`, interpolated within power-of-two buckets.\n",
+            "# TYPE a3cs_gemm_macs_per_call_p99 gauge\n",
+            "a3cs_gemm_macs_per_call_p99 15.92\n",
+            "# HELP a3cs_phase_spans_total Telemetry spans recorded per phase.\n",
+            "# TYPE a3cs_phase_spans_total counter\n",
+            "a3cs_phase_spans_total{phase=\"iteration\"} 5\n",
+            "# HELP a3cs_phase_latency_ns_total Cumulative span latency per phase, in nanoseconds.\n",
+            "# TYPE a3cs_phase_latency_ns_total counter\n",
+            "a3cs_phase_latency_ns_total{phase=\"iteration\"} 5000\n",
+            "# HELP a3cs_phase_latency_ns_max Worst single span per phase, in nanoseconds.\n",
+            "# TYPE a3cs_phase_latency_ns_max gauge\n",
+            "a3cs_phase_latency_ns_max{phase=\"iteration\"} 2000\n",
+            "# HELP a3cs_session_state Session lifecycle state (1 for the current state label).\n",
+            "# TYPE a3cs_session_state gauge\n",
+            "a3cs_session_state{session=\"0\",name=\"alpha\",state=\"running\"} 1\n",
+            "# HELP a3cs_session_steps Env steps consumed per session.\n",
+            "# TYPE a3cs_session_steps gauge\n",
+            "a3cs_session_steps{session=\"0\",name=\"alpha\"} 120\n",
+            "# HELP a3cs_session_restarts_total Restarts spent per session.\n",
+            "# TYPE a3cs_session_restarts_total counter\n",
+            "a3cs_session_restarts_total{session=\"0\",name=\"alpha\"} 1\n",
+            "# HELP a3cs_session_checkpoint_bytes_total Checkpoint bytes persisted per session, across attempts.\n",
+            "# TYPE a3cs_session_checkpoint_bytes_total counter\n",
+            "a3cs_session_checkpoint_bytes_total{session=\"0\",name=\"alpha\"} 2048\n",
+            "# HELP a3cs_session_checkpoint_restores_total Checkpoint restores (auto-resumes and rollbacks) per session.\n",
+            "# TYPE a3cs_session_checkpoint_restores_total counter\n",
+            "a3cs_session_checkpoint_restores_total{session=\"0\",name=\"alpha\"} 1\n",
+            "# HELP a3cs_session_checkpoint_lag Publishes since the session's checkpoint bytes last advanced.\n",
+            "# TYPE a3cs_session_checkpoint_lag gauge\n",
+            "a3cs_session_checkpoint_lag{session=\"0\",name=\"alpha\"} 2\n",
+            "# HELP a3cs_session_events_total Robustness events per session, by kind.\n",
+            "# TYPE a3cs_session_events_total counter\n",
+            "a3cs_session_events_total{session=\"0\",name=\"alpha\",kind=\"fault\"} 1\n",
+            "a3cs_session_events_total{session=\"0\",name=\"alpha\",kind=\"quarantine\"} 0\n",
+            "a3cs_session_events_total{session=\"0\",name=\"alpha\",kind=\"stall\"} 0\n",
+            "a3cs_session_events_total{session=\"0\",name=\"alpha\",kind=\"retry\"} 2\n",
+            "a3cs_session_events_total{session=\"0\",name=\"alpha\",kind=\"rollback\"} 0\n",
+        );
+        assert_eq!(render_prometheus(&sample_snapshot()), want);
+    }
+
+    #[test]
+    fn prom_name_mangles_into_the_a3cs_namespace() {
+        assert_eq!(prom_name("gemm.macs"), "a3cs_gemm_macs");
+        assert_eq!(prom_name("checkpoint.bytes_written"), "a3cs_checkpoint_bytes_written");
+        assert_eq!(prom_name("per-call"), "a3cs_per_call");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut out = String::new();
+        label_value("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn health_renders_ready_and_unready() {
+        let (ready, body) = render_health(None);
+        assert!(!ready);
+        assert_eq!(body, "{\"ready\":false}");
+        let (ready, body) = render_health(Some(&sample_snapshot()));
+        assert!(ready);
+        assert_eq!(
+            body,
+            "{\"ready\":true,\"publishes\":3,\"ticks\":17,\"pool_budget\":2,\"total_faults\":1,\"sessions\":1,\"sessions_terminal\":0}"
+        );
+    }
+}

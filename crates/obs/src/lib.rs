@@ -1,0 +1,55 @@
+//! Live observability plane for the co-search fleet (DESIGN.md §16).
+//!
+//! Everything built so far — the telemetry spine (PR 4), the supervision
+//! layer (PR 6) and the fleet supervisor (PR 8) — is *post-hoc*: state is
+//! visible only after a `Trace` is drained or a [`FleetReport`] returned.
+//! This crate makes the same signals observable **live**, from outside
+//! the process, without perturbing the bit-identical execution guarantee:
+//!
+//! - [`rollup`]: tick-boundary aggregation into [`ObsSnapshot`]s — per-
+//!   phase latency stats from span records, per-session health rollups
+//!   (restarts, checkpoint bytes/lag, fault/quarantine/stall counts) from
+//!   [`FleetReport`]s, p50/p95/p99 interpolated from the 34-bucket
+//!   power-of-two telemetry histograms, all remembered in fixed-size
+//!   [`Ring`] windows.
+//! - [`expo`]: deterministic wire rendering — Prometheus text format
+//!   (`a3cs_*` namespace, HELP/TYPE lines, fixed family order, pinned by
+//!   a golden test) and the `/healthz` JSON body.
+//! - [`server`]: a zero-dependency `std::net::TcpListener` HTTP responder
+//!   serving `/metrics`, `/healthz` and `/fleet`. The [`ObsPublisher`]
+//!   (driven by [`Fleet::attach_observer`] or
+//!   [`CoSearch::run_guarded_observed`]) prerenders all three bodies at
+//!   each tick boundary; the server thread only clones strings, so the
+//!   observed run is bit-identical to an unobserved one.
+//!
+//! ```no_run
+//! use a3cs_fleet::{Fleet, FleetConfig};
+//! use a3cs_obs::ObsServer;
+//!
+//! let server = ObsServer::bind_ephemeral().expect("bind");
+//! println!("curl http://{}/metrics", server.addr());
+//! let mut fleet = Fleet::new(FleetConfig::default());
+//! // ... submit sessions ...
+//! fleet.attach_observer(Box::new(server.publisher(64)));
+//! let report = fleet.run_to_completion();
+//! server.shutdown();
+//! # let _ = report;
+//! ```
+//!
+//! [`FleetReport`]: a3cs_fleet::FleetReport
+//! [`Fleet::attach_observer`]: a3cs_fleet::Fleet::attach_observer
+//! [`CoSearch::run_guarded_observed`]: a3cs_core::CoSearch::run_guarded_observed
+
+#![deny(missing_docs)]
+
+pub mod expo;
+pub mod ring;
+pub mod rollup;
+pub mod server;
+
+pub use expo::{prom_name, render_health, render_prometheus};
+pub use ring::Ring;
+pub use rollup::{
+    phase_stats, session_phase_stats, Aggregator, ObsSnapshot, PhaseStats, SessionRollup,
+};
+pub use server::{solo_report, ObsPublisher, ObsServer};

@@ -1,0 +1,112 @@
+//! Fixed-capacity ring buffer for rolling observability windows.
+//!
+//! Deliberately minimal: push overwrites the oldest entry once full, and
+//! iteration is always oldest → newest. No wall clock, no allocation after
+//! the first wrap — pushing into a full ring reuses the evicted slot.
+
+/// A fixed-capacity overwrite-oldest ring buffer.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index the next push writes to (== logical end of the window).
+    head: usize,
+}
+
+impl<T> Ring<T> {
+    /// An empty ring holding at most `capacity` items (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Ring<T> {
+        let cap = capacity.max(1);
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+        }
+    }
+
+    /// Append `item`, evicting the oldest entry when the ring is full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+        }
+        self.head = (self.head + 1) % self.cap;
+    }
+
+    /// Entries currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` before the first push.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed window size.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The most recently pushed entry.
+    #[must_use]
+    pub fn latest(&self) -> Option<&T> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let idx = (self.head + self.cap - 1) % self.cap;
+        self.buf.get(idx.min(self.buf.len() - 1))
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let split = if self.buf.len() < self.cap { 0 } else { self.head };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_fills_then_overwrites_oldest() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.latest(), None);
+        for v in 1..=3 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        r.push(4);
+        r.push(5);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(r.latest(), Some(&5));
+    }
+
+    #[test]
+    fn partial_ring_iterates_in_push_order() {
+        let mut r = Ring::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(r.latest(), Some(&"b"));
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.latest(), Some(&2));
+    }
+}

@@ -13,7 +13,9 @@
 //! - [`check`]: static shape inference, accelerator legality and lints;
 //! - [`core`]: the joint co-search pipeline (Alg. 1);
 //! - [`fleet`]: multi-session orchestration with per-session fault
-//!   domains, bounded backed-off restarts and fleet-wide aggregation.
+//!   domains, bounded backed-off restarts and fleet-wide aggregation;
+//! - [`obs`]: the live observability plane — rolling rollups plus a
+//!   zero-dependency `/metrics`, `/healthz`, `/fleet` HTTP service.
 //!
 //! # Quickstart
 //!
@@ -40,4 +42,5 @@ pub use a3cs_fleet as fleet;
 pub use a3cs_envs as envs;
 pub use a3cs_nas as nas;
 pub use a3cs_nn as nn;
+pub use a3cs_obs as obs;
 pub use a3cs_tensor as tensor;

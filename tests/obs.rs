@@ -1,0 +1,182 @@
+//! Observability-plane proofs (ISSUE 9 acceptance): a fleet run with a
+//! live `ObsServer` attached and polled concurrently is bit-identical to
+//! the same run unobserved; the solo `run_guarded_observed` path likewise;
+//! and the persisted `FleetReport` JSON is schema-versioned, byte-stable
+//! and served verbatim at `/fleet`.
+
+use a3cs::core::{CoSearch, CoSearchConfig, CoSearchResult};
+use a3cs::envs::{Breakout, Environment};
+use a3cs::fleet::{Fleet, FleetConfig, FleetReport};
+use a3cs::obs::ObsServer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(Breakout::new(seed))
+}
+
+fn tiny_config(total_steps: u64) -> CoSearchConfig {
+    let mut cfg = CoSearchConfig::tiny(3, 12, 12, 3);
+    cfg.total_steps = total_steps;
+    cfg.eval_every = 100;
+    cfg.eval_episodes = 2;
+    cfg.eval_max_steps = 40;
+    cfg.das_final_iters = 50;
+    cfg
+}
+
+fn curve_bits(curve: &[(u64, f32)]) -> Vec<(u64, u32)> {
+    curve.iter().map(|&(s, v)| (s, v.to_bits())).collect()
+}
+
+fn assert_results_bit_identical(a: &CoSearchResult, b: &CoSearchResult) {
+    assert_eq!(format!("{:?}", a.arch), format!("{:?}", b.arch));
+    assert_eq!(
+        format!("{:?}", a.accelerator),
+        format!("{:?}", b.accelerator)
+    );
+    assert_eq!(curve_bits(&a.score_curve), curve_bits(&b.score_curve));
+    assert_eq!(
+        curve_bits(&a.alpha_entropy_curve),
+        curve_bits(&b.alpha_entropy_curve)
+    );
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.report.fps.to_bits(), b.report.fps.to_bits());
+}
+
+fn run_fleet(observe: Option<&ObsServer>) -> FleetReport {
+    let mut fleet = Fleet::new(FleetConfig {
+        scheduler_seed: 7,
+        ..FleetConfig::default()
+    });
+    for seed in 10..12u64 {
+        fleet
+            .submit(format!("s{seed}"), tiny_config(200), seed, factory)
+            .expect("tiny config is admitted");
+    }
+    if let Some(server) = observe {
+        fleet.attach_observer(Box::new(server.publisher(64)));
+    }
+    fleet.run_to_completion()
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    stream.write_all(req.as_bytes()).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let code: u16 = response.split(' ').nth(1)?.parse().ok()?;
+    let body = response.split("\r\n\r\n").nth(1)?.to_string();
+    Some((code, body))
+}
+
+/// The tentpole acceptance proof: one run unobserved, one run with a live
+/// server being hammered with `/metrics` + `/fleet` requests from another
+/// thread the whole time. The two final reports must serialize to the
+/// same bytes, and every per-session result must be bit-identical.
+#[test]
+fn fleet_run_with_live_polled_server_is_bit_identical_to_unobserved() {
+    let unobserved = run_fleet(None);
+
+    let server = ObsServer::bind_ephemeral().expect("bind ephemeral");
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller_stop = Arc::clone(&stop);
+    let poller = std::thread::spawn(move || {
+        let mut polls = 0u64;
+        while !poller_stop.load(Ordering::Acquire) {
+            if http_get(addr, "/metrics").is_some() {
+                polls += 1;
+            }
+            let _ = http_get(addr, "/fleet");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        polls
+    });
+
+    let observed = run_fleet(Some(&server));
+
+    // The final tick's publish happened before run_to_completion returned,
+    // so the served /fleet body IS the final report, byte-for-byte.
+    let (code, served) = http_get(addr, "/fleet").expect("fleet endpoint up");
+    assert_eq!(code, 200);
+    assert_eq!(served, observed.to_json());
+    let (code, health) = http_get(addr, "/healthz").expect("health endpoint up");
+    assert_eq!(code, 200);
+    assert!(health.starts_with("{\"ready\":true,"));
+
+    stop.store(true, Ordering::Release);
+    let polls = poller.join().expect("poller joins");
+    assert!(polls > 0, "the poller must have observed the run mid-flight");
+    server.shutdown();
+
+    assert_eq!(
+        unobserved.to_json(),
+        observed.to_json(),
+        "live polling must not perturb the fleet trajectory"
+    );
+    for (a, b) in unobserved.sessions.iter().zip(observed.sessions.iter()) {
+        let (a, b) = (
+            a.result.as_ref().expect("done"),
+            b.result.as_ref().expect("done"),
+        );
+        assert_results_bit_identical(a, b);
+    }
+}
+
+/// Solo path: `run_guarded_observed` publishing through the same server
+/// must be bit-identical to a plain `run_guarded`.
+#[test]
+fn solo_observed_run_is_bit_identical_to_unobserved() {
+    let mut plain = CoSearch::try_new(tiny_config(200), 3).expect("pre-flight");
+    let unobserved = plain
+        .run_guarded(&factory, None)
+        .expect("no faults scheduled");
+
+    let server = ObsServer::bind_ephemeral().expect("bind ephemeral");
+    let addr = server.addr();
+    let mut publisher = server.publisher(64);
+    let mut observed_search = CoSearch::try_new(tiny_config(200), 3).expect("pre-flight");
+    let observed = observed_search
+        .run_guarded_observed(&factory, None, |run| publisher.publish_solo("solo", run))
+        .expect("no faults scheduled");
+
+    assert!(publisher.publishes() > 0, "the hook must have fired");
+    let (code, body) = http_get(addr, "/metrics").expect("metrics endpoint up");
+    assert_eq!(code, 200);
+    assert!(body.contains("a3cs_session_state{session=\"0\",name=\"solo\",state=\"running\"} 1"));
+    let (code, body) = http_get(addr, "/fleet").expect("fleet endpoint up");
+    assert_eq!(code, 200);
+    assert!(body.starts_with("{\"schema\":1,"));
+    server.shutdown();
+
+    assert_results_bit_identical(&unobserved, &observed);
+}
+
+/// Satellite: the persisted report JSON is schema-versioned, byte-stable
+/// across a write/read round-trip, and carries the result payload.
+#[test]
+fn fleet_report_json_round_trips_with_result_payload() {
+    let report = run_fleet(None);
+    let json = report.to_json();
+    assert!(json.starts_with("{\"schema\":1,"));
+    assert!(json.contains("\"result\":{\"steps\":200,"));
+    assert!(json.contains("\"arch\":["));
+    assert!(json.contains("\"score_curve\":[["));
+    assert!(json.contains("\"state\":\"done\""));
+
+    let path = std::env::temp_dir().join(format!(
+        "a3cs_obs_report_{}.json",
+        std::process::id()
+    ));
+    report.write_json(&path).expect("write");
+    let read_back = std::fs::read_to_string(&path).expect("read");
+    assert_eq!(read_back, format!("{json}\n"));
+    std::fs::remove_file(&path).ok();
+
+    // Determinism: the same fleet run serializes to the same bytes.
+    assert_eq!(run_fleet(None).to_json(), json);
+}

@@ -32,12 +32,13 @@ mod summary;
 mod trace;
 
 pub use metrics::{
-    all_counters, all_gauges, all_histograms, Counter, CounterSample, Gauge, GaugeSample,
+    all_counters, all_gauges, all_histograms, metrics_snapshot, quantile_from_counts, Counter,
+    CounterSample, Gauge, GaugeSample,
     Histogram, HistogramSample, MetricsSnapshot, CHECKPOINT_BYTES, CHECKPOINT_BYTES_HIST,
     CHECKPOINT_BYTES_WRITTEN, CHECKPOINT_RESTORES, CONV_MACS, ENV_STEPS, EVAL_EPISODES,
     EVAL_STEPS, GEMM_CALLS, GEMM_MACS, GEMM_MACS_HIST, LOSS_DISTILL_ACTOR, LOSS_DISTILL_CRITIC,
     LOSS_TOTAL, MEMO_CHUNK_HITS, MEMO_EVALS_SAVED, MEMO_EVICTIONS, MEMO_HITS, MEMO_MISSES,
-    POOL_TASKS, ROLLBACK_COUNT,
+    POOL_TASKS, ROLLBACK_COUNT, HISTOGRAM_BUCKETS,
 };
 pub use stream::{record_lines, StreamingJsonl};
 pub use summary::{PhaseStat, TelemetrySummary};

@@ -161,12 +161,77 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) of the recorded
+    /// samples by linear interpolation within the power-of-two buckets.
+    /// Returns `None` when the histogram is empty. See
+    /// [`quantile_from_counts`] for the exact estimator contract.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_counts(&self.counts(), q)
+    }
+
     /// Reset every bucket to zero.
     pub fn reset(&self) {
         for bucket in &self.buckets {
             bucket.store(0, Ordering::Relaxed);
         }
     }
+}
+
+/// Estimate the `q`-quantile of a power-of-two-bucket histogram given its
+/// per-bucket `counts` (the layout of [`Histogram::counts`]).
+///
+/// The estimator treats the `n` samples of bucket `i` as evenly spread over
+/// the bucket's value range `[lower, upper)` (bucket 0 is the single value
+/// 0; the overflow bucket is treated as the single value `2^32`, its lower
+/// edge, since it has no finite upper bound) and linearly interpolates the
+/// fractional rank `q · (total − 1)` within the bucket it falls in. `q` is
+/// clamped to `[0, 1]`, so `q = 0` yields the lower edge of the first
+/// non-empty bucket and `q = 1` the upper edge of the last non-empty one.
+/// Returns `None` for an empty histogram (or a `counts` slice that does not
+/// match [`HISTOGRAM_BUCKETS`]).
+#[must_use]
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> Option<f64> {
+    if counts.len() != HISTOGRAM_BUCKETS {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Fractional rank over samples 0..total (inclusive of both edges), so
+    // q=0 is the first sample's bucket floor and q=1 the last one's ceiling.
+    let rank = q * total as f64;
+    let mut cum = 0u64;
+    for (idx, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let next = cum + n;
+        if rank <= next as f64 || next == total {
+            let (lower, upper) = bucket_value_range(idx);
+            // Position of the rank within this bucket's samples, in [0, 1].
+            let frac = ((rank - cum as f64) / n as f64).clamp(0.0, 1.0);
+            return Some(lower + frac * (upper - lower));
+        }
+        cum = next;
+    }
+    None
+}
+
+/// Value range `[lower, upper]` bucket `index` is interpolated over. Bucket
+/// 0 holds only zeros; the overflow bucket collapses to its lower edge.
+fn bucket_value_range(index: usize) -> (f64, f64) {
+    if index == 0 {
+        return (0.0, 0.0);
+    }
+    if index + 1 >= HISTOGRAM_BUCKETS {
+        let edge = (1u64 << 32) as f64;
+        return (edge, edge);
+    }
+    let upper = (1u64 << index) as f64;
+    (upper / 2.0, upper)
 }
 
 // ---------------------------------------------------------------------------
@@ -310,6 +375,13 @@ impl HistogramSample {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Estimate the `q`-quantile of the snapshotted samples (same
+    /// estimator as [`Histogram::quantile`] / [`quantile_from_counts`]).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_counts(&self.counts, q)
+    }
 }
 
 /// Values of every registered metric at one point in time. Zero counters,
@@ -342,6 +414,15 @@ impl MetricsSnapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
         self.histograms.iter().find(|h| h.name == name)
     }
+}
+
+/// Values of every registered metric right now, read with relaxed atomic
+/// loads — no lock, no allocation beyond the snapshot itself. Safe to call
+/// from any thread at any time (the live observability server reads metric
+/// state exclusively through this), and observe-only by construction.
+#[must_use]
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    snapshot_all()
 }
 
 pub(crate) fn snapshot_all() -> MetricsSnapshot {
@@ -386,6 +467,63 @@ mod tests {
         assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
         assert_eq!(Histogram::bucket_index(1 << 32), HISTOGRAM_BUCKETS - 1);
         assert_eq!(Histogram::bucket_index((1 << 32) - 1), HISTOGRAM_BUCKETS - 2);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_across_its_range() {
+        // All samples in bucket 3 = [4, 8): the estimator spreads them
+        // evenly over the range, so quantiles sweep lower → upper.
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        counts[3] = 4;
+        assert_eq!(quantile_from_counts(&counts, 0.0), Some(4.0));
+        assert_eq!(quantile_from_counts(&counts, 0.5), Some(6.0));
+        assert_eq!(quantile_from_counts(&counts, 1.0), Some(8.0));
+        // Out-of-range q clamps rather than erroring.
+        assert_eq!(quantile_from_counts(&counts, -1.0), Some(4.0));
+        assert_eq!(quantile_from_counts(&counts, 2.0), Some(8.0));
+    }
+
+    #[test]
+    fn quantile_bucket_edges_are_exact() {
+        // 2 samples in [1,2), 2 in [2,4): the median rank (q=0.5 → rank 2)
+        // lands exactly on the shared bucket edge at 2.
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        counts[1] = 2;
+        counts[2] = 2;
+        assert_eq!(quantile_from_counts(&counts, 0.5), Some(2.0));
+        assert_eq!(quantile_from_counts(&counts, 0.0), Some(1.0));
+        assert_eq!(quantile_from_counts(&counts, 1.0), Some(4.0));
+        // q=0.75 → rank 3: halfway through the second bucket's 2 samples.
+        assert_eq!(quantile_from_counts(&counts, 0.75), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_zero_and_overflow_buckets_collapse_to_points() {
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        counts[0] = 5;
+        assert_eq!(quantile_from_counts(&counts, 0.99), Some(0.0));
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        counts[HISTOGRAM_BUCKETS - 1] = 2;
+        let edge = (1u64 << 32) as f64;
+        assert_eq!(quantile_from_counts(&counts, 0.5), Some(edge));
+        assert_eq!(quantile_from_counts(&counts, 1.0), Some(edge));
+    }
+
+    #[test]
+    fn quantile_empty_and_malformed_are_none() {
+        assert_eq!(quantile_from_counts(&vec![0u64; HISTOGRAM_BUCKETS], 0.5), None);
+        assert_eq!(quantile_from_counts(&[1, 2, 3], 0.5), None);
+        let h = Histogram::new("test.quantile");
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_and_sample_quantiles_agree() {
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        counts[4] = 10; // [8, 16)
+        let sample = HistogramSample { name: "x", counts: counts.clone() };
+        assert_eq!(sample.quantile(0.95), quantile_from_counts(&counts, 0.95));
+        assert_eq!(sample.quantile(0.95), Some(8.0 + 0.95 * 8.0));
     }
 
     #[test]
