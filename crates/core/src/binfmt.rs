@@ -20,8 +20,13 @@ use crate::checkpoint::{
 use crate::robustness::{RobustnessEvent, RobustnessEventKind};
 
 /// Leading bytes of every binary checkpoint payload. The trailing digit is
-/// the framing version; bump it on any layout change.
-pub(crate) const MAGIC: &[u8; 8] = b"A3CSBIN1";
+/// the framing version; bump it on any layout change. v2 moved the growing
+/// score/entropy curves and the robustness event log to the *tail* of the
+/// frame: everything that grows per iteration now sits after the fixed-size
+/// tensor region, so consecutive checkpoints stay word-aligned and their
+/// XOR delta (the durability layer's diff primitive) is sparse instead of
+/// shifted garbage.
+pub(crate) const MAGIC: &[u8; 8] = b"A3CSBIN2";
 
 /// `true` if `payload` claims to be a binary checkpoint frame.
 #[must_use]
@@ -447,8 +452,6 @@ pub(crate) fn encode(ck: &SearchCheckpoint) -> Vec<u8> {
     w.u64(ck.steps);
     w.u64(ck.iteration);
     w.u64(ck.next_eval);
-    put_curve(&mut w, &ck.score_curve);
-    put_curve(&mut w, &ck.entropy_curve);
     put_tensors(&mut w, &ck.weight_params);
     put_tensors(&mut w, &ck.state_tensors);
     put_supernet(&mut w, &ck.supernet);
@@ -465,6 +468,9 @@ pub(crate) fn encode(ck: &SearchCheckpoint) -> Vec<u8> {
     }
     w.u32(ck.lr_scale);
     w.u32(ck.rollbacks_left);
+    // Tail region: per-iteration growth lives last (see MAGIC docs).
+    put_curve(&mut w, &ck.score_curve);
+    put_curve(&mut w, &ck.entropy_curve);
     put_events(&mut w, &ck.events);
     w.buf
 }
@@ -486,8 +492,6 @@ pub(crate) fn decode(payload: &[u8]) -> Result<SearchCheckpoint, CheckpointError
         steps: r.u64("steps")?,
         iteration: r.u64("iteration")?,
         next_eval: r.u64("next eval")?,
-        score_curve: get_curve(&mut r)?,
-        entropy_curve: get_curve(&mut r)?,
         weight_params: get_tensors(&mut r)?,
         state_tensors: get_tensors(&mut r)?,
         supernet: get_supernet(&mut r)?,
@@ -506,6 +510,10 @@ pub(crate) fn decode(payload: &[u8]) -> Result<SearchCheckpoint, CheckpointError
         },
         lr_scale: r.u32("lr scale")?,
         rollbacks_left: r.u32("rollbacks left")?,
+        // Tail region, in encode order: struct literal fields evaluate in
+        // the order written, which is what keeps these reads last.
+        score_curve: get_curve(&mut r)?,
+        entropy_curve: get_curve(&mut r)?,
         events: get_events(&mut r)?,
     };
     if r.pos != payload.len() {

@@ -74,6 +74,30 @@ pub enum Fault {
         /// Stall duration in milliseconds.
         millis: u64,
     },
+    /// Fail the checkpoint write at this iteration before any bytes reach
+    /// disk — simulating an I/O error (EIO, failed fsync) mid-frame.
+    CheckpointIoError {
+        /// Iteration whose checkpoint write fails.
+        at_iteration: u64,
+    },
+    /// Short-write the checkpoint at this iteration: only the first
+    /// `keep_bytes` bytes land before the write errors — simulating a full
+    /// disk. The partial temporary file is cleaned up best-effort, exactly
+    /// as the real path would.
+    CheckpointDiskFull {
+        /// Iteration whose checkpoint write is cut short.
+        at_iteration: u64,
+        /// Bytes that make it to disk before the failure.
+        keep_bytes: usize,
+    },
+    /// Tear the atomic rename at this iteration: the temporary file is
+    /// written in full, the rename fails, and the cleanup unlink fails too
+    /// — leaving a stray `.tmp` behind, exactly what a crash between write
+    /// and rename produces.
+    CheckpointTornRename {
+        /// Iteration whose rename is torn.
+        at_iteration: u64,
+    },
 }
 
 impl Fault {
@@ -85,7 +109,10 @@ impl Fault {
             | Fault::FlipCheckpointByte { at_iteration, .. }
             | Fault::WorkerPanic { at_iteration, .. }
             | Fault::EnvPanic { at_iteration, .. }
-            | Fault::Stall { at_iteration, .. } => *at_iteration,
+            | Fault::Stall { at_iteration, .. }
+            | Fault::CheckpointIoError { at_iteration }
+            | Fault::CheckpointDiskFull { at_iteration, .. }
+            | Fault::CheckpointTornRename { at_iteration } => *at_iteration,
         }
     }
 }
@@ -173,6 +200,38 @@ impl FaultPlan {
             phase: phase.to_string(),
             at_iteration: iteration,
             millis,
+        });
+        self
+    }
+
+    /// Fail the checkpoint write at `iteration` with an I/O error before
+    /// any bytes land (see [`Fault::CheckpointIoError`]).
+    #[must_use]
+    pub fn io_error_at(mut self, iteration: u64) -> Self {
+        self.faults.push(Fault::CheckpointIoError {
+            at_iteration: iteration,
+        });
+        self
+    }
+
+    /// Short-write the checkpoint at `iteration` to `keep_bytes` before the
+    /// write errors, as a full disk would (see
+    /// [`Fault::CheckpointDiskFull`]).
+    #[must_use]
+    pub fn disk_full_at(mut self, iteration: u64, keep_bytes: usize) -> Self {
+        self.faults.push(Fault::CheckpointDiskFull {
+            at_iteration: iteration,
+            keep_bytes,
+        });
+        self
+    }
+
+    /// Tear the atomic rename of the checkpoint at `iteration`, leaving a
+    /// stray `.tmp` behind (see [`Fault::CheckpointTornRename`]).
+    #[must_use]
+    pub fn torn_rename_at(mut self, iteration: u64) -> Self {
+        self.faults.push(Fault::CheckpointTornRename {
+            at_iteration: iteration,
         });
         self
     }
@@ -288,7 +347,10 @@ impl FaultDriver {
                 | Fault::NanLoss { .. }
                 | Fault::WorkerPanic { .. }
                 | Fault::EnvPanic { .. }
-                | Fault::Stall { .. } => {
+                | Fault::Stall { .. }
+                | Fault::CheckpointIoError { .. }
+                | Fault::CheckpointDiskFull { .. }
+                | Fault::CheckpointTornRename { .. } => {
                     unreachable!("fire() matched only checkpoint corruptions")
                 }
             };
@@ -298,6 +360,102 @@ impl FaultDriver {
             }
         }
         applied
+    }
+
+    /// The injected I/O failure mode (if any) armed for the checkpoint
+    /// write at `iteration`. One-shot, like every fault. The returned mode
+    /// plugs into [`FaultyIo`] so the failure happens *inside* the durable
+    /// write path, not as post-hoc file surgery.
+    pub(crate) fn io_fault_now(&mut self, iteration: u64) -> Option<IoFaultMode> {
+        let fault = self.fire(iteration, |f| {
+            matches!(
+                f,
+                Fault::CheckpointIoError { .. }
+                    | Fault::CheckpointDiskFull { .. }
+                    | Fault::CheckpointTornRename { .. }
+            )
+        })?;
+        Some(match fault {
+            Fault::CheckpointIoError { .. } => IoFaultMode::Error,
+            Fault::CheckpointDiskFull { keep_bytes, .. } => IoFaultMode::ShortWrite(keep_bytes),
+            Fault::CheckpointTornRename { .. } => IoFaultMode::TornRename,
+            _ => unreachable!("fire() matched only io faults"),
+        })
+    }
+}
+
+/// How [`FaultyIo`] sabotages the next durable write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IoFaultMode {
+    /// `write_file` fails immediately; nothing reaches disk.
+    Error,
+    /// `write_file` persists only the first N bytes, then fails (disk
+    /// full).
+    ShortWrite(usize),
+    /// `write_file` succeeds, `rename` fails, and `remove_file` fails too,
+    /// stranding the temporary file (torn rename).
+    TornRename,
+}
+
+impl IoFaultMode {
+    pub(crate) fn describe(self) -> &'static str {
+        match self {
+            IoFaultMode::Error => "checkpoint write failed with an injected io error",
+            IoFaultMode::ShortWrite(_) => "checkpoint write cut short by an injected full disk",
+            IoFaultMode::TornRename => "checkpoint rename torn by injection, tmp file stranded",
+        }
+    }
+}
+
+/// A [`CheckpointIo`](a3cs_drl::CheckpointIo) that applies at most one
+/// [`IoFaultMode`] and passes everything else through to `std::fs` — so an
+/// injected failure exercises exactly the code path a real one would.
+pub(crate) struct FaultyIo {
+    mode: Option<IoFaultMode>,
+}
+
+impl FaultyIo {
+    pub(crate) fn new(mode: Option<IoFaultMode>) -> Self {
+        FaultyIo { mode }
+    }
+}
+
+impl a3cs_drl::CheckpointIo for FaultyIo {
+    fn write_file(&mut self, path: &Path, contents: &[u8]) -> std::io::Result<()> {
+        match self.mode {
+            Some(IoFaultMode::Error) => {
+                self.mode = None;
+                Err(std::io::Error::other("injected checkpoint io error"))
+            }
+            Some(IoFaultMode::ShortWrite(keep)) => {
+                self.mode = None;
+                std::fs::write(path, &contents[..keep.min(contents.len())])?;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected disk-full short write",
+                ))
+            }
+            Some(IoFaultMode::TornRename) | None => std::fs::write(path, contents),
+        }
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()> {
+        if matches!(self.mode, Some(IoFaultMode::TornRename)) {
+            // Keep the mode armed: the cleanup remove_file must fail too,
+            // otherwise the tmp file would not be stranded.
+            return Err(std::io::Error::other("injected torn rename"));
+        }
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&mut self, path: &Path) -> std::io::Result<()> {
+        if matches!(self.mode, Some(IoFaultMode::TornRename)) {
+            self.mode = None;
+            return Err(std::io::Error::other(
+                "injected torn rename: cleanup unlink fails too",
+            ));
+        }
+        std::fs::remove_file(path)
     }
 }
 
@@ -334,6 +492,30 @@ pub enum CheckpointFormat {
     /// Length-prefixed little-endian binary framing — substantially smaller
     /// for large supernets, still byte-exact (NaN payloads included).
     Binary,
+}
+
+/// Durability knobs for the delta-checkpoint layer (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Write incremental delta frames between full base frames instead of
+    /// a full checkpoint every time. Off by default: solo runs keep the
+    /// PR 3 format unless opted in (the fleet opts in for every session).
+    pub delta: bool,
+    /// Per-frame compression codec.
+    pub codec: a3cs_drl::CheckpointCodec,
+    /// Maximum deltas per chain before the writer rolls a fresh base
+    /// inline, bounding recovery replay cost.
+    pub max_chain_len: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            delta: false,
+            codec: a3cs_drl::CheckpointCodec::RleZero,
+            max_chain_len: 16,
+        }
+    }
 }
 
 /// Fault-tolerance configuration of a co-search run. The default disables
@@ -388,6 +570,8 @@ pub struct FaultConfig {
     /// Floor (in milliseconds) for the watchdog's soft deadline, so fast
     /// phases with sub-millisecond EWMAs don't trip on scheduler jitter.
     pub stall_min_ms: u64,
+    /// Delta-frame durability knobs (delta mode, codec, chain length).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for FaultConfig {
@@ -406,6 +590,7 @@ impl Default for FaultConfig {
             ladder_fault_threshold: 4,
             stall_multiplier: 8,
             stall_min_ms: 40,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -458,6 +643,58 @@ mod tests {
         assert!(!cfg.supervision);
         assert!(!cfg.plan.has_supervised_fault());
         assert_eq!(cfg.format, CheckpointFormat::Json);
+        assert!(!cfg.durability.delta, "delta frames are opt-in");
+    }
+
+    #[test]
+    fn io_faults_arm_once_at_their_iteration() {
+        let plan = FaultPlan::none()
+            .io_error_at(2)
+            .disk_full_at(3, 10)
+            .torn_rename_at(4);
+        let mut driver = FaultDriver::new(plan);
+        assert_eq!(driver.io_fault_now(1), None);
+        assert_eq!(driver.io_fault_now(2), Some(IoFaultMode::Error));
+        assert_eq!(driver.io_fault_now(2), None, "one-shot");
+        assert_eq!(driver.io_fault_now(3), Some(IoFaultMode::ShortWrite(10)));
+        assert_eq!(driver.io_fault_now(4), Some(IoFaultMode::TornRename));
+    }
+
+    #[test]
+    fn faulty_io_modes_fail_like_the_real_failure() {
+        use a3cs_drl::write_atomic_bytes_with;
+        let dir = std::env::temp_dir().join(format!("a3cs_faulty_io_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let target = dir.join("frame.json");
+
+        // Injected write error: nothing lands, no tmp remains.
+        let mut io = FaultyIo::new(Some(IoFaultMode::Error));
+        assert!(write_atomic_bytes_with(&mut io, &target, b"payload").is_err());
+        assert!(!target.exists());
+        assert!(!dir.join("frame.json.tmp").exists());
+
+        // Disk full: the short write fails and the partial tmp is cleaned
+        // up (the fault is spent by the time cleanup runs).
+        let mut io = FaultyIo::new(Some(IoFaultMode::ShortWrite(3)));
+        assert!(write_atomic_bytes_with(&mut io, &target, b"payload").is_err());
+        assert!(!target.exists());
+        assert!(!dir.join("frame.json.tmp").exists());
+
+        // Torn rename: the tmp file is stranded in full.
+        let mut io = FaultyIo::new(Some(IoFaultMode::TornRename));
+        assert!(write_atomic_bytes_with(&mut io, &target, b"payload").is_err());
+        assert!(!target.exists());
+        assert_eq!(
+            std::fs::read(dir.join("frame.json.tmp")).expect("stranded tmp"),
+            b"payload"
+        );
+
+        // A spent (or absent) fault passes everything through.
+        let mut io = FaultyIo::new(None);
+        write_atomic_bytes_with(&mut io, &target, b"payload").expect("clean write");
+        assert_eq!(std::fs::read(&target).expect("read"), b"payload");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

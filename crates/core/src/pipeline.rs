@@ -10,15 +10,16 @@ use crate::checkpoint::{
     SEARCH_CHECKPOINT_VERSION,
 };
 use crate::config::{CoSearchConfig, DeriveEngine, SearchScheme};
-use crate::fault::{CheckpointFormat, FaultDriver};
+use crate::fault::{CheckpointFormat, FaultDriver, FaultyIo};
 use crate::result::CoSearchResult;
 use crate::robustness::{RobustnessEventKind, RobustnessLog};
 use crate::supervision::Supervisor;
 use a3cs_accel::{BeamConfig, BeamSearch, DasEngine, PerfModel};
 use a3cs_check::{check_search_setup, check_supernet, max_arch_depth, Report};
 use a3cs_drl::{
-    a2c_losses, clip_grad_norm, evaluate, ActorCritic, Adam, CheckpointStore, DistillConfig,
-    DistillMode, EnvFactory, EvalProtocol, LrSchedule, Optimizer, RmsProp, RolloutRunner,
+    a2c_losses, clip_grad_norm, encode_base_frame, encode_delta_frame, evaluate, fnv1a64,
+    ActorCritic, Adam, CheckpointStore, DistillConfig, DistillMode, EnvFactory, EvalProtocol,
+    LrSchedule, Optimizer, RmsProp, RolloutRunner, StdIo,
 };
 use a3cs_envs::wrappers::{ClipReward, EpisodeLimit};
 use a3cs_envs::Environment;
@@ -640,16 +641,40 @@ impl CoSearch {
         let driver = FaultDriver::new(cfg.fault.plan.clone());
         let checkpoint_every = cfg.fault.checkpoint_every.max(1);
         let mut restore_count: u64 = 0;
+        let mut quarantined: u64 = 0;
 
-        // --- auto-resume from the newest valid on-disk checkpoint.
+        // --- auto-resume from the newest valid on-disk checkpoint. In
+        // delta mode the chain-aware recovery replays base + deltas with
+        // end-to-end verification; a scrub afterwards quarantines whatever
+        // failed so the next resume starts from a clean store.
         if let Some(store) = &store {
-            let recovery = store.recover();
+            let recovery = if cfg.fault.durability.delta {
+                store.recover_checkpoint()
+            } else {
+                store.recover()
+            };
             for diagnostic in &recovery.skipped {
                 st.log.push(
                     0,
                     RobustnessEventKind::CorruptCheckpointSkipped,
                     diagnostic.clone(),
                 );
+            }
+            for diagnostic in &recovery.fallbacks {
+                st.log.push(
+                    0,
+                    RobustnessEventKind::DeltaChainFallback,
+                    diagnostic.clone(),
+                );
+            }
+            if cfg.fault.durability.delta {
+                let scrubbed = store.scrub(&mut StdIo);
+                telemetry::CHECKPOINT_SCRUB_RUNS.add(1);
+                telemetry::CHECKPOINT_SCRUB_QUARANTINED.add(scrubbed.quarantined.len() as u64);
+                quarantined += scrubbed.quarantined.len() as u64;
+                for entry in &scrubbed.quarantined {
+                    st.log.push(0, RobustnessEventKind::CheckpointQuarantined, entry.clone());
+                }
             }
             if let Some((iter, payload)) = recovery.checkpoint {
                 let outcome = SearchCheckpoint::decode(&payload).and_then(|ck| {
@@ -727,6 +752,10 @@ impl CoSearch {
             last_good: None,
             bytes_written: 0,
             restore_count,
+            chain: None,
+            delta_frames: 0,
+            quarantined,
+            logical_bytes: 0,
         }
     }
 }
@@ -767,6 +796,25 @@ pub struct GuardedRun {
     last_good: Option<SearchCheckpoint>,
     bytes_written: u64,
     restore_count: u64,
+    /// Open delta chain: the last payload persisted this run, which the
+    /// next delta frame diffs against. `None` forces a fresh base frame at
+    /// the next checkpoint boundary.
+    chain: Option<ChainState>,
+    delta_frames: u64,
+    quarantined: u64,
+    /// Uncompressed payload bytes this run produced (the numerator of the
+    /// `checkpoint.compression_ratio` gauge; `bytes_written` is the
+    /// denominator).
+    logical_bytes: u64,
+}
+
+/// The writer's view of an open delta chain (DESIGN.md §17): enough to
+/// encode the next delta frame and verify it belongs to this chain.
+struct ChainState {
+    parent_payload: Vec<u8>,
+    parent_iteration: u64,
+    chain_id: u64,
+    position: u32,
 }
 
 impl GuardedRun {
@@ -828,10 +876,83 @@ impl GuardedRun {
                 };
                 telemetry::CHECKPOINT_BYTES.add(payload.len() as u64);
                 telemetry::CHECKPOINT_BYTES_HIST.record(payload.len() as u64);
-                match store.write(self.st.iteration, &payload) {
-                    Ok(path) => {
-                        telemetry::CHECKPOINT_BYTES_WRITTEN.add(payload.len() as u64);
-                        self.bytes_written += payload.len() as u64;
+                // Any injected I/O fault armed for this iteration fails the
+                // write *inside* the durable path, exercising exactly the
+                // code a real disk error would.
+                let armed = self.driver.io_fault_now(self.st.iteration);
+                if let Some(mode) = armed {
+                    self.st.log.push(
+                        self.st.iteration,
+                        RobustnessEventKind::FaultInjected,
+                        mode.describe(),
+                    );
+                }
+                let mut io = FaultyIo::new(armed);
+                let durability = self.cfg.fault.durability;
+                let written = if !durability.delta {
+                    store
+                        .write_with(&mut io, self.st.iteration, &payload)
+                        .map(|path| (path, payload.len() as u64, false))
+                } else if let Some(chain) = self
+                    .chain
+                    .as_ref()
+                    .filter(|c| (c.position as usize) < durability.max_chain_len)
+                {
+                    let frame = encode_delta_frame(
+                        &chain.parent_payload,
+                        &payload,
+                        chain.chain_id,
+                        chain.position + 1,
+                        chain.parent_iteration,
+                        durability.codec,
+                    );
+                    store
+                        .write_delta_frame(&mut io, self.st.iteration, &frame)
+                        .map(|(path, sealed)| (path, sealed, true))
+                } else {
+                    if self.chain.take().is_some() {
+                        // Inline base roll at max_chain_len: bounds the
+                        // replay cost. Routine, so it bumps the compaction
+                        // counter without a robustness event.
+                        telemetry::CHECKPOINT_COMPACTIONS.add(1);
+                    }
+                    let frame = encode_base_frame(&payload, durability.codec);
+                    store
+                        .write_base_frame(&mut io, self.st.iteration, &frame)
+                        .map(|(path, sealed)| (path, sealed, false))
+                };
+                match written {
+                    Ok((path, on_disk, was_delta)) => {
+                        telemetry::CHECKPOINT_BYTES_WRITTEN.add(on_disk);
+                        self.bytes_written += on_disk;
+                        self.logical_bytes += payload.len() as u64;
+                        if durability.delta {
+                            if was_delta {
+                                telemetry::CHECKPOINT_DELTA_FRAMES.add(1);
+                                telemetry::CHECKPOINT_DELTA_BYTES.add(on_disk);
+                                self.delta_frames += 1;
+                                let chain = match self.chain.as_mut() {
+                                    Some(chain) => chain,
+                                    None => unreachable!("a delta write implies an open chain"),
+                                };
+                                chain.parent_payload = payload;
+                                chain.parent_iteration = self.st.iteration;
+                                chain.position += 1;
+                            } else {
+                                let chain_id = fnv1a64(&payload);
+                                self.chain = Some(ChainState {
+                                    parent_payload: payload,
+                                    parent_iteration: self.st.iteration,
+                                    chain_id,
+                                    position: 0,
+                                });
+                            }
+                            if self.bytes_written > 0 {
+                                telemetry::CHECKPOINT_COMPRESSION_RATIO.set(
+                                    self.logical_bytes as f64 / self.bytes_written as f64,
+                                );
+                            }
+                        }
                         for applied in
                             self.driver.corrupt_checkpoint_now(self.st.iteration, &path)
                         {
@@ -842,11 +963,18 @@ impl GuardedRun {
                             );
                         }
                     }
-                    Err(e) => self.st.log.push(
-                        self.st.iteration,
-                        RobustnessEventKind::CheckpointWriteFailed,
-                        e.to_string(),
-                    ),
+                    Err(e) => {
+                        // A failed write leaves the on-disk chain state
+                        // unknown: force a fresh base at the next boundary
+                        // instead of chaining off a parent that may never
+                        // have landed.
+                        self.chain = None;
+                        self.st.log.push(
+                            self.st.iteration,
+                            RobustnessEventKind::CheckpointWriteFailed,
+                            e.to_string(),
+                        );
+                    }
                 }
             }
             if self.cfg.fault.sentinel {
@@ -1000,6 +1128,10 @@ impl GuardedRun {
                     self.st.log.events = events;
                     self.st.lr_scale = lr_scale;
                     self.st.rollbacks_left = rollbacks_left;
+                    // The rewound state may re-checkpoint at iterations the
+                    // open chain already covers: roll a fresh base instead
+                    // of writing conflicting deltas.
+                    self.chain = None;
                     telemetry::ROLLBACK_COUNT.add(1);
                     telemetry::CHECKPOINT_RESTORES.add(1);
                     self.restore_count += 1;
@@ -1173,6 +1305,20 @@ impl GuardedRun {
     #[must_use]
     pub fn checkpoint_restores(&self) -> u64 {
         self.restore_count
+    }
+
+    /// Delta frames this run persisted (the `checkpoint.delta_frames`
+    /// metric). Zero unless [`crate::DurabilityConfig::delta`] is on.
+    #[must_use]
+    pub fn checkpoint_delta_frames(&self) -> u64 {
+        self.delta_frames
+    }
+
+    /// Broken checkpoint frames the resume-time scrub quarantined (the
+    /// `checkpoint.scrub_quarantined` metric).
+    #[must_use]
+    pub fn checkpoint_quarantined(&self) -> u64 {
+        self.quarantined
     }
 }
 

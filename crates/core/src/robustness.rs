@@ -61,6 +61,14 @@ pub enum RobustnessEventKind {
     SessionRestartsExhausted,
     /// A fleet session was cancelled via the session API.
     SessionCancelled,
+    /// A store scrub found a broken checkpoint frame and quarantined it
+    /// (renamed to `.bad`, never deleted).
+    CheckpointQuarantined,
+    /// Replaying a delta chain hit an unverifiable frame; recovery resumed
+    /// from the longest verified prefix (or an older base) instead.
+    DeltaChainFallback,
+    /// A long delta chain was folded into a fresh base frame.
+    StoreCompacted,
 }
 
 impl RobustnessEventKind {
@@ -89,6 +97,9 @@ impl RobustnessEventKind {
             RobustnessEventKind::SessionRestarted => "session-restarted",
             RobustnessEventKind::SessionRestartsExhausted => "session-restarts-exhausted",
             RobustnessEventKind::SessionCancelled => "session-cancelled",
+            RobustnessEventKind::CheckpointQuarantined => "checkpoint-quarantined",
+            RobustnessEventKind::DeltaChainFallback => "delta-chain-fallback",
+            RobustnessEventKind::StoreCompacted => "store-compacted",
         }
     }
 
@@ -119,6 +130,9 @@ impl RobustnessEventKind {
             RobustnessEventKind::SessionRestarted,
             RobustnessEventKind::SessionRestartsExhausted,
             RobustnessEventKind::SessionCancelled,
+            RobustnessEventKind::CheckpointQuarantined,
+            RobustnessEventKind::DeltaChainFallback,
+            RobustnessEventKind::StoreCompacted,
         ]
     }
 

@@ -10,6 +10,10 @@
 //! [`unseal_envelope`] and [`CheckpointStore`].
 
 use crate::agent::ActorCritic;
+use crate::frame::{
+    apply_delta_frame, decode_base_frame, encode_base_frame, is_frame, CheckpointCodec,
+    CheckpointIo, StdIo,
+};
 use a3cs_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -127,16 +131,35 @@ pub fn write_atomic(path: &Path, contents: &str) -> Result<(), std::io::Error> {
 /// Returns any filesystem error encountered; the temporary file is removed
 /// on failure when possible.
 pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> Result<(), std::io::Error> {
+    write_atomic_bytes_with(&mut StdIo, path, contents)
+}
+
+/// [`write_atomic_bytes`] through an explicit [`CheckpointIo`], so tests
+/// can fail the write, short-write it, or tear the rename deterministically.
+/// Cleanup of the temporary file is best-effort — a torn rename can leave
+/// it behind, which is exactly what [`CheckpointStore::scrub`] quarantines.
+///
+/// # Errors
+///
+/// Returns any I/O error the injected (or real) filesystem reports.
+pub fn write_atomic_bytes_with(
+    io: &mut dyn CheckpointIo,
+    path: &Path,
+    contents: &[u8],
+) -> Result<(), std::io::Error> {
     let mut tmp_name = path
         .file_name()
         .map_or_else(|| std::ffi::OsString::from("checkpoint"), ToOwned::to_owned);
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    fs::write(&tmp, contents)?;
-    match fs::rename(&tmp, path) {
+    if let Err(e) = io.write_file(&tmp, contents) {
+        io.remove_file(&tmp).ok();
+        return Err(e);
+    }
+    match io.rename(&tmp, path) {
         Ok(()) => Ok(()),
         Err(e) => {
-            fs::remove_file(&tmp).ok();
+            io.remove_file(&tmp).ok();
             Err(e)
         }
     }
@@ -289,6 +312,36 @@ pub struct Recovery {
     /// One human-readable diagnostic per file that was skipped (unreadable,
     /// malformed, or failed its checksum), newest first.
     pub skipped: Vec<String>,
+    /// Diagnostics from delta-chain replay: each entry records a delta
+    /// frame that failed verification, forcing recovery to stop at the
+    /// verified chain prefix (or fall back to an older base). Only
+    /// populated by [`CheckpointStore::recover_checkpoint`].
+    pub fallbacks: Vec<String>,
+}
+
+/// Outcome of [`CheckpointStore::scrub`]: what was examined and what was
+/// quarantined. Nothing is ever deleted — broken frames are renamed with a
+/// `.bad` suffix so a human (or a later forensic pass) can inspect them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Number of base frames (chains) examined.
+    pub chains: usize,
+    /// Total frames examined: bases, deltas, and stray temporary files.
+    pub frames: usize,
+    /// Original paths of every file quarantined (renamed to `<name>.bad`),
+    /// with a reason, formatted `"<path>: <reason>"`.
+    pub quarantined: Vec<String>,
+}
+
+/// Outcome of [`CheckpointStore::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Chains folded into a fresh base.
+    pub folded_chains: usize,
+    /// Delta frames removed after their content was folded into a base.
+    /// Removal (not quarantine) is legitimate here: the bytes live on in
+    /// the new base, verified before anything is touched.
+    pub removed_frames: usize,
 }
 
 impl CheckpointStore {
@@ -374,6 +427,7 @@ impl CheckpointStore {
                     return Recovery {
                         checkpoint: Some((iteration, payload.to_vec())),
                         skipped,
+                        fallbacks: Vec::new(),
                     };
                 }
                 Err(e) => skipped.push(format!("{}: {e}", path.display())),
@@ -382,7 +436,380 @@ impl CheckpointStore {
         Recovery {
             checkpoint: None,
             skipped,
+            fallbacks: Vec::new(),
         }
+    }
+
+    /// Path of the delta frame for `iteration`.
+    #[must_use]
+    pub fn delta_path_for(&self, iteration: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{iteration:012}.delta"))
+    }
+
+    /// [`CheckpointStore::write`] through an explicit [`CheckpointIo`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from creating the directory or writing
+    /// the file.
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn write_with(
+        &self,
+        io: &mut dyn CheckpointIo,
+        iteration: u64,
+        payload: &[u8],
+    ) -> Result<PathBuf, std::io::Error> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(iteration);
+        write_atomic_bytes_with(io, &path, &seal_envelope_bytes(payload))?;
+        self.prune_chains();
+        Ok(path)
+    }
+
+    /// Seal `frame` (an encoded base frame) and write it atomically as the
+    /// base checkpoint for `iteration`, then prune whole chains beyond the
+    /// newest `keep` bases. Returns the path and the sealed on-disk size.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from creating the directory or writing
+    /// the file. Pruning failures are ignored.
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn write_base_frame(
+        &self,
+        io: &mut dyn CheckpointIo,
+        iteration: u64,
+        frame: &[u8],
+    ) -> Result<(PathBuf, u64), std::io::Error> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(iteration);
+        let sealed = seal_envelope_bytes(frame);
+        write_atomic_bytes_with(io, &path, &sealed)?;
+        self.prune_chains();
+        // a3cs::allow(lossy-cast): usize → u64 widens, a frame length is exact
+        Ok((path, sealed.len() as u64))
+    }
+
+    /// Seal `frame` (an encoded delta frame) and write it atomically as
+    /// the delta checkpoint for `iteration`. Deltas are never pruned on
+    /// their own — they live and die with the base of their chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from creating the directory or writing
+    /// the file.
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn write_delta_frame(
+        &self,
+        io: &mut dyn CheckpointIo,
+        iteration: u64,
+        frame: &[u8],
+    ) -> Result<(PathBuf, u64), std::io::Error> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.delta_path_for(iteration);
+        let sealed = seal_envelope_bytes(frame);
+        write_atomic_bytes_with(io, &path, &sealed)?;
+        // a3cs::allow(lossy-cast): usize → u64 widens, a frame length is exact
+        Ok((path, sealed.len() as u64))
+    }
+
+    /// Remove every `.json`/`.delta` file older than the oldest of the
+    /// newest `keep` base checkpoints. Whole chains go together: a delta
+    /// is attributed to the newest base at or below its iteration, so the
+    /// cutoff at a base iteration never strands a kept base's deltas.
+    fn prune_chains(&self) {
+        let bases = self.candidates();
+        let Some(&(cutoff, _)) = bases.get(self.keep - 1).or(bases.last()) else {
+            return;
+        };
+        for (iter, stale) in bases.iter().skip(self.keep) {
+            debug_assert!(*iter < cutoff || bases.len() <= self.keep);
+            fs::remove_file(stale).ok();
+        }
+        for (iter, stale) in self.delta_candidates() {
+            if iter < cutoff {
+                fs::remove_file(stale).ok();
+            }
+        }
+    }
+
+    /// All delta frames currently in the store as `(iteration, path)`,
+    /// **oldest first** (replay order). Files whose names do not parse are
+    /// ignored.
+    #[must_use]
+    pub fn delta_candidates(&self) -> Vec<(u64, PathBuf)> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut files: Vec<(u64, PathBuf)> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let path = e.path();
+                let name = path.file_name()?.to_str()?;
+                let iter = name.strip_prefix("ckpt-")?.strip_suffix(".delta")?;
+                Some((iter.parse::<u64>().ok()?, path))
+            })
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        files
+    }
+
+    /// Read and verify one sealed frame file, returning the frame bytes.
+    fn read_sealed(path: &Path) -> Result<Vec<u8>, String> {
+        let bytes = fs::read(path).map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+        unseal_envelope_bytes(&bytes)
+            .map(<[u8]>::to_vec)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The deltas attributed to the base at `base_iter`, given the bases
+    /// newest-first and all deltas oldest-first: every delta strictly newer
+    /// than the base and strictly older than the next newer base.
+    fn deltas_for<'d>(
+        base_iter: u64,
+        next_base_iter: Option<u64>,
+        deltas: &'d [(u64, PathBuf)],
+    ) -> impl Iterator<Item = &'d (u64, PathBuf)> {
+        deltas.iter().filter(move |(i, _)| {
+            *i > base_iter && next_base_iter.is_none_or(|nb| *i < nb)
+        })
+    }
+
+    /// Find the newest checkpoint payload that verifies end-to-end,
+    /// replaying delta chains: for each base newest-first, decode the base
+    /// frame and apply its attributed deltas in order, verifying chain id,
+    /// position, parent checksum and target checksum at every link. A
+    /// failed link stops the replay at the verified prefix (recorded in
+    /// [`Recovery::fallbacks`]); a failed base falls back to the next older
+    /// one (recorded in [`Recovery::skipped`]). Legacy payloads (not
+    /// frame-encoded) pass through verbatim. Never panics.
+    #[must_use]
+    pub fn recover_checkpoint(&self) -> Recovery {
+        let mut skipped = Vec::new();
+        let mut fallbacks = Vec::new();
+        let bases = self.candidates();
+        let deltas = self.delta_candidates();
+        for (idx, (base_iter, base_path)) in bases.iter().enumerate() {
+            let frame = match Self::read_sealed(base_path) {
+                Ok(f) => f,
+                Err(e) => {
+                    skipped.push(e);
+                    continue;
+                }
+            };
+            let base_payload = if is_frame(&frame) {
+                match decode_base_frame(&frame) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        skipped.push(format!("{}: {e}", base_path.display()));
+                        continue;
+                    }
+                }
+            } else {
+                frame // legacy raw payload: the envelope already verified it
+            };
+            let chain_id = fnv1a64(&base_payload);
+            let next_base = idx.checked_sub(1).map(|i| bases[i].0);
+            let mut current = base_payload;
+            let mut current_iter = *base_iter;
+            let mut position = 1u32;
+            for (d_iter, d_path) in Self::deltas_for(*base_iter, next_base, &deltas) {
+                let applied = Self::read_sealed(d_path).and_then(|f| {
+                    apply_delta_frame(&f, &current, chain_id, position)
+                        .map_err(|e| format!("{}: {e}", d_path.display()))
+                });
+                match applied {
+                    Ok(target) => {
+                        current = target;
+                        current_iter = *d_iter;
+                        position += 1;
+                    }
+                    Err(e) => {
+                        // Later deltas in this chain cannot verify either;
+                        // resume from the longest verified prefix.
+                        fallbacks.push(e);
+                        break;
+                    }
+                }
+            }
+            return Recovery {
+                checkpoint: Some((current_iter, current)),
+                skipped,
+                fallbacks,
+            };
+        }
+        Recovery {
+            checkpoint: None,
+            skipped,
+            fallbacks,
+        }
+    }
+
+    /// Validate every chain on disk and quarantine what fails: broken base
+    /// frames (and their now-unreachable deltas), the first broken link of
+    /// each chain plus everything downstream of it, orphan deltas older
+    /// than the oldest base, and stray `.tmp` files left by torn renames.
+    /// Quarantine renames the file to `<name>.bad` — nothing is deleted,
+    /// so no scrub bug can destroy the last good copy of anything.
+    #[must_use = "the report says what was quarantined and must be surfaced"]
+    pub fn scrub(&self, io: &mut dyn CheckpointIo) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut quarantine = |io: &mut dyn CheckpointIo, path: &Path, reason: &str| {
+            let mut bad = path.file_name().map_or_else(
+                || std::ffi::OsString::from("frame"),
+                ToOwned::to_owned,
+            );
+            bad.push(".bad");
+            if io.rename(path, &path.with_file_name(bad)).is_ok() {
+                report.quarantined.push(format!("{}: {reason}", path.display()));
+            }
+        };
+        let bases = self.candidates();
+        let deltas = self.delta_candidates();
+        report.chains = bases.len();
+        report.frames = bases.len() + deltas.len();
+        for (idx, (base_iter, base_path)) in bases.iter().enumerate() {
+            let next_base = idx.checked_sub(1).map(|i| bases[i].0);
+            let chain_deltas: Vec<&(u64, PathBuf)> =
+                Self::deltas_for(*base_iter, next_base, &deltas).collect();
+            let base_payload = Self::read_sealed(base_path).and_then(|frame| {
+                if is_frame(&frame) {
+                    decode_base_frame(&frame)
+                        .map_err(|e| format!("{}: {e}", base_path.display()))
+                } else {
+                    Ok(frame)
+                }
+            });
+            let mut current = match base_payload {
+                Ok(p) => p,
+                Err(e) => {
+                    quarantine(io, base_path, &e);
+                    for (_, d_path) in chain_deltas {
+                        quarantine(io, d_path, "chain base quarantined");
+                    }
+                    continue;
+                }
+            };
+            let chain_id = fnv1a64(&current);
+            let mut position = 1u32;
+            let mut broken = false;
+            for (_, d_path) in chain_deltas {
+                if broken {
+                    quarantine(io, d_path, "downstream of a quarantined delta");
+                    continue;
+                }
+                let applied = Self::read_sealed(d_path).and_then(|f| {
+                    apply_delta_frame(&f, &current, chain_id, position)
+                        .map_err(|e| format!("{}: {e}", d_path.display()))
+                });
+                match applied {
+                    Ok(target) => {
+                        current = target;
+                        position += 1;
+                    }
+                    Err(e) => {
+                        quarantine(io, d_path, &e);
+                        broken = true;
+                    }
+                }
+            }
+        }
+        // Orphan deltas older than the oldest base can never replay.
+        if let Some(&(oldest_base, _)) = bases.last() {
+            for (d_iter, d_path) in &deltas {
+                if *d_iter <= oldest_base {
+                    quarantine(io, d_path, "orphan delta with no base");
+                }
+            }
+        } else {
+            for (_, d_path) in &deltas {
+                quarantine(io, d_path, "orphan delta with no base");
+            }
+        }
+        // Stray temporaries are evidence of a torn rename.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for path in entries.filter_map(Result::ok).map(|e| e.path()) {
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    report.frames += 1;
+                    quarantine(io, &path, "stray temporary from a torn rename");
+                }
+            }
+        }
+        report
+    }
+
+    /// Fold every chain with more than `max_chain_len` deltas into a fresh
+    /// base frame at the chain tip's iteration (encoded with `codec`), then
+    /// remove the folded deltas — their content lives on in the new base,
+    /// which is written and verified before anything is removed. Chains
+    /// that fail verification are left untouched (that is [`Self::scrub`]'s
+    /// job).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first filesystem error from writing a new base; removal
+    /// failures are ignored (stale frames cost disk, not correctness).
+    #[must_use = "the Result reports failure and must be checked"]
+    pub fn compact(
+        &self,
+        io: &mut dyn CheckpointIo,
+        max_chain_len: usize,
+        codec: CheckpointCodec,
+    ) -> Result<CompactReport, std::io::Error> {
+        let mut report = CompactReport::default();
+        let bases = self.candidates();
+        let deltas = self.delta_candidates();
+        for (idx, (base_iter, base_path)) in bases.iter().enumerate() {
+            let next_base = idx.checked_sub(1).map(|i| bases[i].0);
+            let chain_deltas: Vec<&(u64, PathBuf)> =
+                Self::deltas_for(*base_iter, next_base, &deltas).collect();
+            if chain_deltas.len() <= max_chain_len {
+                continue;
+            }
+            let Ok(frame) = Self::read_sealed(base_path) else {
+                continue;
+            };
+            let mut current = if is_frame(&frame) {
+                match decode_base_frame(&frame) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                }
+            } else {
+                frame
+            };
+            let chain_id = fnv1a64(&current);
+            let mut tip_iter = *base_iter;
+            let mut position = 1u32;
+            let mut verified = true;
+            for (d_iter, d_path) in &chain_deltas {
+                let applied = Self::read_sealed(d_path)
+                    .ok()
+                    .and_then(|f| apply_delta_frame(&f, &current, chain_id, position).ok());
+                match applied {
+                    Some(target) => {
+                        current = target;
+                        tip_iter = *d_iter;
+                        position += 1;
+                    }
+                    None => {
+                        verified = false;
+                        break;
+                    }
+                }
+            }
+            if !verified {
+                continue;
+            }
+            let (_, _) =
+                self.write_base_frame(io, tip_iter, &encode_base_frame(&current, codec))?;
+            report.folded_chains += 1;
+            for (_, d_path) in chain_deltas {
+                if io.remove_file(d_path).is_ok() {
+                    report.removed_frames += 1;
+                }
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -643,6 +1070,215 @@ mod tests {
         let rec = store.recover();
         assert_eq!(rec.checkpoint, None);
         assert!(rec.skipped.is_empty());
+        let rec = store.recover_checkpoint();
+        assert_eq!(rec.checkpoint, None);
+        assert!(rec.skipped.is_empty() && rec.fallbacks.is_empty());
+    }
+
+    #[test]
+    fn store_recover_on_existing_empty_dir_is_empty() {
+        let dir = test_dir("store_recover_on_existing_empty_dir_is_empty");
+        let store = CheckpointStore::new(&dir, 2);
+        assert_eq!(store.recover().checkpoint, None);
+        assert_eq!(store.recover_checkpoint().checkpoint, None);
+        assert_eq!(store.scrub(&mut StdIo), ScrubReport::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_rotation_with_keep_one_retains_only_newest() {
+        let dir = test_dir("store_rotation_with_keep_one_retains_only_newest");
+        // keep = 0 clamps to 1: rotation may never delete every checkpoint.
+        let store = CheckpointStore::new(&dir, 0);
+        for i in 1u64..=5 {
+            store.write(i, format!("p{i}").as_bytes()).expect("write");
+        }
+        let files = store.candidates();
+        assert_eq!(
+            files.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![5],
+            "keep=1 must retain exactly the newest checkpoint"
+        );
+        assert_eq!(store.recover().checkpoint, Some((5, b"p5".to_vec())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn two_stores_sharing_a_parent_dir_stay_isolated() {
+        let parent = test_dir("two_stores_sharing_a_parent_dir_stay_isolated");
+        let a = CheckpointStore::new(parent.join("session-0000"), 2);
+        let b = CheckpointStore::new(parent.join("session-0001"), 2);
+        a.write(10, b"a-ten").expect("write");
+        b.write(20, b"b-twenty").expect("write");
+        b.write(21, b"b-twentyone").expect("write");
+        // Each store sees only its own files; writes and pruning in one
+        // never touch the sibling.
+        assert_eq!(a.recover().checkpoint, Some((10, b"a-ten".to_vec())));
+        assert_eq!(b.recover().checkpoint, Some((21, b"b-twentyone".to_vec())));
+        assert_eq!(a.candidates().len(), 1);
+        assert_eq!(b.candidates().len(), 2);
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn recover_orders_by_name_not_mtime() {
+        let dir = test_dir("recover_orders_by_name_not_mtime");
+        let store = CheckpointStore::new(&dir, 4);
+        // Write the *higher* iteration first, so its mtime is older (or
+        // tied, on coarse-granularity filesystems). Recovery must still
+        // pick iteration 5: ordering is by parsed iteration in the file
+        // name, never by mtime, for determinism across filesystems.
+        store.write(5, b"newest-by-name").expect("write");
+        store.write(3, b"newest-by-mtime").expect("write");
+        assert_eq!(
+            store.recover().checkpoint,
+            Some((5, b"newest-by-name".to_vec()))
+        );
+        assert_eq!(
+            store.recover_checkpoint().checkpoint,
+            Some((5, b"newest-by-name".to_vec()))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Build a base + delta chain of `payloads` at iterations 10, 11, …
+    /// through the store API, returning the (base, deltas) payloads.
+    fn write_chain(store: &CheckpointStore, payloads: &[&[u8]]) {
+        use crate::frame::{encode_delta_frame, CheckpointCodec};
+        let base = payloads[0];
+        let chain_id = fnv1a64(base);
+        store
+            .write_base_frame(&mut StdIo, 10, &encode_base_frame(base, CheckpointCodec::RleZero))
+            .expect("base");
+        let mut parent = base.to_vec();
+        for (i, &target) in payloads.iter().enumerate().skip(1) {
+            let frame = encode_delta_frame(
+                &parent,
+                target,
+                chain_id,
+                i as u32,
+                10 + i as u64 - 1,
+                CheckpointCodec::RleZero,
+            );
+            store
+                .write_delta_frame(&mut StdIo, 10 + i as u64, &frame)
+                .expect("delta");
+            parent = target.to_vec();
+        }
+    }
+
+    #[test]
+    fn chain_recovery_replays_base_and_deltas() {
+        let dir = test_dir("chain_recovery_replays_base_and_deltas");
+        let store = CheckpointStore::new(&dir, 2);
+        write_chain(&store, &[b"state-a!", b"state-b!", b"state-c!"]);
+        let rec = store.recover_checkpoint();
+        assert_eq!(rec.checkpoint, Some((12, b"state-c!".to_vec())));
+        assert!(rec.skipped.is_empty() && rec.fallbacks.is_empty(), "{rec:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_delta_falls_back_to_verified_prefix() {
+        let dir = test_dir("corrupt_delta_falls_back_to_verified_prefix");
+        let store = CheckpointStore::new(&dir, 2);
+        write_chain(&store, &[b"state-a!", b"state-b!", b"state-c!"]);
+        // Flip a byte in the middle delta: recovery must stop at the base.
+        let path = store.delta_path_for(11);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let rec = store.recover_checkpoint();
+        assert_eq!(rec.checkpoint, Some((10, b"state-a!".to_vec())));
+        assert_eq!(rec.fallbacks.len(), 1, "{rec:?}");
+        // Scrub quarantines the broken delta and everything downstream.
+        let report = store.scrub(&mut StdIo);
+        assert_eq!(report.quarantined.len(), 2, "{report:?}");
+        assert!(store.delta_path_for(11).with_extension("delta.bad").exists()
+            || !store.delta_path_for(11).exists());
+        // After the scrub, recovery is clean (prefix only, no fallbacks).
+        let rec = store.recover_checkpoint();
+        assert_eq!(rec.checkpoint, Some((10, b"state-a!".to_vec())));
+        assert!(rec.fallbacks.is_empty(), "{rec:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_base_quarantines_orphan_deltas() {
+        let dir = test_dir("missing_base_quarantines_orphan_deltas");
+        let store = CheckpointStore::new(&dir, 2);
+        write_chain(&store, &[b"state-a!", b"state-b!"]);
+        std::fs::remove_file(store.path_for(10)).expect("drop base");
+        let rec = store.recover_checkpoint();
+        assert_eq!(rec.checkpoint, None, "{rec:?}");
+        let report = store.scrub(&mut StdIo);
+        assert_eq!(report.quarantined.len(), 1, "{report:?}");
+        assert!(report.quarantined[0].contains("orphan"), "{report:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_quarantines_stray_tmp_files() {
+        let dir = test_dir("scrub_quarantines_stray_tmp_files");
+        let store = CheckpointStore::new(&dir, 2);
+        store.write(1, b"good").expect("write");
+        std::fs::write(dir.join("ckpt-000000000002.json.tmp"), b"torn").expect("tmp");
+        let report = store.scrub(&mut StdIo);
+        assert_eq!(report.quarantined.len(), 1, "{report:?}");
+        assert!(report.quarantined[0].contains("torn rename"), "{report:?}");
+        assert!(dir.join("ckpt-000000000002.json.tmp.bad").exists());
+        assert_eq!(store.recover().checkpoint, Some((1, b"good".to_vec())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_folds_long_chains_into_a_fresh_base() {
+        use crate::frame::CheckpointCodec;
+        let dir = test_dir("compact_folds_long_chains_into_a_fresh_base");
+        let store = CheckpointStore::new(&dir, 4);
+        write_chain(&store, &[b"state-a!", b"state-b!", b"state-c!", b"state-d!"]);
+        let report = store
+            .compact(&mut StdIo, 1, CheckpointCodec::RleZero)
+            .expect("compact");
+        assert_eq!(report.folded_chains, 1);
+        assert_eq!(report.removed_frames, 3);
+        // The tip is now a base of its own; recovery still lands on it.
+        assert!(store.path_for(13).exists());
+        assert!(store.delta_candidates().is_empty());
+        let rec = store.recover_checkpoint();
+        assert_eq!(rec.checkpoint, Some((13, b"state-d!".to_vec())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruning_removes_whole_chains_together() {
+        use crate::frame::{encode_delta_frame, CheckpointCodec};
+        let dir = test_dir("pruning_removes_whole_chains_together");
+        let store = CheckpointStore::new(&dir, 1);
+        write_chain(&store, &[b"old-base", b"old-tip!"]); // base 10, delta 11
+        // A new base at 20 with keep=1 must remove base 10 *and* delta 11.
+        store
+            .write_base_frame(
+                &mut StdIo,
+                20,
+                &encode_base_frame(b"new-base", CheckpointCodec::RleZero),
+            )
+            .expect("base");
+        let frame = encode_delta_frame(
+            b"new-base",
+            b"new-tip!",
+            fnv1a64(b"new-base"),
+            1,
+            20,
+            CheckpointCodec::RleZero,
+        );
+        store.write_delta_frame(&mut StdIo, 21, &frame).expect("delta");
+        assert_eq!(store.candidates().len(), 1);
+        assert_eq!(store.delta_candidates().len(), 1);
+        let rec = store.recover_checkpoint();
+        assert_eq!(rec.checkpoint, Some((21, b"new-tip!".to_vec())));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

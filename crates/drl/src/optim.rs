@@ -222,6 +222,15 @@ impl Optimizer for RmsProp {
         for (p, s) in params.iter().zip(self.square_avg.iter_mut()) {
             let g = p.grad();
             let gd = g.data();
+            if gd.iter().all(|&gi| gi == 0.0) {
+                // A tensor the step never touched (e.g. a supernet op off
+                // the sampled path) keeps its weights *and* its slot
+                // bit-frozen — decaying `square_avg` at g = 0 would dirty
+                // every slot word and sink delta-checkpoint sparsity for
+                // zero optimisation benefit. The grad stays all-zero, so
+                // skipping `zero_grad` is also a no-op.
+                continue;
+            }
             let sd = s.data_mut();
             // One vectorised pass per tensor: update the moving average and
             // apply the delta element-by-element in a single traversal.
@@ -320,6 +329,14 @@ impl Optimizer for Adam {
         for ((p, m), v) in params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
             let g = p.grad();
             let gd = g.data();
+            if gd.iter().all(|&gi| gi == 0.0) {
+                // Lazy update: tensors with an all-zero grad keep weights,
+                // m and v bit-frozen (instead of decaying m and nudging the
+                // weights by stale momentum), so delta checkpoints stay
+                // sparse. The bias-correction clock above still advances
+                // once per step, identically for every tensor.
+                continue;
+            }
             let md = m.data_mut();
             let vd = v.data_mut();
             // One vectorised pass per tensor over (value, m, v, grad).
@@ -522,6 +539,44 @@ mod tests {
             p.value().item() - before
         };
         assert_ne!(d1, d2, "state must persist across matching steps");
+    }
+
+    #[test]
+    fn zero_grad_tensors_stay_bit_frozen() {
+        // A param whose gradient is all-zero for a step must keep its value
+        // *and* its optimiser slots bit-identical — this is what makes
+        // delta checkpoints sparse when the supernet's off-path ops sit a
+        // step out. "touched" gets real gradients both steps; "idle" only
+        // on the first.
+        for mk in [
+            (|lr| Box::new(RmsProp::new(lr)) as Box<dyn Optimizer>) as fn(f32) -> _,
+            |lr| Box::new(Adam::new(lr)) as Box<dyn Optimizer>,
+        ] {
+            let mut opt = mk(0.1);
+            let touched = Param::new("touched", Tensor::scalar(0.0));
+            let idle = Param::new("idle", Tensor::scalar(5.0));
+            let params = [touched.clone(), idle.clone()];
+            {
+                let tape = Tape::new();
+                let t = touched.bind(&tape);
+                let i = idle.bind(&tape);
+                t.add(&i).square().sum().backward();
+                opt.step(&params);
+            }
+            let idle_value = idle.value().item().to_bits();
+            let idle_slots = opt.export_state().slots.clone();
+            {
+                let tape = Tape::new();
+                touched.bind(&tape).square().sum().backward(); // idle: g = 0
+                opt.step(&params);
+            }
+            assert_eq!(idle.value().item().to_bits(), idle_value);
+            // Slot vectors are (key, tensor) aligned with `params`: every
+            // word belonging to "idle" must be unchanged.
+            for (before, after) in idle_slots.iter().zip(opt.export_state().slots.iter()) {
+                assert_eq!(before[1], after[1], "idle slot must stay bit-frozen");
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,9 @@ use std::io;
 use std::path::Path;
 
 /// Version stamped into the `"schema"` field of every serialized report.
-pub const FLEET_REPORT_SCHEMA: u32 = 1;
+/// v2 appended the per-session `checkpoint_delta_frames` and
+/// `checkpoint_quarantined` counters (durable delta checkpointing).
+pub const FLEET_REPORT_SCHEMA: u32 = 2;
 
 impl FleetReport {
     /// Serialize the report as schema-versioned, byte-stable JSON (one
@@ -82,8 +84,13 @@ fn session_json(s: &SessionReport, out: &mut String) {
     }
     let _ = write!(
         out,
-        ",\"steps\":{},\"restarts\":{},\"checkpoint_bytes_written\":{},\"checkpoint_restores\":{},\"result\":",
-        s.steps, s.restarts, s.checkpoint_bytes_written, s.checkpoint_restores
+        ",\"steps\":{},\"restarts\":{},\"checkpoint_bytes_written\":{},\"checkpoint_restores\":{},\"checkpoint_delta_frames\":{},\"checkpoint_quarantined\":{},\"result\":",
+        s.steps,
+        s.restarts,
+        s.checkpoint_bytes_written,
+        s.checkpoint_restores,
+        s.checkpoint_delta_frames,
+        s.checkpoint_quarantined
     );
     match &s.result {
         Some(result) => result_json(result, out),
@@ -210,6 +217,8 @@ mod tests {
                     fleet_events,
                     checkpoint_bytes_written: 2048,
                     checkpoint_restores: 1,
+                    checkpoint_delta_frames: 6,
+                    checkpoint_quarantined: 2,
                 },
                 SessionReport {
                     id: SessionId::new(1),
@@ -222,6 +231,8 @@ mod tests {
                     fleet_events: RobustnessLog::new(),
                     checkpoint_bytes_written: 0,
                     checkpoint_restores: 0,
+                    checkpoint_delta_frames: 0,
+                    checkpoint_quarantined: 0,
                 },
             ],
             ticks: 42,
@@ -234,16 +245,18 @@ mod tests {
     #[test]
     fn fleet_report_json_golden() {
         let want = concat!(
-            "{\"schema\":1,\"ticks\":42,\"pool_budget\":2,\"total_faults\":1,\"sessions\":[",
+            "{\"schema\":2,\"ticks\":42,\"pool_budget\":2,\"total_faults\":1,\"sessions\":[",
             "{\"id\":0,\"name\":\"alpha \\\"one\\\"\",\"state\":\"failed\",",
             "\"failure\":\"panicked: boom\",\"backoff_until\":null,\"steps\":120,\"restarts\":1,",
-            "\"checkpoint_bytes_written\":2048,\"checkpoint_restores\":1,\"result\":null,",
+            "\"checkpoint_bytes_written\":2048,\"checkpoint_restores\":1,",
+            "\"checkpoint_delta_frames\":6,\"checkpoint_quarantined\":2,\"result\":null,",
             "\"robustness\":[{\"iteration\":7,\"kind\":\"fault-injected\",\"detail\":\"abort at 7\"}],",
             "\"fleet_events\":[{\"iteration\":9,\"kind\":\"session-restarted\",",
             "\"detail\":\"restart 1 of 1 scheduled for tick 10\"}]},",
             "{\"id\":1,\"name\":\"beta\",\"state\":\"backoff\",\"failure\":null,",
             "\"backoff_until\":12,\"steps\":0,\"restarts\":0,\"checkpoint_bytes_written\":0,",
-            "\"checkpoint_restores\":0,\"result\":null,\"robustness\":[],\"fleet_events\":[]}],",
+            "\"checkpoint_restores\":0,\"checkpoint_delta_frames\":0,\"checkpoint_quarantined\":0,",
+            "\"result\":null,\"robustness\":[],\"fleet_events\":[]}],",
             "\"event_totals\":{\"fault-injected\":1,\"session-restarted\":1}}",
         );
         assert_eq!(sample_report().to_json(), want);

@@ -33,7 +33,8 @@
 use a3cs_check::Report;
 use a3cs_core::{
     preflight, CheckpointFormat, CoSearch, CoSearchConfig, CoSearchResult, DegradationLadder,
-    FaultPlan, GuardedRun, RobustnessEventKind, RobustnessLog, SearchError, StepOutcome,
+    DurabilityConfig, FaultPlan, GuardedRun, RobustnessEventKind, RobustnessLog, SearchError,
+    StepOutcome,
 };
 use a3cs_drl::EnvFactory;
 use a3cs_envs::Environment;
@@ -196,6 +197,11 @@ pub struct FleetConfig {
     /// Drop a session's injected-fault plan when restarting it, so a
     /// deterministic once-per-run fault does not re-fire on every attempt.
     pub clear_fault_plan_on_restart: bool,
+    /// Checkpoint durability knobs applied to every fleet session. Delta
+    /// frames are **on** by default here (unlike solo runs): a fleet
+    /// checkpoints many sessions against one disk, so the incremental
+    /// format's byte savings compound, and resumes scrub the store first.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for FleetConfig {
@@ -210,6 +216,10 @@ impl Default for FleetConfig {
             checkpoint_root: None,
             checkpoint_format: CheckpointFormat::Binary,
             clear_fault_plan_on_restart: true,
+            durability: DurabilityConfig {
+                delta: true,
+                ..DurabilityConfig::default()
+            },
         }
     }
 }
@@ -229,6 +239,10 @@ pub struct SessionStatus {
     pub checkpoint_bytes_written: u64,
     /// Checkpoint restores (auto-resumes + rollbacks) across all attempts.
     pub checkpoint_restores: u64,
+    /// Delta checkpoint frames persisted across all attempts.
+    pub checkpoint_delta_frames: u64,
+    /// Broken frames quarantined by resume-time scrubs across all attempts.
+    pub checkpoint_quarantined: u64,
 }
 
 /// Final per-session record inside a [`FleetReport`].
@@ -257,6 +271,10 @@ pub struct SessionReport {
     pub checkpoint_bytes_written: u64,
     /// Checkpoint restores performed across all attempts.
     pub checkpoint_restores: u64,
+    /// Delta checkpoint frames persisted across all attempts.
+    pub checkpoint_delta_frames: u64,
+    /// Broken frames quarantined by resume-time scrubs across all attempts.
+    pub checkpoint_quarantined: u64,
 }
 
 /// Fleet-wide aggregation returned by [`Fleet::run_to_completion`].
@@ -320,6 +338,8 @@ struct Session<'f> {
     result: Option<CoSearchResult>,
     bytes_written: u64,
     restore_count: u64,
+    delta_frames: u64,
+    quarantined: u64,
 }
 
 /// The multi-session orchestrator. See the crate docs for the model.
@@ -399,6 +419,7 @@ impl<'f> Fleet<'f> {
         let id = SessionId(self.sessions.len() as u64);
         cfg.threads = None;
         cfg.fault.format = self.config.checkpoint_format;
+        cfg.fault.durability = self.config.durability;
         if cfg.fault.checkpoint_dir.is_none() {
             if let Some(root) = &self.config.checkpoint_root {
                 cfg.fault.checkpoint_dir = Some(root.join(id.to_string()));
@@ -419,6 +440,8 @@ impl<'f> Fleet<'f> {
             result: None,
             bytes_written: 0,
             restore_count: 0,
+            delta_frames: 0,
+            quarantined: 0,
         });
         Ok(id)
     }
@@ -429,6 +452,8 @@ impl<'f> Fleet<'f> {
         let s = self.sessions.iter().find(|s| s.id == id)?;
         let live_bytes = s.run.as_ref().map_or(0, GuardedRun::checkpoint_bytes_written);
         let live_restores = s.run.as_ref().map_or(0, GuardedRun::checkpoint_restores);
+        let live_deltas = s.run.as_ref().map_or(0, GuardedRun::checkpoint_delta_frames);
+        let live_quarantined = s.run.as_ref().map_or(0, GuardedRun::checkpoint_quarantined);
         Some(SessionStatus {
             state: s.state.clone(),
             steps: s
@@ -441,6 +466,8 @@ impl<'f> Fleet<'f> {
             restarts: s.restarts_used,
             checkpoint_bytes_written: s.bytes_written + live_bytes,
             checkpoint_restores: s.restore_count + live_restores,
+            checkpoint_delta_frames: s.delta_frames + live_deltas,
+            checkpoint_quarantined: s.quarantined + live_quarantined,
         })
     }
 
@@ -460,6 +487,8 @@ impl<'f> Fleet<'f> {
         if let Some(run) = session.run.take() {
             session.bytes_written += run.checkpoint_bytes_written();
             session.restore_count += run.checkpoint_restores();
+            session.delta_frames += run.checkpoint_delta_frames();
+            session.quarantined += run.checkpoint_quarantined();
             session.last_robustness = run.robustness().clone();
         }
         session.search = None;
@@ -599,6 +628,8 @@ impl<'f> Fleet<'f> {
                             Ok(StepOutcome::Finished) => {
                                 session.bytes_written += run.checkpoint_bytes_written();
                                 session.restore_count += run.checkpoint_restores();
+                                session.delta_frames += run.checkpoint_delta_frames();
+                                session.quarantined += run.checkpoint_quarantined();
                                 let result = run.finish(&mut search);
                                 session.last_robustness = result.robustness.clone();
                                 session.result = Some(result);
@@ -607,6 +638,8 @@ impl<'f> Fleet<'f> {
                             Err(e) => {
                                 session.bytes_written += run.checkpoint_bytes_written();
                                 session.restore_count += run.checkpoint_restores();
+                                session.delta_frames += run.checkpoint_delta_frames();
+                                session.quarantined += run.checkpoint_quarantined();
                                 session.last_robustness = run.robustness().clone();
                                 Err(SessionFailure::Search(e))
                             }
@@ -706,6 +739,10 @@ impl<'f> Fleet<'f> {
                     .map_or_else(|| s.last_robustness.clone(), |run| run.robustness().clone());
                 let live_bytes = s.run.as_ref().map_or(0, GuardedRun::checkpoint_bytes_written);
                 let live_restores = s.run.as_ref().map_or(0, GuardedRun::checkpoint_restores);
+                let live_deltas =
+                    s.run.as_ref().map_or(0, GuardedRun::checkpoint_delta_frames);
+                let live_quarantined =
+                    s.run.as_ref().map_or(0, GuardedRun::checkpoint_quarantined);
                 for event in robustness.events.iter().chain(s.fleet_log.events.iter()) {
                     *event_totals.entry(event.kind.label().to_string()).or_insert(0) += 1;
                 }
@@ -725,6 +762,8 @@ impl<'f> Fleet<'f> {
                     fleet_events: s.fleet_log.clone(),
                     checkpoint_bytes_written: s.bytes_written + live_bytes,
                     checkpoint_restores: s.restore_count + live_restores,
+                    checkpoint_delta_frames: s.delta_frames + live_deltas,
+                    checkpoint_quarantined: s.quarantined + live_quarantined,
                 }
             })
             .collect();

@@ -270,6 +270,34 @@ pub fn render_prometheus(snap: &ObsSnapshot) -> String {
         }
         family(
             &mut out,
+            "a3cs_session_checkpoint_delta_frames_total",
+            "Delta checkpoint frames persisted per session, across attempts.",
+            "counter",
+        );
+        for s in &snap.sessions {
+            let _ = writeln!(
+                out,
+                "a3cs_session_checkpoint_delta_frames_total{{{}}} {}",
+                session_labels(s.id, &s.name),
+                s.checkpoint_delta_frames
+            );
+        }
+        family(
+            &mut out,
+            "a3cs_session_checkpoint_quarantined_total",
+            "Broken checkpoint frames quarantined per session by store scrubs.",
+            "counter",
+        );
+        for s in &snap.sessions {
+            let _ = writeln!(
+                out,
+                "a3cs_session_checkpoint_quarantined_total{{{}}} {}",
+                session_labels(s.id, &s.name),
+                s.checkpoint_quarantined
+            );
+        }
+        family(
+            &mut out,
             "a3cs_session_checkpoint_lag",
             "Publishes since the session's checkpoint bytes last advanced.",
             "gauge",
@@ -355,6 +383,8 @@ mod tests {
                 restarts: 1,
                 checkpoint_bytes_written: 2048,
                 checkpoint_restores: 1,
+                checkpoint_delta_frames: 6,
+                checkpoint_quarantined: 2,
                 checkpoint_lag: 2,
                 fault_events: 1,
                 quarantine_events: 0,
@@ -448,6 +478,12 @@ mod tests {
             "# HELP a3cs_session_checkpoint_restores_total Checkpoint restores (auto-resumes and rollbacks) per session.\n",
             "# TYPE a3cs_session_checkpoint_restores_total counter\n",
             "a3cs_session_checkpoint_restores_total{session=\"0\",name=\"alpha\"} 1\n",
+            "# HELP a3cs_session_checkpoint_delta_frames_total Delta checkpoint frames persisted per session, across attempts.\n",
+            "# TYPE a3cs_session_checkpoint_delta_frames_total counter\n",
+            "a3cs_session_checkpoint_delta_frames_total{session=\"0\",name=\"alpha\"} 6\n",
+            "# HELP a3cs_session_checkpoint_quarantined_total Broken checkpoint frames quarantined per session by store scrubs.\n",
+            "# TYPE a3cs_session_checkpoint_quarantined_total counter\n",
+            "a3cs_session_checkpoint_quarantined_total{session=\"0\",name=\"alpha\"} 2\n",
             "# HELP a3cs_session_checkpoint_lag Publishes since the session's checkpoint bytes last advanced.\n",
             "# TYPE a3cs_session_checkpoint_lag gauge\n",
             "a3cs_session_checkpoint_lag{session=\"0\",name=\"alpha\"} 2\n",

@@ -45,6 +45,10 @@ pub struct SessionRollup {
     pub checkpoint_bytes_written: u64,
     /// Checkpoint restores (auto-resumes + rollbacks).
     pub checkpoint_restores: u64,
+    /// Delta checkpoint frames persisted across attempts.
+    pub checkpoint_delta_frames: u64,
+    /// Broken frames quarantined by resume-time scrubs across attempts.
+    pub checkpoint_quarantined: u64,
     /// Publishes since `checkpoint_bytes_written` last advanced (0 when it
     /// advanced this publish), saturating at the window size — the
     /// "checkpoint lag" a dashboard alerts on.
@@ -180,6 +184,8 @@ impl Aggregator {
             restarts: s.restarts,
             checkpoint_bytes_written: s.checkpoint_bytes_written,
             checkpoint_restores: s.checkpoint_restores,
+            checkpoint_delta_frames: s.checkpoint_delta_frames,
+            checkpoint_quarantined: s.checkpoint_quarantined,
             checkpoint_lag: self.checkpoint_lag(s.id.index(), s.checkpoint_bytes_written),
             fault_events: faults,
             quarantine_events: quarantines,
@@ -252,6 +258,8 @@ mod tests {
                 fleet_events: RobustnessLog::new(),
                 checkpoint_bytes_written: bytes,
                 checkpoint_restores: 0,
+                checkpoint_delta_frames: 0,
+                checkpoint_quarantined: 0,
             }],
             ticks: 1,
             pool_budget: 2,

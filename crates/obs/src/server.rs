@@ -206,6 +206,8 @@ pub fn solo_report(name: &str, run: &GuardedRun) -> FleetReport {
             fleet_events: RobustnessLog::new(),
             checkpoint_bytes_written: run.checkpoint_bytes_written(),
             checkpoint_restores: run.checkpoint_restores(),
+            checkpoint_delta_frames: run.checkpoint_delta_frames(),
+            checkpoint_quarantined: run.checkpoint_quarantined(),
         }],
         ticks: run.iteration(),
         pool_budget: 0,

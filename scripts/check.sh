@@ -28,6 +28,9 @@ cargo run -q --release -p a3cs-bench --bin fleet_smoke
 echo "==> obs smoke (live /metrics + /healthz + /fleet validated end-to-end)"
 cargo run -q --release -p a3cs-bench --bin obs_smoke
 
+echo "==> ckpt smoke (delta chain bit-rot quarantined + fallback bit-identical)"
+cargo run -q --release -p a3cs-bench --bin ckpt_smoke
+
 echo "==> a3cs-check determinism lint (deny new findings + stale allowlist)"
 cargo run -q -p a3cs-check --bin lint -- --deny-new
 

@@ -168,3 +168,199 @@ fn run_rejects_abort_plans() {
     cfg.fault.plan = FaultPlan::none().abort_at(0);
     let _ = cosearch(cfg, 1).run(&factory, None);
 }
+
+// --- durable delta checkpointing (DESIGN.md §17) -------------------------
+
+fn delta_config(total_steps: u64, dir: &PathBuf) -> CoSearchConfig {
+    let mut cfg = tiny_config(total_steps);
+    cfg.fault.checkpoint_dir = Some(dir.clone());
+    cfg.fault.durability.delta = true;
+    cfg
+}
+
+#[test]
+fn delta_crash_resume_is_bit_identical_to_uninterrupted_run() {
+    let reference = cosearch(tiny_config(300), 11).run(&factory, None);
+
+    let dir = test_dir("delta_crash_resume");
+    let mut cfg = delta_config(300, &dir);
+    cfg.fault.plan = FaultPlan::none().abort_at(7);
+    let err = cosearch(cfg.clone(), 11)
+        .run_guarded(&factory, None)
+        .expect_err("abort fault must surface");
+    assert_eq!(err, SearchError::Aborted { iteration: 7 });
+
+    // The store must actually hold the incremental format: one base frame
+    // plus one delta per later iteration.
+    let deltas = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "delta"))
+        .count();
+    assert_eq!(deltas, 6, "iterations 1..=6 persist as delta frames");
+
+    cfg.fault.plan = FaultPlan::none();
+    let resumed = cosearch(cfg, 11)
+        .run_guarded(&factory, None)
+        .expect("resumed run completes");
+    assert_eq!(resumed.robustness.count(RobustnessEventKind::Resumed), 1);
+    assert_eq!(
+        resumed
+            .robustness
+            .count(RobustnessEventKind::CheckpointQuarantined),
+        0,
+        "a clean store scrubs clean"
+    );
+    assert_results_bit_identical(&reference, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn delta_resume_survives_every_injected_io_fault() {
+    let reference = cosearch(tiny_config(300), 13).run(&factory, None);
+
+    // Each plan sabotages the checkpoint write at iteration 3 inside the
+    // durable I/O path, then crashes at 7. The failed write logs
+    // checkpoint-write-failed and forces a fresh base at 4, so recovery
+    // replays base 4 + deltas 5..6 and resumes bit-identically.
+    let plans: [(&str, FaultPlan); 3] = [
+        ("io_error", FaultPlan::none().io_error_at(3).abort_at(7)),
+        ("disk_full", FaultPlan::none().disk_full_at(3, 25).abort_at(7)),
+        ("torn_rename", FaultPlan::none().torn_rename_at(3).abort_at(7)),
+    ];
+    for (name, plan) in plans {
+        let dir = test_dir(&format!("delta_io_{name}"));
+        let mut cfg = delta_config(300, &dir);
+        cfg.fault.plan = plan;
+        let err = cosearch(cfg.clone(), 13)
+            .run_guarded(&factory, None)
+            .expect_err("abort fault must surface");
+        assert_eq!(err, SearchError::Aborted { iteration: 7 }, "{name}");
+
+        cfg.fault.plan = FaultPlan::none();
+        let resumed = cosearch(cfg, 13)
+            .run_guarded(&factory, None)
+            .expect("resumed run completes");
+        let log = &resumed.robustness;
+        assert_eq!(log.count(RobustnessEventKind::Resumed), 1, "{name}");
+        if name == "torn_rename" {
+            // The stranded `.tmp` is evidence of the torn rename; the
+            // resume-time scrub quarantines it instead of deleting it.
+            assert_eq!(
+                log.count(RobustnessEventKind::CheckpointQuarantined),
+                1,
+                "{name}: {:?}",
+                log.events
+            );
+        }
+        assert_results_bit_identical(&reference, &resumed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn delta_resume_falls_back_past_a_flipped_delta_byte() {
+    let reference = cosearch(tiny_config(300), 3).run(&factory, None);
+
+    // Bit rot in the delta at iteration 5: its envelope checksum fails, so
+    // chain replay stops at the verified prefix (iteration 4) and the
+    // scrub quarantines the rotten frame plus its downstream delta.
+    let dir = test_dir("delta_flip");
+    let mut cfg = delta_config(300, &dir);
+    cfg.fault.plan = FaultPlan::none().flip_checkpoint_byte_at(5, 40).abort_at(7);
+    let err = cosearch(cfg.clone(), 3)
+        .run_guarded(&factory, None)
+        .expect_err("abort fault must surface");
+    assert_eq!(err, SearchError::Aborted { iteration: 7 });
+
+    cfg.fault.plan = FaultPlan::none();
+    let resumed = cosearch(cfg, 3)
+        .run_guarded(&factory, None)
+        .expect("resumed run completes");
+    let log = &resumed.robustness;
+    assert_eq!(
+        log.count(RobustnessEventKind::DeltaChainFallback),
+        1,
+        "events: {:?}",
+        log.events
+    );
+    assert_eq!(log.count(RobustnessEventKind::CheckpointQuarantined), 2);
+    assert_eq!(log.count(RobustnessEventKind::Resumed), 1);
+    assert_results_bit_identical(&reference, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn delta_resume_survives_a_missing_base() {
+    let reference = cosearch(tiny_config(300), 17).run(&factory, None);
+
+    let dir = test_dir("delta_missing_base");
+    let mut cfg = delta_config(300, &dir);
+    cfg.fault.plan = FaultPlan::none().abort_at(7);
+    let err = cosearch(cfg.clone(), 17)
+        .run_guarded(&factory, None)
+        .expect_err("abort fault must surface");
+    assert_eq!(err, SearchError::Aborted { iteration: 7 });
+
+    // Lose the chain's base: the deltas alone can never replay. Recovery
+    // must start fresh (no panic), and the scrub must quarantine every
+    // orphan rather than deleting it.
+    std::fs::remove_file(dir.join("ckpt-000000000000.json")).expect("base exists");
+    cfg.fault.plan = FaultPlan::none();
+    let resumed = cosearch(cfg, 17)
+        .run_guarded(&factory, None)
+        .expect("fresh run completes");
+    let log = &resumed.robustness;
+    assert_eq!(log.count(RobustnessEventKind::Resumed), 0, "started fresh");
+    assert_eq!(
+        log.count(RobustnessEventKind::CheckpointQuarantined),
+        6,
+        "all six orphan deltas quarantined: {:?}",
+        log.events
+    );
+    assert_results_bit_identical(&reference, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn delta_chains_roll_a_fresh_base_at_max_chain_len() {
+    let dir = test_dir("delta_roll");
+    let mut cfg = delta_config(300, &dir);
+    cfg.fault.durability.max_chain_len = 2;
+    cfg.fault.plan = FaultPlan::none().abort_at(8);
+    let err = cosearch(cfg.clone(), 5)
+        .run_guarded(&factory, None)
+        .expect_err("abort fault must surface");
+    assert_eq!(err, SearchError::Aborted { iteration: 8 });
+
+    // Bases at 0, 3, 6; deltas at 1, 2, 4, 5, 7. An inline base roll is
+    // routine maintenance, not a robustness event.
+    let mut bases: Vec<String> = Vec::new();
+    let mut deltas: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("store dir").filter_map(Result::ok) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json") {
+            bases.push(name);
+        } else if name.ends_with(".delta") {
+            deltas.push(name);
+        }
+    }
+    bases.sort();
+    deltas.sort();
+    assert_eq!(
+        bases,
+        [
+            "ckpt-000000000000.json",
+            "ckpt-000000000003.json",
+            "ckpt-000000000006.json"
+        ]
+    );
+    assert_eq!(deltas.len(), 5, "deltas: {deltas:?}");
+
+    cfg.fault.plan = FaultPlan::none();
+    let resumed = cosearch(cfg, 5)
+        .run_guarded(&factory, None)
+        .expect("resumed run completes");
+    assert_eq!(resumed.robustness.count(RobustnessEventKind::Resumed), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

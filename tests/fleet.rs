@@ -140,6 +140,13 @@ fn faulted_session_restarts_from_checkpoint_and_finishes_bit_identically() {
     assert_eq!(session.robustness.count(RobustnessEventKind::Resumed), 1);
     assert!(session.checkpoint_restores >= 1);
     assert!(session.checkpoint_bytes_written > 0);
+    // ...which held the fleet-default incremental format: base frames plus
+    // per-iteration deltas, scrubbed clean on resume.
+    assert!(
+        session.checkpoint_delta_frames > 0,
+        "fleet sessions write delta frames by default"
+    );
+    assert_eq!(session.checkpoint_quarantined, 0, "clean store scrubs clean");
     // ...and the final result matches a run that never faulted.
     let solo = cosearch(tiny_config(200), 21).run(&factory, None);
     assert_results_bit_identical(&solo, session.result.as_ref().expect("completed"));
@@ -191,6 +198,51 @@ fn restart_exhaustion_is_typed_and_does_not_poison_the_scheduler() {
     assert_eq!(healthy.state, SessionState::Done);
     let solo = cosearch(tiny_config(200), 32).run(&factory, None);
     assert_results_bit_identical(&solo, healthy.result.as_ref().expect("completed"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// ISSUE 10 acceptance: a fleet session whose delta chain rots on disk
+/// restarts through scrub + chain fallback and still finishes
+/// bit-identically to a solo run that never faulted.
+#[test]
+fn fleet_restart_scrubs_rotten_delta_frames_and_stays_bit_identical() {
+    let root = test_dir("scrub_restart");
+    let mut fleet = Fleet::new(FleetConfig {
+        max_session_restarts: 1,
+        checkpoint_root: Some(root.clone()),
+        scheduler_seed: 9,
+        ..FleetConfig::default()
+    });
+    // Bit rot in the delta frame at iteration 5, then a crash at 7: the
+    // restarted attempt must fall back to the verified chain prefix
+    // (iteration 4), quarantine the rotten frame and its downstream delta,
+    // and replay to the same final result.
+    let mut cfg = tiny_config(200);
+    cfg.fault.plan = FaultPlan::none().flip_checkpoint_byte_at(5, 40).abort_at(7);
+    let id = fleet.submit("rotten", cfg, 51, factory).expect("admitted");
+
+    let report = fleet.run_to_completion();
+    let session = report.session(id).expect("reported");
+    assert_eq!(session.state, SessionState::Done);
+    assert_eq!(session.restarts, 1);
+    assert_eq!(session.robustness.count(RobustnessEventKind::Resumed), 1);
+    assert_eq!(
+        session
+            .robustness
+            .count(RobustnessEventKind::DeltaChainFallback),
+        1,
+        "events: {:?}",
+        session.robustness.events
+    );
+    assert_eq!(session.checkpoint_quarantined, 2);
+    assert_eq!(
+        session
+            .robustness
+            .count(RobustnessEventKind::CheckpointQuarantined),
+        2
+    );
+    let solo = cosearch(tiny_config(200), 51).run(&factory, None);
+    assert_results_bit_identical(&solo, session.result.as_ref().expect("completed"));
     std::fs::remove_dir_all(&root).ok();
 }
 

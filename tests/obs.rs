@@ -150,7 +150,7 @@ fn solo_observed_run_is_bit_identical_to_unobserved() {
     assert!(body.contains("a3cs_session_state{session=\"0\",name=\"solo\",state=\"running\"} 1"));
     let (code, body) = http_get(addr, "/fleet").expect("fleet endpoint up");
     assert_eq!(code, 200);
-    assert!(body.starts_with("{\"schema\":1,"));
+    assert!(body.starts_with("{\"schema\":2,"));
     server.shutdown();
 
     assert_results_bit_identical(&unobserved, &observed);
@@ -162,7 +162,7 @@ fn solo_observed_run_is_bit_identical_to_unobserved() {
 fn fleet_report_json_round_trips_with_result_payload() {
     let report = run_fleet(None);
     let json = report.to_json();
-    assert!(json.starts_with("{\"schema\":1,"));
+    assert!(json.starts_with("{\"schema\":2,"));
     assert!(json.contains("\"result\":{\"steps\":200,"));
     assert!(json.contains("\"arch\":["));
     assert!(json.contains("\"score_curve\":[["));

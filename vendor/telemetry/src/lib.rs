@@ -35,7 +35,9 @@ pub use metrics::{
     all_counters, all_gauges, all_histograms, metrics_snapshot, quantile_from_counts, Counter,
     CounterSample, Gauge, GaugeSample,
     Histogram, HistogramSample, MetricsSnapshot, CHECKPOINT_BYTES, CHECKPOINT_BYTES_HIST,
-    CHECKPOINT_BYTES_WRITTEN, CHECKPOINT_RESTORES, CONV_MACS, ENV_STEPS, EVAL_EPISODES,
+    CHECKPOINT_BYTES_WRITTEN, CHECKPOINT_COMPACTIONS, CHECKPOINT_COMPRESSION_RATIO,
+    CHECKPOINT_DELTA_BYTES, CHECKPOINT_DELTA_FRAMES, CHECKPOINT_RESTORES,
+    CHECKPOINT_SCRUB_QUARANTINED, CHECKPOINT_SCRUB_RUNS, CONV_MACS, ENV_STEPS, EVAL_EPISODES,
     EVAL_STEPS, GEMM_CALLS, GEMM_MACS, GEMM_MACS_HIST, LOSS_DISTILL_ACTOR, LOSS_DISTILL_CRITIC,
     LOSS_TOTAL, MEMO_CHUNK_HITS, MEMO_EVALS_SAVED, MEMO_EVICTIONS, MEMO_HITS, MEMO_MISSES,
     POOL_TASKS, ROLLBACK_COUNT, HISTOGRAM_BUCKETS,

@@ -261,6 +261,18 @@ pub static CHECKPOINT_BYTES_WRITTEN: Counter = Counter::new("checkpoint.bytes_wr
 pub static CHECKPOINT_RESTORES: Counter = Counter::new("checkpoint.restore_count");
 /// Divergence rollbacks performed by the guarded co-search loop.
 pub static ROLLBACK_COUNT: Counter = Counter::new("rollback.count");
+/// Bytes of sealed delta frames persisted (delta checkpointing mode).
+pub static CHECKPOINT_DELTA_BYTES: Counter = Counter::new("checkpoint.delta_bytes");
+/// Delta frames persisted (delta checkpointing mode).
+pub static CHECKPOINT_DELTA_FRAMES: Counter = Counter::new("checkpoint.delta_frames");
+/// Checkpoint-store scrub passes performed.
+pub static CHECKPOINT_SCRUB_RUNS: Counter = Counter::new("checkpoint.scrub_runs");
+/// Broken checkpoint frames quarantined (renamed to `.bad`) by scrubs.
+pub static CHECKPOINT_SCRUB_QUARANTINED: Counter =
+    Counter::new("checkpoint.scrub_quarantined");
+/// Delta chains folded into a fresh base (inline rolls and explicit
+/// compactions).
+pub static CHECKPOINT_COMPACTIONS: Counter = Counter::new("checkpoint.compactions");
 /// Tasks executed across all pool lanes.
 pub static POOL_TASKS: Counter = Counter::new("pool.tasks");
 /// Full-config hits in the accelerator cost cache.
@@ -280,13 +292,17 @@ pub static LOSS_TOTAL: Gauge = Gauge::new("loss.total");
 pub static LOSS_DISTILL_ACTOR: Gauge = Gauge::new("loss.distill_actor");
 /// Latest critic distillation loss component.
 pub static LOSS_DISTILL_CRITIC: Gauge = Gauge::new("loss.distill_critic");
+/// Cumulative compression ratio of the checkpoint path: logical payload
+/// bytes divided by sealed bytes actually written (≥ 1 means the delta +
+/// codec layer is paying for itself).
+pub static CHECKPOINT_COMPRESSION_RATIO: Gauge = Gauge::new("checkpoint.compression_ratio");
 
 /// Distribution of MACs per GEMM call.
 pub static GEMM_MACS_HIST: Histogram = Histogram::new("gemm.macs.per_call");
 /// Distribution of bytes per checkpoint write.
 pub static CHECKPOINT_BYTES_HIST: Histogram = Histogram::new("checkpoint.bytes.per_write");
 
-static COUNTERS: [&Counter; 16] = [
+static COUNTERS: [&Counter; 21] = [
     &GEMM_MACS,
     &GEMM_CALLS,
     &CONV_MACS,
@@ -296,6 +312,11 @@ static COUNTERS: [&Counter; 16] = [
     &CHECKPOINT_BYTES,
     &CHECKPOINT_BYTES_WRITTEN,
     &CHECKPOINT_RESTORES,
+    &CHECKPOINT_DELTA_BYTES,
+    &CHECKPOINT_DELTA_FRAMES,
+    &CHECKPOINT_SCRUB_RUNS,
+    &CHECKPOINT_SCRUB_QUARANTINED,
+    &CHECKPOINT_COMPACTIONS,
     &ROLLBACK_COUNT,
     &POOL_TASKS,
     &MEMO_HITS,
@@ -304,7 +325,12 @@ static COUNTERS: [&Counter; 16] = [
     &MEMO_CHUNK_HITS,
     &MEMO_EVALS_SAVED,
 ];
-static GAUGES: [&Gauge; 3] = [&LOSS_TOTAL, &LOSS_DISTILL_ACTOR, &LOSS_DISTILL_CRITIC];
+static GAUGES: [&Gauge; 4] = [
+    &LOSS_TOTAL,
+    &LOSS_DISTILL_ACTOR,
+    &LOSS_DISTILL_CRITIC,
+    &CHECKPOINT_COMPRESSION_RATIO,
+];
 static HISTOGRAMS: [&Histogram; 2] = [&GEMM_MACS_HIST, &CHECKPOINT_BYTES_HIST];
 
 /// Every registered counter, in stable catalog order.
